@@ -1,0 +1,304 @@
+//! Trained column encoders: a Starmie-style contrastive encoder and a
+//! DeepJoin-style supervised encoder.
+//!
+//! Both consume the deterministic [`crate::SentenceEncoder`] features of a
+//! column (the "pretrained LM" stand-in) and train a two-layer projection
+//! head on top — Starmie with SimCLR-style views (two random halves of the
+//! same column must embed close, in-batch others far), DeepJoin with
+//! labelled joinable pairs.
+
+use crate::sentence::SentenceEncoder;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use tsfm_nn::{AdamW, Linear, ParamStore, Tape, Tensor, Var};
+use tsfm_table::{Column, Value};
+
+/// Two-layer projection head with bounded (tanh) output.
+struct ProjectionHead {
+    fc1: Linear,
+    fc2: Linear,
+}
+
+impl ProjectionHead {
+    fn new<R: Rng>(store: &mut ParamStore, in_dim: usize, out_dim: usize, rng: &mut R) -> Self {
+        Self {
+            fc1: Linear::new_xavier(store, "proj.fc1", in_dim, out_dim, rng),
+            fc2: Linear::new_xavier(store, "proj.fc2", out_dim, out_dim, rng),
+        }
+    }
+
+    fn forward(&self, tape: &mut Tape, store: &ParamStore, x: Var) -> Var {
+        let z = self.fc1.forward(tape, store, x);
+        let z = tape.gelu(z);
+        let z = self.fc2.forward(tape, store, z);
+        tape.tanh(z)
+    }
+}
+
+/// InfoNCE over matched rows of `a[B,d]` and `b[B,d]`: row `i` of `a` must
+/// be most similar to row `i` of `b`.
+fn info_nce(tape: &mut Tape, a: Var, b: Var, temperature: f32) -> Var {
+    let bt = tape.permute(b, &[1, 0]);
+    let logits = tape.matmul(a, bt);
+    let logits = tape.scale(logits, 1.0 / temperature);
+    let n = tape.value(logits).shape()[0];
+    let targets: Vec<i64> = (0..n as i64).collect();
+    tape.cross_entropy_logits(logits, targets)
+}
+
+/// Training hyper-parameters shared by both encoders.
+#[derive(Debug, Clone)]
+pub struct ColumnEncoderConfig {
+    pub out_dim: usize,
+    pub epochs: usize,
+    pub batch_size: usize,
+    pub lr: f32,
+    pub temperature: f32,
+    pub seed: u64,
+}
+
+impl Default for ColumnEncoderConfig {
+    fn default() -> Self {
+        Self { out_dim: 48, epochs: 6, batch_size: 16, lr: 2e-3, temperature: 0.3, seed: 0 }
+    }
+}
+
+/// Starmie-style contrastively trained column encoder.
+pub struct ContrastiveColumnEncoder {
+    pub features: SentenceEncoder,
+    cfg: ColumnEncoderConfig,
+    store: ParamStore,
+    head: ProjectionHead,
+}
+
+/// A random "view" of a column: roughly half its values.
+fn column_view<R: Rng>(col: &Column, rng: &mut R) -> Column {
+    let vals: Vec<Value> = col
+        .values
+        .iter()
+        .filter(|_| rng.gen_bool(0.5))
+        .cloned()
+        .collect();
+    let vals = if vals.is_empty() { col.values.clone() } else { vals };
+    Column::with_type(col.name.clone(), col.ty, vals)
+}
+
+impl ContrastiveColumnEncoder {
+    pub fn new(features: SentenceEncoder, cfg: ColumnEncoderConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x57a3);
+        let mut store = ParamStore::new();
+        let head = ProjectionHead::new(&mut store, features.dim, cfg.out_dim, &mut rng);
+        Self { features, cfg, store, head }
+    }
+
+    fn featurize(&self, cols: &[&Column]) -> Tensor {
+        let d = self.features.dim;
+        let mut data = Vec::with_capacity(cols.len() * d);
+        for c in cols {
+            data.extend(self.features.encode_column(c, 100));
+        }
+        Tensor::from_vec(vec![cols.len(), d], data)
+    }
+
+    /// SimCLR-style training over a column corpus. Returns per-epoch loss.
+    pub fn train(&mut self, columns: &[&Column]) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed);
+        let mut opt = AdamW::new(self.cfg.lr);
+        let mut order: Vec<usize> = (0..columns.len()).collect();
+        let mut losses = Vec::new();
+        for epoch in 0..self.cfg.epochs {
+            order.shuffle(&mut rng);
+            let mut sum = 0.0f64;
+            let mut batches = 0usize;
+            for chunk in order.chunks(self.cfg.batch_size) {
+                if chunk.len() < 2 {
+                    continue; // InfoNCE needs in-batch negatives
+                }
+                let view_a: Vec<Column> =
+                    chunk.iter().map(|&i| column_view(columns[i], &mut rng)).collect();
+                let view_b: Vec<Column> =
+                    chunk.iter().map(|&i| column_view(columns[i], &mut rng)).collect();
+                let fa = self.featurize(&view_a.iter().collect::<Vec<_>>());
+                let fb = self.featurize(&view_b.iter().collect::<Vec<_>>());
+                let mut tape = Tape::new(true, self.cfg.seed ^ (epoch as u64) << 8);
+                let xa = tape.constant(fa);
+                let xb = tape.constant(fb);
+                let za = self.head.forward(&mut tape, &self.store, xa);
+                let zb = self.head.forward(&mut tape, &self.store, xb);
+                let loss = info_nce(&mut tape, za, zb, self.cfg.temperature);
+                sum += tape.value(loss).item() as f64;
+                batches += 1;
+                let grads = tape.backward(loss);
+                self.store.absorb_grads(&tape, &grads);
+                drop(tape);
+                self.store.clip_grad_norm(1.0);
+                opt.step(&mut self.store, 1.0);
+                self.store.zero_grads();
+            }
+            losses.push((sum / batches.max(1) as f64) as f32);
+        }
+        losses
+    }
+
+    /// Embed one column (eval mode).
+    pub fn embed(&self, col: &Column) -> Vec<f32> {
+        let f = self.featurize(&[col]);
+        let mut tape = Tape::new(false, 0);
+        let x = tape.constant(f);
+        let z = self.head.forward(&mut tape, &self.store, x);
+        tape.value(z).data().to_vec()
+    }
+}
+
+/// DeepJoin-style supervised column encoder: positive joinable pairs pull
+/// together under InfoNCE with in-batch negatives.
+pub struct DeepJoinEncoder {
+    pub features: SentenceEncoder,
+    cfg: ColumnEncoderConfig,
+    store: ParamStore,
+    head: ProjectionHead,
+}
+
+impl DeepJoinEncoder {
+    pub fn new(features: SentenceEncoder, cfg: ColumnEncoderConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xdee9);
+        let mut store = ParamStore::new();
+        let head = ProjectionHead::new(&mut store, features.dim, cfg.out_dim, &mut rng);
+        Self { features, cfg, store, head }
+    }
+
+    /// DeepJoin's column-to-text: header plus values (we reuse the
+    /// sentence featurizer on the combined text).
+    fn column_text_features(&self, cols: &[&Column]) -> Tensor {
+        let d = self.features.dim;
+        let mut data = Vec::with_capacity(cols.len() * d);
+        for c in cols {
+            let mut text = c.name.clone();
+            text.push(' ');
+            for v in c.rendered_values().take(60) {
+                text.push_str(&v);
+                text.push(' ');
+            }
+            data.extend(self.features.encode(&text));
+        }
+        Tensor::from_vec(vec![cols.len(), d], data)
+    }
+
+    /// Train on positive joinable pairs. Returns per-epoch loss.
+    pub fn train(&mut self, pairs: &[(&Column, &Column)]) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed);
+        let mut opt = AdamW::new(self.cfg.lr);
+        let mut order: Vec<usize> = (0..pairs.len()).collect();
+        let mut losses = Vec::new();
+        for epoch in 0..self.cfg.epochs {
+            order.shuffle(&mut rng);
+            let mut sum = 0.0f64;
+            let mut batches = 0usize;
+            for chunk in order.chunks(self.cfg.batch_size) {
+                if chunk.len() < 2 {
+                    continue;
+                }
+                let left: Vec<&Column> = chunk.iter().map(|&i| pairs[i].0).collect();
+                let right: Vec<&Column> = chunk.iter().map(|&i| pairs[i].1).collect();
+                let fa = self.column_text_features(&left);
+                let fb = self.column_text_features(&right);
+                let mut tape = Tape::new(true, self.cfg.seed ^ (epoch as u64) << 9);
+                let xa = tape.constant(fa);
+                let xb = tape.constant(fb);
+                let za = self.head.forward(&mut tape, &self.store, xa);
+                let zb = self.head.forward(&mut tape, &self.store, xb);
+                let loss = info_nce(&mut tape, za, zb, self.cfg.temperature);
+                sum += tape.value(loss).item() as f64;
+                batches += 1;
+                let grads = tape.backward(loss);
+                self.store.absorb_grads(&tape, &grads);
+                drop(tape);
+                self.store.clip_grad_norm(1.0);
+                opt.step(&mut self.store, 1.0);
+                self.store.zero_grads();
+            }
+            losses.push((sum / batches.max(1) as f64) as f32);
+        }
+        losses
+    }
+
+    pub fn embed(&self, col: &Column) -> Vec<f32> {
+        let f = self.column_text_features(&[col]);
+        let mut tape = Tape::new(false, 0);
+        let x = tape.constant(f);
+        let z = self.head.forward(&mut tape, &self.store, x);
+        tape.value(z).data().to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsfm_core::cosine;
+
+    fn col(prefix: &str, n: usize) -> Column {
+        Column::new(
+            "c",
+            (0..n).map(|i| Value::Str(format!("{prefix} item {i}"))).collect(),
+        )
+    }
+
+    #[test]
+    fn contrastive_training_reduces_loss() {
+        let cols: Vec<Column> = (0..24).map(|i| col(&format!("dom{}", i % 6), 30)).collect();
+        let refs: Vec<&Column> = cols.iter().collect();
+        let mut enc = ContrastiveColumnEncoder::new(
+            SentenceEncoder::new(48, 1),
+            ColumnEncoderConfig { epochs: 5, ..Default::default() },
+        );
+        let losses = enc.train(&refs);
+        assert!(
+            losses.last().unwrap() < losses.first().unwrap(),
+            "contrastive loss should fall: {losses:?}"
+        );
+    }
+
+    #[test]
+    fn views_of_same_column_embed_close() {
+        let cols: Vec<Column> = (0..16).map(|i| col(&format!("dom{i}"), 40)).collect();
+        let refs: Vec<&Column> = cols.iter().collect();
+        let mut enc = ContrastiveColumnEncoder::new(
+            SentenceEncoder::new(48, 2),
+            ColumnEncoderConfig { epochs: 4, ..Default::default() },
+        );
+        enc.train(&refs);
+        let mut rng = StdRng::seed_from_u64(9);
+        let v1 = column_view(&cols[0], &mut rng);
+        let v2 = column_view(&cols[0], &mut rng);
+        let (e1, e2) = (enc.embed(&v1), enc.embed(&v2));
+        let eo = enc.embed(&cols[7]);
+        assert!(cosine(&e1, &e2) > cosine(&e1, &eo), "same column closer than other");
+    }
+
+    #[test]
+    fn deepjoin_pairs_embed_close_after_training() {
+        // Joinable pairs share a value prefix domain.
+        let lefts: Vec<Column> = (0..16).map(|i| col(&format!("k{}", i % 4), 25)).collect();
+        let rights: Vec<Column> = (0..16).map(|i| col(&format!("k{}", i % 4), 25)).collect();
+        let pairs: Vec<(&Column, &Column)> = lefts.iter().zip(rights.iter()).collect();
+        let mut enc = DeepJoinEncoder::new(
+            SentenceEncoder::new(48, 3),
+            ColumnEncoderConfig { epochs: 5, ..Default::default() },
+        );
+        let losses = enc.train(&pairs);
+        assert!(losses.last().unwrap() <= losses.first().unwrap(), "{losses:?}");
+        let same = cosine(&enc.embed(&lefts[0]), &enc.embed(&rights[0]));
+        let diff = cosine(&enc.embed(&lefts[0]), &enc.embed(&rights[1]));
+        assert!(same > diff, "joinable pair closer: {same} vs {diff}");
+    }
+
+    #[test]
+    fn column_view_never_empty() {
+        let c = col("x", 1);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..10 {
+            assert!(!column_view(&c, &mut rng).is_empty());
+        }
+    }
+}

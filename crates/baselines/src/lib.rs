@@ -1,0 +1,28 @@
+//! The comparison systems from the paper's evaluation (§IV-A1, §IV-C).
+//!
+//! Neural baselines are *value-serialization* models built on the same
+//! `tsfm-nn` stack as TabSketchFM, differing exactly where the original
+//! systems differ (what they see and what can train):
+//!
+//! | Paper system | Here | Sees | Trains |
+//! |---|---|---|---|
+//! | Vanilla BERT | [`TextPairModel`] + `Serialization::Headers` | headers | all |
+//! | TaBERT | `Serialization::Rows` | headers + cell values | all |
+//! | TUTA | `Serialization::Struct` | headers + types + structure | all |
+//! | TAPAS/TABBIE | `Serialization::Rows` + frozen encoder | cells | MLP only |
+//! | SBERT | [`SentenceEncoder`] | top-100 unique values | nothing |
+//! | Starmie | [`ContrastiveColumnEncoder`] | column values | contrastive |
+//! | DeepJoin | [`DeepJoinEncoder`] | column text | supervised pairs |
+//! | WarpGate | [`SentenceEncoder`] + `SimHashLsh` | column values | nothing |
+//! | D3L / SANTOS | [`traditional`] scorers | values + headers + stats | nothing |
+//! | Josie / LSHForest | `tsfm-search::overlap` | value sets | nothing |
+
+pub mod column_encoders;
+pub mod sentence;
+pub mod textmodel;
+pub mod traditional;
+
+pub use column_encoders::{ContrastiveColumnEncoder, DeepJoinEncoder};
+pub use sentence::SentenceEncoder;
+pub use textmodel::{Serialization, TextModelConfig, TextPairModel};
+pub use traditional::{d3l_column_score, d3l_table_score, santos_table_score, ColumnEvidence};

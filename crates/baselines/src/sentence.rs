@@ -1,0 +1,170 @@
+//! A deterministic sentence encoder standing in for SBERT
+//! (`all-MiniLM-L12-v2` in the paper).
+//!
+//! Word vectors are seeded pseudo-Gaussian hashes of the word plus its
+//! character 3-grams (FastText-style subwords), mean-pooled and
+//! L2-normalized. Two properties the paper's SBERT usage relies on are
+//! preserved: (a) columns drawing values from the same lexical domain get
+//! similar embeddings even with zero value overlap, and (b) the encoding
+//! is order-invariant in the value set (a *sentence* of concatenated
+//! values is pooled as a bag). See DESIGN.md's substitution table.
+
+use tsfm_table::hash::{hash_str_seeded, splitmix64};
+use tsfm_table::Column;
+
+/// Hash-based sentence/column encoder.
+#[derive(Debug, Clone)]
+pub struct SentenceEncoder {
+    pub dim: usize,
+    seed: u64,
+}
+
+impl Default for SentenceEncoder {
+    fn default() -> Self {
+        Self::new(96, 0x5be7)
+    }
+}
+
+impl SentenceEncoder {
+    pub fn new(dim: usize, seed: u64) -> Self {
+        assert!(dim > 0);
+        Self { dim, seed }
+    }
+
+    /// Deterministic pseudo-Gaussian vector for one subword unit.
+    fn unit_vector(&self, unit: &str, out: &mut [f32], weight: f32) {
+        let h = hash_str_seeded(unit, self.seed);
+        let mut state = h | 1;
+        for slot in out.iter_mut() {
+            state = splitmix64(state);
+            // Sum of two uniforms − 1 ≈ triangular(0, σ≈0.41); adequate.
+            let u1 = (state >> 40) as f32 / (1u64 << 24) as f32;
+            state = splitmix64(state);
+            let u2 = (state >> 40) as f32 / (1u64 << 24) as f32;
+            *slot += (u1 + u2 - 1.0) * weight;
+        }
+    }
+
+    /// Embed one word: the word hash plus its char-3-gram hashes, so
+    /// morphologically related words share mass.
+    fn add_word(&self, word: &str, out: &mut [f32]) {
+        self.unit_vector(word, out, 1.0);
+        let chars: Vec<char> = word.chars().collect();
+        if chars.len() >= 3 {
+            for w in chars.windows(3) {
+                let g: String = w.iter().collect();
+                self.unit_vector(&format!("#{g}#"), out, 0.4);
+            }
+        }
+    }
+
+    /// Encode free text: mean of word vectors, L2-normalized.
+    pub fn encode(&self, text: &str) -> Vec<f32> {
+        let mut v = vec![0.0f32; self.dim];
+        let mut n = 0usize;
+        for w in text.split(|c: char| !c.is_alphanumeric()).filter(|w| !w.is_empty()) {
+            let lw = w.to_lowercase();
+            self.add_word(&lw, &mut v);
+            n += 1;
+        }
+        if n > 0 {
+            for x in &mut v {
+                *x /= n as f32;
+            }
+        }
+        l2_normalize(&mut v);
+        v
+    }
+
+    /// Encode a column the way the paper's SBERT baseline does: the top
+    /// `max_values` *unique* values concatenated into one sentence.
+    pub fn encode_column(&self, col: &Column, max_values: usize) -> Vec<f32> {
+        let mut seen = std::collections::BTreeSet::new();
+        let mut sentence = String::new();
+        for v in col.rendered_values() {
+            if seen.insert(v.clone()) {
+                sentence.push_str(&v);
+                sentence.push(' ');
+                if seen.len() >= max_values {
+                    break;
+                }
+            }
+        }
+        self.encode(&sentence)
+    }
+}
+
+fn l2_normalize(v: &mut [f32]) {
+    let n: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if n > 0.0 {
+        for x in v {
+            *x /= n;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsfm_core::cosine;
+    use tsfm_table::Value;
+
+    fn col(vals: &[&str]) -> Column {
+        Column::new("c", vals.iter().map(|v| Value::Str(v.to_string())).collect())
+    }
+
+    #[test]
+    fn deterministic_and_normalized() {
+        let e = SentenceEncoder::default();
+        let a = e.encode("vienna graz linz");
+        let b = e.encode("vienna graz linz");
+        assert_eq!(a, b);
+        let norm: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn shared_words_increase_similarity() {
+        let e = SentenceEncoder::default();
+        let a = e.encode("north station street");
+        let b = e.encode("south station street");
+        let c = e.encode("quarterly revenue total");
+        assert!(cosine(&a, &b) > cosine(&a, &c), "lexical overlap dominates");
+    }
+
+    #[test]
+    fn subwords_link_related_forms() {
+        let e = SentenceEncoder::default();
+        let a = e.encode("austria");
+        let b = e.encode("austrian");
+        let c = e.encode("zimbabwe");
+        assert!(cosine(&a, &b) > cosine(&a, &c), "char n-grams share mass");
+    }
+
+    #[test]
+    fn column_encoding_order_invariant() {
+        let e = SentenceEncoder::default();
+        let a = e.encode_column(&col(&["x1", "x2", "x3"]), 100);
+        let b = e.encode_column(&col(&["x3", "x1", "x2"]), 100);
+        // Unique-value iteration order differs but the bag is the same.
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn column_encoding_caps_values() {
+        let e = SentenceEncoder::default();
+        let many: Vec<String> = (0..500).map(|i| format!("v{i}")).collect();
+        let refs: Vec<&str> = many.iter().map(String::as_str).collect();
+        let v = e.encode_column(&col(&refs), 100);
+        assert_eq!(v.len(), e.dim);
+    }
+
+    #[test]
+    fn empty_input_is_zero() {
+        let e = SentenceEncoder::default();
+        let v = e.encode("");
+        assert!(v.iter().all(|&x| x == 0.0));
+    }
+}

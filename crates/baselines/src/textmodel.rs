@@ -1,0 +1,560 @@
+//! Value-serialization cross-encoders: the Vanilla-BERT, TaBERT-, TUTA-
+//! and TAPAS/TABBIE-style baselines of §IV-A1, all built on the same
+//! `tsfm-nn` encoder stack as TabSketchFM but consuming *text* instead of
+//! sketches.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use tsfm_core::finetune::{task_loss, FinetuneConfig, FinetuneReport, Label, TaskKind};
+use tsfm_nn::layers::attn_bias_from_lengths;
+use tsfm_nn::{
+    AdamW, Embedding, EncoderConfig, LayerNorm, Linear, LinearSchedule, ParamStore, Pooler,
+    Tape, TransformerEncoder, Var,
+};
+use tsfm_table::Table;
+use tsfm_tokenizer::{Vocab, CLS, SEP};
+
+/// What a baseline sees of a table (the axis the original systems differ
+/// on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Serialization {
+    /// Column headers only (Vanilla BERT).
+    Headers,
+    /// Headers plus the first rows of cell values (TaBERT/TAPAS/TABBIE).
+    Rows { max_rows: usize },
+    /// Headers, declared types and shape markers (TUTA-style structure).
+    Struct,
+}
+
+/// Baseline model configuration.
+#[derive(Debug, Clone)]
+pub struct TextModelConfig {
+    pub encoder: EncoderConfig,
+    pub max_seq: usize,
+    /// Freeze embeddings/encoder/pooler; only the 2-layer head trains
+    /// (the TAPAS/TABBIE adaptation in the paper).
+    pub frozen_encoder: bool,
+}
+
+impl TextModelConfig {
+    pub fn small() -> Self {
+        Self { encoder: EncoderConfig::small(), max_seq: 160, frozen_encoder: false }
+    }
+
+    pub fn tiny() -> Self {
+        Self { encoder: EncoderConfig::tiny(), max_seq: 96, frozen_encoder: false }
+    }
+}
+
+/// A text cross-encoder over table pairs with a two-layer task head.
+pub struct TextPairModel {
+    pub name: String,
+    pub cfg: TextModelConfig,
+    pub serialization: Serialization,
+    pub task: TaskKind,
+    pub store: ParamStore,
+    vocab: Vocab,
+    token_emb: Embedding,
+    pos_emb: Embedding,
+    seg_emb: Embedding,
+    ln: LayerNorm,
+    encoder: TransformerEncoder,
+    pooler: Pooler,
+    head1: Linear,
+    head2: Linear,
+}
+
+impl TextPairModel {
+    pub fn new<R: Rng>(
+        name: impl Into<String>,
+        vocab: Vocab,
+        cfg: TextModelConfig,
+        serialization: Serialization,
+        task: TaskKind,
+        rng: &mut R,
+    ) -> Self {
+        let mut store = ParamStore::new();
+        let d = cfg.encoder.d_model;
+        let token_emb = Embedding::new(&mut store, "emb.token", vocab.len(), d, rng);
+        let pos_emb = Embedding::new(&mut store, "emb.pos", cfg.max_seq, d, rng);
+        let seg_emb = Embedding::new(&mut store, "emb.seg", 2, d, rng);
+        let ln = LayerNorm::new(&mut store, "emb.ln", d);
+        let encoder = TransformerEncoder::new(&mut store, "encoder", cfg.encoder.clone(), rng);
+        let pooler = Pooler::new(&mut store, "pooler", d, rng);
+        let head1 = Linear::new_xavier(&mut store, "head.fc1", d, d, rng);
+        let head2 = Linear::new_xavier(&mut store, "head.fc2", d, task.output_dim(), rng);
+        if cfg.frozen_encoder {
+            store.freeze_prefix("emb");
+            store.freeze_prefix("encoder");
+            store.freeze_prefix("pooler");
+        }
+        TextPairModel {
+            name: name.into(),
+            cfg,
+            serialization,
+            task,
+            store,
+            vocab,
+            token_emb,
+            pos_emb,
+            seg_emb,
+            ln,
+            encoder,
+            pooler,
+            head1,
+            head2,
+        }
+    }
+
+    /// Serialize one table to a token id stream.
+    pub fn serialize(&self, t: &Table) -> Vec<u32> {
+        let mut text = String::new();
+        match self.serialization {
+            Serialization::Headers => {
+                for c in &t.columns {
+                    text.push_str(&c.name);
+                    text.push(' ');
+                }
+            }
+            Serialization::Rows { max_rows } => {
+                for c in &t.columns {
+                    text.push_str(&c.name);
+                    text.push(' ');
+                }
+                for r in 0..t.num_rows().min(max_rows) {
+                    for ci in 0..t.num_cols() {
+                        text.push_str(&t.cell(r, ci).render());
+                        text.push(' ');
+                    }
+                }
+            }
+            Serialization::Struct => {
+                text.push_str(&t.description);
+                text.push(' ');
+                for c in &t.columns {
+                    text.push_str(&c.name);
+                    text.push(' ');
+                    text.push_str(c.ty.name());
+                    text.push(' ');
+                }
+                // Coarse shape markers (row-count bucket).
+                let bucket = match t.num_rows() {
+                    0..=10 => "tiny",
+                    11..=100 => "small",
+                    101..=1000 => "medium",
+                    _ => "large",
+                };
+                text.push_str(bucket);
+            }
+        }
+        self.vocab.encode_text(&text)
+    }
+
+    /// Build `[CLS] A [SEP] B [SEP]` (ids, segments), truncated evenly.
+    fn pair_ids(&self, a: &Table, b: &Table) -> (Vec<u32>, Vec<u32>) {
+        let budget = self.cfg.max_seq - 3; // CLS + 2 SEP
+        let half = budget / 2;
+        let mut ta = self.serialize(a);
+        let mut tb = self.serialize(b);
+        let take_a = ta.len().min(half.max(budget.saturating_sub(tb.len())));
+        ta.truncate(take_a);
+        tb.truncate(budget - ta.len());
+        let mut ids = Vec::with_capacity(ta.len() + tb.len() + 3);
+        let mut segs = Vec::with_capacity(ids.capacity());
+        ids.push(CLS);
+        segs.push(0);
+        ids.extend(&ta);
+        segs.extend(std::iter::repeat(0).take(ta.len()));
+        ids.push(SEP);
+        segs.push(0);
+        ids.extend(&tb);
+        segs.extend(std::iter::repeat(1).take(tb.len()));
+        ids.push(SEP);
+        segs.push(1);
+        (ids, segs)
+    }
+
+    /// Logits `[B, N]` for a batch of table pairs.
+    pub fn forward(&self, tape: &mut Tape, pairs: &[(&Table, &Table)]) -> Var {
+        let encoded: Vec<(Vec<u32>, Vec<u32>)> =
+            pairs.iter().map(|(a, b)| self.pair_ids(a, b)).collect();
+        let b = encoded.len();
+        let t = encoded.iter().map(|(ids, _)| ids.len()).max().expect("non-empty");
+        let lengths: Vec<usize> = encoded.iter().map(|(ids, _)| ids.len()).collect();
+        let mut ids = vec![tsfm_tokenizer::PAD; b * t];
+        let mut segs = vec![0u32; b * t];
+        let mut pos = vec![0u32; b * t];
+        for (bi, (i_row, s_row)) in encoded.iter().enumerate() {
+            ids[bi * t..bi * t + i_row.len()].copy_from_slice(i_row);
+            segs[bi * t..bi * t + s_row.len()].copy_from_slice(s_row);
+            for (p, slot) in pos[bi * t..bi * t + i_row.len()].iter_mut().enumerate() {
+                *slot = p.min(self.cfg.max_seq - 1) as u32;
+            }
+        }
+        let st = &self.store;
+        let e_tok = self.token_emb.forward(tape, st, ids);
+        let e_pos = self.pos_emb.forward(tape, st, pos);
+        let e_seg = self.seg_emb.forward(tape, st, segs);
+        let mut x = tape.add(e_tok, e_pos);
+        x = tape.add(x, e_seg);
+        let x = self.ln.forward(tape, st, x);
+        let x = tape.dropout(x, self.cfg.encoder.dropout);
+        let x3 = tape.reshape(x, vec![b, t, self.cfg.encoder.d_model]);
+        let bias = attn_bias_from_lengths(&lengths, t);
+        let h = self.encoder.forward(tape, st, x3, &bias);
+        let pooled = self.pooler.forward(tape, st, h);
+        let pooled = tape.dropout(pooled, self.cfg.encoder.dropout);
+        let z = self.head1.forward(tape, st, pooled);
+        let z = tape.gelu(z);
+        self.head2.forward(tape, st, z)
+    }
+
+    /// Pooled embedding of one free-text sequence (`[CLS] text [SEP]`) —
+    /// how the fine-tuned TaBERT/TUTA baselines provide column/table
+    /// embeddings for search (§IV-C).
+    pub fn embed_text(&self, text: &str) -> Vec<f32> {
+        let mut ids = vec![CLS];
+        let mut body = self.vocab.encode_text(text);
+        body.truncate(self.cfg.max_seq - 2);
+        ids.extend(body);
+        ids.push(SEP);
+        let t = ids.len();
+        let pos: Vec<u32> = (0..t).map(|p| p.min(self.cfg.max_seq - 1) as u32).collect();
+        let segs = vec![0u32; t];
+        let mut tape = Tape::new(false, 0);
+        let st = &self.store;
+        let e_tok = self.token_emb.forward(&mut tape, st, ids);
+        let e_pos = self.pos_emb.forward(&mut tape, st, pos);
+        let e_seg = self.seg_emb.forward(&mut tape, st, segs);
+        let mut x = tape.add(e_tok, e_pos);
+        x = tape.add(x, e_seg);
+        let x = self.ln.forward(&mut tape, st, x);
+        let x3 = tape.reshape(x, vec![1, t, self.cfg.encoder.d_model]);
+        let bias = attn_bias_from_lengths(&[t], t);
+        let h = self.encoder.forward(&mut tape, st, x3, &bias);
+        let pooled = self.pooler.forward(&mut tape, st, h);
+        tape.value(pooled).data().to_vec()
+    }
+
+    /// Serialize a single table the way this model's pair input would, for
+    /// table-level embedding search.
+    pub fn table_text(&self, t: &Table) -> String {
+        let mut text = String::new();
+        match self.serialization {
+            Serialization::Headers => {
+                for c in &t.columns {
+                    text.push_str(&c.name);
+                    text.push(' ');
+                }
+            }
+            Serialization::Rows { max_rows } => {
+                for c in &t.columns {
+                    text.push_str(&c.name);
+                    text.push(' ');
+                }
+                for r in 0..t.num_rows().min(max_rows) {
+                    for ci in 0..t.num_cols() {
+                        text.push_str(&t.cell(r, ci).render());
+                        text.push(' ');
+                    }
+                }
+            }
+            Serialization::Struct => {
+                text.push_str(&t.description);
+                for c in &t.columns {
+                    text.push(' ');
+                    text.push_str(&c.name);
+                    text.push(' ');
+                    text.push_str(c.ty.name());
+                }
+            }
+        }
+        text
+    }
+
+    /// Predicted raw outputs, batched.
+    pub fn predict(&self, pairs: &[(&Table, &Table)], batch_size: usize) -> Vec<Vec<f32>> {
+        let n_out = self.task.output_dim();
+        let mut out = Vec::with_capacity(pairs.len());
+        for chunk in pairs.chunks(batch_size) {
+            let mut tape = Tape::new(false, 0);
+            let logits = self.forward(&mut tape, chunk);
+            for row in tape.value(logits).data().chunks(n_out) {
+                out.push(row.to_vec());
+            }
+        }
+        out
+    }
+}
+
+/// Train a baseline on table pairs (mirrors `tsfm_core::finetune`).
+pub fn train_text_model(
+    model: &mut TextPairModel,
+    train: (&[(&Table, &Table)], &[Label]),
+    valid: (&[(&Table, &Table)], &[Label]),
+    cfg: &FinetuneConfig,
+) -> FinetuneReport {
+    let (train_pairs, train_labels) = train;
+    let (valid_pairs, valid_labels) = valid;
+    assert_eq!(train_pairs.len(), train_labels.len());
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let steps_per_epoch = train_pairs.len().div_ceil(cfg.batch_size).max(1);
+    let total = (steps_per_epoch * cfg.epochs) as u64;
+    let sched = LinearSchedule { warmup: total / 10, total };
+    let mut opt = AdamW::new(cfg.lr);
+
+    let mut report = FinetuneReport {
+        train_losses: Vec::new(),
+        valid_losses: Vec::new(),
+        best_valid: f32::INFINITY,
+        stopped_early: false,
+    };
+    let mut bad = 0usize;
+    let mut order: Vec<usize> = (0..train_pairs.len()).collect();
+    let mut step = 0u64;
+    for _epoch in 0..cfg.epochs {
+        order.shuffle(&mut rng);
+        let mut sum = 0.0f64;
+        let mut batches = 0usize;
+        for chunk in order.chunks(cfg.batch_size) {
+            let pairs: Vec<(&Table, &Table)> = chunk.iter().map(|&i| train_pairs[i]).collect();
+            let labels: Vec<Label> = chunk.iter().map(|&i| train_labels[i].clone()).collect();
+            let mut tape = Tape::new(true, cfg.seed ^ (step << 1) ^ 0xba5e);
+            let logits = model.forward(&mut tape, &pairs);
+            let loss = task_loss(&mut tape, logits, &labels, model.task);
+            sum += tape.value(loss).item() as f64;
+            batches += 1;
+            let grads = tape.backward(loss);
+            model.store.absorb_grads(&tape, &grads);
+            drop(tape);
+            model.store.clip_grad_norm(1.0);
+            opt.step(&mut model.store, sched.scale(step));
+            model.store.zero_grads();
+            step += 1;
+        }
+        report.train_losses.push((sum / batches.max(1) as f64) as f32);
+
+        let vloss = if valid_pairs.is_empty() {
+            *report.train_losses.last().expect("pushed")
+        } else {
+            let mut sum = 0.0f64;
+            let mut n = 0usize;
+            for (chunk_p, chunk_l) in valid_pairs
+                .chunks(cfg.batch_size)
+                .zip(valid_labels.chunks(cfg.batch_size))
+            {
+                let mut tape = Tape::new(false, 0);
+                let logits = model.forward(&mut tape, chunk_p);
+                let loss = task_loss(&mut tape, logits, chunk_l, model.task);
+                sum += tape.value(loss).item() as f64;
+                n += 1;
+            }
+            (sum / n.max(1) as f64) as f32
+        };
+        report.valid_losses.push(vloss);
+        if vloss < report.best_valid - 1e-4 {
+            report.best_valid = vloss;
+            bad = 0;
+        } else {
+            bad += 1;
+            if bad >= cfg.patience {
+                report.stopped_early = true;
+                break;
+            }
+        }
+    }
+    report
+}
+
+/// Build a vocabulary from a table corpus for the given serialization
+/// (value tokens are included only when the model will see values).
+pub fn build_vocab(tables: &[&Table], serialization: Serialization, max_words: usize) -> Vocab {
+    let mut vb = tsfm_tokenizer::VocabBuilder::new();
+    for t in tables {
+        vb.add_text(&t.description);
+        for c in &t.columns {
+            vb.add_text(&c.name);
+            vb.add_text(c.ty.name());
+        }
+        if let Serialization::Rows { max_rows } = serialization {
+            for r in 0..t.num_rows().min(max_rows) {
+                for ci in 0..t.num_cols() {
+                    vb.add_text(&t.cell(r, ci).render());
+                }
+            }
+        }
+    }
+    vb.add_text("tiny small medium large");
+    vb.build(1, max_words)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsfm_table::{Column, Value};
+
+    fn table(id: &str, header: &str, vals: &[&str]) -> Table {
+        let mut t = Table::new(id, id).with_description("test data");
+        t.push_column(Column::new(
+            header,
+            vals.iter().map(|v| Value::Str(v.to_string())).collect(),
+        ));
+        t
+    }
+
+    fn pairs_fixture() -> (Vec<Table>, Vec<Label>) {
+        // Positive pairs carry a shared join-key value in BOTH tables'
+        // value lists; negatives carry it in exactly one side. Headers are
+        // identical everywhere, so Headers serialization is at chance
+        // while Rows serialization can learn the value conjunction.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut filler = |i: usize, side: char, rng: &mut StdRng| -> Vec<String> {
+            (0..5).map(|j| format!("f{side}{i}x{}", rng.gen_range(0..9) + j)).collect()
+        };
+        let mut tables = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..24 {
+            let positive = i % 2 == 0;
+            let mut va = filler(i, 'a', &mut rng);
+            let mut vb = filler(i, 'b', &mut rng);
+            if positive {
+                va[2] = "joinkey".into();
+                vb[2] = "joinkey".into();
+            } else if rng.gen_bool(0.5) {
+                va[2] = "joinkey".into();
+            } else {
+                vb[2] = "joinkey".into();
+            }
+            tables.push(table(
+                &format!("p{i}a"),
+                "name",
+                &va.iter().map(String::as_str).collect::<Vec<_>>(),
+            ));
+            tables.push(table(
+                &format!("p{i}b"),
+                "name",
+                &vb.iter().map(String::as_str).collect::<Vec<_>>(),
+            ));
+            labels.push(Label::Binary(positive));
+        }
+        (tables, labels)
+    }
+
+    #[test]
+    fn serializations_differ() {
+        let (tables, _) = pairs_fixture();
+        let refs: Vec<&Table> = tables.iter().collect();
+        let vocab = build_vocab(&refs, Serialization::Rows { max_rows: 5 }, 2000);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mk = |ser| {
+            TextPairModel::new(
+                "m",
+                vocab.clone(),
+                TextModelConfig::tiny(),
+                ser,
+                TaskKind::Binary,
+                &mut StdRng::seed_from_u64(0),
+            )
+        };
+        let headers = mk(Serialization::Headers);
+        let rows = mk(Serialization::Rows { max_rows: 5 });
+        let structm = mk(Serialization::Struct);
+        let _ = &mut rng;
+        let h = headers.serialize(&tables[0]);
+        let r = rows.serialize(&tables[0]);
+        let s = structm.serialize(&tables[0]);
+        assert!(r.len() > h.len(), "rows see values");
+        assert!(s.len() > h.len(), "struct sees types");
+        assert_ne!(r, s);
+    }
+
+    #[test]
+    fn value_model_learns_what_header_model_cannot() {
+        let (tables, labels) = pairs_fixture();
+        let refs: Vec<&Table> = tables.iter().collect();
+        let vocab = build_vocab(&refs, Serialization::Rows { max_rows: 6 }, 4000);
+        let pairs: Vec<(&Table, &Table)> =
+            (0..labels.len()).map(|i| (&tables[2 * i], &tables[2 * i + 1])).collect();
+        let cfg = FinetuneConfig { epochs: 30, batch_size: 8, lr: 3e-3, patience: 30, seed: 3 };
+
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut rows_model = TextPairModel::new(
+            "tabert-like",
+            vocab.clone(),
+            TextModelConfig::tiny(),
+            Serialization::Rows { max_rows: 6 },
+            TaskKind::Binary,
+            &mut rng,
+        );
+        train_text_model(&mut rows_model, (&pairs, &labels), (&[], &[]), &cfg);
+        let preds = rows_model.predict(&pairs, 4);
+        let acc = preds
+            .iter()
+            .zip(&labels)
+            .filter(|(p, l)| {
+                let yhat = p[1] > p[0];
+                matches!(l, Label::Binary(b) if *b == yhat)
+            })
+            .count() as f64
+            / labels.len() as f64;
+        assert!(acc > 0.8, "value model should learn value overlap: acc={acc}");
+
+        // Header-only model is stuck near chance (identical headers).
+        let mut header_model = TextPairModel::new(
+            "vanilla-bert",
+            vocab,
+            TextModelConfig::tiny(),
+            Serialization::Headers,
+            TaskKind::Binary,
+            &mut rng,
+        );
+        train_text_model(&mut header_model, (&pairs, &labels), (&[], &[]), &cfg);
+        let preds = header_model.predict(&pairs, 4);
+        let acc_h = preds
+            .iter()
+            .zip(&labels)
+            .filter(|(p, l)| {
+                let yhat = p[1] > p[0];
+                matches!(l, Label::Binary(b) if *b == yhat)
+            })
+            .count() as f64
+            / labels.len() as f64;
+        assert!(
+            acc_h < 0.75,
+            "header model cannot see values; acc={acc_h} suspiciously high"
+        );
+    }
+
+    #[test]
+    fn frozen_encoder_does_not_move() {
+        let (tables, labels) = pairs_fixture();
+        let refs: Vec<&Table> = tables.iter().collect();
+        let vocab = build_vocab(&refs, Serialization::Rows { max_rows: 4 }, 2000);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut m = TextPairModel::new(
+            "tapas-like",
+            vocab,
+            TextModelConfig { frozen_encoder: true, ..TextModelConfig::tiny() },
+            Serialization::Rows { max_rows: 4 },
+            TaskKind::Binary,
+            &mut rng,
+        );
+        let tok_id = m.store.id_by_name("emb.token.table").unwrap();
+        let head_id = m.store.id_by_name("head.fc2.weight").unwrap();
+        let tok_before = m.store.value(tok_id).clone();
+        let head_before = m.store.value(head_id).clone();
+        let pairs: Vec<(&Table, &Table)> =
+            (0..labels.len()).map(|i| (&tables[2 * i], &tables[2 * i + 1])).collect();
+        let cfg = FinetuneConfig { epochs: 2, batch_size: 4, lr: 1e-3, patience: 5, seed: 0 };
+        train_text_model(&mut m, (&pairs, &labels), (&[], &[]), &cfg);
+        assert_eq!(
+            m.store.value(tok_id),
+            &tok_before,
+            "frozen embeddings must not change"
+        );
+        assert_ne!(m.store.value(head_id), &head_before, "head must train");
+    }
+}

@@ -1,0 +1,319 @@
+//! Non-neural data-discovery scorers: D3L's multi-evidence column/table
+//! unionability and SANTOS's relationship-based table unionability.
+
+use crate::sentence::SentenceEncoder;
+use std::collections::{BTreeSet, HashSet};
+use tsfm_sketch::NumericalSketch;
+use tsfm_table::hash::hash_str;
+use tsfm_table::{ColType, Column, Table};
+
+/// D3L's five evidence channels for a column pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ColumnEvidence {
+    /// Jaccard of header word sets.
+    pub header_sim: f64,
+    /// Jaccard of exact value sets.
+    pub value_jaccard: f64,
+    /// Cosine of (hashed) word embeddings of the headers.
+    pub word_embedding_sim: f64,
+    /// Numeric distribution similarity `1/(1+L1)` of numerical sketches.
+    pub numeric_sim: f64,
+    /// Character-class histogram cosine (the regex/format evidence).
+    pub format_sim: f64,
+}
+
+impl ColumnEvidence {
+    /// D3L aggregates evidences by averaging the applicable ones.
+    pub fn score(&self, both_numeric: bool) -> f64 {
+        if both_numeric {
+            (self.header_sim + self.word_embedding_sim + self.numeric_sim) / 3.0
+        } else {
+            (self.header_sim
+                + self.value_jaccard
+                + self.word_embedding_sim
+                + self.format_sim)
+                / 4.0
+        }
+    }
+}
+
+fn word_set(s: &str) -> BTreeSet<String> {
+    s.split(|c: char| !c.is_alphanumeric())
+        .filter(|w| !w.is_empty())
+        .map(|w| w.to_lowercase())
+        .collect()
+}
+
+fn set_jaccard<T: Ord>(a: &BTreeSet<T>, b: &BTreeSet<T>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    let inter = a.intersection(b).count();
+    inter as f64 / (a.len() + b.len() - inter) as f64
+}
+
+/// Character-class histogram: [digit, alpha, space, punct] frequencies
+/// over the first values — a cheap stand-in for D3L's regex evidence.
+fn format_histogram(col: &Column) -> [f64; 4] {
+    let mut h = [0.0f64; 4];
+    let mut total = 0.0;
+    for v in col.rendered_values().take(50) {
+        for c in v.chars() {
+            let slot = if c.is_ascii_digit() {
+                0
+            } else if c.is_alphabetic() {
+                1
+            } else if c.is_whitespace() {
+                2
+            } else {
+                3
+            };
+            h[slot] += 1.0;
+            total += 1.0;
+        }
+    }
+    if total > 0.0 {
+        for x in &mut h {
+            *x /= total;
+        }
+    }
+    h
+}
+
+fn cos4(a: &[f64; 4], b: &[f64; 4]) -> f64 {
+    let dot: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
+    let nb: f64 = b.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+/// Compute all five D3L evidences for a column pair.
+pub fn d3l_column_score(a: &Column, b: &Column, enc: &SentenceEncoder) -> ColumnEvidence {
+    let header_sim = set_jaccard(&word_set(&a.name), &word_set(&b.name));
+    let va: BTreeSet<String> = a.rendered_values().take(1000).collect();
+    let vb: BTreeSet<String> = b.rendered_values().take(1000).collect();
+    let value_jaccard = set_jaccard(&va, &vb);
+    let ea = enc.encode(&a.name);
+    let eb = enc.encode(&b.name);
+    let word_embedding_sim = tsfm_core::cosine(&ea, &eb) as f64;
+    let sa = NumericalSketch::of_column(a, 10_000);
+    let sb = NumericalSketch::of_column(b, 10_000);
+    let numeric_sim = 1.0 / (1.0 + sa.l1_distance(&sb));
+    let format_sim = cos4(&format_histogram(a), &format_histogram(b));
+    ColumnEvidence { header_sim, value_jaccard, word_embedding_sim, numeric_sim, format_sim }
+}
+
+/// D3L table unionability: greedy one-to-one column matching on the
+/// evidence score, averaged over the query's columns.
+pub fn d3l_table_score(query: &Table, cand: &Table, enc: &SentenceEncoder) -> f64 {
+    if query.num_cols() == 0 || cand.num_cols() == 0 {
+        return 0.0;
+    }
+    let mut scores: Vec<(f64, usize, usize)> = Vec::new();
+    for (i, ca) in query.columns.iter().enumerate() {
+        for (j, cb) in cand.columns.iter().enumerate() {
+            let both_num = ca.ty.is_numeric() && cb.ty.is_numeric();
+            if ca.ty.is_numeric() != cb.ty.is_numeric() {
+                continue; // type-incompatible columns never union
+            }
+            let e = d3l_column_score(ca, cb, enc);
+            scores.push((e.score(both_num), i, j));
+        }
+    }
+    scores.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite"));
+    let mut used_q = HashSet::new();
+    let mut used_c = HashSet::new();
+    let mut total = 0.0;
+    for (s, i, j) in scores {
+        if used_q.contains(&i) || used_c.contains(&j) {
+            continue;
+        }
+        used_q.insert(i);
+        used_c.insert(j);
+        total += s;
+    }
+    total / query.num_cols() as f64
+}
+
+/// SANTOS-style relationship signature of a string-column pair: the set of
+/// hashed `(value_i, value_j)` row pairs.
+fn relationship_set(a: &Column, b: &Column) -> HashSet<u64> {
+    let n = a.len().min(b.len()).min(1000);
+    let mut out = HashSet::with_capacity(n);
+    for r in 0..n {
+        let (va, vb) = (&a.values[r], &b.values[r]);
+        if va.is_null() || vb.is_null() {
+            continue;
+        }
+        out.insert(hash_str(&format!("{}→{}", va.render(), vb.render())));
+    }
+    out
+}
+
+/// SANTOS table unionability: the fraction of the query's string-column
+/// relationships that find a matching relationship in the candidate
+/// (relationship-set containment > threshold), backed off to D3L-style
+/// column matching for single-string-column tables.
+pub fn santos_table_score(query: &Table, cand: &Table, enc: &SentenceEncoder) -> f64 {
+    let q_str: Vec<usize> = (0..query.num_cols())
+        .filter(|&i| query.column(i).ty == ColType::Str)
+        .collect();
+    let c_str: Vec<usize> = (0..cand.num_cols())
+        .filter(|&i| cand.column(i).ty == ColType::Str)
+        .collect();
+    if q_str.len() < 2 || c_str.len() < 2 {
+        return d3l_table_score(query, cand, enc);
+    }
+    let mut matched = 0usize;
+    let mut total = 0usize;
+    for qi in 0..q_str.len() {
+        for qj in 0..q_str.len() {
+            if qi == qj {
+                continue;
+            }
+            total += 1;
+            let rq = relationship_set(query.column(q_str[qi]), query.column(q_str[qj]));
+            if rq.is_empty() {
+                continue;
+            }
+            // Columns about the same domains relate via shared *words*
+            // even without full-value matches; approximate semantic
+            // relationship matching by header+value evidence of endpoints.
+            'cand: for ci in 0..c_str.len() {
+                for cj in 0..c_str.len() {
+                    if ci == cj {
+                        continue;
+                    }
+                    let rc =
+                        relationship_set(cand.column(c_str[ci]), cand.column(c_str[cj]));
+                    let inter = rq.intersection(&rc).count();
+                    let sem = {
+                        let e1 = d3l_column_score(
+                            query.column(q_str[qi]),
+                            cand.column(c_str[ci]),
+                            enc,
+                        );
+                        let e2 = d3l_column_score(
+                            query.column(q_str[qj]),
+                            cand.column(c_str[cj]),
+                            enc,
+                        );
+                        (e1.score(false) + e2.score(false)) / 2.0
+                    };
+                    if inter as f64 / rq.len() as f64 > 0.1 || sem > 0.45 {
+                        matched += 1;
+                        break 'cand;
+                    }
+                }
+            }
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        matched as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsfm_table::Value;
+
+    fn col(name: &str, vals: &[&str]) -> Column {
+        Column::new(name, vals.iter().map(|v| Value::Str(v.to_string())).collect())
+    }
+
+    fn int_col(name: &str, vals: &[i64]) -> Column {
+        Column::new(name, vals.iter().map(|&v| Value::Int(v)).collect())
+    }
+
+    #[test]
+    fn evidence_channels_behave() {
+        let enc = SentenceEncoder::default();
+        let a = col("city name", &["vienna", "graz"]);
+        let b = col("city name", &["vienna", "linz"]);
+        let c = col("revenue total", &["10020", "33310"]);
+        let e_ab = d3l_column_score(&a, &b, &enc);
+        let e_ac = d3l_column_score(&a, &c, &enc);
+        assert_eq!(e_ab.header_sim, 1.0);
+        assert!(e_ab.value_jaccard > 0.3);
+        assert!(e_ab.word_embedding_sim > 0.99);
+        assert!(e_ab.format_sim > e_ac.format_sim, "alpha vs digit formats differ");
+        assert!(e_ab.score(false) > e_ac.score(false));
+    }
+
+    #[test]
+    fn numeric_evidence() {
+        let enc = SentenceEncoder::default();
+        let a = int_col("age count", &[30, 40, 50, 60]);
+        let b = int_col("age count", &[31, 41, 51, 61]);
+        let c = int_col("age count", &[30_000, 40_000, 50_000]);
+        let e_ab = d3l_column_score(&a, &b, &enc);
+        let e_ac = d3l_column_score(&a, &c, &enc);
+        assert!(e_ab.numeric_sim > e_ac.numeric_sim, "close distributions score higher");
+    }
+
+    #[test]
+    fn d3l_table_score_prefers_unionable() {
+        let enc = SentenceEncoder::default();
+        let mut q = Table::new("q", "q");
+        q.push_column(col("city name", &["vienna", "graz"]));
+        q.push_column(int_col("population count", &[1900000, 290000]));
+        let mut u = Table::new("u", "u");
+        u.push_column(col("town name", &["salzburg", "linz"]));
+        u.push_column(int_col("population count", &[155000, 206000]));
+        let mut n = Table::new("n", "n");
+        n.push_column(col("protein code", &["p53", "brca1"]));
+        n.push_column(int_col("mass rate", &[53, 190]));
+        assert!(
+            d3l_table_score(&q, &u, &enc) > d3l_table_score(&q, &n, &enc),
+            "unionable table scores higher"
+        );
+    }
+
+    #[test]
+    fn type_incompatible_columns_never_match() {
+        let enc = SentenceEncoder::default();
+        let mut q = Table::new("q", "q");
+        q.push_column(col("value", &["a", "b"]));
+        let mut c = Table::new("c", "c");
+        c.push_column(int_col("value", &[1, 2]));
+        assert_eq!(d3l_table_score(&q, &c, &enc), 0.0);
+    }
+
+    #[test]
+    fn santos_uses_relationships() {
+        let enc = SentenceEncoder::default();
+        // Query: city → country relationship.
+        let mut q = Table::new("q", "q");
+        q.push_column(col("city", &["vienna", "graz", "paris"]));
+        q.push_column(col("country", &["austria", "austria", "france"]));
+        // Unionable candidate: same relationship instances.
+        let mut u = Table::new("u", "u");
+        u.push_column(col("city", &["vienna", "paris"]));
+        u.push_column(col("country", &["austria", "france"]));
+        // Non-unionable: same vocab but scrambled relationship.
+        let mut n = Table::new("n", "n");
+        n.push_column(col("planet", &["mars", "venus"]));
+        n.push_column(col("moon", &["phobos", "none"]));
+        let su = santos_table_score(&q, &u, &enc);
+        let sn = santos_table_score(&q, &n, &enc);
+        assert!(su > sn, "relationship match must dominate: {su} vs {sn}");
+    }
+
+    #[test]
+    fn santos_backs_off_without_relationships() {
+        let enc = SentenceEncoder::default();
+        let mut q = Table::new("q", "q");
+        q.push_column(col("city", &["vienna"]));
+        let mut c = Table::new("c", "c");
+        c.push_column(col("city", &["vienna"]));
+        // Single string column: falls back to column matching, non-zero.
+        assert!(santos_table_score(&q, &c, &enc) > 0.0);
+    }
+}

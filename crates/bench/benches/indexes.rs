@@ -1,0 +1,94 @@
+//! Criterion microbenchmarks for the search substrate: index build and
+//! query costs behind Tables V–VIII (exact vs approximate trade-offs).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tsfm_search::{
+    BruteForceIndex, ColumnHit, Hnsw, HnswConfig, JosieIndex, LshForest, Metric, MinHashLsh,
+};
+use tsfm_sketch::MinHasher;
+use tsfm_table::hash::hash_str;
+
+fn random_vecs(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect()).collect()
+}
+
+fn bench_dense_indexes(c: &mut Criterion) {
+    let vecs = random_vecs(2000, 64, 0);
+    let q = random_vecs(1, 64, 1).pop().unwrap();
+
+    let mut bf = BruteForceIndex::new(64, Metric::Cosine);
+    for v in &vecs {
+        bf.add(v);
+    }
+    c.bench_function("bruteforce_query_2k_d64", |b| b.iter(|| bf.search(&q, 10)));
+
+    let mut hnsw = Hnsw::new(64, Metric::Cosine, HnswConfig::default());
+    for v in &vecs {
+        hnsw.add(v);
+    }
+    c.bench_function("hnsw_query_2k_d64", |b| b.iter(|| hnsw.search(&q, 10)));
+
+    c.bench_function("hnsw_build_500_d64", |b| {
+        b.iter(|| {
+            let mut h = Hnsw::new(64, Metric::Cosine, HnswConfig::default());
+            for v in &vecs[..500] {
+                h.add(v);
+            }
+            h.len()
+        })
+    });
+}
+
+fn bench_overlap_indexes(c: &mut Criterion) {
+    let sets: Vec<Vec<u64>> = (0..1000)
+        .map(|i| (0..100).map(|j| hash_str(&format!("s{}e{j}", i % 37))).collect())
+        .collect();
+    let query: Vec<u64> = (0..100).map(|j| hash_str(&format!("s1e{j}"))).collect();
+
+    let mut josie = JosieIndex::new();
+    for s in &sets {
+        josie.add(s.iter().copied());
+    }
+    c.bench_function("josie_topk_1k_sets", |b| {
+        b.iter(|| josie.top_k_overlap(query.iter().copied(), 10))
+    });
+
+    let mh = MinHasher::new(64, 0);
+    let sigs: Vec<_> = sets.iter().map(|s| mh.signature_hashed(s.iter().copied())).collect();
+    let qsig = mh.signature_hashed(query.iter().copied());
+
+    let mut lsh = MinHashLsh::new(16, 4);
+    for s in &sigs {
+        lsh.add(s.clone());
+    }
+    c.bench_function("minhash_lsh_query_1k_sets", |b| b.iter(|| lsh.search(&qsig, 10)));
+
+    let mut forest = LshForest::new(8, 8, 64, 7);
+    for s in &sigs {
+        forest.add(s.clone());
+    }
+    c.bench_function("lsh_forest_query_1k_sets", |b| b.iter(|| forest.search(&qsig, 10)));
+}
+
+fn bench_fig6_ranking(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let per_col: Vec<Vec<ColumnHit>> = (0..8)
+        .map(|_| {
+            (0..30)
+                .map(|_| ColumnHit {
+                    table: rng.gen_range(0..200),
+                    distance: rng.gen_range(0.0..1.0),
+                })
+                .collect()
+        })
+        .collect();
+    c.bench_function("fig6_near_tables_8col_30hits", |b| {
+        b.iter(|| tsfm_search::near_tables(&per_col, Some(0)))
+    });
+}
+
+criterion_group!(benches, bench_dense_indexes, bench_overlap_indexes, bench_fig6_ranking);
+criterion_main!(benches);

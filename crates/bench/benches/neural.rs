@@ -1,0 +1,78 @@
+//! Criterion microbenchmarks for the neural substrate: the per-step costs
+//! behind pretraining/fine-tuning and per-query embedding extraction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tsfm_core::{encode_table, single_sequence, ModelConfig, SketchToggle, TabSketchFM};
+use tsfm_nn::layers::attn_bias_from_lengths;
+use tsfm_nn::{EncoderConfig, ParamStore, Tape, Tensor, TransformerEncoder};
+use tsfm_sketch::{SketchConfig, TableSketch};
+use tsfm_table::{Column, Table, Value};
+use tsfm_tokenizer::VocabBuilder;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let a = Tensor::randn(&[128, 64], 1.0, &mut rng);
+    let b = Tensor::randn(&[64, 64], 1.0, &mut rng);
+    c.bench_function("matmul_128x64x64", |bch| {
+        bch.iter(|| tsfm_nn::tensor::matmul(&a, &b))
+    });
+}
+
+fn bench_encoder(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let cfg = EncoderConfig::small();
+    let mut store = ParamStore::new();
+    let enc = TransformerEncoder::new(&mut store, "enc", cfg.clone(), &mut rng);
+    let x = Tensor::randn(&[4, 64, cfg.d_model], 1.0, &mut rng);
+    let bias = attn_bias_from_lengths(&[64, 48, 64, 32], 64);
+
+    c.bench_function("encoder_forward_b4_t64_d64", |bch| {
+        bch.iter(|| {
+            let mut tape = Tape::new(false, 0);
+            let xv = tape.constant(x.clone());
+            enc.forward(&mut tape, &store, xv, &bias)
+        })
+    });
+
+    c.bench_function("encoder_forward_backward_b4_t64_d64", |bch| {
+        bch.iter(|| {
+            let mut tape = Tape::new(true, 0);
+            let xv = tape.leaf(std::rc::Rc::new(x.clone()));
+            let h = enc.forward(&mut tape, &store, xv, &bias);
+            let loss = tape.mean_all(h);
+            tape.backward(loss)
+        })
+    });
+}
+
+fn bench_embedding_extraction(c: &mut Criterion) {
+    let mut t = Table::new("t", "bench table").with_description("rows and columns");
+    for ci in 0..6 {
+        t.push_column(Column::new(
+            format!("column number {ci}"),
+            (0..200).map(|r| Value::Str(format!("v{ci}x{r}"))).collect(),
+        ));
+    }
+    let mut vb = VocabBuilder::new();
+    vb.add_text("rows and columns column number bench table");
+    let vocab = vb.build(1, 1000);
+    let mcfg = ModelConfig::small(vocab.len());
+    let mut rng = StdRng::seed_from_u64(2);
+    let model = TabSketchFM::new(mcfg.clone(), &mut rng);
+    let sketch =
+        TableSketch::build(&t, &SketchConfig { minhash_k: mcfg.minhash_k, ..Default::default() });
+    let enc = encode_table(&sketch, &vocab, &mcfg.input, SketchToggle::ALL);
+    let seq = single_sequence(&enc, &mcfg.input);
+
+    c.bench_function("column_embeddings_6cols", |bch| {
+        bch.iter(|| tsfm_core::column_embeddings(&model, &seq))
+    });
+    c.bench_function("table_embedding_single", |bch| {
+        bch.iter(|| tsfm_core::table_embeddings(&model, std::slice::from_ref(&seq), 1))
+    });
+}
+
+criterion_group!(benches, bench_matmul, bench_encoder, bench_embedding_extraction);
+criterion_main!(benches);

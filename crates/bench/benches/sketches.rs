@@ -1,0 +1,61 @@
+//! Criterion microbenchmarks for sketch generation — the preprocessing
+//! cost the paper's pipeline pays once per table (§III-A).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tsfm_sketch::{content_snapshot, MinHasher, NumericalSketch, SketchConfig, TableSketch};
+use tsfm_table::{Column, Table, Value};
+
+fn make_table(rows: usize, cols: usize) -> Table {
+    let mut t = Table::new("bench", "bench table").with_description("benchmark table");
+    for c in 0..cols {
+        if c % 2 == 0 {
+            t.push_column(Column::new(
+                format!("strcol{c}"),
+                (0..rows).map(|r| Value::Str(format!("value {c} {r}"))).collect(),
+            ));
+        } else {
+            t.push_column(Column::new(
+                format!("numcol{c}"),
+                (0..rows).map(|r| Value::Float(r as f64 * 0.37 + c as f64)).collect(),
+            ));
+        }
+    }
+    t
+}
+
+fn bench_minhash(c: &mut Criterion) {
+    let values: Vec<String> = (0..1000).map(|i| format!("element-{i}")).collect();
+    let mut g = c.benchmark_group("minhash_signature_1k_values");
+    for k in [16usize, 64, 128] {
+        let hasher = MinHasher::new(k, 0);
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| hasher.signature(values.iter()))
+        });
+    }
+    g.finish();
+
+    let hasher = MinHasher::new(64, 0);
+    let a = hasher.signature(values.iter());
+    let b2 = hasher.signature(values[200..].iter());
+    c.bench_function("minhash_jaccard_estimate_k64", |b| b.iter(|| a.jaccard(&b2)));
+}
+
+fn bench_numeric_sketch(c: &mut Criterion) {
+    let col = Column::new("n", (0..10_000).map(|i| Value::Float(i as f64 * 1.7)).collect());
+    c.bench_function("numeric_sketch_10k_rows", |b| {
+        b.iter(|| NumericalSketch::of_column(&col, 10_000))
+    });
+}
+
+fn bench_table_sketch(c: &mut Criterion) {
+    let table = make_table(1000, 8);
+    let cfg = SketchConfig::default();
+    c.bench_function("table_sketch_1000x8", |b| b.iter(|| TableSketch::build(&table, &cfg)));
+    let hasher = MinHasher::new(cfg.minhash_k, cfg.seed);
+    c.bench_function("content_snapshot_1000x8", |b| {
+        b.iter(|| content_snapshot(&table, &hasher, 10_000))
+    });
+}
+
+criterion_group!(benches, bench_minhash, bench_numeric_sketch, bench_table_sketch);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Fig. 8: transfer across tasks and domains — a model fine-tuned on one
+//! task (join containment) searches the other benchmarks, compared with
+//! each benchmark's natively fine-tuned model. All models include the
+//! SBERT value embeddings, as in the paper ("all models shown include
+//! value embeddings for maximal generalization").
+//!
+//! `cargo run --release -p tsfm-bench --bin exp_fig8`
+
+use tsfm_baselines::SentenceEncoder;
+use tsfm_bench::searchexp::{
+    fig6_search, finetuned_model_for_search, join_search_embeddings, sbert_columns,
+    search_vocab, tabsketchfm_columns,
+};
+use tsfm_bench::{print_curve, Scale};
+use tsfm_core::{SketchToggle, TabSketchFM};
+use tsfm_lake::{
+    gen_ckan_subset, gen_eurostat_subset, gen_join_search, gen_tus_santos,
+    gen_union_search, gen_wiki_containment, JoinSearchConfig, PairTask, SearchBenchmark,
+    UnionSearchConfig, World, WorldConfig,
+};
+use tsfm_tokenizer::Vocab;
+
+fn run_bench(
+    bench: &SearchBenchmark,
+    model: &TabSketchFM,
+    vocab: &Vocab,
+    join: bool,
+    kmax: usize,
+) -> Vec<Vec<usize>> {
+    let tsfm_space = tabsketchfm_columns(model, &bench.tables, vocab);
+    let sbert = sbert_columns(&bench.tables, &SentenceEncoder::default());
+    let space = tsfm_space.concat(&sbert);
+    if join {
+        join_search_embeddings(&space, bench, kmax)
+    } else {
+        fig6_search(&space, bench, kmax)
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let world = World::generate(WorldConfig::default());
+
+    let benches: Vec<(String, SearchBenchmark, bool, Vec<usize>)> = vec![
+        (
+            "Fig 8a WikiJoin".into(),
+            gen_join_search(&world, &JoinSearchConfig::default()),
+            true,
+            vec![2, 4, 6, 8, 10, 15, 20],
+        ),
+        (
+            "Fig 8b SANTOS".into(),
+            gen_union_search(&world, "SANTOS", &UnionSearchConfig::santos_style()),
+            false,
+            vec![2, 4, 6, 8, 10, 12],
+        ),
+        (
+            "Fig 8c TUS".into(),
+            gen_union_search(&world, "TUS", &UnionSearchConfig::tus_style()),
+            false,
+            vec![5, 10, 15, 20, 25, 30],
+        ),
+        (
+            "Fig 8d Eurostat".into(),
+            gen_eurostat_subset(&world, 12, 5),
+            false,
+            vec![2, 4, 6, 8, 10, 12],
+        ),
+    ];
+
+    // Fine-tuning tasks from *different* source tasks/domains.
+    let tasks: Vec<(&str, PairTask)> = vec![
+        ("FT-join", gen_wiki_containment(&world, scale.pairs_per_task, 0)),
+        ("FT-union", gen_tus_santos(&world, scale.pairs_per_task, 0)),
+        ("FT-subset", gen_ckan_subset(&world, scale.pairs_per_task, 0)),
+    ];
+
+    for (bname, bench, join, ks) in &benches {
+        println!("{bname} — F1@k for models fine-tuned on different tasks, k = {ks:?}");
+        for (tname, task) in &tasks {
+            let vocab = search_vocab(bench, task);
+            let model = finetuned_model_for_search(
+                task,
+                &bench.tables,
+                &vocab,
+                &scale,
+                SketchToggle::ALL,
+                0,
+            );
+            let kmax = *ks.last().unwrap();
+            let retrieved = run_bench(bench, &model, &vocab, *join, kmax);
+            print_curve(tname, &retrieved, &bench.gold, ks);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,64 @@
+//! §IV-C3 order-invariance probe: do row-shuffled and column-shuffled
+//! variants of a query appear among its nearest neighbours?
+//! (Paper: TabSketchFM returns 3072/3072 row-shuffled and 3059/3072
+//! column-shuffled variants; SBERT 91% / 100%.)
+//!
+//! `cargo run --release -p tsfm-bench --bin exp_invariance`
+
+use tsfm_baselines::SentenceEncoder;
+use tsfm_bench::searchexp::{
+    fig6_search, finetuned_model_for_search, sbert_columns, search_vocab, tabsketchfm_columns,
+};
+use tsfm_bench::Scale;
+use tsfm_core::SketchToggle;
+use tsfm_lake::{gen_ckan_subset, gen_eurostat_subset, World, WorldConfig, EUROSTAT_VARIANTS};
+
+fn main() {
+    let scale = Scale::from_env();
+    let world = World::generate(WorldConfig::default());
+    let bench = gen_eurostat_subset(&world, 16, 5);
+    let task = gen_ckan_subset(&world, scale.pairs_per_task, 0);
+    let vocab = search_vocab(&bench, &task);
+
+    // Variant index → offset inside the 11-variant block; the shuffles are
+    // the last two entries of EUROSTAT_VARIANTS.
+    let col_shuffle_off = EUROSTAT_VARIANTS.len() - 2;
+    let row_shuffle_off = EUROSTAT_VARIANTS.len() - 1;
+    let k = EUROSTAT_VARIANTS.len() + 1;
+
+    let count_found = |retrieved: &[Vec<usize>], offset: usize| -> usize {
+        bench
+            .queries
+            .iter()
+            .zip(retrieved)
+            .filter(|(&q, ids)| ids.contains(&(q + 1 + offset)))
+            .count()
+    };
+
+    println!("Order-invariance probe over {} queries (k = {k})", bench.queries.len());
+    println!("{:<14} {:>22} {:>22}", "Model", "row-shuffle retrieved", "col-shuffle retrieved");
+
+    let model =
+        finetuned_model_for_search(&task, &bench.tables, &vocab, &scale, SketchToggle::ALL, 0);
+    let space = tabsketchfm_columns(&model, &bench.tables, &vocab);
+    let r = fig6_search(&space, &bench, k);
+    println!(
+        "{:<14} {:>18}/{} {:>18}/{}",
+        "TabSketchFM",
+        count_found(&r, row_shuffle_off),
+        bench.queries.len(),
+        count_found(&r, col_shuffle_off),
+        bench.queries.len()
+    );
+
+    let sbert = sbert_columns(&bench.tables, &SentenceEncoder::default());
+    let r = fig6_search(&sbert, &bench, k);
+    println!(
+        "{:<14} {:>18}/{} {:>18}/{}",
+        "SBERT",
+        count_found(&r, row_shuffle_off),
+        bench.queries.len(),
+        count_found(&r, col_shuffle_off),
+        bench.queries.len()
+    );
+}

@@ -1,0 +1,72 @@
+//! Table I: cardinality of every dataset (synthetic analogues).
+//!
+//! `cargo run --release -p tsfm-bench --bin exp_table1`
+
+use tsfm_bench::Scale;
+use tsfm_lake::{
+    gen_all_tasks, gen_eurostat_subset, gen_join_search, gen_union_search, JoinSearchConfig,
+    UnionSearchConfig, World, WorldConfig,
+};
+use tsfm_table::ColType;
+
+fn type_distribution(tables: &[tsfm_table::Table]) -> [f64; 4] {
+    let mut counts = [0usize; 4];
+    let mut total = 0usize;
+    for t in tables {
+        for c in &t.columns {
+            let i = match c.ty {
+                ColType::Str => 0,
+                ColType::Int => 1,
+                ColType::Float => 2,
+                ColType::Date => 3,
+            };
+            counts[i] += 1;
+            total += 1;
+        }
+    }
+    let total = total.max(1) as f64;
+    [0, 1, 2, 3].map(|i| 100.0 * counts[i] as f64 / total)
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let world = World::generate(WorldConfig::default());
+    println!("Table I — dataset cardinalities (synthetic LakeBench analogues)");
+    println!(
+        "{:<18} {:>8} {:>9} {:>9} {:>7} {:>7} {:>7} {:>24}",
+        "Benchmark", "#Tables", "AvgRows", "AvgCols", "Train", "Test", "Valid", "Str/Int/Float/Date (%)"
+    );
+    for task in gen_all_tasks(&world, scale.pairs_per_task, 0) {
+        let d = type_distribution(&task.tables);
+        println!(
+            "{:<18} {:>8} {:>9.2} {:>9.2} {:>7} {:>7} {:>7}   {:>4.1}/{:>4.1}/{:>4.1}/{:>4.1}",
+            task.name,
+            task.tables.len(),
+            task.avg_rows(),
+            task.avg_cols(),
+            task.splits.train.len(),
+            task.splits.test.len(),
+            task.splits.valid.len(),
+            d[0], d[1], d[2], d[3]
+        );
+    }
+    for bench in [
+        gen_join_search(&world, &JoinSearchConfig::default()),
+        gen_union_search(&world, "SANTOS Union", &UnionSearchConfig::santos_style()),
+        gen_union_search(&world, "TUS Union", &UnionSearchConfig::tus_style()),
+        gen_eurostat_subset(&world, 12, 5),
+    ] {
+        let d = type_distribution(&bench.tables);
+        println!(
+            "{:<18} {:>8} {:>9.2} {:>9.2} {:>7} {:>7} {:>7}   {:>4.1}/{:>4.1}/{:>4.1}/{:>4.1}",
+            bench.name,
+            bench.tables.len(),
+            bench.avg_rows(),
+            bench.avg_cols(),
+            "-",
+            bench.queries.len(),
+            "-",
+            d[0], d[1], d[2], d[3]
+        );
+    }
+}

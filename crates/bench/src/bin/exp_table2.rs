@@ -1,0 +1,78 @@
+//! Table II: fine-tuned performance of TabSketchFM vs the five baseline
+//! systems on all eight LakeBench-style tasks, averaged over seeds
+//! (weighted F1 for classification, R² for regression).
+//!
+//! `cargo run --release -p tsfm-bench --bin exp_table2`
+//! Scale via `TSFM_PAIRS`, `TSFM_SEEDS`, `TSFM_EPOCHS`.
+
+use tsfm_bench::tasks::{mean_std, metadata_vocab, pretrain_checkpoint, run_system, System};
+use tsfm_bench::Scale;
+use tsfm_core::SketchToggle;
+use tsfm_lake::{gen_all_tasks, World, WorldConfig};
+use tsfm_table::Table;
+
+fn main() {
+    let scale = Scale::from_env();
+    let world = World::generate(WorldConfig::default());
+    let systems = [
+        System::VanillaBert,
+        System::Tapas,
+        System::Tabbie,
+        System::Tuta,
+        System::TaBert,
+        System::TabSketchFM(SketchToggle::ALL),
+    ];
+    println!(
+        "Table II — TabSketchFM vs baselines (avg ± std over {} seeds; F1 or R²)",
+        scale.seeds
+    );
+    print!("{:<22}", "Task");
+    for s in &systems {
+        print!(" {:>16}", s.name());
+    }
+    println!();
+
+    let tmp = std::env::temp_dir().join("tsfm_table2");
+    std::fs::create_dir_all(&tmp).expect("tmp dir");
+
+    for seed0_task in gen_all_tasks(&world, scale.pairs_per_task, 0) {
+        let metric = match seed0_task.task {
+            tsfm_core::TaskKind::Regression => "R2",
+            _ => "F1",
+        };
+        print!("{:<22}", format!("{} ({})", seed0_task.name, metric));
+        for system in &systems {
+            let mut scores = Vec::with_capacity(scale.seeds);
+            for seed in 0..scale.seeds as u64 {
+                // Regenerate the task per seed (different tables + splits),
+                // mirroring the paper's 5-random-seed protocol.
+                let task = gen_all_tasks(&world, scale.pairs_per_task, seed)
+                    .into_iter()
+                    .find(|t| t.name == seed0_task.name)
+                    .expect("task exists");
+                let refs: Vec<&Table> = task.tables.iter().collect();
+                let vocab = metadata_vocab(&refs);
+                let pre = if matches!(system, System::TabSketchFM(_)) {
+                    let path = tmp.join(format!("pre_{}_{}.ckpt", task.name.replace(' ', "_"), seed));
+                    if !path.exists() {
+                        pretrain_checkpoint(
+                            &world,
+                            &vocab,
+                            &scale,
+                            SketchToggle::ALL,
+                            seed,
+                            &path,
+                        );
+                    }
+                    Some(path)
+                } else {
+                    None
+                };
+                scores.push(run_system(*system, &task, &vocab, &scale, seed, pre.as_deref()));
+            }
+            let (m, s) = mean_std(&scores);
+            print!(" {:>9.2} ±{:>4.2}", m, s);
+        }
+        println!();
+    }
+}

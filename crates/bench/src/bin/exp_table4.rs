@@ -1,0 +1,62 @@
+//! Table IV: remove-one-sketch ablation (seed 0).
+//!
+//! `cargo run --release -p tsfm-bench --bin exp_table4`
+
+use tsfm_bench::tasks::{metadata_vocab, pretrain_checkpoint, run_system, System};
+use tsfm_bench::Scale;
+use tsfm_core::SketchToggle;
+use tsfm_lake::{gen_all_tasks, World, WorldConfig};
+use tsfm_table::Table;
+
+fn main() {
+    let scale = Scale::from_env();
+    let world = World::generate(WorldConfig::default());
+    let variants = [
+        ("No MinHash", SketchToggle::NO_MINHASH),
+        ("No Numerical", SketchToggle::NO_NUMERIC),
+        ("No Content", SketchToggle::NO_CONTENT),
+        ("Everything", SketchToggle::ALL),
+    ];
+    println!("Table IV — removing one sketch (seed 0)");
+    print!("{:<22}", "Task");
+    for (name, _) in &variants {
+        print!(" {:>15}", name);
+    }
+    println!();
+    let tmp = std::env::temp_dir().join("tsfm_table4");
+    std::fs::create_dir_all(&tmp).expect("tmp dir");
+    for task in gen_all_tasks(&world, scale.pairs_per_task, 0) {
+        if task.name == "TUS-SANTOS" {
+            continue;
+        }
+        let metric = match task.task {
+            tsfm_core::TaskKind::Regression => "R2",
+            _ => "F1",
+        };
+        print!("{:<22}", format!("{} ({})", task.name, metric));
+        let refs: Vec<&Table> = task.tables.iter().collect();
+        let vocab = metadata_vocab(&refs);
+        for (vname, toggle) in &variants {
+            // Paper protocol: ablations fine-tune the *pretrained* model,
+            // pretrained with the same sketch toggle.
+            let path = tmp.join(format!(
+                "pre_{}_{}.ckpt",
+                task.name.replace(' ', "_"),
+                vname.replace(' ', "_")
+            ));
+            if !path.exists() {
+                pretrain_checkpoint(&world, &vocab, &scale, *toggle, 0, &path);
+            }
+            let score = run_system(
+                System::TabSketchFM(*toggle),
+                &task,
+                &vocab,
+                &scale,
+                0,
+                Some(&path),
+            );
+            print!(" {:>15.3}", score);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,197 @@
+//! Table V + Fig. 4a: Wiki-Join search — mean F1 / P@10 / R@10 for the
+//! eight systems, plus the F1@k curve.
+//!
+//! `cargo run --release -p tsfm-bench --bin exp_table5`
+
+use tsfm_baselines::column_encoders::ColumnEncoderConfig;
+use tsfm_baselines::textmodel::{
+    build_vocab, train_text_model, Serialization, TextModelConfig, TextPairModel,
+};
+use tsfm_baselines::{DeepJoinEncoder, SentenceEncoder};
+use tsfm_bench::searchexp::{
+    columns_by, finetuned_model_for_search, join_search_embeddings, join_search_josie,
+    join_search_lshforest, sbert_columns, search_vocab, tabsketchfm_columns, ColumnSpace,
+};
+use tsfm_bench::{print_curve, print_search_row, Scale};
+use tsfm_core::finetune::Label;
+use tsfm_core::SketchToggle;
+use tsfm_lake::{gen_wiki_containment, gen_join_search, JoinSearchConfig, World, WorldConfig};
+use tsfm_search::{SimHashConfig, SimHashLsh};
+use tsfm_table::Table;
+
+/// WarpGate: SentenceEncoder column embeddings behind SimHash LSH.
+fn warpgate_search(
+    space: &ColumnSpace,
+    bench: &tsfm_lake::SearchBenchmark,
+    k: usize,
+) -> Vec<Vec<usize>> {
+    let dim = space.vecs[0].len();
+    let mut lsh = SimHashLsh::new(dim, SimHashConfig::default());
+    for v in &space.vecs {
+        lsh.add(v);
+    }
+    let keys = bench.key_column.as_ref().expect("join benchmark");
+    bench
+        .queries
+        .iter()
+        .map(|&q| {
+            let pos = space.position(q, keys[q]).expect("key column");
+            let hits = lsh.search(&space.vecs[pos], k * 4);
+            let mut seen = std::collections::BTreeSet::new();
+            let mut ids = Vec::new();
+            for (cid, _) in hits {
+                let t = space.owners[cid].table;
+                if t != q && seen.insert(t) {
+                    ids.push(t);
+                    if ids.len() == k {
+                        break;
+                    }
+                }
+            }
+            ids
+        })
+        .collect()
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let world = World::generate(WorldConfig::default());
+    let bench = gen_join_search(&world, &JoinSearchConfig::default());
+    let task = gen_wiki_containment(&world, scale.pairs_per_task, 0);
+    let vocab = search_vocab(&bench, &task);
+    let k = 10;
+    let ks = [2, 4, 6, 8, 10, 15, 20];
+
+    println!(
+        "Table V — Wiki-Join search ({} tables, {} queries, gold = same entity domain & J > 0.5)",
+        bench.tables.len(),
+        bench.queries.len()
+    );
+    println!("{:<20} {:>8} {:>6} {:>6}", "Baseline", "MeanF1%", "P@10", "R@10");
+
+    let mut curves: Vec<(String, Vec<Vec<usize>>)> = Vec::new();
+
+    // TaBERT-FT: rows model fine-tuned on the containment task, column-text
+    // embeddings for search.
+    let refs: Vec<&Table> = task.tables.iter().chain(bench.tables.iter()).collect();
+    let bvocab = build_vocab(&refs, Serialization::Rows { max_rows: 5 }, 8_000);
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(5);
+    let mut tabert = TextPairModel::new(
+        "TaBERT-FT",
+        bvocab,
+        TextModelConfig { encoder: tsfm_nn::EncoderConfig::small(), max_seq: 120, frozen_encoder: false },
+        Serialization::Rows { max_rows: 5 },
+        task.task,
+        &mut rng,
+    );
+    {
+        let pair_of = |i: usize| {
+            let (a, b, _) = &task.pairs[i];
+            (&task.tables[*a], &task.tables[*b])
+        };
+        let tp: Vec<(&Table, &Table)> = task.splits.train.iter().map(|&i| pair_of(i)).collect();
+        let tl: Vec<Label> = task.splits.train.iter().map(|&i| task.pairs[i].2.clone()).collect();
+        let ft = tsfm_core::FinetuneConfig {
+            epochs: scale.epochs.min(4),
+            batch_size: 8,
+            lr: 2e-3,
+            patience: 10,
+            seed: 0,
+        };
+        train_text_model(&mut tabert, (&tp, &tl), (&[], &[]), &ft);
+    }
+    let tabert_space = columns_by(&bench.tables, |c| {
+        let mut text = c.name.clone();
+        for v in c.rendered_values().take(30) {
+            text.push(' ');
+            text.push_str(&v);
+        }
+        tabert.embed_text(&text)
+    });
+    let r = join_search_embeddings(&tabert_space, &bench, k);
+    print_search_row("TaBERT-FT", &r, &bench.gold, k);
+    curves.push(("TaBERT-FT".into(), r));
+
+    let r = join_search_lshforest(&bench, k);
+    print_search_row("LSH-Forest", &r, &bench.gold, k);
+    curves.push(("LSH-Forest".into(), join_search_lshforest(&bench, *ks.last().unwrap())));
+
+    let r = join_search_josie(&bench, k);
+    print_search_row("Josie", &r, &bench.gold, k);
+    curves.push(("Josie".into(), join_search_josie(&bench, *ks.last().unwrap())));
+
+    // DeepJoin: supervised on joinable key-column pairs from the task.
+    let mut deepjoin = DeepJoinEncoder::new(
+        SentenceEncoder::default(),
+        ColumnEncoderConfig { epochs: 4, ..Default::default() },
+    );
+    {
+        // Training positives: the column pair with maximal exact value
+        // overlap (the construction's key pair, at arbitrary positions).
+        let mut pairs = Vec::new();
+        for (a, b, l) in &task.pairs {
+            if let Label::Scalar(v) = l {
+                if *v > 0.5 {
+                    let mut best: Option<(usize, usize, usize)> = None;
+                    for (i, ca) in task.tables[*a].columns.iter().enumerate() {
+                        let va: std::collections::BTreeSet<String> =
+                            ca.rendered_values().collect();
+                        for (j, cb) in task.tables[*b].columns.iter().enumerate() {
+                            let inter = cb
+                                .rendered_values()
+                                .filter(|v| va.contains(v))
+                                .count();
+                            if best.map_or(true, |(_, _, n)| inter > n) {
+                                best = Some((i, j, inter));
+                            }
+                        }
+                    }
+                    if let Some((i, j, n)) = best {
+                        if n > 0 {
+                            pairs.push((
+                                &task.tables[*a].columns[i],
+                                &task.tables[*b].columns[j],
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        deepjoin.train(&pairs);
+    }
+    let dj_space = columns_by(&bench.tables, |c| deepjoin.embed(c));
+    let r = join_search_embeddings(&dj_space, &bench, *ks.last().unwrap());
+    print_search_row("DeepJoin", &r, &bench.gold, k);
+    curves.push(("DeepJoin".into(), r));
+
+    // WarpGate: hashed embeddings + SimHash LSH.
+    let sbert = SentenceEncoder::default();
+    let sbert_space = sbert_columns(&bench.tables, &sbert);
+    let r = warpgate_search(&sbert_space, &bench, *ks.last().unwrap());
+    print_search_row("WarpGate", &r, &bench.gold, k);
+    curves.push(("WarpGate".into(), r));
+
+    // SBERT: same embeddings, exact search.
+    let r = join_search_embeddings(&sbert_space, &bench, *ks.last().unwrap());
+    print_search_row("SBERT", &r, &bench.gold, k);
+    curves.push(("SBERT".into(), r));
+
+    // TabSketchFM fine-tuned on the containment task.
+    let model =
+        finetuned_model_for_search(&task, &bench.tables, &vocab, &scale, SketchToggle::ALL, 0);
+    let tsfm_space = tabsketchfm_columns(&model, &bench.tables, &vocab);
+    let r = join_search_embeddings(&tsfm_space, &bench, *ks.last().unwrap());
+    print_search_row("TabSketchFM", &r, &bench.gold, k);
+    curves.push(("TabSketchFM".into(), r));
+
+    // TabSketchFM-SBERT: concatenated normalized embeddings.
+    let concat = tsfm_space.concat(&sbert_space);
+    let r = join_search_embeddings(&concat, &bench, *ks.last().unwrap());
+    print_search_row("TabSketchFM-SBERT", &r, &bench.gold, k);
+    curves.push(("TabSketchFM-SBERT".into(), r));
+
+    println!("\nFig. 4a — F1@k on Wiki-Join search, k = {ks:?}");
+    for (name, retrieved) in &curves {
+        print_curve(name, retrieved, &bench.gold, &ks);
+    }
+}

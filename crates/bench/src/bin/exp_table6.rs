@@ -1,0 +1,10 @@
+//! Table VI + Fig. 4b: SANTOS-style union search.
+//!
+//! `cargo run --release -p tsfm-bench --bin exp_table6`
+
+use tsfm_bench::unionexp::union_search_experiment;
+use tsfm_bench::Scale;
+
+fn main() {
+    union_search_experiment(false, &Scale::from_env());
+}

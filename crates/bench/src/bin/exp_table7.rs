@@ -1,0 +1,10 @@
+//! Table VII + Fig. 4c: TUS-style union search (larger clusters, k to 30).
+//!
+//! `cargo run --release -p tsfm-bench --bin exp_table7`
+
+use tsfm_bench::unionexp::union_search_experiment;
+use tsfm_bench::Scale;
+
+fn main() {
+    union_search_experiment(true, &Scale::from_env());
+}

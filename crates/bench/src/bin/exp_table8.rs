@@ -1,0 +1,119 @@
+//! Table VIII + Fig. 4d: Eurostat-style subset search (Fig.-7 variant
+//! recipe; gold = the 11 variants of each query).
+//!
+//! `cargo run --release -p tsfm-bench --bin exp_table8`
+
+use tsfm_baselines::textmodel::{
+    build_vocab, train_text_model, Serialization, TextModelConfig, TextPairModel,
+};
+use tsfm_baselines::SentenceEncoder;
+use tsfm_bench::searchexp::{
+    center_vectors, columns_by, fig6_search, finetuned_model_for_search, sbert_columns,
+    search_vocab, table_embedding_search, tabsketchfm_columns,
+};
+use tsfm_bench::{print_curve, print_search_row, Scale};
+use tsfm_core::finetune::Label;
+use tsfm_core::SketchToggle;
+use tsfm_lake::{gen_ckan_subset, gen_eurostat_subset, World, WorldConfig};
+use tsfm_table::Table;
+
+fn main() {
+    let scale = Scale::from_env();
+    let world = World::generate(WorldConfig::default());
+    let bench = gen_eurostat_subset(&world, 16, 5);
+    // The paper's subset-search model is fine-tuned on CKAN Subset.
+    let task = gen_ckan_subset(&world, scale.pairs_per_task, 0);
+    let vocab = search_vocab(&bench, &task);
+    let k = 10;
+    let ks = [2, 4, 6, 8, 10, 12];
+    let kmax = *ks.last().unwrap();
+
+    println!(
+        "Table VIII — Eurostat subset search ({} tables, {} queries, gold = 11 variants)",
+        bench.tables.len(),
+        bench.queries.len()
+    );
+    println!("{:<20} {:>8} {:>6} {:>6}", "Baseline", "MeanF1%", "P@10", "R@10");
+    let mut curves: Vec<(String, Vec<Vec<usize>>)> = Vec::new();
+
+    // TaBERT-FT / TUTA-FT fine-tuned on the subset task.
+    let refs: Vec<&Table> = task.tables.iter().chain(bench.tables.iter()).collect();
+    let bvocab = build_vocab(&refs, Serialization::Rows { max_rows: 5 }, 8_000);
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(8);
+    let ft = tsfm_core::FinetuneConfig {
+        epochs: scale.epochs.min(4),
+        batch_size: 8,
+        lr: 2e-3,
+        patience: 10,
+        seed: 0,
+    };
+    let pair_of = |i: usize| {
+        let (a, b, _) = &task.pairs[i];
+        (&task.tables[*a], &task.tables[*b])
+    };
+    let tp: Vec<(&Table, &Table)> = task.splits.train.iter().map(|&i| pair_of(i)).collect();
+    let tl: Vec<Label> = task.splits.train.iter().map(|&i| task.pairs[i].2.clone()).collect();
+
+    let mut tabert = TextPairModel::new(
+        "TaBERT-FT",
+        bvocab.clone(),
+        TextModelConfig { encoder: tsfm_nn::EncoderConfig::small(), max_seq: 120, frozen_encoder: false },
+        Serialization::Rows { max_rows: 5 },
+        task.task,
+        &mut rng,
+    );
+    train_text_model(&mut tabert, (&tp, &tl), (&[], &[]), &ft);
+    let mut tabert_space = columns_by(&bench.tables, |c| {
+        let mut text = c.name.clone();
+        for v in c.rendered_values().take(30) {
+            text.push(' ');
+            text.push_str(&v);
+        }
+        tabert.embed_text(&text)
+    });
+    center_vectors(&mut tabert_space.vecs);
+    let r = fig6_search(&tabert_space, &bench, kmax);
+    print_search_row("TaBERT-FT", &r, &bench.gold, k);
+    curves.push(("TaBERT-FT".into(), r));
+
+    let mut tuta = TextPairModel::new(
+        "TUTA-FT",
+        bvocab,
+        TextModelConfig { encoder: tsfm_nn::EncoderConfig::small(), max_seq: 120, frozen_encoder: false },
+        Serialization::Struct,
+        task.task,
+        &mut rng,
+    );
+    train_text_model(&mut tuta, (&tp, &tl), (&[], &[]), &ft);
+    let mut table_vecs: Vec<Vec<f32>> =
+        bench.tables.iter().map(|t| tuta.embed_text(&tuta.table_text(t))).collect();
+    center_vectors(&mut table_vecs);
+    let r = table_embedding_search(&table_vecs, &bench, kmax);
+    print_search_row("TUTA-FT", &r, &bench.gold, k);
+    curves.push(("TUTA-FT".into(), r));
+
+    // SBERT value embeddings.
+    let enc = SentenceEncoder::default();
+    let sbert_space = sbert_columns(&bench.tables, &enc);
+    let r = fig6_search(&sbert_space, &bench, kmax);
+    print_search_row("SBERT", &r, &bench.gold, k);
+    curves.push(("SBERT".into(), r));
+
+    // TabSketchFM fine-tuned on CKAN Subset.
+    let model =
+        finetuned_model_for_search(&task, &bench.tables, &vocab, &scale, SketchToggle::ALL, 0);
+    let tsfm_space = tabsketchfm_columns(&model, &bench.tables, &vocab);
+    let r = fig6_search(&tsfm_space, &bench, kmax);
+    print_search_row("TabSketchFM", &r, &bench.gold, k);
+    curves.push(("TabSketchFM".into(), r));
+
+    let concat = tsfm_space.concat(&sbert_space);
+    let r = fig6_search(&concat, &bench, kmax);
+    print_search_row("TabSketchFM-SBERT", &r, &bench.gold, k);
+    curves.push(("TabSketchFM-SBERT".into(), r));
+
+    println!("\nFig. 4d — F1@k on Eurostat subset search, k = {ks:?}");
+    for (name, retrieved) in &curves {
+        print_curve(name, retrieved, &bench.gold, &ks);
+    }
+}

@@ -1,0 +1,51 @@
+//! Experiment scale knobs, overridable from the environment so the same
+//! binaries serve quick smoke runs and fuller reproductions:
+//! `TSFM_PAIRS`, `TSFM_SEEDS`, `TSFM_EPOCHS`, `TSFM_PRETRAIN_TABLES`.
+
+/// Workload sizes for the experiment binaries.
+#[derive(Debug, Clone)]
+pub struct Scale {
+    /// Labelled pairs per LakeBench-style task.
+    pub pairs_per_task: usize,
+    /// Random seeds averaged in Table II (paper: 5).
+    pub seeds: usize,
+    /// Fine-tuning epochs.
+    pub epochs: usize,
+    /// Pretraining corpus size (tables).
+    pub pretrain_tables: usize,
+    /// Pretraining epochs.
+    pub pretrain_epochs: usize,
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Self {
+            pairs_per_task: 90,
+            seeds: 3,
+            epochs: 10,
+            pretrain_tables: 40,
+            pretrain_epochs: 3,
+        }
+    }
+}
+
+impl Scale {
+    /// Defaults overridden by `TSFM_*` environment variables.
+    pub fn from_env() -> Self {
+        let mut s = Scale::default();
+        let get = |k: &str| std::env::var(k).ok().and_then(|v| v.parse::<usize>().ok());
+        if let Some(v) = get("TSFM_PAIRS") {
+            s.pairs_per_task = v;
+        }
+        if let Some(v) = get("TSFM_SEEDS") {
+            s.seeds = v;
+        }
+        if let Some(v) = get("TSFM_EPOCHS") {
+            s.epochs = v;
+        }
+        if let Some(v) = get("TSFM_PRETRAIN_TABLES") {
+            s.pretrain_tables = v;
+        }
+        s
+    }
+}

@@ -1,0 +1,384 @@
+//! Search experiment machinery: Tables V–VIII, Fig. 4, Fig. 8, and the
+//! §IV-C3 order-invariance probe.
+
+use crate::tasks::{experiment_model_cfg, experiment_sketch_cfg, metadata_vocab, sketch_tables};
+use crate::Scale;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tsfm_baselines::SentenceEncoder;
+use tsfm_core::finetune::{finetune, CrossEncoder, FinetuneConfig};
+use tsfm_core::{
+    column_embeddings, concat_normalized, encode_table, single_sequence, SketchToggle,
+    TabSketchFM,
+};
+use tsfm_lake::{PairTask, SearchBenchmark};
+use tsfm_search::{
+    ranked_table_ids, BruteForceIndex, ColumnHit, JosieIndex, LshForest, Metric,
+};
+use tsfm_sketch::{MinHasher, SketchConfig};
+use tsfm_table::hash::hash_str;
+use tsfm_table::Table;
+use tsfm_tokenizer::Vocab;
+
+/// Which (table, column) a corpus column vector belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ColumnOwner {
+    pub table: usize,
+    pub col: usize,
+}
+
+/// Per-corpus column embeddings plus ownership, from any provider.
+pub struct ColumnSpace {
+    pub vecs: Vec<Vec<f32>>,
+    pub owners: Vec<ColumnOwner>,
+}
+
+impl ColumnSpace {
+    /// Index of a specific (table, col).
+    pub fn position(&self, table: usize, col: usize) -> Option<usize> {
+        self.owners.iter().position(|o| o.table == table && o.col == col)
+    }
+
+    /// Concatenate two spaces element-wise after z-normalizing each (the
+    /// TabSketchFM-SBERT combination). Owner layouts must match.
+    pub fn concat(&self, other: &ColumnSpace) -> ColumnSpace {
+        assert_eq!(self.owners, other.owners, "column layouts must align");
+        let vecs = self
+            .vecs
+            .iter()
+            .zip(&other.vecs)
+            .map(|(a, b)| concat_normalized(a, b))
+            .collect();
+        ColumnSpace { vecs, owners: self.owners.clone() }
+    }
+
+    /// Subtract the corpus mean and L2-normalize every vector.
+    ///
+    /// Small transformer encoders produce anisotropic hidden states — all
+    /// embeddings share one dominant direction (Ethayarajh 2019), so raw
+    /// cosine distances are noise. The paper's 118M-parameter model
+    /// inherits usable geometry from large-scale pretraining; at our scale
+    /// centering restores it explicitly (documented in DESIGN.md).
+    pub fn centered(mut self) -> ColumnSpace {
+        center_vectors(&mut self.vecs);
+        self
+    }
+}
+
+/// Mean-center and L2-normalize a set of embedding vectors in place.
+pub fn center_vectors(vecs: &mut [Vec<f32>]) {
+    if vecs.is_empty() {
+        return;
+    }
+    let dim = vecs[0].len();
+    let mut mean = vec![0.0f32; dim];
+    for v in vecs.iter() {
+        for (m, &x) in mean.iter_mut().zip(v) {
+            *m += x;
+        }
+    }
+    let n = vecs.len() as f32;
+    for m in &mut mean {
+        *m /= n;
+    }
+    for v in vecs.iter_mut() {
+        let mut norm = 0.0f32;
+        for (x, &m) in v.iter_mut().zip(&mean) {
+            *x -= m;
+            norm += *x * *x;
+        }
+        let norm = norm.sqrt().max(1e-6);
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    }
+}
+
+/// Contextual column embeddings from a (fine-tuned) TabSketchFM.
+pub fn tabsketchfm_columns(model: &TabSketchFM, tables: &[Table], vocab: &Vocab) -> ColumnSpace {
+    let sketches = sketch_tables(tables, &experiment_sketch_cfg());
+    let mut vecs = Vec::new();
+    let mut owners = Vec::new();
+    for (ti, sk) in sketches.iter().enumerate() {
+        let enc = encode_table(sk, vocab, &model.cfg.input, model.cfg.toggle);
+        let seq = single_sequence(&enc, &model.cfg.input);
+        for (ci, v) in column_embeddings(model, &seq) {
+            vecs.push(v);
+            owners.push(ColumnOwner { table: ti, col: ci });
+        }
+    }
+    ColumnSpace { vecs, owners }.centered()
+}
+
+/// SBERT-style column embeddings (top-100 unique values as a sentence).
+pub fn sbert_columns(tables: &[Table], enc: &SentenceEncoder) -> ColumnSpace {
+    let mut vecs = Vec::new();
+    let mut owners = Vec::new();
+    for (ti, t) in tables.iter().enumerate() {
+        for (ci, c) in t.columns.iter().enumerate() {
+            vecs.push(enc.encode_column(c, 100));
+            owners.push(ColumnOwner { table: ti, col: ci });
+        }
+    }
+    ColumnSpace { vecs, owners }
+}
+
+/// Column embeddings from any per-column function (Starmie, DeepJoin,
+/// WarpGate, TaBERT-FT column texts, …).
+pub fn columns_by<F: FnMut(&tsfm_table::Column) -> Vec<f32>>(
+    tables: &[Table],
+    mut f: F,
+) -> ColumnSpace {
+    let mut vecs = Vec::new();
+    let mut owners = Vec::new();
+    for (ti, t) in tables.iter().enumerate() {
+        for (ci, c) in t.columns.iter().enumerate() {
+            vecs.push(f(c));
+            owners.push(ColumnOwner { table: ti, col: ci });
+        }
+    }
+    ColumnSpace { vecs, owners }
+}
+
+/// Fig.-6 table search over a column space: for each query table, KNNSEARCH
+/// each of its columns (`k·3` over-retrieval), then RANK1/RANK2.
+pub fn fig6_search(space: &ColumnSpace, bench: &SearchBenchmark, k: usize) -> Vec<Vec<usize>> {
+    let dim = space.vecs.first().map(Vec::len).unwrap_or(0);
+    let mut index = BruteForceIndex::new(dim, Metric::Cosine);
+    for v in &space.vecs {
+        index.add(v);
+    }
+    let mut results = Vec::with_capacity(bench.queries.len());
+    for &q in &bench.queries {
+        let mut per_col: Vec<Vec<ColumnHit>> = Vec::new();
+        for (pos, owner) in space.owners.iter().enumerate() {
+            if owner.table != q {
+                continue;
+            }
+            let hits = index
+                .search(&space.vecs[pos], k * 3)
+                .into_iter()
+                .map(|(id, d)| ColumnHit { table: space.owners[id].table, distance: d })
+                .collect();
+            per_col.push(hits);
+        }
+        let mut ids = ranked_table_ids(&per_col, Some(q));
+        ids.truncate(k);
+        results.push(ids);
+    }
+    results
+}
+
+/// Join search over a column space: rank tables by the distance of their
+/// closest column to the query's *key* column.
+pub fn join_search_embeddings(
+    space: &ColumnSpace,
+    bench: &SearchBenchmark,
+    k: usize,
+) -> Vec<Vec<usize>> {
+    let keys = bench.key_column.as_ref().expect("join benchmark has key columns");
+    let dim = space.vecs.first().map(Vec::len).unwrap_or(0);
+    let mut index = BruteForceIndex::new(dim, Metric::Cosine);
+    for v in &space.vecs {
+        index.add(v);
+    }
+    let mut results = Vec::with_capacity(bench.queries.len());
+    for &q in &bench.queries {
+        let pos = space.position(q, keys[q]).expect("query key column embedded");
+        let hits: Vec<ColumnHit> = index
+            .search(&space.vecs[pos], k * 3)
+            .into_iter()
+            .map(|(id, d)| ColumnHit { table: space.owners[id].table, distance: d })
+            .collect();
+        let mut ids = ranked_table_ids(&[hits], Some(q));
+        ids.truncate(k);
+        results.push(ids);
+    }
+    results
+}
+
+fn column_value_hashes(t: &Table, col: usize) -> Vec<u64> {
+    t.columns[col].rendered_values().map(|v| hash_str(&v)).collect()
+}
+
+/// Josie-style exact-containment join search: every corpus column is an
+/// indexed set; tables ranked by their best column's overlap.
+pub fn join_search_josie(bench: &SearchBenchmark, k: usize) -> Vec<Vec<usize>> {
+    let mut index = JosieIndex::new();
+    let mut owners = Vec::new();
+    for (ti, t) in bench.tables.iter().enumerate() {
+        for ci in 0..t.num_cols() {
+            index.add(column_value_hashes(t, ci));
+            owners.push(ti);
+        }
+    }
+    let keys = bench.key_column.as_ref().expect("join benchmark");
+    bench
+        .queries
+        .iter()
+        .map(|&q| {
+            let hits = index.top_k_overlap(
+                column_value_hashes(&bench.tables[q], keys[q]),
+                k * 4,
+            );
+            let mut seen = std::collections::BTreeSet::new();
+            let mut ids = Vec::new();
+            for (cid, _) in hits {
+                let t = owners[cid];
+                if t != q && seen.insert(t) {
+                    ids.push(t);
+                    if ids.len() == k {
+                        break;
+                    }
+                }
+            }
+            ids
+        })
+        .collect()
+}
+
+/// LSH-Forest approximate join search over column MinHash signatures.
+pub fn join_search_lshforest(bench: &SearchBenchmark, k: usize) -> Vec<Vec<usize>> {
+    let scfg = SketchConfig { minhash_k: 64, ..Default::default() };
+    let hasher = MinHasher::new(scfg.minhash_k, scfg.seed);
+    let mut forest = LshForest::new(8, 8, scfg.minhash_k, 77);
+    let mut owners = Vec::new();
+    let mut sig_of = Vec::new();
+    for (ti, t) in bench.tables.iter().enumerate() {
+        for ci in 0..t.num_cols() {
+            let sig = hasher.signature_hashed(column_value_hashes(t, ci));
+            sig_of.push((ti, ci, sig.clone()));
+            forest.add(sig);
+            owners.push(ti);
+        }
+    }
+    let keys = bench.key_column.as_ref().expect("join benchmark");
+    bench
+        .queries
+        .iter()
+        .map(|&q| {
+            let sig = hasher.signature_hashed(column_value_hashes(
+                &bench.tables[q],
+                keys[q],
+            ));
+            let hits = forest.search(&sig, k * 4);
+            let mut seen = std::collections::BTreeSet::new();
+            let mut ids = Vec::new();
+            for (cid, _) in hits {
+                let t = owners[cid];
+                if t != q && seen.insert(t) {
+                    ids.push(t);
+                    if ids.len() == k {
+                        break;
+                    }
+                }
+            }
+            ids
+        })
+        .collect()
+}
+
+/// Table-embedding search (TUTA-FT style): one vector per table, rank by
+/// cosine distance ascending.
+pub fn table_embedding_search(
+    vecs: &[Vec<f32>],
+    bench: &SearchBenchmark,
+    k: usize,
+) -> Vec<Vec<usize>> {
+    assert_eq!(vecs.len(), bench.tables.len());
+    let dim = vecs.first().map(Vec::len).unwrap_or(0);
+    let mut index = BruteForceIndex::new(dim, Metric::Cosine);
+    for v in vecs {
+        index.add(v);
+    }
+    bench
+        .queries
+        .iter()
+        .map(|&q| {
+            index
+                .search(&vecs[q], k + 1)
+                .into_iter()
+                .filter(|&(id, _)| id != q)
+                .take(k)
+                .map(|(id, _)| id)
+                .collect()
+        })
+        .collect()
+}
+
+/// Brute-force table-scoring search (D3L / SANTOS / table-embedding
+/// baselines): rank the corpus by `score(query, candidate)` descending.
+pub fn score_search<F: FnMut(&Table, &Table) -> f64>(
+    bench: &SearchBenchmark,
+    k: usize,
+    mut score: F,
+) -> Vec<Vec<usize>> {
+    bench
+        .queries
+        .iter()
+        .map(|&q| {
+            let mut scored: Vec<(usize, f64)> = (0..bench.tables.len())
+                .filter(|&c| c != q)
+                .map(|c| (c, score(&bench.tables[q], &bench.tables[c])))
+                .collect();
+            scored.sort_by(|a, b| {
+                b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0))
+            });
+            scored.into_iter().take(k).map(|(c, _)| c).collect()
+        })
+        .collect()
+}
+
+/// Pretrain (MLM over the task + corpus tables) then fine-tune a
+/// TabSketchFM cross-encoder on `task`, returning the underlying model for
+/// embedding extraction — the §IV-C protocol: search uses embeddings of
+/// the pretrained-then-fine-tuned model.
+pub fn finetuned_model_for_search(
+    task: &PairTask,
+    corpus: &[Table],
+    vocab: &Vocab,
+    scale: &Scale,
+    toggle: SketchToggle,
+    seed: u64,
+) -> TabSketchFM {
+    use crate::tasks::encode_split;
+    use tsfm_core::{pretrain, PretrainConfig};
+    let mcfg = experiment_model_cfg(vocab, toggle);
+    let sketches = sketch_tables(&task.tables, &experiment_sketch_cfg());
+    let train = encode_split(task, &task.splits.train, &sketches, vocab, &mcfg);
+    let valid = encode_split(task, &task.splits.valid, &sketches, vocab, &mcfg);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5ea4);
+    let mut model = TabSketchFM::new(mcfg, &mut rng);
+    let pretrain_tables: Vec<Table> = corpus
+        .iter()
+        .chain(task.tables.iter())
+        .take(scale.pretrain_tables.max(40))
+        .cloned()
+        .collect();
+    let pcfg = PretrainConfig {
+        epochs: scale.pretrain_epochs,
+        batch_size: 8,
+        lr: 1e-3,
+        augment_copies: 1,
+        patience: scale.pretrain_epochs,
+        seed,
+        ..Default::default()
+    };
+    pretrain(&mut model, &pretrain_tables, vocab, &pcfg, 0.1);
+    let mut ce = CrossEncoder::new(model, task.task, &mut rng);
+    let ft = FinetuneConfig {
+        epochs: scale.epochs,
+        batch_size: 8,
+        lr: 2e-3,
+        patience: scale.epochs,
+        seed,
+    };
+    finetune(&mut ce, &train, &valid, &ft);
+    ce.model
+}
+
+/// Vocabulary covering a search benchmark plus the fine-tuning task tables.
+pub fn search_vocab(bench: &SearchBenchmark, task: &PairTask) -> Vocab {
+    let refs: Vec<&Table> = bench.tables.iter().chain(task.tables.iter()).collect();
+    metadata_vocab(&refs)
+}

@@ -1,0 +1,269 @@
+//! Fine-tuning experiment machinery: Tables II, III and IV.
+
+use crate::Scale;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tsfm_baselines::textmodel::{
+    build_vocab, train_text_model, Serialization, TextModelConfig, TextPairModel,
+};
+use tsfm_core::finetune::{finetune, CrossEncoder, FinetuneConfig, Label, PairDataset, TaskKind};
+use tsfm_core::{
+    encode_table, pair_sequence, pretrain, ModelConfig, PretrainConfig, SketchToggle,
+    TabSketchFM,
+};
+use tsfm_lake::{gen_pretrain_corpus, PairTask, World};
+use tsfm_search::{multilabel_weighted_f1, r2_score, weighted_f1};
+use tsfm_sketch::{MinHasher, SketchConfig, TableSketch};
+use tsfm_table::Table;
+use tsfm_tokenizer::{Vocab, VocabBuilder};
+
+/// Systems compared in Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum System {
+    /// Header-only cross-encoder ("Vanilla BERT").
+    VanillaBert,
+    /// Frozen encoder + trainable MLP, empty "query" view (TAPAS-like).
+    Tapas,
+    /// Frozen encoder + trainable MLP over rows (TABBIE-like).
+    Tabbie,
+    /// Structure-aware trainable encoder (TUTA-like).
+    Tuta,
+    /// Row-serialization trainable encoder (TaBERT-like).
+    TaBert,
+    /// The paper's model, with a sketch toggle for ablations.
+    TabSketchFM(SketchToggle),
+}
+
+impl System {
+    pub fn name(&self) -> &'static str {
+        match self {
+            System::VanillaBert => "Vanilla BERT",
+            System::Tapas => "TAPAS",
+            System::Tabbie => "TABBIE",
+            System::Tuta => "TUTA",
+            System::TaBert => "TaBERT",
+            System::TabSketchFM(t) if *t == SketchToggle::ALL => "TabSketchFM",
+            System::TabSketchFM(_) => "TabSketchFM(ablated)",
+        }
+    }
+}
+
+/// Vocabulary over table *metadata* (descriptions + headers + type names):
+/// all TabSketchFM ever tokenizes.
+pub fn metadata_vocab(tables: &[&Table]) -> Vocab {
+    let mut vb = VocabBuilder::new();
+    for t in tables {
+        vb.add_text(&t.description);
+        vb.add_text(&t.name);
+        for c in &t.columns {
+            vb.add_text(&c.name);
+        }
+    }
+    vb.build(1, 8_000)
+}
+
+/// Sketch every table of a task once (shared hasher).
+pub fn sketch_tables(tables: &[Table], cfg: &SketchConfig) -> Vec<TableSketch> {
+    let hasher = MinHasher::new(cfg.minhash_k, cfg.seed);
+    tables.iter().map(|t| TableSketch::build_with_hasher(t, &hasher, cfg.max_rows)).collect()
+}
+
+/// Encode a split of a pair task into model-ready sequences.
+pub fn encode_split(
+    task: &PairTask,
+    idxs: &[usize],
+    sketches: &[TableSketch],
+    vocab: &Vocab,
+    mcfg: &ModelConfig,
+) -> PairDataset {
+    let mut seqs = Vec::with_capacity(idxs.len());
+    let mut labels = Vec::with_capacity(idxs.len());
+    for &i in idxs {
+        let (a, b, l) = &task.pairs[i];
+        let ea = encode_table(&sketches[*a], vocab, &mcfg.input, mcfg.toggle);
+        let eb = encode_table(&sketches[*b], vocab, &mcfg.input, mcfg.toggle);
+        seqs.push(pair_sequence(&ea, &eb, &mcfg.input));
+        labels.push(l.clone());
+    }
+    PairDataset { seqs, labels }
+}
+
+/// Score test-set predictions with the paper's metric for the task type.
+pub fn score_predictions(preds: &[Vec<f32>], labels: &[Label], task: TaskKind) -> f64 {
+    match task {
+        TaskKind::Binary => {
+            let p: Vec<usize> = preds.iter().map(|r| (r[1] > r[0]) as usize).collect();
+            let g: Vec<usize> = labels
+                .iter()
+                .map(|l| match l {
+                    Label::Binary(b) => *b as usize,
+                    _ => unreachable!(),
+                })
+                .collect();
+            weighted_f1(&p, &g)
+        }
+        TaskKind::Regression => {
+            let p: Vec<f64> = preds.iter().map(|r| r[0] as f64).collect();
+            let g: Vec<f64> = labels
+                .iter()
+                .map(|l| match l {
+                    Label::Scalar(v) => *v as f64,
+                    _ => unreachable!(),
+                })
+                .collect();
+            r2_score(&p, &g)
+        }
+        TaskKind::MultiLabel(_) => {
+            let p: Vec<Vec<bool>> =
+                preds.iter().map(|r| r.iter().map(|&x| x > 0.0).collect()).collect();
+            let g: Vec<Vec<bool>> = labels
+                .iter()
+                .map(|l| match l {
+                    Label::MultiHot(v) => v.iter().map(|&x| x > 0.5).collect(),
+                    _ => unreachable!(),
+                })
+                .collect();
+            multilabel_weighted_f1(&p, &g)
+        }
+    }
+}
+
+/// TabSketchFM model configuration used by the experiments.
+pub fn experiment_model_cfg(vocab: &Vocab, toggle: SketchToggle) -> ModelConfig {
+    let mut cfg = ModelConfig::small(vocab.len());
+    cfg.encoder.d_model = 48;
+    cfg.encoder.heads = 4;
+    cfg.encoder.d_ff = 96;
+    cfg.encoder.layers = 2;
+    cfg.minhash_k = 16;
+    cfg.toggle = toggle;
+    cfg
+}
+
+/// The sketch configuration matching [`experiment_model_cfg`].
+pub fn experiment_sketch_cfg() -> SketchConfig {
+    SketchConfig { minhash_k: 16, ..Default::default() }
+}
+
+/// Pretrain a TabSketchFM on a synthetic corpus and checkpoint it, so every
+/// fine-tuning run starts from the same pretrained weights (Fig. 2a → 2b).
+pub fn pretrain_checkpoint(
+    world: &World,
+    vocab: &Vocab,
+    scale: &Scale,
+    toggle: SketchToggle,
+    seed: u64,
+    path: &std::path::Path,
+) {
+    let corpus = gen_pretrain_corpus(world, scale.pretrain_tables, seed);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut model = TabSketchFM::new(experiment_model_cfg(vocab, toggle), &mut rng);
+    let pcfg = PretrainConfig {
+        epochs: scale.pretrain_epochs,
+        batch_size: 8,
+        lr: 1e-3,
+        augment_copies: 1,
+        patience: scale.pretrain_epochs,
+        seed,
+        ..Default::default()
+    };
+    pretrain(&mut model, &corpus, vocab, &pcfg, 0.1);
+    tsfm_nn::io::save_params(&model.store, path).expect("checkpoint write");
+}
+
+/// Fine-tune and score one system on one task with one seed; returns the
+/// test metric (weighted F1 or R²).
+pub fn run_system(
+    system: System,
+    task: &PairTask,
+    vocab: &Vocab,
+    scale: &Scale,
+    seed: u64,
+    pretrained: Option<&std::path::Path>,
+) -> f64 {
+    let ft = FinetuneConfig {
+        epochs: scale.epochs,
+        batch_size: 8,
+        lr: 2e-3,
+        patience: scale.epochs,
+        seed,
+    };
+    match system {
+        System::TabSketchFM(toggle) => {
+            let mcfg = experiment_model_cfg(vocab, toggle);
+            let sketches = sketch_tables(&task.tables, &experiment_sketch_cfg());
+            let train = encode_split(task, &task.splits.train, &sketches, vocab, &mcfg);
+            let valid = encode_split(task, &task.splits.valid, &sketches, vocab, &mcfg);
+            let test = encode_split(task, &task.splits.test, &sketches, vocab, &mcfg);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xf17e);
+            let mut model = TabSketchFM::new(mcfg, &mut rng);
+            if let Some(p) = pretrained {
+                tsfm_nn::io::load_params(&mut model.store, p).expect("checkpoint read");
+            }
+            let mut ce = CrossEncoder::new(model, task.task, &mut rng);
+            finetune(&mut ce, &train, &valid, &ft);
+            let preds = ce.predict(&test.seqs, 8);
+            score_predictions(&preds, &test.labels, task.task)
+        }
+        _ => {
+            let (serialization, frozen) = match system {
+                System::VanillaBert => (Serialization::Headers, false),
+                System::TaBert => (Serialization::Rows { max_rows: 5 }, false),
+                System::Tuta => (Serialization::Struct, false),
+                System::Tapas => (Serialization::Rows { max_rows: 2 }, true),
+                System::Tabbie => (Serialization::Rows { max_rows: 5 }, true),
+                System::TabSketchFM(_) => unreachable!(),
+            };
+            let refs: Vec<&Table> = task.tables.iter().collect();
+            let bvocab = build_vocab(&refs, serialization, 8_000);
+            let mut cfg = TextModelConfig::small();
+            cfg.encoder.d_model = 48;
+            cfg.encoder.heads = 4;
+            cfg.encoder.d_ff = 96;
+            cfg.encoder.layers = 2;
+            cfg.frozen_encoder = frozen;
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xba5e);
+            let mut model = TextPairModel::new(
+                system.name(),
+                bvocab,
+                cfg,
+                serialization,
+                task.task,
+                &mut rng,
+            );
+            let pair_of = |i: usize| -> (&Table, &Table) {
+                let (a, b, _) = &task.pairs[i];
+                (&task.tables[*a], &task.tables[*b])
+            };
+            let label_of = |i: usize| task.pairs[i].2.clone();
+            let train_pairs: Vec<(&Table, &Table)> =
+                task.splits.train.iter().map(|&i| pair_of(i)).collect();
+            let train_labels: Vec<Label> =
+                task.splits.train.iter().map(|&i| label_of(i)).collect();
+            let valid_pairs: Vec<(&Table, &Table)> =
+                task.splits.valid.iter().map(|&i| pair_of(i)).collect();
+            let valid_labels: Vec<Label> =
+                task.splits.valid.iter().map(|&i| label_of(i)).collect();
+            train_text_model(
+                &mut model,
+                (&train_pairs, &train_labels),
+                (&valid_pairs, &valid_labels),
+                &ft,
+            );
+            let test_pairs: Vec<(&Table, &Table)> =
+                task.splits.test.iter().map(|&i| pair_of(i)).collect();
+            let test_labels: Vec<Label> =
+                task.splits.test.iter().map(|&i| label_of(i)).collect();
+            let preds = model.predict(&test_pairs, 8);
+            score_predictions(&preds, &test_labels, task.task)
+        }
+    }
+}
+
+/// Mean and (population) standard deviation.
+pub fn mean_std(xs: &[f64]) -> (f64, f64) {
+    let n = xs.len().max(1) as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    (mean, var.sqrt())
+}

@@ -1,0 +1,156 @@
+//! The union-search experiment shared by Table VI (SANTOS-style) and
+//! Table VII (TUS-style), including the Fig. 4b/4c curves.
+
+use crate::searchexp::{
+    columns_by, fig6_search, finetuned_model_for_search, sbert_columns, score_search,
+    search_vocab, table_embedding_search, tabsketchfm_columns,
+};
+use crate::{print_curve, print_search_row, Scale};
+use tsfm_baselines::column_encoders::ColumnEncoderConfig;
+use tsfm_baselines::textmodel::{
+    build_vocab, train_text_model, Serialization, TextModelConfig, TextPairModel,
+};
+use tsfm_baselines::{
+    d3l_table_score, santos_table_score, ContrastiveColumnEncoder, SentenceEncoder,
+};
+use tsfm_core::finetune::Label;
+use tsfm_core::SketchToggle;
+use tsfm_lake::{gen_tus_santos, gen_union_search, UnionSearchConfig, World, WorldConfig};
+use tsfm_table::Table;
+
+/// Run the full union-search comparison; `tus` switches to the larger
+/// TUS-style corpus and k-sweep.
+pub fn union_search_experiment(tus: bool, scale: &Scale) {
+        let world = World::generate(WorldConfig::default());
+    let (name, cfg, k, ks): (&str, UnionSearchConfig, usize, Vec<usize>) = if tus {
+        // Paper's TUS protocol: queries with ≥60 unionable tables, k to 60;
+        // our clusters are 30-strong, so the sweep scales proportionally.
+        (
+            "TUS union search (Table VII / Fig. 4c)",
+            UnionSearchConfig::tus_style(),
+            30,
+            vec![5, 10, 15, 20, 25, 30],
+        )
+    } else {
+        (
+            "SANTOS union search (Table VI / Fig. 4b)",
+            UnionSearchConfig::santos_style(),
+            10,
+            vec![2, 4, 6, 8, 10, 12],
+        )
+    };
+    let bench = gen_union_search(&world, name, &cfg);
+    let task = gen_tus_santos(&world, scale.pairs_per_task, 0);
+    let vocab = search_vocab(&bench, &task);
+
+    println!(
+        "{name} — {} tables, {} queries, gold cluster size {}",
+        bench.tables.len(),
+        bench.queries.len(),
+        cfg.cluster_size - 1
+    );
+    println!("{:<20} {:>8} {:>6} {:>6}", "Baseline", "MeanF1%", &format!("P@{k}"), &format!("R@{k}"));
+    let mut curves: Vec<(String, Vec<Vec<usize>>)> = Vec::new();
+    let kmax = *ks.last().unwrap();
+
+    // TaBERT-FT: fine-tuned on the binary-union task, column-text
+    // embeddings + Fig-6 ranking.
+    let refs: Vec<&Table> = task.tables.iter().chain(bench.tables.iter()).collect();
+    let bvocab = build_vocab(&refs, Serialization::Rows { max_rows: 5 }, 8_000);
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(6);
+    let ft = tsfm_core::FinetuneConfig {
+        epochs: scale.epochs.min(4),
+        batch_size: 8,
+        lr: 2e-3,
+        patience: 10,
+        seed: 0,
+    };
+    let pair_of = |i: usize| {
+        let (a, b, _) = &task.pairs[i];
+        (&task.tables[*a], &task.tables[*b])
+    };
+    let tp: Vec<(&Table, &Table)> = task.splits.train.iter().map(|&i| pair_of(i)).collect();
+    let tl: Vec<Label> = task.splits.train.iter().map(|&i| task.pairs[i].2.clone()).collect();
+
+    let mut tabert = TextPairModel::new(
+        "TaBERT-FT",
+        bvocab.clone(),
+        TextModelConfig { encoder: tsfm_nn::EncoderConfig::small(), max_seq: 120, frozen_encoder: false },
+        Serialization::Rows { max_rows: 5 },
+        task.task,
+        &mut rng,
+    );
+    train_text_model(&mut tabert, (&tp, &tl), (&[], &[]), &ft);
+    let tabert_space = columns_by(&bench.tables, |c| {
+        let mut text = c.name.clone();
+        for v in c.rendered_values().take(30) {
+            text.push(' ');
+            text.push_str(&v);
+        }
+        tabert.embed_text(&text)
+    });
+    let r = fig6_search(&tabert_space, &bench, kmax);
+    print_search_row("TaBERT-FT", &r, &bench.gold, k);
+    curves.push(("TaBERT-FT".into(), r));
+
+    // TUTA-FT: structural model, table embeddings only (as in the paper).
+    let mut tuta = TextPairModel::new(
+        "TUTA-FT",
+        bvocab,
+        TextModelConfig { encoder: tsfm_nn::EncoderConfig::small(), max_seq: 120, frozen_encoder: false },
+        Serialization::Struct,
+        task.task,
+        &mut rng,
+    );
+    train_text_model(&mut tuta, (&tp, &tl), (&[], &[]), &ft);
+    let table_vecs: Vec<Vec<f32>> =
+        bench.tables.iter().map(|t| tuta.embed_text(&tuta.table_text(t))).collect();
+    let r = table_embedding_search(&table_vecs, &bench, kmax);
+    print_search_row("TUTA-FT", &r, &bench.gold, k);
+    curves.push(("TUTA-FT".into(), r));
+
+    // Starmie: contrastive column embeddings + Fig-6.
+    let all_cols: Vec<&tsfm_table::Column> =
+        bench.tables.iter().flat_map(|t| t.columns.iter()).collect();
+    let mut starmie = ContrastiveColumnEncoder::new(
+        SentenceEncoder::default(),
+        ColumnEncoderConfig { epochs: 3, ..Default::default() },
+    );
+    starmie.train(&all_cols);
+    let starmie_space = columns_by(&bench.tables, |c| starmie.embed(c));
+    let r = fig6_search(&starmie_space, &bench, kmax);
+    print_search_row("Starmie", &r, &bench.gold, k);
+    curves.push(("Starmie".into(), r));
+
+    // D3L and SANTOS scorers.
+    let enc = SentenceEncoder::default();
+    let r = score_search(&bench, kmax, |q, c| d3l_table_score(q, c, &enc));
+    print_search_row("D3L", &r, &bench.gold, k);
+    curves.push(("D3L".into(), r));
+    let r = score_search(&bench, kmax, |q, c| santos_table_score(q, c, &enc));
+    print_search_row("SANTOS", &r, &bench.gold, k);
+    curves.push(("SANTOS".into(), r));
+
+    // SBERT value embeddings + Fig-6.
+    let sbert_space = sbert_columns(&bench.tables, &enc);
+    let r = fig6_search(&sbert_space, &bench, kmax);
+    print_search_row("SBERT", &r, &bench.gold, k);
+    curves.push(("SBERT".into(), r));
+
+    // TabSketchFM fine-tuned on the union task, column embeddings + Fig-6.
+    let model = finetuned_model_for_search(&task, &bench.tables, &vocab, &scale, SketchToggle::ALL, 0);
+    let tsfm_space = tabsketchfm_columns(&model, &bench.tables, &vocab);
+    let r = fig6_search(&tsfm_space, &bench, kmax);
+    print_search_row("TabSketchFM", &r, &bench.gold, k);
+    curves.push(("TabSketchFM".into(), r));
+
+    let concat = tsfm_space.concat(&sbert_space);
+    let r = fig6_search(&concat, &bench, kmax);
+    print_search_row("TabSketchFM-SBERT", &r, &bench.gold, k);
+    curves.push(("TabSketchFM-SBERT".into(), r));
+
+    println!("\nF1@k curve, k = {ks:?}");
+    for (n, retrieved) in &curves {
+        print_curve(n, retrieved, &bench.gold, &ks);
+    }
+}

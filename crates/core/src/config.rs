@@ -1,0 +1,132 @@
+//! Model and input-encoding configuration.
+
+use tsfm_nn::EncoderConfig;
+
+/// Which sketch streams feed the input embedding — the knob behind the
+/// paper's Table III (only-one-sketch) and Table IV (remove-one-sketch)
+/// ablations. Disabled streams contribute zero vectors, so the model
+/// architecture (and parameter count) is unchanged across ablations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SketchToggle {
+    /// Column-level MinHash sketches (cell values + words).
+    pub minhash: bool,
+    /// Column-level numerical sketches.
+    pub numeric: bool,
+    /// Table-level content snapshot (fed at metadata tokens).
+    pub content: bool,
+}
+
+impl SketchToggle {
+    pub const ALL: SketchToggle = SketchToggle { minhash: true, numeric: true, content: true };
+    pub const ONLY_MINHASH: SketchToggle =
+        SketchToggle { minhash: true, numeric: false, content: false };
+    pub const ONLY_NUMERIC: SketchToggle =
+        SketchToggle { minhash: false, numeric: true, content: false };
+    pub const ONLY_CONTENT: SketchToggle =
+        SketchToggle { minhash: false, numeric: false, content: true };
+    pub const NO_MINHASH: SketchToggle =
+        SketchToggle { minhash: false, numeric: true, content: true };
+    pub const NO_NUMERIC: SketchToggle =
+        SketchToggle { minhash: true, numeric: false, content: true };
+    pub const NO_CONTENT: SketchToggle =
+        SketchToggle { minhash: true, numeric: true, content: false };
+}
+
+/// Sequence-construction limits.
+#[derive(Debug, Clone)]
+pub struct InputConfig {
+    /// Hard cap on tokens in one encoded sequence (pairs share it).
+    pub max_seq: usize,
+    /// Tokens kept per column name.
+    pub max_tokens_per_col: usize,
+    /// Tokens kept from the table description.
+    pub max_desc_tokens: usize,
+    /// Columns kept per table.
+    pub max_cols: usize,
+    /// Token-position embedding vocabulary (positions clamp to the last).
+    pub max_token_pos: usize,
+}
+
+impl Default for InputConfig {
+    fn default() -> Self {
+        Self {
+            max_seq: 160,
+            max_tokens_per_col: 4,
+            max_desc_tokens: 12,
+            max_cols: 16,
+            max_token_pos: 8,
+        }
+    }
+}
+
+/// Full TabSketchFM configuration.
+#[derive(Debug, Clone)]
+pub struct ModelConfig {
+    pub encoder: EncoderConfig,
+    pub input: InputConfig,
+    /// MinHash signature width `k`; the MinHash projection consumes `2k`
+    /// features (`[cell ‖ word]`).
+    pub minhash_k: usize,
+    pub vocab_size: usize,
+    pub toggle: SketchToggle,
+    /// Dropout applied to the summed input embedding.
+    pub embed_dropout: f32,
+}
+
+impl ModelConfig {
+    /// Laptop-scale experiment configuration (see DESIGN.md substitutions).
+    pub fn small(vocab_size: usize) -> Self {
+        Self {
+            encoder: EncoderConfig::small(),
+            input: InputConfig::default(),
+            minhash_k: 32,
+            vocab_size,
+            toggle: SketchToggle::ALL,
+            embed_dropout: 0.1,
+        }
+    }
+
+    /// Unit-test configuration.
+    pub fn tiny(vocab_size: usize) -> Self {
+        Self {
+            encoder: EncoderConfig::tiny(),
+            input: InputConfig {
+                max_seq: 64,
+                max_tokens_per_col: 3,
+                max_desc_tokens: 6,
+                max_cols: 8,
+                max_token_pos: 6,
+            },
+            minhash_k: 8,
+            vocab_size,
+            toggle: SketchToggle::ALL,
+            embed_dropout: 0.0,
+        }
+    }
+
+    pub fn with_toggle(mut self, toggle: SketchToggle) -> Self {
+        self.toggle = toggle;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn toggles() {
+        assert!(SketchToggle::ALL.minhash && SketchToggle::ALL.numeric && SketchToggle::ALL.content);
+        assert!(!SketchToggle::ONLY_MINHASH.numeric);
+        assert!(!SketchToggle::NO_MINHASH.minhash && SketchToggle::NO_MINHASH.numeric);
+    }
+
+    #[test]
+    fn configs_consistent() {
+        let c = ModelConfig::small(100);
+        assert_eq!(c.vocab_size, 100);
+        assert!(c.encoder.d_model % c.encoder.heads == 0);
+        let t = ModelConfig::tiny(50).with_toggle(SketchToggle::ONLY_NUMERIC);
+        assert_eq!(t.toggle, SketchToggle::ONLY_NUMERIC);
+    }
+}

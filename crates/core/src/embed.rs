@@ -1,0 +1,196 @@
+//! Embedding extraction for search (paper §III-E, §IV-C).
+//!
+//! Table embeddings are the pooler output of a single-table forward pass;
+//! column embeddings are the mean of the final hidden states over each
+//! column's name tokens (contextualized by attention over the whole
+//! table). `concat_normalized` implements the TabSketchFM-SBERT variant:
+//! z-normalize each embedding family, then concatenate.
+
+use crate::input::Sequence;
+use crate::model::TabSketchFM;
+use tsfm_nn::Tape;
+
+/// Table-level embeddings (pooler output), one per sequence.
+pub fn table_embeddings(
+    model: &TabSketchFM,
+    seqs: &[Sequence],
+    batch_size: usize,
+) -> Vec<Vec<f32>> {
+    let d = model.d_model();
+    let mut out = Vec::with_capacity(seqs.len());
+    for chunk in seqs.chunks(batch_size.max(1)) {
+        let mut tape = Tape::new(false, 0);
+        let fwd = model.forward(&mut tape, chunk);
+        let pooled = tape.value(fwd.pooled);
+        for row in pooled.data().chunks(d) {
+            out.push(row.to_vec());
+        }
+    }
+    out
+}
+
+/// Contextual column embeddings for one sequence: `(column index, vec)` in
+/// the order the columns were encoded.
+///
+/// The vector is the concatenation of the column tokens' mean **input
+/// embedding** (which carries the MinHash/numerical sketch projections
+/// directly) and their mean **final hidden state** (attention context).
+/// The paper's 118M-parameter model distributes sketch information through
+/// all layers during its 2-day pretraining; at our scale the input layer
+/// must be surfaced explicitly or the sketch signal is drowned by token
+/// identity (see DESIGN.md).
+pub fn column_embeddings(model: &TabSketchFM, seq: &Sequence) -> Vec<(usize, Vec<f32>)> {
+    let d = model.d_model();
+    let mut tape = Tape::new(false, 0);
+    let fwd = model.forward(&mut tape, std::slice::from_ref(seq));
+    let hidden = tape.value(fwd.hidden).clone(); // [1, T, D]
+    let embed = tape.value(fwd.input_embed).clone(); // [1, T, D]
+    let mut out = Vec::with_capacity(seq.col_ranges.len());
+    for (_seg, ci, range) in &seq.col_ranges {
+        let mut v = vec![0.0f32; 2 * d];
+        let n = range.len().max(1) as f32;
+        for t in range.clone() {
+            for (acc, &x) in v[..d].iter_mut().zip(&embed.data()[t * d..(t + 1) * d]) {
+                *acc += x;
+            }
+            for (acc, &x) in v[d..].iter_mut().zip(&hidden.data()[t * d..(t + 1) * d]) {
+                *acc += x;
+            }
+        }
+        for acc in &mut v {
+            *acc /= n;
+        }
+        out.push((*ci, v));
+    }
+    out
+}
+
+/// Z-normalize `v` in place (zero mean, unit variance across components),
+/// the normalization the paper applies before concatenating TabSketchFM and
+/// SBERT embeddings "so the means and variances of the two vectors were in
+/// the same scale".
+pub fn z_normalize(v: &mut [f32]) {
+    let n = v.len().max(1) as f32;
+    let mean = v.iter().sum::<f32>() / n;
+    let var = v.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n;
+    let std = var.sqrt().max(1e-6);
+    for x in v {
+        *x = (*x - mean) / std;
+    }
+}
+
+/// Concatenate two embedding families after z-normalizing each
+/// (TabSketchFM-SBERT).
+pub fn concat_normalized(a: &[f32], b: &[f32]) -> Vec<f32> {
+    let mut va = a.to_vec();
+    let mut vb = b.to_vec();
+    z_normalize(&mut va);
+    z_normalize(&mut vb);
+    va.extend(vb);
+    va
+}
+
+/// Cosine similarity between two vectors.
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "cosine dims");
+    let mut dot = 0.0f32;
+    let mut na = 0.0f32;
+    let mut nb = 0.0f32;
+    for (&x, &y) in a.iter().zip(b) {
+        dot += x * y;
+        na += x * x;
+        nb += y * y;
+    }
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na.sqrt() * nb.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ModelConfig, SketchToggle};
+    use crate::input::{encode_table, single_sequence};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tsfm_sketch::{SketchConfig, TableSketch};
+    use tsfm_table::{Column, Table, Value};
+    use tsfm_tokenizer::VocabBuilder;
+
+    fn setup() -> (TabSketchFM, Sequence) {
+        let mut vb = VocabBuilder::new();
+        vb.add_text("people name age data");
+        let vocab = vb.build(1, 100);
+        let cfg = ModelConfig::tiny(vocab.len());
+        let mut t = Table::new("t", "people data");
+        t.push_column(Column::new("name", vec![Value::Str("ann".into())]));
+        t.push_column(Column::new("age", vec![Value::Int(4)]));
+        let scfg = SketchConfig { minhash_k: cfg.minhash_k, ..Default::default() };
+        let enc = encode_table(
+            &TableSketch::build(&t, &scfg),
+            &vocab,
+            &cfg.input,
+            SketchToggle::ALL,
+        );
+        let seq = single_sequence(&enc, &cfg.input);
+        let mut rng = StdRng::seed_from_u64(0);
+        (TabSketchFM::new(cfg, &mut rng), seq)
+    }
+
+    #[test]
+    fn table_embedding_dims_and_batching() {
+        let (model, seq) = setup();
+        let es = table_embeddings(&model, &[seq.clone(), seq.clone(), seq.clone()], 2);
+        assert_eq!(es.len(), 3);
+        assert_eq!(es[0].len(), model.d_model());
+        // Batch size must not change results.
+        for (a, b) in es[0].iter().zip(&es[2]) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn column_embeddings_one_per_column() {
+        let (model, seq) = setup();
+        let cols = column_embeddings(&model, &seq);
+        assert_eq!(cols.len(), 2);
+        assert_eq!(cols[0].0, 0);
+        assert_eq!(cols[1].0, 1);
+        assert_eq!(cols[0].1.len(), 2 * model.d_model(), "input ‖ hidden");
+        // Different columns get different embeddings.
+        let diff: f32 =
+            cols[0].1.iter().zip(&cols[1].1).map(|(a, b)| (a - b).abs()).sum();
+        assert!(diff > 1e-3);
+    }
+
+    #[test]
+    fn z_normalize_moments() {
+        let mut v = vec![10.0, 20.0, 30.0, 40.0];
+        z_normalize(&mut v);
+        let mean: f32 = v.iter().sum::<f32>() / 4.0;
+        let var: f32 = v.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-5);
+        assert!((var - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn concat_normalized_width() {
+        let a = vec![1.0, 2.0, 3.0];
+        let b = vec![5.0, 6.0];
+        let c = concat_normalized(&a, &b);
+        assert_eq!(c.len(), 5);
+    }
+
+    #[test]
+    fn cosine_properties() {
+        let a = vec![1.0, 0.0];
+        let b = vec![0.0, 1.0];
+        assert_eq!(cosine(&a, &a), 1.0);
+        assert_eq!(cosine(&a, &b), 0.0);
+        assert_eq!(cosine(&a, &[0.0, 0.0]), 0.0, "zero vector safe");
+        let c = vec![-1.0, 0.0];
+        assert_eq!(cosine(&a, &c), -1.0);
+    }
+}

@@ -1,0 +1,387 @@
+//! Sketch-to-sequence encoding (paper §III-B, Fig. 1).
+//!
+//! The token stream for one table is
+//! `desc₁ … desc_d [SEP] col₁tok₁ … [SEP] col₂tok₁ … [SEP] …`
+//! and every token carries five aligned side channels:
+//!
+//! * **token position** — position *within its column name* (description
+//!   tokens count within the description);
+//! * **column position** — 0 for metadata tokens, 1..C for columns (the
+//!   `[SEP]` closing a column belongs to that column);
+//! * **column type** — 0 for metadata, otherwise string/int/float/date
+//!   (ids 1–4, Fig. 1);
+//! * **MinHash features** — `2k` floats: the content snapshot for metadata
+//!   tokens, `[cell ‖ word]` for string columns, `[cell ‖ 0]` otherwise;
+//! * **numerical-sketch features** — 16 floats (zeros for metadata).
+//!
+//! Sequence builders then assemble single-table (`[CLS] T [SEP]…`) or
+//! cross-encoder pair (`[CLS] A … B …`, segments 0/1) inputs.
+
+use crate::config::{InputConfig, SketchToggle};
+use tsfm_sketch::numeric::NUMERIC_SKETCH_DIM;
+use tsfm_sketch::TableSketch;
+use tsfm_tokenizer::{Vocab, CLS, SEP};
+
+/// One encoded table segment (no `[CLS]`; ends with a `[SEP]`).
+#[derive(Debug, Clone)]
+pub struct EncodedTable {
+    pub ids: Vec<u32>,
+    pub token_pos: Vec<u32>,
+    pub col_pos: Vec<u32>,
+    pub col_type: Vec<u32>,
+    /// `ids.len() * 2k` MinHash features, row-major per token.
+    pub minhash: Vec<f32>,
+    /// `ids.len() * NUMERIC_SKETCH_DIM` features, row-major per token.
+    pub numeric: Vec<f32>,
+    /// Per encoded column: (column index in the sketch, token span
+    /// `[start, end)` covering its name tokens, excluding the `[SEP]`).
+    pub col_ranges: Vec<(usize, std::ops::Range<usize>)>,
+    pub minhash_k: usize,
+}
+
+impl EncodedTable {
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+}
+
+/// Encode one table's sketch into a token segment.
+pub fn encode_table(
+    sketch: &TableSketch,
+    vocab: &Vocab,
+    cfg: &InputConfig,
+    toggle: SketchToggle,
+) -> EncodedTable {
+    let k = sketch.content_snapshot.k();
+    let mh_width = 2 * k;
+    let mut enc = EncodedTable {
+        ids: Vec::new(),
+        token_pos: Vec::new(),
+        col_pos: Vec::new(),
+        col_type: Vec::new(),
+        minhash: Vec::new(),
+        numeric: Vec::new(),
+        col_ranges: Vec::new(),
+        minhash_k: k,
+    };
+
+    let content_feats: Vec<f32> = if toggle.content {
+        sketch.content_features()
+    } else {
+        vec![0.0; mh_width]
+    };
+    let zero_numeric = [0.0f32; NUMERIC_SKETCH_DIM];
+
+    // Description (metadata) tokens: column position 0 per Fig. 1 fn. 6.
+    let desc_text = if sketch.description.is_empty() {
+        &sketch.table_name
+    } else {
+        &sketch.description
+    };
+    let mut desc_ids = vocab.encode_text(desc_text);
+    desc_ids.truncate(cfg.max_desc_tokens);
+    for (pos, id) in desc_ids.iter().enumerate() {
+        push_token(
+            &mut enc,
+            *id,
+            pos.min(cfg.max_token_pos - 1) as u32,
+            0,
+            0,
+            &content_feats,
+            &zero_numeric,
+        );
+    }
+    // [SEP] closing the metadata block.
+    push_token(&mut enc, SEP, 0, 0, 0, &content_feats, &zero_numeric);
+
+    for (ci, col) in sketch.columns.iter().take(cfg.max_cols).enumerate() {
+        let col_pos = (ci + 1).min(cfg.max_cols) as u32;
+        let ty = col.ty.embedding_id() as u32;
+        let mh: Vec<f32> = if toggle.minhash {
+            col.minhash_features()
+        } else {
+            vec![0.0; mh_width]
+        };
+        let nu: [f32; NUMERIC_SKETCH_DIM] = if toggle.numeric {
+            col.numeric.to_f32_features()
+        } else {
+            zero_numeric
+        };
+
+        let mut name_ids = vocab.encode_text(&col.name);
+        if name_ids.is_empty() {
+            name_ids.push(vocab.unk());
+        }
+        name_ids.truncate(cfg.max_tokens_per_col);
+
+        let start = enc.ids.len();
+        for (pos, id) in name_ids.iter().enumerate() {
+            push_token(
+                &mut enc,
+                *id,
+                pos.min(cfg.max_token_pos - 1) as u32,
+                col_pos,
+                ty,
+                &mh,
+                &nu,
+            );
+        }
+        let end = enc.ids.len();
+        enc.col_ranges.push((ci, start..end));
+        // The [SEP] closing a column carries that column's side channels,
+        // so sketches reach the model even if the name is fully masked.
+        push_token(&mut enc, SEP, 0, col_pos, ty, &mh, &nu);
+    }
+    enc
+}
+
+fn push_token(
+    enc: &mut EncodedTable,
+    id: u32,
+    token_pos: u32,
+    col_pos: u32,
+    col_type: u32,
+    mh: &[f32],
+    nu: &[f32],
+) {
+    enc.ids.push(id);
+    enc.token_pos.push(token_pos);
+    enc.col_pos.push(col_pos);
+    enc.col_type.push(col_type);
+    enc.minhash.extend_from_slice(mh);
+    enc.numeric.extend_from_slice(nu);
+}
+
+/// A fully assembled model input sequence (single table or pair).
+#[derive(Debug, Clone)]
+pub struct Sequence {
+    pub ids: Vec<u32>,
+    pub token_pos: Vec<u32>,
+    pub col_pos: Vec<u32>,
+    pub col_type: Vec<u32>,
+    pub segment: Vec<u32>,
+    pub minhash: Vec<f32>,
+    pub numeric: Vec<f32>,
+    pub minhash_k: usize,
+    /// Column token spans, shifted to sequence coordinates:
+    /// (segment, column index, token range).
+    pub col_ranges: Vec<(u32, usize, std::ops::Range<usize>)>,
+}
+
+impl Sequence {
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    fn with_capacity(n: usize, k: usize) -> Self {
+        Sequence {
+            ids: Vec::with_capacity(n),
+            token_pos: Vec::with_capacity(n),
+            col_pos: Vec::with_capacity(n),
+            col_type: Vec::with_capacity(n),
+            segment: Vec::with_capacity(n),
+            minhash: Vec::with_capacity(n * 2 * k),
+            numeric: Vec::with_capacity(n * NUMERIC_SKETCH_DIM),
+            minhash_k: k,
+            col_ranges: Vec::new(),
+        }
+    }
+
+    fn push_cls(&mut self, feats: &[f32]) {
+        self.ids.push(CLS);
+        self.token_pos.push(0);
+        self.col_pos.push(0);
+        self.col_type.push(0);
+        self.segment.push(0);
+        self.minhash.extend_from_slice(feats);
+        self.numeric.extend(std::iter::repeat(0.0).take(NUMERIC_SKETCH_DIM));
+    }
+
+    /// Append an encoded table as one segment, truncating at `budget`
+    /// tokens. Returns how many tokens were appended.
+    fn append_segment(&mut self, enc: &EncodedTable, segment: u32, budget: usize) -> usize {
+        let n = enc.len().min(budget);
+        let offset = self.ids.len();
+        self.ids.extend_from_slice(&enc.ids[..n]);
+        self.token_pos.extend_from_slice(&enc.token_pos[..n]);
+        self.col_pos.extend_from_slice(&enc.col_pos[..n]);
+        self.col_type.extend_from_slice(&enc.col_type[..n]);
+        self.segment.extend(std::iter::repeat(segment).take(n));
+        let mh_w = 2 * enc.minhash_k;
+        self.minhash.extend_from_slice(&enc.minhash[..n * mh_w]);
+        self.numeric.extend_from_slice(&enc.numeric[..n * NUMERIC_SKETCH_DIM]);
+        for (ci, range) in &enc.col_ranges {
+            if range.end <= n {
+                self.col_ranges
+                    .push((segment, *ci, range.start + offset..range.end + offset));
+            }
+        }
+        n
+    }
+}
+
+/// `[CLS] table-segment` for embedding extraction and MLM pretraining.
+/// The `[CLS]` token carries the content-snapshot features (it is a
+/// metadata token).
+pub fn single_sequence(enc: &EncodedTable, cfg: &InputConfig) -> Sequence {
+    let mut seq = Sequence::with_capacity(enc.len() + 1, enc.minhash_k);
+    let mh_w = 2 * enc.minhash_k;
+    seq.push_cls(&enc.minhash[..mh_w.min(enc.minhash.len())]);
+    seq.append_segment(enc, 0, cfg.max_seq - 1);
+    seq
+}
+
+/// `[CLS] A-segment B-segment` with segment ids 0/1 — the cross-encoder
+/// input of Fig. 2b. The budget is split evenly; leftover space from a
+/// short A is given to B.
+pub fn pair_sequence(a: &EncodedTable, b: &EncodedTable, cfg: &InputConfig) -> Sequence {
+    let budget = cfg.max_seq - 1;
+    let half = budget / 2;
+    let a_take = a.len().min(half.max(budget.saturating_sub(b.len())));
+    let mut seq = Sequence::with_capacity(cfg.max_seq, a.minhash_k);
+    let mh_w = 2 * a.minhash_k;
+    seq.push_cls(&a.minhash[..mh_w.min(a.minhash.len())]);
+    let used = seq.append_segment(a, 0, a_take);
+    seq.append_segment(b, 1, budget - used);
+    seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsfm_sketch::SketchConfig;
+    use tsfm_table::{Column, Table, Value};
+    use tsfm_tokenizer::VocabBuilder;
+
+    fn fixture() -> (TableSketch, Vocab) {
+        let mut t = Table::new("res", "Residential Properties")
+            .with_description("residential properties");
+        t.push_column(Column::new(
+            "Reference Area",
+            vec![Value::Str("Austria Vienna".into()), Value::Str("Austria Graz".into())],
+        ));
+        t.push_column(Column::new("Age", vec![Value::Int(10), Value::Int(55)]));
+        let mut vb = VocabBuilder::new();
+        vb.add_text("residential properties reference area age austria vienna graz");
+        let vocab = vb.build(1, 1000);
+        let sketch = TableSketch::build(&t, &SketchConfig { minhash_k: 8, ..Default::default() });
+        (sketch, vocab)
+    }
+
+    #[test]
+    fn layout_matches_fig1() {
+        let (sketch, vocab) = fixture();
+        let cfg = InputConfig::default();
+        let enc = encode_table(&sketch, &vocab, &cfg, SketchToggle::ALL);
+
+        // desc(2) SEP | reference area SEP | age SEP
+        let toks: Vec<&str> = enc.ids.iter().map(|&i| vocab.token_of(i)).collect();
+        assert_eq!(
+            toks,
+            vec!["residential", "properties", "[SEP]", "reference", "area", "[SEP]", "age", "[SEP]"]
+        );
+        // Token positions restart per column: "area" is position 1.
+        assert_eq!(enc.token_pos[4], 1);
+        // Column positions: metadata 0, first col 1, second col 2.
+        assert_eq!(enc.col_pos[0], 0);
+        assert_eq!(enc.col_pos[3], 1);
+        assert_eq!(enc.col_pos[6], 2);
+        // Column types: string=1 for col1, int=2 for col2, 0 for metadata.
+        assert_eq!(enc.col_type[0], 0);
+        assert_eq!(enc.col_type[3], 1);
+        assert_eq!(enc.col_type[6], 2);
+        // Column ranges cover name tokens only.
+        assert_eq!(enc.col_ranges[0], (0, 3..5));
+        assert_eq!(enc.col_ranges[1], (1, 6..7));
+    }
+
+    #[test]
+    fn feature_channels_align() {
+        let (sketch, vocab) = fixture();
+        let cfg = InputConfig::default();
+        let enc = encode_table(&sketch, &vocab, &cfg, SketchToggle::ALL);
+        let mh_w = 2 * enc.minhash_k;
+        assert_eq!(enc.minhash.len(), enc.len() * mh_w);
+        assert_eq!(enc.numeric.len(), enc.len() * NUMERIC_SKETCH_DIM);
+        // Metadata tokens carry the content snapshot (word half zero).
+        let meta = &enc.minhash[..mh_w];
+        assert_eq!(&meta[8..], &[0.0; 8], "content snapshot zero-pads word half");
+        // The string column's word half is non-trivial.
+        let col1 = &enc.minhash[3 * mh_w..4 * mh_w];
+        assert!(col1[8..].iter().any(|&f| f != 0.0));
+        // Metadata numeric features are zeros; Age's are not.
+        assert!(enc.numeric[..NUMERIC_SKETCH_DIM].iter().all(|&f| f == 0.0));
+        let age = &enc.numeric[6 * NUMERIC_SKETCH_DIM..7 * NUMERIC_SKETCH_DIM];
+        assert!(age.iter().any(|&f| f != 0.0));
+    }
+
+    #[test]
+    fn toggles_zero_streams() {
+        let (sketch, vocab) = fixture();
+        let cfg = InputConfig::default();
+        let no_mh = encode_table(&sketch, &vocab, &cfg, SketchToggle::NO_MINHASH);
+        let mh_w = 2 * no_mh.minhash_k;
+        // Column tokens have zero minhash but metadata keeps content.
+        assert!(no_mh.minhash[3 * mh_w..4 * mh_w].iter().all(|&f| f == 0.0));
+        assert!(no_mh.minhash[..mh_w].iter().any(|&f| f != 0.0));
+
+        let only_num = encode_table(&sketch, &vocab, &cfg, SketchToggle::ONLY_NUMERIC);
+        assert!(only_num.minhash.iter().all(|&f| f == 0.0));
+        assert!(only_num.numeric.iter().any(|&f| f != 0.0));
+    }
+
+    #[test]
+    fn single_sequence_prepends_cls() {
+        let (sketch, vocab) = fixture();
+        let cfg = InputConfig::default();
+        let enc = encode_table(&sketch, &vocab, &cfg, SketchToggle::ALL);
+        let seq = single_sequence(&enc, &cfg);
+        assert_eq!(seq.ids[0], CLS);
+        assert_eq!(seq.len(), enc.len() + 1);
+        assert_eq!(seq.col_ranges[0].2, 4..6, "ranges shifted by CLS");
+        assert!(seq.segment.iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn pair_sequence_segments_and_truncation() {
+        let (sketch, vocab) = fixture();
+        let cfg = InputConfig::default();
+        let enc = encode_table(&sketch, &vocab, &cfg, SketchToggle::ALL);
+        let pair = pair_sequence(&enc, &enc, &cfg);
+        assert_eq!(pair.ids[0], CLS);
+        assert_eq!(pair.len(), 2 * enc.len() + 1);
+        assert_eq!(pair.segment[1], 0);
+        assert_eq!(*pair.segment.last().unwrap(), 1);
+        // Column ranges exist for both segments.
+        assert!(pair.col_ranges.iter().any(|(s, _, _)| *s == 0));
+        assert!(pair.col_ranges.iter().any(|(s, _, _)| *s == 1));
+
+        // Tight budget: both segments truncated, never exceeding max_seq.
+        let tight = InputConfig { max_seq: 9, ..cfg };
+        let p2 = pair_sequence(&enc, &enc, &tight);
+        assert!(p2.len() <= 9);
+        assert!(p2.segment.iter().any(|&s| s == 1), "B still represented");
+    }
+
+    #[test]
+    fn empty_table_still_encodes() {
+        let t = Table::new("e", "empty");
+        let sketch = TableSketch::build(&t, &SketchConfig { minhash_k: 8, ..Default::default() });
+        let mut vb = VocabBuilder::new();
+        vb.add_text("empty");
+        let vocab = vb.build(1, 10);
+        let cfg = InputConfig::default();
+        let enc = encode_table(&sketch, &vocab, &cfg, SketchToggle::ALL);
+        assert!(enc.len() >= 1, "at least the metadata [SEP]");
+        let seq = single_sequence(&enc, &cfg);
+        assert_eq!(seq.ids[0], CLS);
+    }
+}

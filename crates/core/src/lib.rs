@@ -1,0 +1,28 @@
+//! TabSketchFM — the paper's primary contribution.
+//!
+//! Pipeline: a [`tsfm_sketch::TableSketch`] is encoded into a token
+//! sequence with five aligned side channels ([`input`]), embedded by
+//! summing six embedding streams and run through a BERT-style encoder
+//! ([`model`]), pretrained with whole-column MLM ([`pretrain`]),
+//! fine-tuned as a cross-encoder for union/join/subset tasks
+//! ([`finetune`]), and finally used to extract table/column embeddings for
+//! search ([`embed`]).
+
+pub mod config;
+pub mod embed;
+pub mod finetune;
+pub mod input;
+pub mod model;
+pub mod pretrain;
+
+pub use config::{InputConfig, ModelConfig, SketchToggle};
+pub use embed::{column_embeddings, concat_normalized, cosine, table_embeddings, z_normalize};
+pub use finetune::{
+    finetune, task_loss, CrossEncoder, FinetuneConfig, FinetuneReport, Label, PairDataset,
+    TaskKind,
+};
+pub use input::{encode_table, pair_sequence, single_sequence, EncodedTable, Sequence};
+pub use model::{ModelOutput, TabSketchFM};
+pub use pretrain::{
+    augment_tables, mlm_examples, pretrain, MlmExample, PretrainConfig, PretrainReport,
+};

@@ -1,0 +1,305 @@
+//! The TabSketchFM encoder (paper §III-B, Fig. 1 right panel).
+//!
+//! The input embedding is the *sum of six streams*: token embeddings,
+//! token-position-within-column embeddings, column-position embeddings,
+//! column-type embeddings, segment embeddings (pair inputs), and linear
+//! projections of the MinHash and numerical sketch vectors. The sum is
+//! layer-normalized, dropped out, and fed to a BERT-style bidirectional
+//! encoder.
+
+use crate::config::ModelConfig;
+use crate::input::Sequence;
+use rand::Rng;
+use tsfm_nn::layers::attn_bias_from_lengths;
+use tsfm_nn::{
+    Embedding, LayerNorm, Linear, ParamStore, Pooler, Tape, Tensor, TransformerEncoder, Var,
+};
+use tsfm_sketch::numeric::NUMERIC_SKETCH_DIM;
+use tsfm_tokenizer::PAD;
+
+/// Outputs of one forward pass over a batch of sequences.
+pub struct ModelOutput {
+    /// Final hidden states `[B, T, D]`.
+    pub hidden: Var,
+    /// Summed, layer-normalized input embeddings `[B, T, D]` (the layer
+    /// that directly carries the sketch projections).
+    pub input_embed: Var,
+    /// Pooler output (tanh-transformed `[CLS]`) `[B, D]`.
+    pub pooled: Var,
+    /// Valid lengths per batch row.
+    pub lengths: Vec<usize>,
+    /// Padded sequence length `T`.
+    pub t: usize,
+}
+
+/// TabSketchFM: embeddings + encoder + pooler + MLM head, owning its
+/// parameter store.
+pub struct TabSketchFM {
+    pub cfg: ModelConfig,
+    pub store: ParamStore,
+    token_emb: Embedding,
+    tokpos_emb: Embedding,
+    colpos_emb: Embedding,
+    coltype_emb: Embedding,
+    segment_emb: Embedding,
+    minhash_proj: Linear,
+    numeric_proj: Linear,
+    emb_ln: LayerNorm,
+    encoder: TransformerEncoder,
+    pooler: Pooler,
+    mlm_head: Linear,
+}
+
+impl TabSketchFM {
+    pub fn new<R: Rng>(cfg: ModelConfig, rng: &mut R) -> Self {
+        let mut store = ParamStore::new();
+        let d = cfg.encoder.d_model;
+        let token_emb = Embedding::new(&mut store, "emb.token", cfg.vocab_size, d, rng);
+        let tokpos_emb =
+            Embedding::new(&mut store, "emb.token_pos", cfg.input.max_token_pos, d, rng);
+        let colpos_emb =
+            Embedding::new(&mut store, "emb.col_pos", cfg.input.max_cols + 1, d, rng);
+        // 0 = metadata, 1..=4 column types.
+        let coltype_emb = Embedding::new(&mut store, "emb.col_type", 5, d, rng);
+        let segment_emb = Embedding::new(&mut store, "emb.segment", 2, d, rng);
+        // Xavier scale so the sketch projections' output variance is
+        // comparable to the token embeddings' — with BERT's 0.02 init the
+        // sketch streams would be ~1/10 of the input signal and the model
+        // could not exploit them at this training scale.
+        let minhash_proj =
+            Linear::new_xavier(&mut store, "emb.minhash_proj", 2 * cfg.minhash_k, d, rng);
+        let numeric_proj =
+            Linear::new_xavier(&mut store, "emb.numeric_proj", NUMERIC_SKETCH_DIM, d, rng);
+        let emb_ln = LayerNorm::new(&mut store, "emb.ln", d);
+        let encoder = TransformerEncoder::new(&mut store, "encoder", cfg.encoder.clone(), rng);
+        let pooler = Pooler::new(&mut store, "pooler", d, rng);
+        let mlm_head = Linear::new(&mut store, "mlm_head", d, cfg.vocab_size, rng);
+        TabSketchFM {
+            cfg,
+            store,
+            token_emb,
+            tokpos_emb,
+            colpos_emb,
+            coltype_emb,
+            segment_emb,
+            minhash_proj,
+            numeric_proj,
+            emb_ln,
+            encoder,
+            pooler,
+            mlm_head,
+        }
+    }
+
+    pub fn d_model(&self) -> usize {
+        self.cfg.encoder.d_model
+    }
+
+    pub fn num_parameters(&self) -> usize {
+        self.store.num_scalars()
+    }
+
+    /// Forward a batch of [`Sequence`]s (padded to the longest).
+    pub fn forward(&self, tape: &mut Tape, seqs: &[Sequence]) -> ModelOutput {
+        assert!(!seqs.is_empty(), "empty batch");
+        let b = seqs.len();
+        let t = seqs.iter().map(Sequence::len).max().expect("non-empty");
+        let mh_w = 2 * self.cfg.minhash_k;
+        let lengths: Vec<usize> = seqs.iter().map(Sequence::len).collect();
+
+        let mut ids = vec![PAD; b * t];
+        let mut tokpos = vec![0u32; b * t];
+        let mut colpos = vec![0u32; b * t];
+        let mut coltype = vec![0u32; b * t];
+        let mut segment = vec![0u32; b * t];
+        let mut minhash = vec![0f32; b * t * mh_w];
+        let mut numeric = vec![0f32; b * t * NUMERIC_SKETCH_DIM];
+        for (bi, s) in seqs.iter().enumerate() {
+            assert_eq!(s.minhash_k, self.cfg.minhash_k, "sequence sketched with wrong k");
+            let n = s.len();
+            ids[bi * t..bi * t + n].copy_from_slice(&s.ids);
+            tokpos[bi * t..bi * t + n].copy_from_slice(&s.token_pos);
+            colpos[bi * t..bi * t + n].copy_from_slice(&s.col_pos);
+            coltype[bi * t..bi * t + n].copy_from_slice(&s.col_type);
+            segment[bi * t..bi * t + n].copy_from_slice(&s.segment);
+            minhash[(bi * t) * mh_w..(bi * t + n) * mh_w].copy_from_slice(&s.minhash);
+            numeric[(bi * t) * NUMERIC_SKETCH_DIM..(bi * t + n) * NUMERIC_SKETCH_DIM]
+                .copy_from_slice(&s.numeric);
+        }
+
+        let st = &self.store;
+        let e_tok = self.token_emb.forward(tape, st, ids);
+        let e_tp = self.tokpos_emb.forward(tape, st, tokpos);
+        let e_cp = self.colpos_emb.forward(tape, st, colpos);
+        let e_ct = self.coltype_emb.forward(tape, st, coltype);
+        let e_sg = self.segment_emb.forward(tape, st, segment);
+        let mh_in = tape.constant(Tensor::from_vec(vec![b * t, mh_w], minhash));
+        let e_mh = self.minhash_proj.forward(tape, st, mh_in);
+        let nu_in = tape.constant(Tensor::from_vec(vec![b * t, NUMERIC_SKETCH_DIM], numeric));
+        let e_nu = self.numeric_proj.forward(tape, st, nu_in);
+
+        let mut x = tape.add(e_tok, e_tp);
+        x = tape.add(x, e_cp);
+        x = tape.add(x, e_ct);
+        x = tape.add(x, e_sg);
+        x = tape.add(x, e_mh);
+        x = tape.add(x, e_nu);
+        let x = self.emb_ln.forward(tape, st, x);
+        let x = tape.dropout(x, self.cfg.embed_dropout);
+        let x3 = tape.reshape(x, vec![b, t, self.d_model()]);
+
+        let bias = attn_bias_from_lengths(&lengths, t);
+        let hidden = self.encoder.forward(tape, st, x3, &bias);
+        let pooled = self.pooler.forward(tape, st, hidden);
+        ModelOutput { hidden, input_embed: x3, pooled, lengths, t }
+    }
+
+    /// MLM logits `[B*T, vocab]` from hidden states.
+    pub fn mlm_logits(&self, tape: &mut Tape, out: &ModelOutput, batch: usize) -> Var {
+        let flat = tape.reshape(out.hidden, vec![batch * out.t, self.d_model()]);
+        self.mlm_head.forward(tape, &self.store, flat)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SketchToggle;
+    use crate::input::{encode_table, pair_sequence, single_sequence};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tsfm_sketch::{SketchConfig, TableSketch};
+    use tsfm_table::{Column, Table, Value};
+    use tsfm_tokenizer::{Vocab, VocabBuilder};
+
+    fn fixture() -> (Vec<Sequence>, Vocab, ModelConfig) {
+        let mut vb = VocabBuilder::new();
+        vb.add_text("people city age name population area country data about");
+        let vocab = vb.build(1, 1000);
+        let cfg = ModelConfig::tiny(vocab.len());
+
+        let mk = |id: &str, cols: Vec<Column>| {
+            let mut t = Table::new(id, format!("data about {id}"));
+            for c in cols {
+                t.push_column(c);
+            }
+            t
+        };
+        let t1 = mk(
+            "people",
+            vec![
+                Column::new("name", vec![Value::Str("ann".into()), Value::Str("bob".into())]),
+                Column::new("age", vec![Value::Int(30), Value::Int(40)]),
+            ],
+        );
+        let t2 = mk(
+            "city",
+            vec![
+                Column::new("city", vec![Value::Str("vienna".into())]),
+                Column::new("population", vec![Value::Int(1_900_000)]),
+            ],
+        );
+        let scfg = SketchConfig { minhash_k: cfg.minhash_k, ..Default::default() };
+        let e1 = encode_table(&TableSketch::build(&t1, &scfg), &vocab, &cfg.input, SketchToggle::ALL);
+        let e2 = encode_table(&TableSketch::build(&t2, &scfg), &vocab, &cfg.input, SketchToggle::ALL);
+        let seqs = vec![
+            single_sequence(&e1, &cfg.input),
+            single_sequence(&e2, &cfg.input),
+            pair_sequence(&e1, &e2, &cfg.input),
+        ];
+        (seqs, vocab, cfg)
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let (seqs, _vocab, cfg) = fixture();
+        let mut rng = StdRng::seed_from_u64(0);
+        let model = TabSketchFM::new(cfg, &mut rng);
+        let mut tape = Tape::new(false, 0);
+        let out = model.forward(&mut tape, &seqs);
+        let t = seqs.iter().map(Sequence::len).max().unwrap();
+        assert_eq!(tape.value(out.hidden).shape(), &[3, t, model.d_model()]);
+        assert_eq!(tape.value(out.pooled).shape(), &[3, model.d_model()]);
+        let logits = model.mlm_logits(&mut tape, &out, 3);
+        assert_eq!(tape.value(logits).shape(), &[3 * t, model.cfg.vocab_size]);
+    }
+
+    #[test]
+    fn padding_rows_do_not_change_shorter_sequences() {
+        // Embedding of a sequence must be identical whether it is padded a
+        // little (batched with an equal-length peer) or a lot.
+        let (seqs, _vocab, cfg) = fixture();
+        let mut rng = StdRng::seed_from_u64(1);
+        let model = TabSketchFM::new(cfg, &mut rng);
+
+        let solo = {
+            let mut tape = Tape::new(false, 0);
+            let out = model.forward(&mut tape, &seqs[..1]);
+            tape.value(out.pooled).data().to_vec()
+        };
+        let batched = {
+            let mut tape = Tape::new(false, 0);
+            let out = model.forward(&mut tape, &seqs);
+            tape.value(out.pooled).data()[..model.d_model()].to_vec()
+        };
+        for (a, b) in solo.iter().zip(&batched) {
+            assert!((a - b).abs() < 1e-4, "padding leaked into valid tokens");
+        }
+    }
+
+    #[test]
+    fn deterministic_in_eval_mode() {
+        let (seqs, _vocab, cfg) = fixture();
+        let mut rng = StdRng::seed_from_u64(2);
+        let model = TabSketchFM::new(cfg, &mut rng);
+        let run = || {
+            let mut tape = Tape::new(false, 99);
+            let out = model.forward(&mut tape, &seqs);
+            tape.value(out.pooled).clone()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn parameter_count_plausible() {
+        let (_seqs, vocab, cfg) = fixture();
+        let mut rng = StdRng::seed_from_u64(3);
+        let model = TabSketchFM::new(cfg.clone(), &mut rng);
+        let d = cfg.encoder.d_model;
+        // At minimum: token embedding + MLM head.
+        assert!(model.num_parameters() > 2 * vocab.len() * d);
+    }
+
+    #[test]
+    fn sketch_inputs_change_output() {
+        // Same tokens, different sketches ⇒ different embeddings (the
+        // sketches actually reach the model).
+        let (_seqs, vocab, cfg) = fixture();
+        let mut rng = StdRng::seed_from_u64(4);
+        let model = TabSketchFM::new(cfg.clone(), &mut rng);
+
+        let mk = |vals: Vec<i64>| {
+            let mut t = Table::new("x", "data");
+            t.push_column(Column::new("age", vals.into_iter().map(Value::Int).collect()));
+            let scfg = SketchConfig { minhash_k: cfg.minhash_k, ..Default::default() };
+            let enc = encode_table(
+                &TableSketch::build(&t, &scfg),
+                &vocab,
+                &cfg.input,
+                SketchToggle::ALL,
+            );
+            single_sequence(&enc, &cfg.input)
+        };
+        let a = mk(vec![1, 2, 3]);
+        let b = mk(vec![1000, 2000, 3000]);
+        assert_eq!(a.ids, b.ids, "identical token streams");
+        let embed = |s: &Sequence| {
+            let mut tape = Tape::new(false, 0);
+            let out = model.forward(&mut tape, std::slice::from_ref(s));
+            tape.value(out.pooled).data().to_vec()
+        };
+        let (ea, eb) = (embed(&a), embed(&b));
+        let diff: f32 = ea.iter().zip(&eb).map(|(x, y)| (x - y).abs()).sum();
+        assert!(diff > 1e-3, "sketches must influence the embedding");
+    }
+}

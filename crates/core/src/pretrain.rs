@@ -1,0 +1,353 @@
+//! MLM pretraining with whole-column masking (paper §III-C, Fig. 3).
+//!
+//! For each table we create up to five examples, one per masked column:
+//! every token of the chosen column name becomes `[MASK]` (whole-word
+//! masking's tabular analogue), and description tokens are additionally
+//! masked i.i.d. with the MLM probability. Tables with ≤5 columns mask
+//! each column once; larger tables sample five columns so no table is
+//! over-represented. Data augmentation shuffles column order (§III-C).
+
+use crate::config::ModelConfig;
+use crate::input::{encode_table, single_sequence, Sequence};
+use crate::model::TabSketchFM;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use tsfm_nn::ops::IGNORE_INDEX;
+use tsfm_nn::{AdamW, LinearSchedule, Tape};
+use tsfm_sketch::{MinHasher, TableSketch};
+use tsfm_table::Table;
+use tsfm_tokenizer::{Vocab, CLS, MASK, SEP};
+
+/// One MLM training example: a masked sequence plus per-token labels
+/// (`IGNORE_INDEX` where no prediction is required).
+#[derive(Debug, Clone)]
+pub struct MlmExample {
+    pub seq: Sequence,
+    pub labels: Vec<i64>,
+}
+
+/// Pretraining hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct PretrainConfig {
+    pub epochs: usize,
+    pub batch_size: usize,
+    pub lr: f32,
+    pub mlm_prob: f64,
+    /// Early-stopping patience in epochs (paper uses 5).
+    pub patience: usize,
+    pub seed: u64,
+    /// Column-shuffled copies per table (paper creates 3 variants).
+    pub augment_copies: usize,
+}
+
+impl Default for PretrainConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 10,
+            batch_size: 8,
+            lr: 3e-4,
+            mlm_prob: 0.15,
+            patience: 5,
+            seed: 0,
+            augment_copies: 2,
+        }
+    }
+}
+
+/// Column-order augmentation: the original plus `copies` shuffled variants
+/// (each gets a fresh id suffix so sketches are rebuilt, including the
+/// changed content snapshot).
+pub fn augment_tables<R: Rng>(tables: &[Table], copies: usize, rng: &mut R) -> Vec<Table> {
+    let mut out = Vec::with_capacity(tables.len() * (copies + 1));
+    for t in tables {
+        out.push(t.clone());
+        for c in 0..copies {
+            out.push(t.shuffled_columns(rng, format!("{}#shuf{}", t.id, c)));
+        }
+    }
+    out
+}
+
+/// Generate the Fig.-3 masking examples for one encoded table.
+pub fn mlm_examples<R: Rng>(
+    sketch: &TableSketch,
+    vocab: &Vocab,
+    model_cfg: &ModelConfig,
+    mlm_prob: f64,
+    rng: &mut R,
+) -> Vec<MlmExample> {
+    let enc = encode_table(sketch, vocab, &model_cfg.input, model_cfg.toggle);
+    let base = single_sequence(&enc, &model_cfg.input);
+
+    // Columns that survived truncation.
+    let col_spans: Vec<std::ops::Range<usize>> =
+        base.col_ranges.iter().map(|(_, _, r)| r.clone()).collect();
+    if col_spans.is_empty() {
+        return Vec::new();
+    }
+    let mut chosen: Vec<usize> = (0..col_spans.len()).collect();
+    if col_spans.len() > 5 {
+        chosen.shuffle(rng);
+        chosen.truncate(5);
+        chosen.sort_unstable();
+    }
+
+    let mut out = Vec::with_capacity(chosen.len());
+    for &col in &chosen {
+        let mut seq = base.clone();
+        let mut labels = vec![IGNORE_INDEX; seq.len()];
+        for i in col_spans[col].clone() {
+            labels[i] = seq.ids[i] as i64;
+            seq.ids[i] = MASK;
+        }
+        // Description tokens: everything before the first [SEP] except CLS.
+        for i in 0..seq.len() {
+            if seq.ids[i] == SEP {
+                break;
+            }
+            if seq.ids[i] == CLS {
+                continue;
+            }
+            if rng.gen_bool(mlm_prob) {
+                labels[i] = seq.ids[i] as i64;
+                seq.ids[i] = MASK;
+            }
+        }
+        out.push(MlmExample { seq, labels });
+    }
+    out
+}
+
+/// Result of a pretraining run.
+#[derive(Debug, Clone)]
+pub struct PretrainReport {
+    pub train_losses: Vec<f32>,
+    pub valid_losses: Vec<f32>,
+    pub best_valid: f32,
+    pub stopped_early: bool,
+    pub examples: usize,
+}
+
+/// Pretrain `model` on `tables` with MLM; `valid_frac` of examples are
+/// held out for early stopping.
+pub fn pretrain(
+    model: &mut TabSketchFM,
+    tables: &[Table],
+    vocab: &Vocab,
+    cfg: &PretrainConfig,
+    valid_frac: f64,
+) -> PretrainReport {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    let augmented = augment_tables(tables, cfg.augment_copies, &mut rng);
+    let hasher = MinHasher::new(model.cfg.minhash_k, tsfm_sketch::SketchConfig::default().seed);
+    let mut examples: Vec<MlmExample> = Vec::new();
+    for t in &augmented {
+        let sketch = TableSketch::build_with_hasher(t, &hasher, 10_000);
+        examples.extend(mlm_examples(&sketch, vocab, &model.cfg, cfg.mlm_prob, &mut rng));
+    }
+    examples.shuffle(&mut rng);
+    let n_valid = ((examples.len() as f64 * valid_frac) as usize).min(examples.len() / 2);
+    let (valid, train) = examples.split_at(n_valid);
+
+    let steps_per_epoch = train.len().div_ceil(cfg.batch_size).max(1);
+    let total = (steps_per_epoch * cfg.epochs) as u64;
+    let sched = LinearSchedule { warmup: total / 10, total };
+    let mut opt = AdamW::new(cfg.lr);
+
+    let mut report = PretrainReport {
+        train_losses: Vec::new(),
+        valid_losses: Vec::new(),
+        best_valid: f32::INFINITY,
+        stopped_early: false,
+        examples: examples.len(),
+    };
+    let mut bad_epochs = 0usize;
+    let mut order: Vec<usize> = (0..train.len()).collect();
+    let mut step: u64 = 0;
+
+    for epoch in 0..cfg.epochs {
+        order.shuffle(&mut rng);
+        let mut epoch_loss = 0.0f64;
+        let mut batches = 0usize;
+        for chunk in order.chunks(cfg.batch_size) {
+            let batch: Vec<Sequence> = chunk.iter().map(|&i| train[i].seq.clone()).collect();
+            let mut tape = Tape::new(true, cfg.seed ^ step);
+            let out = model.forward(&mut tape, &batch);
+            let logits = model.mlm_logits(&mut tape, &out, batch.len());
+            let labels = padded_labels(chunk.iter().map(|&i| &train[i].labels), out.t);
+            let loss = tape.cross_entropy_logits(logits, labels);
+            epoch_loss += tape.value(loss).item() as f64;
+            batches += 1;
+            let grads = tape.backward(loss);
+            model.store.absorb_grads(&tape, &grads);
+            drop(tape);
+            model.store.clip_grad_norm(1.0);
+            opt.step(&mut model.store, sched.scale(step));
+            model.store.zero_grads();
+            step += 1;
+        }
+        report.train_losses.push((epoch_loss / batches.max(1) as f64) as f32);
+
+        let vloss = if valid.is_empty() {
+            *report.train_losses.last().expect("pushed")
+        } else {
+            evaluate_mlm(model, valid, cfg.batch_size)
+        };
+        report.valid_losses.push(vloss);
+        if vloss < report.best_valid - 1e-4 {
+            report.best_valid = vloss;
+            bad_epochs = 0;
+        } else {
+            bad_epochs += 1;
+            if bad_epochs >= cfg.patience {
+                report.stopped_early = true;
+                let _ = epoch;
+                break;
+            }
+        }
+    }
+    report
+}
+
+/// Mean MLM loss over a split (eval mode).
+pub fn evaluate_mlm(model: &TabSketchFM, examples: &[MlmExample], batch_size: usize) -> f32 {
+    let mut total = 0.0f64;
+    let mut batches = 0usize;
+    for chunk in examples.chunks(batch_size) {
+        let batch: Vec<Sequence> = chunk.iter().map(|e| e.seq.clone()).collect();
+        let mut tape = Tape::new(false, 0);
+        let out = model.forward(&mut tape, &batch);
+        let logits = model.mlm_logits(&mut tape, &out, batch.len());
+        let labels = padded_labels(chunk.iter().map(|e| &e.labels), out.t);
+        let loss = tape.cross_entropy_logits(logits, labels);
+        total += tape.value(loss).item() as f64;
+        batches += 1;
+    }
+    (total / batches.max(1) as f64) as f32
+}
+
+fn padded_labels<'a, I: Iterator<Item = &'a Vec<i64>>>(rows: I, t: usize) -> Vec<i64> {
+    let mut out = Vec::new();
+    for r in rows {
+        out.extend_from_slice(r);
+        out.extend(std::iter::repeat(IGNORE_INDEX).take(t - r.len()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tsfm_sketch::SketchConfig;
+    use tsfm_table::{Column, Value};
+    use tsfm_tokenizer::VocabBuilder;
+
+    fn fixture_table(ncols: usize) -> Table {
+        let mut t = Table::new("t", "test table about cities");
+        for i in 0..ncols {
+            t.push_column(Column::new(
+                format!("column{i} name"),
+                vec![Value::Int(i as i64), Value::Int(i as i64 + 1)],
+            ));
+        }
+        t
+    }
+
+    fn fixture_vocab() -> Vocab {
+        let mut vb = VocabBuilder::new();
+        vb.add_text("test table about cities name");
+        for i in 0..12 {
+            vb.add_text(&format!("column{i}"));
+        }
+        vb.build(1, 1000)
+    }
+
+    #[test]
+    fn small_tables_mask_each_column() {
+        let vocab = fixture_vocab();
+        let cfg = ModelConfig::tiny(vocab.len());
+        let t = fixture_table(3);
+        let sketch = TableSketch::build(&t, &SketchConfig { minhash_k: cfg.minhash_k, ..Default::default() });
+        let mut rng = StdRng::seed_from_u64(0);
+        let ex = mlm_examples(&sketch, &vocab, &cfg, 0.15, &mut rng);
+        assert_eq!(ex.len(), 3, "one example per column");
+        for e in &ex {
+            let masked = e.seq.ids.iter().filter(|&&i| i == MASK).count();
+            assert!(masked >= 1);
+            let labeled = e.labels.iter().filter(|&&l| l != IGNORE_INDEX).count();
+            assert_eq!(
+                masked, labeled,
+                "every [MASK] has a label and vice versa"
+            );
+        }
+    }
+
+    #[test]
+    fn large_tables_sample_five() {
+        let vocab = fixture_vocab();
+        let mut cfg = ModelConfig::tiny(vocab.len());
+        cfg.input.max_cols = 12;
+        let t = fixture_table(9);
+        let sketch = TableSketch::build(&t, &SketchConfig { minhash_k: cfg.minhash_k, ..Default::default() });
+        let mut rng = StdRng::seed_from_u64(1);
+        let ex = mlm_examples(&sketch, &vocab, &cfg, 0.15, &mut rng);
+        assert_eq!(ex.len(), 5, "paper caps at 5 masked columns");
+    }
+
+    #[test]
+    fn whole_column_masked() {
+        let vocab = fixture_vocab();
+        let cfg = ModelConfig::tiny(vocab.len());
+        let t = fixture_table(2); // each column name is "columnI name" = 2 tokens
+        let sketch = TableSketch::build(&t, &SketchConfig { minhash_k: cfg.minhash_k, ..Default::default() });
+        let mut rng = StdRng::seed_from_u64(2);
+        let ex = mlm_examples(&sketch, &vocab, &cfg, 0.0, &mut rng);
+        // With mlm_prob 0, masks come only from whole-column masking: both
+        // tokens of exactly one column per example.
+        for e in &ex {
+            let masked = e.seq.ids.iter().filter(|&&i| i == MASK).count();
+            assert_eq!(masked, 2, "all tokens of the column masked together");
+        }
+    }
+
+    #[test]
+    fn augmentation_multiplies_tables() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let tables = vec![fixture_table(3), fixture_table(4)];
+        let aug = augment_tables(&tables, 2, &mut rng);
+        assert_eq!(aug.len(), 6);
+        assert!(aug[1].id.contains("#shuf"));
+        assert_eq!(aug[1].num_cols(), 3);
+    }
+
+    #[test]
+    fn pretraining_reduces_loss() {
+        let vocab = fixture_vocab();
+        let cfg = ModelConfig::tiny(vocab.len());
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut model = TabSketchFM::new(cfg, &mut rng);
+        let tables: Vec<Table> = (0..6).map(|_| fixture_table(3)).collect();
+        let pcfg = PretrainConfig {
+            epochs: 4,
+            batch_size: 4,
+            lr: 1e-3,
+            augment_copies: 1,
+            patience: 10,
+            ..Default::default()
+        };
+        let report = pretrain(&mut model, &tables, &vocab, &pcfg, 0.2);
+        assert!(report.examples > 0);
+        let first = report.train_losses[0];
+        let last = *report.train_losses.last().unwrap();
+        assert!(
+            last < first,
+            "MLM loss should fall: {first} -> {last} ({:?})",
+            report.train_losses
+        );
+    }
+}

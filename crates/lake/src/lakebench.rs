@@ -1,0 +1,708 @@
+//! Synthetic analogues of the eight LakeBench fine-tuning datasets
+//! (paper §III-D, Table I): three union tasks, four join tasks, one
+//! subset task, spanning binary classification, regression and
+//! multi-label classification.
+
+use crate::world::{overlapping_subsets, sample_indices, AnnotatedTable, DomainKind, World};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use tsfm_core::finetune::{Label, TaskKind};
+use tsfm_table::{Table, Value};
+
+/// Train/valid/test indices into a pair list.
+#[derive(Debug, Clone, Default)]
+pub struct Splits {
+    pub train: Vec<usize>,
+    pub valid: Vec<usize>,
+    pub test: Vec<usize>,
+}
+
+/// One synthetic LakeBench task: tables, labelled pairs, splits.
+pub struct PairTask {
+    pub name: String,
+    pub task: TaskKind,
+    pub tables: Vec<Table>,
+    pub pairs: Vec<(usize, usize, Label)>,
+    pub splits: Splits,
+}
+
+impl PairTask {
+    pub fn pair_refs(&self, idxs: &[usize]) -> (Vec<(&Table, &Table)>, Vec<Label>) {
+        let mut refs = Vec::with_capacity(idxs.len());
+        let mut labels = Vec::with_capacity(idxs.len());
+        for &i in idxs {
+            let (a, b, l) = &self.pairs[i];
+            refs.push((&self.tables[*a], &self.tables[*b]));
+            labels.push(l.clone());
+        }
+        (refs, labels)
+    }
+
+    pub fn avg_rows(&self) -> f64 {
+        self.tables.iter().map(|t| t.num_rows() as f64).sum::<f64>()
+            / self.tables.len().max(1) as f64
+    }
+
+    pub fn avg_cols(&self) -> f64 {
+        self.tables.iter().map(|t| t.num_cols() as f64).sum::<f64>()
+            / self.tables.len().max(1) as f64
+    }
+}
+
+fn make_splits<R: Rng>(n: usize, rng: &mut R) -> Splits {
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(rng);
+    let n_test = (n as f64 * 0.15).ceil() as usize;
+    let n_valid = (n as f64 * 0.15).ceil() as usize;
+    let test = idx.split_off(n - n_test);
+    let valid = idx.split_off(n - n_test - n_valid);
+    Splits { train: idx, valid, test }
+}
+
+/// Generic headers used by the Wiki-style tasks whose benchmark tables have
+/// uninformative column names.
+const GENERIC_HEADERS: [&str; 4] = ["name", "value", "code", "item"];
+
+fn generic_headers(t: &mut Table) {
+    for (i, c) in t.columns.iter_mut().enumerate() {
+        c.name = GENERIC_HEADERS[i % GENERIC_HEADERS.len()].to_string();
+    }
+}
+
+/// Easy binary union (TUS-SANTOS style): positives share domains *and*
+/// lexically related headers, negatives come from a different topic — the
+/// paper notes this task is solvable from headers alone.
+pub fn gen_tus_santos(world: &World, n_pairs: usize, seed: u64) -> PairTask {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7501);
+    let mut tables = Vec::new();
+    let mut pairs = Vec::new();
+    for i in 0..n_pairs {
+        let positive = i % 2 == 0;
+        let topic = rng.gen_range(0..world.cfg.topics);
+        let mut ds = world.domains_of_topic(topic);
+        ds.shuffle(&mut rng);
+        let n_cols = rng.gen_range(2..=4.min(ds.len()));
+        let rows = rng.gen_range(20..60);
+        let a = world.make_table(format!("ts{i}a"), topic, &ds[..n_cols], rows, &mut rng);
+        let b = if positive {
+            let mut shuffled = ds[..n_cols].to_vec();
+            shuffled.shuffle(&mut rng);
+            world.make_table(format!("ts{i}b"), topic, &shuffled, rows, &mut rng)
+        } else {
+            let topic_b = (topic + 1 + rng.gen_range(0..world.cfg.topics - 1)) % world.cfg.topics;
+            let mut ds_b = world.domains_of_topic(topic_b);
+            ds_b.shuffle(&mut rng);
+            let n_b = rng.gen_range(2..=4.min(ds_b.len()));
+            world.make_table(format!("ts{i}b"), topic_b, &ds_b[..n_b], rows, &mut rng)
+        };
+        let ai = tables.len();
+        tables.push(a.table);
+        tables.push(b.table);
+        pairs.push((ai, ai + 1, Label::Binary(positive)));
+    }
+    let splits = make_splits(pairs.len(), &mut rng);
+    PairTask { name: "TUS-SANTOS".into(), task: TaskKind::Binary, tables, pairs, splits }
+}
+
+/// Hard binary union (Wiki Union style): headers are generic, positives
+/// share entity domains with almost no value overlap (the Fig.-5
+/// municipalities case), negatives may share homograph values. Value-aware
+/// models have the advantage here.
+pub fn gen_wiki_union(world: &World, n_pairs: usize, seed: u64) -> PairTask {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x817a);
+    let ents = world.entity_domains();
+    let mut tables = Vec::new();
+    let mut pairs = Vec::new();
+    for i in 0..n_pairs {
+        let positive = i % 2 == 0;
+        let rows = rng.gen_range(15..40);
+        let d_a = ents[rng.gen_range(0..ents.len())];
+        let topic_a = world.domains[d_a].topic;
+        let len = match &world.domains[d_a].kind {
+            DomainKind::Entity { values } => values.len(),
+            _ => unreachable!(),
+        };
+        // Disjoint partitions of the same domain (positive) or a different
+        // domain (negative).
+        let (sub_a, sub_b, _, _) = overlapping_subsets(len, rows, rows, 0.05, &mut rng);
+        let mk = |world: &World, id: String, topic: usize, d: usize, sub: &[u32], rng: &mut StdRng| {
+            let mut t = Table::new(id.clone(), id)
+                .with_description(world.description(topic, rng));
+            let (col, _) = world.make_column(d, "name", rows, Some(sub), rng);
+            t.push_column(col);
+            // one numeric attribute column
+            let nums = world.numeric_domains();
+            let dn = nums[rng.gen_range(0..nums.len())];
+            let (col2, _) = world.make_column(dn, "value", rows, None, rng);
+            t.push_column(col2);
+            t
+        };
+        let ta = mk(world, format!("wu{i}a"), topic_a, d_a, &sub_a, &mut rng);
+        let tb = if positive {
+            mk(world, format!("wu{i}b"), topic_a, d_a, &sub_b, &mut rng)
+        } else {
+            let d_b = loop {
+                let d = ents[rng.gen_range(0..ents.len())];
+                if d != d_a {
+                    break d;
+                }
+            };
+            let topic_b = world.domains[d_b].topic;
+            let len_b = match &world.domains[d_b].kind {
+                DomainKind::Entity { values } => values.len(),
+                _ => unreachable!(),
+            };
+            let sub = sample_indices(len_b, rows, &mut rng);
+            mk(world, format!("wu{i}b"), topic_b, d_b, &sub, &mut rng)
+        };
+        let (mut ta, mut tb) = (ta, tb);
+        generic_headers(&mut ta);
+        generic_headers(&mut tb);
+        let ai = tables.len();
+        tables.push(ta);
+        tables.push(tb);
+        pairs.push((ai, ai + 1, Label::Binary(positive)));
+    }
+    let splits = make_splits(pairs.len(), &mut rng);
+    PairTask { name: "Wiki Union".into(), task: TaskKind::Binary, tables, pairs, splits }
+}
+
+/// Union-count regression (ECB Union style): the label is the number of
+/// unionable (shared-domain) columns between the pair.
+pub fn gen_ecb_union(world: &World, n_pairs: usize, seed: u64) -> PairTask {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xecb0);
+    let mut tables = Vec::new();
+    let mut pairs = Vec::new();
+    let max_cols = 6usize;
+    for i in 0..n_pairs {
+        let topic = rng.gen_range(0..world.cfg.topics);
+        let mut ds = world.domains_of_topic(topic);
+        ds.shuffle(&mut rng);
+        let n_cols = max_cols.min(ds.len());
+        let shared = rng.gen_range(0..=n_cols);
+        let rows = rng.gen_range(30..80);
+        let a = world.make_table(format!("eu{i}a"), topic, &ds[..n_cols], rows, &mut rng);
+        // B keeps `shared` of A's domains and replaces the rest with other
+        // domains (other topics to avoid accidental sharing).
+        let mut b_domains: Vec<usize> = ds[..shared].to_vec();
+        let other_topic = (topic + 1) % world.cfg.topics;
+        let mut others = world.domains_of_topic(other_topic);
+        others.shuffle(&mut rng);
+        b_domains.extend(others.into_iter().take(n_cols - shared));
+        b_domains.shuffle(&mut rng);
+        let b = world.make_table(format!("eu{i}b"), topic, &b_domains, rows, &mut rng);
+        let ai = tables.len();
+        tables.push(a.table);
+        tables.push(b.table);
+        pairs.push((ai, ai + 1, Label::Scalar(shared as f32)));
+    }
+    let splits = make_splits(pairs.len(), &mut rng);
+    PairTask { name: "ECB Union".into(), task: TaskKind::Regression, tables, pairs, splits }
+}
+
+fn key_pair_table(
+    world: &World,
+    id: String,
+    d: usize,
+    sub: &[u32],
+    rows: usize,
+    extra_cols: usize,
+    rng: &mut StdRng,
+) -> AnnotatedTable {
+    let topic = world.domains[d].topic;
+    let mut t = Table::new(id.clone(), id).with_description(world.description(topic, rng));
+    let mut annotations = Vec::new();
+    let header = world.domains[d].header(rng);
+    let (col, ann) = world.make_column(d, &header, rows, Some(sub), rng);
+    t.push_column(col);
+    annotations.push(ann);
+    let mut ds = world.domains_of_topic(topic);
+    ds.retain(|&x| x != d);
+    ds.shuffle(rng);
+    for &dx in ds.iter().take(extra_cols) {
+        let h = world.domains[dx].header(rng);
+        let (c, a) = world.make_column(dx, &h, rows, None, rng);
+        t.push_column(c);
+        annotations.push(a);
+    }
+    // The key column's position carries no semantics: shuffle so models
+    // fine-tuned on these pairs do not overfit to "key is first" (the
+    // search benchmarks randomize key position too).
+    let mut order: Vec<usize> = (0..t.num_cols()).collect();
+    order.shuffle(rng);
+    let t = t.project(&order, t.id.clone());
+    let annotations = order.into_iter().map(|i| annotations[i].clone()).collect();
+    AnnotatedTable { table: t, annotations }
+}
+
+fn gen_overlap_regression(
+    world: &World,
+    name: &str,
+    n_pairs: usize,
+    seed: u64,
+    containment: bool,
+) -> PairTask {
+    let mut rng = StdRng::seed_from_u64(seed ^ if containment { 0xc0de } else { 0x3acc });
+    let ents = world.entity_domains();
+    let mut tables = Vec::new();
+    let mut pairs = Vec::new();
+    for i in 0..n_pairs {
+        let d = ents[rng.gen_range(0..ents.len())];
+        let len = match &world.domains[d].kind {
+            DomainKind::Entity { values } => values.len(),
+            _ => unreachable!(),
+        };
+        let n_a = rng.gen_range(15..40);
+        let n_b = rng.gen_range(15..40);
+        let target = rng.gen_range(0.0..1.0f64);
+        let (sa, sb, j, c) = overlapping_subsets(len, n_a, n_b, target, &mut rng);
+        let a = key_pair_table(world, format!("ov{i}a"), d, &sa, n_a, 1, &mut rng);
+        let b = key_pair_table(world, format!("ov{i}b"), d, &sb, n_b, 1, &mut rng);
+        let ai = tables.len();
+        tables.push(a.table);
+        tables.push(b.table);
+        let label = if containment { c as f32 } else { j as f32 };
+        pairs.push((ai, ai + 1, Label::Scalar(label)));
+    }
+    let splits = make_splits(pairs.len(), &mut rng);
+    PairTask { name: name.into(), task: TaskKind::Regression, tables, pairs, splits }
+}
+
+/// Jaccard regression between key columns (Wiki Jaccard style).
+pub fn gen_wiki_jaccard(world: &World, n_pairs: usize, seed: u64) -> PairTask {
+    gen_overlap_regression(world, "Wiki Jaccard", n_pairs, seed, false)
+}
+
+/// Containment regression: |A∩B| / |B| (Wiki Containment style).
+pub fn gen_wiki_containment(world: &World, n_pairs: usize, seed: u64) -> PairTask {
+    gen_overlap_regression(world, "Wiki Containment", n_pairs, seed, true)
+}
+
+/// Binary joinability (Spider-OpenData style). Negatives include the
+/// paper's traps: numeric columns with overlapping *ranges* but different
+/// semantics, and homograph value collisions.
+pub fn gen_spider_join(world: &World, n_pairs: usize, seed: u64) -> PairTask {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5b1d);
+    let ents = world.entity_domains();
+    let mut tables = Vec::new();
+    let mut pairs = Vec::new();
+    for i in 0..n_pairs {
+        let positive = i % 2 == 0;
+        let d_a = ents[rng.gen_range(0..ents.len())];
+        let len = match &world.domains[d_a].kind {
+            DomainKind::Entity { values } => values.len(),
+            _ => unreachable!(),
+        };
+        let n_a = rng.gen_range(20..50);
+        let n_b = rng.gen_range(20..50);
+        let extra = rng.gen_range(1..4);
+        let (a, b) = if positive {
+            let (sa, sb, _, _) = overlapping_subsets(len, n_a, n_b, 0.6, &mut rng);
+            (
+                key_pair_table(world, format!("sj{i}a"), d_a, &sa, n_a, extra, &mut rng),
+                key_pair_table(world, format!("sj{i}b"), d_a, &sb, n_b, extra, &mut rng),
+            )
+        } else {
+            // Different entity domain (may share homographs only).
+            let d_b = loop {
+                let d = ents[rng.gen_range(0..ents.len())];
+                if d != d_a {
+                    break d;
+                }
+            };
+            let len_b = match &world.domains[d_b].kind {
+                DomainKind::Entity { values } => values.len(),
+                _ => unreachable!(),
+            };
+            let sa = sample_indices(len, n_a, &mut rng);
+            let sb = sample_indices(len_b, n_b, &mut rng);
+            (
+                key_pair_table(world, format!("sj{i}a"), d_a, &sa, n_a, extra, &mut rng),
+                key_pair_table(world, format!("sj{i}b"), d_b, &sb, n_b, extra, &mut rng),
+            )
+        };
+        let ai = tables.len();
+        tables.push(a.table);
+        tables.push(b.table);
+        pairs.push((ai, ai + 1, Label::Binary(positive)));
+    }
+    let splits = make_splits(pairs.len(), &mut rng);
+    PairTask { name: "Spider-OpenData".into(), task: TaskKind::Binary, tables, pairs, splits }
+}
+
+/// Multi-label join-column prediction (ECB Join style): which of A's first
+/// `classes` columns join with B.
+pub fn gen_ecb_join(world: &World, n_pairs: usize, classes: usize, seed: u64) -> PairTask {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xecb1);
+    let mut tables = Vec::new();
+    let mut pairs = Vec::new();
+    for i in 0..n_pairs {
+        let topic = rng.gen_range(0..world.cfg.topics);
+        let mut ds = world.domains_of_topic(topic);
+        ds.shuffle(&mut rng);
+        let n_cols = classes.min(ds.len());
+        let rows = rng.gen_range(30..70);
+        let a = world.make_table(format!("ej{i}a"), topic, &ds[..n_cols], rows, &mut rng);
+        // B includes a random subset of A's domains ⇒ those columns join.
+        let n_shared = rng.gen_range(1..=n_cols);
+        let mut shared_idx: Vec<usize> = (0..n_cols).collect();
+        shared_idx.shuffle(&mut rng);
+        shared_idx.truncate(n_shared);
+        let mut b_domains: Vec<usize> = shared_idx.iter().map(|&ci| ds[ci]).collect();
+        let other = world.domains_of_topic((topic + 1) % world.cfg.topics);
+        b_domains.extend(other.into_iter().take(2));
+        b_domains.shuffle(&mut rng);
+        let b = world.make_table(format!("ej{i}b"), topic, &b_domains, rows, &mut rng);
+        let mut hot = vec![0.0f32; classes];
+        for &ci in &shared_idx {
+            hot[ci] = 1.0;
+        }
+        let ai = tables.len();
+        tables.push(a.table);
+        tables.push(b.table);
+        pairs.push((ai, ai + 1, Label::MultiHot(hot)));
+    }
+    let splits = make_splits(pairs.len(), &mut rng);
+    PairTask {
+        name: "ECB Join".into(),
+        task: TaskKind::MultiLabel(classes),
+        tables,
+        pairs,
+        splits,
+    }
+}
+
+/// Binary subset detection (CKAN Subset style): positives are genuine
+/// row(+column) samples; negatives share the *exact* headers and schema
+/// but draw fresh values with shifted numeric ranges — so header-only
+/// models are at chance, as the paper reports, while sketches succeed.
+/// Schemas are numeric-heavy (the paper's subset benchmark is ~69%
+/// non-string).
+pub fn gen_ckan_subset(world: &World, n_pairs: usize, seed: u64) -> PairTask {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xc4a2);
+    let nums = world.numeric_domains();
+    let ents = world.entity_domains();
+    let mut tables = Vec::new();
+    let mut pairs = Vec::new();
+    for i in 0..n_pairs {
+        let positive = i % 2 == 0;
+        let rows = rng.gen_range(60..160);
+        let n_num = rng.gen_range(3..6).min(nums.len());
+        let topic = rng.gen_range(0..world.cfg.topics);
+        // Distinct domains so headers never collide (duplicate headers
+        // would make the subset relation ambiguous).
+        let mut num_pool = nums.clone();
+        num_pool.shuffle(&mut rng);
+        let mut domains = vec![ents[rng.gen_range(0..ents.len())]];
+        domains.extend(num_pool.into_iter().take(n_num));
+        let a = world.make_table(format!("cs{i}a"), topic, &domains, rows, &mut rng);
+        let b = if positive {
+            // Row sample 25–75%, sometimes also a column subset.
+            let frac = [0.25, 0.5, 0.75][rng.gen_range(0..3)];
+            let keep_rows = sample_indices(rows, (rows as f64 * frac) as usize, &mut rng)
+                .into_iter()
+                .map(|x| x as usize)
+                .collect::<Vec<_>>();
+            let mut t = a.table.take_rows(&keep_rows, format!("cs{i}b"));
+            if rng.gen_bool(0.5) {
+                let n_keep = rng.gen_range(2..=t.num_cols());
+                let keep_cols: Vec<usize> = sample_indices(t.num_cols(), n_keep, &mut rng)
+                    .into_iter()
+                    .map(|x| x as usize)
+                    .collect();
+                t = t.project(&keep_cols, format!("cs{i}b"));
+            }
+            t
+        } else {
+            // Same headers/domains, fresh values, shifted numeric ranges.
+            let fresh = world.make_table(format!("cs{i}b"), topic, &domains, rows, &mut rng);
+            let mut t = fresh.table;
+            for (ci, col) in t.columns.iter_mut().enumerate() {
+                col.name = a.table.columns[ci].name.clone(); // headers identical
+                for v in &mut col.values {
+                    match v {
+                        Value::Int(x) => *x = (*x as f64 * 1.4 + 37.0) as i64,
+                        Value::Float(x) => *x = *x * 1.4 + 37.0,
+                        _ => {}
+                    }
+                }
+            }
+            t
+        };
+        // Positive B must also share headers exactly (it does by cloning);
+        // keep A's header text on B's surviving columns.
+        let ai = tables.len();
+        tables.push(a.table);
+        tables.push(b);
+        pairs.push((ai, ai + 1, Label::Binary(positive)));
+    }
+    let splits = make_splits(pairs.len(), &mut rng);
+    PairTask { name: "CKAN Subset".into(), task: TaskKind::Binary, tables, pairs, splits }
+}
+
+/// A de-duplicated pretraining corpus of random tables (the paper's
+/// CKAN/Socrata stand-in).
+pub fn gen_pretrain_corpus(world: &World, n_tables: usize, seed: u64) -> Vec<Table> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x93e7);
+    (0..n_tables)
+        .map(|i| {
+            world
+                .random_table(format!("pre{i}"), rng.gen_range(20..80), &mut rng)
+                .table
+        })
+        .collect()
+}
+
+/// All eight tasks with one call (sizes tuned for CPU experiments).
+pub fn gen_all_tasks(world: &World, pairs_per_task: usize, seed: u64) -> Vec<PairTask> {
+    vec![
+        gen_tus_santos(world, pairs_per_task, seed),
+        gen_wiki_union(world, pairs_per_task, seed),
+        gen_ecb_union(world, pairs_per_task, seed),
+        gen_wiki_jaccard(world, pairs_per_task, seed),
+        gen_wiki_containment(world, pairs_per_task, seed),
+        gen_spider_join(world, pairs_per_task, seed),
+        gen_ecb_join(world, pairs_per_task, 6, seed),
+        gen_ckan_subset(world, pairs_per_task, seed),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::WorldConfig;
+
+    fn world() -> World {
+        World::generate(WorldConfig::default())
+    }
+
+    #[test]
+    fn splits_partition_pairs() {
+        let w = world();
+        let t = gen_tus_santos(&w, 40, 1);
+        let total = t.splits.train.len() + t.splits.valid.len() + t.splits.test.len();
+        assert_eq!(total, t.pairs.len());
+        let mut all: Vec<usize> = t
+            .splits
+            .train
+            .iter()
+            .chain(&t.splits.valid)
+            .chain(&t.splits.test)
+            .copied()
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), t.pairs.len(), "no index duplicated");
+        assert!(!t.splits.valid.is_empty());
+        assert!(!t.splits.test.is_empty());
+    }
+
+    #[test]
+    fn tus_santos_headers_informative() {
+        let w = world();
+        let t = gen_tus_santos(&w, 20, 2);
+        // Positive pairs share at least one header word (possibly via
+        // synonyms from the same topic pool); negatives mostly don't.
+        let mut pos_share = 0;
+        let mut pos_total = 0;
+        for (a, b, l) in &t.pairs {
+            if let Label::Binary(true) = l {
+                pos_total += 1;
+                let ha: std::collections::BTreeSet<&str> = t.tables[*a]
+                    .columns
+                    .iter()
+                    .flat_map(|c| c.name.split(' '))
+                    .collect();
+                let hb: std::collections::BTreeSet<&str> = t.tables[*b]
+                    .columns
+                    .iter()
+                    .flat_map(|c| c.name.split(' '))
+                    .collect();
+                if ha.intersection(&hb).count() > 0 {
+                    pos_share += 1;
+                }
+            }
+        }
+        assert!(pos_share * 10 >= pos_total * 8, "{pos_share}/{pos_total}");
+    }
+
+    #[test]
+    fn wiki_union_headers_uninformative() {
+        let w = world();
+        let t = gen_wiki_union(&w, 10, 3);
+        for table in &t.tables {
+            for c in &table.columns {
+                assert!(GENERIC_HEADERS.contains(&c.name.as_str()));
+            }
+        }
+    }
+
+    #[test]
+    fn ecb_union_labels_are_counts() {
+        let w = world();
+        let t = gen_ecb_union(&w, 30, 4);
+        assert_eq!(t.task, TaskKind::Regression);
+        let mut seen = std::collections::BTreeSet::new();
+        for (_, _, l) in &t.pairs {
+            match l {
+                Label::Scalar(v) => {
+                    assert!((0.0..=6.0).contains(v));
+                    assert_eq!(v.fract(), 0.0);
+                    seen.insert(*v as i64);
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+        assert!(seen.len() > 2, "label variety: {seen:?}");
+    }
+
+    #[test]
+    fn jaccard_labels_match_construction() {
+        let w = world();
+        let t = gen_wiki_jaccard(&w, 30, 5);
+        let mut lo = 0;
+        let mut hi = 0;
+        for (_, _, l) in &t.pairs {
+            match l {
+                Label::Scalar(v) => {
+                    assert!((0.0..=1.0).contains(v));
+                    if *v < 0.3 {
+                        lo += 1;
+                    }
+                    if *v > 0.6 {
+                        hi += 1;
+                    }
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+        assert!(lo > 0 && hi > 0, "labels span the range: lo={lo} hi={hi}");
+    }
+
+    #[test]
+    fn spider_join_positive_pairs_share_values() {
+        let w = world();
+        let t = gen_spider_join(&w, 20, 6);
+        for (a, b, l) in &t.pairs {
+            // Key columns are at arbitrary positions; take the best
+            // overlap across *key-like* (high-cardinality string) column
+            // pairs — low-cardinality categoricals legitimately share
+            // values without being joinable.
+            let mut best = 0usize;
+            let keyish = |c: &tsfm_table::Column| {
+                c.ty == tsfm_table::ColType::Str
+                    && c.rendered_values().collect::<std::collections::BTreeSet<_>>().len()
+                        >= 15
+            };
+            for ca in t.tables[*a].columns.iter().filter(|c| keyish(c)) {
+                let va: std::collections::BTreeSet<String> =
+                    ca.rendered_values().collect();
+                for cb in t.tables[*b].columns.iter().filter(|c| keyish(c)) {
+                    let vb: std::collections::BTreeSet<String> =
+                        cb.rendered_values().collect();
+                    best = best.max(va.intersection(&vb).count());
+                }
+            }
+            match l {
+                Label::Binary(true) => {
+                    assert!(best > 5, "positive join pair must overlap, got {best}")
+                }
+                Label::Binary(false) => {
+                    assert!(best <= 3, "negative pair overlaps too much: {best}")
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn ecb_join_multihot_consistent() {
+        let w = world();
+        let t = gen_ecb_join(&w, 20, 6, 7);
+        assert_eq!(t.task, TaskKind::MultiLabel(6));
+        for (_, _, l) in &t.pairs {
+            match l {
+                Label::MultiHot(v) => {
+                    assert_eq!(v.len(), 6);
+                    assert!(v.iter().any(|&x| x == 1.0), "at least one join column");
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn ckan_subset_properties() {
+        let w = world();
+        let t = gen_ckan_subset(&w, 20, 8);
+        for (a, b, l) in &t.pairs {
+            let ta = &t.tables[*a];
+            let tb = &t.tables[*b];
+            // Headers of B always appear in A (exact-header property).
+            for cb in &tb.columns {
+                assert!(
+                    ta.columns.iter().any(|ca| ca.name == cb.name),
+                    "negative/positive share header text"
+                );
+            }
+            if let Label::Binary(true) = l {
+                assert!(tb.num_rows() < ta.num_rows(), "row subset");
+                // Every row string of B appears in A.
+                let rows_a: std::collections::BTreeSet<String> = (0..ta.num_rows())
+                    .map(|r| {
+                        tb.columns
+                            .iter()
+                            .map(|cb| {
+                                let ci = ta
+                                    .columns
+                                    .iter()
+                                    .position(|ca| ca.name == cb.name)
+                                    .unwrap();
+                                ta.cell(r, ci).render()
+                            })
+                            .collect::<Vec<_>>()
+                            .join("|")
+                    })
+                    .collect();
+                for r in 0..tb.num_rows() {
+                    let row = tb.row_string(r);
+                    assert!(rows_a.contains(&row), "subset row {row:?} missing in A");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pretrain_corpus_varied() {
+        let w = world();
+        let corpus = gen_pretrain_corpus(&w, 30, 9);
+        assert_eq!(corpus.len(), 30);
+        let distinct: std::collections::BTreeSet<String> = corpus
+            .iter()
+            .map(|t| {
+                t.columns
+                    .iter()
+                    .map(|c| c.name.clone())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            })
+            .collect();
+        assert!(distinct.len() > 10, "schemas vary");
+    }
+
+    #[test]
+    fn all_tasks_generate() {
+        let w = world();
+        let tasks = gen_all_tasks(&w, 8, 10);
+        assert_eq!(tasks.len(), 8);
+        let names: Vec<&str> = tasks.iter().map(|t| t.name.as_str()).collect();
+        assert!(names.contains(&"Wiki Union"));
+        assert!(names.contains(&"CKAN Subset"));
+        for t in &tasks {
+            assert!(!t.pairs.is_empty());
+            assert!(t.avg_rows() > 0.0);
+            assert!(t.avg_cols() >= 2.0);
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! Synthetic data-lake generation.
+//!
+//! The paper's corpora (197k CKAN/Socrata tables, the LakeBench task
+//! datasets, and the TUS/SANTOS/Wiki-Join/Eurostat search benchmarks) are
+//! proprietary-scale downloads; this crate generates seeded synthetic
+//! equivalents whose *relations* (domain identity, value overlap,
+//! row/column subsetting, hard negatives) are controlled exactly — see
+//! DESIGN.md's substitution table.
+
+pub mod lakebench;
+pub mod searchbench;
+pub mod world;
+
+pub use lakebench::{
+    gen_all_tasks, gen_ckan_subset, gen_ecb_join, gen_ecb_union, gen_pretrain_corpus,
+    gen_spider_join, gen_tus_santos, gen_wiki_containment, gen_wiki_jaccard, gen_wiki_union,
+    PairTask, Splits,
+};
+pub use searchbench::{
+    eurostat_variant, gen_eurostat_subset, gen_join_search, gen_union_search, JoinSearchConfig,
+    SearchBenchmark, UnionSearchConfig, EUROSTAT_VARIANTS,
+};
+pub use world::{
+    overlapping_subsets, pseudo_word, sample_indices, AnnotatedTable, ColumnAnnotation, Domain,
+    DomainKind, World, WorldConfig,
+};

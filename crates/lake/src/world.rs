@@ -1,0 +1,507 @@
+//! The synthetic world: topics, semantic domains, and table generation.
+//!
+//! The paper's datasets are defined by *relations between tables* (shared
+//! semantic domains, value overlap, row/column subsetting). This module
+//! generates a world in which those relations are controlled exactly:
+//!
+//! * **topics** own pools of pseudo-words; domain names, synonyms, table
+//!   descriptions and string values draw from their topic's pool, so
+//!   lexical similarity correlates with semantic relatedness (the property
+//!   SBERT exploits in the paper);
+//! * **domains** are typed value spaces (entity keys, categoricals,
+//!   numerics, dates). Columns annotated with the same domain are
+//!   semantically unionable/joinable; numeric domains from different
+//!   topics may still overlap in *range* (the paper's "people's Age vs
+//!   students' marks" trap);
+//! * **homographs** inject identical surface strings into entity domains
+//!   of different topics (the paper's "Aleppo the meteorite vs Aleppo the
+//!   city" trap, Fig. 5).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+use tsfm_table::{Column, Table, Value};
+
+/// Kind of values a domain produces.
+#[derive(Debug, Clone)]
+pub enum DomainKind {
+    /// High-cardinality string keys (joinable). `values[i]` is entity `i`.
+    Entity { values: Vec<String> },
+    /// Low-cardinality strings sampled with repetition.
+    Categorical { values: Vec<String> },
+    /// Numbers, uniform over `[lo, hi]`; integers if `integer`.
+    Numeric { lo: f64, hi: f64, integer: bool },
+    /// Unix timestamps, uniform over `[start, end]`.
+    Date { start: i64, end: i64 },
+}
+
+impl DomainKind {
+    pub fn is_string(&self) -> bool {
+        matches!(self, DomainKind::Entity { .. } | DomainKind::Categorical { .. })
+    }
+}
+
+/// A semantic domain: a named, typed value space.
+#[derive(Debug, Clone)]
+pub struct Domain {
+    pub id: usize,
+    pub topic: usize,
+    /// Canonical column header.
+    pub name: String,
+    /// Alternative headers used by unionable partners.
+    pub synonyms: Vec<String>,
+    pub kind: DomainKind,
+}
+
+impl Domain {
+    /// Pick a header: canonical or one of the synonyms.
+    pub fn header<R: Rng>(&self, rng: &mut R) -> String {
+        let i = rng.gen_range(0..=self.synonyms.len());
+        if i == 0 {
+            self.name.clone()
+        } else {
+            self.synonyms[i - 1].clone()
+        }
+    }
+}
+
+/// Ground-truth annotation of one generated column.
+#[derive(Debug, Clone)]
+pub struct ColumnAnnotation {
+    pub domain: usize,
+    /// For entity domains: which entity ids this column contains.
+    pub entities: BTreeSet<u32>,
+}
+
+/// A generated table plus its ground truth.
+#[derive(Debug, Clone)]
+pub struct AnnotatedTable {
+    pub table: Table,
+    pub annotations: Vec<ColumnAnnotation>,
+}
+
+/// World-generation parameters.
+#[derive(Debug, Clone)]
+pub struct WorldConfig {
+    pub topics: usize,
+    pub domains_per_topic: usize,
+    pub words_per_topic: usize,
+    pub entities_per_domain: usize,
+    /// Surface strings shared between entity domains of different topics.
+    pub homographs: usize,
+    pub seed: u64,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        Self {
+            topics: 6,
+            domains_per_topic: 6,
+            words_per_topic: 24,
+            entities_per_domain: 120,
+            homographs: 8,
+            seed: 7,
+        }
+    }
+}
+
+/// The generated world.
+pub struct World {
+    pub cfg: WorldConfig,
+    pub topic_words: Vec<Vec<String>>,
+    pub domains: Vec<Domain>,
+}
+
+const SYLLABLES: [&str; 24] = [
+    "ba", "do", "ri", "ka", "lu", "me", "no", "pa", "se", "ti", "vo", "zu", "fa", "ge", "hi",
+    "jo", "ku", "la", "mi", "ne", "or", "pu", "ra", "ste",
+];
+
+/// A pronounceable pseudo-word from 2–3 syllables.
+pub fn pseudo_word<R: Rng>(rng: &mut R) -> String {
+    let n = rng.gen_range(2..=3);
+    let mut w = String::new();
+    for _ in 0..n {
+        w.push_str(SYLLABLES[rng.gen_range(0..SYLLABLES.len())]);
+    }
+    w
+}
+
+impl World {
+    pub fn generate(cfg: WorldConfig) -> World {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        // Topic word pools (globally deduplicated so topics stay distinct).
+        let mut seen: BTreeSet<String> = BTreeSet::new();
+        let mut topic_words: Vec<Vec<String>> = Vec::with_capacity(cfg.topics);
+        for _ in 0..cfg.topics {
+            let mut pool = Vec::with_capacity(cfg.words_per_topic);
+            while pool.len() < cfg.words_per_topic {
+                let w = pseudo_word(&mut rng);
+                if seen.insert(w.clone()) {
+                    pool.push(w);
+                }
+            }
+            topic_words.push(pool);
+        }
+
+        // Homograph strings shared across entity domains.
+        let homographs: Vec<String> =
+            (0..cfg.homographs).map(|i| format!("{}{}", pseudo_word(&mut rng), i)).collect();
+
+        let mut domains = Vec::new();
+        for topic in 0..cfg.topics {
+            for d in 0..cfg.domains_per_topic {
+                let id = domains.len();
+                let pool = &topic_words[topic];
+                let base = pool[d % pool.len()].clone();
+                // Rotate through kinds so every topic gets a mix:
+                // entity, categorical, numeric(int), numeric(float), date, entity…
+                let kind = match d % 5 {
+                    0 | 4 => {
+                        let mut values: Vec<String> = (0..cfg.entities_per_domain)
+                            .map(|i| {
+                                let w1 = &pool[rng.gen_range(0..pool.len())];
+                                let w2 = &pool[rng.gen_range(0..pool.len())];
+                                format!("{w1} {w2} {i:03}")
+                            })
+                            .collect();
+                        // Plant homographs into every entity domain.
+                        for (hi, h) in homographs.iter().enumerate() {
+                            let slot = (hi * 7 + id) % values.len();
+                            values[slot] = h.clone();
+                        }
+                        DomainKind::Entity { values }
+                    }
+                    1 => {
+                        let n = rng.gen_range(5..12);
+                        let values = (0..n)
+                            .map(|_| pool[rng.gen_range(0..pool.len())].clone())
+                            .collect::<BTreeSet<_>>()
+                            .into_iter()
+                            .collect();
+                        DomainKind::Categorical { values }
+                    }
+                    2 => {
+                        let lo = rng.gen_range(0..50) as f64;
+                        let hi = lo + rng.gen_range(20..200) as f64;
+                        DomainKind::Numeric { lo, hi, integer: true }
+                    }
+                    3 => {
+                        let lo = rng.gen_range(-10.0..10.0);
+                        let hi = lo + rng.gen_range(1.0..100.0);
+                        DomainKind::Numeric { lo, hi, integer: false }
+                    }
+                    _ => unreachable!(),
+                };
+                let suffix = match &kind {
+                    DomainKind::Entity { .. } => "name",
+                    DomainKind::Categorical { .. } => "type",
+                    DomainKind::Numeric { integer: true, .. } => "count",
+                    DomainKind::Numeric { .. } => "rate",
+                    DomainKind::Date { .. } => "date",
+                };
+                // `d % 5 == 4` is a date slot for some topics instead:
+                let (kind, suffix) = if d % 5 == 4 && topic % 2 == 0 {
+                    (
+                        DomainKind::Date {
+                            start: 946_684_800,            // 2000-01-01
+                            end: 946_684_800 + 86_400 * 9_000,
+                        },
+                        "date",
+                    )
+                } else {
+                    (kind, suffix)
+                };
+                let name = format!("{base} {suffix}");
+                let synonyms = (0..2)
+                    .map(|_| {
+                        format!("{} {suffix}", pool[rng.gen_range(0..pool.len())])
+                    })
+                    .filter(|s| *s != name)
+                    .collect();
+                domains.push(Domain { id, topic, name, synonyms, kind });
+            }
+        }
+        World { cfg, topic_words, domains }
+    }
+
+    pub fn domains_of_topic(&self, topic: usize) -> Vec<usize> {
+        self.domains.iter().filter(|d| d.topic == topic).map(|d| d.id).collect()
+    }
+
+    pub fn entity_domains(&self) -> Vec<usize> {
+        self.domains
+            .iter()
+            .filter(|d| matches!(d.kind, DomainKind::Entity { .. }))
+            .map(|d| d.id)
+            .collect()
+    }
+
+    pub fn numeric_domains(&self) -> Vec<usize> {
+        self.domains
+            .iter()
+            .filter(|d| matches!(d.kind, DomainKind::Numeric { .. }))
+            .map(|d| d.id)
+            .collect()
+    }
+
+    /// Generate a table description from a topic's word pool.
+    pub fn description<R: Rng>(&self, topic: usize, rng: &mut R) -> String {
+        let pool = &self.topic_words[topic];
+        let n = rng.gen_range(2..5);
+        let words: Vec<&str> =
+            (0..n).map(|_| pool[rng.gen_range(0..pool.len())].as_str()).collect();
+        format!("data about {}", words.join(" "))
+    }
+
+    /// Generate one column of `rows` values for `domain`. For entity
+    /// domains, `entity_subset` (indices into the domain's value list)
+    /// fixes exactly which entities appear.
+    pub fn make_column<R: Rng>(
+        &self,
+        domain_id: usize,
+        header: &str,
+        rows: usize,
+        entity_subset: Option<&[u32]>,
+        rng: &mut R,
+    ) -> (Column, ColumnAnnotation) {
+        let domain = &self.domains[domain_id];
+        let mut entities = BTreeSet::new();
+        let values: Vec<Value> = match &domain.kind {
+            DomainKind::Entity { values } => {
+                let ids: Vec<u32> = match entity_subset {
+                    Some(s) => s.to_vec(),
+                    None => sample_indices(values.len(), rows.min(values.len()), rng),
+                };
+                entities.extend(ids.iter().copied());
+                (0..rows)
+                    .map(|i| {
+                        let id = ids[i % ids.len()];
+                        Value::Str(values[id as usize].clone())
+                    })
+                    .collect()
+            }
+            DomainKind::Categorical { values } => (0..rows)
+                .map(|_| Value::Str(values[rng.gen_range(0..values.len())].clone()))
+                .collect(),
+            DomainKind::Numeric { lo, hi, integer } => (0..rows)
+                .map(|_| {
+                    let v = rng.gen_range(*lo..=*hi);
+                    if *integer {
+                        Value::Int(v.round() as i64)
+                    } else {
+                        Value::Float((v * 100.0).round() / 100.0)
+                    }
+                })
+                .collect(),
+            DomainKind::Date { start, end } => (0..rows)
+                .map(|_| Value::Date(rng.gen_range(*start..=*end) / 86_400 * 86_400))
+                .collect(),
+        };
+        (
+            Column::new(header, values),
+            ColumnAnnotation { domain: domain_id, entities },
+        )
+    }
+
+    /// Generate a table over `domain_ids` (headers sampled canonically or
+    /// from synonyms; entity columns get fresh random subsets).
+    pub fn make_table<R: Rng>(
+        &self,
+        id: impl Into<String>,
+        topic: usize,
+        domain_ids: &[usize],
+        rows: usize,
+        rng: &mut R,
+    ) -> AnnotatedTable {
+        let id = id.into();
+        let mut table = Table::new(id.clone(), id).with_description(self.description(topic, rng));
+        let mut annotations = Vec::with_capacity(domain_ids.len());
+        for &d in domain_ids {
+            let header = self.domains[d].header(rng);
+            let (col, ann) = self.make_column(d, &header, rows, None, rng);
+            table.push_column(col);
+            annotations.push(ann);
+        }
+        AnnotatedTable { table, annotations }
+    }
+
+    /// A random table: random topic, 2–6 domains of that topic.
+    pub fn random_table<R: Rng>(&self, id: impl Into<String>, rows: usize, rng: &mut R) -> AnnotatedTable {
+        let topic = rng.gen_range(0..self.cfg.topics);
+        let mut ds = self.domains_of_topic(topic);
+        ds.shuffle(rng);
+        let n = rng.gen_range(2..=ds.len().min(6));
+        ds.truncate(n);
+        self.make_table(id, topic, &ds, rows, rng)
+    }
+}
+
+/// Sample `n` distinct indices from `0..len`.
+pub fn sample_indices<R: Rng>(len: usize, n: usize, rng: &mut R) -> Vec<u32> {
+    let mut all: Vec<u32> = (0..len as u32).collect();
+    all.shuffle(rng);
+    all.truncate(n.min(len));
+    all
+}
+
+/// Sample two entity-id sets with a target Jaccard similarity.
+/// Returns `(a_ids, b_ids, exact_jaccard, exact_containment_of_b_in_a)`.
+pub fn overlapping_subsets<R: Rng>(
+    len: usize,
+    n_a: usize,
+    n_b: usize,
+    jaccard: f64,
+    rng: &mut R,
+) -> (Vec<u32>, Vec<u32>, f64, f64) {
+    let n_a = n_a.min(len);
+    let n_b = n_b.min(len);
+    // J = s / (n_a + n_b - s) ⇒ s = J (n_a + n_b) / (1 + J)
+    let mut s = ((jaccard * (n_a + n_b) as f64) / (1.0 + jaccard)).round() as usize;
+    s = s.min(n_a).min(n_b);
+    // Ensure the union fits in the domain.
+    let union = n_a + n_b - s;
+    let s = if union > len { n_a + n_b - len } else { s };
+    let pool = sample_indices(len, n_a + n_b - s, rng);
+    let a: Vec<u32> = pool[..n_a].to_vec();
+    let mut b: Vec<u32> = pool[..s].to_vec(); // shared prefix
+    b.extend_from_slice(&pool[n_a..n_a + (n_b - s)]);
+    let exact_j = s as f64 / (n_a + n_b - s) as f64;
+    let exact_c = s as f64 / n_b as f64;
+    (a, b, exact_j, exact_c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world() -> World {
+        World::generate(WorldConfig::default())
+    }
+
+    #[test]
+    fn world_shape() {
+        let w = world();
+        assert_eq!(w.domains.len(), w.cfg.topics * w.cfg.domains_per_topic);
+        assert!(!w.entity_domains().is_empty());
+        assert!(!w.numeric_domains().is_empty());
+        for d in &w.domains {
+            assert!(!d.name.is_empty());
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = World::generate(WorldConfig::default());
+        let b = World::generate(WorldConfig::default());
+        assert_eq!(a.domains.len(), b.domains.len());
+        for (x, y) in a.domains.iter().zip(&b.domains) {
+            assert_eq!(x.name, y.name);
+        }
+        let c = World::generate(WorldConfig { seed: 99, ..Default::default() });
+        let diff = a.domains.iter().zip(&c.domains).filter(|(x, y)| x.name != y.name).count();
+        assert!(diff > 0, "different seeds give different worlds");
+    }
+
+    #[test]
+    fn homographs_shared_across_entity_domains() {
+        let w = world();
+        let ents = w.entity_domains();
+        assert!(ents.len() >= 2);
+        let vals = |d: usize| -> BTreeSet<String> {
+            match &w.domains[d].kind {
+                DomainKind::Entity { values } => values.iter().cloned().collect(),
+                _ => unreachable!(),
+            }
+        };
+        let inter: Vec<String> =
+            vals(ents[0]).intersection(&vals(ents[1])).cloned().collect();
+        assert!(
+            !inter.is_empty(),
+            "entity domains must share homograph surface strings"
+        );
+        assert!(inter.len() <= w.cfg.homographs);
+    }
+
+    #[test]
+    fn make_table_annotations_align() {
+        let w = world();
+        let mut rng = StdRng::seed_from_u64(1);
+        let ds = w.domains_of_topic(0);
+        let at = w.make_table("t0", 0, &ds[..3], 40, &mut rng);
+        assert_eq!(at.table.num_cols(), 3);
+        assert_eq!(at.annotations.len(), 3);
+        assert_eq!(at.table.num_rows(), 40);
+        for (ci, ann) in at.annotations.iter().enumerate() {
+            assert_eq!(ann.domain, ds[ci]);
+        }
+    }
+
+    #[test]
+    fn entity_columns_honor_subset() {
+        let w = world();
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = w.entity_domains()[0];
+        let subset: Vec<u32> = vec![1, 5, 9];
+        let (col, ann) = w.make_column(d, "h", 30, Some(&subset), &mut rng);
+        assert_eq!(ann.entities, subset.iter().copied().collect());
+        // All values come from the subset.
+        let allowed: BTreeSet<String> = match &w.domains[d].kind {
+            DomainKind::Entity { values } => {
+                subset.iter().map(|&i| values[i as usize].clone()).collect()
+            }
+            _ => unreachable!(),
+        };
+        for v in col.rendered_values() {
+            assert!(allowed.contains(&v));
+        }
+    }
+
+    #[test]
+    fn overlapping_subsets_hit_target() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for target in [0.0, 0.2, 0.5, 0.8, 1.0] {
+            let (a, b, j, c) = overlapping_subsets(200, 40, 40, target, &mut rng);
+            assert_eq!(a.len(), 40);
+            assert_eq!(b.len(), 40);
+            assert!((j - target).abs() < 0.06, "target {target} got {j}");
+            assert!((0.0..=1.0).contains(&c));
+            // No duplicates within a set.
+            let sa: BTreeSet<u32> = a.iter().copied().collect();
+            assert_eq!(sa.len(), a.len());
+        }
+    }
+
+    #[test]
+    fn typed_domains_produce_typed_columns() {
+        let w = world();
+        let mut rng = StdRng::seed_from_u64(4);
+        for d in &w.domains {
+            let (col, _) = w.make_column(d.id, "h", 20, None, &mut rng);
+            use tsfm_table::ColType;
+            match &d.kind {
+                DomainKind::Entity { .. } | DomainKind::Categorical { .. } => {
+                    assert_eq!(col.ty, ColType::Str, "{}", d.name)
+                }
+                DomainKind::Numeric { integer: true, .. } => {
+                    assert_eq!(col.ty, ColType::Int, "{}", d.name)
+                }
+                DomainKind::Numeric { .. } => assert_eq!(col.ty, ColType::Float, "{}", d.name),
+                DomainKind::Date { .. } => assert_eq!(col.ty, ColType::Date, "{}", d.name),
+            }
+        }
+    }
+
+    #[test]
+    fn random_tables_vary() {
+        let w = world();
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = w.random_table("a", 20, &mut rng);
+        let b = w.random_table("b", 20, &mut rng);
+        assert!(a.table.num_cols() >= 2);
+        let names_a: Vec<&str> = a.table.columns.iter().map(|c| c.name.as_str()).collect();
+        let names_b: Vec<&str> = b.table.columns.iter().map(|c| c.name.as_str()).collect();
+        assert_ne!(names_a, names_b);
+    }
+}

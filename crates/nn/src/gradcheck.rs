@@ -1,0 +1,54 @@
+//! Finite-difference gradient checking, used by this crate's own tests and
+//! reusable by downstream crates that define new composite heads.
+
+use crate::tape::{Tape, Var};
+use crate::tensor::Tensor;
+use std::rc::Rc;
+
+/// Check the analytic gradient of `build` (input → scalar loss) against
+/// central finite differences at `x0`.
+///
+/// Errors are relative: `|a − n| ≤ tol · (1 + |a| + |n|)`. With `f32`
+/// arithmetic, `eps ≈ 1e-2` and `tol ≈ 5e-2` are appropriate for smooth
+/// ops; piecewise ops (ReLU) need inputs away from kinks.
+pub fn check_gradients(
+    build: impl Fn(&mut Tape, Var) -> Var,
+    x0: &Tensor,
+    eps: f32,
+    tol: f32,
+) -> Result<(), String> {
+    // Analytic gradient.
+    let mut tape = Tape::new(false, 0x5eed);
+    let x = tape.leaf(Rc::new(x0.clone()));
+    let loss = build(&mut tape, x);
+    if tape.value(loss).numel() != 1 {
+        return Err("loss must be scalar".into());
+    }
+    let grads = tape.backward(loss);
+    let analytic = grads
+        .get(x)
+        .ok_or("no gradient reached the input")?
+        .clone();
+
+    let eval = |pt: &Tensor| -> f32 {
+        let mut t = Tape::new(false, 0x5eed);
+        let v = t.leaf(Rc::new(pt.clone()));
+        let l = build(&mut t, v);
+        t.value(l).item()
+    };
+
+    for i in 0..x0.numel() {
+        let mut plus = x0.clone();
+        plus.data_mut()[i] += eps;
+        let mut minus = x0.clone();
+        minus.data_mut()[i] -= eps;
+        let numeric = (eval(&plus) - eval(&minus)) / (2.0 * eps);
+        let a = analytic.data()[i];
+        if (a - numeric).abs() > tol * (1.0 + a.abs() + numeric.abs()) {
+            return Err(format!(
+                "grad mismatch at {i}: analytic={a:.6} numeric={numeric:.6}"
+            ));
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,159 @@
+//! Binary checkpoint format for [`ParamStore`] contents.
+//!
+//! Layout (little-endian):
+//! `magic "TSFMCKP1" | u32 param count | per param: u32 name len, name
+//! bytes, u32 rank, u64 dims…, f32 data…`. Loading matches by name and
+//! checks shapes, so a checkpoint survives module re-ordering.
+
+use crate::params::ParamStore;
+use crate::tensor::Tensor;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"TSFMCKP1";
+
+/// Serialize every parameter to `path`.
+pub fn save_params(store: &ParamStore, path: &Path) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(MAGIC)?;
+    let named: Vec<(&str, &Tensor)> = store.iter_named().collect();
+    w.write_all(&(named.len() as u32).to_le_bytes())?;
+    for (name, t) in named {
+        w.write_all(&(name.len() as u32).to_le_bytes())?;
+        w.write_all(name.as_bytes())?;
+        w.write_all(&(t.shape().len() as u32).to_le_bytes())?;
+        for &d in t.shape() {
+            w.write_all(&(d as u64).to_le_bytes())?;
+        }
+        for &v in t.data() {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    w.flush()
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+/// Read a checkpoint into name → tensor pairs.
+pub fn read_checkpoint(path: &Path) -> io::Result<Vec<(String, Tensor)>> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(bad("not a TSFM checkpoint"));
+    }
+    let count = read_u32(&mut r)? as usize;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let name_len = read_u32(&mut r)? as usize;
+        if name_len > 4096 {
+            return Err(bad("unreasonable name length"));
+        }
+        let mut name = vec![0u8; name_len];
+        r.read_exact(&mut name)?;
+        let name = String::from_utf8(name).map_err(|_| bad("name not utf-8"))?;
+        let rank = read_u32(&mut r)? as usize;
+        if rank > 8 {
+            return Err(bad("unreasonable rank"));
+        }
+        let mut shape = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            shape.push(read_u64(&mut r)? as usize);
+        }
+        let numel: usize = shape.iter().product();
+        if numel > 1 << 30 {
+            return Err(bad("unreasonable tensor size"));
+        }
+        let mut data = vec![0f32; numel];
+        let mut buf = [0u8; 4];
+        for v in &mut data {
+            r.read_exact(&mut buf)?;
+            *v = f32::from_le_bytes(buf);
+        }
+        out.push((name, Tensor::from_vec(shape, data)));
+    }
+    Ok(out)
+}
+
+/// Load a checkpoint into an existing store (names must match; shapes are
+/// validated). Returns the number of parameters restored.
+pub fn load_params(store: &mut ParamStore, path: &Path) -> io::Result<usize> {
+    let entries = read_checkpoint(path)?;
+    let mut loaded = 0;
+    for (name, tensor) in entries {
+        match store.id_by_name(&name) {
+            Some(id) => {
+                store.set_value(id, tensor);
+                loaded += 1;
+            }
+            None => return Err(bad(&format!("checkpoint param {name:?} not in model"))),
+        }
+    }
+    Ok(loaded)
+}
+
+fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn roundtrip() {
+        let dir = std::env::temp_dir().join("tsfm_nn_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.bin");
+
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        store.add("a.weight", Tensor::randn(&[3, 4], 1.0, &mut rng), true);
+        store.add("a.bias", Tensor::randn(&[4], 1.0, &mut rng), false);
+        save_params(&store, &path).unwrap();
+
+        // Fresh store with same names, different values.
+        let mut store2 = ParamStore::new();
+        let w = store2.add("a.weight", Tensor::zeros(&[3, 4]), true);
+        let b = store2.add("a.bias", Tensor::zeros(&[4]), false);
+        let n = load_params(&mut store2, &path).unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(store2.value(w), store.value(store.id_by_name("a.weight").unwrap()));
+        assert_eq!(store2.value(b), store.value(store.id_by_name("a.bias").unwrap()));
+    }
+
+    #[test]
+    fn rejects_unknown_param() {
+        let dir = std::env::temp_dir().join("tsfm_nn_io_test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.bin");
+        let mut store = ParamStore::new();
+        store.add("x", Tensor::zeros(&[1]), true);
+        save_params(&store, &path).unwrap();
+        let mut other = ParamStore::new();
+        other.add("y", Tensor::zeros(&[1]), true);
+        assert!(load_params(&mut other, &path).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let dir = std::env::temp_dir().join("tsfm_nn_io_test3");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("junk.bin");
+        std::fs::write(&path, b"NOTACKPTxxxx").unwrap();
+        assert!(read_checkpoint(&path).is_err());
+    }
+}

@@ -1,0 +1,525 @@
+//! Neural network modules: Linear, Embedding, LayerNorm, multi-head
+//! attention and the BERT-style (post-LN) transformer encoder.
+//!
+//! Modules own only [`ParamId`]s; values live in the [`ParamStore`] so one
+//! model can be trained, checkpointed and shared without self-references.
+
+use crate::params::{ParamId, ParamStore};
+use crate::tape::{Tape, Var};
+use crate::tensor::Tensor;
+use rand::Rng;
+
+/// BERT-style truncated-normal-ish initialization scale.
+pub const INIT_STD: f32 = 0.02;
+
+/// Fully connected layer `y = x·W + b`.
+pub struct Linear {
+    pub w: ParamId,
+    pub b: ParamId,
+    pub in_dim: usize,
+    pub out_dim: usize,
+}
+
+impl Linear {
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        prefix: &str,
+        in_dim: usize,
+        out_dim: usize,
+        rng: &mut R,
+    ) -> Self {
+        Self::new_with_std(store, prefix, in_dim, out_dim, INIT_STD, rng)
+    }
+
+    /// Xavier-scaled initialization (`std = 1/√in_dim`) — appropriate for
+    /// task heads stacked on small encoders, where BERT's flat 0.02 leaves
+    /// logits (and gradients) vanishingly small.
+    pub fn new_xavier<R: Rng>(
+        store: &mut ParamStore,
+        prefix: &str,
+        in_dim: usize,
+        out_dim: usize,
+        rng: &mut R,
+    ) -> Self {
+        let std = 1.0 / (in_dim as f32).sqrt();
+        Self::new_with_std(store, prefix, in_dim, out_dim, std, rng)
+    }
+
+    pub fn new_with_std<R: Rng>(
+        store: &mut ParamStore,
+        prefix: &str,
+        in_dim: usize,
+        out_dim: usize,
+        std: f32,
+        rng: &mut R,
+    ) -> Self {
+        let w = store.add(
+            format!("{prefix}.weight"),
+            Tensor::randn(&[in_dim, out_dim], std, rng),
+            true,
+        );
+        let b = store.add(format!("{prefix}.bias"), Tensor::zeros(&[out_dim]), false);
+        Linear { w, b, in_dim, out_dim }
+    }
+
+    /// Forward on any-rank input whose last dim is `in_dim`.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: Var) -> Var {
+        let shape = tape.value(x).shape().to_vec();
+        assert_eq!(*shape.last().expect("rank>=1"), self.in_dim, "Linear input dim");
+        let rows: usize = shape[..shape.len() - 1].iter().product();
+        let x2 = if shape.len() == 2 {
+            x
+        } else {
+            tape.reshape(x, vec![rows, self.in_dim])
+        };
+        let w = store.use_param(tape, self.w);
+        let b = store.use_param(tape, self.b);
+        let y = tape.matmul(x2, w);
+        let y = tape.add_bias(y, b);
+        if shape.len() == 2 {
+            y
+        } else {
+            let mut out_shape = shape;
+            *out_shape.last_mut().expect("rank>=1") = self.out_dim;
+            tape.reshape(y, out_shape)
+        }
+    }
+}
+
+/// Token/positional embedding table.
+pub struct Embedding {
+    pub table: ParamId,
+    pub vocab: usize,
+    pub dim: usize,
+}
+
+impl Embedding {
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        prefix: &str,
+        vocab: usize,
+        dim: usize,
+        rng: &mut R,
+    ) -> Self {
+        let table = store.add(
+            format!("{prefix}.table"),
+            Tensor::randn(&[vocab, dim], INIT_STD, rng),
+            false,
+        );
+        Embedding { table, vocab, dim }
+    }
+
+    /// Look up `ids`, returning `[ids.len(), dim]`.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, ids: Vec<u32>) -> Var {
+        let t = store.use_param(tape, self.table);
+        tape.embedding(t, ids)
+    }
+}
+
+/// Layer normalization with learned affine parameters.
+pub struct LayerNorm {
+    pub gamma: ParamId,
+    pub beta: ParamId,
+    pub dim: usize,
+    pub eps: f32,
+}
+
+impl LayerNorm {
+    pub fn new(store: &mut ParamStore, prefix: &str, dim: usize) -> Self {
+        let gamma = store.add(format!("{prefix}.gamma"), Tensor::full(&[dim], 1.0), false);
+        let beta = store.add(format!("{prefix}.beta"), Tensor::zeros(&[dim]), false);
+        LayerNorm { gamma, beta, dim, eps: 1e-5 }
+    }
+
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: Var) -> Var {
+        let g = store.use_param(tape, self.gamma);
+        let b = store.use_param(tape, self.beta);
+        tape.layer_norm(x, g, b, self.eps)
+    }
+}
+
+/// Multi-head bidirectional self-attention (BERT-style).
+pub struct MultiHeadAttention {
+    pub wq: Linear,
+    pub wk: Linear,
+    pub wv: Linear,
+    pub wo: Linear,
+    pub heads: usize,
+    pub d_model: usize,
+    pub dropout: f32,
+}
+
+impl MultiHeadAttention {
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        prefix: &str,
+        d_model: usize,
+        heads: usize,
+        dropout: f32,
+        rng: &mut R,
+    ) -> Self {
+        assert_eq!(d_model % heads, 0, "d_model must divide by heads");
+        MultiHeadAttention {
+            wq: Linear::new(store, &format!("{prefix}.q"), d_model, d_model, rng),
+            wk: Linear::new(store, &format!("{prefix}.k"), d_model, d_model, rng),
+            wv: Linear::new(store, &format!("{prefix}.v"), d_model, d_model, rng),
+            wo: Linear::new(store, &format!("{prefix}.o"), d_model, d_model, rng),
+            heads,
+            d_model,
+            dropout,
+        }
+    }
+
+    /// `x`: `[B, T, D]`; `attn_bias`: `[B, T]`, `0` for real tokens and a
+    /// large negative number for padding keys.
+    pub fn forward(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        x: Var,
+        attn_bias: &Tensor,
+    ) -> Var {
+        let shape = tape.value(x).shape().to_vec();
+        let [b, t, d] = match shape.as_slice() {
+            [a, b2, c] => [*a, *b2, *c],
+            s => panic!("attention expects [B,T,D], got {s:?}"),
+        };
+        assert_eq!(d, self.d_model);
+        let h = self.heads;
+        let hd = d / h;
+
+        let split = |tape: &mut Tape, v: Var| -> Var {
+            // [B,T,D] → [B,T,H,hd] → [B,H,T,hd] → [B*H,T,hd]
+            let v = tape.reshape(v, vec![b, t, h, hd]);
+            let v = tape.permute(v, &[0, 2, 1, 3]);
+            tape.reshape(v, vec![b * h, t, hd])
+        };
+
+        let q = self.wq.forward(tape, store, x);
+        let k = self.wk.forward(tape, store, x);
+        let v = self.wv.forward(tape, store, x);
+        let (q, k, v) = (split(tape, q), split(tape, k), split(tape, v));
+
+        let kt = tape.permute(k, &[0, 2, 1]); // [B*H, hd, T]
+        let scores = tape.bmm(q, kt); // [B*H, T, T]
+        let scores = tape.scale(scores, 1.0 / (hd as f32).sqrt());
+        let scores = tape.add_attn_bias(scores, attn_bias, h);
+        let attn = tape.softmax_last(scores);
+        let attn = tape.dropout(attn, self.dropout);
+        let ctx = tape.bmm(attn, v); // [B*H, T, hd]
+
+        // merge heads: [B*H,T,hd] → [B,H,T,hd] → [B,T,H,hd] → [B,T,D]
+        let ctx = tape.reshape(ctx, vec![b, h, t, hd]);
+        let ctx = tape.permute(ctx, &[0, 2, 1, 3]);
+        let ctx = tape.reshape(ctx, vec![b, t, d]);
+        self.wo.forward(tape, store, ctx)
+    }
+}
+
+/// Position-wise feed-forward block with GELU.
+pub struct FeedForward {
+    pub fc1: Linear,
+    pub fc2: Linear,
+    pub dropout: f32,
+}
+
+impl FeedForward {
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        prefix: &str,
+        d_model: usize,
+        d_ff: usize,
+        dropout: f32,
+        rng: &mut R,
+    ) -> Self {
+        FeedForward {
+            fc1: Linear::new(store, &format!("{prefix}.fc1"), d_model, d_ff, rng),
+            fc2: Linear::new(store, &format!("{prefix}.fc2"), d_ff, d_model, rng),
+            dropout,
+        }
+    }
+
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: Var) -> Var {
+        let y = self.fc1.forward(tape, store, x);
+        let y = tape.gelu(y);
+        let y = self.fc2.forward(tape, store, y);
+        tape.dropout(y, self.dropout)
+    }
+}
+
+/// One post-LN transformer encoder layer (as in the original BERT).
+pub struct EncoderLayer {
+    pub attn: MultiHeadAttention,
+    pub ln1: LayerNorm,
+    pub ff: FeedForward,
+    pub ln2: LayerNorm,
+    pub dropout: f32,
+}
+
+impl EncoderLayer {
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        prefix: &str,
+        cfg: &EncoderConfig,
+        rng: &mut R,
+    ) -> Self {
+        EncoderLayer {
+            attn: MultiHeadAttention::new(
+                store,
+                &format!("{prefix}.attn"),
+                cfg.d_model,
+                cfg.heads,
+                cfg.dropout,
+                rng,
+            ),
+            ln1: LayerNorm::new(store, &format!("{prefix}.ln1"), cfg.d_model),
+            ff: FeedForward::new(
+                store,
+                &format!("{prefix}.ff"),
+                cfg.d_model,
+                cfg.d_ff,
+                cfg.dropout,
+                rng,
+            ),
+            ln2: LayerNorm::new(store, &format!("{prefix}.ln2"), cfg.d_model),
+            dropout: cfg.dropout,
+        }
+    }
+
+    pub fn forward(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        x: Var,
+        attn_bias: &Tensor,
+    ) -> Var {
+        let a = self.attn.forward(tape, store, x, attn_bias);
+        let a = tape.dropout(a, self.dropout);
+        let x = tape.add(x, a);
+        let x = self.ln1.forward(tape, store, x);
+        let f = self.ff.forward(tape, store, x);
+        let x = tape.add(x, f);
+        self.ln2.forward(tape, store, x)
+    }
+}
+
+/// Encoder hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct EncoderConfig {
+    pub d_model: usize,
+    pub heads: usize,
+    pub d_ff: usize,
+    pub layers: usize,
+    pub dropout: f32,
+}
+
+impl EncoderConfig {
+    /// A small configuration suitable for CPU experiments.
+    pub fn small() -> Self {
+        Self { d_model: 64, heads: 4, d_ff: 128, layers: 2, dropout: 0.1 }
+    }
+
+    /// A tiny configuration for unit tests.
+    pub fn tiny() -> Self {
+        Self { d_model: 16, heads: 2, d_ff: 32, layers: 1, dropout: 0.0 }
+    }
+}
+
+/// A stack of encoder layers.
+pub struct TransformerEncoder {
+    pub layers: Vec<EncoderLayer>,
+    pub cfg: EncoderConfig,
+}
+
+impl TransformerEncoder {
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        prefix: &str,
+        cfg: EncoderConfig,
+        rng: &mut R,
+    ) -> Self {
+        let layers = (0..cfg.layers)
+            .map(|i| EncoderLayer::new(store, &format!("{prefix}.layer{i}"), &cfg, rng))
+            .collect();
+        TransformerEncoder { layers, cfg }
+    }
+
+    pub fn forward(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        mut x: Var,
+        attn_bias: &Tensor,
+    ) -> Var {
+        for layer in &self.layers {
+            x = layer.forward(tape, store, x, attn_bias);
+        }
+        x
+    }
+}
+
+/// BERT pooler: tanh(Linear(CLS token)).
+pub struct Pooler {
+    pub fc: Linear,
+}
+
+impl Pooler {
+    pub fn new<R: Rng>(store: &mut ParamStore, prefix: &str, d_model: usize, rng: &mut R) -> Self {
+        Pooler { fc: Linear::new(store, &format!("{prefix}.dense"), d_model, d_model, rng) }
+    }
+
+    /// `hidden`: `[B, T, D]` → pooled `[B, D]` from token 0.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, hidden: Var) -> Var {
+        let shape = tape.value(hidden).shape().to_vec();
+        let [b, t, d] = match shape.as_slice() {
+            [a, b2, c] => [*a, *b2, *c],
+            s => panic!("pooler expects [B,T,D], got {s:?}"),
+        };
+        let flat = tape.reshape(hidden, vec![b * t, d]);
+        let cls_rows: Vec<usize> = (0..b).map(|i| i * t).collect();
+        let cls = tape.select_rows(flat, cls_rows);
+        let y = self.fc.forward(tape, store, cls);
+        tape.tanh(y)
+    }
+}
+
+/// Build the additive attention bias (`0` keep / `-1e9` mask) from
+/// per-sequence valid lengths.
+pub fn attn_bias_from_lengths(lengths: &[usize], t: usize) -> Tensor {
+    let b = lengths.len();
+    let mut bias = Tensor::zeros(&[b, t]);
+    for (i, &len) in lengths.iter().enumerate() {
+        for j in len..t {
+            bias.data_mut()[i * t + j] = -1e9;
+        }
+    }
+    bias
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn linear_shapes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let lin = Linear::new(&mut store, "l", 4, 3, &mut rng);
+        let mut tape = Tape::new(false, 0);
+        let x = tape.constant(Tensor::zeros(&[2, 5, 4]));
+        let y = lin.forward(&mut tape, &store, x);
+        assert_eq!(tape.value(y).shape(), &[2, 5, 3]);
+    }
+
+    #[test]
+    fn encoder_forward_shapes_and_determinism() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let cfg = EncoderConfig::tiny();
+        let enc = TransformerEncoder::new(&mut store, "enc", cfg.clone(), &mut rng);
+        let x0 = Tensor::randn(&[2, 5, cfg.d_model], 1.0, &mut rng);
+        let bias = attn_bias_from_lengths(&[5, 3], 5);
+
+        let run = |store: &ParamStore| {
+            let mut tape = Tape::new(false, 7);
+            let x = tape.constant(x0.clone());
+            let y = enc.forward(&mut tape, store, x, &bias);
+            tape.value(y).clone()
+        };
+        let y1 = run(&store);
+        let y2 = run(&store);
+        assert_eq!(y1.shape(), &[2, 5, cfg.d_model]);
+        assert_eq!(y1, y2, "eval mode is deterministic");
+    }
+
+    #[test]
+    fn padding_does_not_influence_valid_tokens() {
+        // Change padding token content; outputs at valid positions of the
+        // padded sequence must not change.
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut store = ParamStore::new();
+        let cfg = EncoderConfig::tiny();
+        let enc = TransformerEncoder::new(&mut store, "enc", cfg.clone(), &mut rng);
+        let t = 6;
+        let valid = 3;
+        let bias = attn_bias_from_lengths(&[valid], t);
+
+        let mut x_a = Tensor::randn(&[1, t, cfg.d_model], 1.0, &mut rng);
+        let mut x_b = x_a.clone();
+        // perturb padding positions only
+        for ti in valid..t {
+            for di in 0..cfg.d_model {
+                x_b.data_mut()[ti * cfg.d_model + di] += 5.0;
+            }
+        }
+        let run = |x: Tensor, store: &ParamStore| {
+            let mut tape = Tape::new(false, 1);
+            let xv = tape.constant(x);
+            let y = enc.forward(&mut tape, store, xv, &bias);
+            tape.value(y).clone()
+        };
+        let _ = &mut x_a; // silence mut warning symmetry
+        let ya = run(x_a, &store);
+        let yb = run(x_b, &store);
+        for ti in 0..valid {
+            for di in 0..cfg.d_model {
+                let a = ya.data()[ti * cfg.d_model + di];
+                let b = yb.data()[ti * cfg.d_model + di];
+                assert!((a - b).abs() < 1e-4, "valid token {ti} influenced by padding");
+            }
+        }
+    }
+
+    #[test]
+    fn pooler_takes_first_token() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut store = ParamStore::new();
+        let pooler = Pooler::new(&mut store, "pool", 4, &mut rng);
+        let mut x = Tensor::zeros(&[2, 3, 4]);
+        // batch 0 CLS = 1s, batch 1 CLS = 2s
+        for d in 0..4 {
+            x.data_mut()[d] = 1.0;
+            x.data_mut()[3 * 4 + d] = 2.0;
+        }
+        let mut tape = Tape::new(false, 0);
+        let xv = tape.constant(x);
+        let y = pooler.forward(&mut tape, &store, xv);
+        assert_eq!(tape.value(y).shape(), &[2, 4]);
+        // outputs bounded by tanh
+        for &v in tape.value(y).data() {
+            assert!((-1.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn dropout_only_in_training() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let x0 = Tensor::randn(&[4, 8], 1.0, &mut rng);
+        let mut eval_tape = Tape::new(false, 9);
+        let x = eval_tape.constant(x0.clone());
+        let y = eval_tape.dropout(x, 0.5);
+        assert_eq!(eval_tape.value(y), &x0, "identity at eval");
+
+        let mut train_tape = Tape::new(true, 9);
+        let x = train_tape.constant(x0.clone());
+        let y = train_tape.dropout(x, 0.5);
+        let dropped = train_tape
+            .value(y)
+            .data()
+            .iter()
+            .filter(|&&v| v == 0.0)
+            .count();
+        assert!(dropped > 0, "some elements must drop at p=0.5");
+    }
+
+    #[test]
+    fn attn_bias_layout() {
+        let b = attn_bias_from_lengths(&[2, 4], 4);
+        assert_eq!(b.shape(), &[2, 4]);
+        assert_eq!(b.data()[0], 0.0);
+        assert_eq!(b.data()[2], -1e9);
+        assert_eq!(b.data()[7], 0.0);
+    }
+}

@@ -1,0 +1,742 @@
+//! Differentiable operations recorded on the [`Tape`].
+//!
+//! Each op computes its value eagerly and records a backward closure that
+//! scatters `dL/dout` into its parents' gradient slots. Closures capture
+//! `Rc` clones of the input tensors they need, so backward never borrows
+//! the tape.
+
+use crate::tape::{Tape, Var};
+use crate::tensor::{self, Tensor};
+use std::rc::Rc;
+
+/// Ignore label for [`Tape::cross_entropy_logits`] (masked-out positions).
+pub const IGNORE_INDEX: i64 = -100;
+
+impl Tape {
+    // -- elementwise ------------------------------------------------------
+
+    /// `a + b` (same shape).
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let (va, vb) = (self.value_rc(a), self.value_rc(b));
+        let out = va.zip_map(&vb, |x, y| x + y);
+        let (ra, rb) = (self.requires_grad(a), self.requires_grad(b));
+        self.op(
+            out,
+            &[a, b],
+            Box::new(move |g, store| {
+                if ra {
+                    store.accumulate(a.0, g.clone());
+                }
+                if rb {
+                    store.accumulate(b.0, g.clone());
+                }
+            }),
+        )
+    }
+
+    /// `a - b` (same shape).
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let (va, vb) = (self.value_rc(a), self.value_rc(b));
+        let out = va.zip_map(&vb, |x, y| x - y);
+        let (ra, rb) = (self.requires_grad(a), self.requires_grad(b));
+        self.op(
+            out,
+            &[a, b],
+            Box::new(move |g, store| {
+                if ra {
+                    store.accumulate(a.0, g.clone());
+                }
+                if rb {
+                    store.accumulate(b.0, g.map(|x| -x));
+                }
+            }),
+        )
+    }
+
+    /// Elementwise `a ⊙ b`.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let (va, vb) = (self.value_rc(a), self.value_rc(b));
+        let out = va.zip_map(&vb, |x, y| x * y);
+        let (ra, rb) = (self.requires_grad(a), self.requires_grad(b));
+        self.op(
+            out,
+            &[a, b],
+            Box::new(move |g, store| {
+                if ra {
+                    store.accumulate(a.0, g.zip_map(&vb, |gv, y| gv * y));
+                }
+                if rb {
+                    store.accumulate(b.0, g.zip_map(&va, |gv, x| gv * x));
+                }
+            }),
+        )
+    }
+
+    /// `c · a` for a scalar constant.
+    pub fn scale(&mut self, a: Var, c: f32) -> Var {
+        let va = self.value_rc(a);
+        let out = va.map(|x| c * x);
+        let ra = self.requires_grad(a);
+        self.op(
+            out,
+            &[a],
+            Box::new(move |g, store| {
+                if ra {
+                    store.accumulate(a.0, g.map(|x| c * x));
+                }
+            }),
+        )
+    }
+
+    /// Broadcast-add a row vector `b[c]` to every row of `x[.., c]`.
+    pub fn add_bias(&mut self, x: Var, b: Var) -> Var {
+        let (vx, vb) = (self.value_rc(x), self.value_rc(b));
+        let c = *vx.shape().last().expect("add_bias needs rank >= 1");
+        assert_eq!(vb.shape(), &[c], "bias must match last dim");
+        let mut out = (*vx).clone();
+        for row in out.data_mut().chunks_mut(c) {
+            for (o, &bv) in row.iter_mut().zip(vb.data()) {
+                *o += bv;
+            }
+        }
+        let (rx, rb) = (self.requires_grad(x), self.requires_grad(b));
+        self.op(
+            out,
+            &[x, b],
+            Box::new(move |g, store| {
+                if rx {
+                    store.accumulate(x.0, g.clone());
+                }
+                if rb {
+                    let mut gb = Tensor::zeros(&[c]);
+                    for row in g.data().chunks(c) {
+                        for (s, &gv) in gb.data_mut().iter_mut().zip(row) {
+                            *s += gv;
+                        }
+                    }
+                    store.accumulate(b.0, gb);
+                }
+            }),
+        )
+    }
+
+    // -- activations ------------------------------------------------------
+
+    /// GELU (tanh approximation, like BERT).
+    pub fn gelu(&mut self, a: Var) -> Var {
+        const C: f32 = 0.797_884_6; // sqrt(2/pi)
+        const A: f32 = 0.044_715;
+        let va = self.value_rc(a);
+        let out = va.map(|x| 0.5 * x * (1.0 + (C * (x + A * x * x * x)).tanh()));
+        let ra = self.requires_grad(a);
+        self.op(
+            out,
+            &[a],
+            Box::new(move |g, store| {
+                if ra {
+                    let dx = va.map(|x| {
+                        let u = C * (x + A * x * x * x);
+                        let t = u.tanh();
+                        0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * C * (1.0 + 3.0 * A * x * x)
+                    });
+                    store.accumulate(a.0, g.zip_map(&dx, |gv, d| gv * d));
+                }
+            }),
+        )
+    }
+
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let va = self.value_rc(a);
+        let out = va.map(f32::tanh);
+        let out_rc = Rc::new(out);
+        let keep = Rc::clone(&out_rc);
+        let ra = self.requires_grad(a);
+        let back: Box<dyn Fn(&Tensor, &mut crate::tape::GradStore)> =
+            Box::new(move |g, store| {
+                if ra {
+                    store.accumulate(a.0, g.zip_map(&keep, |gv, y| gv * (1.0 - y * y)));
+                }
+            });
+        let requires = ra;
+        self.push(out_rc, requires.then_some(back), requires)
+    }
+
+    pub fn relu(&mut self, a: Var) -> Var {
+        let va = self.value_rc(a);
+        let out = va.map(|x| x.max(0.0));
+        let ra = self.requires_grad(a);
+        self.op(
+            out,
+            &[a],
+            Box::new(move |g, store| {
+                if ra {
+                    store.accumulate(a.0, g.zip_map(&va, |gv, x| if x > 0.0 { gv } else { 0.0 }));
+                }
+            }),
+        )
+    }
+
+    // -- shape ------------------------------------------------------------
+
+    /// Reshape (same element order).
+    pub fn reshape(&mut self, a: Var, shape: Vec<usize>) -> Var {
+        let va = self.value_rc(a);
+        let old_shape = va.shape().to_vec();
+        let out = va.reshaped(shape);
+        let ra = self.requires_grad(a);
+        self.op(
+            out,
+            &[a],
+            Box::new(move |g, store| {
+                if ra {
+                    store.accumulate(a.0, g.reshaped(old_shape.clone()));
+                }
+            }),
+        )
+    }
+
+    /// Permute axes.
+    pub fn permute(&mut self, a: Var, perm: &[usize]) -> Var {
+        let va = self.value_rc(a);
+        let out = tensor::permute(&va, perm);
+        let inv = tensor::inverse_perm(perm);
+        let ra = self.requires_grad(a);
+        self.op(
+            out,
+            &[a],
+            Box::new(move |g, store| {
+                if ra {
+                    store.accumulate(a.0, tensor::permute(g, &inv));
+                }
+            }),
+        )
+    }
+
+    /// Gather rows of a 2-D tensor: `out[i] = x[idx[i]]`.
+    pub fn select_rows(&mut self, x: Var, idx: Vec<usize>) -> Var {
+        let vx = self.value_rc(x);
+        let (r, c) = (vx.shape()[0], vx.shape()[1]);
+        let mut out = Tensor::zeros(&[idx.len(), c]);
+        for (o, &i) in idx.iter().enumerate() {
+            assert!(i < r, "row index {i} out of bounds {r}");
+            out.data_mut()[o * c..(o + 1) * c].copy_from_slice(&vx.data()[i * c..(i + 1) * c]);
+        }
+        let rx = self.requires_grad(x);
+        self.op(
+            out,
+            &[x],
+            Box::new(move |g, store| {
+                if rx {
+                    let mut gx = Tensor::zeros(&[r, c]);
+                    for (o, &i) in idx.iter().enumerate() {
+                        let src = &g.data()[o * c..(o + 1) * c];
+                        let dst = &mut gx.data_mut()[i * c..(i + 1) * c];
+                        for (d, &s) in dst.iter_mut().zip(src) {
+                            *d += s;
+                        }
+                    }
+                    store.accumulate(x.0, gx);
+                }
+            }),
+        )
+    }
+
+    /// Concatenate two 2-D tensors along columns.
+    pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
+        let (va, vb) = (self.value_rc(a), self.value_rc(b));
+        let (r, ca) = (va.shape()[0], va.shape()[1]);
+        let cb = vb.shape()[1];
+        assert_eq!(vb.shape()[0], r, "concat_cols row mismatch");
+        let mut out = Tensor::zeros(&[r, ca + cb]);
+        for i in 0..r {
+            out.data_mut()[i * (ca + cb)..i * (ca + cb) + ca]
+                .copy_from_slice(&va.data()[i * ca..(i + 1) * ca]);
+            out.data_mut()[i * (ca + cb) + ca..(i + 1) * (ca + cb)]
+                .copy_from_slice(&vb.data()[i * cb..(i + 1) * cb]);
+        }
+        let (ra, rb) = (self.requires_grad(a), self.requires_grad(b));
+        self.op(
+            out,
+            &[a, b],
+            Box::new(move |g, store| {
+                if ra {
+                    let mut ga = Tensor::zeros(&[r, ca]);
+                    for i in 0..r {
+                        ga.data_mut()[i * ca..(i + 1) * ca]
+                            .copy_from_slice(&g.data()[i * (ca + cb)..i * (ca + cb) + ca]);
+                    }
+                    store.accumulate(a.0, ga);
+                }
+                if rb {
+                    let mut gb = Tensor::zeros(&[r, cb]);
+                    for i in 0..r {
+                        gb.data_mut()[i * cb..(i + 1) * cb].copy_from_slice(
+                            &g.data()[i * (ca + cb) + ca..(i + 1) * (ca + cb)],
+                        );
+                    }
+                    store.accumulate(b.0, gb);
+                }
+            }),
+        )
+    }
+
+    // -- linear algebra ---------------------------------------------------
+
+    /// 2-D matmul `a[m,k] · b[k,n]`.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let (va, vb) = (self.value_rc(a), self.value_rc(b));
+        let out = tensor::matmul(&va, &vb);
+        let (ra, rb) = (self.requires_grad(a), self.requires_grad(b));
+        self.op(
+            out,
+            &[a, b],
+            Box::new(move |g, store| {
+                if ra {
+                    store.accumulate(a.0, tensor::matmul_nt(g, &vb));
+                }
+                if rb {
+                    store.accumulate(b.0, tensor::matmul_tn(&va, g));
+                }
+            }),
+        )
+    }
+
+    /// Batched matmul `a[n,m,k] · b[n,k,p]`.
+    pub fn bmm(&mut self, a: Var, b: Var) -> Var {
+        let (va, vb) = (self.value_rc(a), self.value_rc(b));
+        let out = tensor::bmm(&va, &vb);
+        let (ra, rb) = (self.requires_grad(a), self.requires_grad(b));
+        self.op(
+            out,
+            &[a, b],
+            Box::new(move |g, store| {
+                if ra {
+                    store.accumulate(a.0, tensor::bmm_nt(g, &vb));
+                }
+                if rb {
+                    store.accumulate(b.0, tensor::bmm_tn(&va, g));
+                }
+            }),
+        )
+    }
+
+    // -- normalization / attention ----------------------------------------
+
+    /// Softmax over the last dimension.
+    pub fn softmax_last(&mut self, a: Var) -> Var {
+        let va = self.value_rc(a);
+        let c = *va.shape().last().expect("softmax needs rank >= 1");
+        let mut out = (*va).clone();
+        for row in out.data_mut().chunks_mut(c) {
+            let m = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let mut z = 0.0;
+            for v in row.iter_mut() {
+                *v = (*v - m).exp();
+                z += *v;
+            }
+            for v in row.iter_mut() {
+                *v /= z;
+            }
+        }
+        let out_rc = Rc::new(out);
+        let y = Rc::clone(&out_rc);
+        let ra = self.requires_grad(a);
+        let back: Box<dyn Fn(&Tensor, &mut crate::tape::GradStore)> =
+            Box::new(move |g, store| {
+                if ra {
+                    let mut gx = (*y).clone();
+                    for (grow, yrow) in
+                        gx.data_mut().chunks_mut(c).zip(g.data().chunks(c))
+                    {
+                        // here grow currently holds y; compute y ⊙ (g - <g,y>)
+                        let dot: f32 =
+                            grow.iter().zip(yrow).map(|(&yv, &gv)| yv * gv).sum();
+                        for (o, &gv) in grow.iter_mut().zip(yrow) {
+                            *o *= gv - dot;
+                        }
+                    }
+                    store.accumulate(a.0, gx);
+                }
+            });
+        let req = ra;
+        self.push(out_rc, req.then_some(back), req)
+    }
+
+    /// Layer normalization over the last dimension with affine params.
+    pub fn layer_norm(&mut self, x: Var, gamma: Var, beta: Var, eps: f32) -> Var {
+        let (vx, vg, vb) = (self.value_rc(x), self.value_rc(gamma), self.value_rc(beta));
+        let d = *vx.shape().last().expect("layer_norm needs rank >= 1");
+        assert_eq!(vg.shape(), &[d]);
+        assert_eq!(vb.shape(), &[d]);
+        let rows = vx.numel() / d;
+        let mut xhat = Tensor::zeros(vx.shape());
+        let mut inv_std = vec![0.0f32; rows];
+        let mut out = Tensor::zeros(vx.shape());
+        for r in 0..rows {
+            let xr = &vx.data()[r * d..(r + 1) * d];
+            let mean = xr.iter().sum::<f32>() / d as f32;
+            let var = xr.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+            let istd = 1.0 / (var + eps).sqrt();
+            inv_std[r] = istd;
+            let xh = &mut xhat.data_mut()[r * d..(r + 1) * d];
+            let o = &mut out.data_mut()[r * d..(r + 1) * d];
+            for i in 0..d {
+                xh[i] = (xr[i] - mean) * istd;
+                o[i] = xh[i] * vg.data()[i] + vb.data()[i];
+            }
+        }
+        let xhat = Rc::new(xhat);
+        let (rx, rg, rb) = (
+            self.requires_grad(x),
+            self.requires_grad(gamma),
+            self.requires_grad(beta),
+        );
+        self.op(
+            out,
+            &[x, gamma, beta],
+            Box::new(move |g, store| {
+                if rg {
+                    let mut dg = Tensor::zeros(&[d]);
+                    for r in 0..rows {
+                        let gr = &g.data()[r * d..(r + 1) * d];
+                        let xh = &xhat.data()[r * d..(r + 1) * d];
+                        for i in 0..d {
+                            dg.data_mut()[i] += gr[i] * xh[i];
+                        }
+                    }
+                    store.accumulate(gamma.0, dg);
+                }
+                if rb {
+                    let mut db = Tensor::zeros(&[d]);
+                    for r in 0..rows {
+                        let gr = &g.data()[r * d..(r + 1) * d];
+                        for i in 0..d {
+                            db.data_mut()[i] += gr[i];
+                        }
+                    }
+                    store.accumulate(beta.0, db);
+                }
+                if rx {
+                    let mut dx = Tensor::zeros(xhat.shape());
+                    for r in 0..rows {
+                        let gr = &g.data()[r * d..(r + 1) * d];
+                        let xh = &xhat.data()[r * d..(r + 1) * d];
+                        // gy = g ⊙ gamma
+                        let mut mean_gy = 0.0f32;
+                        let mut mean_gy_xh = 0.0f32;
+                        for i in 0..d {
+                            let gy = gr[i] * vg.data()[i];
+                            mean_gy += gy;
+                            mean_gy_xh += gy * xh[i];
+                        }
+                        mean_gy /= d as f32;
+                        mean_gy_xh /= d as f32;
+                        let dxr = &mut dx.data_mut()[r * d..(r + 1) * d];
+                        for i in 0..d {
+                            let gy = gr[i] * vg.data()[i];
+                            dxr[i] = (gy - mean_gy - xh[i] * mean_gy_xh) * inv_std[r];
+                        }
+                    }
+                    store.accumulate(x.0, dx);
+                }
+            }),
+        )
+    }
+
+    /// Add an attention bias `bias[b, t_k]` to scores `[b*heads, t_q, t_k]`
+    /// (used to mask padding: bias is 0 for real tokens, −1e9 for padding).
+    /// The bias is a constant; gradient flows only to the scores.
+    pub fn add_attn_bias(&mut self, scores: Var, bias: &Tensor, heads: usize) -> Var {
+        let vs = self.value_rc(scores);
+        let [bh, tq, tk] = match vs.shape() {
+            [a, b, c] => [*a, *b, *c],
+            s => panic!("add_attn_bias expects 3-D scores, got {s:?}"),
+        };
+        assert_eq!(bh % heads, 0);
+        let batch = bh / heads;
+        assert_eq!(bias.shape(), &[batch, tk], "bias shape");
+        let mut out = (*vs).clone();
+        for b in 0..batch {
+            let brow = &bias.data()[b * tk..(b + 1) * tk];
+            for h in 0..heads {
+                let base = (b * heads + h) * tq * tk;
+                for q in 0..tq {
+                    let row = &mut out.data_mut()[base + q * tk..base + (q + 1) * tk];
+                    for (o, &bv) in row.iter_mut().zip(brow) {
+                        *o += bv;
+                    }
+                }
+            }
+        }
+        let rs = self.requires_grad(scores);
+        self.op(
+            out,
+            &[scores],
+            Box::new(move |g, store| {
+                if rs {
+                    store.accumulate(scores.0, g.clone());
+                }
+            }),
+        )
+    }
+
+    /// Inverted dropout: at train time zero each element with probability
+    /// `p` and scale survivors by `1/(1-p)`; identity at eval time.
+    pub fn dropout(&mut self, a: Var, p: f32) -> Var {
+        if !self.training || p <= 0.0 {
+            return a;
+        }
+        let va = self.value_rc(a);
+        let keep = 1.0 - p;
+        let mut mask = Tensor::zeros(va.shape());
+        for m in mask.data_mut() {
+            *m = if self.next_uniform() < p { 0.0 } else { 1.0 / keep };
+        }
+        let mask = Rc::new(mask);
+        let out = va.zip_map(&mask, |x, m| x * m);
+        let ra = self.requires_grad(a);
+        self.op(
+            out,
+            &[a],
+            Box::new(move |g, store| {
+                if ra {
+                    store.accumulate(a.0, g.zip_map(&mask, |gv, m| gv * m));
+                }
+            }),
+        )
+    }
+
+    /// Mean over valid tokens per batch row: `x[b,t,:]` → `out[b,:]`,
+    /// where `mask[b][t]` marks valid tokens. Rows with no valid tokens
+    /// yield zeros.
+    pub fn masked_mean_tokens(&mut self, x: Var, mask: &[Vec<bool>]) -> Var {
+        let vx = self.value_rc(x);
+        let [b, t, d] = match vx.shape() {
+            [a, b2, c] => [*a, *b2, *c],
+            s => panic!("masked_mean_tokens expects 3-D, got {s:?}"),
+        };
+        assert_eq!(mask.len(), b);
+        let mut out = Tensor::zeros(&[b, d]);
+        let mut counts = vec![0usize; b];
+        for bi in 0..b {
+            assert_eq!(mask[bi].len(), t);
+            for ti in 0..t {
+                if mask[bi][ti] {
+                    counts[bi] += 1;
+                    let src = &vx.data()[(bi * t + ti) * d..(bi * t + ti + 1) * d];
+                    let dst = &mut out.data_mut()[bi * d..(bi + 1) * d];
+                    for (o, &s) in dst.iter_mut().zip(src) {
+                        *o += s;
+                    }
+                }
+            }
+            if counts[bi] > 0 {
+                let inv = 1.0 / counts[bi] as f32;
+                for o in &mut out.data_mut()[bi * d..(bi + 1) * d] {
+                    *o *= inv;
+                }
+            }
+        }
+        let mask_owned: Vec<Vec<bool>> = mask.to_vec();
+        let rx = self.requires_grad(x);
+        self.op(
+            out,
+            &[x],
+            Box::new(move |g, store| {
+                if rx {
+                    let mut gx = Tensor::zeros(&[b, t, d]);
+                    for bi in 0..b {
+                        let cnt = mask_owned[bi].iter().filter(|&&m| m).count();
+                        if cnt == 0 {
+                            continue;
+                        }
+                        let inv = 1.0 / cnt as f32;
+                        for ti in 0..t {
+                            if mask_owned[bi][ti] {
+                                let dst = &mut gx.data_mut()
+                                    [(bi * t + ti) * d..(bi * t + ti + 1) * d];
+                                let src = &g.data()[bi * d..(bi + 1) * d];
+                                for (o, &s) in dst.iter_mut().zip(src) {
+                                    *o += s * inv;
+                                }
+                            }
+                        }
+                    }
+                    store.accumulate(x.0, gx);
+                }
+            }),
+        )
+    }
+
+    // -- embeddings ---------------------------------------------------------
+
+    /// Row gather from an embedding table: `out[i] = table[ids[i]]`.
+    pub fn embedding(&mut self, table: Var, ids: Vec<u32>) -> Var {
+        let vt = self.value_rc(table);
+        let (v, d) = (vt.shape()[0], vt.shape()[1]);
+        let mut out = Tensor::zeros(&[ids.len(), d]);
+        for (o, &id) in ids.iter().enumerate() {
+            let id = id as usize;
+            assert!(id < v, "embedding id {id} out of range {v}");
+            out.data_mut()[o * d..(o + 1) * d].copy_from_slice(&vt.data()[id * d..(id + 1) * d]);
+        }
+        let rt = self.requires_grad(table);
+        self.op(
+            out,
+            &[table],
+            Box::new(move |g, store| {
+                if rt {
+                    let mut gt = Tensor::zeros(&[v, d]);
+                    for (o, &id) in ids.iter().enumerate() {
+                        let id = id as usize;
+                        let src = &g.data()[o * d..(o + 1) * d];
+                        let dst = &mut gt.data_mut()[id * d..(id + 1) * d];
+                        for (t, &s) in dst.iter_mut().zip(src) {
+                            *t += s;
+                        }
+                    }
+                    store.accumulate(table.0, gt);
+                }
+            }),
+        )
+    }
+
+    // -- losses -------------------------------------------------------------
+
+    /// Mean cross-entropy over rows of `logits[n, c]` with integer targets;
+    /// rows whose target is [`IGNORE_INDEX`] contribute nothing.
+    pub fn cross_entropy_logits(&mut self, logits: Var, targets: Vec<i64>) -> Var {
+        let vl = self.value_rc(logits);
+        let (n, c) = (vl.shape()[0], vl.shape()[1]);
+        assert_eq!(targets.len(), n, "one target per row");
+        let mut probs = Tensor::zeros(&[n, c]);
+        let mut loss = 0.0f64;
+        let mut valid = 0usize;
+        for i in 0..n {
+            let row = &vl.data()[i * c..(i + 1) * c];
+            let m = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let mut z = 0.0f32;
+            let prow = &mut probs.data_mut()[i * c..(i + 1) * c];
+            for (p, &x) in prow.iter_mut().zip(row) {
+                *p = (x - m).exp();
+                z += *p;
+            }
+            for p in prow.iter_mut() {
+                *p /= z;
+            }
+            let t = targets[i];
+            if t != IGNORE_INDEX {
+                assert!((0..c as i64).contains(&t), "target {t} out of range {c}");
+                valid += 1;
+                loss -= (prow[t as usize].max(1e-12) as f64).ln();
+            }
+        }
+        let valid = valid.max(1);
+        let out = Tensor::scalar((loss / valid as f64) as f32);
+        let probs = Rc::new(probs);
+        let rl = self.requires_grad(logits);
+        self.op(
+            out,
+            &[logits],
+            Box::new(move |g, store| {
+                if rl {
+                    let gs = g.item() / valid as f32;
+                    let mut gl = Tensor::zeros(&[n, c]);
+                    for i in 0..n {
+                        let t = targets[i];
+                        if t == IGNORE_INDEX {
+                            continue;
+                        }
+                        let prow = &probs.data()[i * c..(i + 1) * c];
+                        let grow = &mut gl.data_mut()[i * c..(i + 1) * c];
+                        for (gv, &p) in grow.iter_mut().zip(prow) {
+                            *gv = p * gs;
+                        }
+                        grow[t as usize] -= gs;
+                    }
+                    store.accumulate(logits.0, gl);
+                }
+            }),
+        )
+    }
+
+    /// Mean squared error against constant targets (same shape).
+    pub fn mse_loss(&mut self, pred: Var, targets: Tensor) -> Var {
+        let vp = self.value_rc(pred);
+        assert_eq!(vp.shape(), targets.shape(), "mse target shape");
+        let n = vp.numel().max(1);
+        let loss = vp
+            .data()
+            .iter()
+            .zip(targets.data())
+            .map(|(&p, &t)| {
+                let d = (p - t) as f64;
+                d * d
+            })
+            .sum::<f64>()
+            / n as f64;
+        let rp = self.requires_grad(pred);
+        self.op(
+            Tensor::scalar(loss as f32),
+            &[pred],
+            Box::new(move |g, store| {
+                if rp {
+                    let gs = g.item() * 2.0 / n as f32;
+                    store.accumulate(pred.0, vp.zip_map(&targets, |p, t| gs * (p - t)));
+                }
+            }),
+        )
+    }
+
+    /// Mean binary cross-entropy with logits against constant multi-hot
+    /// targets (numerically stable formulation).
+    pub fn bce_with_logits(&mut self, logits: Var, targets: Tensor) -> Var {
+        let vl = self.value_rc(logits);
+        assert_eq!(vl.shape(), targets.shape(), "bce target shape");
+        let n = vl.numel().max(1);
+        let loss = vl
+            .data()
+            .iter()
+            .zip(targets.data())
+            .map(|(&z, &y)| {
+                (z.max(0.0) - z * y + (-z.abs()).exp().ln_1p()) as f64
+            })
+            .sum::<f64>()
+            / n as f64;
+        let rl = self.requires_grad(logits);
+        self.op(
+            Tensor::scalar(loss as f32),
+            &[logits],
+            Box::new(move |g, store| {
+                if rl {
+                    let gs = g.item() / n as f32;
+                    store.accumulate(
+                        logits.0,
+                        vl.zip_map(&targets, |z, y| {
+                            let sig = 1.0 / (1.0 + (-z).exp());
+                            gs * (sig - y)
+                        }),
+                    );
+                }
+            }),
+        )
+    }
+
+    /// Mean of all elements (occasionally useful as a probe loss).
+    pub fn mean_all(&mut self, a: Var) -> Var {
+        let va = self.value_rc(a);
+        let n = va.numel().max(1);
+        let out = Tensor::scalar(va.sum() / n as f32);
+        let ra = self.requires_grad(a);
+        self.op(
+            out,
+            &[a],
+            Box::new(move |g, store| {
+                if ra {
+                    let gs = g.item() / n as f32;
+                    store.accumulate(a.0, Tensor::full(va.shape(), gs));
+                }
+            }),
+        )
+    }
+}

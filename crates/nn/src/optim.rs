@@ -1,0 +1,134 @@
+//! AdamW optimizer with linear warmup / linear decay scheduling.
+
+use crate::params::ParamStore;
+use std::rc::Rc;
+
+/// AdamW (decoupled weight decay), the optimizer BERT-style models use.
+pub struct AdamW {
+    pub lr: f32,
+    pub beta1: f32,
+    pub beta2: f32,
+    pub eps: f32,
+    pub weight_decay: f32,
+    step: u64,
+}
+
+impl AdamW {
+    pub fn new(lr: f32) -> Self {
+        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.01, step: 0 }
+    }
+
+    pub fn with_weight_decay(mut self, wd: f32) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+
+    pub fn step_count(&self) -> u64 {
+        self.step
+    }
+
+    /// Apply one update using the gradients accumulated in the store.
+    /// The caller is responsible for `zero_grads` afterwards.
+    pub fn step(&mut self, store: &mut ParamStore, lr_scale: f32) {
+        self.step += 1;
+        let lr = self.lr * lr_scale;
+        let bc1 = 1.0 - self.beta1.powi(self.step as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.step as i32);
+        for p in store.params_mut() {
+            if p.frozen {
+                continue;
+            }
+            // The tape from the producing forward pass must be dropped by
+            // now; then the Rc is unique and make_mut updates in place.
+            let value = Rc::make_mut(&mut p.value);
+            let wd = if p.decay { self.weight_decay } else { 0.0 };
+            let g = p.grad.data();
+            let m = p.m.data_mut();
+            let v = p.v.data_mut();
+            let w = value.data_mut();
+            for i in 0..g.len() {
+                m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * g[i];
+                v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * g[i] * g[i];
+                let mhat = m[i] / bc1;
+                let vhat = v[i] / bc2;
+                w[i] -= lr * (mhat / (vhat.sqrt() + self.eps) + wd * w[i]);
+            }
+        }
+    }
+}
+
+/// Linear warmup to 1.0 over `warmup` steps, then linear decay to 0 at
+/// `total` steps (the BERT fine-tuning schedule). Returns the LR *scale*.
+#[derive(Debug, Clone, Copy)]
+pub struct LinearSchedule {
+    pub warmup: u64,
+    pub total: u64,
+}
+
+impl LinearSchedule {
+    pub fn scale(&self, step: u64) -> f32 {
+        if self.total == 0 {
+            return 1.0;
+        }
+        if step < self.warmup {
+            return (step + 1) as f32 / self.warmup.max(1) as f32;
+        }
+        let remain = self.total.saturating_sub(step) as f32;
+        let span = self.total.saturating_sub(self.warmup).max(1) as f32;
+        (remain / span).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tape::Tape;
+    use crate::tensor::Tensor;
+
+    #[test]
+    fn adamw_minimizes_quadratic() {
+        // minimize f(w) = mean((w - t)^2) toward t = [3, -2].
+        let mut store = ParamStore::new();
+        let id = store.add("w", Tensor::zeros(&[2]), false);
+        let target = Tensor::from_vec(vec![2], vec![3.0, -2.0]);
+        let mut opt = AdamW::new(0.1).with_weight_decay(0.0);
+        for _ in 0..500 {
+            let mut tape = Tape::new(true, 1);
+            let w = store.use_param(&mut tape, id);
+            let loss = tape.mse_loss(w, target.clone());
+            let grads = tape.backward(loss);
+            store.absorb_grads(&tape, &grads);
+            drop(tape);
+            opt.step(&mut store, 1.0);
+            store.zero_grads();
+        }
+        let w = store.value(id).data();
+        assert!((w[0] - 3.0).abs() < 0.05, "w0={}", w[0]);
+        assert!((w[1] + 2.0).abs() < 0.05, "w1={}", w[1]);
+    }
+
+    #[test]
+    fn weight_decay_pulls_toward_zero() {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Tensor::from_vec(vec![1], vec![5.0]), true);
+        let mut opt = AdamW::new(0.01).with_weight_decay(0.5);
+        for _ in 0..100 {
+            // zero gradient; only decay acts
+            opt.step(&mut store, 1.0);
+        }
+        assert!(store.value(id).data()[0] < 5.0);
+    }
+
+    #[test]
+    fn schedule_shape() {
+        let s = LinearSchedule { warmup: 10, total: 110 };
+        assert!(s.scale(0) <= 0.11);
+        assert!((s.scale(9) - 1.0).abs() < 1e-6);
+        assert!(s.scale(60) < 1.0);
+        assert!(s.scale(60) > s.scale(100));
+        assert_eq!(s.scale(110), 0.0);
+        assert_eq!(s.scale(9999), 0.0);
+        let degenerate = LinearSchedule { warmup: 0, total: 0 };
+        assert_eq!(degenerate.scale(5), 1.0);
+    }
+}

@@ -1,0 +1,204 @@
+//! Named parameter storage shared between modules, tapes and optimizers.
+//!
+//! Parameter values live behind `Rc<Tensor>`: each forward pass clones the
+//! `Rc` into a tape leaf (cheap), and the optimizer mutates in place via
+//! `Rc::make_mut` once the tape is dropped (so no copy happens in steady
+//! state either).
+
+use crate::tape::{GradStore, Tape, Var};
+use crate::tensor::Tensor;
+use std::rc::Rc;
+
+/// Handle to a parameter inside a [`ParamStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamId(pub(crate) usize);
+
+pub(crate) struct Param {
+    pub name: String,
+    pub value: Rc<Tensor>,
+    pub grad: Tensor,
+    /// AdamW first/second moment state.
+    pub m: Tensor,
+    pub v: Tensor,
+    /// Whether weight decay applies (disabled for biases, LayerNorm, and
+    /// embedding tables, following standard BERT practice).
+    pub decay: bool,
+    /// Frozen parameters are skipped by the optimizer (used by the
+    /// TAPAS/TABBIE-style baselines whose encoders stay fixed while the
+    /// task head trains).
+    pub frozen: bool,
+}
+
+/// All trainable parameters of a model.
+#[derive(Default)]
+pub struct ParamStore {
+    params: Vec<Param>,
+}
+
+impl ParamStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a tensor as a trainable parameter.
+    pub fn add(&mut self, name: impl Into<String>, value: Tensor, decay: bool) -> ParamId {
+        let shape = value.shape().to_vec();
+        self.params.push(Param {
+            name: name.into(),
+            value: Rc::new(value),
+            grad: Tensor::zeros(&shape),
+            m: Tensor::zeros(&shape),
+            v: Tensor::zeros(&shape),
+            decay,
+            frozen: false,
+        });
+        ParamId(self.params.len() - 1)
+    }
+
+    /// Freeze every parameter whose name starts with `prefix`. Returns the
+    /// number of parameters affected.
+    pub fn freeze_prefix(&mut self, prefix: &str) -> usize {
+        let mut n = 0;
+        for p in &mut self.params {
+            if p.name.starts_with(prefix) {
+                p.frozen = true;
+                n += 1;
+            }
+        }
+        n
+    }
+
+    pub fn is_frozen(&self, id: ParamId) -> bool {
+        self.params[id.0].frozen
+    }
+
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    pub fn value(&self, id: ParamId) -> &Tensor {
+        &self.params[id.0].value
+    }
+
+    pub fn grad(&self, id: ParamId) -> &Tensor {
+        &self.params[id.0].grad
+    }
+
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.params[id.0].name
+    }
+
+    /// Total number of scalar parameters.
+    pub fn num_scalars(&self) -> usize {
+        self.params.iter().map(|p| p.value.numel()).sum()
+    }
+
+    /// Create the tape leaf for a parameter.
+    pub fn use_param(&self, tape: &mut Tape, id: ParamId) -> Var {
+        tape.param(Rc::clone(&self.params[id.0].value), id.0)
+    }
+
+    /// After `tape.backward`, move parameter gradients from the grad store
+    /// into the persistent `grad` buffers (accumulating across micro-steps).
+    pub fn absorb_grads(&mut self, tape: &Tape, grads: &GradStore) {
+        for &(pid, var) in &tape.param_links {
+            if let Some(g) = grads.get(var) {
+                self.params[pid].grad.add_assign(g);
+            }
+        }
+    }
+
+    pub fn zero_grads(&mut self) {
+        for p in &mut self.params {
+            p.grad.fill(0.0);
+        }
+    }
+
+    /// Global gradient L2 norm (for clipping diagnostics).
+    pub fn grad_norm(&self) -> f32 {
+        self.params.iter().map(|p| p.grad.sq_l2_norm()).sum::<f32>().sqrt()
+    }
+
+    /// Scale all gradients so the global norm is at most `max_norm`.
+    pub fn clip_grad_norm(&mut self, max_norm: f32) -> f32 {
+        let norm = self.grad_norm();
+        if norm > max_norm && norm > 0.0 {
+            let s = max_norm / norm;
+            for p in &mut self.params {
+                p.grad.scale_assign(s);
+            }
+        }
+        norm
+    }
+
+    pub(crate) fn params_mut(&mut self) -> &mut [Param] {
+        &mut self.params
+    }
+
+    /// Overwrite a parameter's value (checkpoint loading).
+    pub fn set_value(&mut self, id: ParamId, value: Tensor) {
+        assert_eq!(
+            value.shape(),
+            self.params[id.0].value.shape(),
+            "checkpoint shape mismatch for {}",
+            self.params[id.0].name
+        );
+        self.params[id.0].value = Rc::new(value);
+    }
+
+    pub fn iter_named(&self) -> impl Iterator<Item = (&str, &Tensor)> {
+        self.params.iter().map(|p| (p.name.as_str(), &*p.value))
+    }
+
+    pub fn id_by_name(&self, name: &str) -> Option<ParamId> {
+        self.params.iter().position(|p| p.name == name).map(ParamId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut s = ParamStore::new();
+        let id = s.add("w", Tensor::zeros(&[2, 3]), true);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.num_scalars(), 6);
+        assert_eq!(s.name(id), "w");
+        assert_eq!(s.id_by_name("w"), Some(id));
+        assert_eq!(s.id_by_name("nope"), None);
+    }
+
+    #[test]
+    fn grads_flow_through_tape() {
+        let mut s = ParamStore::new();
+        let id = s.add("w", Tensor::from_vec(vec![2], vec![1.0, 2.0]), true);
+        let mut tape = Tape::new(false, 0);
+        let w = s.use_param(&mut tape, id);
+        let loss = tape.mean_all(w);
+        let grads = tape.backward(loss);
+        s.absorb_grads(&tape, &grads);
+        assert_eq!(s.grad(id).data(), &[0.5, 0.5]);
+        // Absorbing twice accumulates.
+        s.absorb_grads(&tape, &grads);
+        assert_eq!(s.grad(id).data(), &[1.0, 1.0]);
+        s.zero_grads();
+        assert_eq!(s.grad(id).data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn clipping() {
+        let mut s = ParamStore::new();
+        let id = s.add("w", Tensor::zeros(&[2]), true);
+        s.params_mut()[0].grad = Tensor::from_vec(vec![2], vec![3.0, 4.0]);
+        let norm = s.clip_grad_norm(1.0);
+        assert!((norm - 5.0).abs() < 1e-6);
+        assert!((s.grad(id).data()[0] - 0.6).abs() < 1e-6);
+        assert!((s.grad(id).data()[1] - 0.8).abs() < 1e-6);
+    }
+}

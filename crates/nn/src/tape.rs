@@ -1,0 +1,191 @@
+//! Reverse-mode autodiff on a linear tape.
+//!
+//! Every forward pass builds a fresh [`Tape`]; nodes hold `Rc<Tensor>`
+//! values so parameters are shared with the [`crate::params::ParamStore`]
+//! without copying. Backward walks the tape in reverse, each node's
+//! recorded closure scattering into a per-node gradient slot.
+
+use crate::tensor::Tensor;
+use std::rc::Rc;
+
+/// Handle to a tape node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Var(pub(crate) usize);
+
+/// Gradient slots, indexed by node id.
+pub struct GradStore {
+    grads: Vec<Option<Tensor>>,
+}
+
+impl GradStore {
+    /// Accumulate `delta` into node `i`'s gradient.
+    pub fn accumulate(&mut self, i: usize, delta: Tensor) {
+        match &mut self.grads[i] {
+            Some(g) => g.add_assign(&delta),
+            slot @ None => *slot = Some(delta),
+        }
+    }
+
+    pub fn get(&self, v: Var) -> Option<&Tensor> {
+        self.grads[v.0].as_ref()
+    }
+}
+
+type BackFn = Box<dyn Fn(&Tensor, &mut GradStore)>;
+
+struct Node {
+    value: Rc<Tensor>,
+    /// None for constants/leaves; Some for ops (and for leaves we still
+    /// want `None` — their gradient is read out directly).
+    backward: Option<BackFn>,
+    /// Whether gradients should flow to/through this node.
+    requires_grad: bool,
+}
+
+/// A single forward pass's computation graph.
+pub struct Tape {
+    nodes: Vec<Node>,
+    /// Parameter links: (param id in the store, leaf node).
+    pub(crate) param_links: Vec<(usize, Var)>,
+    /// Training mode (enables dropout).
+    pub training: bool,
+    /// Internal RNG state for dropout masks (xorshift64*).
+    pub(crate) rng_state: u64,
+}
+
+impl Tape {
+    pub fn new(training: bool, seed: u64) -> Self {
+        Tape {
+            nodes: Vec::with_capacity(256),
+            param_links: Vec::new(),
+            training,
+            rng_state: seed | 1,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    pub(crate) fn next_rand(&mut self) -> u64 {
+        // xorshift64*
+        let mut x = self.rng_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng_state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform f32 in [0,1).
+    pub(crate) fn next_uniform(&mut self) -> f32 {
+        (self.next_rand() >> 40) as f32 / (1u64 << 24) as f32
+    }
+
+    /// A constant: no gradient flows to it.
+    pub fn constant(&mut self, t: Tensor) -> Var {
+        self.push(Rc::new(t), None, false)
+    }
+
+    /// A differentiable leaf (inputs under grad-check, parameters).
+    pub fn leaf(&mut self, t: Rc<Tensor>) -> Var {
+        self.push(t, None, true)
+    }
+
+    /// Register a parameter leaf; its gradient is collected into the store
+    /// by [`crate::params::ParamStore::absorb_grads`].
+    pub fn param(&mut self, value: Rc<Tensor>, param_id: usize) -> Var {
+        let v = self.push(value, None, true);
+        self.param_links.push((param_id, v));
+        v
+    }
+
+    pub(crate) fn push(
+        &mut self,
+        value: Rc<Tensor>,
+        backward: Option<BackFn>,
+        requires_grad: bool,
+    ) -> Var {
+        self.nodes.push(Node { value, backward, requires_grad });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Record an op node. `backward` receives (grad_out, grad_store).
+    pub(crate) fn op(
+        &mut self,
+        value: Tensor,
+        parents: &[Var],
+        backward: BackFn,
+    ) -> Var {
+        let requires_grad = parents.iter().any(|p| self.nodes[p.0].requires_grad);
+        let back = requires_grad.then_some(backward);
+        self.push(Rc::new(value), back, requires_grad)
+    }
+
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.nodes[v.0].value
+    }
+
+    pub(crate) fn value_rc(&self, v: Var) -> Rc<Tensor> {
+        Rc::clone(&self.nodes[v.0].value)
+    }
+
+    pub fn requires_grad(&self, v: Var) -> bool {
+        self.nodes[v.0].requires_grad
+    }
+
+    /// Run reverse-mode accumulation from a scalar loss.
+    pub fn backward(&self, loss: Var) -> GradStore {
+        assert_eq!(self.value(loss).numel(), 1, "backward() needs a scalar loss");
+        let mut store = GradStore { grads: vec![None; self.nodes.len()] };
+        store.grads[loss.0] = Some(Tensor::full(self.value(loss).shape(), 1.0));
+        for i in (0..=loss.0).rev() {
+            if store.grads[i].is_none() || !self.nodes[i].requires_grad {
+                continue;
+            }
+            if let Some(back) = &self.nodes[i].backward {
+                let g = store.grads[i].take().expect("present");
+                back(&g, &mut store);
+                store.grads[i] = Some(g);
+            }
+        }
+        store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_gets_no_grad() {
+        let mut t = Tape::new(false, 1);
+        let c = t.constant(Tensor::scalar(3.0));
+        assert!(!t.requires_grad(c));
+        let l = t.leaf(Rc::new(Tensor::scalar(2.0)));
+        assert!(t.requires_grad(l));
+    }
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = Tape::new(true, 42);
+        let mut b = Tape::new(true, 42);
+        for _ in 0..10 {
+            assert_eq!(a.next_rand(), b.next_rand());
+        }
+        let u = a.next_uniform();
+        assert!((0.0..1.0).contains(&u));
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar")]
+    fn backward_requires_scalar() {
+        let mut t = Tape::new(false, 1);
+        let x = t.leaf(Rc::new(Tensor::zeros(&[2])));
+        t.backward(x);
+    }
+}

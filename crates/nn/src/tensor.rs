@@ -1,0 +1,466 @@
+//! Dense row-major `f32` tensors and the raw kernels the autograd ops use.
+//!
+//! Shapes are small (this workload is a scaled-down BERT encoder), so the
+//! kernels favour clarity and cache-friendly loop orders over SIMD
+//! intrinsics; the `ikj` matmul order lets LLVM vectorize the inner row
+//! accumulation.
+
+use rand::Rng;
+
+/// A dense row-major tensor of `f32`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    pub fn from_vec(shape: Vec<usize>, data: Vec<f32>) -> Self {
+        assert_eq!(
+            shape.iter().product::<usize>(),
+            data.len(),
+            "shape {shape:?} incompatible with {} elements",
+            data.len()
+        );
+        Self { shape, data }
+    }
+
+    pub fn zeros(shape: &[usize]) -> Self {
+        Self { shape: shape.to_vec(), data: vec![0.0; shape.iter().product()] }
+    }
+
+    pub fn full(shape: &[usize], v: f32) -> Self {
+        Self { shape: shape.to_vec(), data: vec![v; shape.iter().product()] }
+    }
+
+    pub fn scalar(v: f32) -> Self {
+        Self { shape: vec![], data: vec![v] }
+    }
+
+    /// i.i.d. normal entries scaled by `std`.
+    pub fn randn<R: Rng>(shape: &[usize], std: f32, rng: &mut R) -> Self {
+        let n: usize = shape.iter().product();
+        let mut data = Vec::with_capacity(n);
+        // Box-Muller; avoids pulling in rand_distr.
+        while data.len() < n {
+            let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+            let u2: f32 = rng.gen_range(0.0..1.0);
+            let r = (-2.0 * u1.ln()).sqrt();
+            let th = 2.0 * std::f32::consts::PI * u2;
+            data.push(r * th.cos() * std);
+            if data.len() < n {
+                data.push(r * th.sin() * std);
+            }
+        }
+        Self { shape: shape.to_vec(), data }
+    }
+
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.numel(), 1, "item() on non-scalar {:?}", self.shape);
+        self.data[0]
+    }
+
+    /// Reinterpret with a new shape (same element count, same order).
+    pub fn reshaped(&self, shape: Vec<usize>) -> Tensor {
+        Tensor::from_vec(shape, self.data.clone())
+    }
+
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&x| f(x)).collect() }
+    }
+
+    pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!(self.shape, other.shape, "elementwise shape mismatch");
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
+        }
+    }
+
+    /// `self += other` (same shape).
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "add_assign shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    pub fn scale_assign(&mut self, c: f32) {
+        for a in &mut self.data {
+            *a *= c;
+        }
+    }
+
+    pub fn fill(&mut self, v: f32) {
+        self.data.fill(v);
+    }
+
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    pub fn sq_l2_norm(&self) -> f32 {
+        self.data.iter().map(|&x| x * x).sum()
+    }
+
+    /// Row-major strides for this shape.
+    pub fn strides(&self) -> Vec<usize> {
+        strides_of(&self.shape)
+    }
+}
+
+pub fn strides_of(shape: &[usize]) -> Vec<usize> {
+    let mut s = vec![1; shape.len()];
+    for i in (0..shape.len().saturating_sub(1)).rev() {
+        s[i] = s[i + 1] * shape[i + 1];
+    }
+    s
+}
+
+// ---------------------------------------------------------------------------
+// Matmul kernels. Names: n = as-is, t = transposed operand.
+// ---------------------------------------------------------------------------
+
+/// C[m,n] = A[m,k] · B[k,n]  (ikj loop order; inner loop over contiguous
+/// rows of B and C auto-vectorizes).
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (&[m, k], &[k2, n]) = (&a.shape[..], &b.shape[..]) else {
+        panic!("matmul expects 2-D, got {:?} x {:?}", a.shape, b.shape)
+    };
+    assert_eq!(k, k2, "matmul inner dims: {:?} x {:?}", a.shape, b.shape);
+    let mut c = vec![0.0f32; m * n];
+    matmul_into(&a.data, &b.data, &mut c, m, k, n);
+    Tensor { shape: vec![m, n], data: c }
+}
+
+#[inline]
+fn matmul_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (l, &a_il) in a_row.iter().enumerate() {
+            if a_il == 0.0 {
+                continue;
+            }
+            let b_row = &b[l * n..(l + 1) * n];
+            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                *cv += a_il * bv;
+            }
+        }
+    }
+}
+
+/// C[m,n] = Aᵀ[m,k] · B[k,n] where A is stored as [k,m].
+pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
+    let (&[k, m], &[k2, n]) = (&a.shape[..], &b.shape[..]) else {
+        panic!("matmul_tn expects 2-D")
+    };
+    assert_eq!(k, k2, "matmul_tn inner dims");
+    let mut c = vec![0.0f32; m * n];
+    for l in 0..k {
+        let a_row = &a.data[l * m..(l + 1) * m];
+        let b_row = &b.data[l * n..(l + 1) * n];
+        for (i, &a_li) in a_row.iter().enumerate() {
+            if a_li == 0.0 {
+                continue;
+            }
+            let c_row = &mut c[i * n..(i + 1) * n];
+            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                *cv += a_li * bv;
+            }
+        }
+    }
+    Tensor { shape: vec![m, n], data: c }
+}
+
+/// C[m,n] = A[m,k] · Bᵀ[k,n] where B is stored as [n,k].
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    let (&[m, k], &[n, k2]) = (&a.shape[..], &b.shape[..]) else {
+        panic!("matmul_nt expects 2-D")
+    };
+    assert_eq!(k, k2, "matmul_nt inner dims");
+    let mut c = vec![0.0f32; m * n];
+    for i in 0..m {
+        let a_row = &a.data[i * k..(i + 1) * k];
+        for j in 0..n {
+            let b_row = &b.data[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (av, bv) in a_row.iter().zip(b_row) {
+                acc += av * bv;
+            }
+            c[i * n + j] = acc;
+        }
+    }
+    Tensor { shape: vec![m, n], data: c }
+}
+
+/// Batched matmul: C[b,m,n] = A[b,m,k] · B[b,k,n].
+pub fn bmm(a: &Tensor, b: &Tensor) -> Tensor {
+    let (&[ba, m, k], &[bb, k2, n]) = (&a.shape[..], &b.shape[..]) else {
+        panic!("bmm expects 3-D, got {:?} x {:?}", a.shape, b.shape)
+    };
+    assert_eq!(ba, bb, "bmm batch dims");
+    assert_eq!(k, k2, "bmm inner dims");
+    let mut c = vec![0.0f32; ba * m * n];
+    for bi in 0..ba {
+        matmul_into(
+            &a.data[bi * m * k..(bi + 1) * m * k],
+            &b.data[bi * k * n..(bi + 1) * k * n],
+            &mut c[bi * m * n..(bi + 1) * m * n],
+            m,
+            k,
+            n,
+        );
+    }
+    Tensor { shape: vec![ba, m, n], data: c }
+}
+
+/// Batched: C[b,m,n] = A[b,m,k] · Bᵀ where B is stored [b,n,k].
+pub fn bmm_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    let (&[ba, m, k], &[bb, n, k2]) = (&a.shape[..], &b.shape[..]) else {
+        panic!("bmm_nt expects 3-D")
+    };
+    assert_eq!(ba, bb);
+    assert_eq!(k, k2);
+    let mut c = vec![0.0f32; ba * m * n];
+    for bi in 0..ba {
+        let ab = &a.data[bi * m * k..(bi + 1) * m * k];
+        let bb_ = &b.data[bi * n * k..(bi + 1) * n * k];
+        let cb = &mut c[bi * m * n..(bi + 1) * m * n];
+        for i in 0..m {
+            let a_row = &ab[i * k..(i + 1) * k];
+            for j in 0..n {
+                let b_row = &bb_[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (av, bv) in a_row.iter().zip(b_row) {
+                    acc += av * bv;
+                }
+                cb[i * n + j] = acc;
+            }
+        }
+    }
+    Tensor { shape: vec![ba, m, n], data: c }
+}
+
+/// Batched: C[b,m,n] = Aᵀ · B[b,k,n] where A is stored [b,k,m].
+pub fn bmm_tn(a: &Tensor, b: &Tensor) -> Tensor {
+    let (&[ba, k, m], &[bb, k2, n]) = (&a.shape[..], &b.shape[..]) else {
+        panic!("bmm_tn expects 3-D")
+    };
+    assert_eq!(ba, bb);
+    assert_eq!(k, k2);
+    let mut c = vec![0.0f32; ba * m * n];
+    for bi in 0..ba {
+        let ab = &a.data[bi * k * m..(bi + 1) * k * m];
+        let bb_ = &b.data[bi * k * n..(bi + 1) * k * n];
+        let cb = &mut c[bi * m * n..(bi + 1) * m * n];
+        for l in 0..k {
+            let a_row = &ab[l * m..(l + 1) * m];
+            let b_row = &bb_[l * n..(l + 1) * n];
+            for (i, &a_li) in a_row.iter().enumerate() {
+                if a_li == 0.0 {
+                    continue;
+                }
+                let c_row = &mut cb[i * n..(i + 1) * n];
+                for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                    *cv += a_li * bv;
+                }
+            }
+        }
+    }
+    Tensor { shape: vec![ba, m, n], data: c }
+}
+
+/// Permute tensor dimensions (generic, up to small ranks).
+pub fn permute(t: &Tensor, perm: &[usize]) -> Tensor {
+    assert_eq!(perm.len(), t.shape.len(), "perm rank mismatch");
+    let mut seen = vec![false; perm.len()];
+    for &p in perm {
+        assert!(!seen[p], "perm {perm:?} repeats axes");
+        seen[p] = true;
+    }
+    let new_shape: Vec<usize> = perm.iter().map(|&p| t.shape[p]).collect();
+    let old_strides = t.strides();
+    let new_strides_in_old: Vec<usize> = perm.iter().map(|&p| old_strides[p]).collect();
+    let mut data = vec![0.0f32; t.numel()];
+    let mut idx = vec![0usize; perm.len()];
+    for slot in data.iter_mut() {
+        let mut off = 0;
+        for (i, &ix) in idx.iter().enumerate() {
+            off += ix * new_strides_in_old[i];
+        }
+        *slot = t.data[off];
+        // increment odometer
+        for d in (0..idx.len()).rev() {
+            idx[d] += 1;
+            if idx[d] < new_shape[d] {
+                break;
+            }
+            idx[d] = 0;
+        }
+    }
+    Tensor { shape: new_shape, data }
+}
+
+/// Inverse of a permutation.
+pub fn inverse_perm(perm: &[usize]) -> Vec<usize> {
+    let mut inv = vec![0usize; perm.len()];
+    for (i, &p) in perm.iter().enumerate() {
+        inv[p] = i;
+    }
+    inv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn t2(rows: usize, cols: usize, v: &[f32]) -> Tensor {
+        Tensor::from_vec(vec![rows, cols], v.to_vec())
+    }
+
+    #[test]
+    fn matmul_small() {
+        let a = t2(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        let b = t2(3, 2, &[7., 8., 9., 10., 11., 12.]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn transposed_variants_agree() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let a = Tensor::randn(&[4, 5], 1.0, &mut rng);
+        let b = Tensor::randn(&[5, 3], 1.0, &mut rng);
+        let c = matmul(&a, &b);
+        let at = permute(&a, &[1, 0]);
+        let bt = permute(&b, &[1, 0]);
+        let c_tn = matmul_tn(&at, &b);
+        let c_nt = matmul_nt(&a, &bt);
+        for i in 0..c.numel() {
+            assert!((c.data()[i] - c_tn.data()[i]).abs() < 1e-5);
+            assert!((c.data()[i] - c_nt.data()[i]).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn bmm_matches_per_batch_matmul() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Tensor::randn(&[3, 2, 4], 1.0, &mut rng);
+        let b = Tensor::randn(&[3, 4, 5], 1.0, &mut rng);
+        let c = bmm(&a, &b);
+        for bi in 0..3 {
+            let a2 = Tensor::from_vec(vec![2, 4], a.data()[bi * 8..(bi + 1) * 8].to_vec());
+            let b2 = Tensor::from_vec(vec![4, 5], b.data()[bi * 20..(bi + 1) * 20].to_vec());
+            let c2 = matmul(&a2, &b2);
+            assert_eq!(&c.data()[bi * 10..(bi + 1) * 10], c2.data());
+        }
+    }
+
+    #[test]
+    fn bmm_transposed_variants_agree() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = Tensor::randn(&[2, 3, 4], 1.0, &mut rng);
+        let b = Tensor::randn(&[2, 4, 5], 1.0, &mut rng);
+        let c = bmm(&a, &b);
+        let at = permute(&a, &[0, 2, 1]);
+        let bt = permute(&b, &[0, 2, 1]);
+        let c_tn = bmm_tn(&at, &b);
+        let c_nt = bmm_nt(&a, &bt);
+        for i in 0..c.numel() {
+            assert!((c.data()[i] - c_tn.data()[i]).abs() < 1e-5);
+            assert!((c.data()[i] - c_nt.data()[i]).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn permute_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = Tensor::randn(&[2, 3, 4, 5], 1.0, &mut rng);
+        let p = [2, 0, 3, 1];
+        let y = permute(&x, &p);
+        assert_eq!(y.shape(), &[4, 2, 5, 3]);
+        let back = permute(&y, &inverse_perm(&p));
+        assert_eq!(back, x);
+    }
+
+    #[test]
+    fn permute_2d_is_transpose() {
+        let a = t2(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        let at = permute(&a, &[1, 0]);
+        assert_eq!(at.shape(), &[3, 2]);
+        assert_eq!(at.data(), &[1., 4., 2., 5., 3., 6.]);
+    }
+
+    #[test]
+    fn randn_moments() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let x = Tensor::randn(&[10_000], 2.0, &mut rng);
+        let mean = x.sum() / 10_000.0;
+        let var = x.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 10_000.0;
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    #[should_panic(expected = "shape")]
+    fn shape_mismatch_panics() {
+        let _ = Tensor::from_vec(vec![2, 2], vec![1.0; 3]);
+    }
+
+    #[test]
+    fn strides() {
+        assert_eq!(strides_of(&[2, 3, 4]), vec![12, 4, 1]);
+        assert_eq!(strides_of(&[5]), vec![1]);
+        assert_eq!(strides_of(&[]), Vec::<usize>::new());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matmul_identity(m in 1usize..6, k in 1usize..6) {
+            let mut rng = StdRng::seed_from_u64(9);
+            let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+            let mut eye = Tensor::zeros(&[k, k]);
+            for i in 0..k { eye.data_mut()[i * k + i] = 1.0; }
+            let c = matmul(&a, &eye);
+            prop_assert_eq!(c.data(), a.data());
+        }
+
+        #[test]
+        fn prop_matmul_linear_in_a(m in 1usize..5, k in 1usize..5, n in 1usize..5) {
+            let mut rng = StdRng::seed_from_u64(10);
+            let a1 = Tensor::randn(&[m, k], 1.0, &mut rng);
+            let a2 = Tensor::randn(&[m, k], 1.0, &mut rng);
+            let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+            let lhs = matmul(&a1.zip_map(&a2, |x, y| x + y), &b);
+            let mut rhs = matmul(&a1, &b);
+            rhs.add_assign(&matmul(&a2, &b));
+            for i in 0..lhs.numel() {
+                prop_assert!((lhs.data()[i] - rhs.data()[i]).abs() < 1e-4);
+            }
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests for the autograd substrate: gradients of random
+//! op compositions must match finite differences, and checkpoint parsing
+//! must reject corrupted files rather than misread them.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tsfm_nn::gradcheck::check_gradients;
+use tsfm_nn::io::{read_checkpoint, save_params};
+use tsfm_nn::tensor::Tensor;
+use tsfm_nn::ParamStore;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Random chains of smooth unary/binary ops gradcheck correctly.
+    #[test]
+    fn prop_random_op_chain_gradients(
+        seed in 0u64..1000,
+        ops in proptest::collection::vec(0u8..5, 1..5),
+        rows in 2usize..4,
+        cols in 2usize..4,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x0 = Tensor::randn(&[rows, cols], 0.8, &mut rng);
+        let other = Tensor::randn(&[rows, cols], 0.8, &mut rng);
+        let w = Tensor::randn(&[cols, 2], 0.8, &mut rng);
+        let ops2 = ops.clone();
+        let res = check_gradients(
+            move |t, v| {
+                let mut cur = v;
+                for &op in &ops2 {
+                    cur = match op {
+                        0 => t.gelu(cur),
+                        1 => t.tanh(cur),
+                        2 => {
+                            let c = t.constant(other.clone());
+                            t.mul(cur, c)
+                        }
+                        3 => t.scale(cur, -0.7),
+                        _ => {
+                            let c = t.constant(other.clone());
+                            t.add(cur, c)
+                        }
+                    };
+                }
+                let wv = t.constant(w.clone());
+                let y = t.matmul(cur, wv);
+                t.mean_all(y)
+            },
+            &x0,
+            1e-2,
+            1e-1,
+        );
+        prop_assert!(res.is_ok(), "{res:?}");
+    }
+
+    /// Softmax rows always sum to one and stay in (0, 1], even for
+    /// extreme inputs (numerical stability of the max-shift).
+    #[test]
+    fn prop_softmax_is_distribution(vals in proptest::collection::vec(-100f32..100.0, 4..16)) {
+        let n = vals.len();
+        let mut tape = tsfm_nn::Tape::new(false, 0);
+        let x = tape.constant(Tensor::from_vec(vec![1, n], vals));
+        let y = tape.softmax_last(x);
+        let row = tape.value(y).data();
+        let sum: f32 = row.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4, "sum {sum}");
+        for &p in row {
+            prop_assert!(p >= 0.0 && p <= 1.0 + 1e-6);
+        }
+    }
+
+    /// Truncating a checkpoint anywhere must produce an error, never a
+    /// silently wrong read.
+    #[test]
+    fn prop_truncated_checkpoint_rejected(cut_frac in 0.05f64..0.95) {
+        let dir = std::env::temp_dir().join("tsfm_nn_prop_io");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("t{}.ckpt", (cut_frac * 1000.0) as u32));
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        store.add("w", Tensor::randn(&[4, 4], 1.0, &mut rng), true);
+        store.add("b", Tensor::randn(&[4], 1.0, &mut rng), false);
+        save_params(&store, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+        prop_assert!(read_checkpoint(&path).is_err(), "truncated at {cut}/{}", bytes.len());
+    }
+
+    /// AdamW with zero gradients and no weight decay is a no-op.
+    #[test]
+    fn prop_adamw_zero_grad_fixed_point(seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        let id = store.add("w", Tensor::randn(&[3, 3], 1.0, &mut rng), false);
+        let before = store.value(id).clone();
+        let mut opt = tsfm_nn::AdamW::new(1e-2).with_weight_decay(0.0);
+        for _ in 0..5 {
+            opt.step(&mut store, 1.0);
+        }
+        prop_assert_eq!(store.value(id), &before);
+    }
+}

@@ -1,0 +1,308 @@
+//! Hierarchical Navigable Small World graphs (Malkov & Yashunin, 2020) —
+//! the ANN index DeepJoin uses for joinable-column search.
+//!
+//! Standard construction: each node draws a level from a geometric
+//! distribution; greedy search descends from the top layer to layer 1 and
+//! a best-first beam (`ef`) explores layer 0. Neighbour lists keep the `M`
+//! closest candidates (simple selection, no pruning heuristic — adequate
+//! for the corpus sizes here and easier to validate against brute force).
+
+use crate::knn::Metric;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Ordered (distance, id) pair for max-heaps; reversed for min-heaps.
+#[derive(PartialEq)]
+struct HeapItem(f32, usize);
+
+impl Eq for HeapItem {}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0
+            .partial_cmp(&other.0)
+            .expect("finite distances")
+            .then(self.1.cmp(&other.1))
+    }
+}
+
+/// HNSW construction/search parameters.
+#[derive(Debug, Clone)]
+pub struct HnswConfig {
+    /// Max neighbours per node on layers ≥ 1 (layer 0 keeps `2·m`).
+    pub m: usize,
+    pub ef_construction: usize,
+    pub ef_search: usize,
+    pub seed: u64,
+}
+
+impl Default for HnswConfig {
+    fn default() -> Self {
+        Self { m: 12, ef_construction: 64, ef_search: 48, seed: 0x45f7 }
+    }
+}
+
+struct Node {
+    /// Neighbour lists per layer, `neighbors[l]` for layer `l`.
+    neighbors: Vec<Vec<usize>>,
+}
+
+/// The index. Ids are dense insertion order, matching
+/// [`crate::knn::BruteForceIndex`] so the two are interchangeable.
+pub struct Hnsw {
+    cfg: HnswConfig,
+    dim: usize,
+    metric: Metric,
+    data: Vec<f32>,
+    nodes: Vec<Node>,
+    entry: Option<usize>,
+    max_level: usize,
+    rng_state: u64,
+}
+
+impl Hnsw {
+    pub fn new(dim: usize, metric: Metric, cfg: HnswConfig) -> Self {
+        let rng_state = cfg.seed | 1;
+        Self { cfg, dim, metric, data: Vec::new(), nodes: Vec::new(), entry: None, max_level: 0, rng_state }
+    }
+
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn vector(&self, id: usize) -> &[f32] {
+        &self.data[id * self.dim..(id + 1) * self.dim]
+    }
+
+    fn dist(&self, q: &[f32], id: usize) -> f32 {
+        self.metric.distance(q, self.vector(id))
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        let mut x = self.rng_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng_state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn random_level(&mut self) -> usize {
+        // Geometric with p related to 1/ln(M): level = floor(-ln(u)·mL).
+        let u = ((self.next_rand() >> 40) as f64 + 0.5) / (1u64 << 24) as f64;
+        let ml = 1.0 / (self.cfg.m.max(2) as f64).ln();
+        (-u.ln() * ml).floor() as usize
+    }
+
+    /// Greedy descent on one layer: move to the closest neighbour until no
+    /// improvement.
+    fn greedy(&self, q: &[f32], mut cur: usize, layer: usize) -> usize {
+        let mut cur_d = self.dist(q, cur);
+        loop {
+            let mut improved = false;
+            for &n in &self.nodes[cur].neighbors[layer] {
+                let d = self.dist(q, n);
+                if d < cur_d {
+                    cur = n;
+                    cur_d = d;
+                    improved = true;
+                }
+            }
+            if !improved {
+                return cur;
+            }
+        }
+    }
+
+    /// Best-first beam search on one layer; returns up to `ef` closest.
+    fn search_layer(&self, q: &[f32], entry: usize, ef: usize, layer: usize) -> Vec<(usize, f32)> {
+        let entry_d = self.dist(q, entry);
+        let mut visited: HashSet<usize> = HashSet::from([entry]);
+        // candidates: min-heap by distance (Reverse); results: max-heap.
+        let mut candidates = BinaryHeap::from([std::cmp::Reverse(HeapItem(entry_d, entry))]);
+        let mut results = BinaryHeap::from([HeapItem(entry_d, entry)]);
+        while let Some(std::cmp::Reverse(HeapItem(cd, c))) = candidates.pop() {
+            let worst = results.peek().expect("non-empty").0;
+            if cd > worst && results.len() >= ef {
+                break;
+            }
+            for &n in &self.nodes[c].neighbors[layer] {
+                if !visited.insert(n) {
+                    continue;
+                }
+                let d = self.dist(q, n);
+                let worst = results.peek().expect("non-empty").0;
+                if results.len() < ef || d < worst {
+                    candidates.push(std::cmp::Reverse(HeapItem(d, n)));
+                    results.push(HeapItem(d, n));
+                    if results.len() > ef {
+                        results.pop();
+                    }
+                }
+            }
+        }
+        let mut out: Vec<(usize, f32)> =
+            results.into_iter().map(|HeapItem(d, i)| (i, d)).collect();
+        out.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite").then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Insert a vector, returning its id.
+    pub fn add(&mut self, v: &[f32]) -> usize {
+        assert_eq!(v.len(), self.dim, "vector dim");
+        let id = self.nodes.len();
+        let level = self.random_level();
+        self.data.extend_from_slice(v);
+        self.nodes.push(Node { neighbors: vec![Vec::new(); level + 1] });
+
+        let Some(mut cur) = self.entry else {
+            self.entry = Some(id);
+            self.max_level = level;
+            return id;
+        };
+
+        let q = v.to_vec();
+        // Descend layers above the new node's level greedily.
+        for l in ((level + 1)..=self.max_level).rev() {
+            cur = self.greedy(&q, cur, l);
+        }
+        // Connect on each layer from min(level, max_level) down to 0.
+        for l in (0..=level.min(self.max_level)).rev() {
+            let found = self.search_layer(&q, cur, self.cfg.ef_construction, l);
+            let m_max = if l == 0 { self.cfg.m * 2 } else { self.cfg.m };
+            let chosen: Vec<usize> =
+                found.iter().take(m_max).map(|&(i, _)| i).collect();
+            for &n in &chosen {
+                self.nodes[id].neighbors[l].push(n);
+                self.nodes[n].neighbors[l].push(id);
+                // Trim the neighbour's list if it overflowed.
+                if self.nodes[n].neighbors[l].len() > m_max {
+                    let nv = self.vector(n).to_vec();
+                    let mut withd: Vec<(usize, f32)> = self.nodes[n].neighbors[l]
+                        .iter()
+                        .map(|&x| (x, self.dist(&nv, x)))
+                        .collect();
+                    withd.sort_by(|a, b| {
+                        a.1.partial_cmp(&b.1).expect("finite").then(a.0.cmp(&b.0))
+                    });
+                    withd.truncate(m_max);
+                    self.nodes[n].neighbors[l] = withd.into_iter().map(|(x, _)| x).collect();
+                }
+            }
+            if let Some(&(best, _)) = found.first() {
+                cur = best;
+            }
+        }
+        if level > self.max_level {
+            self.max_level = level;
+            self.entry = Some(id);
+        }
+        id
+    }
+
+    /// Approximate top-k by ascending distance.
+    pub fn search(&self, q: &[f32], k: usize) -> Vec<(usize, f32)> {
+        let Some(mut cur) = self.entry else {
+            return Vec::new();
+        };
+        for l in (1..=self.max_level).rev() {
+            cur = self.greedy(q, cur, l);
+        }
+        let ef = self.cfg.ef_search.max(k);
+        let mut out = self.search_layer(q, cur, ef, 0);
+        out.truncate(k);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knn::BruteForceIndex;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_vecs(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect()).collect()
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let mut h = Hnsw::new(3, Metric::Euclidean, HnswConfig::default());
+        assert!(h.search(&[0.0; 3], 5).is_empty());
+        h.add(&[1.0, 2.0, 3.0]);
+        let hits = h.search(&[1.0, 2.0, 3.0], 5);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].0, 0);
+    }
+
+    #[test]
+    fn exact_on_small_sets() {
+        // With ef >= n the beam search must be exact.
+        let vecs = random_vecs(40, 8, 1);
+        let mut h = Hnsw::new(
+            8,
+            Metric::Euclidean,
+            HnswConfig { ef_search: 64, ef_construction: 64, ..Default::default() },
+        );
+        let mut bf = BruteForceIndex::new(8, Metric::Euclidean);
+        for v in &vecs {
+            h.add(v);
+            bf.add(v);
+        }
+        for q in random_vecs(10, 8, 2) {
+            let a: Vec<usize> = h.search(&q, 5).into_iter().map(|(i, _)| i).collect();
+            let b: Vec<usize> = bf.search(&q, 5).into_iter().map(|(i, _)| i).collect();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn high_recall_on_larger_sets() {
+        let vecs = random_vecs(800, 16, 3);
+        let mut h = Hnsw::new(16, Metric::Cosine, HnswConfig::default());
+        let mut bf = BruteForceIndex::new(16, Metric::Cosine);
+        for v in &vecs {
+            h.add(v);
+            bf.add(v);
+        }
+        let queries = random_vecs(30, 16, 4);
+        let mut hit = 0usize;
+        let mut total = 0usize;
+        for q in &queries {
+            let approx: std::collections::HashSet<usize> =
+                h.search(q, 10).into_iter().map(|(i, _)| i).collect();
+            for (i, _) in bf.search(q, 10) {
+                total += 1;
+                if approx.contains(&i) {
+                    hit += 1;
+                }
+            }
+        }
+        let recall = hit as f64 / total as f64;
+        assert!(recall > 0.9, "HNSW recall@10 too low: {recall}");
+    }
+
+    #[test]
+    fn distances_ascending() {
+        let vecs = random_vecs(100, 4, 5);
+        let mut h = Hnsw::new(4, Metric::Euclidean, HnswConfig::default());
+        for v in &vecs {
+            h.add(v);
+        }
+        let hits = h.search(&[0.0; 4], 10);
+        for w in hits.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+}

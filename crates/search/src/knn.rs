@@ -1,0 +1,132 @@
+//! Exact (brute-force) k-nearest-neighbour index over dense vectors.
+//!
+//! The corpora in this reproduction are thousands of vectors, where exact
+//! scan is both fastest to build and a correctness oracle for the
+//! approximate indexes ([`crate::hnsw`], [`crate::simhash`]).
+
+/// Distance metric for dense indexes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Cosine distance `1 − cos(a, b)`.
+    Cosine,
+    /// Squared Euclidean distance.
+    Euclidean,
+}
+
+impl Metric {
+    pub fn distance(self, a: &[f32], b: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), b.len());
+        match self {
+            Metric::Cosine => {
+                let mut dot = 0.0f32;
+                let mut na = 0.0f32;
+                let mut nb = 0.0f32;
+                for (&x, &y) in a.iter().zip(b) {
+                    dot += x * y;
+                    na += x * x;
+                    nb += y * y;
+                }
+                if na == 0.0 || nb == 0.0 {
+                    1.0
+                } else {
+                    1.0 - dot / (na.sqrt() * nb.sqrt())
+                }
+            }
+            Metric::Euclidean => {
+                let mut s = 0.0f32;
+                for (&x, &y) in a.iter().zip(b) {
+                    let d = x - y;
+                    s += d * d;
+                }
+                s
+            }
+        }
+    }
+}
+
+/// A brute-force index: ids are assigned densely in insertion order.
+pub struct BruteForceIndex {
+    dim: usize,
+    metric: Metric,
+    data: Vec<f32>,
+}
+
+impl BruteForceIndex {
+    pub fn new(dim: usize, metric: Metric) -> Self {
+        Self { dim, metric, data: Vec::new() }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len() / self.dim
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Insert a vector, returning its id.
+    pub fn add(&mut self, v: &[f32]) -> usize {
+        assert_eq!(v.len(), self.dim, "vector dim");
+        self.data.extend_from_slice(v);
+        self.len() - 1
+    }
+
+    pub fn get(&self, id: usize) -> &[f32] {
+        &self.data[id * self.dim..(id + 1) * self.dim]
+    }
+
+    /// Exact top-k by ascending distance. Ties break by id for
+    /// reproducibility.
+    pub fn search(&self, query: &[f32], k: usize) -> Vec<(usize, f32)> {
+        assert_eq!(query.len(), self.dim, "query dim");
+        let mut hits: Vec<(usize, f32)> = (0..self.len())
+            .map(|i| (i, self.metric.distance(query, self.get(i))))
+            .collect();
+        hits.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite").then(a.0.cmp(&b.0)));
+        hits.truncate(k);
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cosine_distance_basics() {
+        let m = Metric::Cosine;
+        assert!(m.distance(&[1.0, 0.0], &[1.0, 0.0]).abs() < 1e-6);
+        assert!((m.distance(&[1.0, 0.0], &[0.0, 1.0]) - 1.0).abs() < 1e-6);
+        assert!((m.distance(&[1.0, 0.0], &[-1.0, 0.0]) - 2.0).abs() < 1e-6);
+        assert_eq!(m.distance(&[0.0, 0.0], &[1.0, 0.0]), 1.0, "zero vector safe");
+    }
+
+    #[test]
+    fn euclidean_distance() {
+        let m = Metric::Euclidean;
+        assert_eq!(m.distance(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+    }
+
+    #[test]
+    fn search_orders_by_distance() {
+        let mut idx = BruteForceIndex::new(2, Metric::Euclidean);
+        idx.add(&[0.0, 0.0]);
+        idx.add(&[1.0, 0.0]);
+        idx.add(&[5.0, 0.0]);
+        let hits = idx.search(&[0.9, 0.0], 3);
+        assert_eq!(hits[0].0, 1);
+        assert_eq!(hits[1].0, 0);
+        assert_eq!(hits[2].0, 2);
+        assert_eq!(idx.search(&[0.0, 0.0], 1).len(), 1);
+    }
+
+    #[test]
+    fn deterministic_tie_break() {
+        let mut idx = BruteForceIndex::new(1, Metric::Euclidean);
+        idx.add(&[1.0]);
+        idx.add(&[1.0]);
+        let hits = idx.search(&[1.0], 2);
+        assert_eq!(hits[0].0, 0);
+        assert_eq!(hits[1].0, 1);
+    }
+}

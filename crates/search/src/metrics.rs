@@ -1,0 +1,242 @@
+//! Evaluation metrics: P@k / R@k / F1@k for search (paper Tables V–VIII,
+//! Fig. 4/8), weighted F1 for classification (Table II), and R² for
+//! regression tasks.
+
+use std::collections::BTreeSet;
+
+/// Precision@k: fraction of the top-k retrieved that are relevant.
+pub fn precision_at_k(retrieved: &[usize], gold: &BTreeSet<usize>, k: usize) -> f64 {
+    if k == 0 {
+        return 0.0;
+    }
+    let hits = retrieved.iter().take(k).filter(|id| gold.contains(id)).count();
+    hits as f64 / k as f64
+}
+
+/// Recall@k: fraction of the gold set found in the top-k.
+pub fn recall_at_k(retrieved: &[usize], gold: &BTreeSet<usize>, k: usize) -> f64 {
+    if gold.is_empty() {
+        return 0.0;
+    }
+    let hits = retrieved.iter().take(k).filter(|id| gold.contains(id)).count();
+    hits as f64 / gold.len() as f64
+}
+
+/// F1@k (harmonic mean of P@k and R@k).
+pub fn f1_at_k(retrieved: &[usize], gold: &BTreeSet<usize>, k: usize) -> f64 {
+    let p = precision_at_k(retrieved, gold, k);
+    let r = recall_at_k(retrieved, gold, k);
+    if p + r == 0.0 {
+        0.0
+    } else {
+        2.0 * p * r / (p + r)
+    }
+}
+
+/// Search results over a query set at a fixed k.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchScores {
+    pub mean_f1: f64,
+    pub mean_precision: f64,
+    pub mean_recall: f64,
+}
+
+/// Mean F1 / P / R at `k` over all queries.
+pub fn evaluate_search(
+    retrieved: &[Vec<usize>],
+    gold: &[BTreeSet<usize>],
+    k: usize,
+) -> SearchScores {
+    assert_eq!(retrieved.len(), gold.len(), "one result list per query");
+    let n = retrieved.len().max(1) as f64;
+    let mut f1 = 0.0;
+    let mut p = 0.0;
+    let mut r = 0.0;
+    for (ret, g) in retrieved.iter().zip(gold) {
+        f1 += f1_at_k(ret, g, k);
+        p += precision_at_k(ret, g, k);
+        r += recall_at_k(ret, g, k);
+    }
+    SearchScores { mean_f1: f1 / n, mean_precision: p / n, mean_recall: r / n }
+}
+
+/// F1@k series over a k sweep (the Fig. 4/8 curves).
+pub fn f1_curve(retrieved: &[Vec<usize>], gold: &[BTreeSet<usize>], ks: &[usize]) -> Vec<f64> {
+    ks.iter().map(|&k| evaluate_search(retrieved, gold, k).mean_f1).collect()
+}
+
+/// Weighted F1 over arbitrary class labels (the paper's classification
+/// metric, handling class skew): per-class F1 weighted by gold support.
+pub fn weighted_f1(pred: &[usize], gold: &[usize]) -> f64 {
+    assert_eq!(pred.len(), gold.len());
+    if gold.is_empty() {
+        return 0.0;
+    }
+    let classes: BTreeSet<usize> = gold.iter().chain(pred.iter()).copied().collect();
+    let mut total = 0.0;
+    for &c in &classes {
+        let tp = pred
+            .iter()
+            .zip(gold)
+            .filter(|(p, g)| **p == c && **g == c)
+            .count() as f64;
+        let fp = pred
+            .iter()
+            .zip(gold)
+            .filter(|(p, g)| **p == c && **g != c)
+            .count() as f64;
+        let fn_ = pred
+            .iter()
+            .zip(gold)
+            .filter(|(p, g)| **p != c && **g == c)
+            .count() as f64;
+        let support = gold.iter().filter(|&&g| g == c).count() as f64;
+        let prec = if tp + fp > 0.0 { tp / (tp + fp) } else { 0.0 };
+        let rec = if tp + fn_ > 0.0 { tp / (tp + fn_) } else { 0.0 };
+        let f1 = if prec + rec > 0.0 { 2.0 * prec * rec / (prec + rec) } else { 0.0 };
+        total += f1 * support;
+    }
+    total / gold.len() as f64
+}
+
+/// Multi-label weighted F1: one binary judgment per (example, class),
+/// weighted by per-class positive support (scikit-learn's `weighted`
+/// average over labels).
+pub fn multilabel_weighted_f1(pred: &[Vec<bool>], gold: &[Vec<bool>]) -> f64 {
+    assert_eq!(pred.len(), gold.len());
+    if gold.is_empty() {
+        return 0.0;
+    }
+    let classes = gold[0].len();
+    let mut total = 0.0;
+    let mut weight = 0.0;
+    for c in 0..classes {
+        let tp = pred
+            .iter()
+            .zip(gold)
+            .filter(|(p, g)| p[c] && g[c])
+            .count() as f64;
+        let fp = pred
+            .iter()
+            .zip(gold)
+            .filter(|(p, g)| p[c] && !g[c])
+            .count() as f64;
+        let fn_ = pred
+            .iter()
+            .zip(gold)
+            .filter(|(p, g)| !p[c] && g[c])
+            .count() as f64;
+        let support = tp + fn_;
+        let prec = if tp + fp > 0.0 { tp / (tp + fp) } else { 0.0 };
+        let rec = if tp + fn_ > 0.0 { tp / (tp + fn_) } else { 0.0 };
+        let f1 = if prec + rec > 0.0 { 2.0 * prec * rec / (prec + rec) } else { 0.0 };
+        total += f1 * support;
+        weight += support;
+    }
+    if weight == 0.0 {
+        0.0
+    } else {
+        total / weight
+    }
+}
+
+/// Coefficient of determination R² (regression tasks).
+pub fn r2_score(pred: &[f64], gold: &[f64]) -> f64 {
+    assert_eq!(pred.len(), gold.len());
+    if gold.is_empty() {
+        return 0.0;
+    }
+    let mean = gold.iter().sum::<f64>() / gold.len() as f64;
+    let ss_tot: f64 = gold.iter().map(|g| (g - mean) * (g - mean)).sum();
+    let ss_res: f64 = pred.iter().zip(gold).map(|(p, g)| (p - g) * (p - g)).sum();
+    if ss_tot == 0.0 {
+        if ss_res == 0.0 {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gold(ids: &[usize]) -> BTreeSet<usize> {
+        ids.iter().copied().collect()
+    }
+
+    #[test]
+    fn pk_rk_f1() {
+        let retrieved = vec![1, 2, 3, 4, 5];
+        let g = gold(&[1, 3, 9, 10]);
+        assert_eq!(precision_at_k(&retrieved, &g, 5), 0.4);
+        assert_eq!(recall_at_k(&retrieved, &g, 5), 0.5);
+        let f1 = f1_at_k(&retrieved, &g, 5);
+        assert!((f1 - 2.0 * 0.4 * 0.5 / 0.9).abs() < 1e-12);
+        // Perfect retrieval at k = |gold|.
+        let r2 = vec![1, 3, 9, 10];
+        assert_eq!(f1_at_k(&r2, &g, 4), 1.0);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let g = gold(&[]);
+        assert_eq!(recall_at_k(&[1, 2], &g, 2), 0.0);
+        assert_eq!(f1_at_k(&[1, 2], &g, 2), 0.0);
+        assert_eq!(precision_at_k(&[1], &gold(&[1]), 0), 0.0);
+    }
+
+    #[test]
+    fn evaluate_search_averages() {
+        let retrieved = vec![vec![1, 2], vec![3, 4]];
+        let golds = vec![gold(&[1, 2]), gold(&[9, 10])];
+        let s = evaluate_search(&retrieved, &golds, 2);
+        assert!((s.mean_f1 - 0.5).abs() < 1e-12);
+        assert!((s.mean_precision - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f1_curve_monotone_recall() {
+        let retrieved = vec![vec![1, 2, 3, 4]];
+        let golds = vec![gold(&[1, 2, 3, 4])];
+        let curve = f1_curve(&retrieved, &golds, &[1, 2, 4]);
+        assert!(curve[0] < curve[1] && curve[1] < curve[2]);
+        assert_eq!(curve[2], 1.0);
+    }
+
+    #[test]
+    fn weighted_f1_perfect_and_skewed() {
+        assert_eq!(weighted_f1(&[0, 1, 1], &[0, 1, 1]), 1.0);
+        // All-zero predictor on skewed labels: F1(class0) weighted high.
+        let pred = vec![0; 10];
+        let mut g = vec![0; 9];
+        g.push(1);
+        let w = weighted_f1(&pred, &g);
+        assert!(w > 0.8 && w < 1.0, "{w}");
+        assert_eq!(weighted_f1(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn multilabel_f1() {
+        let pred = vec![vec![true, false], vec![true, true]];
+        let gold = vec![vec![true, false], vec![true, true]];
+        assert_eq!(multilabel_weighted_f1(&pred, &gold), 1.0);
+        let bad = vec![vec![false, false], vec![false, false]];
+        assert_eq!(multilabel_weighted_f1(&bad, &gold), 0.0);
+    }
+
+    #[test]
+    fn r2_properties() {
+        let gold = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(r2_score(&gold, &gold), 1.0);
+        // Predicting the mean gives R² = 0.
+        let mean = vec![2.5; 4];
+        assert!(r2_score(&mean, &gold).abs() < 1e-12);
+        // Worse than the mean is negative.
+        let bad = vec![4.0, 3.0, 2.0, 1.0];
+        assert!(r2_score(&bad, &gold) < 0.0);
+    }
+}

@@ -1,0 +1,143 @@
+//! The paper's table-ranking algorithm (Fig. 6).
+//!
+//! Given per-query-column nearest-column hits (`KNNSEARCH` with `k·3`
+//! over-retrieval), the algorithm:
+//! 1. `COLUMNNEARTABLES` — per column, collapse hits to tables keeping each
+//!    table's *closest* matching column distance;
+//! 2. `NEARTABLES` — union the per-column table sets;
+//! 3. `RANK1` — prefer tables matching more query columns;
+//! 4. `RANK2` — break ties by the smaller sum of column distances.
+
+use std::collections::HashMap;
+
+/// One retrieved column: which table owns it and the embedding distance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ColumnHit {
+    pub table: usize,
+    pub distance: f32,
+}
+
+/// Aggregated candidate table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankedTable {
+    pub table: usize,
+    /// RANK1 key: number of query columns with a match in this table.
+    pub matching_columns: usize,
+    /// RANK2 key: sum of the per-column minimum distances.
+    pub distance_sum: f32,
+}
+
+/// `COLUMNNEARTABLES` for one query column: table → min distance.
+pub fn column_near_tables(hits: &[ColumnHit]) -> HashMap<usize, f32> {
+    let mut best: HashMap<usize, f32> = HashMap::new();
+    for h in hits {
+        best.entry(h.table)
+            .and_modify(|d| {
+                if h.distance < *d {
+                    *d = h.distance;
+                }
+            })
+            .or_insert(h.distance);
+    }
+    best
+}
+
+/// `NEARTABLES` + `RANK1`/`RANK2`: rank candidate tables for a query table
+/// given each of its columns' hits. `exclude` drops the query table itself
+/// from the ranking (a query trivially matches itself).
+pub fn near_tables(per_column_hits: &[Vec<ColumnHit>], exclude: Option<usize>) -> Vec<RankedTable> {
+    let mut counts: HashMap<usize, (usize, f32)> = HashMap::new();
+    for hits in per_column_hits {
+        for (table, d) in column_near_tables(hits) {
+            if Some(table) == exclude {
+                continue;
+            }
+            let e = counts.entry(table).or_insert((0, 0.0));
+            e.0 += 1;
+            e.1 += d;
+        }
+    }
+    let mut out: Vec<RankedTable> = counts
+        .into_iter()
+        .map(|(table, (matching_columns, distance_sum))| RankedTable {
+            table,
+            matching_columns,
+            distance_sum,
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        b.matching_columns
+            .cmp(&a.matching_columns)
+            .then(a.distance_sum.partial_cmp(&b.distance_sum).expect("finite"))
+            .then(a.table.cmp(&b.table))
+    });
+    out
+}
+
+/// Convenience: ranked table ids only.
+pub fn ranked_table_ids(per_column_hits: &[Vec<ColumnHit>], exclude: Option<usize>) -> Vec<usize> {
+    near_tables(per_column_hits, exclude).into_iter().map(|r| r.table).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hit(table: usize, distance: f32) -> ColumnHit {
+        ColumnHit { table, distance }
+    }
+
+    #[test]
+    fn column_near_tables_keeps_min() {
+        let hits = vec![hit(1, 0.5), hit(1, 0.2), hit(2, 0.3)];
+        let m = column_near_tables(&hits);
+        assert_eq!(m[&1], 0.2);
+        assert_eq!(m[&2], 0.3);
+    }
+
+    #[test]
+    fn rank1_prefers_more_matching_columns() {
+        // Table 5 matches both query columns (faraway); table 7 matches one
+        // (very close). RANK1 puts 5 first.
+        let per_col = vec![
+            vec![hit(5, 0.9), hit(7, 0.01)],
+            vec![hit(5, 0.9)],
+        ];
+        let ranked = near_tables(&per_col, None);
+        assert_eq!(ranked[0].table, 5);
+        assert_eq!(ranked[0].matching_columns, 2);
+        assert_eq!(ranked[1].table, 7);
+    }
+
+    #[test]
+    fn rank2_breaks_ties_by_distance() {
+        let per_col = vec![vec![hit(1, 0.5), hit(2, 0.1)]];
+        let ranked = near_tables(&per_col, None);
+        assert_eq!(ranked[0].table, 2);
+        assert_eq!(ranked[1].table, 1);
+    }
+
+    #[test]
+    fn excludes_query_table() {
+        let per_col = vec![vec![hit(0, 0.0), hit(1, 0.5)]];
+        let ids = ranked_table_ids(&per_col, Some(0));
+        assert_eq!(ids, vec![1]);
+    }
+
+    #[test]
+    fn multiple_columns_same_table_counted_once_per_query_column() {
+        // Two corpus columns of table 3 match query column 0; table 3 must
+        // count once for that query column, with the min distance.
+        let per_col = vec![vec![hit(3, 0.4), hit(3, 0.1)]];
+        let ranked = near_tables(&per_col, None);
+        assert_eq!(ranked[0].matching_columns, 1);
+        assert!((ranked[0].distance_sum - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn deterministic_tie_break_by_id() {
+        let per_col = vec![vec![hit(9, 0.5), hit(4, 0.5)]];
+        let ids = ranked_table_ids(&per_col, None);
+        assert_eq!(ids, vec![4, 9]);
+    }
+}

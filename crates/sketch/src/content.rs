@@ -1,0 +1,78 @@
+//! Table-level content snapshot (§III-A): MinHash over stringified rows.
+
+use crate::minhash::{MinHash, MinHasher};
+use tsfm_table::Table;
+
+/// Compute the content snapshot over the first `max_rows` rows (the paper
+/// uses the first 10,000). Each row is rendered to a `|`-delimited string
+/// and the row strings form the MinHash element set; the snapshot is
+/// therefore **row-order invariant** but sensitive to column order, which
+/// is exactly why column-shuffle augmentation (§III-C) changes it.
+pub fn content_snapshot(table: &Table, hasher: &MinHasher, max_rows: usize) -> MinHash {
+    let n = table.num_rows().min(max_rows);
+    hasher.signature((0..n).map(|r| table.row_string(r)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tsfm_table::{Column, Value};
+
+    fn table(nrows: i64) -> Table {
+        let mut t = Table::new("t", "t");
+        t.push_column(Column::new("a", (0..nrows).map(Value::Int).collect()));
+        t.push_column(Column::new(
+            "b",
+            (0..nrows).map(|i| Value::Str(format!("s{i}"))).collect(),
+        ));
+        t
+    }
+
+    #[test]
+    fn row_order_invariant() {
+        let t = table(50);
+        let mh = MinHasher::new(64, 0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let shuffled = t.shuffled_rows(&mut rng, "t2");
+        let a = content_snapshot(&t, &mh, 10_000);
+        let b = content_snapshot(&shuffled, &mh, 10_000);
+        assert_eq!(a, b, "content snapshot is a set of rows");
+    }
+
+    #[test]
+    fn column_order_sensitive() {
+        let t = table(50);
+        let mh = MinHasher::new(64, 0);
+        let mut rev = t.clone();
+        rev.columns.reverse();
+        let a = content_snapshot(&t, &mh, 10_000);
+        let b = content_snapshot(&rev, &mh, 10_000);
+        assert_ne!(a, b, "row strings change when columns move");
+    }
+
+    #[test]
+    fn overlapping_tables_have_similar_snapshots() {
+        let mh = MinHasher::new(256, 0);
+        let a = content_snapshot(&table(100), &mh, 10_000);
+        let b = content_snapshot(&table(50), &mh, 10_000); // first 50 rows shared
+        let j = a.jaccard(&b);
+        assert!((j - 0.5).abs() < 0.15, "expected ~0.5 got {j}");
+    }
+
+    #[test]
+    fn respects_max_rows() {
+        let mh = MinHasher::new(64, 0);
+        let a = content_snapshot(&table(100), &mh, 50);
+        let b = content_snapshot(&table(50), &mh, 10_000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_table() {
+        let mh = MinHasher::new(16, 0);
+        let t = Table::new("e", "e");
+        assert!(content_snapshot(&t, &mh, 100).is_empty_set());
+    }
+}

@@ -1,0 +1,47 @@
+//! Data sketches for tabular data (paper §III-A).
+//!
+//! Three sketch families are produced for every table:
+//!
+//! * a table-level **content snapshot**: a MinHash signature over the set of
+//!   stringified rows (first 10,000 rows);
+//! * per-column **MinHash sketches**: a signature over the set of rendered
+//!   cell values, and — for string columns — a second signature over the set
+//!   of *words* occurring in the column (so `street` appearing in two
+//!   address-like columns makes them similar even without value overlap);
+//! * per-column **numerical sketches**: `[unique_frac, nan_frac,
+//!   cell_width, p10..p90, mean, std, min, max]`.
+//!
+//! All hashing is stable (see [`tsfm_table::hash`]) so sketches are
+//! reproducible across runs.
+
+pub mod content;
+pub mod minhash;
+pub mod numeric;
+pub mod table_sketch;
+
+pub use content::content_snapshot;
+pub use minhash::{MinHash, MinHasher};
+pub use numeric::NumericalSketch;
+pub use table_sketch::{ColumnSketch, SketchConfig, TableSketch};
+
+/// Split a string into lowercase word tokens (alphanumeric runs), the
+/// element set of the word-level MinHash.
+pub fn words_of(s: &str) -> impl Iterator<Item = String> + '_ {
+    s.split(|c: char| !c.is_alphanumeric())
+        .filter(|w| !w.is_empty())
+        .map(|w| w.to_lowercase())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_splitting() {
+        let ws: Vec<String> = words_of("Austria Vienna").collect();
+        assert_eq!(ws, vec!["austria", "vienna"]);
+        let ws: Vec<String> = words_of("12 High-Street, apt. 4B").collect();
+        assert_eq!(ws, vec!["12", "high", "street", "apt", "4b"]);
+        assert_eq!(words_of("  ").count(), 0);
+    }
+}

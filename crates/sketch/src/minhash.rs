@@ -1,0 +1,274 @@
+//! MinHash signatures with a seeded universal-hash family.
+//!
+//! `h_i(x) = a_i * x + b_i` over `u64` (wrapping), applied to the stable
+//! 64-bit hash of each set element; the signature keeps the minimum per
+//! hash function. Equal-slot fraction estimates Jaccard similarity
+//! (Broder 1997); the estimator's standard error is `O(1/sqrt(k))`.
+
+use tsfm_table::hash::{hash_str, SeedStream};
+
+/// Sentinel signature slot for the empty set.
+pub const EMPTY_SLOT: u64 = u64::MAX;
+
+/// A MinHash signature.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MinHash {
+    pub sig: Vec<u64>,
+}
+
+impl MinHash {
+    pub fn k(&self) -> usize {
+        self.sig.len()
+    }
+
+    pub fn is_empty_set(&self) -> bool {
+        self.sig.iter().all(|&s| s == EMPTY_SLOT)
+    }
+
+    /// Unbiased Jaccard similarity estimate: fraction of matching slots.
+    /// Two empty sets estimate 1.0 (all sentinel slots match), matching
+    /// the convention `J(∅,∅)=1`.
+    pub fn jaccard(&self, other: &MinHash) -> f64 {
+        assert_eq!(self.k(), other.k(), "incompatible signature widths");
+        if self.k() == 0 {
+            return 0.0;
+        }
+        let same = self.sig.iter().zip(&other.sig).filter(|(a, b)| a == b).count();
+        same as f64 / self.k() as f64
+    }
+
+    /// Hamming distance between signatures (count of differing slots);
+    /// used by the paper's §IV-A2 error analysis.
+    pub fn hamming(&self, other: &MinHash) -> usize {
+        assert_eq!(self.k(), other.k(), "incompatible signature widths");
+        self.sig.iter().zip(&other.sig).filter(|(a, b)| a != b).count()
+    }
+
+    /// Merge: the signature of the union of the two underlying sets.
+    pub fn union(&self, other: &MinHash) -> MinHash {
+        assert_eq!(self.k(), other.k(), "incompatible signature widths");
+        MinHash {
+            sig: self.sig.iter().zip(&other.sig).map(|(a, b)| *a.min(b)).collect(),
+        }
+    }
+
+    /// Map signature slots to zero-centered `f32` features in `[-1, 1)`
+    /// for neural input. Two subtleties:
+    ///
+    /// * the *magnitude* of a MinHash minimum concentrates near zero for
+    ///   any large set (min of `n` uniforms ≈ 1/n), so the informative
+    ///   high bits are useless as features — equality of slots is the
+    ///   signal. The **low 24 bits** of the minimum stay uniform, so equal
+    ///   slots give equal features and unequal slots independent ones,
+    ///   making feature distance proportional to `1 − Jaccard`;
+    /// * zero-centering removes the DC component that would otherwise
+    ///   dominate any linear projection.
+    ///
+    /// Empty-set slots map to 0.0.
+    pub fn to_f32_features(&self) -> Vec<f32> {
+        self.sig
+            .iter()
+            .map(|&s| {
+                if s == EMPTY_SLOT {
+                    0.0
+                } else {
+                    (s & 0xFF_FFFF) as f32 / (1u64 << 24) as f32 * 2.0 - 1.0
+                }
+            })
+            .collect()
+    }
+}
+
+/// A reusable family of `k` hash functions.
+#[derive(Debug, Clone)]
+pub struct MinHasher {
+    coeffs: Vec<(u64, u64)>,
+}
+
+impl MinHasher {
+    /// Build a `k`-function family from a seed. The same `(k, seed)` always
+    /// produces the same family — required for cross-table comparability.
+    pub fn new(k: usize, seed: u64) -> Self {
+        let mut s = SeedStream::new(seed);
+        let coeffs = (0..k).map(|_| (s.next_odd(), s.next_u64())).collect();
+        Self { coeffs }
+    }
+
+    pub fn k(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Signature of a set of string elements. Duplicates are harmless
+    /// (min is idempotent), so callers may stream without deduplicating.
+    pub fn signature<I, S>(&self, elements: I) -> MinHash
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut sig = vec![EMPTY_SLOT; self.coeffs.len()];
+        for el in elements {
+            let x = hash_str(el.as_ref());
+            for (slot, &(a, b)) in sig.iter_mut().zip(&self.coeffs) {
+                let h = a.wrapping_mul(x).wrapping_add(b);
+                if h < *slot {
+                    *slot = h;
+                }
+            }
+        }
+        MinHash { sig }
+    }
+
+    /// Signature from pre-hashed elements (avoids re-hashing in hot loops).
+    pub fn signature_hashed<I: IntoIterator<Item = u64>>(&self, hashes: I) -> MinHash {
+        let mut sig = vec![EMPTY_SLOT; self.coeffs.len()];
+        for x in hashes {
+            for (slot, &(a, b)) in sig.iter_mut().zip(&self.coeffs) {
+                let h = a.wrapping_mul(x).wrapping_add(b);
+                if h < *slot {
+                    *slot = h;
+                }
+            }
+        }
+        MinHash { sig }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn set(prefix: &str, range: std::ops::Range<usize>) -> Vec<String> {
+        range.map(|i| format!("{prefix}{i}")).collect()
+    }
+
+    #[test]
+    fn identical_sets_estimate_one() {
+        let mh = MinHasher::new(64, 0);
+        let a = mh.signature(set("v", 0..100));
+        let b = mh.signature(set("v", 0..100));
+        assert_eq!(a.jaccard(&b), 1.0);
+        assert_eq!(a.hamming(&b), 0);
+    }
+
+    #[test]
+    fn disjoint_sets_estimate_near_zero() {
+        let mh = MinHasher::new(128, 0);
+        let a = mh.signature(set("a", 0..200));
+        let b = mh.signature(set("b", 0..200));
+        assert!(a.jaccard(&b) < 0.1, "got {}", a.jaccard(&b));
+    }
+
+    #[test]
+    fn estimates_track_true_jaccard() {
+        // |A∩B| = 50, |A∪B| = 150 → J = 1/3.
+        let mh = MinHasher::new(256, 42);
+        let a = mh.signature(set("x", 0..100));
+        let b = mh.signature(set("x", 50..150));
+        let est = a.jaccard(&b);
+        assert!((est - 1.0 / 3.0).abs() < 0.12, "est={est}");
+    }
+
+    #[test]
+    fn empty_set_handling() {
+        let mh = MinHasher::new(16, 0);
+        let e = mh.signature(Vec::<String>::new());
+        assert!(e.is_empty_set());
+        let a = mh.signature(set("a", 0..10));
+        assert_eq!(e.jaccard(&a), 0.0);
+        assert_eq!(e.jaccard(&e), 1.0, "J(∅,∅)=1 by convention");
+    }
+
+    #[test]
+    fn union_signature() {
+        let mh = MinHasher::new(128, 1);
+        let a = mh.signature(set("a", 0..100));
+        let b = mh.signature(set("b", 0..100));
+        let u = a.union(&b);
+        let direct = mh.signature(set("a", 0..100).into_iter().chain(set("b", 0..100)));
+        assert_eq!(u, direct, "union of signatures == signature of union");
+    }
+
+    #[test]
+    fn duplicates_do_not_change_signature() {
+        let mh = MinHasher::new(32, 9);
+        let once = mh.signature(set("z", 0..50));
+        let twice = mh.signature(set("z", 0..50).into_iter().chain(set("z", 0..50)));
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn f32_features_zero_centered() {
+        let mh = MinHasher::new(256, 3);
+        let a = mh.signature(set("q", 0..400));
+        let feats = a.to_f32_features();
+        for &f in &feats {
+            assert!((-1.0..=1.0).contains(&f));
+        }
+        // Low bits of the minima stay uniform, so the mean is near zero.
+        let mean: f32 = feats.iter().sum::<f32>() / feats.len() as f32;
+        assert!(mean.abs() < 0.2, "features should be zero-centered, mean {mean}");
+        let e = mh.signature(Vec::<String>::new());
+        assert!(e.to_f32_features().iter().all(|&f| f == 0.0));
+    }
+
+    #[test]
+    fn f32_features_overlap_signal() {
+        // Cosine of feature vectors should track set overlap once the DC
+        // component is removed.
+        let mh = MinHasher::new(128, 5);
+        let a = mh.signature(set("s", 0..80));
+        let b = mh.signature(set("s", 20..100)); // J = 60/100
+        let c = mh.signature(set("t", 0..80)); // disjoint
+        let cos = |x: &[f32], y: &[f32]| {
+            let dot: f32 = x.iter().zip(y).map(|(a, b)| a * b).sum();
+            let nx: f32 = x.iter().map(|v| v * v).sum::<f32>().sqrt();
+            let ny: f32 = y.iter().map(|v| v * v).sum::<f32>().sqrt();
+            dot / (nx * ny)
+        };
+        let fa = a.to_f32_features();
+        let fb = b.to_f32_features();
+        let fc = c.to_f32_features();
+        assert!(
+            cos(&fa, &fb) > cos(&fa, &fc) + 0.2,
+            "overlap must show in feature cosine: {} vs {}",
+            cos(&fa, &fb),
+            cos(&fa, &fc)
+        );
+    }
+
+    #[test]
+    fn seed_changes_family() {
+        let a = MinHasher::new(16, 1).signature(set("v", 0..10));
+        let b = MinHasher::new(16, 2).signature(set("v", 0..10));
+        assert_ne!(a, b);
+    }
+
+    proptest! {
+        /// The estimator must stay within 4 standard errors of the truth.
+        #[test]
+        fn prop_estimator_accuracy(overlap in 0usize..100, extra_a in 1usize..100, extra_b in 1usize..100) {
+            let k = 256;
+            let mh = MinHasher::new(k, 7);
+            let a: Vec<String> = (0..overlap).map(|i| format!("s{i}"))
+                .chain((0..extra_a).map(|i| format!("a{i}"))).collect();
+            let b: Vec<String> = (0..overlap).map(|i| format!("s{i}"))
+                .chain((0..extra_b).map(|i| format!("b{i}"))).collect();
+            let true_j = overlap as f64 / (overlap + extra_a + extra_b) as f64;
+            let est = mh.signature(&a).jaccard(&mh.signature(&b));
+            let se = (true_j * (1.0 - true_j) / k as f64).sqrt().max(0.02);
+            prop_assert!((est - true_j).abs() <= 4.0 * se,
+                "true={true_j:.3} est={est:.3} se={se:.3}");
+        }
+
+        /// Jaccard estimate is symmetric and bounded.
+        #[test]
+        fn prop_symmetry(na in 0usize..50, nb in 0usize..50) {
+            let mh = MinHasher::new(64, 0);
+            let a = mh.signature((0..na).map(|i| format!("a{i}")));
+            let b = mh.signature((0..nb).map(|i| format!("b{i}")));
+            prop_assert_eq!(a.jaccard(&b), b.jaccard(&a));
+            prop_assert!((0.0..=1.0).contains(&a.jaccard(&b)));
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! Numerical sketches (§III-A): distributional statistics per column.
+
+use tsfm_table::hash::hash_str;
+use tsfm_table::Column;
+
+/// The fixed feature layout of a numerical sketch. Order matches the paper:
+/// `[unique count, NaN count, cell width, p10..p90, mean, std, min, max]`
+/// with the two counts normalized by the number of rows.
+pub const NUMERIC_SKETCH_DIM: usize = 16;
+
+/// Distributional statistics of one column.
+///
+/// For string columns the distribution fields (`percentiles`, `mean`, `std`,
+/// `min`, `max`) are zero — only uniqueness, null fraction and average cell
+/// width (bytes) carry signal, exactly as the paper describes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NumericalSketch {
+    pub unique_frac: f64,
+    pub nan_frac: f64,
+    /// Average rendered cell width in bytes (join keys are rarely long).
+    pub cell_width: f64,
+    /// 10th..90th percentiles (linear interpolation).
+    pub percentiles: [f64; 9],
+    pub mean: f64,
+    pub std: f64,
+    pub min: f64,
+    pub max: f64,
+}
+
+impl NumericalSketch {
+    /// Compute the sketch for a column, considering at most `max_rows` rows
+    /// (the paper sketches the first 10,000 rows).
+    pub fn of_column(col: &Column, max_rows: usize) -> Self {
+        let n = col.len().min(max_rows);
+        let slice = &col.values[..n];
+        let total = n.max(1) as f64;
+
+        let mut hashes: Vec<u64> = Vec::with_capacity(n);
+        let mut width_sum = 0usize;
+        let mut nan = 0usize;
+        let mut non_null = 0usize;
+        for v in slice {
+            if v.is_null() {
+                nan += 1;
+                continue;
+            }
+            non_null += 1;
+            let r = v.render();
+            width_sum += r.len();
+            hashes.push(hash_str(&r));
+        }
+        hashes.sort_unstable();
+        hashes.dedup();
+        let unique = hashes.len();
+
+        let mut nums: Vec<f64> =
+            slice.iter().filter_map(|v| v.as_f64()).filter(|f| f.is_finite()).collect();
+        nums.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+
+        let (mut percentiles, mut mean, mut std, mut min, mut max) =
+            ([0.0; 9], 0.0, 0.0, 0.0, 0.0);
+        if !nums.is_empty() {
+            for (i, p) in (1..=9).zip(percentiles.iter_mut()) {
+                *p = percentile(&nums, i as f64 * 10.0);
+            }
+            mean = nums.iter().sum::<f64>() / nums.len() as f64;
+            let var =
+                nums.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / nums.len() as f64;
+            std = var.sqrt();
+            min = nums[0];
+            max = *nums.last().expect("non-empty");
+        }
+
+        NumericalSketch {
+            unique_frac: unique as f64 / total,
+            nan_frac: nan as f64 / total,
+            cell_width: if non_null > 0 { width_sum as f64 / non_null as f64 } else { 0.0 },
+            percentiles,
+            mean,
+            std,
+            min,
+            max,
+        }
+    }
+
+    /// Flatten to the paper's fixed vector layout.
+    pub fn to_vec(&self) -> [f64; NUMERIC_SKETCH_DIM] {
+        let mut v = [0.0; NUMERIC_SKETCH_DIM];
+        v[0] = self.unique_frac;
+        v[1] = self.nan_frac;
+        v[2] = self.cell_width;
+        v[3..12].copy_from_slice(&self.percentiles);
+        v[12] = self.mean;
+        v[13] = self.std;
+        v[14] = self.min;
+        v[15] = self.max;
+        v
+    }
+
+    /// Neural-input features: `sign(x)·ln(1+|x|)` per element. Raw
+    /// statistics span wild magnitudes (populations vs rates); the signed
+    /// log keeps the linear projection trainable. The paper does not
+    /// specify a normalization; this choice is documented in DESIGN.md.
+    pub fn to_f32_features(&self) -> [f32; NUMERIC_SKETCH_DIM] {
+        let mut out = [0.0f32; NUMERIC_SKETCH_DIM];
+        for (o, x) in out.iter_mut().zip(self.to_vec()) {
+            *o = (x.signum() * x.abs().ln_1p()) as f32;
+        }
+        out
+    }
+
+    /// Zero sketch (used for padding / non-column tokens).
+    pub fn zeros() -> Self {
+        NumericalSketch {
+            unique_frac: 0.0,
+            nan_frac: 0.0,
+            cell_width: 0.0,
+            percentiles: [0.0; 9],
+            mean: 0.0,
+            std: 0.0,
+            min: 0.0,
+            max: 0.0,
+        }
+    }
+
+    /// L1 distance between sketch vectors — a cheap similarity used by the
+    /// D3L-style baseline's "numerical column distribution" evidence.
+    pub fn l1_distance(&self, other: &Self) -> f64 {
+        self.to_vec().iter().zip(other.to_vec()).map(|(a, b)| (a - b).abs()).sum()
+    }
+}
+
+/// Percentile with linear interpolation between closest ranks.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsfm_table::Value;
+
+    fn int_col(vals: Vec<i64>) -> Column {
+        Column::new("c", vals.into_iter().map(Value::Int).collect())
+    }
+
+    #[test]
+    fn percentiles_of_1_to_101() {
+        let col = int_col((1..=101).collect());
+        let s = NumericalSketch::of_column(&col, 10_000);
+        // 1..=101 has p10 = 11, p50 = 51, p90 = 91 exactly.
+        assert_eq!(s.percentiles[0], 11.0);
+        assert_eq!(s.percentiles[4], 51.0);
+        assert_eq!(s.percentiles[8], 91.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 101.0);
+        assert_eq!(s.mean, 51.0);
+        assert_eq!(s.unique_frac, 1.0);
+        assert_eq!(s.nan_frac, 0.0);
+    }
+
+    #[test]
+    fn interpolation() {
+        assert_eq!(percentile(&[0.0, 10.0], 50.0), 5.0);
+        assert_eq!(percentile(&[0.0, 10.0], 10.0), 1.0);
+        assert_eq!(percentile(&[7.0], 90.0), 7.0);
+    }
+
+    #[test]
+    fn null_and_unique_fractions() {
+        let col = Column::new(
+            "c",
+            vec![Value::Int(1), Value::Int(1), Value::Null, Value::Int(2)],
+        );
+        let s = NumericalSketch::of_column(&col, 10_000);
+        assert_eq!(s.nan_frac, 0.25);
+        assert_eq!(s.unique_frac, 0.5); // {1,2} over 4 rows
+    }
+
+    #[test]
+    fn string_columns_have_zero_distribution() {
+        let col = Column::new(
+            "c",
+            vec![Value::Str("hello".into()), Value::Str("hi".into())],
+        );
+        let s = NumericalSketch::of_column(&col, 10_000);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.percentiles, [0.0; 9]);
+        assert_eq!(s.cell_width, 3.5); // (5 + 2) / 2
+    }
+
+    #[test]
+    fn date_columns_numeric_through_timestamps() {
+        let col = Column::new("c", vec![Value::Date(0), Value::Date(86400)]);
+        let s = NumericalSketch::of_column(&col, 10_000);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 86400.0);
+    }
+
+    #[test]
+    fn max_rows_respected() {
+        let col = int_col((0..100).collect());
+        let s = NumericalSketch::of_column(&col, 10);
+        assert_eq!(s.max, 9.0);
+        assert_eq!(s.unique_frac, 1.0);
+    }
+
+    #[test]
+    fn empty_column() {
+        let col = Column::new("c", vec![]);
+        let s = NumericalSketch::of_column(&col, 10_000);
+        assert_eq!(s.to_vec(), NumericalSketch::zeros().to_vec());
+    }
+
+    #[test]
+    fn feature_scaling_is_signed_log() {
+        let col = int_col(vec![-1000, 1000]);
+        let s = NumericalSketch::of_column(&col, 10_000);
+        let f = s.to_f32_features();
+        assert!(f[14] < 0.0, "min keeps sign");
+        assert!((f[15] - 1001f32.ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn l1_distance_zero_iff_same() {
+        let a = NumericalSketch::of_column(&int_col(vec![1, 2, 3]), 100);
+        let b = NumericalSketch::of_column(&int_col(vec![1, 2, 3]), 100);
+        let c = NumericalSketch::of_column(&int_col(vec![100, 200]), 100);
+        assert_eq!(a.l1_distance(&b), 0.0);
+        assert!(a.l1_distance(&c) > 1.0);
+    }
+}

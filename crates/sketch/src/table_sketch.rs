@@ -1,0 +1,215 @@
+//! The full sketch bundle for one table, ready to feed the model.
+
+use crate::content::content_snapshot;
+use crate::minhash::{MinHash, MinHasher};
+use crate::numeric::NumericalSketch;
+use crate::words_of;
+use tsfm_table::{ColType, Column, Table};
+
+/// Sketching hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct SketchConfig {
+    /// MinHash signature width (paper/datasketch default: 128; experiments
+    /// here default to 32 to keep linear projections small).
+    pub minhash_k: usize,
+    /// Rows considered by all sketches (paper: first 10,000).
+    pub max_rows: usize,
+    /// Seed of the shared hash family. Must be identical for any two
+    /// sketches that will be compared.
+    pub seed: u64,
+}
+
+impl Default for SketchConfig {
+    fn default() -> Self {
+        Self { minhash_k: 32, max_rows: 10_000, seed: 0x7ab5_4e7c_9e37_0001 }
+    }
+}
+
+/// Sketches of a single column.
+#[derive(Debug, Clone)]
+pub struct ColumnSketch {
+    pub name: String,
+    pub ty: ColType,
+    /// MinHash over rendered cell values (all column types; the paper
+    /// minhashes numeric cells too, since "it is often difficult to tell if
+    /// a column is truly a float ... or really a categorical value").
+    pub cell_minhash: MinHash,
+    /// MinHash over the words of the cell values — string columns only.
+    pub word_minhash: Option<MinHash>,
+    pub numeric: NumericalSketch,
+}
+
+impl ColumnSketch {
+    pub fn build(col: &Column, hasher: &MinHasher, max_rows: usize) -> Self {
+        let n = col.len().min(max_rows);
+        let rendered: Vec<String> = col.values[..n]
+            .iter()
+            .filter(|v| !v.is_null())
+            .map(|v| v.render())
+            .collect();
+        let cell_minhash = hasher.signature(rendered.iter());
+        let word_minhash = (col.ty == ColType::Str)
+            .then(|| hasher.signature(rendered.iter().flat_map(|s| words_of(s))));
+        // Recompute the numeric sketch over the same row window.
+        let numeric = NumericalSketch::of_column(col, max_rows);
+        ColumnSketch { name: col.name.clone(), ty: col.ty, cell_minhash, word_minhash, numeric }
+    }
+
+    /// The model input vector for the MinHash embedding stream: a fixed
+    /// `2k`-wide layout `[cell_mh ‖ word_mh]`, zero-padding the word half
+    /// for numeric/date columns (the paper's `E_C` vs `E_{C‖W}` made
+    /// concrete so that one linear layer serves every token).
+    pub fn minhash_features(&self) -> Vec<f32> {
+        let mut v = self.cell_minhash.to_f32_features();
+        match &self.word_minhash {
+            Some(w) => v.extend(w.to_f32_features()),
+            None => v.extend(std::iter::repeat(0.0).take(self.cell_minhash.k())),
+        }
+        v
+    }
+}
+
+/// The complete sketch bundle for one table.
+#[derive(Debug, Clone)]
+pub struct TableSketch {
+    pub table_id: String,
+    pub table_name: String,
+    pub description: String,
+    pub content_snapshot: MinHash,
+    pub columns: Vec<ColumnSketch>,
+    pub num_rows: usize,
+}
+
+impl TableSketch {
+    pub fn build(table: &Table, cfg: &SketchConfig) -> Self {
+        let hasher = MinHasher::new(cfg.minhash_k, cfg.seed);
+        Self::build_with_hasher(table, &hasher, cfg.max_rows)
+    }
+
+    /// Build with a caller-owned hasher (amortizes family construction when
+    /// sketching a whole lake).
+    pub fn build_with_hasher(table: &Table, hasher: &MinHasher, max_rows: usize) -> Self {
+        let columns = table
+            .columns
+            .iter()
+            .map(|c| ColumnSketch::build(c, hasher, max_rows))
+            .collect();
+        TableSketch {
+            table_id: table.id.clone(),
+            table_name: table.name.clone(),
+            description: table.description.clone(),
+            content_snapshot: content_snapshot(table, hasher, max_rows),
+            columns,
+            num_rows: table.num_rows().min(max_rows),
+        }
+    }
+
+    pub fn num_cols(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Content-snapshot features in the same `2k` layout as
+    /// [`ColumnSketch::minhash_features`] (word half zero-padded), used for
+    /// table-metadata tokens.
+    pub fn content_features(&self) -> Vec<f32> {
+        let mut v = self.content_snapshot.to_f32_features();
+        v.extend(std::iter::repeat(0.0).take(self.content_snapshot.k()));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsfm_table::Value;
+
+    fn properties_table() -> Table {
+        let mut t = Table::new("res", "Residential Properties")
+            .with_description("residential properties in austria");
+        t.push_column(Column::new(
+            "Reference Area",
+            vec![
+                Value::Str("Austria Vienna".into()),
+                Value::Str("Austria Graz".into()),
+                Value::Str("Austria Linz".into()),
+            ],
+        ));
+        t.push_column(Column::new("Age", vec![Value::Int(10), Value::Int(55), Value::Int(31)]));
+        t.push_column(Column::new(
+            "Assessed",
+            vec![Value::Date(0), Value::Date(86400), Value::Date(2 * 86400)],
+        ));
+        t
+    }
+
+    #[test]
+    fn builds_all_sketch_kinds() {
+        let s = TableSketch::build(&properties_table(), &SketchConfig::default());
+        assert_eq!(s.num_cols(), 3);
+        assert!(s.columns[0].word_minhash.is_some(), "string col has word minhash");
+        assert!(s.columns[1].word_minhash.is_none(), "int col has none");
+        assert!(s.columns[2].word_minhash.is_none(), "date col has none");
+        assert!(!s.content_snapshot.is_empty_set());
+    }
+
+    #[test]
+    fn word_minhash_captures_shared_words() {
+        // Two columns share the word "austria" but no full values.
+        let cfg = SketchConfig { minhash_k: 256, ..Default::default() };
+        let hasher = MinHasher::new(cfg.minhash_k, cfg.seed);
+        let a = Column::new(
+            "a",
+            vec![Value::Str("Austria Vienna".into()), Value::Str("Austria Graz".into())],
+        );
+        let b = Column::new(
+            "b",
+            vec![Value::Str("Austria Linz".into()), Value::Str("Austria Salzburg".into())],
+        );
+        let sa = ColumnSketch::build(&a, &hasher, 10_000);
+        let sb = ColumnSketch::build(&b, &hasher, 10_000);
+        assert_eq!(sa.cell_minhash.jaccard(&sb.cell_minhash), 0.0, "no full-value overlap");
+        let wj = sa
+            .word_minhash
+            .as_ref()
+            .unwrap()
+            .jaccard(sb.word_minhash.as_ref().unwrap());
+        // word sets {austria,vienna,graz} vs {austria,linz,salzburg}: J = 1/5.
+        assert!(wj > 0.05, "shared words must register, got {wj}");
+    }
+
+    #[test]
+    fn minhash_feature_layout_is_2k() {
+        let cfg = SketchConfig { minhash_k: 16, ..Default::default() };
+        let s = TableSketch::build(&properties_table(), &cfg);
+        for cs in &s.columns {
+            assert_eq!(cs.minhash_features().len(), 32);
+        }
+        assert_eq!(s.content_features().len(), 32);
+        // Numeric columns zero-pad the word half.
+        let feats = s.columns[1].minhash_features();
+        assert!(feats[16..].iter().all(|&f| f == 0.0));
+    }
+
+    #[test]
+    fn deterministic_across_builds() {
+        let t = properties_table();
+        let cfg = SketchConfig::default();
+        let a = TableSketch::build(&t, &cfg);
+        let b = TableSketch::build(&t, &cfg);
+        assert_eq!(a.content_snapshot, b.content_snapshot);
+        for (x, y) in a.columns.iter().zip(&b.columns) {
+            assert_eq!(x.cell_minhash, y.cell_minhash);
+            assert_eq!(x.numeric.to_vec(), y.numeric.to_vec());
+        }
+    }
+
+    #[test]
+    fn shared_hasher_matches_config_build() {
+        let t = properties_table();
+        let cfg = SketchConfig::default();
+        let hasher = MinHasher::new(cfg.minhash_k, cfg.seed);
+        let a = TableSketch::build(&t, &cfg);
+        let b = TableSketch::build_with_hasher(&t, &hasher, cfg.max_rows);
+        assert_eq!(a.content_snapshot, b.content_snapshot);
+    }
+}

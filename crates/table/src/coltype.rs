@@ -1,0 +1,152 @@
+//! Column data types and the paper's type-inference rule.
+
+use crate::value::{is_null_token, parse_float, parse_int};
+use crate::{date, Value};
+
+/// Column data type. The integer codes (string=1, int=2, float=3, date=4)
+/// match Fig. 1 of the paper and are used directly as column-type embedding
+/// indices (0 is reserved for non-column tokens).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ColType {
+    Str,
+    Int,
+    Float,
+    Date,
+}
+
+impl ColType {
+    /// Embedding index per Fig. 1.
+    pub fn embedding_id(self) -> usize {
+        match self {
+            ColType::Str => 1,
+            ColType::Int => 2,
+            ColType::Float => 3,
+            ColType::Date => 4,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            ColType::Str => "string",
+            ColType::Int => "integer",
+            ColType::Float => "float",
+            ColType::Date => "date",
+        }
+    }
+
+    pub fn is_numeric(self) -> bool {
+        matches!(self, ColType::Int | ColType::Float | ColType::Date)
+    }
+}
+
+/// Infer a column type from raw text cells using the paper's rule
+/// (§III-B.4): make a best-case effort to parse the **first 10
+/// non-null values** as dates, integers, or floats, defaulting to string.
+///
+/// A candidate type survives only if *every* probed value parses as it;
+/// mixed columns therefore fall back in the order date → int → float → str,
+/// which the paper acknowledges "can yield poor results" for mixed types but
+/// always assigns at least one type.
+pub fn infer_type_from_text<'a, I: IntoIterator<Item = &'a str>>(cells: I) -> ColType {
+    let mut saw_any = false;
+    let (mut all_date, mut all_int, mut all_float) = (true, true, true);
+    for raw in cells.into_iter().filter(|c| !is_null_token(c)).take(10) {
+        saw_any = true;
+        if all_date && date::parse_date(raw).is_none() {
+            all_date = false;
+        }
+        if all_int && parse_int(raw).is_none() {
+            all_int = false;
+        }
+        if all_float && parse_float(raw).is_none() {
+            all_float = false;
+        }
+        if !(all_date || all_int || all_float) {
+            return ColType::Str;
+        }
+    }
+    if !saw_any {
+        return ColType::Str;
+    }
+    if all_date {
+        ColType::Date
+    } else if all_int {
+        ColType::Int
+    } else if all_float {
+        ColType::Float
+    } else {
+        ColType::Str
+    }
+}
+
+/// Infer the type of already-typed values (first 10 non-null), used when a
+/// table is built programmatically rather than parsed from text.
+pub fn infer_type_from_values(values: &[Value]) -> ColType {
+    let mut counts = [0usize; 4]; // str, int, float, date
+    for v in values.iter().filter(|v| !v.is_null()).take(10) {
+        match v {
+            Value::Str(_) => counts[0] += 1,
+            Value::Int(_) => counts[1] += 1,
+            Value::Float(_) => counts[2] += 1,
+            Value::Date(_) => counts[3] += 1,
+            Value::Null => unreachable!(),
+        }
+    }
+    if counts[0] > 0 {
+        return ColType::Str; // any string makes the column string-typed
+    }
+    if counts[3] > 0 && counts[1] == 0 && counts[2] == 0 {
+        return ColType::Date;
+    }
+    if counts[2] > 0 {
+        return ColType::Float;
+    }
+    if counts[1] > 0 {
+        return ColType::Int;
+    }
+    ColType::Str
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn infers_from_text() {
+        assert_eq!(infer_type_from_text(["1", "2", "3"]), ColType::Int);
+        assert_eq!(infer_type_from_text(["1.5", "2", "3"]), ColType::Float);
+        assert_eq!(infer_type_from_text(["2021-01-01", "1999-12-31"]), ColType::Date);
+        assert_eq!(infer_type_from_text(["a", "b"]), ColType::Str);
+        assert_eq!(infer_type_from_text(["1", "a"]), ColType::Str);
+        assert_eq!(infer_type_from_text([]), ColType::Str);
+        assert_eq!(infer_type_from_text(["", "null", "7"]), ColType::Int, "nulls skipped");
+    }
+
+    #[test]
+    fn only_first_ten_probed() {
+        // 10 ints then a string: rule only sees the ints.
+        let mut cells: Vec<String> = (0..10).map(|i| i.to_string()).collect();
+        cells.push("oops".to_string());
+        assert_eq!(infer_type_from_text(cells.iter().map(|s| s.as_str())), ColType::Int);
+    }
+
+    #[test]
+    fn infers_from_values() {
+        assert_eq!(infer_type_from_values(&[Value::Int(1), Value::Int(2)]), ColType::Int);
+        assert_eq!(infer_type_from_values(&[Value::Int(1), Value::Float(0.5)]), ColType::Float);
+        assert_eq!(infer_type_from_values(&[Value::Date(0)]), ColType::Date);
+        assert_eq!(
+            infer_type_from_values(&[Value::Null, Value::Str("x".into())]),
+            ColType::Str
+        );
+        assert_eq!(infer_type_from_values(&[]), ColType::Str);
+    }
+
+    #[test]
+    fn embedding_ids_match_fig1() {
+        assert_eq!(ColType::Str.embedding_id(), 1);
+        assert_eq!(ColType::Int.embedding_id(), 2);
+        assert_eq!(ColType::Float.embedding_id(), 3);
+        assert_eq!(ColType::Date.embedding_id(), 4);
+    }
+}

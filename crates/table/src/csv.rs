@@ -1,0 +1,211 @@
+//! Dependency-free CSV reader/writer (RFC 4180 subset: quoted fields,
+//! doubled-quote escapes, CR/LF/CRLF record separators).
+//!
+//! Reading a CSV produces a [`Table`]: the first record is the header, types
+//! are inferred per column with the paper's first-ten-values rule, and cells
+//! are parsed as the inferred type (falling back to strings on mismatch).
+
+use crate::coltype::infer_type_from_text;
+use crate::table::{Column, Table};
+use crate::value::parse_as;
+use std::io::{self, BufRead, Write};
+
+/// Parse CSV text into raw string records.
+pub fn parse_records(text: &str) -> Vec<Vec<String>> {
+    let mut records = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut in_quotes = false;
+    let mut chars = text.chars().peekable();
+    let mut any = false;
+
+    while let Some(c) = chars.next() {
+        any = true;
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                _ => field.push(c),
+            }
+        } else {
+            match c {
+                '"' => in_quotes = true,
+                ',' => {
+                    record.push(std::mem::take(&mut field));
+                }
+                '\r' => {
+                    if chars.peek() == Some(&'\n') {
+                        chars.next();
+                    }
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                }
+                '\n' => {
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                }
+                _ => field.push(c),
+            }
+        }
+    }
+    if any && (!field.is_empty() || !record.is_empty()) {
+        record.push(field);
+        records.push(record);
+    }
+    records
+}
+
+/// Read a table from CSV text. The first record is the header row.
+pub fn table_from_csv(id: &str, name: &str, text: &str) -> Table {
+    let mut records = parse_records(text);
+    let mut table = Table::new(id, name);
+    if records.is_empty() {
+        return table;
+    }
+    let header = records.remove(0);
+    let ncols = header.len();
+    for (ci, col_name) in header.into_iter().enumerate() {
+        let cells = records.iter().map(|r| r.get(ci).map(String::as_str).unwrap_or(""));
+        let ty = infer_type_from_text(cells.clone());
+        let values = cells.map(|c| parse_as(c, ty)).collect();
+        table.push_column(Column::with_type(col_name, ty, values));
+    }
+    debug_assert_eq!(table.num_cols(), ncols);
+    table
+}
+
+/// Read a table from any `BufRead` source.
+pub fn table_from_reader<R: BufRead>(id: &str, name: &str, mut r: R) -> io::Result<Table> {
+    let mut text = String::new();
+    r.read_to_string(&mut text)?;
+    Ok(table_from_csv(id, name, &text))
+}
+
+fn needs_quoting(s: &str) -> bool {
+    s.contains([',', '"', '\n', '\r'])
+}
+
+/// Serialize a table to CSV text.
+pub fn table_to_csv(table: &Table) -> String {
+    let mut out = String::new();
+    for (i, c) in table.columns.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_field(&mut out, &c.name);
+    }
+    out.push('\n');
+    for r in 0..table.num_rows() {
+        for (ci, _) in table.columns.iter().enumerate() {
+            if ci > 0 {
+                out.push(',');
+            }
+            push_field(&mut out, &table.cell(r, ci).render());
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn push_field(out: &mut String, s: &str) {
+    if needs_quoting(s) {
+        out.push('"');
+        for ch in s.chars() {
+            if ch == '"' {
+                out.push('"');
+            }
+            out.push(ch);
+        }
+        out.push('"');
+    } else {
+        out.push_str(s);
+    }
+}
+
+/// Write a table as CSV to an `io::Write` sink (buffered writes recommended).
+pub fn write_csv<W: Write>(table: &Table, w: &mut W) -> io::Result<()> {
+    w.write_all(table_to_csv(table).as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ColType, Value};
+
+    #[test]
+    fn parses_simple() {
+        let recs = parse_records("a,b\n1,2\n3,4\n");
+        assert_eq!(recs, vec![vec!["a", "b"], vec!["1", "2"], vec!["3", "4"]]);
+    }
+
+    #[test]
+    fn parses_quotes_and_newlines() {
+        let recs = parse_records("a,b\n\"x,y\",\"he said \"\"hi\"\"\"\n\"multi\nline\",2\n");
+        assert_eq!(recs[1], vec!["x,y", "he said \"hi\""]);
+        assert_eq!(recs[2], vec!["multi\nline", "2"]);
+    }
+
+    #[test]
+    fn handles_crlf_and_missing_final_newline() {
+        let recs = parse_records("a,b\r\n1,2");
+        assert_eq!(recs, vec![vec!["a", "b"], vec!["1", "2"]]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(parse_records("").is_empty());
+    }
+
+    #[test]
+    fn typed_table() {
+        let t = table_from_csv(
+            "t",
+            "t",
+            "city,pop,rate,since\nvienna,1900000,0.5,2001-01-01\ngraz,290000,0.25,1999-06-30\n",
+        );
+        assert_eq!(t.column(0).ty, ColType::Str);
+        assert_eq!(t.column(1).ty, ColType::Int);
+        assert_eq!(t.column(2).ty, ColType::Float);
+        assert_eq!(t.column(3).ty, ColType::Date);
+        assert_eq!(t.cell(0, 1), &Value::Int(1900000));
+        assert!(matches!(t.cell(1, 3), Value::Date(_)));
+    }
+
+    #[test]
+    fn nulls_parse_as_null() {
+        let t = table_from_csv("t", "t", "x\n1\n\n3\nnan\n");
+        assert_eq!(t.column(0).ty, ColType::Int);
+        assert_eq!(t.column(0).null_count(), 2);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let src = "name,note\nann,\"likes, commas\"\nbob,\"quote \"\" inside\"\n";
+        let t = table_from_csv("t", "t", src);
+        let out = table_to_csv(&t);
+        let t2 = table_from_csv("t", "t", &out);
+        assert_eq!(t2.cell(0, 1), &Value::Str("likes, commas".into()));
+        assert_eq!(t2.cell(1, 1), &Value::Str("quote \" inside".into()));
+    }
+
+    #[test]
+    fn write_csv_matches_to_csv() {
+        let t = table_from_csv("t", "t", "a,b\n1,x\n");
+        let mut buf = Vec::new();
+        write_csv(&t, &mut buf).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), table_to_csv(&t));
+    }
+
+    #[test]
+    fn ragged_records_tolerated() {
+        let t = table_from_csv("t", "t", "a,b\n1\n2,3\n");
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.cell(0, 1), &Value::Null);
+    }
+}

@@ -1,0 +1,195 @@
+//! Minimal date handling: parse common CSV date formats to Unix timestamps
+//! and format them back. No external crates; civil-calendar arithmetic uses
+//! Howard Hinnant's `days_from_civil` algorithm.
+
+/// Days from 1970-01-01 for a proleptic Gregorian civil date.
+pub fn days_from_civil(y: i64, m: u32, d: u32) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = (y - era * 400) as u64; // [0, 399]
+    let mp = ((m + 9) % 12) as u64; // Mar=0 .. Feb=11
+    let doy = (153 * mp + 2) / 5 + (d as u64 - 1); // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146097 + doe as i64 - 719468
+}
+
+/// Inverse of [`days_from_civil`].
+pub fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719468;
+    let era = if z >= 0 { z } else { z - 146096 } / 146097;
+    let doe = (z - era * 146097) as u64; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365; // [0, 399]
+    let y = yoe as i64 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+fn valid_date(y: i64, m: u32, d: u32) -> bool {
+    if !(1..=12).contains(&m) || d == 0 || !(1..=9999).contains(&y) {
+        return false;
+    }
+    let leap = (y % 4 == 0 && y % 100 != 0) || y % 400 == 0;
+    let dim = match m {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if leap {
+                29
+            } else {
+                28
+            }
+        }
+        _ => unreachable!(),
+    };
+    d <= dim
+}
+
+fn ts(y: i64, m: u32, d: u32, hh: u32, mm: u32, ss: u32) -> Option<i64> {
+    if !valid_date(y, m, d) || hh > 23 || mm > 59 || ss > 60 {
+        return None;
+    }
+    Some(days_from_civil(y, m, d) * 86400 + (hh * 3600 + mm * 60 + ss) as i64)
+}
+
+/// Parse a date (optionally with time) into a Unix timestamp.
+///
+/// Accepted layouts, matching what CKAN/Socrata-style open-data CSVs use:
+/// `YYYY-MM-DD`, `YYYY/MM/DD`, `DD/MM/YYYY`, `MM/DD/YYYY` (when unambiguous
+/// we prefer day-first only if the first field exceeds 12), `YYYY-MM-DD
+/// HH:MM[:SS]`, and the `T`-separated ISO form (an optional trailing `Z` is
+/// allowed).
+pub fn parse_date(s: &str) -> Option<i64> {
+    let t = s.trim();
+    if t.is_empty() || t.len() > 32 {
+        return None;
+    }
+    let t = t.strip_suffix('Z').unwrap_or(t);
+    let (date_part, time_part) = match t.split_once(['T', ' ']) {
+        Some((d, tm)) => (d, Some(tm)),
+        None => (t, None),
+    };
+    let (hh, mm, ss) = match time_part {
+        None => (0, 0, 0),
+        Some(tp) => {
+            let mut it = tp.split(':');
+            let h: u32 = it.next()?.parse().ok()?;
+            let m: u32 = it.next()?.parse().ok()?;
+            let s: u32 = match it.next() {
+                None => 0,
+                // Tolerate fractional seconds by truncating.
+                Some(sec) => sec.split('.').next()?.parse().ok()?,
+            };
+            if it.next().is_some() {
+                return None;
+            }
+            (h, m, s)
+        }
+    };
+
+    let fields: Vec<&str> = if date_part.contains('-') {
+        date_part.split('-').collect()
+    } else if date_part.contains('/') {
+        date_part.split('/').collect()
+    } else {
+        return None;
+    };
+    if fields.len() != 3 || fields.iter().any(|f| f.is_empty() || f.len() > 4) {
+        return None;
+    }
+    let nums: Vec<i64> = fields
+        .iter()
+        .map(|f| f.parse::<i64>().ok())
+        .collect::<Option<_>>()?;
+
+    if fields[0].len() == 4 {
+        // Year first: YYYY-MM-DD.
+        ts(nums[0], nums[1] as u32, nums[2] as u32, hh, mm, ss)
+    } else if fields[2].len() == 4 {
+        // Year last. Disambiguate D/M vs M/D by range; prefer month-first.
+        let (a, b, y) = (nums[0], nums[1], nums[2]);
+        if (1..=12).contains(&a) {
+            ts(y, a as u32, b as u32, hh, mm, ss)
+        } else {
+            ts(y, b as u32, a as u32, hh, mm, ss)
+        }
+    } else {
+        None
+    }
+}
+
+/// Format a timestamp as `YYYY-MM-DD` (date-only) or `YYYY-MM-DD HH:MM:SS`.
+pub fn format_timestamp(ts: i64) -> String {
+    let days = ts.div_euclid(86400);
+    let secs = ts.rem_euclid(86400);
+    let (y, m, d) = civil_from_days(days);
+    if secs == 0 {
+        format!("{:04}-{:02}-{:02}", y, m, d)
+    } else {
+        format!(
+            "{:04}-{:02}-{:02} {:02}:{:02}:{:02}",
+            y,
+            m,
+            d,
+            secs / 3600,
+            (secs % 3600) / 60,
+            secs % 60
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch() {
+        assert_eq!(days_from_civil(1970, 1, 1), 0);
+        assert_eq!(parse_date("1970-01-01"), Some(0));
+    }
+
+    #[test]
+    fn known_dates() {
+        // 2000-03-01 is day 11017 (verified against `date -d`).
+        assert_eq!(days_from_civil(2000, 3, 1), 11017);
+        assert_eq!(parse_date("2024-02-29"), Some(days_from_civil(2024, 2, 29) * 86400));
+        assert_eq!(parse_date("2023-02-29"), None, "not a leap year");
+    }
+
+    #[test]
+    fn civil_roundtrip() {
+        for z in [-1000, -1, 0, 1, 365, 11017, 20000, 800000] {
+            let (y, m, d) = civil_from_days(z);
+            assert_eq!(days_from_civil(y, m, d), z);
+        }
+    }
+
+    #[test]
+    fn formats() {
+        let want = days_from_civil(2021, 7, 4) * 86400;
+        assert_eq!(parse_date("2021-07-04"), Some(want));
+        assert_eq!(parse_date("2021/07/04"), Some(want));
+        assert_eq!(parse_date("07/04/2021"), Some(want), "month-first preferred");
+        assert_eq!(parse_date("25/12/2021"), Some(days_from_civil(2021, 12, 25) * 86400));
+        assert_eq!(parse_date("2021-07-04T12:30:00"), Some(want + 12 * 3600 + 30 * 60));
+        assert_eq!(parse_date("2021-07-04 12:30"), Some(want + 12 * 3600 + 30 * 60));
+        assert_eq!(parse_date("2021-07-04T12:30:00.123Z"), Some(want + 12 * 3600 + 30 * 60));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        for s in ["", "hello", "12", "2021-13-01", "2021-00-10", "1/2", "1/2/3/4", "99999-01-01"] {
+            assert_eq!(parse_date(s), None, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn format_roundtrip() {
+        for &t in &[0i64, 86399, 86400, 1234567890, -86400] {
+            let s = format_timestamp(t);
+            assert_eq!(parse_date(&s), Some(t), "{s}");
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Table substrate for TabSketchFM.
+//!
+//! This crate holds the in-memory table model that every other crate builds
+//! on: typed cell values, the first-ten-values column-type inference rule
+//! from the paper (§III-B.4), date parsing to timestamps, a dependency-free
+//! CSV reader/writer, and a stable 64-bit hash used by all sketches so that
+//! results are reproducible across runs and platforms.
+
+pub mod coltype;
+pub mod csv;
+pub mod date;
+pub mod hash;
+pub mod table;
+pub mod value;
+
+pub use coltype::ColType;
+pub use table::{Column, Table};
+pub use value::Value;

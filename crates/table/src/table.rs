@@ -1,0 +1,254 @@
+//! The in-memory table model: named, typed columns plus table metadata.
+
+use crate::coltype::{infer_type_from_values, ColType};
+use crate::Value;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A single column: a header, an inferred (or declared) type, and values.
+#[derive(Debug, Clone)]
+pub struct Column {
+    pub name: String,
+    pub ty: ColType,
+    pub values: Vec<Value>,
+}
+
+impl Column {
+    /// Build a column, inferring its type from the first 10 non-null values.
+    pub fn new(name: impl Into<String>, values: Vec<Value>) -> Self {
+        let ty = infer_type_from_values(&values);
+        Self { name: name.into(), ty, values }
+    }
+
+    pub fn with_type(name: impl Into<String>, ty: ColType, values: Vec<Value>) -> Self {
+        Self { name: name.into(), ty, values }
+    }
+
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Non-null values rendered as strings (the MinHash element set).
+    pub fn rendered_values(&self) -> impl Iterator<Item = String> + '_ {
+        self.values.iter().filter(|v| !v.is_null()).map(|v| v.render())
+    }
+
+    /// Numeric view of the column (ints, floats, date timestamps).
+    pub fn numeric_values(&self) -> impl Iterator<Item = f64> + '_ {
+        self.values.iter().filter_map(|v| v.as_f64())
+    }
+
+    pub fn null_count(&self) -> usize {
+        self.values.iter().filter(|v| v.is_null()).count()
+    }
+}
+
+/// A table: identifier, human metadata, and columns.
+///
+/// `description` corresponds to the paper's "table meta-data"; it is the
+/// text that receives the content-snapshot MinHash embedding.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    pub id: String,
+    pub name: String,
+    pub description: String,
+    pub columns: Vec<Column>,
+}
+
+impl Table {
+    pub fn new(id: impl Into<String>, name: impl Into<String>) -> Self {
+        let name = name.into();
+        Self { id: id.into(), name, description: String::new(), columns: Vec::new() }
+    }
+
+    pub fn with_description(mut self, d: impl Into<String>) -> Self {
+        self.description = d.into();
+        self
+    }
+
+    pub fn push_column(&mut self, col: Column) {
+        self.columns.push(col);
+    }
+
+    pub fn num_cols(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Number of rows: the longest column (ragged tables are tolerated;
+    /// short columns read as `Null` beyond their end).
+    pub fn num_rows(&self) -> usize {
+        self.columns.iter().map(Column::len).max().unwrap_or(0)
+    }
+
+    pub fn column(&self, idx: usize) -> &Column {
+        &self.columns[idx]
+    }
+
+    pub fn column_by_name(&self, name: &str) -> Option<&Column> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+
+    pub fn cell(&self, row: usize, col: usize) -> &Value {
+        static NULL: Value = Value::Null;
+        self.columns[col].values.get(row).unwrap_or(&NULL)
+    }
+
+    /// One row rendered as a single `|`-delimited string — the element fed
+    /// into the content-snapshot MinHash (§III-A: "convert each row into a
+    /// string and generate a MinHash signature from the set of rows").
+    pub fn row_string(&self, row: usize) -> String {
+        let mut s = String::new();
+        for (i, col) in self.columns.iter().enumerate() {
+            if i > 0 {
+                s.push('|');
+            }
+            match col.values.get(row) {
+                Some(v) => s.push_str(&v.render()),
+                None => {}
+            }
+        }
+        s
+    }
+
+    /// Return a copy with columns permuted (data-augmentation in §III-C and
+    /// order-invariance probes in §IV-C3).
+    pub fn shuffled_columns<R: Rng>(&self, rng: &mut R, new_id: impl Into<String>) -> Table {
+        let mut t = self.clone();
+        t.id = new_id.into();
+        t.columns.shuffle(rng);
+        t
+    }
+
+    /// Return a copy with rows permuted consistently across columns.
+    pub fn shuffled_rows<R: Rng>(&self, rng: &mut R, new_id: impl Into<String>) -> Table {
+        let n = self.num_rows();
+        let mut perm: Vec<usize> = (0..n).collect();
+        perm.shuffle(rng);
+        let mut t = self.clone();
+        t.id = new_id.into();
+        for (ci, col) in self.columns.iter().enumerate() {
+            for (new_r, &old_r) in perm.iter().enumerate() {
+                t.columns[ci].values[new_r] =
+                    col.values.get(old_r).cloned().unwrap_or(Value::Null);
+            }
+        }
+        t
+    }
+
+    /// Project a subset of columns (by index), preserving order of `keep`.
+    pub fn project(&self, keep: &[usize], new_id: impl Into<String>) -> Table {
+        let mut t = Table::new(new_id, self.name.clone());
+        t.description = self.description.clone();
+        for &i in keep {
+            t.columns.push(self.columns[i].clone());
+        }
+        t
+    }
+
+    /// Take a subset of rows (by index), preserving order of `keep`.
+    pub fn take_rows(&self, keep: &[usize], new_id: impl Into<String>) -> Table {
+        let mut t = self.clone();
+        t.id = new_id.into();
+        for col in &mut t.columns {
+            let src = std::mem::take(&mut col.values);
+            col.values = keep
+                .iter()
+                .map(|&r| src.get(r).cloned().unwrap_or(Value::Null))
+                .collect();
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample() -> Table {
+        let mut t = Table::new("t1", "people").with_description("a table about people");
+        t.push_column(Column::new(
+            "name",
+            vec![Value::Str("ann".into()), Value::Str("bob".into()), Value::Str("cy".into())],
+        ));
+        t.push_column(Column::new("age", vec![Value::Int(34), Value::Int(51), Value::Null]));
+        t
+    }
+
+    #[test]
+    fn dims_and_cells() {
+        let t = sample();
+        assert_eq!(t.num_cols(), 2);
+        assert_eq!(t.num_rows(), 3);
+        assert_eq!(t.cell(0, 1), &Value::Int(34));
+        assert_eq!(t.cell(2, 1), &Value::Null);
+        assert_eq!(t.column(0).ty, ColType::Str);
+        assert_eq!(t.column(1).ty, ColType::Int);
+    }
+
+    #[test]
+    fn row_strings() {
+        let t = sample();
+        assert_eq!(t.row_string(0), "ann|34");
+        assert_eq!(t.row_string(2), "cy|");
+    }
+
+    #[test]
+    fn ragged_rows_read_null() {
+        let mut t = sample();
+        t.columns[1].values.pop();
+        assert_eq!(t.num_rows(), 3);
+        assert_eq!(t.cell(2, 1), &Value::Null);
+    }
+
+    #[test]
+    fn column_shuffle_preserves_content() {
+        let t = sample();
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = t.shuffled_columns(&mut rng, "t1s");
+        assert_eq!(s.num_cols(), t.num_cols());
+        for col in &t.columns {
+            let found = s.column_by_name(&col.name).expect("column survives shuffle");
+            assert_eq!(found.values, col.values);
+        }
+    }
+
+    #[test]
+    fn row_shuffle_keeps_rows_aligned() {
+        let t = sample();
+        let mut rng = StdRng::seed_from_u64(7);
+        let s = t.shuffled_rows(&mut rng, "t1r");
+        let mut orig: Vec<String> = (0..t.num_rows()).map(|r| t.row_string(r)).collect();
+        let mut shuf: Vec<String> = (0..s.num_rows()).map(|r| s.row_string(r)).collect();
+        orig.sort();
+        shuf.sort();
+        assert_eq!(orig, shuf, "rows permuted, never torn");
+    }
+
+    #[test]
+    fn project_and_take_rows() {
+        let t = sample();
+        let p = t.project(&[1], "p");
+        assert_eq!(p.num_cols(), 1);
+        assert_eq!(p.column(0).name, "age");
+        let r = t.take_rows(&[2, 0], "r");
+        assert_eq!(r.num_rows(), 2);
+        assert_eq!(r.cell(0, 0), &Value::Str("cy".into()));
+        assert_eq!(r.cell(1, 0), &Value::Str("ann".into()));
+    }
+
+    #[test]
+    fn numeric_and_null_accessors() {
+        let t = sample();
+        let ages: Vec<f64> = t.column(1).numeric_values().collect();
+        assert_eq!(ages, vec![34.0, 51.0]);
+        assert_eq!(t.column(1).null_count(), 1);
+        let names: Vec<String> = t.column(0).rendered_values().collect();
+        assert_eq!(names, vec!["ann", "bob", "cy"]);
+    }
+}

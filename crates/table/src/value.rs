@@ -1,0 +1,174 @@
+//! Typed cell values and lexical parsing.
+
+use crate::date;
+
+/// A single table cell.
+///
+/// Dates are stored as Unix timestamps (seconds) so they can be treated as
+/// numeric columns, as the paper does ("when possible, we convert date
+/// columns to timestamps and treat them as numeric columns", §III-A).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Str(String),
+    Int(i64),
+    Float(f64),
+    Date(i64),
+}
+
+impl Value {
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view used by numerical sketches. Strings have no numeric
+    /// value; dates expose their timestamp.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            Value::Date(ts) => Some(*ts as f64),
+            _ => None,
+        }
+    }
+
+    /// Canonical string rendering, used for MinHash sets and CSV output.
+    /// `Null` renders as the empty string.
+    pub fn render(&self) -> String {
+        match self {
+            Value::Null => String::new(),
+            Value::Str(s) => s.clone(),
+            Value::Int(i) => i.to_string(),
+            Value::Float(f) => format_float(*f),
+            Value::Date(ts) => date::format_timestamp(*ts),
+        }
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Render a float without scientific notation surprises for integral values.
+fn format_float(f: f64) -> String {
+    if f.is_finite() && f.fract() == 0.0 && f.abs() < 1e15 {
+        format!("{:.1}", f)
+    } else {
+        format!("{}", f)
+    }
+}
+
+/// Strings treated as missing values when parsing raw text cells.
+pub fn is_null_token(s: &str) -> bool {
+    let t = s.trim();
+    t.is_empty()
+        || t.eq_ignore_ascii_case("null")
+        || t.eq_ignore_ascii_case("nan")
+        || t.eq_ignore_ascii_case("na")
+        || t.eq_ignore_ascii_case("n/a")
+        || t == "-"
+}
+
+/// Parse a raw text cell as an integer (rejecting floats).
+pub fn parse_int(s: &str) -> Option<i64> {
+    let t = s.trim();
+    if t.is_empty() {
+        return None;
+    }
+    // Permit thousands separators, e.g. "1,234,567".
+    if t.contains(',') {
+        let collapsed: String = t.chars().filter(|c| *c != ',').collect();
+        return parse_int(&collapsed);
+    }
+    t.parse::<i64>().ok()
+}
+
+/// Parse a raw text cell as a float.
+pub fn parse_float(s: &str) -> Option<f64> {
+    let t = s.trim();
+    if t.is_empty() {
+        return None;
+    }
+    if t.contains(',') && !t.contains('.') {
+        // Could be "1,234" style; strip separators conservatively.
+        let collapsed: String = t.chars().filter(|c| *c != ',').collect();
+        return collapsed.parse::<f64>().ok();
+    }
+    let v = t.parse::<f64>().ok()?;
+    v.is_finite().then_some(v)
+}
+
+/// Parse a raw text cell with a *known* target type, falling back to
+/// `Str` (never discarding data) when the lexical form does not match.
+pub fn parse_as(s: &str, ty: crate::ColType) -> Value {
+    use crate::ColType;
+    if is_null_token(s) {
+        return Value::Null;
+    }
+    match ty {
+        ColType::Int => parse_int(s)
+            .map(Value::Int)
+            .unwrap_or_else(|| Value::Str(s.trim().to_string())),
+        ColType::Float => parse_float(s)
+            .map(Value::Float)
+            .unwrap_or_else(|| Value::Str(s.trim().to_string())),
+        ColType::Date => date::parse_date(s)
+            .map(Value::Date)
+            .unwrap_or_else(|| Value::Str(s.trim().to_string())),
+        ColType::Str => Value::Str(s.trim().to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_parsing() {
+        assert_eq!(parse_int("42"), Some(42));
+        assert_eq!(parse_int(" -7 "), Some(-7));
+        assert_eq!(parse_int("1,234,567"), Some(1234567));
+        assert_eq!(parse_int("3.5"), None);
+        assert_eq!(parse_int("abc"), None);
+        assert_eq!(parse_int(""), None);
+    }
+
+    #[test]
+    fn float_parsing() {
+        assert_eq!(parse_float("3.5"), Some(3.5));
+        assert_eq!(parse_float("-0.25"), Some(-0.25));
+        assert_eq!(parse_float("1e3"), Some(1000.0));
+        assert_eq!(parse_float("1,234"), Some(1234.0));
+        assert_eq!(parse_float("inf"), None, "non-finite rejected");
+        assert_eq!(parse_float("x"), None);
+    }
+
+    #[test]
+    fn null_tokens() {
+        for t in ["", "  ", "null", "NaN", "N/A", "na", "-"] {
+            assert!(is_null_token(t), "{t:?} should be null");
+        }
+        assert!(!is_null_token("0"));
+        assert!(!is_null_token("none at all"));
+    }
+
+    #[test]
+    fn render_roundtrip() {
+        assert_eq!(Value::Int(5).render(), "5");
+        assert_eq!(Value::Float(2.0).render(), "2.0");
+        assert_eq!(Value::Float(2.5).render(), "2.5");
+        assert_eq!(Value::Null.render(), "");
+        assert_eq!(Value::Str("hi".into()).render(), "hi");
+    }
+
+    #[test]
+    fn numeric_view() {
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Float(0.5).as_f64(), Some(0.5));
+        assert_eq!(Value::Date(100).as_f64(), Some(100.0));
+        assert_eq!(Value::Str("3".into()).as_f64(), None);
+        assert_eq!(Value::Null.as_f64(), None);
+    }
+}

@@ -1,0 +1,49 @@
+//! A WordPiece-style tokenizer built from scratch.
+//!
+//! TabSketchFM's token stream is table metadata plus column names, so the
+//! vocabulary is tiny compared to natural language. We therefore build the
+//! vocabulary directly from the training corpus (instead of shipping BERT's
+//! 30k-entry WordPiece list): frequent whole words become pieces, and all
+//! observed single characters become both initial and `##`-continuation
+//! pieces, so any word can be tokenized without falling back to `[UNK]`.
+//! Encoding is greedy longest-match-first, exactly like HuggingFace's
+//! WordPiece.
+
+pub mod vocab;
+
+pub use vocab::{Vocab, VocabBuilder};
+
+/// Special token ids, fixed by construction.
+pub const PAD: u32 = 0;
+pub const UNK: u32 = 1;
+pub const CLS: u32 = 2;
+pub const SEP: u32 = 3;
+pub const MASK: u32 = 4;
+pub const NUM_SPECIALS: u32 = 5;
+
+/// Pre-tokenize text into lowercase word tokens (alphanumeric runs;
+/// digits kept). Mirrors [`tsfm_sketch::words_of`] so column values and
+/// column names share lexical space.
+pub fn pre_tokenize(text: &str) -> Vec<String> {
+    text.split(|c: char| !c.is_alphanumeric())
+        .filter(|w| !w.is_empty())
+        .map(|w| w.to_lowercase())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pre_tokenize_basic() {
+        assert_eq!(pre_tokenize("Reference Area"), vec!["reference", "area"]);
+        assert_eq!(pre_tokenize("per-capita GDP (2021)"), vec!["per", "capita", "gdp", "2021"]);
+        assert!(pre_tokenize("--").is_empty());
+    }
+
+    #[test]
+    fn special_ids_are_stable() {
+        assert_eq!((PAD, UNK, CLS, SEP, MASK), (0, 1, 2, 3, 4));
+    }
+}

@@ -1,0 +1,295 @@
+//! Vocabulary construction and WordPiece encoding.
+
+use crate::{pre_tokenize, CLS, MASK, NUM_SPECIALS, PAD, SEP, UNK};
+use std::collections::HashMap;
+
+pub const SPECIAL_TOKENS: [&str; NUM_SPECIALS as usize] =
+    ["[PAD]", "[UNK]", "[CLS]", "[SEP]", "[MASK]"];
+
+/// An immutable vocabulary with WordPiece encode/decode.
+#[derive(Debug, Clone)]
+pub struct Vocab {
+    token_to_id: HashMap<String, u32>,
+    id_to_token: Vec<String>,
+    max_piece_len: usize,
+}
+
+impl Vocab {
+    fn from_pieces(pieces: Vec<String>) -> Self {
+        let mut id_to_token: Vec<String> =
+            SPECIAL_TOKENS.iter().map(|s| s.to_string()).collect();
+        id_to_token.extend(pieces);
+        let mut token_to_id = HashMap::with_capacity(id_to_token.len());
+        for (i, t) in id_to_token.iter().enumerate() {
+            let prev = token_to_id.insert(t.clone(), i as u32);
+            assert!(prev.is_none(), "duplicate piece {t:?}");
+        }
+        let max_piece_len = id_to_token.iter().map(|t| t.len()).max().unwrap_or(1);
+        Vocab { token_to_id, id_to_token, max_piece_len }
+    }
+
+    pub fn len(&self) -> usize {
+        self.id_to_token.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        false // specials always present
+    }
+
+    pub fn id_of(&self, token: &str) -> Option<u32> {
+        self.token_to_id.get(token).copied()
+    }
+
+    pub fn token_of(&self, id: u32) -> &str {
+        &self.id_to_token[id as usize]
+    }
+
+    /// Encode one pre-tokenized word with greedy longest-match WordPiece.
+    /// Returns `[UNK]` alone if the word cannot be covered (i.e. it
+    /// contains a character never seen at build time).
+    pub fn encode_word(&self, word: &str) -> Vec<u32> {
+        let mut out = Vec::new();
+        let bytes = word.as_bytes();
+        let mut start = 0;
+        while start < bytes.len() {
+            let prefix = if start == 0 { "" } else { "##" };
+            let mut end = bytes.len().min(start + self.max_piece_len);
+            let mut matched = None;
+            while end > start {
+                // Candidate must fall on a char boundary.
+                if word.is_char_boundary(end) {
+                    let cand = format!("{prefix}{}", &word[start..end]);
+                    if let Some(id) = self.id_of(&cand) {
+                        matched = Some((id, end));
+                        break;
+                    }
+                }
+                end -= 1;
+            }
+            match matched {
+                Some((id, e)) => {
+                    out.push(id);
+                    start = e;
+                }
+                None => return vec![UNK],
+            }
+        }
+        if out.is_empty() {
+            vec![UNK]
+        } else {
+            out
+        }
+    }
+
+    /// Encode free text (pre-tokenization included).
+    pub fn encode_text(&self, text: &str) -> Vec<u32> {
+        pre_tokenize(text).iter().flat_map(|w| self.encode_word(w)).collect()
+    }
+
+    /// Decode ids to a readable string (continuation pieces joined).
+    pub fn decode(&self, ids: &[u32]) -> String {
+        let mut s = String::new();
+        for &id in ids {
+            let t = self.token_of(id);
+            if let Some(cont) = t.strip_prefix("##") {
+                s.push_str(cont);
+            } else {
+                if !s.is_empty() {
+                    s.push(' ');
+                }
+                s.push_str(t);
+            }
+        }
+        s
+    }
+
+    /// Serialize as one piece per line (specials first).
+    pub fn to_lines(&self) -> String {
+        self.id_to_token.join("\n")
+    }
+
+    /// Reload a vocabulary serialized by [`Vocab::to_lines`].
+    pub fn from_lines(text: &str) -> Vocab {
+        let pieces: Vec<String> = text
+            .lines()
+            .skip(NUM_SPECIALS as usize)
+            .map(|l| l.to_string())
+            .collect();
+        let v = Vocab::from_pieces(pieces);
+        debug_assert_eq!(&v.id_to_token[..NUM_SPECIALS as usize], &SPECIAL_TOKENS);
+        v
+    }
+
+    pub fn pad(&self) -> u32 {
+        PAD
+    }
+    pub fn unk(&self) -> u32 {
+        UNK
+    }
+    pub fn cls(&self) -> u32 {
+        CLS
+    }
+    pub fn sep(&self) -> u32 {
+        SEP
+    }
+    pub fn mask(&self) -> u32 {
+        MASK
+    }
+}
+
+/// Streaming vocabulary builder: feed raw text, then [`VocabBuilder::build`].
+#[derive(Debug, Default)]
+pub struct VocabBuilder {
+    word_freq: HashMap<String, usize>,
+}
+
+impl VocabBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn add_text(&mut self, text: &str) {
+        for w in pre_tokenize(text) {
+            *self.word_freq.entry(w).or_insert(0) += 1;
+        }
+    }
+
+    /// Build the vocabulary: all single characters observed (as initial and
+    /// `##` continuation pieces) plus the most frequent whole words with
+    /// `freq >= min_freq`, capped at `max_words`.
+    pub fn build(&self, min_freq: usize, max_words: usize) -> Vocab {
+        let mut chars: Vec<char> = self
+            .word_freq
+            .keys()
+            .flat_map(|w| w.chars())
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        chars.sort_unstable();
+
+        let mut words: Vec<(&String, &usize)> =
+            self.word_freq.iter().filter(|(w, f)| **f >= min_freq && w.len() > 1).collect();
+        // Deterministic order: frequency desc, then lexicographic.
+        words.sort_by(|a, b| b.1.cmp(a.1).then_with(|| a.0.cmp(b.0)));
+        words.truncate(max_words);
+
+        let mut pieces: Vec<String> = Vec::with_capacity(2 * chars.len() + words.len());
+        for &c in &chars {
+            pieces.push(c.to_string());
+        }
+        for &c in &chars {
+            pieces.push(format!("##{c}"));
+        }
+        let single_chars: std::collections::HashSet<String> =
+            chars.iter().map(|c| c.to_string()).collect();
+        for (w, _) in words {
+            if !single_chars.contains(w.as_str()) {
+                pieces.push(w.clone());
+            }
+        }
+        Vocab::from_pieces(pieces)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_vocab() -> Vocab {
+        let mut b = VocabBuilder::new();
+        for _ in 0..3 {
+            b.add_text("reference area age assessed value street city population");
+        }
+        b.add_text("rare");
+        b.build(2, 1000)
+    }
+
+    #[test]
+    fn whole_words_become_single_tokens() {
+        let v = sample_vocab();
+        assert_eq!(v.encode_word("reference").len(), 1);
+        assert_eq!(v.decode(&v.encode_word("reference")), "reference");
+    }
+
+    #[test]
+    fn rare_words_fall_back_to_chars() {
+        let v = sample_vocab();
+        let ids = v.encode_word("rare"); // below min_freq
+        assert!(ids.len() > 1, "char fallback expected");
+        assert_eq!(v.decode(&ids), "rare", "char pieces reassemble the word");
+    }
+
+    #[test]
+    fn unseen_chars_give_unk() {
+        let v = sample_vocab();
+        assert_eq!(v.encode_word("日本"), vec![UNK]);
+    }
+
+    #[test]
+    fn greedy_longest_match() {
+        let mut b = VocabBuilder::new();
+        for _ in 0..5 {
+            b.add_text("street streets");
+        }
+        b.add_text("abcdefghijklmnopqrstuvwxyz"); // full char coverage
+        let v = b.build(2, 100);
+        // "streets" is its own piece — greedy must take it whole.
+        assert_eq!(v.encode_word("streets").len(), 1);
+        // "streetcar": greedy takes "street" then chars.
+        let ids = v.encode_word("streetcar");
+        assert_eq!(v.token_of(ids[0]), "street");
+        assert_eq!(v.decode(&ids), "streetcar");
+    }
+
+    #[test]
+    fn encode_text_pretokenizes() {
+        let v = sample_vocab();
+        let ids = v.encode_text("Reference Area");
+        assert_eq!(v.decode(&ids), "reference area");
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let v = sample_vocab();
+        let text = v.to_lines();
+        let v2 = Vocab::from_lines(&text);
+        assert_eq!(v.len(), v2.len());
+        assert_eq!(v.encode_text("city street age"), v2.encode_text("city street age"));
+    }
+
+    #[test]
+    fn specials_present() {
+        let v = sample_vocab();
+        assert_eq!(v.id_of("[CLS]"), Some(CLS));
+        assert_eq!(v.id_of("[MASK]"), Some(MASK));
+        assert_eq!(v.token_of(PAD), "[PAD]");
+    }
+
+    #[test]
+    fn deterministic_build() {
+        let a = sample_vocab();
+        let b = sample_vocab();
+        assert_eq!(a.to_lines(), b.to_lines());
+    }
+
+    proptest! {
+        /// Encoding never panics and ASCII-alphanumeric words always
+        /// reassemble exactly (every char is in the vocab).
+        #[test]
+        fn prop_ascii_roundtrip(word in "[a-z0-9]{1,12}") {
+            let mut b = VocabBuilder::new();
+            b.add_text("abcdefghijklmnopqrstuvwxyz 0123456789");
+            let v = b.build(1, 100);
+            let ids = v.encode_word(&word);
+            prop_assert_eq!(v.decode(&ids), word);
+        }
+
+        /// Arbitrary unicode input never panics.
+        #[test]
+        fn prop_no_panic(text in ".{0,60}") {
+            let v = sample_vocab();
+            let _ = v.encode_text(&text);
+        }
+    }
+}

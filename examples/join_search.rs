@@ -1,0 +1,87 @@
+//! Joinable-table search over a data lake: exact overlap (Josie-style),
+//! MinHash LSH Forest, and embedding search — the §IV-C1 scenario where
+//! surface value overlap is NOT enough (the "Aleppo" homograph trap).
+//!
+//! `cargo run --release --example join_search`
+
+use tabsketchfm::lake::{gen_join_search, JoinSearchConfig, World, WorldConfig};
+use tabsketchfm::search::{evaluate_search, JosieIndex, LshForest};
+use tabsketchfm::sketch::MinHasher;
+use tabsketchfm::table::hash::hash_str;
+
+fn main() {
+    let world = World::generate(WorldConfig::default());
+    let bench = gen_join_search(&world, &JoinSearchConfig::default());
+    let keys = bench.key_column.as_ref().unwrap();
+    println!(
+        "lake: {} tables; {} queries; gold = sensibly joinable (same entity domain, J > 0.5)",
+        bench.tables.len(),
+        bench.queries.len()
+    );
+
+    // Index every column's value set.
+    let mut josie = JosieIndex::new();
+    let mh = MinHasher::new(64, 0);
+    let mut forest = LshForest::new(8, 8, 64, 1);
+    let mut owner = Vec::new();
+    for (ti, t) in bench.tables.iter().enumerate() {
+        for c in &t.columns {
+            let hashes: Vec<u64> = c.rendered_values().map(|v| hash_str(&v)).collect();
+            josie.add(hashes.iter().copied());
+            forest.add(mh.signature_hashed(hashes.iter().copied()));
+            owner.push(ti);
+        }
+    }
+
+    let k = 10;
+    let run = |use_exact: bool| -> Vec<Vec<usize>> {
+        bench
+            .queries
+            .iter()
+            .map(|&q| {
+                let hashes: Vec<u64> = bench.tables[q].columns[keys[q]]
+                    .rendered_values()
+                    .map(|v| hash_str(&v))
+                    .collect();
+                let col_hits: Vec<usize> = if use_exact {
+                    josie
+                        .top_k_overlap(hashes.iter().copied(), k * 4)
+                        .into_iter()
+                        .map(|(c, _)| c)
+                        .collect()
+                } else {
+                    forest
+                        .search(&mh.signature_hashed(hashes.iter().copied()), k * 4)
+                        .into_iter()
+                        .map(|(c, _)| c)
+                        .collect()
+                };
+                let mut seen = std::collections::BTreeSet::new();
+                let mut out = Vec::new();
+                for c in col_hits {
+                    let t = owner[c];
+                    if t != q && seen.insert(t) {
+                        out.push(t);
+                        if out.len() == k {
+                            break;
+                        }
+                    }
+                }
+                out
+            })
+            .collect()
+    };
+
+    for (name, exact) in [("Josie (exact overlap)", true), ("LSH Forest (MinHash)", false)] {
+        let retrieved = run(exact);
+        let s = evaluate_search(&retrieved, &bench.gold, k);
+        println!(
+            "{name:<24} mean F1 {:.1}%  P@{k} {:.2}  R@{k} {:.2}",
+            100.0 * s.mean_f1,
+            s.mean_precision,
+            s.mean_recall
+        );
+    }
+    println!("\nFor the full eight-system comparison (Table V), run:");
+    println!("  cargo run --release -p tsfm-bench --bin exp_table5");
+}

@@ -1,0 +1,81 @@
+//! Quickstart: load CSV tables, sketch them, compare columns, and get
+//! TabSketchFM embeddings — the 5-minute tour of the public API.
+//!
+//! `cargo run --release --example quickstart`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tabsketchfm::core::{
+    column_embeddings, cosine, encode_table, single_sequence, ModelConfig, SketchToggle,
+    TabSketchFM,
+};
+use tabsketchfm::sketch::{SketchConfig, TableSketch};
+use tabsketchfm::table::csv::table_from_csv;
+use tabsketchfm::tokenizer::VocabBuilder;
+
+fn main() {
+    // 1. Parse CSV into typed tables (type inference per paper §III-B.4).
+    let housing = table_from_csv(
+        "housing",
+        "Residential Properties",
+        "Reference Area,Age,Assessed Value\n\
+         Austria Vienna,10,412000\n\
+         Austria Graz,55,198000\n\
+         Austria Linz,31,240000\n",
+    );
+    let people = table_from_csv(
+        "people",
+        "Employees",
+        "Full Name,Age,Start Date\n\
+         Maria Gruber,34,2015-04-01\n\
+         Jonas Leitner,51,2009-10-15\n",
+    );
+    println!("housing: {} rows x {} cols", housing.num_rows(), housing.num_cols());
+    for c in &housing.columns {
+        println!("  column {:?} inferred as {}", c.name, c.ty.name());
+    }
+
+    // 2. Build the paper's sketches: content snapshot + per-column MinHash
+    //    and numerical sketches.
+    let cfg = SketchConfig::default();
+    let sk_housing = TableSketch::build(&housing, &cfg);
+    let sk_people = TableSketch::build(&people, &cfg);
+    let j = sk_housing.columns[1]
+        .cell_minhash
+        .jaccard(&sk_people.columns[1].cell_minhash);
+    println!("\nestimated Jaccard of the two Age columns' values: {j:.2}");
+    println!(
+        "housing Age numerical sketch (p10..p90, mean, std, min, max): {:?}",
+        &sk_housing.columns[1].numeric.to_vec()[3..]
+    );
+
+    // 3. Feed sketches to a TabSketchFM encoder and extract contextual
+    //    column embeddings. (Untrained here — see the other examples for
+    //    pretraining and fine-tuning.)
+    let mut vb = VocabBuilder::new();
+    for t in [&housing, &people] {
+        vb.add_text(&t.name);
+        for c in &t.columns {
+            vb.add_text(&c.name);
+        }
+    }
+    let vocab = vb.build(1, 1000);
+    let mut model_cfg = ModelConfig::small(vocab.len());
+    model_cfg.minhash_k = cfg.minhash_k;
+    let mut rng = StdRng::seed_from_u64(0);
+    let model = TabSketchFM::new(model_cfg.clone(), &mut rng);
+    println!("\nTabSketchFM with {} parameters", model.num_parameters());
+
+    let enc_h = encode_table(&sk_housing, &vocab, &model_cfg.input, SketchToggle::ALL);
+    let enc_p = encode_table(&sk_people, &vocab, &model_cfg.input, SketchToggle::ALL);
+    let cols_h = column_embeddings(&model, &single_sequence(&enc_h, &model_cfg.input));
+    let cols_p = column_embeddings(&model, &single_sequence(&enc_p, &model_cfg.input));
+    println!(
+        "cos(housing.Age, people.Age) = {:.3} — same header, different context & sketches",
+        cosine(&cols_h[1].1, &cols_p[1].1)
+    );
+    println!(
+        "cos(housing.Age, housing.'Reference Area') = {:.3}",
+        cosine(&cols_h[1].1, &cols_h[0].1)
+    );
+}

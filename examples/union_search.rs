@@ -1,0 +1,69 @@
+//! Unionable-table search with the paper's Fig.-6 ranking over column
+//! embeddings (here: the SBERT-style value encoder, which §IV-C2 found
+//! surprisingly strong for union search).
+//!
+//! `cargo run --release --example union_search`
+
+use tabsketchfm::baselines::SentenceEncoder;
+use tabsketchfm::lake::{gen_union_search, UnionSearchConfig, World, WorldConfig};
+use tabsketchfm::search::{evaluate_search, ranked_table_ids, BruteForceIndex, ColumnHit, Metric};
+
+fn main() {
+    let world = World::generate(WorldConfig::default());
+    let bench = gen_union_search(&world, "demo", &UnionSearchConfig::santos_style());
+    println!(
+        "lake: {} tables in {}-table unionable clusters (+ distractors), {} queries",
+        bench.tables.len(),
+        10,
+        bench.queries.len()
+    );
+
+    // Column embeddings: top-100 unique values as one sentence.
+    let enc = SentenceEncoder::default();
+    let mut vecs = Vec::new();
+    let mut owner = Vec::new();
+    for (ti, t) in bench.tables.iter().enumerate() {
+        for c in &t.columns {
+            vecs.push(enc.encode_column(c, 100));
+            owner.push(ti);
+        }
+    }
+    let mut index = BruteForceIndex::new(enc.dim, Metric::Cosine);
+    for v in &vecs {
+        index.add(v);
+    }
+
+    // Fig. 6: KNNSEARCH per query column (k·3 over-retrieval), then
+    // RANK1 (matching columns) / RANK2 (distance sum).
+    let k = 10;
+    let retrieved: Vec<Vec<usize>> = bench
+        .queries
+        .iter()
+        .map(|&q| {
+            let per_col: Vec<Vec<ColumnHit>> = (0..vecs.len())
+                .filter(|&ci| owner[ci] == q)
+                .map(|ci| {
+                    index
+                        .search(&vecs[ci], k * 3)
+                        .into_iter()
+                        .map(|(id, d)| ColumnHit { table: owner[id], distance: d })
+                        .collect()
+                })
+                .collect();
+            let mut ids = ranked_table_ids(&per_col, Some(q));
+            ids.truncate(k);
+            ids
+        })
+        .collect();
+
+    let s = evaluate_search(&retrieved, &bench.gold, k);
+    println!(
+        "SBERT column embeddings + Fig-6 ranking: mean F1 {:.1}%  P@{k} {:.2}  R@{k} {:.2}",
+        100.0 * s.mean_f1,
+        s.mean_precision,
+        s.mean_recall
+    );
+    println!("\nFor the full comparisons (Tables VI/VII), run:");
+    println!("  cargo run --release -p tsfm-bench --bin exp_table6   # SANTOS-style");
+    println!("  cargo run --release -p tsfm-bench --bin exp_table7   # TUS-style");
+}

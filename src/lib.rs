@@ -1,0 +1,24 @@
+//! # tabsketchfm
+//!
+//! Umbrella crate for the Rust reproduction of *TabSketchFM: Sketch-based
+//! Tabular Representation Learning for Data Discovery over Data Lakes*
+//! (ICDE 2025). It re-exports every subsystem so examples and downstream
+//! users need a single dependency:
+//!
+//! * [`table`] — table model, CSV, type inference ([`tsfm_table`])
+//! * [`sketch`] — MinHash / numerical sketches / content snapshot
+//! * [`tokenizer`] — WordPiece-style tokenizer
+//! * [`nn`] — tensors, autograd, transformer layers, AdamW
+//! * [`core`] — the TabSketchFM model, pretraining and fine-tuning
+//! * [`lake`] — synthetic data-lake and benchmark generators
+//! * [`search`] — indexes (brute-force, HNSW, LSH, Josie) and ranking
+//! * [`baselines`] — the comparison systems from the paper's evaluation
+
+pub use tsfm_baselines as baselines;
+pub use tsfm_core as core;
+pub use tsfm_lake as lake;
+pub use tsfm_nn as nn;
+pub use tsfm_search as search;
+pub use tsfm_sketch as sketch;
+pub use tsfm_table as table;
+pub use tsfm_tokenizer as tokenizer;

@@ -1,0 +1,185 @@
+//! Integration tests spanning crates: lake → sketch → tokenizer → model →
+//! fine-tune → search, plus checkpoint persistence of a whole model.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tabsketchfm::core::{
+    column_embeddings, encode_table, finetune, pair_sequence, single_sequence, CrossEncoder,
+    FinetuneConfig, Label, ModelConfig, PairDataset, SketchToggle, TabSketchFM,
+};
+use tabsketchfm::lake::{gen_spider_join, gen_union_search, UnionSearchConfig, World, WorldConfig};
+use tabsketchfm::search::{evaluate_search, ranked_table_ids, BruteForceIndex, ColumnHit, Metric};
+use tabsketchfm::sketch::{MinHasher, SketchConfig, TableSketch};
+use tabsketchfm::tokenizer::{Vocab, VocabBuilder};
+
+fn metadata_vocab<'a, I: Iterator<Item = &'a tabsketchfm::table::Table>>(tables: I) -> Vocab {
+    let mut vb = VocabBuilder::new();
+    for t in tables {
+        vb.add_text(&t.description);
+        for c in &t.columns {
+            vb.add_text(&c.name);
+        }
+    }
+    vb.build(1, 4000)
+}
+
+#[test]
+fn lake_to_finetuned_cross_encoder() {
+    let world = World::generate(WorldConfig::default());
+    let task = gen_spider_join(&world, 60, 3);
+    let vocab = metadata_vocab(task.tables.iter());
+    let cfg = ModelConfig::tiny(vocab.len());
+    let scfg = SketchConfig { minhash_k: cfg.minhash_k, ..Default::default() };
+    let hasher = MinHasher::new(scfg.minhash_k, scfg.seed);
+    let sketches: Vec<TableSketch> = task
+        .tables
+        .iter()
+        .map(|t| TableSketch::build_with_hasher(t, &hasher, scfg.max_rows))
+        .collect();
+
+    let encode = |idxs: &[usize]| -> PairDataset {
+        let mut seqs = Vec::new();
+        let mut labels = Vec::new();
+        for &i in idxs {
+            let (a, b, l) = &task.pairs[i];
+            let ea = encode_table(&sketches[*a], &vocab, &cfg.input, SketchToggle::ALL);
+            let eb = encode_table(&sketches[*b], &vocab, &cfg.input, SketchToggle::ALL);
+            seqs.push(pair_sequence(&ea, &eb, &cfg.input));
+            labels.push(l.clone());
+        }
+        PairDataset { seqs, labels }
+    };
+    let train = encode(&task.splits.train);
+    let valid = encode(&task.splits.valid);
+    let test = encode(&task.splits.test);
+
+    let mut rng = StdRng::seed_from_u64(0);
+    let model = TabSketchFM::new(cfg, &mut rng);
+    let mut ce = CrossEncoder::new(model, task.task, &mut rng);
+    let report = finetune(
+        &mut ce,
+        &train,
+        &valid,
+        &FinetuneConfig { epochs: 12, lr: 2e-3, patience: 12, ..Default::default() },
+    );
+    assert!(
+        report.train_losses.last().unwrap() < report.train_losses.first().unwrap(),
+        "training must reduce loss: {:?}",
+        report.train_losses
+    );
+
+    // Better than chance on test (weighted F1 of argmax predictions).
+    let preds = ce.predict(&test.seqs, 8);
+    let correct = preds
+        .iter()
+        .zip(&test.labels)
+        .filter(|(p, l)| {
+            matches!(l, Label::Binary(b) if *b == (p[1] > p[0]))
+        })
+        .count();
+    assert!(
+        correct * 2 > test.labels.len(),
+        "accuracy {correct}/{} not better than chance",
+        test.labels.len()
+    );
+}
+
+#[test]
+fn checkpoint_roundtrip_preserves_model_outputs() {
+    let world = World::generate(WorldConfig::default());
+    let task = gen_spider_join(&world, 10, 4);
+    let vocab = metadata_vocab(task.tables.iter());
+    let cfg = ModelConfig::tiny(vocab.len());
+    let scfg = SketchConfig { minhash_k: cfg.minhash_k, ..Default::default() };
+    let sketch = TableSketch::build(&task.tables[0], &scfg);
+    let enc = encode_table(&sketch, &vocab, &cfg.input, SketchToggle::ALL);
+    let seq = single_sequence(&enc, &cfg.input);
+
+    let mut rng = StdRng::seed_from_u64(5);
+    let model = TabSketchFM::new(cfg.clone(), &mut rng);
+    let before = column_embeddings(&model, &seq);
+
+    let dir = std::env::temp_dir().join("tsfm_integration");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("model.ckpt");
+    tabsketchfm::nn::io::save_params(&model.store, &path).unwrap();
+
+    let mut rng2 = StdRng::seed_from_u64(999); // different init
+    let mut model2 = TabSketchFM::new(cfg, &mut rng2);
+    let loaded = tabsketchfm::nn::io::load_params(&mut model2.store, &path).unwrap();
+    assert_eq!(loaded, model2.store.len());
+    let after = column_embeddings(&model2, &seq);
+    for ((_, a), (_, b)) in before.iter().zip(&after) {
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < 1e-6, "checkpoint must restore outputs exactly");
+        }
+    }
+}
+
+#[test]
+fn sbert_fig6_union_search_beats_random() {
+    let world = World::generate(WorldConfig::default());
+    let bench = gen_union_search(
+        &world,
+        "it",
+        &UnionSearchConfig { clusters: 4, cluster_size: 6, distractors: 16, seed: 9 },
+    );
+    let enc = tabsketchfm::baselines::SentenceEncoder::default();
+    let mut vecs = Vec::new();
+    let mut owner = Vec::new();
+    for (ti, t) in bench.tables.iter().enumerate() {
+        for c in &t.columns {
+            vecs.push(enc.encode_column(c, 100));
+            owner.push(ti);
+        }
+    }
+    let mut index = BruteForceIndex::new(enc.dim, Metric::Cosine);
+    for v in &vecs {
+        index.add(v);
+    }
+    let k = 5;
+    let retrieved: Vec<Vec<usize>> = bench
+        .queries
+        .iter()
+        .map(|&q| {
+            let per_col: Vec<Vec<ColumnHit>> = (0..vecs.len())
+                .filter(|&ci| owner[ci] == q)
+                .map(|ci| {
+                    index
+                        .search(&vecs[ci], k * 3)
+                        .into_iter()
+                        .map(|(id, d)| ColumnHit { table: owner[id], distance: d })
+                        .collect()
+                })
+                .collect();
+            let mut ids = ranked_table_ids(&per_col, Some(q));
+            ids.truncate(k);
+            ids
+        })
+        .collect();
+    let s = evaluate_search(&retrieved, &bench.gold, k);
+    // Random retrieval of 5 among 40 tables with 5 gold ⇒ F1 ≈ 0.125.
+    assert!(s.mean_f1 > 0.4, "Fig-6 + SBERT should beat random easily: {s:?}");
+}
+
+#[test]
+fn ablation_toggles_change_sequences_not_shapes() {
+    let world = World::generate(WorldConfig::default());
+    let task = gen_spider_join(&world, 4, 6);
+    let vocab = metadata_vocab(task.tables.iter());
+    let cfg = ModelConfig::tiny(vocab.len());
+    let scfg = SketchConfig { minhash_k: cfg.minhash_k, ..Default::default() };
+    let sketch = TableSketch::build(&task.tables[0], &scfg);
+    let all = encode_table(&sketch, &vocab, &cfg.input, SketchToggle::ALL);
+    for toggle in [
+        SketchToggle::ONLY_MINHASH,
+        SketchToggle::ONLY_NUMERIC,
+        SketchToggle::ONLY_CONTENT,
+        SketchToggle::NO_MINHASH,
+    ] {
+        let e = encode_table(&sketch, &vocab, &cfg.input, toggle);
+        assert_eq!(e.ids, all.ids, "tokens identical across ablations");
+        assert_eq!(e.minhash.len(), all.minhash.len(), "feature width fixed");
+        assert_eq!(e.numeric.len(), all.numeric.len());
+    }
+}

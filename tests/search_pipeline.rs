@@ -1,0 +1,125 @@
+//! Integration tests for the search side: overlap indexes against lake
+//! benchmarks, the Fig.-6 ranking on ground-truth-friendly inputs, and the
+//! Eurostat invariance structure.
+
+use tabsketchfm::lake::{
+    gen_eurostat_subset, gen_join_search, JoinSearchConfig, World, WorldConfig,
+    EUROSTAT_VARIANTS,
+};
+use tabsketchfm::search::{evaluate_search, JosieIndex, MinHashLsh};
+use tabsketchfm::sketch::{content_snapshot, MinHasher};
+use tabsketchfm::table::hash::hash_str;
+
+#[test]
+fn josie_join_search_meets_gold() {
+    let world = World::generate(WorldConfig::default());
+    let bench = gen_join_search(
+        &world,
+        &JoinSearchConfig { groups: 4, tables_per_group: 6, low_overlap_per_group: 2, distractors: 10, seed: 3 },
+    );
+    let keys = bench.key_column.as_ref().unwrap();
+    let mut index = JosieIndex::new();
+    let mut owner = Vec::new();
+    for (ti, t) in bench.tables.iter().enumerate() {
+        for c in &t.columns {
+            index.add(c.rendered_values().map(|v| hash_str(&v)));
+            owner.push(ti);
+        }
+    }
+    let k = 5;
+    let retrieved: Vec<Vec<usize>> = bench
+        .queries
+        .iter()
+        .map(|&q| {
+            let hashes: Vec<u64> = bench.tables[q].columns[keys[q]]
+                .rendered_values()
+                .map(|v| hash_str(&v))
+                .collect();
+            let mut seen = std::collections::BTreeSet::new();
+            let mut out = Vec::new();
+            for (cid, _) in index.top_k_overlap(hashes, k * 4) {
+                let t = owner[cid];
+                if t != q && seen.insert(t) {
+                    out.push(t);
+                    if out.len() == k {
+                        break;
+                    }
+                }
+            }
+            out
+        })
+        .collect();
+    let s = evaluate_search(&retrieved, &bench.gold, k);
+    assert!(
+        s.mean_precision > 0.8,
+        "exact overlap should dominate join search: {s:?}"
+    );
+}
+
+#[test]
+fn content_snapshot_lsh_finds_row_subsets() {
+    let world = World::generate(WorldConfig::default());
+    let bench = gen_eurostat_subset(&world, 6, 11);
+    let mh = MinHasher::new(128, 0);
+    let sigs: Vec<_> = bench.tables.iter().map(|t| content_snapshot(t, &mh, 10_000)).collect();
+    // 64 bands × 2 rows: collision probability 1−(1−J²)⁶⁴ ≈ 98% even for
+    // the 25%-row variant (J = 0.25); coarser bandings miss it.
+    let mut lsh = MinHashLsh::new(64, 2);
+    for s in &sigs {
+        lsh.add(s.clone());
+    }
+    // Row-subset variants (col_frac == 1.0, no shuffles) must rank high.
+    let row_subset_offsets: Vec<usize> = EUROSTAT_VARIANTS
+        .iter()
+        .enumerate()
+        .filter(|(_, (rf, cf, sr, sc))| *cf == 1.0 && *rf < 1.0 && !sr && !sc)
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(row_subset_offsets.len(), 3, "Fig-7 recipe has 3 row-only subsets");
+    let mut found = 0usize;
+    let mut total = 0usize;
+    for &q in &bench.queries {
+        let hits: std::collections::BTreeSet<usize> =
+            lsh.search(&sigs[q], 12).into_iter().map(|(id, _)| id).collect();
+        for &off in &row_subset_offsets {
+            total += 1;
+            if hits.contains(&(q + 1 + off)) {
+                found += 1;
+            }
+        }
+    }
+    assert!(
+        found * 10 >= total * 8,
+        "row subsets share rows with the base table: {found}/{total}"
+    );
+}
+
+#[test]
+fn eurostat_shuffled_row_variant_has_identical_snapshot() {
+    // §III-A: the content snapshot is a set of row strings, so the
+    // row-shuffled variant is indistinguishable — §IV-C3's invariance.
+    let world = World::generate(WorldConfig::default());
+    let bench = gen_eurostat_subset(&world, 3, 17);
+    let mh = MinHasher::new(64, 0);
+    let row_shuffle_off = EUROSTAT_VARIANTS
+        .iter()
+        .position(|(_, _, sr, _)| *sr)
+        .expect("row shuffle variant");
+    for &q in &bench.queries {
+        let base = content_snapshot(&bench.tables[q], &mh, 10_000);
+        let shuffled = content_snapshot(&bench.tables[q + 1 + row_shuffle_off], &mh, 10_000);
+        assert_eq!(base, shuffled);
+    }
+}
+
+#[test]
+fn weighted_f1_matches_manual_computation() {
+    // Cross-check the Table II metric against a hand-computed case.
+    let pred = vec![1, 1, 0, 0, 1];
+    let gold = vec![1, 0, 0, 0, 1];
+    // class 1: tp=2 fp=1 fn=0 → P=2/3 R=1 F1=0.8 support 2
+    // class 0: tp=2 fp=0 fn=1 → P=1 R=2/3 F1=0.8 support 3
+    let expect = (0.8 * 2.0 + 0.8 * 3.0) / 5.0;
+    let got = tabsketchfm::search::weighted_f1(&pred, &gold);
+    assert!((got - expect).abs() < 1e-9, "{got} vs {expect}");
+}

@@ -411,7 +411,7 @@ mod tests {
         use rand::rngs::StdRng;
         use rand::{Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(42);
-        let mut filler = |i: usize, side: char, rng: &mut StdRng| -> Vec<String> {
+        let filler = |i: usize, side: char, rng: &mut StdRng| -> Vec<String> {
             (0..5).map(|j| format!("f{side}{i}x{}", rng.gen_range(0..9) + j)).collect()
         };
         let mut tables = Vec::new();

@@ -1,7 +1,7 @@
 //! Fig. 3: whole-column masking + MLM-probability masking, showing the up
 //! to five examples generated from a single table.
 //!
-//! `cargo run --release -p tsfm-bench --bin exp_fig3`
+//! `cargo run --release -p tsfm_bench --bin exp_fig3`
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -4,7 +4,7 @@
 //! SBERT value embeddings, as in the paper ("all models shown include
 //! value embeddings for maximal generalization").
 //!
-//! `cargo run --release -p tsfm-bench --bin exp_fig8`
+//! `cargo run --release -p tsfm_bench --bin exp_fig8`
 
 use tsfm_baselines::SentenceEncoder;
 use tsfm_bench::searchexp::{

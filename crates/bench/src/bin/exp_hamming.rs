@@ -4,7 +4,7 @@
 //! sufficient information to discriminate those examples" — explaining why
 //! value-aware TaBERT beats TabSketchFM on Wiki Union.
 //!
-//! `cargo run --release -p tsfm-bench --bin exp_hamming`
+//! `cargo run --release -p tsfm_bench --bin exp_hamming`
 
 use tsfm_bench::Scale;
 use tsfm_core::finetune::Label;

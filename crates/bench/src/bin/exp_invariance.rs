@@ -3,7 +3,7 @@
 //! (Paper: TabSketchFM returns 3072/3072 row-shuffled and 3059/3072
 //! column-shuffled variants; SBERT 91% / 100%.)
 //!
-//! `cargo run --release -p tsfm-bench --bin exp_invariance`
+//! `cargo run --release -p tsfm_bench --bin exp_invariance`
 
 use tsfm_baselines::SentenceEncoder;
 use tsfm_bench::searchexp::{

@@ -1,6 +1,6 @@
 //! Table I: cardinality of every dataset (synthetic analogues).
 //!
-//! `cargo run --release -p tsfm-bench --bin exp_table1`
+//! `cargo run --release -p tsfm_bench --bin exp_table1`
 
 use tsfm_bench::Scale;
 use tsfm_lake::{

@@ -2,7 +2,7 @@
 //! systems on all eight LakeBench-style tasks, averaged over seeds
 //! (weighted F1 for classification, R² for regression).
 //!
-//! `cargo run --release -p tsfm-bench --bin exp_table2`
+//! `cargo run --release -p tsfm_bench --bin exp_table2`
 //! Scale via `TSFM_PAIRS`, `TSFM_SEEDS`, `TSFM_EPOCHS`.
 
 use tsfm_bench::tasks::{mean_std, metadata_vocab, pretrain_checkpoint, run_system, System};

@@ -1,7 +1,7 @@
 //! Table III: only-one-sketch ablation (seed 0). TUS-SANTOS is skipped, as
 //! in the paper, because headers alone solve it.
 //!
-//! `cargo run --release -p tsfm-bench --bin exp_table3`
+//! `cargo run --release -p tsfm_bench --bin exp_table3`
 
 use tsfm_bench::tasks::{metadata_vocab, pretrain_checkpoint, run_system, System};
 use tsfm_bench::Scale;

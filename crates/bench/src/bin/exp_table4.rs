@@ -1,6 +1,6 @@
 //! Table IV: remove-one-sketch ablation (seed 0).
 //!
-//! `cargo run --release -p tsfm-bench --bin exp_table4`
+//! `cargo run --release -p tsfm_bench --bin exp_table4`
 
 use tsfm_bench::tasks::{metadata_vocab, pretrain_checkpoint, run_system, System};
 use tsfm_bench::Scale;

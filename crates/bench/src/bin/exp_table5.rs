@@ -1,7 +1,7 @@
 //! Table V + Fig. 4a: Wiki-Join search — mean F1 / P@10 / R@10 for the
 //! eight systems, plus the F1@k curve.
 //!
-//! `cargo run --release -p tsfm-bench --bin exp_table5`
+//! `cargo run --release -p tsfm_bench --bin exp_table5`
 
 use tsfm_baselines::column_encoders::ColumnEncoderConfig;
 use tsfm_baselines::textmodel::{

@@ -1,6 +1,6 @@
 //! Table VI + Fig. 4b: SANTOS-style union search.
 //!
-//! `cargo run --release -p tsfm-bench --bin exp_table6`
+//! `cargo run --release -p tsfm_bench --bin exp_table6`
 
 use tsfm_bench::unionexp::union_search_experiment;
 use tsfm_bench::Scale;

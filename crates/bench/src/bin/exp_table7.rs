@@ -1,6 +1,6 @@
 //! Table VII + Fig. 4c: TUS-style union search (larger clusters, k to 30).
 //!
-//! `cargo run --release -p tsfm-bench --bin exp_table7`
+//! `cargo run --release -p tsfm_bench --bin exp_table7`
 
 use tsfm_bench::unionexp::union_search_experiment;
 use tsfm_bench::Scale;

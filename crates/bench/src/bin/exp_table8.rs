@@ -1,7 +1,7 @@
 //! Table VIII + Fig. 4d: Eurostat-style subset search (Fig.-7 variant
 //! recipe; gold = the 11 variants of each query).
 //!
-//! `cargo run --release -p tsfm-bench --bin exp_table8`
+//! `cargo run --release -p tsfm_bench --bin exp_table8`
 
 use tsfm_baselines::textmodel::{
     build_vocab, train_text_model, Serialization, TextModelConfig, TextPairModel,

@@ -150,6 +150,7 @@ impl World {
             (0..cfg.homographs).map(|i| format!("{}{}", pseudo_word(&mut rng), i)).collect();
 
         let mut domains = Vec::new();
+        let mut used_entities: BTreeSet<String> = BTreeSet::new();
         for topic in 0..cfg.topics {
             for d in 0..cfg.domains_per_topic {
                 let id = domains.len();
@@ -159,13 +160,30 @@ impl World {
                 // entity, categorical, numeric(int), numeric(float), date, entity…
                 let kind = match d % 5 {
                     0 | 4 => {
-                        let mut values: Vec<String> = (0..cfg.entities_per_domain)
-                            .map(|i| {
+                        // Entity strings must be globally unique so that the
+                        // *only* surface strings shared across entity domains
+                        // are the deliberately planted homographs below.
+                        let mut values: Vec<String> = Vec::with_capacity(cfg.entities_per_domain);
+                        for i in 0..cfg.entities_per_domain {
+                            // Bounded retries: tiny word pools can exhaust the
+                            // "w1 w2" space, so fall back to a domain-id tag
+                            // that is unique by construction.
+                            let mut v = None;
+                            for _ in 0..64 {
                                 let w1 = &pool[rng.gen_range(0..pool.len())];
                                 let w2 = &pool[rng.gen_range(0..pool.len())];
-                                format!("{w1} {w2} {i:03}")
-                            })
-                            .collect();
+                                let cand = format!("{w1} {w2} {i:03}");
+                                if used_entities.insert(cand.clone()) {
+                                    v = Some(cand);
+                                    break;
+                                }
+                            }
+                            values.push(v.unwrap_or_else(|| {
+                                let cand = format!("{base} d{id} {i:03}");
+                                used_entities.insert(cand.clone());
+                                cand
+                            }));
+                        }
                         // Plant homographs into every entity domain.
                         for (hi, h) in homographs.iter().enumerate() {
                             let slot = (hi * 7 + id) % values.len();

@@ -83,5 +83,5 @@ fn main() {
         );
     }
     println!("\nFor the full eight-system comparison (Table V), run:");
-    println!("  cargo run --release -p tsfm-bench --bin exp_table5");
+    println!("  cargo run --release -p tsfm_bench --bin exp_table5");
 }

@@ -50,5 +50,5 @@ fn main() {
     println!("(column-shuffled variants change the content snapshot — §III-C — so");
     println!(" pure row-set matching misses them; the neural model closes that gap.)");
     println!("\nFor the model-based comparison (Table VIII), run:");
-    println!("  cargo run --release -p tsfm-bench --bin exp_table8");
+    println!("  cargo run --release -p tsfm_bench --bin exp_table8");
 }

@@ -64,6 +64,6 @@ fn main() {
         s.mean_recall
     );
     println!("\nFor the full comparisons (Tables VI/VII), run:");
-    println!("  cargo run --release -p tsfm-bench --bin exp_table6   # SANTOS-style");
-    println!("  cargo run --release -p tsfm-bench --bin exp_table7   # TUS-style");
+    println!("  cargo run --release -p tsfm_bench --bin exp_table6   # SANTOS-style");
+    println!("  cargo run --release -p tsfm_bench --bin exp_table7   # TUS-style");
 }

@@ -44,3 +44,107 @@ proptest! {
         let _ = table_from_csv("t", "t", &text);
     }
 }
+
+/// Deterministic edge cases backing the properties above: the degenerate
+/// inputs a data lake actually contains (empty exports, ragged rows,
+/// all-null columns) and the §III-B.4 first-ten-values inference rule.
+mod edge_cases {
+    use tabsketchfm::table::csv::{parse_records, table_from_csv, table_to_csv};
+    use tabsketchfm::table::{ColType, Value};
+
+    #[test]
+    fn empty_file_gives_empty_table() {
+        let t = table_from_csv("t", "t", "");
+        assert_eq!(t.num_cols(), 0);
+        assert_eq!(t.num_rows(), 0);
+        assert!(parse_records("").is_empty());
+    }
+
+    #[test]
+    fn header_only_gives_zero_row_string_columns() {
+        let t = table_from_csv("t", "t", "a,b,c\n");
+        assert_eq!(t.num_cols(), 3);
+        assert_eq!(t.num_rows(), 0);
+        for c in &t.columns {
+            assert_eq!(c.ty, ColType::Str, "no data to probe defaults to string");
+        }
+        // A zero-row table still round-trips its header.
+        let back = table_from_csv("t", "t", &table_to_csv(&t));
+        assert_eq!(back.num_cols(), 3);
+        assert_eq!(back.column(2).name, "c");
+    }
+
+    #[test]
+    fn ragged_rows_pad_with_nulls_and_drop_extras() {
+        // Row 1 is short (missing b), row 2 has a surplus field.
+        let t = table_from_csv("t", "t", "a,b\n1\n2,3,4\n");
+        assert_eq!(t.num_cols(), 2, "width comes from the header");
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.cell(0, 0), &Value::Int(1));
+        assert!(t.cell(0, 1).is_null(), "missing trailing field reads as null");
+        assert_eq!(t.cell(1, 1), &Value::Int(3));
+        assert_eq!(t.column(1).null_count(), 1);
+    }
+
+    #[test]
+    fn all_null_column_is_string_typed_and_fully_null() {
+        // Every null spelling the reader recognises, in one column.
+        let t = table_from_csv("t", "t", "x,y\n,1\nnan,2\nNULL,3\nn/a,4\n-,5\n");
+        assert_eq!(t.column(0).ty, ColType::Str, "no non-null cell to probe");
+        assert_eq!(t.column(0).null_count(), 5);
+        assert!(t.column(0).values.iter().all(|v| v.is_null()));
+        // The neighbouring column is unaffected.
+        assert_eq!(t.column(1).ty, ColType::Int);
+        assert_eq!(t.column(1).null_count(), 0);
+    }
+
+    #[test]
+    fn date_and_number_inference() {
+        let csv = "iso,slash,stamp,int,float,mixed,text\n\
+                   2001-01-31,31/12/2001,2001-01-01T12:30:00Z,42,0.5,1,alpha\n\
+                   1999-06-30,01/02/2002,1999-06-30 08:00:15,-7,-2.25,2.5,beta\n";
+        let t = table_from_csv("t", "t", csv);
+        assert_eq!(t.column_by_name("iso").unwrap().ty, ColType::Date);
+        assert_eq!(t.column_by_name("slash").unwrap().ty, ColType::Date);
+        assert_eq!(t.column_by_name("stamp").unwrap().ty, ColType::Date);
+        assert_eq!(t.column_by_name("int").unwrap().ty, ColType::Int);
+        assert_eq!(t.column_by_name("float").unwrap().ty, ColType::Float);
+        // An integer-looking cell above a decimal one demotes the column to
+        // float (the date → int → float → str fallback order).
+        assert_eq!(t.column_by_name("mixed").unwrap().ty, ColType::Float);
+        assert_eq!(t.column_by_name("text").unwrap().ty, ColType::Str);
+        assert!(matches!(t.cell(0, 0), Value::Date(_)));
+        assert_eq!(t.cell(1, 3), &Value::Int(-7));
+        assert_eq!(t.cell(1, 4), &Value::Float(-2.25));
+    }
+
+    #[test]
+    fn inference_probes_only_first_ten_non_null_values() {
+        // Ten clean integers followed by a word: the paper's rule stops
+        // probing after ten values, so the column stays Int and the word
+        // falls back to a string cell rather than retyping the column.
+        let mut csv = String::from("x\n");
+        for i in 0..10 {
+            csv.push_str(&format!("{i}\n"));
+        }
+        csv.push_str("oops\n");
+        let t = table_from_csv("t", "t", &csv);
+        assert_eq!(t.column(0).ty, ColType::Int);
+        assert_eq!(t.cell(10, 0), &Value::Str("oops".into()));
+        // Nulls do not consume probe slots: ten nulls then a word is Str.
+        let t2 = table_from_csv("t", "t", &format!("x\n{}oops\n", "\n".repeat(10)));
+        assert_eq!(t2.column(0).ty, ColType::Str);
+    }
+
+    #[test]
+    fn quoted_fields_survive_typed_round_trip() {
+        let src = "k,v\n\"1,234\",\"line\nbreak\"\n2,\"say \"\"hi\"\"\"\n";
+        let t = table_from_csv("t", "t", src);
+        // "1,234" is a thousands-separated integer per the value parser.
+        assert_eq!(t.column(0).ty, ColType::Int);
+        assert_eq!(t.cell(0, 0), &Value::Int(1234));
+        let back = table_from_csv("t", "t", &table_to_csv(&t));
+        assert_eq!(back.cell(0, 1), &Value::Str("line\nbreak".into()));
+        assert_eq!(back.cell(1, 1), &Value::Str("say \"hi\"".into()));
+    }
+}

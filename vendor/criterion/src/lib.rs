@@ -1,0 +1,163 @@
+//! Offline shim for the `criterion` crate (see `vendor/README.md`).
+//!
+//! Provides the subset of the criterion 0.5 API this workspace's benches
+//! use, with a small calibrated measurement loop instead of criterion's
+//! statistical machinery. Prints `name ... median ns/iter` lines.
+//!
+//! Honours two environment variables:
+//! * `TSFM_BENCH_FAST=1` — single quick sample per bench (used to smoke-run
+//!   benches in CI without waiting for calibration).
+//! * `TSFM_BENCH_FILTER=substr` — run only benches whose id contains the
+//!   substring (mirrors `cargo bench -- substr`, which is also supported).
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// The measurement driver handed to bench closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over this sample's iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn fast_mode() -> bool {
+    std::env::var("TSFM_BENCH_FAST").map(|v| v == "1").unwrap_or(false)
+}
+
+fn filter() -> Option<String> {
+    if let Ok(f) = std::env::var("TSFM_BENCH_FILTER") {
+        return Some(f);
+    }
+    // `cargo bench -- substr` passes the substring as a CLI argument.
+    std::env::args().skip(1).find(|a| !a.starts_with('-'))
+}
+
+fn run_one(id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    if let Some(pat) = filter() {
+        if !id.contains(&pat) {
+            return;
+        }
+    }
+    // Calibrate: grow the iteration count until one sample takes ≥ ~5 ms
+    // (one iteration in fast mode), then take several samples.
+    let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+    let (samples, target) = if fast_mode() {
+        (1usize, Duration::ZERO)
+    } else {
+        (7usize, Duration::from_millis(5))
+    };
+    loop {
+        f(&mut b);
+        if b.elapsed >= target || b.iters >= 1 << 30 {
+            break;
+        }
+        let grow = if b.elapsed.is_zero() {
+            100
+        } else {
+            (target.as_nanos() / b.elapsed.as_nanos().max(1) + 1) as u64
+        };
+        b.iters = (b.iters * grow.clamp(2, 100)).min(1 << 30);
+    }
+    let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        f(&mut b);
+        per_iter.push(b.elapsed.as_nanos() as f64 / b.iters as f64);
+    }
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter[per_iter.len() / 2];
+    println!("bench: {id:<50} {median:>14.1} ns/iter ({} iters/sample)", b.iters);
+}
+
+/// Entry point type; one per `criterion_group!`.
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(id, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self, name: name.into() }
+    }
+}
+
+/// A named cluster of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        run_one(&full, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&full, &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Groups bench functions under one runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` running each group, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

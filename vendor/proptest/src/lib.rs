@@ -1,0 +1,204 @@
+//! Offline shim for the `proptest` crate (see `vendor/README.md`).
+//!
+//! Implements the subset this workspace uses: the [`proptest!`] macro with an
+//! optional `#![proptest_config(...)]` header, the `prop_assert!` family, and
+//! strategies for numeric ranges, regex-lite string patterns, and
+//! [`collection::vec`]. Failing cases are greedily shrunk before reporting.
+//!
+//! Each property runs `config.cases` random cases from a deterministic seed
+//! derived from the property's name, so failures reproduce across runs.
+
+pub mod strategy;
+
+pub mod collection {
+    use crate::strategy::{Strategy, VecStrategy};
+    use std::ops::Range;
+
+    /// `proptest::collection::vec(element, size_range)`: vectors whose length
+    /// is drawn from `sizes` and whose elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, sizes: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, sizes }
+    }
+}
+
+pub mod test_runner {
+    pub use crate::strategy::TestRng;
+
+    /// Runtime knobs for a `proptest!` block. Only `cases` and
+    /// `max_shrink_iters` are honoured by the shim; the rest exist for
+    /// source compatibility with upstream proptest.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+        pub max_shrink_iters: u32,
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256, max_shrink_iters: 1024, max_global_rejects: 65536 }
+        }
+    }
+
+    /// Deterministic per-property RNG: every run of the same property sees
+    /// the same case sequence.
+    pub fn rng_for(name: &str, case: u32) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng::seed(h ^ (((case as u64) << 32) | 0x9e37_79b9))
+    }
+
+    /// A failed property case, carrying the assertion message.
+    #[derive(Debug)]
+    pub struct TestCaseError(pub String);
+
+    pub type TestCaseResult = Result<(), TestCaseError>;
+}
+
+pub mod prelude {
+    pub use crate::prop_assert;
+    pub use crate::prop_assert_eq;
+    pub use crate::prop_assert_ne;
+    pub use crate::proptest;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+}
+
+/// Like `assert!` but reports through the proptest runner (so the failing
+/// case is shrunk and its inputs printed before the panic).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)*)),
+            ));
+        }
+    };
+}
+
+/// `assert_eq!` counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(*__l == *__r, "{:?} != {:?}", __l, __r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(*__l == *__r, "{:?} != {:?}: {}", __l, __r, format!($($fmt)*));
+    }};
+}
+
+/// `assert_ne!` counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(*__l != *__r, "{:?} == {:?}", __l, __r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(*__l != *__r, "{:?} == {:?}: {}", __l, __r, format!($($fmt)*));
+    }};
+}
+
+/// Declares property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs `config.cases` random cases; a failing case
+/// is greedily shrunk and reported with its inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$attr:meta])*
+      fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            for __case_idx in 0..__config.cases {
+                let mut __rng = $crate::test_runner::rng_for(stringify!($name), __case_idx);
+                // Values live in RefCells so the runner closure can read the
+                // *current* values (also during shrinking) without taking
+                // parameters, whose types a closure cannot infer.
+                $(let $arg = ::std::cell::RefCell::new(
+                    $crate::strategy::Strategy::generate(&$strat, &mut __rng),
+                );)+
+                let __run = || -> $crate::test_runner::TestCaseResult {
+                    $(let $arg = ::std::clone::Clone::clone(&*$arg.borrow());)+
+                    $body
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::Ok(())
+                };
+                let __first_err = match __run() {
+                    ::std::result::Result::Ok(()) => continue,
+                    ::std::result::Result::Err(e) => e,
+                };
+                // Greedy shrink: repeatedly try simpler values slot by slot,
+                // keeping any candidate that still fails.
+                let mut __budget = __config.max_shrink_iters;
+                let mut __made_progress = true;
+                while __made_progress && __budget > 0 {
+                    __made_progress = false;
+                    $crate::__shrink_each! {
+                        __run, __budget, __made_progress, ($($strat => $arg),+)
+                    }
+                }
+                let __msg = __run().err().unwrap_or(__first_err).0;
+                panic!(
+                    "proptest property {} failed (case {} of {}): {}\n  minimal failing input: {:#?}",
+                    stringify!($name), __case_idx + 1, __config.cases, __msg,
+                    ($(&*$arg.borrow(),)+)
+                );
+            }
+        }
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+}
+
+/// Shrinks one slot at a time while re-running the full case (the runner
+/// closure reads the RefCell-held current values).
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __shrink_each {
+    ($run:ident, $budget:ident, $progress:ident, ()) => {};
+    ($run:ident, $budget:ident, $progress:ident,
+     ($strat:expr => $cur:ident $(, $rstrat:expr => $rcur:ident)* $(,)?)) => {
+        {
+            let __cands = $crate::strategy::Strategy::shrink(&$strat, &*$cur.borrow());
+            for __cand in __cands {
+                if $budget == 0 { break; }
+                $budget -= 1;
+                let __saved = $cur.replace(__cand);
+                if $run().is_err() {
+                    $progress = true;
+                    break;
+                }
+                $cur.replace(__saved);
+            }
+        }
+        $crate::__shrink_each! { $run, $budget, $progress, ($($rstrat => $rcur),*) }
+    };
+}

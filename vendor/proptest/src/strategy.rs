@@ -1,0 +1,385 @@
+//! Value-generation strategies for the proptest shim.
+//!
+//! A [`Strategy`] produces random values and can propose *shrink
+//! candidates*: simpler variants of a failing value that the runner tries in
+//! order to minimise counterexamples.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Debug;
+use std::ops::Range;
+
+/// The RNG handed to strategies. Wraps the (shimmed) `StdRng`.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    pub fn seed(s: u64) -> Self {
+        TestRng(StdRng::seed_from_u64(s))
+    }
+
+    /// Uniform integer in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: usize) -> usize {
+        self.0.gen_range(0..n)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        self.0.gen_range(0.0..1.0)
+    }
+}
+
+/// A generator of random test inputs plus a shrinking rule.
+pub trait Strategy {
+    type Value: Clone + Debug;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Simpler variants of `value` to try when a case fails, most aggressive
+    /// first. Returning an empty vec disables shrinking for this strategy.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.0.gen_range(0u64..span as u64)) as i128;
+                (self.start as i128 + off) as $t
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let mut out = Vec::new();
+                if *value != self.start {
+                    out.push(self.start);
+                    let mid = (self.start as i128 + (*value as i128 - self.start as i128) / 2) as $t;
+                    if mid != self.start && mid != *value {
+                        out.push(mid);
+                    }
+                    let pred = (*value as i128 - 1) as $t;
+                    if pred != self.start {
+                        out.push(pred);
+                    }
+                }
+                out
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                self.start + (self.end - self.start) * rng.unit_f64() as $t
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let mut out = Vec::new();
+                // Prefer zero when the range allows it, else the range start.
+                let anchor: $t = if self.start <= 0.0 && 0.0 < self.end { 0.0 } else { self.start };
+                if *value != anchor {
+                    out.push(anchor);
+                    let mid = anchor + (*value - anchor) / 2.0;
+                    if mid != anchor && mid != *value {
+                        out.push(mid);
+                    }
+                }
+                out
+            }
+        }
+    )*};
+}
+
+impl_float_strategy!(f32, f64);
+
+/// Regex-lite string strategy: `&str` patterns like `".{0,20}"` or
+/// `"[a-z0-9]{1,12}"` act as generators for matching strings.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let n = atom.min + rng.below(atom.max - atom.min + 1);
+            for _ in 0..n {
+                out.push(atom.class.pick(rng));
+            }
+        }
+        out
+    }
+
+    fn shrink(&self, value: &String) -> Vec<String> {
+        let atoms = parse_pattern(self);
+        // Only single-atom patterns (all that this workspace uses) shrink by
+        // dropping characters; multi-atom patterns would need match tracking.
+        if atoms.len() != 1 || value.chars().count() <= atoms[0].min {
+            return Vec::new();
+        }
+        let min = atoms[0].min;
+        let chars: Vec<char> = value.chars().collect();
+        let mut out = Vec::new();
+        if min == 0 && !value.is_empty() {
+            out.push(String::new());
+        }
+        let half: String = chars[..(chars.len() / 2).max(min)].iter().collect();
+        if half.len() < value.len() {
+            out.push(half);
+        }
+        let butlast: String = chars[..chars.len() - 1].iter().collect();
+        out.push(butlast);
+        out.dedup();
+        out
+    }
+}
+
+/// Strategy for `proptest::collection::vec(element, sizes)`.
+pub struct VecStrategy<S: Strategy> {
+    pub element: S,
+    pub sizes: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        assert!(self.sizes.start < self.sizes.end, "empty vec size range");
+        let n = self.sizes.start + rng.below(self.sizes.end - self.sizes.start);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+
+    fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let min = self.sizes.start;
+        let mut out = Vec::new();
+        // Structural shrinks: shorter vectors first.
+        if value.len() > min {
+            out.push(value[..min].to_vec());
+            let half = (value.len() / 2).max(min);
+            if half < value.len() && half > min {
+                out.push(value[..half].to_vec());
+            }
+            out.push(value[..value.len() - 1].to_vec());
+        }
+        // Element-wise shrinks: simplify one position at a time. All of an
+        // element's candidates are offered — the greedy runner needs the
+        // later (less aggressive) ones when the aggressive ones pass.
+        for (i, v) in value.iter().enumerate() {
+            for cand in self.element.shrink(v) {
+                let mut next = value.clone();
+                next[i] = cand;
+                out.push(next);
+            }
+        }
+        out
+    }
+}
+
+/// One `<class><repetition>` unit of a regex-lite pattern.
+struct Atom {
+    class: CharClass,
+    min: usize,
+    max: usize,
+}
+
+enum CharClass {
+    /// `.` — any char drawn from a pool that includes CSV-hostile content
+    /// (commas, quotes, newlines, unicode) to exercise edge cases.
+    Any,
+    /// `[...]` — an explicit set, e.g. `[a-z0-9]`.
+    Set(Vec<char>),
+    /// A literal character.
+    Lit(char),
+}
+
+impl CharClass {
+    fn pick(&self, rng: &mut TestRng) -> char {
+        const ANY_POOL: &[char] = &[
+            'a', 'b', 'c', 'x', 'y', 'z', 'A', 'Z', '0', '1', '9', ' ', ',', '"', '\'', '\n',
+            '\r', '\t', ';', ':', '.', '-', '_', '/', '\\', '(', ')', '{', '}', '|', '#', '%',
+            'é', 'ß', '日', '本', '語', '→', '🦀', '½', 'Ω', '\u{200b}',
+        ];
+        match self {
+            CharClass::Any => ANY_POOL[rng.below(ANY_POOL.len())],
+            CharClass::Set(chars) => chars[rng.below(chars.len())],
+            CharClass::Lit(c) => *c,
+        }
+    }
+}
+
+/// Parse the regex subset used as string strategies: literals, `.`,
+/// `[sets]` (with `a-z` ranges), and `{m}`/`{m,n}`/`*`/`+`/`?` repetition.
+fn parse_pattern(pat: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut i = 0;
+    let mut atoms = Vec::new();
+    while i < chars.len() {
+        let class = match chars[i] {
+            '.' => {
+                i += 1;
+                CharClass::Any
+            }
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unclosed [ in pattern {pat:?}"));
+                let mut set = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (lo, hi) = (chars[j], chars[j + 2]);
+                        assert!(lo <= hi, "bad range {lo}-{hi} in pattern {pat:?}");
+                        for c in lo..=hi {
+                            set.push(c);
+                        }
+                        j += 3;
+                    } else {
+                        set.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                assert!(!set.is_empty(), "empty [] in pattern {pat:?}");
+                i = close + 1;
+                CharClass::Set(set)
+            }
+            '\\' => {
+                assert!(i + 1 < chars.len(), "dangling \\ in pattern {pat:?}");
+                i += 2;
+                CharClass::Lit(chars[i - 1])
+            }
+            c => {
+                i += 1;
+                CharClass::Lit(c)
+            }
+        };
+        let (min, max) = if i < chars.len() {
+            match chars[i] {
+                '{' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .map(|p| i + p)
+                        .unwrap_or_else(|| panic!("unclosed {{ in pattern {pat:?}"));
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match body.split_once(',') {
+                        Some((m, n)) => (
+                            m.trim().parse().expect("bad {m,n}"),
+                            n.trim().parse().expect("bad {m,n}"),
+                        ),
+                        None => {
+                            let m: usize = body.trim().parse().expect("bad {m}");
+                            (m, m)
+                        }
+                    }
+                }
+                '*' => {
+                    i += 1;
+                    (0, 8)
+                }
+                '+' => {
+                    i += 1;
+                    (1, 8)
+                }
+                '?' => {
+                    i += 1;
+                    (0, 1)
+                }
+                _ => (1, 1),
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "bad repetition {{{min},{max}}} in pattern {pat:?}");
+        atoms.push(Atom { class, min, max });
+    }
+    atoms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::seed(1)
+    }
+
+    #[test]
+    fn int_range_in_bounds() {
+        let s = 3i64..17;
+        let mut r = rng();
+        for _ in 0..200 {
+            let v = s.generate(&mut r);
+            assert!((3..17).contains(&v));
+        }
+    }
+
+    #[test]
+    fn int_shrink_moves_toward_start() {
+        let s = 0usize..100;
+        for cand in s.shrink(&40) {
+            assert!(cand < 40);
+        }
+        assert!(s.shrink(&0).is_empty());
+    }
+
+    #[test]
+    fn string_pattern_lengths_and_alphabet() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let v = "[a-z0-9]{1,12}".generate(&mut r);
+            let n = v.chars().count();
+            assert!((1..=12).contains(&n), "bad len {n}");
+            assert!(v.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+        for _ in 0..100 {
+            let v = ".{0,20}".generate(&mut r);
+            assert!(v.chars().count() <= 20);
+        }
+    }
+
+    #[test]
+    fn string_shrink_respects_min_len() {
+        let s = "[a-z]{2,5}";
+        let v = "abcde".to_string();
+        for cand in s.shrink(&v) {
+            assert!(cand.chars().count() >= 2, "shrunk below min: {cand:?}");
+            assert!(cand.len() < v.len());
+        }
+    }
+
+    #[test]
+    fn vec_strategy_sizes() {
+        let s = crate::collection::vec(0u8..5, 2..6);
+        let mut r = rng();
+        for _ in 0..100 {
+            let v = s.generate(&mut r);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+        for cand in s.shrink(&vec![4, 4, 4, 4, 4]) {
+            assert!(cand.len() >= 2);
+        }
+    }
+
+    #[test]
+    fn literal_and_escape_atoms() {
+        let mut r = rng();
+        assert_eq!("abc".generate(&mut r), "abc");
+        assert_eq!("a\\.b".generate(&mut r), "a.b");
+        let v = "x+".generate(&mut r);
+        assert!(!v.is_empty() && v.chars().all(|c| c == 'x'));
+    }
+}

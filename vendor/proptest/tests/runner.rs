@@ -1,0 +1,73 @@
+//! Self-tests for the proptest shim's runner: failing properties must
+//! actually fail (no vacuous green), inputs must shrink, and passing
+//! properties must see the whole configured case count.
+
+use proptest::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+static CASES_SEEN: AtomicU32 = AtomicU32::new(0);
+
+#[test]
+fn runner_executes_configured_case_count() {
+    // Declared here (not registered with the harness) so no parallel
+    // harness thread races on CASES_SEEN.
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 40, ..ProptestConfig::default() })]
+
+        #[allow(dead_code)]
+        fn counts_every_case(_x in 0u32..1000) {
+            CASES_SEEN.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+    CASES_SEEN.store(0, Ordering::SeqCst);
+    counts_every_case();
+    assert_eq!(CASES_SEEN.load(Ordering::SeqCst), 40);
+}
+
+#[test]
+fn failing_property_panics_with_shrunk_input() {
+    // Declared inside a passing #[test] so the failing property is invoked
+    // under catch_unwind rather than registered with the harness.
+    proptest! {
+        #[allow(dead_code)]
+        fn must_fail(v in proptest::collection::vec(0u32..1000, 1..30)) {
+            prop_assert!(v.iter().sum::<u32>() < 50, "sum too large");
+        }
+    }
+    let err = catch_unwind(AssertUnwindSafe(must_fail)).expect_err("property must fail");
+    let msg = err.downcast_ref::<String>().expect("panic carries a String");
+    assert!(msg.contains("sum too large"), "assertion message surfaced: {msg}");
+    // Greedy shrinking drives the counterexample to a single element just
+    // over the threshold — well below a random 30-element vector.
+    let digits: String =
+        msg.chars().skip_while(|c| *c != '[').take_while(|c| *c != ']').collect();
+    let total: u32 = digits
+        .trim_start_matches('[')
+        .split(',')
+        .filter_map(|t| t.trim().parse::<u32>().ok())
+        .sum();
+    assert!(total < 200, "shrunk sum should approach the 50 threshold, got {total} ({msg})");
+}
+
+#[test]
+fn prop_assert_eq_reports_both_sides() {
+    proptest! {
+        #[allow(dead_code)]
+        fn eq_fails(x in 5u8..6) {
+            prop_assert_eq!(x, 7u8);
+        }
+    }
+    let err = catch_unwind(AssertUnwindSafe(eq_fails)).expect_err("must fail");
+    let msg = err.downcast_ref::<String>().expect("panic carries a String");
+    assert!(msg.contains('5') && msg.contains('7'), "{msg}");
+}
+
+proptest! {
+    /// Multi-argument properties see independently drawn values.
+    #[test]
+    fn multi_arg_independence(a in 0u64..1000, b in 0u64..1000, s in "[a-z]{1,8}") {
+        prop_assert!(a < 1000 && b < 1000);
+        prop_assert!((1..=8).contains(&s.len()));
+    }
+}

@@ -1,0 +1,137 @@
+//! Criterion benches for the persistent catalog: ingest throughput
+//! (tables/sec) and the cold-open + first-query latency that the on-disk
+//! index cache is designed to amortize, at 1k and 10k synthetic tables.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+use tsfm_lake::{gen_pretrain_corpus, World, WorldConfig};
+use tsfm_sketch::SketchConfig;
+use tsfm_store::Catalog;
+use tsfm_table::hash::hash_str;
+use tsfm_table::Table;
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir()
+        .join(format!("tsfm_store_bench_{tag}_{}_{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn corpus(n: usize) -> Vec<Table> {
+    let world = World::generate(WorldConfig::default());
+    gen_pretrain_corpus(&world, n, 17)
+}
+
+/// Build a populated, committed catalog (indexes not yet built).
+fn populate(tables: &[Table], tag: &str) -> (PathBuf, Catalog) {
+    let dir = fresh_dir(tag);
+    let mut cat = Catalog::open(&dir).expect("open");
+    for t in tables {
+        cat.add_table(t, hash_str(&t.id)).expect("add");
+    }
+    cat.commit().expect("commit");
+    (dir, cat)
+}
+
+fn bench_catalog(c: &mut Criterion) {
+    // 10k tables stresses segment-file throughput and graph build; trim it
+    // in fast/smoke runs via TSFM_BENCH_FILTER=1k.
+    for &n in &[1_000usize, 10_000] {
+        let tables = corpus(n);
+        let mut group = c.benchmark_group("store");
+
+        // Ingest throughput: sketches + segment writes, manifest at the end.
+        // Reported ns/iter covers the whole corpus → tables/sec = n/1e-9·t.
+        group.bench_with_input(BenchmarkId::new("ingest_tables", n), &tables, |b, tables| {
+            b.iter(|| {
+                let dir = fresh_dir("ingest");
+                let mut cat = Catalog::open(&dir).expect("open");
+                for t in tables {
+                    cat.add_table(t, hash_str(&t.id)).expect("add");
+                }
+                cat.commit().expect("commit");
+                let len = cat.len();
+                drop(cat);
+                let _ = std::fs::remove_dir_all(&dir);
+                len
+            })
+        });
+
+        // Incremental re-ingest of an unchanged corpus: pure hash checks.
+        let (_dir_noop, mut noop_cat) = populate(&tables, "noop");
+        group.bench_with_input(BenchmarkId::new("reingest_noop", n), &tables, |b, tables| {
+            b.iter(|| {
+                let mut unchanged = 0;
+                for t in tables {
+                    if noop_cat.add_table(t, hash_str(&t.id)).expect("add")
+                        == tsfm_store::IngestOutcome::Unchanged
+                    {
+                        unchanged += 1;
+                    }
+                }
+                unchanged
+            })
+        });
+
+        // Cold open + first query, index built from records (no cache).
+        let query = &tables[0];
+        let (cold_dir, _) = populate(&tables, "cold");
+        group.bench_with_input(BenchmarkId::new("cold_first_query", n), query, |b, q| {
+            b.iter(|| {
+                // Remove any cache a previous iteration wrote.
+                let _ = std::fs::remove_file(cold_dir.join("index.cache"));
+                let mut cat = Catalog::open(&cold_dir).expect("open");
+                cat.query_join(q, 10).expect("query").len()
+            })
+        });
+
+        // Cold open + first query with a warm on-disk index cache.
+        let (warm_dir, mut warm_cat) = populate(&tables, "warm");
+        warm_cat.query_join(query, 10).expect("build + cache index");
+        warm_cat.commit().expect("commit");
+        drop(warm_cat);
+        group.bench_with_input(BenchmarkId::new("cached_first_query", n), query, |b, q| {
+            b.iter(|| {
+                let mut cat = Catalog::open(&warm_dir).expect("open");
+                cat.query_join(q, 10).expect("query").len()
+            })
+        });
+
+        group.finish();
+
+        // One-shot headline number outside the measurement loop.
+        let t0 = Instant::now();
+        let dir = fresh_dir("rate");
+        let mut cat = Catalog::open(&dir).expect("open");
+        for t in &tables {
+            cat.add_table(t, hash_str(&t.id)).expect("add");
+        }
+        cat.commit().expect("commit");
+        let secs = t0.elapsed().as_secs_f64();
+        println!("store: ingest rate at n={n}: {:.0} tables/sec", n as f64 / secs);
+        drop(cat);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+fn bench_sketch_only(c: &mut Criterion) {
+    // Baseline: sketching without any persistence, to separate sketch cost
+    // from segment I/O in the ingest numbers above.
+    let tables = corpus(1_000);
+    let cfg = SketchConfig::default();
+    c.bench_function("store/sketch_only_1000", |b| {
+        b.iter(|| {
+            tables
+                .iter()
+                .map(|t| tsfm_sketch::TableSketch::build(t, &cfg).num_cols())
+                .sum::<usize>()
+        })
+    });
+}
+
+criterion_group!(benches, bench_catalog, bench_sketch_only);
+criterion_main!(benches);

@@ -138,7 +138,7 @@ pub fn union_search_experiment(tus: bool, scale: &Scale) {
     curves.push(("SBERT".into(), r));
 
     // TabSketchFM fine-tuned on the union task, column embeddings + Fig-6.
-    let model = finetuned_model_for_search(&task, &bench.tables, &vocab, &scale, SketchToggle::ALL, 0);
+    let model = finetuned_model_for_search(&task, &bench.tables, &vocab, scale, SketchToggle::ALL, 0);
     let tsfm_space = tabsketchfm_columns(&model, &bench.tables, &vocab);
     let r = fig6_search(&tsfm_space, &bench, kmax);
     print_search_row("TabSketchFM", &r, &bench.gold, k);

@@ -115,6 +115,8 @@ mod tests {
     use super::*;
 
     #[test]
+    // The toggles are consts; asserting their fields is the whole point.
+    #[allow(clippy::assertions_on_constants)]
     fn toggles() {
         assert!(SketchToggle::ALL.minhash && SketchToggle::ALL.numeric && SketchToggle::ALL.content);
         assert!(!SketchToggle::ONLY_MINHASH.numeric);

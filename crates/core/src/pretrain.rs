@@ -101,6 +101,8 @@ pub fn mlm_examples<R: Rng>(
             seq.ids[i] = MASK;
         }
         // Description tokens: everything before the first [SEP] except CLS.
+        // (Index loop: the body mutates `seq.ids` while reading it.)
+        #[allow(clippy::needless_range_loop)]
         for i in 0..seq.len() {
             if seq.ids[i] == SEP {
                 break;

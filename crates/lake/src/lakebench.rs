@@ -625,7 +625,7 @@ mod tests {
             match l {
                 Label::MultiHot(v) => {
                     assert_eq!(v.len(), 6);
-                    assert!(v.iter().any(|&x| x == 1.0), "at least one join column");
+                    assert!(v.contains(&1.0), "at least one join column");
                 }
                 other => panic!("{other:?}"),
             }

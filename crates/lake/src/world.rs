@@ -151,10 +151,9 @@ impl World {
 
         let mut domains = Vec::new();
         let mut used_entities: BTreeSet<String> = BTreeSet::new();
-        for topic in 0..cfg.topics {
+        for (topic, pool) in topic_words.iter().enumerate().take(cfg.topics) {
             for d in 0..cfg.domains_per_topic {
                 let id = domains.len();
-                let pool = &topic_words[topic];
                 let base = pool[d % pool.len()].clone();
                 // Rotate through kinds so every topic gets a mix:
                 // entity, categorical, numeric(int), numeric(float), date, entity…

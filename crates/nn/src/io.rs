@@ -46,6 +46,11 @@ pub fn read_checkpoint(path: &Path) -> io::Result<Vec<(String, Tensor)>> {
         return Err(bad("not a TSFM checkpoint"));
     }
     let count = read_u32(&mut r)? as usize;
+    if count > 1 << 20 {
+        // Bound before allocating: a garbled count must error, not abort
+        // the process with an absurd `with_capacity`.
+        return Err(bad("unreasonable parameter count"));
+    }
     let mut out = Vec::with_capacity(count);
     for _ in 0..count {
         let name_len = read_u32(&mut r)? as usize;
@@ -63,10 +68,11 @@ pub fn read_checkpoint(path: &Path) -> io::Result<Vec<(String, Tensor)>> {
         for _ in 0..rank {
             shape.push(read_u64(&mut r)? as usize);
         }
-        let numel: usize = shape.iter().product();
-        if numel > 1 << 30 {
-            return Err(bad("unreasonable tensor size"));
-        }
+        let numel = shape
+            .iter()
+            .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+            .filter(|&n| n <= 1 << 30)
+            .ok_or_else(|| bad("unreasonable tensor size"))?;
         let mut data = vec![0f32; numel];
         let mut buf = [0u8; 4];
         for v in &mut data {

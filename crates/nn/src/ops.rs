@@ -5,6 +5,11 @@
 //! `Rc` clones of the input tensors they need, so backward never borrows
 //! the tape.
 
+// Kernel loops below index several parallel row buffers at once; the index
+// form mirrors the gradient formulas and stays readable where iterator
+// chains would not.
+#![allow(clippy::needless_range_loop)]
+
 use crate::tape::{Tape, Var};
 use crate::tensor::{self, Tensor};
 use std::rc::Rc;
@@ -151,7 +156,7 @@ impl Tape {
         let out_rc = Rc::new(out);
         let keep = Rc::clone(&out_rc);
         let ra = self.requires_grad(a);
-        let back: Box<dyn Fn(&Tensor, &mut crate::tape::GradStore)> =
+        let back: crate::tape::BackFn =
             Box::new(move |g, store| {
                 if ra {
                     store.accumulate(a.0, g.zip_map(&keep, |gv, y| gv * (1.0 - y * y)));
@@ -341,7 +346,7 @@ impl Tape {
         let out_rc = Rc::new(out);
         let y = Rc::clone(&out_rc);
         let ra = self.requires_grad(a);
-        let back: Box<dyn Fn(&Tensor, &mut crate::tape::GradStore)> =
+        let back: crate::tape::BackFn =
             Box::new(move |g, store| {
                 if ra {
                     let mut gx = (*y).clone();

@@ -31,7 +31,8 @@ impl GradStore {
     }
 }
 
-type BackFn = Box<dyn Fn(&Tensor, &mut GradStore)>;
+/// A backward closure: scatters `dL/dout` into parents' gradient slots.
+pub type BackFn = Box<dyn Fn(&Tensor, &mut GradStore)>;
 
 struct Node {
     value: Rc<Tensor>,

@@ -1,0 +1,121 @@
+//! Property tests for the `TSFMCKP1` checkpoint format: a random
+//! [`ParamStore`] survives save → load bitwise, and truncated or garbled
+//! files come back as `Err` — never a panic — so a corrupt checkpoint on
+//! disk can always be reported instead of crashing a training run.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use tsfm_nn::io::{load_params, read_checkpoint, save_params};
+use tsfm_nn::{ParamStore, Tensor};
+
+/// A unique temp path per call (cases run back to back within a process).
+fn tmp_path(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join("tsfm_nn_io_property");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(format!("{tag}_{}_{n}.ckpt", std::process::id()))
+}
+
+/// Build a store with `n_params` random tensors of random small shapes.
+fn random_store(n_params: usize, seed: u64) -> ParamStore {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut store = ParamStore::new();
+    for i in 0..n_params {
+        // Vary rank 1..=3 and dims 1..=5 from the seeded rng stream.
+        let rank = 1 + (seed as usize + i) % 3;
+        let shape: Vec<usize> = (0..rank).map(|d| 1 + (seed as usize + i + d * 7) % 5).collect();
+        store.add(format!("layer{i}.w"), Tensor::randn(&shape, 1.0, &mut rng), i % 2 == 0);
+    }
+    store
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// save → load restores every tensor bitwise into a fresh store.
+    #[test]
+    fn prop_roundtrip_bitwise(n_params in 0usize..8, seed in 0u64..1_000_000) {
+        let store = random_store(n_params, seed);
+        let path = tmp_path("roundtrip");
+        save_params(&store, &path).expect("save");
+
+        // A fresh store with the same names but zeroed values.
+        let mut fresh = ParamStore::new();
+        for (name, t) in store.iter_named() {
+            fresh.add(name.to_string(), Tensor::zeros(t.shape()), true);
+        }
+        let loaded = load_params(&mut fresh, &path).expect("load");
+        prop_assert_eq!(loaded, store.len());
+        for (name, t) in store.iter_named() {
+            let id = fresh.id_by_name(name).expect("name survives");
+            let got = fresh.value(id);
+            prop_assert_eq!(got.shape(), t.shape());
+            // Bitwise equality, not approximate: compare the raw bits.
+            for (a, b) in got.data().iter().zip(t.data()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Every strict prefix of a checkpoint is rejected with `Err`.
+    #[test]
+    fn prop_truncation_is_err(n_params in 0usize..5, seed in 0u64..1_000_000, frac in 0.0f64..1.0) {
+        let store = random_store(n_params, seed);
+        let path = tmp_path("trunc");
+        save_params(&store, &path).expect("save");
+        let bytes = std::fs::read(&path).expect("read back");
+        let cut = ((bytes.len() as f64) * frac) as usize; // < len since frac < 1
+        std::fs::write(&path, &bytes[..cut]).expect("write truncated");
+        prop_assert!(read_checkpoint(&path).is_err(), "prefix of {} bytes accepted", cut);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Flipping bytes anywhere must never panic; corrupting the header
+    /// (magic or the count/name-length fields) must yield `Err`.
+    #[test]
+    fn prop_garbling_never_panics(seed in 0u64..1_000_000, pos_seed in 0usize..10_000, flip in 1u16..256) {
+        let store = random_store(3, seed);
+        let path = tmp_path("garble");
+        save_params(&store, &path).expect("save");
+        let mut bytes = std::fs::read(&path).expect("read back");
+        let pos = pos_seed % bytes.len();
+        bytes[pos] ^= flip as u8;
+        std::fs::write(&path, &bytes).expect("write garbled");
+        // Whatever happened to the bytes, reading must return, not panic.
+        let result = read_checkpoint(&path);
+        if pos < 8 {
+            prop_assert!(result.is_err(), "corrupt magic accepted");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[test]
+fn garbled_header_fields_rejected() {
+    let store = random_store(2, 7);
+    let path = tmp_path("header");
+    save_params(&store, &path).expect("save");
+    let good = std::fs::read(&path).expect("read back");
+
+    // Absurd param count: claims 2^32-1 entries → EOF mid-parse.
+    let mut bad = good.clone();
+    bad[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+    std::fs::write(&path, &bad).unwrap();
+    assert!(read_checkpoint(&path).is_err());
+
+    // Absurd name length on the first param.
+    let mut bad = good.clone();
+    bad[12..16].copy_from_slice(&u32::MAX.to_le_bytes());
+    std::fs::write(&path, &bad).unwrap();
+    assert!(read_checkpoint(&path).is_err());
+
+    // Empty file.
+    std::fs::write(&path, b"").unwrap();
+    assert!(read_checkpoint(&path).is_err());
+    std::fs::remove_file(&path).ok();
+}

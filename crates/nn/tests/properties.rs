@@ -67,7 +67,7 @@ proptest! {
         let sum: f32 = row.iter().sum();
         prop_assert!((sum - 1.0).abs() < 1e-4, "sum {sum}");
         for &p in row {
-            prop_assert!(p >= 0.0 && p <= 1.0 + 1e-6);
+            prop_assert!((0.0..=1.0 + 1e-6).contains(&p));
         }
     }
 

@@ -10,7 +10,10 @@
 use crate::knn::Metric;
 use std::collections::{BinaryHeap, HashSet};
 
-/// Ordered (distance, id) pair for max-heaps; reversed for min-heaps.
+/// Ordered (distance, id) pair for the results max-heap: the greatest item
+/// is the farthest candidate, and among equal distances the *largest* id,
+/// so popping the overflow always discards the same element regardless of
+/// heap-internal ordering.
 #[derive(PartialEq)]
 struct HeapItem(f32, usize);
 
@@ -31,8 +34,35 @@ impl Ord for HeapItem {
     }
 }
 
+/// Ordered (distance, id) pair for the candidates min-heap: the greatest
+/// item is the *closest* candidate, and among equal distances the
+/// *smallest* id. `Reverse<HeapItem>` would flip the id tie-break too,
+/// expanding equal-distance nodes in descending-id order; this wrapper
+/// keeps exploration order ascending by id so neighbour lists are a pure
+/// function of insertion order (see `tests/determinism.rs`).
+#[derive(PartialEq)]
+struct MinItem(f32, usize);
+
+impl Eq for MinItem {}
+
+impl PartialOrd for MinItem {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for MinItem {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .0
+            .partial_cmp(&self.0)
+            .expect("finite distances")
+            .then(other.1.cmp(&self.1))
+    }
+}
+
 /// HNSW construction/search parameters.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HnswConfig {
     /// Max neighbours per node on layers ≥ 1 (layer 0 keeps `2·m`).
     pub m: usize,
@@ -50,6 +80,22 @@ impl Default for HnswConfig {
 struct Node {
     /// Neighbour lists per layer, `neighbors[l]` for layer `l`.
     neighbors: Vec<Vec<usize>>,
+}
+
+/// A complete, serializable copy of an [`Hnsw`]'s state (`tsfm_store`
+/// persists it as the `TSFMHNS1` section of the index cache).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HnswSnapshot {
+    pub cfg: HnswConfig,
+    pub dim: usize,
+    pub metric: Metric,
+    /// Row-major vector buffer, `dim` floats per node.
+    pub data: Vec<f32>,
+    /// `neighbors[id][layer]` = neighbour ids of `id` on `layer`.
+    pub neighbors: Vec<Vec<Vec<usize>>>,
+    pub entry: Option<usize>,
+    pub max_level: usize,
+    pub rng_state: u64,
 }
 
 /// The index. Ids are dense insertion order, matching
@@ -127,10 +173,10 @@ impl Hnsw {
     fn search_layer(&self, q: &[f32], entry: usize, ef: usize, layer: usize) -> Vec<(usize, f32)> {
         let entry_d = self.dist(q, entry);
         let mut visited: HashSet<usize> = HashSet::from([entry]);
-        // candidates: min-heap by distance (Reverse); results: max-heap.
-        let mut candidates = BinaryHeap::from([std::cmp::Reverse(HeapItem(entry_d, entry))]);
+        // candidates: min-heap by (distance, id); results: max-heap.
+        let mut candidates = BinaryHeap::from([MinItem(entry_d, entry)]);
         let mut results = BinaryHeap::from([HeapItem(entry_d, entry)]);
-        while let Some(std::cmp::Reverse(HeapItem(cd, c))) = candidates.pop() {
+        while let Some(MinItem(cd, c)) = candidates.pop() {
             let worst = results.peek().expect("non-empty").0;
             if cd > worst && results.len() >= ef {
                 break;
@@ -142,7 +188,7 @@ impl Hnsw {
                 let d = self.dist(q, n);
                 let worst = results.peek().expect("non-empty").0;
                 if results.len() < ef || d < worst {
-                    candidates.push(std::cmp::Reverse(HeapItem(d, n)));
+                    candidates.push(MinItem(d, n));
                     results.push(HeapItem(d, n));
                     if results.len() > ef {
                         results.pop();
@@ -207,6 +253,98 @@ impl Hnsw {
             self.entry = Some(id);
         }
         id
+    }
+
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    pub fn config(&self) -> &HnswConfig {
+        &self.cfg
+    }
+
+    /// Export the full graph state for persistence. Together with
+    /// [`Hnsw::from_snapshot`] this round-trips exactly: an imported index
+    /// answers every query identically and continues inserting with the
+    /// same RNG stream as the original.
+    pub fn snapshot(&self) -> HnswSnapshot {
+        HnswSnapshot {
+            cfg: self.cfg.clone(),
+            dim: self.dim,
+            metric: self.metric,
+            data: self.data.clone(),
+            neighbors: self.nodes.iter().map(|n| n.neighbors.clone()).collect(),
+            entry: self.entry,
+            max_level: self.max_level,
+            rng_state: self.rng_state,
+        }
+    }
+
+    /// Rebuild an index from an exported snapshot, validating internal
+    /// consistency (vector buffer size, neighbour ids, entry point) so a
+    /// corrupt snapshot is rejected instead of panicking later.
+    pub fn from_snapshot(s: HnswSnapshot) -> Result<Self, String> {
+        if s.dim == 0 {
+            return Err("snapshot dim must be positive".into());
+        }
+        if s.data.len() % s.dim != 0 {
+            return Err(format!(
+                "vector buffer length {} is not a multiple of dim {}",
+                s.data.len(),
+                s.dim
+            ));
+        }
+        let n = s.data.len() / s.dim;
+        if s.neighbors.len() != n {
+            return Err(format!("{} nodes but {} neighbour lists", n, s.neighbors.len()));
+        }
+        for (id, layers) in s.neighbors.iter().enumerate() {
+            if layers.is_empty() {
+                return Err(format!("node {id} has no layers"));
+            }
+            for (l, layer) in layers.iter().enumerate() {
+                if let Some(&bad) = layer.iter().find(|&&x| x >= n) {
+                    return Err(format!("node {id} links to out-of-range node {bad}"));
+                }
+                // Search follows layer-l links assuming the target also has
+                // a layer l; a link to a shorter node would panic later.
+                if let Some(&bad) =
+                    layer.iter().find(|&&x| s.neighbors[x].len() <= l)
+                {
+                    return Err(format!(
+                        "node {id} links to node {bad} on layer {l}, which it lacks"
+                    ));
+                }
+            }
+        }
+        match (s.entry, n) {
+            (None, 0) => {}
+            (Some(e), n) if n > 0 && e < n => {
+                // Greedy descent starts at `entry` on layer `max_level`.
+                if s.neighbors[e].len() <= s.max_level {
+                    return Err(format!(
+                        "entry node {e} has {} layers but max_level is {}",
+                        s.neighbors[e].len(),
+                        s.max_level
+                    ));
+                }
+            }
+            (entry, n) => return Err(format!("entry {entry:?} invalid for {n} nodes")),
+        }
+        Ok(Self {
+            cfg: s.cfg,
+            dim: s.dim,
+            metric: s.metric,
+            data: s.data,
+            nodes: s.neighbors.into_iter().map(|neighbors| Node { neighbors }).collect(),
+            entry: s.entry,
+            max_level: s.max_level,
+            rng_state: s.rng_state,
+        })
     }
 
     /// Approximate top-k by ascending distance.

@@ -14,6 +14,24 @@ pub enum Metric {
 }
 
 impl Metric {
+    /// Stable on-disk tag (used by `tsfm_store`'s binary formats). Never
+    /// renumber existing variants.
+    pub fn tag(self) -> u8 {
+        match self {
+            Metric::Cosine => 0,
+            Metric::Euclidean => 1,
+        }
+    }
+
+    /// Inverse of [`Metric::tag`]; `None` for unknown tags.
+    pub fn from_tag(tag: u8) -> Option<Metric> {
+        match tag {
+            0 => Some(Metric::Cosine),
+            1 => Some(Metric::Euclidean),
+            _ => None,
+        }
+    }
+
     pub fn distance(self, a: &[f32], b: &[f32]) -> f32 {
         debug_assert_eq!(a.len(), b.len());
         match self {

@@ -1,0 +1,139 @@
+//! Determinism guarantees for the ANN layer, mirroring
+//! `crates/sketch/tests/determinism.rs`: an HNSW graph must be a pure
+//! function of `(config, insertion sequence)` — independent of process,
+//! hasher randomization, or platform — because `tsfm_store` persists the
+//! graph and expects a rebuilt index to answer queries identically.
+
+use tsfm_search::{Hnsw, HnswConfig, Metric};
+use tsfm_table::hash::splitmix64;
+
+/// Deterministic pseudo-random vectors on a coarse grid. Grid coordinates
+/// are exactly representable in f32, so every distance computation is
+/// bit-identical across platforms; the coarse grid also forces frequent
+/// exact distance ties, exercising the id tie-breaks.
+fn grid_vecs(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+    (0..n)
+        .map(|i| {
+            (0..dim)
+                .map(|j| {
+                    let h = splitmix64(seed ^ ((i as u64) << 20) ^ j as u64);
+                    (h % 8) as f32 / 4.0 - 1.0
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn build(vecs: &[Vec<f32>], dim: usize) -> Hnsw {
+    let mut h = Hnsw::new(dim, Metric::Euclidean, HnswConfig::default());
+    for v in vecs {
+        h.add(v);
+    }
+    h
+}
+
+/// Fold the full graph structure into one u64.
+fn fingerprint(h: &Hnsw) -> u64 {
+    let s = h.snapshot();
+    let mut acc: u64 = splitmix64(s.max_level as u64 ^ 0x6a09_e667);
+    acc = splitmix64(acc ^ s.entry.map_or(u64::MAX, |e| e as u64));
+    for layers in &s.neighbors {
+        acc = splitmix64(acc ^ layers.len() as u64);
+        for layer in layers {
+            acc = splitmix64(acc ^ layer.len() as u64);
+            for &n in layer {
+                acc = splitmix64(acc ^ n as u64);
+            }
+        }
+    }
+    acc
+}
+
+#[test]
+fn identical_graphs_across_independent_builds() {
+    let vecs = grid_vecs(300, 8, 11);
+    let a = build(&vecs, 8);
+    let b = build(&vecs, 8);
+    assert_eq!(a.snapshot(), b.snapshot(), "same inserts must give the same graph");
+}
+
+/// Pinned fingerprint: fails if hasher randomization, iteration order, or
+/// an algorithm change alters the graph — any of which would silently
+/// invalidate every HNSW graph `tsfm_store` has persisted.
+#[test]
+fn graph_fingerprint_pinned() {
+    let h = build(&grid_vecs(300, 8, 11), 8);
+    assert_eq!(
+        fingerprint(&h),
+        0x9e2b_2b46_6e48_b605,
+        "HNSW construction changed — stored indexes would no longer match"
+    );
+}
+
+/// Ties in distance (ubiquitous on the coarse grid) must resolve by id,
+/// making search results reproducible across runs.
+#[test]
+fn search_results_pinned_under_ties() {
+    let vecs = grid_vecs(300, 8, 11);
+    let h = build(&vecs, 8);
+    let queries = grid_vecs(10, 8, 99);
+    let mut acc: u64 = 0;
+    for q in &queries {
+        for (id, _) in h.search(q, 10) {
+            acc = splitmix64(acc ^ id as u64);
+        }
+    }
+    assert_eq!(acc, 0xb1aa_d61d_484d_f142, "search order changed under distance ties");
+}
+
+#[test]
+fn snapshot_roundtrip_preserves_everything() {
+    let vecs = grid_vecs(200, 6, 5);
+    let original = build(&vecs, 6);
+    let restored = Hnsw::from_snapshot(original.snapshot()).expect("valid snapshot");
+    assert_eq!(original.snapshot(), restored.snapshot());
+    for q in grid_vecs(20, 6, 77) {
+        assert_eq!(original.search(&q, 7), restored.search(&q, 7));
+    }
+    // Inserting after restore continues the identical RNG stream.
+    let mut a = original;
+    let mut b = restored;
+    for v in grid_vecs(20, 6, 13) {
+        a.add(&v);
+        b.add(&v);
+    }
+    assert_eq!(a.snapshot(), b.snapshot());
+}
+
+#[test]
+fn corrupt_snapshots_rejected() {
+    let h = build(&grid_vecs(50, 4, 3), 4);
+
+    let mut s = h.snapshot();
+    s.data.pop(); // buffer no longer a multiple of dim
+    assert!(Hnsw::from_snapshot(s).is_err());
+
+    let mut s = h.snapshot();
+    s.neighbors[0][0].push(10_000); // dangling link
+    assert!(Hnsw::from_snapshot(s).is_err());
+
+    let mut s = h.snapshot();
+    s.entry = Some(999);
+    assert!(Hnsw::from_snapshot(s).is_err());
+
+    let mut s = h.snapshot();
+    s.neighbors.pop(); // node count mismatch
+    assert!(Hnsw::from_snapshot(s).is_err());
+
+    let mut s = h.snapshot();
+    s.max_level = s.neighbors[s.entry.unwrap()].len() + 3; // search would panic
+    assert!(Hnsw::from_snapshot(s).is_err());
+
+    // A layer-l link to a node without that layer would panic in greedy().
+    let mut s = h.snapshot();
+    if let Some(shallow) = s.neighbors.iter().position(|l| l.len() == 1) {
+        let deep = s.neighbors.iter().position(|l| l.len() > 1).unwrap();
+        s.neighbors[deep][1].push(shallow);
+        assert!(Hnsw::from_snapshot(s).is_err());
+    }
+}

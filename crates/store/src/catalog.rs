@@ -1,0 +1,654 @@
+//! The persistent discovery catalog.
+//!
+//! On-disk layout under the catalog directory:
+//!
+//! ```text
+//! <dir>/catalog.manifest   TSFMCAT1: sketch config + table id → entry map
+//! <dir>/segments/<f>.seg   TSFMSEG1: one TableRecord per file
+//! <dir>/index.cache        TSFMIDX1: fingerprint + join/union HNSW graphs
+//! ```
+//!
+//! Mutations (`add_table`, `add_record`, `remove`) update segment files
+//! immediately and the in-memory manifest; [`Catalog::commit`] writes the
+//! manifest atomically (also called on drop, best effort). Query indexes
+//! are built lazily on the first query after any mutation; the built HNSW
+//! graphs are cached on disk keyed by a fingerprint of the manifest, so a
+//! cold reopen of an unchanged catalog skips graph construction entirely.
+//!
+//! Incremental ingest: every record stores the stable hash of its source
+//! bytes. [`Catalog::ingest_dir`] hashes each CSV *before* parsing and
+//! skips unchanged files without sketching them, so re-ingesting an
+//! unchanged directory touches nothing and adding one file re-sketches
+//! exactly one table.
+
+use crate::engine::{QueryEngine, QueryMode, TableHit};
+use crate::record::TableRecord;
+use crate::ser;
+use std::collections::BTreeMap;
+use std::fs::{self, File};
+use std::io::{self, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use tsfm_search::HnswConfig;
+use tsfm_sketch::{SketchConfig, TableSketch};
+use tsfm_table::hash::{hash_str, splitmix64};
+use tsfm_table::{csv, Table};
+
+const MANIFEST_MAGIC: &[u8; 8] = b"TSFMCAT1";
+const INDEX_MAGIC: &[u8; 8] = b"TSFMIDX1";
+const MANIFEST_FILE: &str = "catalog.manifest";
+const INDEX_FILE: &str = "index.cache";
+const SEGMENT_DIR: &str = "segments";
+
+/// Manifest entry for one table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestEntry {
+    pub content_hash: u64,
+    /// Segment file name under `segments/`.
+    pub segment: String,
+    pub num_rows: u64,
+    pub num_cols: u32,
+}
+
+/// What happened to one table during ingest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngestOutcome {
+    /// New table id: sketched and stored.
+    Added,
+    /// Known id whose content hash changed: re-sketched and replaced.
+    Updated,
+    /// Known id with identical content hash: nothing done.
+    Unchanged,
+}
+
+/// Summary of a directory ingest.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IngestReport {
+    pub added: usize,
+    pub updated: usize,
+    pub unchanged: usize,
+    /// `(file name, error)` for sources that could not be read or parsed.
+    pub failed: Vec<(String, String)>,
+}
+
+impl IngestReport {
+    /// Number of tables actually (re-)sketched.
+    pub fn sketched(&self) -> usize {
+        self.added + self.updated
+    }
+}
+
+/// Aggregate catalog statistics (the `tsfm stats` output).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CatalogStats {
+    pub tables: usize,
+    pub columns: u64,
+    pub rows: u64,
+    pub segment_bytes: u64,
+    pub minhash_k: usize,
+    /// Whether a valid on-disk index cache exists for the current contents.
+    pub index_cached: bool,
+}
+
+/// A persistent, incrementally-updatable table catalog.
+pub struct Catalog {
+    dir: PathBuf,
+    sketch_cfg: SketchConfig,
+    hnsw_cfg: HnswConfig,
+    entries: BTreeMap<String, ManifestEntry>,
+    engine: Option<QueryEngine>,
+    manifest_dirty: bool,
+}
+
+impl Catalog {
+    /// Open a catalog directory, creating an empty catalog (with the
+    /// default [`SketchConfig`]) if none exists yet.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        Self::open_with(dir, SketchConfig::default())
+    }
+
+    /// Open with an explicit sketch configuration. If the catalog already
+    /// exists its persisted configuration wins — sketches on disk were
+    /// built with it — and a mismatch with `cfg` is an error.
+    pub fn open_with(dir: impl Into<PathBuf>, cfg: SketchConfig) -> io::Result<Self> {
+        let dir = dir.into();
+        let manifest = dir.join(MANIFEST_FILE);
+        if manifest.exists() {
+            let (sketch_cfg, entries) = read_manifest(&manifest)?;
+            if sketch_cfg.minhash_k != cfg.minhash_k
+                || sketch_cfg.max_rows != cfg.max_rows
+                || sketch_cfg.seed != cfg.seed
+            {
+                return Err(ser::bad(format!(
+                    "catalog was created with (k={}, max_rows={}, seed={:#x}); \
+                     refusing to open with a different sketch config",
+                    sketch_cfg.minhash_k, sketch_cfg.max_rows, sketch_cfg.seed
+                )));
+            }
+            return Ok(Self {
+                dir,
+                sketch_cfg,
+                hnsw_cfg: HnswConfig::default(),
+                entries,
+                engine: None,
+                manifest_dirty: false,
+            });
+        }
+        fs::create_dir_all(dir.join(SEGMENT_DIR))?;
+        let cat = Self {
+            dir,
+            sketch_cfg: cfg,
+            hnsw_cfg: HnswConfig::default(),
+            entries: BTreeMap::new(),
+            engine: None,
+            manifest_dirty: true,
+        };
+        cat.write_manifest()?;
+        Ok(cat)
+    }
+
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    pub fn sketch_config(&self) -> &SketchConfig {
+        &self.sketch_cfg
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Table ids in ascending order.
+    pub fn iter_ids(&self) -> impl Iterator<Item = &str> {
+        self.entries.keys().map(String::as_str)
+    }
+
+    pub fn entry(&self, id: &str) -> Option<&ManifestEntry> {
+        self.entries.get(id)
+    }
+
+    /// Load one table's full record from its segment file.
+    pub fn get(&self, id: &str) -> io::Result<Option<TableRecord>> {
+        let Some(entry) = self.entries.get(id) else {
+            return Ok(None);
+        };
+        let path = self.dir.join(SEGMENT_DIR).join(&entry.segment);
+        let rec = ser::read_record(&mut BufReader::new(File::open(path)?))?;
+        if rec.content_hash != entry.content_hash || rec.table_id() != id {
+            return Err(ser::bad(format!(
+                "segment {} does not match manifest entry for {id:?}",
+                entry.segment
+            )));
+        }
+        Ok(Some(rec))
+    }
+
+    /// Sketch `table` and store it under `table.id`. `content_hash` is the
+    /// stable hash of the source bytes; if the stored record already has
+    /// this hash nothing is re-sketched.
+    pub fn add_table(&mut self, table: &Table, content_hash: u64) -> io::Result<IngestOutcome> {
+        if self.entries.get(&table.id).map(|e| e.content_hash) == Some(content_hash) {
+            return Ok(IngestOutcome::Unchanged);
+        }
+        let sketch = TableSketch::build(table, &self.sketch_cfg);
+        self.add_record(TableRecord::from_sketch(sketch, content_hash))
+    }
+
+    /// Store a pre-built record (the path for records carrying embeddings).
+    pub fn add_record(&mut self, rec: TableRecord) -> io::Result<IngestOutcome> {
+        let id = rec.table_id().to_string();
+        let outcome = match self.entries.get(&id) {
+            Some(e) if e.content_hash == rec.content_hash => return Ok(IngestOutcome::Unchanged),
+            Some(_) => IngestOutcome::Updated,
+            None => IngestOutcome::Added,
+        };
+        let segment = segment_name(&id, rec.content_hash);
+        let path = self.dir.join(SEGMENT_DIR).join(&segment);
+        write_atomic(&path, |w| ser::write_record(w, &rec))?;
+        // Drop the replaced segment file (name differs because the hash does).
+        if let Some(old) = self.entries.get(&id) {
+            if old.segment != segment {
+                let _ = fs::remove_file(self.dir.join(SEGMENT_DIR).join(&old.segment));
+            }
+        }
+        self.entries.insert(
+            id,
+            ManifestEntry {
+                content_hash: rec.content_hash,
+                segment,
+                num_rows: rec.num_rows() as u64,
+                num_cols: rec.num_cols() as u32,
+            },
+        );
+        self.invalidate();
+        Ok(outcome)
+    }
+
+    /// Remove a table; returns whether it existed.
+    pub fn remove(&mut self, id: &str) -> io::Result<bool> {
+        let Some(entry) = self.entries.remove(id) else {
+            return Ok(false);
+        };
+        let _ = fs::remove_file(self.dir.join(SEGMENT_DIR).join(&entry.segment));
+        self.invalidate();
+        Ok(true)
+    }
+
+    /// Ingest every `*.csv` file of a directory (sorted by name; the file
+    /// stem becomes the table id). Unchanged files are skipped before
+    /// parsing. Commits the manifest at the end.
+    pub fn ingest_dir(&mut self, dir: impl AsRef<Path>) -> io::Result<IngestReport> {
+        let mut files: Vec<PathBuf> = fs::read_dir(dir.as_ref())?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().map(|x| x == "csv").unwrap_or(false))
+            .collect();
+        files.sort();
+        let mut report = IngestReport::default();
+        for path in files {
+            let name = path.file_name().unwrap_or_default().to_string_lossy().to_string();
+            let id = path.file_stem().unwrap_or_default().to_string_lossy().to_string();
+            let text = match fs::read_to_string(&path) {
+                Ok(t) => t,
+                Err(e) => {
+                    report.failed.push((name, e.to_string()));
+                    continue;
+                }
+            };
+            let content_hash = hash_str(&text);
+            if self.entries.get(&id).map(|e| e.content_hash) == Some(content_hash) {
+                report.unchanged += 1;
+                continue;
+            }
+            let table = csv::table_from_csv(&id, &id, &text);
+            match self.add_table(&table, content_hash)? {
+                IngestOutcome::Added => report.added += 1,
+                IngestOutcome::Updated => report.updated += 1,
+                IngestOutcome::Unchanged => report.unchanged += 1,
+            }
+        }
+        self.commit()?;
+        Ok(report)
+    }
+
+    /// Write the manifest if it has pending changes.
+    pub fn commit(&mut self) -> io::Result<()> {
+        if self.manifest_dirty {
+            self.write_manifest()?;
+            self.manifest_dirty = false;
+        }
+        Ok(())
+    }
+
+    pub fn stats(&self) -> CatalogStats {
+        let segment_bytes = self
+            .entries
+            .values()
+            .filter_map(|e| {
+                fs::metadata(self.dir.join(SEGMENT_DIR).join(&e.segment)).ok().map(|m| m.len())
+            })
+            .sum();
+        CatalogStats {
+            tables: self.entries.len(),
+            columns: self.entries.values().map(|e| e.num_cols as u64).sum(),
+            rows: self.entries.values().map(|e| e.num_rows).sum(),
+            segment_bytes,
+            minhash_k: self.sketch_cfg.minhash_k,
+            index_cached: self.cached_index_valid(),
+        }
+    }
+
+    /// Sketch a query table (with the catalog's own config) and rank the
+    /// corpus under `mode`.
+    pub fn query(&mut self, mode: QueryMode, table: &Table, k: usize) -> io::Result<Vec<TableHit>> {
+        let sketch = TableSketch::build(table, &self.sketch_cfg);
+        Ok(self.engine()?.query(mode, &sketch, k))
+    }
+
+    pub fn query_join(&mut self, table: &Table, k: usize) -> io::Result<Vec<TableHit>> {
+        self.query(QueryMode::Join, table, k)
+    }
+
+    pub fn query_union(&mut self, table: &Table, k: usize) -> io::Result<Vec<TableHit>> {
+        self.query(QueryMode::Union, table, k)
+    }
+
+    pub fn query_subset(&mut self, table: &Table, k: usize) -> io::Result<Vec<TableHit>> {
+        self.query(QueryMode::Subset, table, k)
+    }
+
+    /// Batched query over pre-built sketches (must use the catalog's
+    /// sketch config).
+    pub fn query_batch(
+        &mut self,
+        mode: QueryMode,
+        sketches: &[TableSketch],
+        k: usize,
+    ) -> io::Result<Vec<Vec<TableHit>>> {
+        Ok(self.engine()?.query_batch(mode, sketches, k))
+    }
+
+    /// The query engine over the current contents, building (or loading
+    /// from the index cache) on first use after a mutation.
+    pub fn engine(&mut self) -> io::Result<&QueryEngine> {
+        if self.engine.is_none() {
+            let records = self.load_all_records()?;
+            let fp = self.fingerprint();
+            let engine = match self.try_load_cached_engine(&records, fp) {
+                Some(e) => e,
+                None => {
+                    let e = QueryEngine::build(
+                        &records,
+                        self.sketch_cfg.minhash_k,
+                        self.hnsw_cfg.clone(),
+                    );
+                    // The cache is an optimization: a read-only filesystem
+                    // must not make an in-memory engine unqueryable.
+                    let _ = self.write_index_cache(&e, fp);
+                    e
+                }
+            };
+            self.engine = Some(engine);
+        }
+        Ok(self.engine.as_ref().expect("just built"))
+    }
+
+    /// Load every record (ascending id order).
+    pub fn load_all_records(&self) -> io::Result<Vec<TableRecord>> {
+        let ids: Vec<String> = self.entries.keys().cloned().collect();
+        let mut out = Vec::with_capacity(ids.len());
+        for id in ids {
+            out.push(self.get(&id)?.expect("manifest entry has a segment"));
+        }
+        Ok(out)
+    }
+
+    fn invalidate(&mut self) {
+        self.engine = None;
+        self.manifest_dirty = true;
+    }
+
+    /// Fingerprint of the catalog contents + sketch config; the index
+    /// cache is valid only while this matches.
+    fn fingerprint(&self) -> u64 {
+        let mut acc = splitmix64(self.sketch_cfg.minhash_k as u64 ^ self.sketch_cfg.seed);
+        acc = splitmix64(acc ^ self.sketch_cfg.max_rows as u64);
+        for (id, e) in &self.entries {
+            acc = splitmix64(acc ^ hash_str(id));
+            acc = splitmix64(acc ^ e.content_hash);
+        }
+        acc
+    }
+
+    fn cached_index_valid(&self) -> bool {
+        let path = self.dir.join(INDEX_FILE);
+        let Ok(file) = File::open(path) else {
+            return false;
+        };
+        let mut r = BufReader::new(file);
+        ser::expect_magic(&mut r, INDEX_MAGIC, "TSFM index cache").is_ok()
+            && ser::read_u64(&mut r).map(|fp| fp == self.fingerprint()).unwrap_or(false)
+    }
+
+    fn try_load_cached_engine(&self, records: &[TableRecord], fp: u64) -> Option<QueryEngine> {
+        let mut r = BufReader::new(File::open(self.dir.join(INDEX_FILE)).ok()?);
+        ser::expect_magic(&mut r, INDEX_MAGIC, "TSFM index cache").ok()?;
+        if ser::read_u64(&mut r).ok()? != fp {
+            return None;
+        }
+        let join = ser::read_hnsw(&mut r).ok()?;
+        let union = ser::read_hnsw(&mut r).ok()?;
+        QueryEngine::with_graphs(records, self.sketch_cfg.minhash_k, join, union).ok()
+    }
+
+    fn write_index_cache(&self, engine: &QueryEngine, fp: u64) -> io::Result<()> {
+        write_atomic(&self.dir.join(INDEX_FILE), |w| {
+            ser::write_magic(w, INDEX_MAGIC)?;
+            ser::write_u64(w, fp)?;
+            ser::write_hnsw(w, engine.join_index())?;
+            ser::write_hnsw(w, engine.union_index())
+        })
+    }
+
+    fn write_manifest(&self) -> io::Result<()> {
+        write_atomic(&self.dir.join(MANIFEST_FILE), |w| {
+            ser::write_magic(w, MANIFEST_MAGIC)?;
+            ser::write_u32(w, self.sketch_cfg.minhash_k as u32)?;
+            ser::write_u64(w, self.sketch_cfg.max_rows as u64)?;
+            ser::write_u64(w, self.sketch_cfg.seed)?;
+            ser::write_u32(w, self.entries.len() as u32)?;
+            for (id, e) in &self.entries {
+                ser::write_str(w, id)?;
+                ser::write_str(w, &e.segment)?;
+                ser::write_u64(w, e.content_hash)?;
+                ser::write_u64(w, e.num_rows)?;
+                ser::write_u32(w, e.num_cols)?;
+            }
+            Ok(())
+        })
+    }
+}
+
+impl Drop for Catalog {
+    fn drop(&mut self) {
+        // Best-effort durability for callers that forget to commit.
+        let _ = self.commit();
+    }
+}
+
+fn read_manifest(path: &Path) -> io::Result<(SketchConfig, BTreeMap<String, ManifestEntry>)> {
+    let mut r = BufReader::new(File::open(path)?);
+    ser::expect_magic(&mut r, MANIFEST_MAGIC, "TSFM catalog manifest")?;
+    let cfg = SketchConfig {
+        minhash_k: ser::read_u32(&mut r)? as usize,
+        max_rows: ser::read_u64(&mut r)? as usize,
+        seed: ser::read_u64(&mut r)?,
+    };
+    let count = ser::read_u32(&mut r)? as usize;
+    if count > 1 << 24 {
+        return Err(ser::bad(format!("unreasonable table count {count}")));
+    }
+    let mut entries = BTreeMap::new();
+    for _ in 0..count {
+        let id = ser::read_str(&mut r)?;
+        let segment = ser::read_str(&mut r)?;
+        if segment.contains('/') || segment.contains("..") {
+            return Err(ser::bad(format!("suspicious segment path {segment:?}")));
+        }
+        let entry = ManifestEntry {
+            segment,
+            content_hash: ser::read_u64(&mut r)?,
+            num_rows: ser::read_u64(&mut r)?,
+            num_cols: ser::read_u32(&mut r)?,
+        };
+        entries.insert(id, entry);
+    }
+    Ok((cfg, entries))
+}
+
+/// Segment file name: sanitized table id, the id's own hash (distinct ids
+/// may sanitize/truncate to the same prefix), and the content hash (so an
+/// update never overwrites the segment a reader might be loading).
+fn segment_name(id: &str, content_hash: u64) -> String {
+    let sane: String = id
+        .chars()
+        .take(64)
+        .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
+        .collect();
+    format!("{sane}-{:08x}-{content_hash:016x}.seg", hash_str(id) as u32)
+}
+
+/// Write via a temp file + rename so readers never observe a half-written
+/// file and a crash never corrupts an existing one.
+fn write_atomic(
+    path: &Path,
+    body: impl FnOnce(&mut BufWriter<File>) -> io::Result<()>,
+) -> io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    let mut w = BufWriter::new(File::create(&tmp)?);
+    body(&mut w)?;
+    w.flush()?;
+    drop(w);
+    fs::rename(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use tsfm_table::{Column, Value};
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir()
+            .join(format!("tsfm_store_{tag}_{}_{n}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn table(id: &str, vals: &[i64]) -> Table {
+        let mut t = Table::new(id, id);
+        t.push_column(Column::new("v", vals.iter().map(|&v| Value::Int(v)).collect()));
+        t
+    }
+
+    #[test]
+    fn open_add_reopen_get() {
+        let dir = tmp_dir("reopen");
+        {
+            let mut cat = Catalog::open(&dir).unwrap();
+            assert_eq!(cat.add_table(&table("t1", &[1, 2, 3]), 99).unwrap(), IngestOutcome::Added);
+            cat.commit().unwrap();
+        }
+        let cat = Catalog::open(&dir).unwrap();
+        assert_eq!(cat.len(), 1);
+        let rec = cat.get("t1").unwrap().expect("persisted");
+        assert_eq!(rec.content_hash, 99);
+        assert_eq!(rec.sketch.columns.len(), 1);
+        assert!(cat.get("missing").unwrap().is_none());
+    }
+
+    #[test]
+    fn unchanged_content_is_noop_changed_is_update() {
+        let dir = tmp_dir("incr");
+        let mut cat = Catalog::open(&dir).unwrap();
+        assert_eq!(cat.add_table(&table("t", &[1]), 5).unwrap(), IngestOutcome::Added);
+        assert_eq!(cat.add_table(&table("t", &[1]), 5).unwrap(), IngestOutcome::Unchanged);
+        assert_eq!(cat.add_table(&table("t", &[1, 2]), 6).unwrap(), IngestOutcome::Updated);
+        assert_eq!(cat.len(), 1);
+        // The replaced segment file is gone; exactly one remains.
+        let n = fs::read_dir(dir.join(SEGMENT_DIR))
+            .unwrap()
+            .filter(|e| {
+                e.as_ref().unwrap().path().extension().map(|x| x == "seg").unwrap_or(false)
+            })
+            .count();
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn colliding_sanitized_ids_keep_distinct_segments() {
+        // "a b" and "a_b" sanitize to the same prefix, and identical
+        // contents give identical content hashes — the id hash in the
+        // segment name must keep the files apart.
+        let dir = tmp_dir("collide");
+        let mut cat = Catalog::open(&dir).unwrap();
+        cat.add_table(&table("a b", &[1, 2]), 7).unwrap();
+        cat.add_table(&table("a_b", &[1, 2]), 7).unwrap();
+        assert_eq!(cat.len(), 2);
+        let ra = cat.get("a b").unwrap().expect("first id intact");
+        let rb = cat.get("a_b").unwrap().expect("second id intact");
+        assert_eq!(ra.table_id(), "a b");
+        assert_eq!(rb.table_id(), "a_b");
+        assert!(cat.load_all_records().unwrap().len() == 2);
+    }
+
+    #[test]
+    fn remove_deletes_segment() {
+        let dir = tmp_dir("rm");
+        let mut cat = Catalog::open(&dir).unwrap();
+        cat.add_table(&table("t", &[1]), 5).unwrap();
+        assert!(cat.remove("t").unwrap());
+        assert!(!cat.remove("t").unwrap());
+        assert_eq!(cat.len(), 0);
+        assert_eq!(fs::read_dir(dir.join(SEGMENT_DIR)).unwrap().count(), 0);
+    }
+
+    #[test]
+    fn index_cache_written_and_reused() {
+        let dir = tmp_dir("cache");
+        let mut cat = Catalog::open(&dir).unwrap();
+        for i in 0..5 {
+            cat.add_table(&table(&format!("t{i}"), &[i, i + 1, i + 2]), i as u64).unwrap();
+        }
+        assert!(!cat.stats().index_cached, "no cache before first query");
+        let hits = cat.query_join(&table("q", &[1, 2, 3]), 3).unwrap();
+        assert!(!hits.is_empty());
+        cat.commit().unwrap();
+        assert!(cat.stats().index_cached, "first query persists the index");
+        drop(cat);
+
+        // Reopen: the cache fingerprint still matches, and queries agree.
+        let mut cat2 = Catalog::open(&dir).unwrap();
+        assert!(cat2.stats().index_cached);
+        assert_eq!(cat2.query_join(&table("q", &[1, 2, 3]), 3).unwrap(), hits);
+
+        // A mutation invalidates the fingerprint.
+        cat2.add_table(&table("t9", &[7]), 70).unwrap();
+        assert!(!cat2.stats().index_cached);
+        let _ = cat2.query_join(&table("q", &[1, 2, 3]), 3).unwrap();
+        assert!(cat2.stats().index_cached, "rebuilt cache covers the new contents");
+    }
+
+    #[test]
+    fn refuses_mismatched_sketch_config() {
+        let dir = tmp_dir("cfg");
+        drop(Catalog::open(&dir).unwrap());
+        let other = SketchConfig { minhash_k: 64, ..SketchConfig::default() };
+        assert!(Catalog::open_with(&dir, other).is_err());
+    }
+
+    #[test]
+    fn corrupt_manifest_is_an_error_not_a_panic() {
+        let dir = tmp_dir("corrupt");
+        drop(Catalog::open(&dir).unwrap());
+        fs::write(dir.join(MANIFEST_FILE), b"TSFMCAT1garbage").unwrap();
+        assert!(Catalog::open(&dir).is_err());
+        fs::write(dir.join(MANIFEST_FILE), b"NOTAMAGIC").unwrap();
+        assert!(Catalog::open(&dir).is_err());
+    }
+
+    #[test]
+    fn ingest_dir_incremental() {
+        let dir = tmp_dir("ingest");
+        let data = tmp_dir("ingest_data");
+        fs::create_dir_all(&data).unwrap();
+        fs::write(data.join("a.csv"), "x,y\n1,2\n3,4\n").unwrap();
+        fs::write(data.join("b.csv"), "name\nann\nbob\n").unwrap();
+        fs::write(data.join("ignored.txt"), "not a csv").unwrap();
+
+        let mut cat = Catalog::open(&dir).unwrap();
+        let r1 = cat.ingest_dir(&data).unwrap();
+        assert_eq!((r1.added, r1.updated, r1.unchanged), (2, 0, 0));
+
+        let r2 = cat.ingest_dir(&data).unwrap();
+        assert_eq!((r2.added, r2.updated, r2.unchanged), (0, 0, 2), "re-ingest is a no-op");
+        assert_eq!(r2.sketched(), 0);
+
+        fs::write(data.join("c.csv"), "z\n9\n").unwrap();
+        let r3 = cat.ingest_dir(&data).unwrap();
+        assert_eq!((r3.added, r3.updated, r3.unchanged), (1, 0, 2), "one new file, one sketch");
+
+        fs::write(data.join("a.csv"), "x,y\n1,2\n3,4\n5,6\n").unwrap();
+        let r4 = cat.ingest_dir(&data).unwrap();
+        assert_eq!((r4.added, r4.updated, r4.unchanged), (0, 1, 2), "changed file re-sketched");
+
+        let stats = cat.stats();
+        assert_eq!(stats.tables, 3);
+        assert!(stats.segment_bytes > 0);
+    }
+}

@@ -1,0 +1,405 @@
+//! The sketch-based query engine shared by the in-memory pipeline and the
+//! persistent catalog.
+//!
+//! Built from a set of [`TableRecord`]s (sorted internally by table id so
+//! construction is independent of input order), it serves the three data
+//! discovery workloads of the paper's §IV-C over three indexes:
+//!
+//! * **join** — an HNSW over per-column *cell* MinHash features (cosine of
+//!   these features tracks value-overlap Jaccard), ranked by the Fig.-6
+//!   algorithm ([`tsfm_search::rank`]);
+//! * **union** — an HNSW over the full column signature
+//!   `[cell ‖ word ‖ numerical]`, so unionable columns match on words and
+//!   distribution even without value overlap, ranked by Fig.-6;
+//! * **subset** — banded MinHash LSH over table-level content snapshots,
+//!   ranked by estimated row-set Jaccard.
+//!
+//! Because every index is deterministic (see
+//! `crates/search/tests/determinism.rs`) and construction order is
+//! canonicalized, an engine rebuilt from persisted records answers every
+//! query identically to one built from the original in-memory sketches.
+
+use crate::record::TableRecord;
+use tsfm_search::{near_tables, ColumnHit, Hnsw, HnswConfig, Metric, MinHashLsh};
+use tsfm_sketch::{ColumnSketch, TableSketch};
+
+/// Which discovery workload a query runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryMode {
+    Join,
+    Union,
+    Subset,
+}
+
+impl QueryMode {
+    pub fn name(self) -> &'static str {
+        match self {
+            QueryMode::Join => "join",
+            QueryMode::Union => "union",
+            QueryMode::Subset => "subset",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "join" => Some(QueryMode::Join),
+            "union" => Some(QueryMode::Union),
+            "subset" => Some(QueryMode::Subset),
+            _ => None,
+        }
+    }
+}
+
+/// One ranked result table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableHit {
+    pub table_id: String,
+    /// Join/union: how many query columns matched (Fig.-6 RANK1 key).
+    /// Subset: 0 (the snapshot is table-level, not per-column).
+    pub matching_columns: usize,
+    /// Join/union: sum of per-column minimum distances (lower is better).
+    /// Subset: estimated row-set Jaccard (higher is better).
+    pub score: f64,
+}
+
+/// Per-query-column over-retrieval factor before Fig.-6 aggregation (the
+/// paper retrieves `k·3` columns per query column).
+const OVER_RETRIEVE: usize = 3;
+
+/// Immutable query indexes over a fixed corpus of records.
+pub struct QueryEngine {
+    minhash_k: usize,
+    /// Dense index → table id, sorted ascending.
+    ids: Vec<String>,
+    /// Column index (in both HNSWs) → owning table's dense index.
+    col_owner: Vec<usize>,
+    join_index: Hnsw,
+    union_index: Hnsw,
+    content_lsh: MinHashLsh,
+}
+
+/// Join feature: the cell-MinHash features alone (`k` wide).
+fn join_features(c: &ColumnSketch) -> Vec<f32> {
+    c.cell_minhash.to_f32_features()
+}
+
+/// Union feature: `[cell ‖ word ‖ numerical]` (`2k + 16` wide).
+fn union_features(c: &ColumnSketch) -> Vec<f32> {
+    let mut v = c.minhash_features();
+    v.extend(c.numeric.to_f32_features());
+    v
+}
+
+/// LSH banding for a `k`-wide snapshot signature: 2-row bands when `k` is
+/// even (collision probability `1−(1−J²)^(k/2)`), else 1-row bands.
+fn content_banding(k: usize) -> (usize, usize) {
+    if k % 2 == 0 {
+        (k / 2, 2)
+    } else {
+        (k, 1)
+    }
+}
+
+impl QueryEngine {
+    /// Build all three indexes from records. Input order is irrelevant:
+    /// records are processed in ascending table-id order, and duplicate ids
+    /// keep the *last* occurrence.
+    pub fn build(records: &[TableRecord], minhash_k: usize, hnsw_cfg: HnswConfig) -> Self {
+        let order = canonical_order(records);
+        let mut join_index = Hnsw::new(minhash_k, Metric::Cosine, hnsw_cfg.clone());
+        let mut union_index =
+            Hnsw::new(2 * minhash_k + tsfm_sketch::numeric::NUMERIC_SKETCH_DIM, Metric::Cosine, hnsw_cfg);
+        let mut col_owner = Vec::new();
+        for (ti, &ri) in order.iter().enumerate() {
+            for c in &records[ri].sketch.columns {
+                join_index.add(&join_features(c));
+                union_index.add(&union_features(c));
+                col_owner.push(ti);
+            }
+        }
+        Self::assemble(records, &order, minhash_k, col_owner, join_index, union_index)
+    }
+
+    /// Build from pre-built HNSW graphs (the catalog's index-cache path).
+    /// The graphs must have been produced by [`QueryEngine::build`] over
+    /// the same records; node counts and dimensions are validated.
+    pub fn with_graphs(
+        records: &[TableRecord],
+        minhash_k: usize,
+        join_index: Hnsw,
+        union_index: Hnsw,
+    ) -> Result<Self, String> {
+        let order = canonical_order(records);
+        let mut col_owner = Vec::new();
+        for (ti, &ri) in order.iter().enumerate() {
+            col_owner.extend(std::iter::repeat(ti).take(records[ri].sketch.columns.len()));
+        }
+        if join_index.len() != col_owner.len() || union_index.len() != col_owner.len() {
+            return Err(format!(
+                "index has {}/{} nodes for {} columns",
+                join_index.len(),
+                union_index.len(),
+                col_owner.len()
+            ));
+        }
+        let union_dim = 2 * minhash_k + tsfm_sketch::numeric::NUMERIC_SKETCH_DIM;
+        if join_index.dim() != minhash_k || union_index.dim() != union_dim {
+            return Err(format!(
+                "index dims {}/{} do not match signature width {minhash_k}",
+                join_index.dim(),
+                union_index.dim()
+            ));
+        }
+        Ok(Self::assemble(records, &order, minhash_k, col_owner, join_index, union_index))
+    }
+
+    fn assemble(
+        records: &[TableRecord],
+        order: &[usize],
+        minhash_k: usize,
+        col_owner: Vec<usize>,
+        join_index: Hnsw,
+        union_index: Hnsw,
+    ) -> Self {
+        let (bands, rows) = content_banding(minhash_k);
+        let mut content_lsh = MinHashLsh::new(bands, rows);
+        let mut ids = Vec::with_capacity(order.len());
+        for &ri in order {
+            content_lsh.add(records[ri].sketch.content_snapshot.clone());
+            ids.push(records[ri].sketch.table_id.clone());
+        }
+        Self { minhash_k, ids, col_owner, join_index, union_index, content_lsh }
+    }
+
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    pub fn minhash_k(&self) -> usize {
+        self.minhash_k
+    }
+
+    pub fn join_index(&self) -> &Hnsw {
+        &self.join_index
+    }
+
+    pub fn union_index(&self) -> &Hnsw {
+        &self.union_index
+    }
+
+    /// Dense index of a table id in the corpus, if present.
+    fn table_idx(&self, id: &str) -> Option<usize> {
+        self.ids.binary_search_by(|x| x.as_str().cmp(id)).ok()
+    }
+
+    /// Rank tables for one query sketch under `mode`. The query table
+    /// itself (matched by id) is excluded from the results.
+    pub fn query(&self, mode: QueryMode, sketch: &TableSketch, k: usize) -> Vec<TableHit> {
+        assert_eq!(
+            sketch.content_snapshot.k(),
+            self.minhash_k,
+            "query sketched with a different signature width than the corpus"
+        );
+        match mode {
+            QueryMode::Join => self.column_query(sketch, k, &self.join_index, join_features),
+            QueryMode::Union => self.column_query(sketch, k, &self.union_index, union_features),
+            QueryMode::Subset => self.subset_query(sketch, k),
+        }
+    }
+
+    pub fn query_join(&self, sketch: &TableSketch, k: usize) -> Vec<TableHit> {
+        self.query(QueryMode::Join, sketch, k)
+    }
+
+    pub fn query_union(&self, sketch: &TableSketch, k: usize) -> Vec<TableHit> {
+        self.query(QueryMode::Union, sketch, k)
+    }
+
+    pub fn query_subset(&self, sketch: &TableSketch, k: usize) -> Vec<TableHit> {
+        self.query(QueryMode::Subset, sketch, k)
+    }
+
+    /// Batched query: one result list per query sketch.
+    pub fn query_batch(
+        &self,
+        mode: QueryMode,
+        sketches: &[TableSketch],
+        k: usize,
+    ) -> Vec<Vec<TableHit>> {
+        sketches.iter().map(|s| self.query(mode, s, k)).collect()
+    }
+
+    /// Fig.-6 ranking: per query column, retrieve `k·3` nearest corpus
+    /// columns, collapse to tables, rank by (matching columns, distance).
+    fn column_query(
+        &self,
+        sketch: &TableSketch,
+        k: usize,
+        index: &Hnsw,
+        features: fn(&ColumnSketch) -> Vec<f32>,
+    ) -> Vec<TableHit> {
+        let per_col: Vec<Vec<ColumnHit>> = sketch
+            .columns
+            .iter()
+            .map(|c| {
+                index
+                    .search(&features(c), k.saturating_mul(OVER_RETRIEVE).max(1))
+                    .into_iter()
+                    .map(|(col, d)| ColumnHit { table: self.col_owner[col], distance: d })
+                    .collect()
+            })
+            .collect();
+        let exclude = self.table_idx(&sketch.table_id);
+        let mut out: Vec<TableHit> = near_tables(&per_col, exclude)
+            .into_iter()
+            .map(|r| TableHit {
+                table_id: self.ids[r.table].clone(),
+                matching_columns: r.matching_columns,
+                score: r.distance_sum as f64,
+            })
+            .collect();
+        out.truncate(k);
+        out
+    }
+
+    fn subset_query(&self, sketch: &TableSketch, k: usize) -> Vec<TableHit> {
+        let exclude = self.table_idx(&sketch.table_id);
+        self.content_lsh
+            .search(&sketch.content_snapshot, k.saturating_add(1))
+            .into_iter()
+            .filter(|&(id, _)| Some(id) != exclude)
+            .take(k)
+            .map(|(id, j)| TableHit {
+                table_id: self.ids[id].clone(),
+                matching_columns: 0,
+                score: j,
+            })
+            .collect()
+    }
+}
+
+/// Indices of `records` in ascending table-id order, keeping only the last
+/// record of any duplicated id.
+fn canonical_order(records: &[TableRecord]) -> Vec<usize> {
+    let mut by_id: std::collections::BTreeMap<&str, usize> = std::collections::BTreeMap::new();
+    for (i, r) in records.iter().enumerate() {
+        by_id.insert(r.table_id(), i);
+    }
+    by_id.into_values().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsfm_sketch::{SketchConfig, TableSketch};
+    use tsfm_table::{Column, Table, Value};
+
+    fn table(id: &str, col: &str, vals: &[&str]) -> Table {
+        let mut t = Table::new(id, id);
+        t.push_column(Column::new(
+            col,
+            vals.iter().map(|v| Value::Str((*v).into())).collect(),
+        ));
+        t
+    }
+
+    fn corpus() -> (Vec<TableRecord>, SketchConfig) {
+        let cfg = SketchConfig::default();
+        let vals_a: Vec<String> = (0..60).map(|i| format!("alpha-{i}")).collect();
+        let vals_b: Vec<String> = (0..60).map(|i| format!("beta-{i}")).collect();
+        let tables = [
+            table("a0", "key", &vals_a.iter().map(String::as_str).collect::<Vec<_>>()),
+            table("a1", "key2", &vals_a.iter().take(50).map(String::as_str).collect::<Vec<_>>()),
+            table("b0", "other", &vals_b.iter().map(String::as_str).collect::<Vec<_>>()),
+        ];
+        let recs = tables
+            .iter()
+            .map(|t| TableRecord::from_sketch(TableSketch::build(t, &cfg), 0))
+            .collect();
+        (recs, cfg)
+    }
+
+    #[test]
+    fn join_finds_overlapping_table_and_excludes_self() {
+        let (recs, cfg) = corpus();
+        let engine = QueryEngine::build(&recs, cfg.minhash_k, Default::default());
+        let hits = engine.query_join(&recs[0].sketch, 2);
+        assert!(!hits.is_empty());
+        assert_eq!(hits[0].table_id, "a1", "value-overlapping table ranks first: {hits:?}");
+        assert!(hits.iter().all(|h| h.table_id != "a0"), "query excluded");
+    }
+
+    #[test]
+    fn build_is_input_order_invariant() {
+        let (mut recs, cfg) = corpus();
+        let a = QueryEngine::build(&recs, cfg.minhash_k, Default::default());
+        recs.reverse();
+        let b = QueryEngine::build(&recs, cfg.minhash_k, Default::default());
+        let q = &recs.iter().find(|r| r.table_id() == "a0").unwrap().sketch;
+        for mode in [QueryMode::Join, QueryMode::Union, QueryMode::Subset] {
+            assert_eq!(a.query(mode, q, 3), b.query(mode, q, 3));
+        }
+    }
+
+    #[test]
+    fn with_graphs_matches_fresh_build() {
+        let (recs, cfg) = corpus();
+        let built = QueryEngine::build(&recs, cfg.minhash_k, Default::default());
+        let restored = QueryEngine::with_graphs(
+            &recs,
+            cfg.minhash_k,
+            tsfm_search::Hnsw::from_snapshot(built.join_index().snapshot()).unwrap(),
+            tsfm_search::Hnsw::from_snapshot(built.union_index().snapshot()).unwrap(),
+        )
+        .unwrap();
+        for mode in [QueryMode::Join, QueryMode::Union, QueryMode::Subset] {
+            assert_eq!(
+                built.query(mode, &recs[0].sketch, 3),
+                restored.query(mode, &recs[0].sketch, 3)
+            );
+        }
+    }
+
+    #[test]
+    fn with_graphs_rejects_mismatched_graphs() {
+        let (recs, cfg) = corpus();
+        let built = QueryEngine::build(&recs, cfg.minhash_k, Default::default());
+        let empty = tsfm_search::Hnsw::new(cfg.minhash_k, Metric::Cosine, Default::default());
+        let join = tsfm_search::Hnsw::from_snapshot(built.join_index().snapshot()).unwrap();
+        assert!(QueryEngine::with_graphs(&recs, cfg.minhash_k, join, empty).is_err());
+    }
+
+    #[test]
+    fn subset_ranks_row_subset_first() {
+        let cfg = SketchConfig::default();
+        let vals: Vec<String> = (0..100).map(|i| format!("row-{i}")).collect();
+        let all: Vec<&str> = vals.iter().map(String::as_str).collect();
+        let tables = [
+            table("base", "c", &all),
+            table("half", "c", &all[..50]),
+            table("unrelated", "c", &["x", "y", "z"]),
+        ];
+        let recs: Vec<TableRecord> = tables
+            .iter()
+            .map(|t| TableRecord::from_sketch(TableSketch::build(t, &cfg), 0))
+            .collect();
+        let engine = QueryEngine::build(&recs, cfg.minhash_k, Default::default());
+        let hits = engine.query_subset(&recs[0].sketch, 2);
+        assert_eq!(hits[0].table_id, "half", "{hits:?}");
+        assert!(hits[0].score > 0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "different signature width")]
+    fn mismatched_query_width_panics() {
+        let (recs, cfg) = corpus();
+        let engine = QueryEngine::build(&recs, cfg.minhash_k, Default::default());
+        let narrow = SketchConfig { minhash_k: cfg.minhash_k / 2, ..cfg };
+        let q = TableSketch::build(&table("q", "c", &["v"]), &narrow);
+        engine.query_join(&q, 1);
+    }
+}

@@ -1,0 +1,32 @@
+//! Persistent data-lake discovery index (`tsfm_store`).
+//!
+//! Everything upstream of this crate — sketches, embeddings, HNSW, LSH —
+//! lives in process memory; this crate makes the serving path durable so
+//! index build cost is paid once and amortized across queries:
+//!
+//! * [`ser`] — versioned little-endian binary serialization (the
+//!   `TSFMCKP1` idiom of `tsfm_nn::io`) for MinHash / numerical / table
+//!   sketches, embedding matrices, and HNSW graphs, with magic bytes,
+//!   bounds checks, and `InvalidData` errors on corrupt input;
+//! * [`TableRecord`] — the unit of storage: one table's sketch bundle,
+//!   optional neural embeddings, and the content hash of its source;
+//! * [`Catalog`] — a directory-backed catalog with incremental ingest
+//!   (unchanged sources are detected by content hash and skipped), lazy
+//!   index rebuild after mutation, and an on-disk index cache;
+//! * [`QueryEngine`] — deterministic join / union / subset ranking over a
+//!   record set, reusing the Fig.-6 algorithm of [`tsfm_search::rank`];
+//!   the same engine serves the in-memory pipeline and the catalog, which
+//!   is what makes persisted results provably identical to fresh ones.
+//!
+//! The `tsfm` CLI binary (in the umbrella crate) drives this end to end
+//! over directories of real CSV files: `tsfm ingest <catalog> <dir>`,
+//! `tsfm query <catalog> <csv>`, `tsfm stats <catalog>`.
+
+pub mod catalog;
+pub mod engine;
+pub mod record;
+pub mod ser;
+
+pub use catalog::{Catalog, CatalogStats, IngestOutcome, IngestReport, ManifestEntry};
+pub use engine::{QueryEngine, QueryMode, TableHit};
+pub use record::TableRecord;

@@ -1,0 +1,37 @@
+//! The unit of catalog storage: one table's sketches plus optional neural
+//! embeddings and the content hash used for incremental re-ingest.
+
+use tsfm_sketch::TableSketch;
+
+/// Everything the catalog persists about one table.
+#[derive(Debug, Clone)]
+pub struct TableRecord {
+    /// The full sketch bundle (content snapshot + per-column sketches).
+    pub sketch: TableSketch,
+    /// Stable hash of the source bytes (e.g. the CSV text). Re-ingesting a
+    /// source whose hash matches the stored record is a no-op.
+    pub content_hash: u64,
+    /// Optional table-level embedding (e.g. the model's pooler output).
+    pub table_embedding: Option<Vec<f32>>,
+    /// Optional per-column embeddings; either empty or one per column.
+    pub column_embeddings: Vec<Vec<f32>>,
+}
+
+impl TableRecord {
+    /// A sketch-only record (the CLI ingest path — no model required).
+    pub fn from_sketch(sketch: TableSketch, content_hash: u64) -> Self {
+        Self { sketch, content_hash, table_embedding: None, column_embeddings: Vec::new() }
+    }
+
+    pub fn table_id(&self) -> &str {
+        &self.sketch.table_id
+    }
+
+    pub fn num_cols(&self) -> usize {
+        self.sketch.columns.len()
+    }
+
+    pub fn num_rows(&self) -> usize {
+        self.sketch.num_rows
+    }
+}

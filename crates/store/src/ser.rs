@@ -1,0 +1,532 @@
+//! Versioned little-endian binary serialization for sketches, embedding
+//! matrices, and HNSW graphs, following the `TSFMCKP1` idiom of
+//! `tsfm_nn::io`: an 8-byte magic per container, explicit lengths, bounds
+//! checks on every count, and `InvalidData` errors — never panics — on
+//! corrupt input.
+//!
+//! Containers (each starts with its magic followed by a `u32` version):
+//!
+//! | magic      | contents                                            |
+//! |------------|-----------------------------------------------------|
+//! | `TSFMSEG1` | one [`TableRecord`]: sketch bundle + embeddings     |
+//! | `TSFMEMB1` | a dense `rows × dim` `f32` embedding matrix (also a section of every segment: the per-column embeddings) |
+//! | `TSFMHNS1` | an [`Hnsw`] graph (vectors + neighbour lists + RNG) |
+//!
+//! The catalog manifest (`TSFMCAT1`) and index cache (`TSFMIDX1`) formats
+//! live in [`crate::catalog`] and are built from these primitives.
+
+use crate::record::TableRecord;
+use std::io::{self, Read, Write};
+use tsfm_search::{Hnsw, HnswConfig, HnswSnapshot, Metric};
+use tsfm_sketch::{ColumnSketch, MinHash, NumericalSketch, TableSketch};
+use tsfm_table::ColType;
+
+pub const SEGMENT_MAGIC: &[u8; 8] = b"TSFMSEG1";
+pub const EMBEDDING_MAGIC: &[u8; 8] = b"TSFMEMB1";
+pub const HNSW_MAGIC: &[u8; 8] = b"TSFMHNS1";
+
+/// Current version written into every container.
+pub const FORMAT_VERSION: u32 = 1;
+
+const MAX_STR: usize = 1 << 20;
+const MAX_SIG: usize = 1 << 16;
+const MAX_COLS: usize = 1 << 20;
+const MAX_ELEMS: usize = 1 << 28;
+
+pub(crate) fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+// ---- primitives -----------------------------------------------------------
+
+pub(crate) fn write_u8<W: Write>(w: &mut W, v: u8) -> io::Result<()> {
+    w.write_all(&[v])
+}
+
+pub(crate) fn write_u32<W: Write>(w: &mut W, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+pub(crate) fn write_u64<W: Write>(w: &mut W, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+pub(crate) fn write_f64<W: Write>(w: &mut W, v: f64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+pub(crate) fn write_str<W: Write>(w: &mut W, s: &str) -> io::Result<()> {
+    write_u32(w, s.len() as u32)?;
+    w.write_all(s.as_bytes())
+}
+
+pub(crate) fn write_f32s<W: Write>(w: &mut W, vs: &[f32]) -> io::Result<()> {
+    write_u64(w, vs.len() as u64)?;
+    for &v in vs {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+pub(crate) fn read_u8<R: Read>(r: &mut R) -> io::Result<u8> {
+    let mut b = [0u8; 1];
+    r.read_exact(&mut b)?;
+    Ok(b[0])
+}
+
+pub(crate) fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+pub(crate) fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+pub(crate) fn read_f64<R: Read>(r: &mut R) -> io::Result<f64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(f64::from_le_bytes(b))
+}
+
+pub(crate) fn read_str<R: Read>(r: &mut R) -> io::Result<String> {
+    let len = read_u32(r)? as usize;
+    if len > MAX_STR {
+        return Err(bad(format!("unreasonable string length {len}")));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf).map_err(|_| bad("string not utf-8"))
+}
+
+pub(crate) fn read_f32s<R: Read>(r: &mut R) -> io::Result<Vec<f32>> {
+    let len = read_u64(r)? as usize;
+    if len > MAX_ELEMS {
+        return Err(bad(format!("unreasonable vector length {len}")));
+    }
+    let mut out = vec![0f32; len];
+    let mut b = [0u8; 4];
+    for v in &mut out {
+        r.read_exact(&mut b)?;
+        *v = f32::from_le_bytes(b);
+    }
+    Ok(out)
+}
+
+pub(crate) fn expect_magic<R: Read>(r: &mut R, magic: &[u8; 8], what: &str) -> io::Result<()> {
+    let mut got = [0u8; 8];
+    r.read_exact(&mut got)?;
+    if &got != magic {
+        return Err(bad(format!("not a {what} (bad magic)")));
+    }
+    let version = read_u32(r)?;
+    if version != FORMAT_VERSION {
+        return Err(bad(format!("unsupported {what} version {version}")));
+    }
+    Ok(())
+}
+
+pub(crate) fn write_magic<W: Write>(w: &mut W, magic: &[u8; 8]) -> io::Result<()> {
+    w.write_all(magic)?;
+    write_u32(w, FORMAT_VERSION)
+}
+
+// ---- sketches -------------------------------------------------------------
+
+pub fn write_minhash<W: Write>(w: &mut W, mh: &MinHash) -> io::Result<()> {
+    write_u32(w, mh.k() as u32)?;
+    for &s in &mh.sig {
+        write_u64(w, s)?;
+    }
+    Ok(())
+}
+
+pub fn read_minhash<R: Read>(r: &mut R) -> io::Result<MinHash> {
+    let k = read_u32(r)? as usize;
+    if k > MAX_SIG {
+        return Err(bad(format!("unreasonable signature width {k}")));
+    }
+    let mut sig = Vec::with_capacity(k);
+    for _ in 0..k {
+        sig.push(read_u64(r)?);
+    }
+    Ok(MinHash { sig })
+}
+
+pub fn write_numeric<W: Write>(w: &mut W, s: &NumericalSketch) -> io::Result<()> {
+    write_f64(w, s.unique_frac)?;
+    write_f64(w, s.nan_frac)?;
+    write_f64(w, s.cell_width)?;
+    for &p in &s.percentiles {
+        write_f64(w, p)?;
+    }
+    write_f64(w, s.mean)?;
+    write_f64(w, s.std)?;
+    write_f64(w, s.min)?;
+    write_f64(w, s.max)
+}
+
+pub fn read_numeric<R: Read>(r: &mut R) -> io::Result<NumericalSketch> {
+    let unique_frac = read_f64(r)?;
+    let nan_frac = read_f64(r)?;
+    let cell_width = read_f64(r)?;
+    let mut percentiles = [0.0; 9];
+    for p in &mut percentiles {
+        *p = read_f64(r)?;
+    }
+    Ok(NumericalSketch {
+        unique_frac,
+        nan_frac,
+        cell_width,
+        percentiles,
+        mean: read_f64(r)?,
+        std: read_f64(r)?,
+        min: read_f64(r)?,
+        max: read_f64(r)?,
+    })
+}
+
+/// `ColType` ↔ on-disk tag, reusing the paper's stable Fig.-1 codes.
+fn coltype_tag(ty: ColType) -> u8 {
+    ty.embedding_id() as u8
+}
+
+fn coltype_from_tag(tag: u8) -> io::Result<ColType> {
+    match tag {
+        1 => Ok(ColType::Str),
+        2 => Ok(ColType::Int),
+        3 => Ok(ColType::Float),
+        4 => Ok(ColType::Date),
+        _ => Err(bad(format!("unknown column type tag {tag}"))),
+    }
+}
+
+fn write_column_sketch<W: Write>(w: &mut W, c: &ColumnSketch) -> io::Result<()> {
+    write_str(w, &c.name)?;
+    write_u8(w, coltype_tag(c.ty))?;
+    write_minhash(w, &c.cell_minhash)?;
+    match &c.word_minhash {
+        Some(mh) => {
+            write_u8(w, 1)?;
+            write_minhash(w, mh)?;
+        }
+        None => write_u8(w, 0)?,
+    }
+    write_numeric(w, &c.numeric)
+}
+
+fn read_column_sketch<R: Read>(r: &mut R) -> io::Result<ColumnSketch> {
+    let name = read_str(r)?;
+    let ty = coltype_from_tag(read_u8(r)?)?;
+    let cell_minhash = read_minhash(r)?;
+    let word_minhash = match read_u8(r)? {
+        0 => None,
+        1 => Some(read_minhash(r)?),
+        t => return Err(bad(format!("bad word-minhash flag {t}"))),
+    };
+    Ok(ColumnSketch { name, ty, cell_minhash, word_minhash, numeric: read_numeric(r)? })
+}
+
+pub fn write_table_sketch<W: Write>(w: &mut W, s: &TableSketch) -> io::Result<()> {
+    write_str(w, &s.table_id)?;
+    write_str(w, &s.table_name)?;
+    write_str(w, &s.description)?;
+    write_u64(w, s.num_rows as u64)?;
+    write_minhash(w, &s.content_snapshot)?;
+    write_u32(w, s.columns.len() as u32)?;
+    for c in &s.columns {
+        write_column_sketch(w, c)?;
+    }
+    Ok(())
+}
+
+pub fn read_table_sketch<R: Read>(r: &mut R) -> io::Result<TableSketch> {
+    let table_id = read_str(r)?;
+    let table_name = read_str(r)?;
+    let description = read_str(r)?;
+    let num_rows = read_u64(r)? as usize;
+    let content_snapshot = read_minhash(r)?;
+    let ncols = read_u32(r)? as usize;
+    if ncols > MAX_COLS {
+        return Err(bad(format!("unreasonable column count {ncols}")));
+    }
+    let mut columns = Vec::with_capacity(ncols);
+    for _ in 0..ncols {
+        columns.push(read_column_sketch(r)?);
+    }
+    Ok(TableSketch { table_id, table_name, description, content_snapshot, columns, num_rows })
+}
+
+// ---- embedding matrices ---------------------------------------------------
+
+/// Write a dense `rows.len() × dim` matrix. Every row must have `dim`
+/// elements.
+pub fn write_embedding_matrix<W: Write>(w: &mut W, rows: &[Vec<f32>], dim: usize) -> io::Result<()> {
+    write_magic(w, EMBEDDING_MAGIC)?;
+    write_u32(w, rows.len() as u32)?;
+    write_u32(w, dim as u32)?;
+    for row in rows {
+        if row.len() != dim {
+            return Err(bad(format!("embedding row of {} elements, expected {dim}", row.len())));
+        }
+        for &v in row {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+pub fn read_embedding_matrix<R: Read>(r: &mut R) -> io::Result<Vec<Vec<f32>>> {
+    expect_magic(r, EMBEDDING_MAGIC, "TSFM embedding matrix")?;
+    let nrows = read_u32(r)? as usize;
+    let dim = read_u32(r)? as usize;
+    if nrows.saturating_mul(dim) > MAX_ELEMS {
+        return Err(bad(format!("unreasonable embedding matrix {nrows}×{dim}")));
+    }
+    let mut rows = Vec::with_capacity(nrows);
+    let mut b = [0u8; 4];
+    for _ in 0..nrows {
+        let mut row = vec![0f32; dim];
+        for v in &mut row {
+            r.read_exact(&mut b)?;
+            *v = f32::from_le_bytes(b);
+        }
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+// ---- table records (segment payload) -------------------------------------
+
+pub fn write_record<W: Write>(w: &mut W, rec: &TableRecord) -> io::Result<()> {
+    write_magic(w, SEGMENT_MAGIC)?;
+    write_u64(w, rec.content_hash)?;
+    write_table_sketch(w, &rec.sketch)?;
+    match &rec.table_embedding {
+        Some(e) => {
+            write_u8(w, 1)?;
+            write_f32s(w, e)?;
+        }
+        None => write_u8(w, 0)?,
+    }
+    // Column embeddings: an embedded TSFMEMB1 matrix (0 rows = none).
+    let dim = rec.column_embeddings.first().map_or(0, Vec::len);
+    write_embedding_matrix(w, &rec.column_embeddings, dim)
+}
+
+pub fn read_record<R: Read>(r: &mut R) -> io::Result<TableRecord> {
+    expect_magic(r, SEGMENT_MAGIC, "TSFM segment")?;
+    let content_hash = read_u64(r)?;
+    let sketch = read_table_sketch(r)?;
+    let table_embedding = match read_u8(r)? {
+        0 => None,
+        1 => Some(read_f32s(r)?),
+        t => return Err(bad(format!("bad table-embedding flag {t}"))),
+    };
+    let column_embeddings = read_embedding_matrix(r)?;
+    if !column_embeddings.is_empty() && column_embeddings.len() != sketch.columns.len() {
+        return Err(bad(format!(
+            "{} column embeddings for {} columns",
+            column_embeddings.len(),
+            sketch.columns.len()
+        )));
+    }
+    Ok(TableRecord { sketch, content_hash, table_embedding, column_embeddings })
+}
+
+// ---- HNSW graphs ----------------------------------------------------------
+
+pub fn write_hnsw<W: Write>(w: &mut W, index: &Hnsw) -> io::Result<()> {
+    let s = index.snapshot();
+    write_magic(w, HNSW_MAGIC)?;
+    write_u32(w, s.dim as u32)?;
+    write_u8(w, s.metric.tag())?;
+    write_u32(w, s.cfg.m as u32)?;
+    write_u32(w, s.cfg.ef_construction as u32)?;
+    write_u32(w, s.cfg.ef_search as u32)?;
+    write_u64(w, s.cfg.seed)?;
+    write_u64(w, s.rng_state)?;
+    write_u64(w, s.max_level as u64)?;
+    match s.entry {
+        Some(e) => {
+            write_u8(w, 1)?;
+            write_u64(w, e as u64)?;
+        }
+        None => write_u8(w, 0)?,
+    }
+    write_f32s(w, &s.data)?;
+    write_u32(w, s.neighbors.len() as u32)?;
+    for layers in &s.neighbors {
+        write_u32(w, layers.len() as u32)?;
+        for layer in layers {
+            write_u32(w, layer.len() as u32)?;
+            for &n in layer {
+                write_u64(w, n as u64)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+pub fn read_hnsw<R: Read>(r: &mut R) -> io::Result<Hnsw> {
+    expect_magic(r, HNSW_MAGIC, "TSFM HNSW graph")?;
+    let dim = read_u32(r)? as usize;
+    let metric = Metric::from_tag(read_u8(r)?)
+        .ok_or_else(|| bad("unknown distance metric tag"))?;
+    let cfg = HnswConfig {
+        m: read_u32(r)? as usize,
+        ef_construction: read_u32(r)? as usize,
+        ef_search: read_u32(r)? as usize,
+        seed: read_u64(r)?,
+    };
+    let rng_state = read_u64(r)?;
+    let max_level = read_u64(r)? as usize;
+    let entry = match read_u8(r)? {
+        0 => None,
+        1 => Some(read_u64(r)? as usize),
+        t => return Err(bad(format!("bad entry flag {t}"))),
+    };
+    let data = read_f32s(r)?;
+    let n = read_u32(r)? as usize;
+    // `data` holds real file content, so bounding counts by it keeps a
+    // garbled header from over-allocating before validation catches it.
+    if dim == 0 || n != data.len() / dim {
+        return Err(bad(format!("node count {n} does not match vector buffer")));
+    }
+    let mut neighbors = Vec::with_capacity(n);
+    for _ in 0..n {
+        let nlayers = read_u32(r)? as usize;
+        if nlayers > 64 {
+            return Err(bad(format!("unreasonable layer count {nlayers}")));
+        }
+        let mut layers = Vec::with_capacity(nlayers);
+        for _ in 0..nlayers {
+            let len = read_u32(r)? as usize;
+            if len > n {
+                return Err(bad(format!("unreasonable neighbour count {len}")));
+            }
+            let mut layer = Vec::with_capacity(len);
+            for _ in 0..len {
+                layer.push(read_u64(r)? as usize);
+            }
+            layers.push(layer);
+        }
+        neighbors.push(layers);
+    }
+    let snapshot =
+        HnswSnapshot { cfg, dim, metric, data, neighbors, entry, max_level, rng_state };
+    Hnsw::from_snapshot(snapshot).map_err(bad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsfm_sketch::{MinHasher, SketchConfig};
+    use tsfm_table::{Column, Table, Value};
+
+    fn sample_sketch() -> TableSketch {
+        let mut t = Table::new("t1", "cities").with_description("city stats");
+        t.push_column(Column::new(
+            "city",
+            vec![Value::Str("Vienna".into()), Value::Str("Graz".into())],
+        ));
+        t.push_column(Column::new("pop", vec![Value::Int(1900000), Value::Int(290000)]));
+        TableSketch::build(&t, &SketchConfig::default())
+    }
+
+    #[test]
+    fn minhash_roundtrip() {
+        let mh = MinHasher::new(32, 7).signature(["a", "b", "c"]);
+        let mut buf = Vec::new();
+        write_minhash(&mut buf, &mh).unwrap();
+        assert_eq!(read_minhash(&mut buf.as_slice()).unwrap(), mh);
+    }
+
+    #[test]
+    fn record_roundtrip_with_embeddings() {
+        let rec = TableRecord {
+            sketch: sample_sketch(),
+            content_hash: 0xdead_beef,
+            table_embedding: Some(vec![1.0, -2.5, 3.25]),
+            column_embeddings: vec![vec![0.5; 4], vec![-0.5; 4]],
+        };
+        let mut buf = Vec::new();
+        write_record(&mut buf, &rec).unwrap();
+        let back = read_record(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.content_hash, rec.content_hash);
+        assert_eq!(back.table_embedding, rec.table_embedding);
+        assert_eq!(back.column_embeddings, rec.column_embeddings);
+        assert_eq!(back.sketch.table_id, "t1");
+        assert_eq!(back.sketch.columns.len(), 2);
+        assert_eq!(back.sketch.content_snapshot, rec.sketch.content_snapshot);
+        for (a, b) in back.sketch.columns.iter().zip(&rec.sketch.columns) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.ty, b.ty);
+            assert_eq!(a.cell_minhash, b.cell_minhash);
+            assert_eq!(a.word_minhash, b.word_minhash);
+            assert_eq!(a.numeric, b.numeric);
+        }
+    }
+
+    #[test]
+    fn record_without_embeddings() {
+        let rec = TableRecord::from_sketch(sample_sketch(), 42);
+        let mut buf = Vec::new();
+        write_record(&mut buf, &rec).unwrap();
+        let back = read_record(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.table_embedding, None);
+        assert!(back.column_embeddings.is_empty());
+    }
+
+    #[test]
+    fn corrupt_records_error_never_panic() {
+        let rec = TableRecord::from_sketch(sample_sketch(), 1);
+        let mut buf = Vec::new();
+        write_record(&mut buf, &rec).unwrap();
+        // Bad magic.
+        let mut junk = buf.clone();
+        junk[0] ^= 0xff;
+        assert!(read_record(&mut junk.as_slice()).is_err());
+        // Bad version.
+        let mut junk = buf.clone();
+        junk[8] = 0xff;
+        assert!(read_record(&mut junk.as_slice()).is_err());
+        // Every strict prefix must error (EOF mid-field), never panic.
+        for cut in 0..buf.len() {
+            assert!(read_record(&mut buf[..cut].to_vec().as_slice()).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn embedding_matrix_roundtrip_and_shape_check() {
+        let rows = vec![vec![1.0f32, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]];
+        let mut buf = Vec::new();
+        write_embedding_matrix(&mut buf, &rows, 2).unwrap();
+        assert_eq!(read_embedding_matrix(&mut buf.as_slice()).unwrap(), rows);
+        // Ragged rows rejected at write time.
+        let ragged = vec![vec![1.0f32], vec![2.0, 3.0]];
+        assert!(write_embedding_matrix(&mut Vec::new(), &ragged, 1).is_err());
+    }
+
+    #[test]
+    fn hnsw_roundtrip_preserves_search() {
+        use tsfm_search::Metric;
+        let mut h = Hnsw::new(4, Metric::Cosine, HnswConfig::default());
+        for i in 0..50u32 {
+            let v: Vec<f32> = (0..4).map(|j| ((i * 7 + j) % 13) as f32 - 6.0).collect();
+            h.add(&v);
+        }
+        let mut buf = Vec::new();
+        write_hnsw(&mut buf, &h).unwrap();
+        let back = read_hnsw(&mut buf.as_slice()).unwrap();
+        assert_eq!(h.snapshot(), back.snapshot());
+        assert_eq!(h.search(&[1.0, 2.0, 3.0, 4.0], 5), back.search(&[1.0, 2.0, 3.0, 4.0], 5));
+        // Truncations error out.
+        for cut in [0, 7, 12, 20, buf.len() - 1] {
+            assert!(read_hnsw(&mut buf[..cut].to_vec().as_slice()).is_err(), "cut {cut}");
+        }
+    }
+}

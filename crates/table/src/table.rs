@@ -106,9 +106,8 @@ impl Table {
             if i > 0 {
                 s.push('|');
             }
-            match col.values.get(row) {
-                Some(v) => s.push_str(&v.render()),
-                None => {}
+            if let Some(v) = col.values.get(row) {
+                s.push_str(&v.render());
             }
         }
         s

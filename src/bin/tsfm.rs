@@ -1,0 +1,147 @@
+//! `tsfm` — the data-lake discovery CLI over the persistent catalog.
+//!
+//! ```text
+//! tsfm ingest <catalog-dir> <csv-dir>                     sketch + store every *.csv
+//! tsfm query  <catalog-dir> <query.csv> [--mode M] [--k N]  rank the corpus for a query table
+//! tsfm stats  <catalog-dir>                               catalog summary
+//! ```
+//!
+//! Modes: `join` (default), `union`, `subset`. Re-running `ingest` on an
+//! unchanged directory is a no-op (content hashes match); the first query
+//! after any change rebuilds the ANN indexes and caches them on disk.
+
+use std::path::Path;
+use std::process::ExitCode;
+use tabsketchfm::store::{Catalog, QueryMode};
+use tabsketchfm::table::csv;
+
+const USAGE: &str = "usage:
+  tsfm ingest <catalog-dir> <csv-dir>
+  tsfm query  <catalog-dir> <query.csv> [--mode join|union|subset] [--k N]
+  tsfm stats  <catalog-dir>";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("ingest") => cmd_ingest(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("--help" | "-h" | "help") => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        _ => Err(USAGE.to_string()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("tsfm: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn cmd_ingest(args: &[String]) -> Result<(), String> {
+    let [catalog_dir, csv_dir] = args else {
+        return Err(USAGE.to_string());
+    };
+    if !Path::new(csv_dir).is_dir() {
+        return Err(format!("{csv_dir}: not a directory"));
+    }
+    let mut cat = Catalog::open(catalog_dir).map_err(|e| format!("open {catalog_dir}: {e}"))?;
+    let report = cat.ingest_dir(csv_dir).map_err(|e| format!("ingest {csv_dir}: {e}"))?;
+    println!(
+        "ingested {csv_dir}: {} added, {} updated, {} unchanged ({} sketched)",
+        report.added,
+        report.updated,
+        report.unchanged,
+        report.sketched()
+    );
+    for (file, err) in &report.failed {
+        eprintln!("tsfm: skipped {file}: {err}");
+    }
+    println!("catalog {catalog_dir}: {} tables", cat.len());
+    if report.failed.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("{} file(s) failed to ingest", report.failed.len()))
+    }
+}
+
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let (mut mode, mut k) = (QueryMode::Join, 10usize);
+    let mut positional = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--mode" => {
+                let v = it.next().ok_or("--mode needs a value")?;
+                mode = QueryMode::parse(v)
+                    .ok_or_else(|| format!("unknown mode {v:?} (join|union|subset)"))?;
+            }
+            "--k" => {
+                let v = it.next().ok_or("--k needs a value")?;
+                k = v.parse().map_err(|_| format!("invalid k {v:?}"))?;
+            }
+            _ => positional.push(a.clone()),
+        }
+    }
+    let [catalog_dir, query_csv] = &positional[..] else {
+        return Err(USAGE.to_string());
+    };
+
+    let text = std::fs::read_to_string(query_csv).map_err(|e| format!("{query_csv}: {e}"))?;
+    let id = Path::new(query_csv)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "query".into());
+    let table = csv::table_from_csv(&id, &id, &text);
+
+    let mut cat = Catalog::open(catalog_dir).map_err(|e| format!("open {catalog_dir}: {e}"))?;
+    if cat.is_empty() {
+        return Err(format!("catalog {catalog_dir} is empty — run `tsfm ingest` first"));
+    }
+    let hits = cat.query(mode, &table, k).map_err(|e| format!("query: {e}"))?;
+    // Queries may build + cache the index; persist the cache fingerprinting.
+    cat.commit().map_err(|e| format!("commit: {e}"))?;
+
+    println!(
+        "{} results for {} ({} columns) over {} tables [mode={}]",
+        hits.len(),
+        id,
+        table.num_cols(),
+        cat.len(),
+        mode.name()
+    );
+    for (rank, h) in hits.iter().enumerate() {
+        match mode {
+            QueryMode::Subset => {
+                println!("{:>3}. {:<32} est. row jaccard {:.3}", rank + 1, h.table_id, h.score)
+            }
+            _ => println!(
+                "{:>3}. {:<32} {} matching cols, distance sum {:.4}",
+                rank + 1,
+                h.table_id,
+                h.matching_columns,
+                h.score
+            ),
+        }
+    }
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let [catalog_dir] = args else {
+        return Err(USAGE.to_string());
+    };
+    let cat = Catalog::open(catalog_dir).map_err(|e| format!("open {catalog_dir}: {e}"))?;
+    let s = cat.stats();
+    println!("catalog {catalog_dir}");
+    println!("  tables        {}", s.tables);
+    println!("  columns       {}", s.columns);
+    println!("  rows          {}", s.rows);
+    println!("  segment bytes {}", s.segment_bytes);
+    println!("  minhash k     {}", s.minhash_k);
+    println!("  index cached  {}", s.index_cached);
+    Ok(())
+}

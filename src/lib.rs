@@ -12,7 +12,11 @@
 //! * [`core`] — the TabSketchFM model, pretraining and fine-tuning
 //! * [`lake`] — synthetic data-lake and benchmark generators
 //! * [`search`] — indexes (brute-force, HNSW, LSH, Josie) and ranking
+//! * [`store`] — persistent discovery catalog + binary sketch/index formats
 //! * [`baselines`] — the comparison systems from the paper's evaluation
+//!
+//! The workspace also ships the `tsfm` CLI (`src/bin/tsfm.rs`), which
+//! drives [`store`] over directories of real CSV files.
 
 pub use tsfm_baselines as baselines;
 pub use tsfm_core as core;
@@ -20,5 +24,6 @@ pub use tsfm_lake as lake;
 pub use tsfm_nn as nn;
 pub use tsfm_search as search;
 pub use tsfm_sketch as sketch;
+pub use tsfm_store as store;
 pub use tsfm_table as table;
 pub use tsfm_tokenizer as tokenizer;

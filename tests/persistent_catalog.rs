@@ -1,0 +1,180 @@
+//! Acceptance tests for the persistent catalog (ISSUE 2): a catalog built
+//! by ingesting CSVs, reopened cold, must return *identical* top-k
+//! join/union/subset results to the in-memory pipeline over the same
+//! tables; re-ingest must be incremental; and the real `tsfm` binary must
+//! work end to end in a fresh process.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::Command;
+use tabsketchfm::lake::{gen_join_search, JoinSearchConfig, World, WorldConfig};
+use tabsketchfm::sketch::{SketchConfig, TableSketch};
+use tabsketchfm::store::{Catalog, QueryEngine, QueryMode, TableRecord};
+use tabsketchfm::table::csv;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tsfm_pcat_{tag}_{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Write a benchmark's tables as `<id>.csv` files; returns the directory.
+fn write_lake_csvs(tag: &str) -> (PathBuf, Vec<String>) {
+    let world = World::generate(WorldConfig::default());
+    let bench = gen_join_search(
+        &world,
+        &JoinSearchConfig {
+            groups: 3,
+            tables_per_group: 4,
+            low_overlap_per_group: 1,
+            distractors: 6,
+            seed: 21,
+        },
+    );
+    let dir = tmp_dir(tag);
+    let mut ids = Vec::new();
+    for t in &bench.tables {
+        fs::write(dir.join(format!("{}.csv", t.id)), csv::table_to_csv(t)).unwrap();
+        ids.push(t.id.clone());
+    }
+    (dir, ids)
+}
+
+/// The acceptance criterion: catalog results == in-memory pipeline results.
+#[test]
+fn reopened_catalog_matches_in_memory_pipeline() {
+    let (csv_dir, ids) = write_lake_csvs("parity");
+    let cat_dir = tmp_dir("parity_cat");
+
+    // Ingest and drop — queries must not depend on the ingesting process.
+    {
+        let mut cat = Catalog::open(&cat_dir).unwrap();
+        let report = cat.ingest_dir(&csv_dir).unwrap();
+        assert_eq!(report.added, ids.len());
+    }
+
+    // In-memory pipeline: parse the same CSVs, sketch, build the engine.
+    let cfg = SketchConfig::default();
+    let records: Vec<TableRecord> = ids
+        .iter()
+        .map(|id| {
+            let text = fs::read_to_string(csv_dir.join(format!("{id}.csv"))).unwrap();
+            let table = csv::table_from_csv(id, id, &text);
+            TableRecord::from_sketch(TableSketch::build(&table, &cfg), 0)
+        })
+        .collect();
+    let in_memory = QueryEngine::build(&records, cfg.minhash_k, Default::default());
+
+    // Reopened catalog: cold open, indexes rebuilt lazily on first query.
+    let mut cat = Catalog::open(&cat_dir).unwrap();
+    assert_eq!(cat.len(), ids.len());
+    let k = 5;
+    for id in ids.iter().take(8) {
+        let text = fs::read_to_string(csv_dir.join(format!("{id}.csv"))).unwrap();
+        let table = csv::table_from_csv(id, id, &text);
+        let sketch = TableSketch::build(&table, &cfg);
+        for mode in [QueryMode::Join, QueryMode::Union, QueryMode::Subset] {
+            let fresh = in_memory.query(mode, &sketch, k);
+            let persisted = cat.query(mode, &table, k).unwrap();
+            assert_eq!(
+                fresh, persisted,
+                "{} results diverged for query {id}",
+                mode.name()
+            );
+        }
+    }
+
+    // Second open hits the on-disk index cache and must still agree.
+    cat.commit().unwrap();
+    drop(cat);
+    let mut cached = Catalog::open(&cat_dir).unwrap();
+    assert!(cached.stats().index_cached, "first query persisted the index cache");
+    let q_text = fs::read_to_string(csv_dir.join(format!("{}.csv", ids[0]))).unwrap();
+    let q_table = csv::table_from_csv(&ids[0], &ids[0], &q_text);
+    let q_sketch = TableSketch::build(&q_table, &cfg);
+    for mode in [QueryMode::Join, QueryMode::Union, QueryMode::Subset] {
+        assert_eq!(
+            in_memory.query(mode, &q_sketch, k),
+            cached.query(mode, &q_table, k).unwrap(),
+            "cached-index results diverged"
+        );
+    }
+}
+
+/// Incremental ingest: unchanged directory → 0 sketches; one new CSV → 1.
+#[test]
+fn reingest_is_incremental() {
+    let (csv_dir, ids) = write_lake_csvs("incr");
+    let cat_dir = tmp_dir("incr_cat");
+
+    let mut cat = Catalog::open(&cat_dir).unwrap();
+    let r1 = cat.ingest_dir(&csv_dir).unwrap();
+    assert_eq!(r1.added, ids.len());
+    assert!(r1.failed.is_empty());
+
+    let r2 = cat.ingest_dir(&csv_dir).unwrap();
+    assert_eq!(r2.sketched(), 0, "unchanged directory must be a no-op: {r2:?}");
+    assert_eq!(r2.unchanged, ids.len());
+
+    fs::write(csv_dir.join("extra.csv"), "k,v\na,1\nb,2\n").unwrap();
+    let r3 = cat.ingest_dir(&csv_dir).unwrap();
+    assert_eq!(r3.sketched(), 1, "exactly the new CSV is sketched: {r3:?}");
+    assert_eq!((r3.added, r3.unchanged), (1, ids.len()));
+    assert_eq!(cat.len(), ids.len() + 1);
+}
+
+/// Drive the real binary: ingest + query + stats in fresh processes.
+#[test]
+fn tsfm_cli_end_to_end() {
+    let (csv_dir, ids) = write_lake_csvs("cli");
+    let cat_dir = tmp_dir("cli_cat");
+    let bin = env!("CARGO_BIN_EXE_tsfm");
+
+    // Give the subset workload a true row-subset of the query table.
+    let base = fs::read_to_string(csv_dir.join(format!("{}.csv", ids[0]))).unwrap();
+    let half: Vec<&str> = base.lines().take(1 + (base.lines().count() - 1) / 2).collect();
+    fs::write(csv_dir.join("zz_rowsubset.csv"), half.join("\n") + "\n").unwrap();
+    let n_tables = ids.len() + 1;
+
+    let run = |args: &[&str]| {
+        let out = Command::new(bin).args(args).output().expect("spawn tsfm");
+        assert!(
+            out.status.success(),
+            "tsfm {args:?} failed:\nstdout: {}\nstderr: {}",
+            String::from_utf8_lossy(&out.stdout),
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+
+    let cat_s = cat_dir.to_str().unwrap();
+    let csv_s = csv_dir.to_str().unwrap();
+    let ingest1 = run(&["ingest", cat_s, csv_s]);
+    assert!(ingest1.contains(&format!("{n_tables} added")), "{ingest1}");
+
+    let ingest2 = run(&["ingest", cat_s, csv_s]);
+    assert!(ingest2.contains("0 added"), "{ingest2}");
+    assert!(ingest2.contains("(0 sketched)"), "re-ingest must be a no-op: {ingest2}");
+
+    let query_csv = csv_dir.join(format!("{}.csv", ids[0]));
+    for mode in ["join", "union", "subset"] {
+        let out = run(&["query", cat_s, query_csv.to_str().unwrap(), "--mode", mode, "--k", "3"]);
+        assert!(out.contains(&format!("mode={mode}")), "{out}");
+        let hit_ids: Vec<&str> = out
+            .lines()
+            .skip(1) // header line names the query table itself
+            .filter_map(|l| l.split_whitespace().nth(1))
+            .collect();
+        assert!(!hit_ids.is_empty(), "expected at least one ranked hit: {out}");
+        assert!(!hit_ids.contains(&ids[0].as_str()), "query table excluded: {out}");
+    }
+
+    let stats = run(&["stats", cat_s]);
+    assert!(stats.contains(&format!("tables        {n_tables}")), "{stats}");
+    assert!(stats.contains("index cached  true"), "{stats}");
+
+    // Usage errors exit non-zero.
+    let out = Command::new(bin).arg("bogus").output().unwrap();
+    assert!(!out.status.success());
+}

@@ -80,6 +80,7 @@ fn bench_fig6_ranking(c: &mut Criterion) {
             (0..30)
                 .map(|_| ColumnHit {
                     table: rng.gen_range(0..200),
+                    column: rng.gen_range(0..2000),
                     distance: rng.gen_range(0.0..1.0),
                 })
                 .collect()

@@ -1,6 +1,7 @@
 //! Criterion benches for the persistent catalog: ingest throughput
-//! (tables/sec) and the cold-open + first-query latency that the on-disk
-//! index cache is designed to amortize, at 1k and 10k synthetic tables.
+//! (tables/sec), the cold-open + first-query latency that the on-disk
+//! index cache is designed to amortize, and the parallel `search_batch`
+//! speedup over a serial query loop, at 1k and 10k synthetic tables.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::path::PathBuf;
@@ -8,7 +9,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 use tsfm_lake::{gen_pretrain_corpus, World, WorldConfig};
 use tsfm_sketch::SketchConfig;
-use tsfm_store::Catalog;
+use tsfm_store::{Catalog, DiscoveryRequest, QueryMode};
 use tsfm_table::hash::hash_str;
 use tsfm_table::Table;
 
@@ -79,27 +80,85 @@ fn bench_catalog(c: &mut Criterion) {
 
         // Cold open + first query, index built from records (no cache).
         let query = &tables[0];
+        let join_req = DiscoveryRequest::builder(QueryMode::Join).k(10).build().expect("req");
         let (cold_dir, _) = populate(&tables, "cold");
         group.bench_with_input(BenchmarkId::new("cold_first_query", n), query, |b, q| {
             b.iter(|| {
                 // Remove any cache a previous iteration wrote.
                 let _ = std::fs::remove_file(cold_dir.join("index.cache"));
                 let mut cat = Catalog::open(&cold_dir).expect("open");
-                cat.query_join(q, 10).expect("query").len()
+                let searcher = cat.searcher().expect("snapshot");
+                searcher.search_table(q, &join_req).expect("query").hits.len()
             })
         });
 
         // Cold open + first query with a warm on-disk index cache.
         let (warm_dir, mut warm_cat) = populate(&tables, "warm");
-        warm_cat.query_join(query, 10).expect("build + cache index");
+        warm_cat
+            .searcher()
+            .expect("snapshot")
+            .search_table(query, &join_req)
+            .expect("build + cache index");
         warm_cat.commit().expect("commit");
         drop(warm_cat);
         group.bench_with_input(BenchmarkId::new("cached_first_query", n), query, |b, q| {
             b.iter(|| {
                 let mut cat = Catalog::open(&warm_dir).expect("open");
-                cat.query_join(q, 10).expect("query").len()
+                let searcher = cat.searcher().expect("snapshot");
+                searcher.search_table(q, &join_req).expect("query").hits.len()
             })
         });
+
+        // Batched querying over one shared snapshot: serial loop vs the
+        // std::thread::scope fan-out in QueryEngine::search_batch. Only at
+        // 1k — the acceptance number — to keep bench wall-clock sane.
+        if n == 1_000 {
+            let (_batch_dir, mut batch_cat) = populate(&tables, "batch");
+            let searcher = batch_cat.searcher().expect("snapshot");
+            let sketches: Vec<_> =
+                tables.iter().take(64).map(|t| searcher.sketch(t)).collect();
+            group.bench_function("serial_batch_1k", |b| {
+                b.iter(|| {
+                    sketches
+                        .iter()
+                        .map(|s| searcher.search_sketch(s, &join_req).expect("query").hits.len())
+                        .sum::<usize>()
+                })
+            });
+            group.bench_function("parallel_batch_1k", |b| {
+                b.iter(|| {
+                    searcher
+                        .search_batch(&sketches, &join_req)
+                        .expect("batch")
+                        .iter()
+                        .map(|r| r.hits.len())
+                        .sum::<usize>()
+                })
+            });
+
+            // One-shot headline speedup outside the measurement loop. On a
+            // single-core host search_batch degrades to the serial path,
+            // so the ratio is ~1.0x there by design; the thread count in
+            // the output says which regime was measured.
+            let threads =
+                std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1);
+            let t0 = Instant::now();
+            for s in &sketches {
+                searcher.search_sketch(s, &join_req).expect("query");
+            }
+            let serial = t0.elapsed().as_secs_f64();
+            let t0 = Instant::now();
+            searcher.search_batch(&sketches, &join_req).expect("batch");
+            let parallel = t0.elapsed().as_secs_f64();
+            println!(
+                "store: batch of {} queries at n={n} over {threads} thread(s): \
+                 serial {:.1}ms, parallel {:.1}ms ({:.1}x)",
+                sketches.len(),
+                serial * 1e3,
+                parallel * 1e3,
+                serial / parallel
+            );
+        }
 
         group.finish();
 

@@ -158,7 +158,7 @@ pub fn fig6_search(space: &ColumnSpace, bench: &SearchBenchmark, k: usize) -> Ve
             let hits = index
                 .search(&space.vecs[pos], k * 3)
                 .into_iter()
-                .map(|(id, d)| ColumnHit { table: space.owners[id].table, distance: d })
+                .map(|(id, d)| ColumnHit { table: space.owners[id].table, column: id, distance: d })
                 .collect();
             per_col.push(hits);
         }
@@ -188,7 +188,7 @@ pub fn join_search_embeddings(
         let hits: Vec<ColumnHit> = index
             .search(&space.vecs[pos], k * 3)
             .into_iter()
-            .map(|(id, d)| ColumnHit { table: space.owners[id].table, distance: d })
+            .map(|(id, d)| ColumnHit { table: space.owners[id].table, column: id, distance: d })
             .collect();
         let mut ids = ranked_table_ids(&[hits], Some(q));
         ids.truncate(k);

@@ -16,5 +16,8 @@ pub use metrics::{
     recall_at_k, weighted_f1, SearchScores,
 };
 pub use overlap::{JosieIndex, LshForest, MinHashLsh};
-pub use rank::{column_near_tables, near_tables, ranked_table_ids, ColumnHit, RankedTable};
+pub use rank::{
+    column_near_tables, near_tables, near_tables_with_provenance, ranked_table_ids, ColumnHit,
+    ColumnProvenance, RankedTable, RankedTableDetail,
+};
 pub use simhash::{SimHashConfig, SimHashLsh};

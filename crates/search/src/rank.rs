@@ -10,10 +10,14 @@
 
 use std::collections::HashMap;
 
-/// One retrieved column: which table owns it and the embedding distance.
+/// One retrieved column: which table owns it, which corpus column it is
+/// (a dense index into the searched column space, kept for ranking
+/// provenance), and the embedding distance.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ColumnHit {
     pub table: usize,
+    /// Dense index of the retrieved corpus column.
+    pub column: usize,
     pub distance: f32,
 }
 
@@ -79,12 +83,85 @@ pub fn ranked_table_ids(per_column_hits: &[Vec<ColumnHit>], exclude: Option<usiz
     near_tables(per_column_hits, exclude).into_iter().map(|r| r.table).collect()
 }
 
+/// Provenance of one matching query column inside a ranked table: which
+/// corpus column produced the per-column minimum distance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ColumnProvenance {
+    /// Index of the query column (position in `per_column_hits`).
+    pub query_column: usize,
+    /// Dense index of the closest matching corpus column.
+    pub corpus_column: usize,
+    pub distance: f32,
+}
+
+/// A [`RankedTable`] plus the per-column matches behind its rank.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankedTableDetail {
+    pub table: usize,
+    pub matching_columns: usize,
+    pub distance_sum: f32,
+    /// One entry per matching query column, in query-column order.
+    pub matches: Vec<ColumnProvenance>,
+}
+
+/// [`near_tables`] with full provenance: identical ranking (same RANK1 /
+/// RANK2 / id tie-break ordering), but every candidate table also carries
+/// which corpus column each matching query column collapsed to. Ties
+/// between equally-distant corpus columns break toward the smaller dense
+/// index so explanations are deterministic.
+pub fn near_tables_with_provenance(
+    per_column_hits: &[Vec<ColumnHit>],
+    exclude: Option<usize>,
+) -> Vec<RankedTableDetail> {
+    let mut agg: HashMap<usize, RankedTableDetail> = HashMap::new();
+    for (qc, hits) in per_column_hits.iter().enumerate() {
+        // COLUMNNEARTABLES, keeping the winning corpus column per table.
+        let mut best: HashMap<usize, (f32, usize)> = HashMap::new();
+        for h in hits {
+            best.entry(h.table)
+                .and_modify(|(d, col)| {
+                    if h.distance < *d || (h.distance == *d && h.column < *col) {
+                        *d = h.distance;
+                        *col = h.column;
+                    }
+                })
+                .or_insert((h.distance, h.column));
+        }
+        for (table, (distance, corpus_column)) in best {
+            if Some(table) == exclude {
+                continue;
+            }
+            let e = agg.entry(table).or_insert_with(|| RankedTableDetail {
+                table,
+                matching_columns: 0,
+                distance_sum: 0.0,
+                matches: Vec::new(),
+            });
+            e.matching_columns += 1;
+            e.distance_sum += distance;
+            e.matches.push(ColumnProvenance { query_column: qc, corpus_column, distance });
+        }
+    }
+    let mut out: Vec<RankedTableDetail> = agg.into_values().collect();
+    out.sort_by(|a, b| {
+        b.matching_columns
+            .cmp(&a.matching_columns)
+            .then(a.distance_sum.partial_cmp(&b.distance_sum).expect("finite"))
+            .then(a.table.cmp(&b.table))
+    });
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn hit(table: usize, distance: f32) -> ColumnHit {
-        ColumnHit { table, distance }
+        ColumnHit { table, column: 0, distance }
+    }
+
+    fn hit_col(table: usize, column: usize, distance: f32) -> ColumnHit {
+        ColumnHit { table, column, distance }
     }
 
     #[test]
@@ -139,5 +216,49 @@ mod tests {
         let per_col = vec![vec![hit(9, 0.5), hit(4, 0.5)]];
         let ids = ranked_table_ids(&per_col, None);
         assert_eq!(ids, vec![4, 9]);
+    }
+
+    #[test]
+    fn provenance_matches_ranking_and_names_winning_columns() {
+        // Query col 0 matches table 5 via corpus col 50 (0.2 beats 0.9 from
+        // col 51); query col 1 matches table 5 via col 52 and table 7 via
+        // col 70.
+        let per_col = vec![
+            vec![hit_col(5, 51, 0.9), hit_col(5, 50, 0.2)],
+            vec![hit_col(5, 52, 0.3), hit_col(7, 70, 0.1)],
+        ];
+        let plain = near_tables(&per_col, None);
+        let detailed = near_tables_with_provenance(&per_col, None);
+        assert_eq!(plain.len(), detailed.len());
+        for (p, d) in plain.iter().zip(&detailed) {
+            assert_eq!((p.table, p.matching_columns), (d.table, d.matching_columns));
+            assert!((p.distance_sum - d.distance_sum).abs() < 1e-6);
+        }
+        let t5 = detailed.iter().find(|d| d.table == 5).unwrap();
+        assert_eq!(
+            t5.matches,
+            vec![
+                ColumnProvenance { query_column: 0, corpus_column: 50, distance: 0.2 },
+                ColumnProvenance { query_column: 1, corpus_column: 52, distance: 0.3 },
+            ]
+        );
+        let t7 = detailed.iter().find(|d| d.table == 7).unwrap();
+        assert_eq!(t7.matches.len(), 1);
+        assert_eq!(t7.matches[0].corpus_column, 70);
+    }
+
+    #[test]
+    fn provenance_tie_breaks_toward_smaller_corpus_column() {
+        let per_col = vec![vec![hit_col(1, 12, 0.5), hit_col(1, 3, 0.5)]];
+        let detailed = near_tables_with_provenance(&per_col, None);
+        assert_eq!(detailed[0].matches[0].corpus_column, 3);
+    }
+
+    #[test]
+    fn provenance_respects_exclude() {
+        let per_col = vec![vec![hit_col(0, 1, 0.0), hit_col(1, 9, 0.5)]];
+        let detailed = near_tables_with_provenance(&per_col, Some(0));
+        assert_eq!(detailed.len(), 1);
+        assert_eq!(detailed[0].table, 1);
     }
 }

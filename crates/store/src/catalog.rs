@@ -10,10 +10,16 @@
 //!
 //! Mutations (`add_table`, `add_record`, `remove`) update segment files
 //! immediately and the in-memory manifest; [`Catalog::commit`] writes the
-//! manifest atomically (also called on drop, best effort). Query indexes
-//! are built lazily on the first query after any mutation; the built HNSW
-//! graphs are cached on disk keyed by a fingerprint of the manifest, so a
-//! cold reopen of an unchanged catalog skips graph construction entirely.
+//! manifest atomically (also called on drop, best effort).
+//!
+//! Reads are split from writes: [`Catalog::searcher`] returns a
+//! [`Searcher`] — an immutable `Arc`-shared snapshot of the query engine
+//! that is `Send + Sync` — so queries never hold `&mut Catalog`. Every
+//! mutation bumps the catalog [`Catalog::epoch`] and drops the cached
+//! snapshot; the next `searcher()` call rebuilds it (loading the on-disk
+//! HNSW cache when the manifest fingerprint matches, so a cold reopen of
+//! an unchanged catalog skips graph construction entirely). Snapshots
+//! already handed out keep serving their generation.
 //!
 //! Incremental ingest: every record stores the stable hash of its source
 //! bytes. [`Catalog::ingest_dir`] hashes each CSV *before* parsing and
@@ -22,12 +28,16 @@
 //! exactly one table.
 
 use crate::engine::{QueryEngine, QueryMode, TableHit};
+use crate::error::{StoreError, StoreResult};
 use crate::record::TableRecord;
+use crate::request::DiscoveryRequest;
+use crate::searcher::Searcher;
 use crate::ser;
 use std::collections::BTreeMap;
 use std::fs::{self, File};
-use std::io::{self, BufReader, BufWriter, Write};
+use std::io::{BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use tsfm_search::HnswConfig;
 use tsfm_sketch::{SketchConfig, TableSketch};
 use tsfm_table::hash::{hash_str, splitmix64};
@@ -95,21 +105,25 @@ pub struct Catalog {
     sketch_cfg: SketchConfig,
     hnsw_cfg: HnswConfig,
     entries: BTreeMap<String, ManifestEntry>,
-    engine: Option<QueryEngine>,
+    /// Cached read snapshot for the current epoch; dropped on mutation.
+    snapshot: Option<Searcher>,
+    /// Bumped by every mutation; snapshots carry the epoch they captured.
+    epoch: u64,
     manifest_dirty: bool,
 }
 
 impl Catalog {
     /// Open a catalog directory, creating an empty catalog (with the
     /// default [`SketchConfig`]) if none exists yet.
-    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+    pub fn open(dir: impl Into<PathBuf>) -> StoreResult<Self> {
         Self::open_with(dir, SketchConfig::default())
     }
 
     /// Open with an explicit sketch configuration. If the catalog already
     /// exists its persisted configuration wins — sketches on disk were
-    /// built with it — and a mismatch with `cfg` is an error.
-    pub fn open_with(dir: impl Into<PathBuf>, cfg: SketchConfig) -> io::Result<Self> {
+    /// built with it — and a mismatch with `cfg` is an
+    /// [`StoreError::InvalidRequest`].
+    pub fn open_with(dir: impl Into<PathBuf>, cfg: SketchConfig) -> StoreResult<Self> {
         let dir = dir.into();
         let manifest = dir.join(MANIFEST_FILE);
         if manifest.exists() {
@@ -118,7 +132,7 @@ impl Catalog {
                 || sketch_cfg.max_rows != cfg.max_rows
                 || sketch_cfg.seed != cfg.seed
             {
-                return Err(ser::bad(format!(
+                return Err(StoreError::invalid(format!(
                     "catalog was created with (k={}, max_rows={}, seed={:#x}); \
                      refusing to open with a different sketch config",
                     sketch_cfg.minhash_k, sketch_cfg.max_rows, sketch_cfg.seed
@@ -129,7 +143,8 @@ impl Catalog {
                 sketch_cfg,
                 hnsw_cfg: HnswConfig::default(),
                 entries,
-                engine: None,
+                snapshot: None,
+                epoch: 0,
                 manifest_dirty: false,
             });
         }
@@ -139,7 +154,8 @@ impl Catalog {
             sketch_cfg: cfg,
             hnsw_cfg: HnswConfig::default(),
             entries: BTreeMap::new(),
-            engine: None,
+            snapshot: None,
+            epoch: 0,
             manifest_dirty: true,
         };
         cat.write_manifest()?;
@@ -162,6 +178,13 @@ impl Catalog {
         self.entries.is_empty()
     }
 
+    /// The mutation generation of this catalog. Bumped by every
+    /// `add_table` / `add_record` / `remove`; a [`Searcher`] whose
+    /// [`Searcher::epoch`] is older was taken before those mutations.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
     /// Table ids in ascending order.
     pub fn iter_ids(&self) -> impl Iterator<Item = &str> {
         self.entries.keys().map(String::as_str)
@@ -172,25 +195,31 @@ impl Catalog {
     }
 
     /// Load one table's full record from its segment file.
-    pub fn get(&self, id: &str) -> io::Result<Option<TableRecord>> {
+    pub fn get(&self, id: &str) -> StoreResult<Option<TableRecord>> {
         let Some(entry) = self.entries.get(id) else {
             return Ok(None);
         };
         let path = self.dir.join(SEGMENT_DIR).join(&entry.segment);
         let rec = ser::read_record(&mut BufReader::new(File::open(path)?))?;
         if rec.content_hash != entry.content_hash || rec.table_id() != id {
-            return Err(ser::bad(format!(
-                "segment {} does not match manifest entry for {id:?}",
-                entry.segment
-            )));
+            return Err(StoreError::corrupt(
+                "TSFMSEG1",
+                format!("segment {} does not match manifest entry for {id:?}", entry.segment),
+            ));
         }
         Ok(Some(rec))
+    }
+
+    /// Like [`Catalog::get`] but a missing id is a typed
+    /// [`StoreError::UnknownTable`] instead of `None`.
+    pub fn record(&self, id: &str) -> StoreResult<TableRecord> {
+        self.get(id)?.ok_or_else(|| StoreError::UnknownTable(id.to_string()))
     }
 
     /// Sketch `table` and store it under `table.id`. `content_hash` is the
     /// stable hash of the source bytes; if the stored record already has
     /// this hash nothing is re-sketched.
-    pub fn add_table(&mut self, table: &Table, content_hash: u64) -> io::Result<IngestOutcome> {
+    pub fn add_table(&mut self, table: &Table, content_hash: u64) -> StoreResult<IngestOutcome> {
         if self.entries.get(&table.id).map(|e| e.content_hash) == Some(content_hash) {
             return Ok(IngestOutcome::Unchanged);
         }
@@ -199,7 +228,7 @@ impl Catalog {
     }
 
     /// Store a pre-built record (the path for records carrying embeddings).
-    pub fn add_record(&mut self, rec: TableRecord) -> io::Result<IngestOutcome> {
+    pub fn add_record(&mut self, rec: TableRecord) -> StoreResult<IngestOutcome> {
         let id = rec.table_id().to_string();
         let outcome = match self.entries.get(&id) {
             Some(e) if e.content_hash == rec.content_hash => return Ok(IngestOutcome::Unchanged),
@@ -229,7 +258,7 @@ impl Catalog {
     }
 
     /// Remove a table; returns whether it existed.
-    pub fn remove(&mut self, id: &str) -> io::Result<bool> {
+    pub fn remove(&mut self, id: &str) -> StoreResult<bool> {
         let Some(entry) = self.entries.remove(id) else {
             return Ok(false);
         };
@@ -241,7 +270,7 @@ impl Catalog {
     /// Ingest every `*.csv` file of a directory (sorted by name; the file
     /// stem becomes the table id). Unchanged files are skipped before
     /// parsing. Commits the manifest at the end.
-    pub fn ingest_dir(&mut self, dir: impl AsRef<Path>) -> io::Result<IngestReport> {
+    pub fn ingest_dir(&mut self, dir: impl AsRef<Path>) -> StoreResult<IngestReport> {
         let mut files: Vec<PathBuf> = fs::read_dir(dir.as_ref())?
             .filter_map(|e| e.ok().map(|e| e.path()))
             .filter(|p| p.extension().map(|x| x == "csv").unwrap_or(false))
@@ -275,7 +304,7 @@ impl Catalog {
     }
 
     /// Write the manifest if it has pending changes.
-    pub fn commit(&mut self) -> io::Result<()> {
+    pub fn commit(&mut self) -> StoreResult<()> {
         if self.manifest_dirty {
             self.write_manifest()?;
             self.manifest_dirty = false;
@@ -301,40 +330,17 @@ impl Catalog {
         }
     }
 
-    /// Sketch a query table (with the catalog's own config) and rank the
-    /// corpus under `mode`.
-    pub fn query(&mut self, mode: QueryMode, table: &Table, k: usize) -> io::Result<Vec<TableHit>> {
-        let sketch = TableSketch::build(table, &self.sketch_cfg);
-        Ok(self.engine()?.query(mode, &sketch, k))
-    }
-
-    pub fn query_join(&mut self, table: &Table, k: usize) -> io::Result<Vec<TableHit>> {
-        self.query(QueryMode::Join, table, k)
-    }
-
-    pub fn query_union(&mut self, table: &Table, k: usize) -> io::Result<Vec<TableHit>> {
-        self.query(QueryMode::Union, table, k)
-    }
-
-    pub fn query_subset(&mut self, table: &Table, k: usize) -> io::Result<Vec<TableHit>> {
-        self.query(QueryMode::Subset, table, k)
-    }
-
-    /// Batched query over pre-built sketches (must use the catalog's
-    /// sketch config).
-    pub fn query_batch(
-        &mut self,
-        mode: QueryMode,
-        sketches: &[TableSketch],
-        k: usize,
-    ) -> io::Result<Vec<Vec<TableHit>>> {
-        Ok(self.engine()?.query_batch(mode, sketches, k))
-    }
-
-    /// The query engine over the current contents, building (or loading
-    /// from the index cache) on first use after a mutation.
-    pub fn engine(&mut self) -> io::Result<&QueryEngine> {
-        if self.engine.is_none() {
+    /// An immutable, `Send + Sync` read snapshot of the current contents:
+    /// the query path. The first call after any mutation (or a cold open)
+    /// builds the indexes — loading the on-disk cache when its fingerprint
+    /// matches — and the result is cached until the next mutation, so
+    /// repeated calls are two `Arc` clones.
+    pub fn searcher(&mut self) -> StoreResult<Searcher> {
+        if self.snapshot.is_none() {
+            // `load_all_records` walks the manifest BTreeMap, so records
+            // arrive in ascending-id order — exactly the engine's
+            // canonical order — letting the sketches double as the
+            // searcher's id-addressable corpus.
             let records = self.load_all_records()?;
             let fp = self.fingerprint();
             let engine = match self.try_load_cached_engine(&records, fp) {
@@ -351,13 +357,27 @@ impl Catalog {
                     e
                 }
             };
-            self.engine = Some(engine);
+            let sketches: Vec<TableSketch> = records.into_iter().map(|r| r.sketch).collect();
+            self.snapshot = Some(Searcher::new(
+                Arc::new(engine),
+                Arc::new(sketches),
+                self.sketch_cfg.clone(),
+                self.epoch,
+            ));
         }
-        Ok(self.engine.as_ref().expect("just built"))
+        Ok(self.snapshot.as_ref().expect("just built").clone())
+    }
+
+    /// The query engine over the current contents, building (or loading
+    /// from the index cache) on first use after a mutation. Prefer
+    /// [`Catalog::searcher`], which hands out an owned shareable snapshot.
+    pub fn engine(&mut self) -> StoreResult<&QueryEngine> {
+        self.searcher()?;
+        Ok(self.snapshot.as_ref().expect("just built").engine())
     }
 
     /// Load every record (ascending id order).
-    pub fn load_all_records(&self) -> io::Result<Vec<TableRecord>> {
+    pub fn load_all_records(&self) -> StoreResult<Vec<TableRecord>> {
         let ids: Vec<String> = self.entries.keys().cloned().collect();
         let mut out = Vec::with_capacity(ids.len());
         for id in ids {
@@ -366,8 +386,58 @@ impl Catalog {
         Ok(out)
     }
 
+    // ---- deprecated positional shims (one-PR grace period) ---------------
+
+    /// Sketch a query table (with the catalog's own config) and rank the
+    /// corpus under `mode`.
+    #[deprecated(note = "take a Searcher via Catalog::searcher and build a DiscoveryRequest")]
+    pub fn query(&mut self, mode: QueryMode, table: &Table, k: usize) -> StoreResult<Vec<TableHit>> {
+        let searcher = self.searcher()?;
+        if k == 0 || searcher.is_empty() {
+            return Ok(Vec::new());
+        }
+        let req = DiscoveryRequest::builder(mode).k(k).build()?;
+        Ok(searcher.search_table(table, &req)?.hits)
+    }
+
+    #[deprecated(note = "take a Searcher via Catalog::searcher and build a DiscoveryRequest")]
+    pub fn query_join(&mut self, table: &Table, k: usize) -> StoreResult<Vec<TableHit>> {
+        #[allow(deprecated)]
+        self.query(QueryMode::Join, table, k)
+    }
+
+    #[deprecated(note = "take a Searcher via Catalog::searcher and build a DiscoveryRequest")]
+    pub fn query_union(&mut self, table: &Table, k: usize) -> StoreResult<Vec<TableHit>> {
+        #[allow(deprecated)]
+        self.query(QueryMode::Union, table, k)
+    }
+
+    #[deprecated(note = "take a Searcher via Catalog::searcher and build a DiscoveryRequest")]
+    pub fn query_subset(&mut self, table: &Table, k: usize) -> StoreResult<Vec<TableHit>> {
+        #[allow(deprecated)]
+        self.query(QueryMode::Subset, table, k)
+    }
+
+    /// Batched query over pre-built sketches (must use the catalog's
+    /// sketch config).
+    #[deprecated(note = "take a Searcher via Catalog::searcher and call Searcher::search_batch")]
+    pub fn query_batch(
+        &mut self,
+        mode: QueryMode,
+        sketches: &[TableSketch],
+        k: usize,
+    ) -> StoreResult<Vec<Vec<TableHit>>> {
+        let searcher = self.searcher()?;
+        if k == 0 || searcher.is_empty() {
+            return Ok(vec![Vec::new(); sketches.len()]);
+        }
+        let req = DiscoveryRequest::builder(mode).k(k).build()?;
+        Ok(searcher.search_batch(sketches, &req)?.into_iter().map(|r| r.hits).collect())
+    }
+
     fn invalidate(&mut self) {
-        self.engine = None;
+        self.snapshot = None;
+        self.epoch += 1;
         self.manifest_dirty = true;
     }
 
@@ -404,7 +474,7 @@ impl Catalog {
         QueryEngine::with_graphs(records, self.sketch_cfg.minhash_k, join, union).ok()
     }
 
-    fn write_index_cache(&self, engine: &QueryEngine, fp: u64) -> io::Result<()> {
+    fn write_index_cache(&self, engine: &QueryEngine, fp: u64) -> StoreResult<()> {
         write_atomic(&self.dir.join(INDEX_FILE), |w| {
             ser::write_magic(w, INDEX_MAGIC)?;
             ser::write_u64(w, fp)?;
@@ -413,7 +483,7 @@ impl Catalog {
         })
     }
 
-    fn write_manifest(&self) -> io::Result<()> {
+    fn write_manifest(&self) -> StoreResult<()> {
         write_atomic(&self.dir.join(MANIFEST_FILE), |w| {
             ser::write_magic(w, MANIFEST_MAGIC)?;
             ser::write_u32(w, self.sketch_cfg.minhash_k as u32)?;
@@ -439,7 +509,11 @@ impl Drop for Catalog {
     }
 }
 
-fn read_manifest(path: &Path) -> io::Result<(SketchConfig, BTreeMap<String, ManifestEntry>)> {
+fn read_manifest(path: &Path) -> StoreResult<(SketchConfig, BTreeMap<String, ManifestEntry>)> {
+    read_manifest_inner(path).map_err(|e| e.into_format("TSFMCAT1"))
+}
+
+fn read_manifest_inner(path: &Path) -> StoreResult<(SketchConfig, BTreeMap<String, ManifestEntry>)> {
     let mut r = BufReader::new(File::open(path)?);
     ser::expect_magic(&mut r, MANIFEST_MAGIC, "TSFM catalog manifest")?;
     let cfg = SketchConfig {
@@ -449,14 +523,17 @@ fn read_manifest(path: &Path) -> io::Result<(SketchConfig, BTreeMap<String, Mani
     };
     let count = ser::read_u32(&mut r)? as usize;
     if count > 1 << 24 {
-        return Err(ser::bad(format!("unreasonable table count {count}")));
+        return Err(StoreError::corrupt("TSFMCAT1", format!("unreasonable table count {count}")));
     }
     let mut entries = BTreeMap::new();
     for _ in 0..count {
         let id = ser::read_str(&mut r)?;
         let segment = ser::read_str(&mut r)?;
         if segment.contains('/') || segment.contains("..") {
-            return Err(ser::bad(format!("suspicious segment path {segment:?}")));
+            return Err(StoreError::corrupt(
+                "TSFMCAT1",
+                format!("suspicious segment path {segment:?}"),
+            ));
         }
         let entry = ManifestEntry {
             segment,
@@ -485,14 +562,15 @@ fn segment_name(id: &str, content_hash: u64) -> String {
 /// file and a crash never corrupts an existing one.
 fn write_atomic(
     path: &Path,
-    body: impl FnOnce(&mut BufWriter<File>) -> io::Result<()>,
-) -> io::Result<()> {
+    body: impl FnOnce(&mut BufWriter<File>) -> StoreResult<()>,
+) -> StoreResult<()> {
     let tmp = path.with_extension("tmp");
     let mut w = BufWriter::new(File::create(&tmp)?);
     body(&mut w)?;
     w.flush()?;
     drop(w);
-    fs::rename(&tmp, path)
+    fs::rename(&tmp, path)?;
+    Ok(())
 }
 
 #[cfg(test)]
@@ -516,6 +594,10 @@ mod tests {
         t
     }
 
+    fn join_req(k: usize) -> DiscoveryRequest {
+        DiscoveryRequest::builder(QueryMode::Join).k(k).build().unwrap()
+    }
+
     #[test]
     fn open_add_reopen_get() {
         let dir = tmp_dir("reopen");
@@ -530,6 +612,7 @@ mod tests {
         assert_eq!(rec.content_hash, 99);
         assert_eq!(rec.sketch.columns.len(), 1);
         assert!(cat.get("missing").unwrap().is_none());
+        assert!(matches!(cat.record("missing"), Err(StoreError::UnknownTable(id)) if id == "missing"));
     }
 
     #[test]
@@ -585,23 +668,54 @@ mod tests {
         for i in 0..5 {
             cat.add_table(&table(&format!("t{i}"), &[i, i + 1, i + 2]), i as u64).unwrap();
         }
-        assert!(!cat.stats().index_cached, "no cache before first query");
-        let hits = cat.query_join(&table("q", &[1, 2, 3]), 3).unwrap();
+        assert!(!cat.stats().index_cached, "no cache before the first snapshot");
+        let hits =
+            cat.searcher().unwrap().search_table(&table("q", &[1, 2, 3]), &join_req(3)).unwrap().hits;
         assert!(!hits.is_empty());
         cat.commit().unwrap();
-        assert!(cat.stats().index_cached, "first query persists the index");
+        assert!(cat.stats().index_cached, "first snapshot persists the index");
         drop(cat);
 
         // Reopen: the cache fingerprint still matches, and queries agree.
         let mut cat2 = Catalog::open(&dir).unwrap();
         assert!(cat2.stats().index_cached);
-        assert_eq!(cat2.query_join(&table("q", &[1, 2, 3]), 3).unwrap(), hits);
+        assert_eq!(
+            cat2.searcher()
+                .unwrap()
+                .search_table(&table("q", &[1, 2, 3]), &join_req(3))
+                .unwrap()
+                .hits,
+            hits
+        );
 
-        // A mutation invalidates the fingerprint.
+        // A mutation invalidates the fingerprint and the cached snapshot.
+        let before = cat2.epoch();
         cat2.add_table(&table("t9", &[7]), 70).unwrap();
+        assert_eq!(cat2.epoch(), before + 1);
         assert!(!cat2.stats().index_cached);
-        let _ = cat2.query_join(&table("q", &[1, 2, 3]), 3).unwrap();
+        let rebuilt = cat2.searcher().unwrap();
+        assert_eq!(rebuilt.epoch(), cat2.epoch());
+        assert_eq!(rebuilt.len(), 6);
         assert!(cat2.stats().index_cached, "rebuilt cache covers the new contents");
+    }
+
+    #[test]
+    fn searcher_snapshot_survives_mutation() {
+        let dir = tmp_dir("snapshot");
+        let mut cat = Catalog::open(&dir).unwrap();
+        for i in 0..4 {
+            cat.add_table(&table(&format!("t{i}"), &[i, i + 1]), i as u64).unwrap();
+        }
+        let old = cat.searcher().unwrap();
+        assert_eq!(old.len(), 4);
+        // Mutate: the old snapshot keeps answering from its generation.
+        cat.remove("t0").unwrap();
+        assert_eq!(old.len(), 4, "handed-out snapshots are immutable");
+        assert!(old.sketch_of("t0").is_ok());
+        let fresh = cat.searcher().unwrap();
+        assert_eq!(fresh.len(), 3);
+        assert!(matches!(fresh.sketch_of("t0"), Err(StoreError::UnknownTable(_))));
+        assert!(fresh.epoch() > old.epoch());
     }
 
     #[test]
@@ -609,15 +723,22 @@ mod tests {
         let dir = tmp_dir("cfg");
         drop(Catalog::open(&dir).unwrap());
         let other = SketchConfig { minhash_k: 64, ..SketchConfig::default() };
-        assert!(Catalog::open_with(&dir, other).is_err());
+        let Err(err) = Catalog::open_with(&dir, other) else {
+            panic!("must refuse a mismatched sketch config")
+        };
+        assert!(matches!(err, StoreError::InvalidRequest(_)), "{err}");
     }
 
     #[test]
-    fn corrupt_manifest_is_an_error_not_a_panic() {
+    fn corrupt_manifest_is_a_typed_error_not_a_panic() {
         let dir = tmp_dir("corrupt");
         drop(Catalog::open(&dir).unwrap());
         fs::write(dir.join(MANIFEST_FILE), b"TSFMCAT1garbage").unwrap();
-        assert!(Catalog::open(&dir).is_err());
+        let Err(err) = Catalog::open(&dir) else { panic!("garbage manifest must not open") };
+        assert!(
+            matches!(&err, StoreError::Corrupt { format, .. } if format == "TSFMCAT1"),
+            "{err}"
+        );
         fs::write(dir.join(MANIFEST_FILE), b"NOTAMAGIC").unwrap();
         assert!(Catalog::open(&dir).is_err());
     }
@@ -650,5 +771,22 @@ mod tests {
         let stats = cat.stats();
         assert_eq!(stats.tables, 3);
         assert!(stats.segment_bytes > 0);
+    }
+
+    #[test]
+    fn deprecated_catalog_shims_agree_with_searcher() {
+        let dir = tmp_dir("shims");
+        let mut cat = Catalog::open(&dir).unwrap();
+        for i in 0..5 {
+            cat.add_table(&table(&format!("t{i}"), &[i, i + 1, i + 2]), i as u64).unwrap();
+        }
+        let q = table("q", &[1, 2, 3]);
+        #[allow(deprecated)]
+        let old = cat.query_join(&q, 3).unwrap();
+        let new = cat.searcher().unwrap().search_table(&q, &join_req(3)).unwrap().hits;
+        assert_eq!(old, new);
+        #[allow(deprecated)]
+        let empty_k = cat.query(QueryMode::Join, &q, 0).unwrap();
+        assert!(empty_k.is_empty(), "shim keeps the old k == 0 behavior");
     }
 }

@@ -14,13 +14,22 @@
 //! * **subset** — banded MinHash LSH over table-level content snapshots,
 //!   ranked by estimated row-set Jaccard.
 //!
+//! The engine is immutable once built and holds no interior mutability, so
+//! `&QueryEngine` queries are freely shareable across threads (see
+//! [`crate::Searcher`]); [`QueryEngine::search_batch`] exploits this by
+//! fanning a batch out over `std::thread::scope`.
+//!
 //! Because every index is deterministic (see
 //! `crates/search/tests/determinism.rs`) and construction order is
 //! canonicalized, an engine rebuilt from persisted records answers every
 //! query identically to one built from the original in-memory sketches.
 
+use crate::error::{StoreError, StoreResult};
 use crate::record::TableRecord;
-use tsfm_search::{near_tables, ColumnHit, Hnsw, HnswConfig, Metric, MinHashLsh};
+use crate::request::{ColumnMatch, DiscoveryRequest, DiscoveryResponse, HitExplanation};
+use tsfm_search::{
+    near_tables, near_tables_with_provenance, ColumnHit, Hnsw, HnswConfig, Metric, MinHashLsh,
+};
 use tsfm_sketch::{ColumnSketch, TableSketch};
 
 /// Which discovery workload a query runs.
@@ -32,6 +41,9 @@ pub enum QueryMode {
 }
 
 impl QueryMode {
+    /// Every mode, in the order the CLI documents them.
+    pub const ALL: [QueryMode; 3] = [QueryMode::Join, QueryMode::Union, QueryMode::Subset];
+
     pub fn name(self) -> &'static str {
         match self {
             QueryMode::Join => "join",
@@ -47,6 +59,26 @@ impl QueryMode {
             "subset" => Some(QueryMode::Subset),
             _ => None,
         }
+    }
+}
+
+impl std::fmt::Display for QueryMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The one mode parser shared by every frontend: the CLI `--mode` flag and
+/// the serve loop's `"mode"` field both go through here, so both report
+/// the same error listing the valid modes.
+impl std::str::FromStr for QueryMode {
+    type Err = StoreError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        QueryMode::parse(s).ok_or_else(|| {
+            let valid: Vec<&str> = QueryMode::ALL.iter().map(|m| m.name()).collect();
+            StoreError::invalid(format!("unknown mode {s:?} (valid modes: {})", valid.join(", ")))
+        })
     }
 }
 
@@ -66,13 +98,16 @@ pub struct TableHit {
 /// paper retrieves `k·3` columns per query column).
 const OVER_RETRIEVE: usize = 3;
 
-/// Immutable query indexes over a fixed corpus of records.
+/// Immutable query indexes over a fixed corpus of records. `Send + Sync`:
+/// all queries take `&self`.
 pub struct QueryEngine {
     minhash_k: usize,
     /// Dense index → table id, sorted ascending.
     ids: Vec<String>,
     /// Column index (in both HNSWs) → owning table's dense index.
     col_owner: Vec<usize>,
+    /// Column index → column name (for match explanations).
+    col_names: Vec<String>,
     join_index: Hnsw,
     union_index: Hnsw,
     content_lsh: MinHashLsh,
@@ -109,15 +144,13 @@ impl QueryEngine {
         let mut join_index = Hnsw::new(minhash_k, Metric::Cosine, hnsw_cfg.clone());
         let mut union_index =
             Hnsw::new(2 * minhash_k + tsfm_sketch::numeric::NUMERIC_SKETCH_DIM, Metric::Cosine, hnsw_cfg);
-        let mut col_owner = Vec::new();
-        for (ti, &ri) in order.iter().enumerate() {
+        for &ri in &order {
             for c in &records[ri].sketch.columns {
                 join_index.add(&join_features(c));
                 union_index.add(&union_features(c));
-                col_owner.push(ti);
             }
         }
-        Self::assemble(records, &order, minhash_k, col_owner, join_index, union_index)
+        Self::assemble(records, &order, minhash_k, join_index, union_index)
     }
 
     /// Build from pre-built HNSW graphs (the catalog's index-cache path).
@@ -128,47 +161,55 @@ impl QueryEngine {
         minhash_k: usize,
         join_index: Hnsw,
         union_index: Hnsw,
-    ) -> Result<Self, String> {
+    ) -> StoreResult<Self> {
         let order = canonical_order(records);
-        let mut col_owner = Vec::new();
-        for (ti, &ri) in order.iter().enumerate() {
-            col_owner.extend(std::iter::repeat(ti).take(records[ri].sketch.columns.len()));
-        }
-        if join_index.len() != col_owner.len() || union_index.len() != col_owner.len() {
-            return Err(format!(
-                "index has {}/{} nodes for {} columns",
-                join_index.len(),
-                union_index.len(),
-                col_owner.len()
+        let ncols: usize = order.iter().map(|&ri| records[ri].sketch.columns.len()).sum();
+        if join_index.len() != ncols || union_index.len() != ncols {
+            return Err(StoreError::corrupt(
+                "TSFMIDX1",
+                format!(
+                    "index has {}/{} nodes for {} columns",
+                    join_index.len(),
+                    union_index.len(),
+                    ncols
+                ),
             ));
         }
         let union_dim = 2 * minhash_k + tsfm_sketch::numeric::NUMERIC_SKETCH_DIM;
         if join_index.dim() != minhash_k || union_index.dim() != union_dim {
-            return Err(format!(
-                "index dims {}/{} do not match signature width {minhash_k}",
-                join_index.dim(),
-                union_index.dim()
+            return Err(StoreError::corrupt(
+                "TSFMIDX1",
+                format!(
+                    "index dims {}/{} do not match signature width {minhash_k}",
+                    join_index.dim(),
+                    union_index.dim()
+                ),
             ));
         }
-        Ok(Self::assemble(records, &order, minhash_k, col_owner, join_index, union_index))
+        Ok(Self::assemble(records, &order, minhash_k, join_index, union_index))
     }
 
     fn assemble(
         records: &[TableRecord],
         order: &[usize],
         minhash_k: usize,
-        col_owner: Vec<usize>,
         join_index: Hnsw,
         union_index: Hnsw,
     ) -> Self {
         let (bands, rows) = content_banding(minhash_k);
         let mut content_lsh = MinHashLsh::new(bands, rows);
         let mut ids = Vec::with_capacity(order.len());
-        for &ri in order {
+        let mut col_owner = Vec::new();
+        let mut col_names = Vec::new();
+        for (ti, &ri) in order.iter().enumerate() {
             content_lsh.add(records[ri].sketch.content_snapshot.clone());
             ids.push(records[ri].sketch.table_id.clone());
+            for c in &records[ri].sketch.columns {
+                col_owner.push(ti);
+                col_names.push(c.name.clone());
+            }
         }
-        Self { minhash_k, ids, col_owner, join_index, union_index, content_lsh }
+        Self { minhash_k, ids, col_owner, col_names, join_index, union_index, content_lsh }
     }
 
     pub fn len(&self) -> usize {
@@ -191,94 +232,255 @@ impl QueryEngine {
         &self.union_index
     }
 
+    /// Table ids in corpus (ascending) order.
+    pub fn table_ids(&self) -> &[String] {
+        &self.ids
+    }
+
     /// Dense index of a table id in the corpus, if present.
     fn table_idx(&self, id: &str) -> Option<usize> {
         self.ids.binary_search_by(|x| x.as_str().cmp(id)).ok()
     }
 
-    /// Rank tables for one query sketch under `mode`. The query table
-    /// itself (matched by id) is excluded from the results.
-    pub fn query(&self, mode: QueryMode, sketch: &TableSketch, k: usize) -> Vec<TableHit> {
-        assert_eq!(
-            sketch.content_snapshot.k(),
-            self.minhash_k,
-            "query sketched with a different signature width than the corpus"
-        );
-        match mode {
-            QueryMode::Join => self.column_query(sketch, k, &self.join_index, join_features),
-            QueryMode::Union => self.column_query(sketch, k, &self.union_index, union_features),
-            QueryMode::Subset => self.subset_query(sketch, k),
-        }
-    }
-
-    pub fn query_join(&self, sketch: &TableSketch, k: usize) -> Vec<TableHit> {
-        self.query(QueryMode::Join, sketch, k)
-    }
-
-    pub fn query_union(&self, sketch: &TableSketch, k: usize) -> Vec<TableHit> {
-        self.query(QueryMode::Union, sketch, k)
-    }
-
-    pub fn query_subset(&self, sketch: &TableSketch, k: usize) -> Vec<TableHit> {
-        self.query(QueryMode::Subset, sketch, k)
-    }
-
-    /// Batched query: one result list per query sketch.
-    pub fn query_batch(
+    /// Run one validated discovery request against the corpus. This is the
+    /// primary query entry point; every mode, filter, and explanation path
+    /// goes through here.
+    pub fn search(
         &self,
-        mode: QueryMode,
+        sketch: &TableSketch,
+        req: &DiscoveryRequest,
+    ) -> StoreResult<DiscoveryResponse> {
+        let t0 = std::time::Instant::now();
+        if self.is_empty() {
+            return Err(StoreError::EmptyIndex);
+        }
+        if sketch.content_snapshot.k() != self.minhash_k {
+            return Err(StoreError::invalid(format!(
+                "query sketched with signature width {} but the corpus uses {}",
+                sketch.content_snapshot.k(),
+                self.minhash_k
+            )));
+        }
+        let (mut hits, mut explanations) = match req.mode() {
+            QueryMode::Join => self.column_search(sketch, req, &self.join_index, join_features)?,
+            QueryMode::Union => {
+                self.column_search(sketch, req, &self.union_index, union_features)?
+            }
+            QueryMode::Subset => (self.subset_search(sketch, req), None),
+        };
+        if let Some(ms) = req.min_score() {
+            // Mode-specific threshold (see DiscoveryRequestBuilder::min_score):
+            // subset scores are Jaccards, join/union relevance is RANK1.
+            let keep = |h: &TableHit| match req.mode() {
+                QueryMode::Subset => h.score >= ms,
+                _ => h.matching_columns as f64 >= ms,
+            };
+            explanations = explanations.map(|ex| {
+                ex.into_iter()
+                    .zip(&hits)
+                    .filter(|(_, h)| keep(h))
+                    .map(|(e, _)| e)
+                    .collect::<Vec<_>>()
+            });
+            hits.retain(keep);
+        }
+        hits.truncate(req.k());
+        if let Some(ex) = &mut explanations {
+            ex.truncate(req.k());
+        }
+        Ok(DiscoveryResponse {
+            mode: req.mode(),
+            query_id: sketch.table_id.clone(),
+            corpus_size: self.len(),
+            elapsed_micros: t0.elapsed().as_micros() as u64,
+            hits,
+            explanations,
+        })
+    }
+
+    /// Batched search: one response per query sketch, identical to calling
+    /// [`QueryEngine::search`] serially, but fanned out over scoped threads
+    /// sharing `&self` (the engine is immutable, so this is free).
+    pub fn search_batch(
+        &self,
         sketches: &[TableSketch],
-        k: usize,
-    ) -> Vec<Vec<TableHit>> {
-        sketches.iter().map(|s| self.query(mode, s, k)).collect()
+        req: &DiscoveryRequest,
+    ) -> StoreResult<Vec<DiscoveryResponse>> {
+        let threads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1);
+        self.search_batch_with_threads(sketches, req, threads)
+    }
+
+    /// [`QueryEngine::search_batch`] with an explicit worker count
+    /// (`search_batch` picks the host's available parallelism). `0` or
+    /// `1` runs the serial path inline.
+    pub fn search_batch_with_threads(
+        &self,
+        sketches: &[TableSketch],
+        req: &DiscoveryRequest,
+        threads: usize,
+    ) -> StoreResult<Vec<DiscoveryResponse>> {
+        let n = sketches.len();
+        let threads = threads.min(n);
+        if threads <= 1 {
+            return sketches.iter().map(|s| self.search(s, req)).collect();
+        }
+        let chunk = n.div_ceil(threads);
+        let mut slots: Vec<Option<StoreResult<DiscoveryResponse>>> = (0..n).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            for (out, work) in slots.chunks_mut(chunk).zip(sketches.chunks(chunk)) {
+                scope.spawn(move || {
+                    for (slot, sketch) in out.iter_mut().zip(work) {
+                        *slot = Some(self.search(sketch, req));
+                    }
+                });
+            }
+        });
+        slots.into_iter().map(|s| s.expect("every chunk slot filled")).collect()
     }
 
     /// Fig.-6 ranking: per query column, retrieve `k·3` nearest corpus
     /// columns, collapse to tables, rank by (matching columns, distance).
-    fn column_query(
+    fn column_search(
         &self,
         sketch: &TableSketch,
-        k: usize,
+        req: &DiscoveryRequest,
         index: &Hnsw,
         features: fn(&ColumnSketch) -> Vec<f32>,
-    ) -> Vec<TableHit> {
-        let per_col: Vec<Vec<ColumnHit>> = sketch
-            .columns
+    ) -> StoreResult<(Vec<TableHit>, Option<Vec<HitExplanation>>)> {
+        let query_cols = self.select_columns(sketch, req)?;
+        let per_col: Vec<Vec<ColumnHit>> = query_cols
             .iter()
             .map(|c| {
                 index
-                    .search(&features(c), k.saturating_mul(OVER_RETRIEVE).max(1))
+                    .search(&features(c), req.k().saturating_mul(OVER_RETRIEVE).max(1))
                     .into_iter()
-                    .map(|(col, d)| ColumnHit { table: self.col_owner[col], distance: d })
+                    .map(|(col, d)| ColumnHit {
+                        table: self.col_owner[col],
+                        column: col,
+                        distance: d,
+                    })
                     .collect()
             })
             .collect();
-        let exclude = self.table_idx(&sketch.table_id);
-        let mut out: Vec<TableHit> = near_tables(&per_col, exclude)
-            .into_iter()
-            .map(|r| TableHit {
-                table_id: self.ids[r.table].clone(),
-                matching_columns: r.matching_columns,
-                score: r.distance_sum as f64,
-            })
-            .collect();
-        out.truncate(k);
-        out
+        let exclude = if req.exclude_self() { self.table_idx(&sketch.table_id) } else { None };
+        if !req.explain() {
+            let hits = near_tables(&per_col, exclude)
+                .into_iter()
+                .map(|r| TableHit {
+                    table_id: self.ids[r.table].clone(),
+                    matching_columns: r.matching_columns,
+                    score: r.distance_sum as f64,
+                })
+                .collect();
+            return Ok((hits, None));
+        }
+        let detailed = near_tables_with_provenance(&per_col, exclude);
+        let mut hits = Vec::with_capacity(detailed.len());
+        let mut explanations = Vec::with_capacity(detailed.len());
+        for d in detailed {
+            hits.push(TableHit {
+                table_id: self.ids[d.table].clone(),
+                matching_columns: d.matching_columns,
+                score: d.distance_sum as f64,
+            });
+            explanations.push(HitExplanation {
+                table_id: self.ids[d.table].clone(),
+                matches: d
+                    .matches
+                    .iter()
+                    .map(|m| ColumnMatch {
+                        query_column: query_cols[m.query_column].name.clone(),
+                        corpus_column: self.col_names[m.corpus_column].clone(),
+                        distance: m.distance,
+                    })
+                    .collect(),
+            });
+        }
+        Ok((hits, Some(explanations)))
     }
 
-    fn subset_query(&self, sketch: &TableSketch, k: usize) -> Vec<TableHit> {
-        let exclude = self.table_idx(&sketch.table_id);
+    /// Resolve the request's column filter against the query sketch.
+    fn select_columns<'a>(
+        &self,
+        sketch: &'a TableSketch,
+        req: &DiscoveryRequest,
+    ) -> StoreResult<Vec<&'a ColumnSketch>> {
+        let Some(filter) = req.columns() else {
+            return Ok(sketch.columns.iter().collect());
+        };
+        let mut out = Vec::with_capacity(filter.len());
+        for name in filter {
+            let col = sketch.columns.iter().find(|c| &c.name == name).ok_or_else(|| {
+                StoreError::invalid(format!(
+                    "query table {:?} has no column named {name:?}",
+                    sketch.table_id
+                ))
+            })?;
+            out.push(col);
+        }
+        Ok(out)
+    }
+
+    fn subset_search(&self, sketch: &TableSketch, req: &DiscoveryRequest) -> Vec<TableHit> {
+        let exclude = if req.exclude_self() { self.table_idx(&sketch.table_id) } else { None };
         self.content_lsh
-            .search(&sketch.content_snapshot, k.saturating_add(1))
+            .search(&sketch.content_snapshot, req.k().saturating_add(1))
             .into_iter()
             .filter(|&(id, _)| Some(id) != exclude)
-            .take(k)
+            .take(req.k())
             .map(|(id, j)| TableHit {
                 table_id: self.ids[id].clone(),
                 matching_columns: 0,
                 score: j,
             })
             .collect()
+    }
+
+    // ---- deprecated positional shims (one-PR grace period) ---------------
+
+    /// Rank tables for one query sketch under `mode`.
+    #[deprecated(note = "build a DiscoveryRequest and call QueryEngine::search")]
+    pub fn query(&self, mode: QueryMode, sketch: &TableSketch, k: usize) -> Vec<TableHit> {
+        assert_eq!(
+            sketch.content_snapshot.k(),
+            self.minhash_k,
+            "query sketched with a different signature width than the corpus"
+        );
+        if k == 0 || self.is_empty() {
+            return Vec::new();
+        }
+        let req = DiscoveryRequest::builder(mode).k(k).build().expect("k >= 1");
+        self.search(sketch, &req).expect("validated above").hits
+    }
+
+    #[deprecated(note = "build a DiscoveryRequest and call QueryEngine::search")]
+    pub fn query_join(&self, sketch: &TableSketch, k: usize) -> Vec<TableHit> {
+        #[allow(deprecated)]
+        self.query(QueryMode::Join, sketch, k)
+    }
+
+    #[deprecated(note = "build a DiscoveryRequest and call QueryEngine::search")]
+    pub fn query_union(&self, sketch: &TableSketch, k: usize) -> Vec<TableHit> {
+        #[allow(deprecated)]
+        self.query(QueryMode::Union, sketch, k)
+    }
+
+    #[deprecated(note = "build a DiscoveryRequest and call QueryEngine::search")]
+    pub fn query_subset(&self, sketch: &TableSketch, k: usize) -> Vec<TableHit> {
+        #[allow(deprecated)]
+        self.query(QueryMode::Subset, sketch, k)
+    }
+
+    /// Batched query: one result list per query sketch.
+    #[deprecated(note = "build a DiscoveryRequest and call QueryEngine::search_batch")]
+    pub fn query_batch(
+        &self,
+        mode: QueryMode,
+        sketches: &[TableSketch],
+        k: usize,
+    ) -> Vec<Vec<TableHit>> {
+        #[allow(deprecated)]
+        sketches.iter().map(|s| self.query(mode, s, k)).collect()
     }
 }
 
@@ -323,14 +525,33 @@ mod tests {
         (recs, cfg)
     }
 
+    fn req(mode: QueryMode, k: usize) -> DiscoveryRequest {
+        DiscoveryRequest::builder(mode).k(k).build().unwrap()
+    }
+
+    #[test]
+    fn engine_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<QueryEngine>();
+    }
+
     #[test]
     fn join_finds_overlapping_table_and_excludes_self() {
         let (recs, cfg) = corpus();
         let engine = QueryEngine::build(&recs, cfg.minhash_k, Default::default());
-        let hits = engine.query_join(&recs[0].sketch, 2);
+        let hits = engine.search(&recs[0].sketch, &req(QueryMode::Join, 2)).unwrap().hits;
         assert!(!hits.is_empty());
         assert_eq!(hits[0].table_id, "a1", "value-overlapping table ranks first: {hits:?}");
         assert!(hits.iter().all(|h| h.table_id != "a0"), "query excluded");
+    }
+
+    #[test]
+    fn exclude_self_false_returns_the_query_table_first() {
+        let (recs, cfg) = corpus();
+        let engine = QueryEngine::build(&recs, cfg.minhash_k, Default::default());
+        let r = DiscoveryRequest::builder(QueryMode::Join).k(3).exclude_self(false).build().unwrap();
+        let hits = engine.search(&recs[0].sketch, &r).unwrap().hits;
+        assert_eq!(hits[0].table_id, "a0", "a table trivially matches itself: {hits:?}");
     }
 
     #[test]
@@ -340,8 +561,11 @@ mod tests {
         recs.reverse();
         let b = QueryEngine::build(&recs, cfg.minhash_k, Default::default());
         let q = &recs.iter().find(|r| r.table_id() == "a0").unwrap().sketch;
-        for mode in [QueryMode::Join, QueryMode::Union, QueryMode::Subset] {
-            assert_eq!(a.query(mode, q, 3), b.query(mode, q, 3));
+        for mode in QueryMode::ALL {
+            assert_eq!(
+                a.search(q, &req(mode, 3)).unwrap().hits,
+                b.search(q, &req(mode, 3)).unwrap().hits
+            );
         }
     }
 
@@ -356,10 +580,10 @@ mod tests {
             tsfm_search::Hnsw::from_snapshot(built.union_index().snapshot()).unwrap(),
         )
         .unwrap();
-        for mode in [QueryMode::Join, QueryMode::Union, QueryMode::Subset] {
+        for mode in QueryMode::ALL {
             assert_eq!(
-                built.query(mode, &recs[0].sketch, 3),
-                restored.query(mode, &recs[0].sketch, 3)
+                built.search(&recs[0].sketch, &req(mode, 3)).unwrap().hits,
+                restored.search(&recs[0].sketch, &req(mode, 3)).unwrap().hits
             );
         }
     }
@@ -370,7 +594,10 @@ mod tests {
         let built = QueryEngine::build(&recs, cfg.minhash_k, Default::default());
         let empty = tsfm_search::Hnsw::new(cfg.minhash_k, Metric::Cosine, Default::default());
         let join = tsfm_search::Hnsw::from_snapshot(built.join_index().snapshot()).unwrap();
-        assert!(QueryEngine::with_graphs(&recs, cfg.minhash_k, join, empty).is_err());
+        let Err(err) = QueryEngine::with_graphs(&recs, cfg.minhash_k, join, empty) else {
+            panic!("mismatched graphs must be rejected")
+        };
+        assert!(matches!(err, StoreError::Corrupt { .. }), "{err}");
     }
 
     #[test]
@@ -388,18 +615,120 @@ mod tests {
             .map(|t| TableRecord::from_sketch(TableSketch::build(t, &cfg), 0))
             .collect();
         let engine = QueryEngine::build(&recs, cfg.minhash_k, Default::default());
-        let hits = engine.query_subset(&recs[0].sketch, 2);
+        let hits = engine.search(&recs[0].sketch, &req(QueryMode::Subset, 2)).unwrap().hits;
         assert_eq!(hits[0].table_id, "half", "{hits:?}");
         assert!(hits[0].score > 0.2);
+
+        // min_score drops the unrelated tail but keeps the true subset.
+        let r = DiscoveryRequest::builder(QueryMode::Subset).k(2).min_score(0.2).build().unwrap();
+        let filtered = engine.search(&recs[0].sketch, &r).unwrap().hits;
+        assert!(filtered.iter().all(|h| h.score >= 0.2), "{filtered:?}");
+        assert_eq!(filtered[0].table_id, "half");
     }
 
     #[test]
-    #[should_panic(expected = "different signature width")]
-    fn mismatched_query_width_panics() {
+    fn mismatched_query_width_is_invalid_request() {
         let (recs, cfg) = corpus();
         let engine = QueryEngine::build(&recs, cfg.minhash_k, Default::default());
         let narrow = SketchConfig { minhash_k: cfg.minhash_k / 2, ..cfg };
         let q = TableSketch::build(&table("q", "c", &["v"]), &narrow);
-        engine.query_join(&q, 1);
+        let err = engine.search(&q, &req(QueryMode::Join, 1)).unwrap_err();
+        assert!(matches!(err, StoreError::InvalidRequest(_)), "{err}");
+        assert!(err.to_string().contains("signature width"), "{err}");
+    }
+
+    #[test]
+    fn empty_corpus_is_empty_index_error() {
+        let cfg = SketchConfig::default();
+        let engine = QueryEngine::build(&[], cfg.minhash_k, Default::default());
+        let q = TableSketch::build(&table("q", "c", &["v"]), &cfg);
+        let err = engine.search(&q, &req(QueryMode::Join, 1)).unwrap_err();
+        assert!(matches!(err, StoreError::EmptyIndex), "{err}");
+    }
+
+    #[test]
+    fn unknown_filter_column_is_invalid_request() {
+        let (recs, cfg) = corpus();
+        let engine = QueryEngine::build(&recs, cfg.minhash_k, Default::default());
+        let r = DiscoveryRequest::builder(QueryMode::Join)
+            .k(2)
+            .columns(["no_such_column"])
+            .build()
+            .unwrap();
+        let err = engine.search(&recs[0].sketch, &r).unwrap_err();
+        assert!(err.to_string().contains("no_such_column"), "{err}");
+    }
+
+    #[test]
+    fn explanations_name_matching_columns() {
+        let (recs, cfg) = corpus();
+        let engine = QueryEngine::build(&recs, cfg.minhash_k, Default::default());
+        let r = DiscoveryRequest::builder(QueryMode::Join).k(2).explain(true).build().unwrap();
+        let resp = engine.search(&recs[0].sketch, &r).unwrap();
+        let ex = resp.explanations.as_ref().expect("explain requested");
+        assert_eq!(ex.len(), resp.hits.len());
+        // Ranks agree, and the top hit's match names real columns.
+        assert_eq!(ex[0].table_id, resp.hits[0].table_id);
+        assert_eq!(ex[0].table_id, "a1");
+        assert_eq!(ex[0].matches.len(), 1);
+        assert_eq!(ex[0].matches[0].query_column, "key");
+        assert_eq!(ex[0].matches[0].corpus_column, "key2");
+
+        // Same request without explain: identical hits, no explanations.
+        let plain = engine.search(&recs[0].sketch, &req(QueryMode::Join, 2)).unwrap();
+        assert_eq!(plain.hits, resp.hits);
+        assert!(plain.explanations.is_none());
+    }
+
+    #[test]
+    fn search_batch_matches_serial() {
+        let (recs, cfg) = corpus();
+        let engine = QueryEngine::build(&recs, cfg.minhash_k, Default::default());
+        let sketches: Vec<TableSketch> = recs.iter().map(|r| r.sketch.clone()).collect();
+        for mode in QueryMode::ALL {
+            let r = req(mode, 3);
+            // Force the scoped-thread fan-out even on single-core hosts
+            // (where search_batch would pick the serial path), plus the
+            // auto and explicitly-serial variants — all must agree.
+            for batch in [
+                engine.search_batch(&sketches, &r).unwrap(),
+                engine.search_batch_with_threads(&sketches, &r, 2).unwrap(),
+                engine.search_batch_with_threads(&sketches, &r, 1).unwrap(),
+                engine.search_batch_with_threads(&sketches, &r, 64).unwrap(),
+            ] {
+                assert_eq!(batch.len(), sketches.len());
+                for (s, b) in sketches.iter().zip(&batch) {
+                    assert_eq!(engine.search(s, &r).unwrap().hits, b.hits, "mode {mode}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deprecated_shims_agree_with_search() {
+        let (recs, cfg) = corpus();
+        let engine = QueryEngine::build(&recs, cfg.minhash_k, Default::default());
+        #[allow(deprecated)]
+        let old = engine.query_join(&recs[0].sketch, 2);
+        let new = engine.search(&recs[0].sketch, &req(QueryMode::Join, 2)).unwrap().hits;
+        assert_eq!(old, new);
+        #[allow(deprecated)]
+        let empty = engine.query(QueryMode::Join, &recs[0].sketch, 0);
+        assert!(empty.is_empty(), "k == 0 keeps the old silent-empty shim behavior");
+    }
+
+    #[test]
+    fn mode_from_str_and_display() {
+        for mode in QueryMode::ALL {
+            assert_eq!(mode.name().parse::<QueryMode>().unwrap(), mode);
+            assert_eq!(mode.to_string(), mode.name());
+        }
+        let err = "fuzzy".parse::<QueryMode>().unwrap_err();
+        assert!(matches!(err, StoreError::InvalidRequest(_)));
+        let msg = err.to_string();
+        assert!(
+            msg.contains("join") && msg.contains("union") && msg.contains("subset"),
+            "error lists valid modes: {msg}"
+        );
     }
 }

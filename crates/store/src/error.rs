@@ -1,0 +1,152 @@
+//! The store's error taxonomy.
+//!
+//! Every fallible operation in `tsfm_store` returns [`StoreError`] instead
+//! of stuffing everything through `io::Error`:
+//!
+//! | variant          | meaning                                              |
+//! |------------------|------------------------------------------------------|
+//! | `Io`             | the operating system failed us (open/read/write)     |
+//! | `Corrupt`        | bytes were read but violate a `TSFM*` format         |
+//! | `UnknownTable`   | a table id that is not in the catalog                |
+//! | `InvalidRequest` | a caller-supplied request that can never succeed     |
+//! | `EmptyIndex`     | a query against a catalog with zero tables           |
+//!
+//! The split matters operationally: `Io` and `Corrupt` are the server
+//! operator's problem (disk, deployment), while `UnknownTable`,
+//! `InvalidRequest` and `EmptyIndex` are the client's — the `tsfm serve`
+//! frontend maps the former to 5xx-style responses and the latter to
+//! 4xx-style ones without string matching.
+
+use std::fmt;
+use std::io;
+
+/// Alias used across the crate.
+pub type StoreResult<T> = Result<T, StoreError>;
+
+/// Internal placeholder format name used by the low-level frame
+/// primitives before a container-level reader attributes the error to a
+/// concrete `TSFM*` format via [`StoreError::into_format`].
+pub(crate) const FRAME: &str = "frame";
+
+/// What went wrong in the store. See the module docs for the taxonomy.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Operating-system level I/O failure.
+    Io(io::Error),
+    /// On-disk (or on-wire) bytes violate a versioned format.
+    Corrupt { format: String, detail: String },
+    /// The named table is not in the catalog.
+    UnknownTable(String),
+    /// The request itself is malformed (k == 0, unknown mode, unknown
+    /// query column, mismatched sketch config, …).
+    InvalidRequest(String),
+    /// A query was issued against an empty catalog.
+    EmptyIndex,
+}
+
+impl StoreError {
+    /// Shorthand for a [`StoreError::Corrupt`].
+    pub fn corrupt(format: impl Into<String>, detail: impl Into<String>) -> Self {
+        StoreError::Corrupt { format: format.into(), detail: detail.into() }
+    }
+
+    /// Shorthand for a [`StoreError::InvalidRequest`].
+    pub fn invalid(detail: impl Into<String>) -> Self {
+        StoreError::InvalidRequest(detail.into())
+    }
+
+    /// Attribute a low-level decode error to a concrete container format:
+    /// generic frame-level corruption gets `format` stamped on it, and an
+    /// unexpected EOF becomes `Corrupt` (a truncated file is corruption,
+    /// not an OS failure). Errors already attributed pass through.
+    pub fn into_format(self, format: &str) -> Self {
+        match self {
+            StoreError::Corrupt { format: f, detail } if f == FRAME => {
+                StoreError::corrupt(format, detail)
+            }
+            StoreError::Io(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+                StoreError::corrupt(format, "truncated input")
+            }
+            other => other,
+        }
+    }
+
+    /// Whether the fault lies with the request (client) rather than the
+    /// store (server). The serve frontend uses this to pick the error
+    /// class reported on the wire.
+    pub fn is_client_error(&self) -> bool {
+        matches!(
+            self,
+            StoreError::UnknownTable(_) | StoreError::InvalidRequest(_) | StoreError::EmptyIndex
+        )
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "i/o error: {e}"),
+            StoreError::Corrupt { format, detail } => {
+                write!(f, "corrupt {format} data: {detail}")
+            }
+            StoreError::UnknownTable(id) => write!(f, "unknown table {id:?}"),
+            StoreError::InvalidRequest(detail) => write!(f, "invalid request: {detail}"),
+            StoreError::EmptyIndex => {
+                write!(f, "the catalog is empty — ingest tables before querying")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn into_format_attributes_frame_and_eof() {
+        let e = StoreError::corrupt(FRAME, "unreasonable length").into_format("TSFMSEG1");
+        assert!(matches!(&e, StoreError::Corrupt { format, .. } if format == "TSFMSEG1"));
+
+        let eof = StoreError::Io(io::Error::new(io::ErrorKind::UnexpectedEof, "eof"));
+        let e = eof.into_format("TSFMHNS1");
+        assert!(matches!(&e, StoreError::Corrupt { format, detail }
+            if format == "TSFMHNS1" && detail == "truncated input"));
+
+        // Already-attributed and genuine I/O errors pass through.
+        let e = StoreError::corrupt("TSFMCAT1", "bad count").into_format("TSFMSEG1");
+        assert!(matches!(&e, StoreError::Corrupt { format, .. } if format == "TSFMCAT1"));
+        let denied = StoreError::Io(io::Error::new(io::ErrorKind::PermissionDenied, "no"));
+        assert!(matches!(denied.into_format("TSFMSEG1"), StoreError::Io(_)));
+    }
+
+    #[test]
+    fn client_vs_server_classification() {
+        assert!(StoreError::EmptyIndex.is_client_error());
+        assert!(StoreError::invalid("k must be positive").is_client_error());
+        assert!(StoreError::UnknownTable("t".into()).is_client_error());
+        assert!(!StoreError::corrupt("TSFMSEG1", "x").is_client_error());
+        assert!(!StoreError::Io(io::Error::other("x")).is_client_error());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = StoreError::corrupt("TSFMIDX1", "bad fingerprint").to_string();
+        assert!(s.contains("TSFMIDX1") && s.contains("bad fingerprint"));
+        assert!(StoreError::invalid("k == 0").to_string().contains("k == 0"));
+    }
+}

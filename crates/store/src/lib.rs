@@ -1,32 +1,56 @@
 //! Persistent data-lake discovery index (`tsfm_store`).
 //!
 //! Everything upstream of this crate — sketches, embeddings, HNSW, LSH —
-//! lives in process memory; this crate makes the serving path durable so
-//! index build cost is paid once and amortized across queries:
+//! lives in process memory; this crate makes the serving path durable and
+//! concurrent so index build cost is paid once and amortized across
+//! queries:
 //!
+//! * [`error`] — the typed [`StoreError`] taxonomy (`Io`, `Corrupt`,
+//!   `UnknownTable`, `InvalidRequest`, `EmptyIndex`) every fallible
+//!   operation returns;
 //! * [`ser`] — versioned little-endian binary serialization (the
 //!   `TSFMCKP1` idiom of `tsfm_nn::io`) for MinHash / numerical / table
 //!   sketches, embedding matrices, and HNSW graphs, with magic bytes,
-//!   bounds checks, and `InvalidData` errors on corrupt input;
+//!   bounds checks, and typed `Corrupt` errors on bad input;
 //! * [`TableRecord`] — the unit of storage: one table's sketch bundle,
 //!   optional neural embeddings, and the content hash of its source;
 //! * [`Catalog`] — a directory-backed catalog with incremental ingest
-//!   (unchanged sources are detected by content hash and skipped), lazy
-//!   index rebuild after mutation, and an on-disk index cache;
+//!   (unchanged sources are detected by content hash and skipped), an
+//!   epoch counter bumped by every mutation, and an on-disk index cache;
+//! * [`Searcher`] — the read path: an immutable `Send + Sync` snapshot
+//!   ([`Arc`](std::sync::Arc)-shared [`QueryEngine`] + corpus sketches)
+//!   taken via [`Catalog::searcher`], queried concurrently without locks;
+//! * [`DiscoveryRequest`] / [`DiscoveryResponse`] — the validated
+//!   request builder (mode, k, min_score, exclude_self, column filter,
+//!   explain) and the typed response (ranked [`TableHit`]s, per-query
+//!   timing, optional per-column match explanations);
 //! * [`QueryEngine`] — deterministic join / union / subset ranking over a
 //!   record set, reusing the Fig.-6 algorithm of [`tsfm_search::rank`];
 //!   the same engine serves the in-memory pipeline and the catalog, which
-//!   is what makes persisted results provably identical to fresh ones.
+//!   is what makes persisted results provably identical to fresh ones;
+//! * [`wire`] — the hand-rolled JSON layer shared by `tsfm query --json`
+//!   and the `tsfm serve` JSONL-over-TCP protocol.
 //!
 //! The `tsfm` CLI binary (in the umbrella crate) drives this end to end
 //! over directories of real CSV files: `tsfm ingest <catalog> <dir>`,
-//! `tsfm query <catalog> <csv>`, `tsfm stats <catalog>`.
+//! `tsfm query <catalog> <csv>`, `tsfm serve <catalog> --port N`,
+//! `tsfm stats <catalog>`.
 
 pub mod catalog;
 pub mod engine;
+pub mod error;
 pub mod record;
+pub mod request;
+pub mod searcher;
 pub mod ser;
+pub mod wire;
 
 pub use catalog::{Catalog, CatalogStats, IngestOutcome, IngestReport, ManifestEntry};
 pub use engine::{QueryEngine, QueryMode, TableHit};
+pub use error::{StoreError, StoreResult};
 pub use record::TableRecord;
+pub use request::{
+    ColumnMatch, DiscoveryRequest, DiscoveryRequestBuilder, DiscoveryResponse, HitExplanation,
+};
+pub use searcher::Searcher;
+pub use wire::ServeRequest;

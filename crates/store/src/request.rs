@@ -1,0 +1,238 @@
+//! The typed discovery request/response pair.
+//!
+//! [`DiscoveryRequest`] replaces the old positional `(mode, table, k)`
+//! methods with a validated builder — invalid parameter combinations are
+//! rejected at `build()` time with [`StoreError::InvalidRequest`], so the
+//! engine and every frontend (CLI, serve loop) share one set of rules.
+//! [`DiscoveryResponse`] carries the ranked hits plus per-query timing and,
+//! when requested, per-column match explanations (which query column
+//! matched which corpus column — the Fig.-6 ranking made transparent).
+
+use crate::engine::{QueryMode, TableHit};
+use crate::error::{StoreError, StoreResult};
+
+/// A validated discovery query. Construct via [`DiscoveryRequest::builder`];
+/// fields are private so every instance went through validation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiscoveryRequest {
+    mode: QueryMode,
+    k: usize,
+    min_score: Option<f64>,
+    exclude_self: bool,
+    columns: Option<Vec<String>>,
+    explain: bool,
+}
+
+impl DiscoveryRequest {
+    /// Start building a request for `mode`. Defaults: `k = 10`, no score
+    /// threshold, the query table excluded from its own results, all query
+    /// columns used, no explanations.
+    pub fn builder(mode: QueryMode) -> DiscoveryRequestBuilder {
+        DiscoveryRequestBuilder {
+            mode,
+            k: 10,
+            min_score: None,
+            exclude_self: true,
+            columns: None,
+            explain: false,
+        }
+    }
+
+    pub fn mode(&self) -> QueryMode {
+        self.mode
+    }
+
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    pub fn min_score(&self) -> Option<f64> {
+        self.min_score
+    }
+
+    pub fn exclude_self(&self) -> bool {
+        self.exclude_self
+    }
+
+    /// Restriction of the query to a subset of its columns, if any.
+    pub fn columns(&self) -> Option<&[String]> {
+        self.columns.as_deref()
+    }
+
+    pub fn explain(&self) -> bool {
+        self.explain
+    }
+}
+
+/// Builder for [`DiscoveryRequest`]; `build()` validates.
+#[derive(Debug, Clone)]
+pub struct DiscoveryRequestBuilder {
+    mode: QueryMode,
+    k: usize,
+    min_score: Option<f64>,
+    exclude_self: bool,
+    columns: Option<Vec<String>>,
+    explain: bool,
+}
+
+impl DiscoveryRequestBuilder {
+    /// Number of result tables to return. Must be ≥ 1.
+    pub fn k(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Drop hits scoring below this threshold. The score compared against
+    /// is mode-specific: for `subset` it is the estimated row-set Jaccard;
+    /// for `join`/`union` it is the number of matching query columns
+    /// (RANK1), since raw distance sums are not comparable across queries.
+    pub fn min_score(mut self, min_score: f64) -> Self {
+        self.min_score = Some(min_score);
+        self
+    }
+
+    /// Whether the query table itself (matched by id) is removed from the
+    /// ranking. Defaults to `true`.
+    pub fn exclude_self(mut self, exclude: bool) -> Self {
+        self.exclude_self = exclude;
+        self
+    }
+
+    /// Use only these query columns (by name). Applies to `join`/`union`;
+    /// `subset` operates on table-level snapshots and rejects a filter.
+    pub fn columns<I, S>(mut self, names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.columns = Some(names.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Attach per-column match explanations to the response (`join`/`union`
+    /// only; `subset` has no per-column provenance).
+    pub fn explain(mut self, explain: bool) -> Self {
+        self.explain = explain;
+        self
+    }
+
+    /// Validate and produce the request.
+    pub fn build(self) -> StoreResult<DiscoveryRequest> {
+        if self.k == 0 {
+            return Err(StoreError::invalid("k must be >= 1 (asked for 0 results)"));
+        }
+        if let Some(ms) = self.min_score {
+            if !ms.is_finite() {
+                return Err(StoreError::invalid(format!("min_score must be finite, got {ms}")));
+            }
+        }
+        if let Some(cols) = &self.columns {
+            if cols.is_empty() {
+                return Err(StoreError::invalid(
+                    "column filter is empty — omit it to use every query column",
+                ));
+            }
+            if self.mode == QueryMode::Subset {
+                return Err(StoreError::invalid(
+                    "column filter does not apply to subset queries (table-level snapshots)",
+                ));
+            }
+        }
+        Ok(DiscoveryRequest {
+            mode: self.mode,
+            k: self.k,
+            min_score: self.min_score,
+            exclude_self: self.exclude_self,
+            columns: self.columns,
+            explain: self.explain,
+        })
+    }
+}
+
+/// One explained query-column → corpus-column match.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnMatch {
+    /// Name of the query column.
+    pub query_column: String,
+    /// Name of the matched column inside the hit table.
+    pub corpus_column: String,
+    /// Embedding distance between the two columns (lower is closer).
+    pub distance: f32,
+}
+
+/// Per-hit explanation: the column matches behind one ranked table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HitExplanation {
+    pub table_id: String,
+    /// One entry per matching query column, in query-column order.
+    pub matches: Vec<ColumnMatch>,
+}
+
+/// The result of one discovery query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiscoveryResponse {
+    pub mode: QueryMode,
+    /// Id of the query table the response answers.
+    pub query_id: String,
+    /// Number of tables in the searched corpus.
+    pub corpus_size: usize,
+    /// Wall-clock time the engine spent on this query, in microseconds.
+    pub elapsed_micros: u64,
+    /// Ranked hits, best first, at most `k`.
+    pub hits: Vec<TableHit>,
+    /// Parallel to `hits` when the request asked to `explain()` a
+    /// `join`/`union` query; `None` otherwise.
+    pub explanations: Option<Vec<HitExplanation>>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_and_accessors() {
+        let r = DiscoveryRequest::builder(QueryMode::Join).build().unwrap();
+        assert_eq!(r.mode(), QueryMode::Join);
+        assert_eq!(r.k(), 10);
+        assert_eq!(r.min_score(), None);
+        assert!(r.exclude_self());
+        assert!(r.columns().is_none());
+        assert!(!r.explain());
+    }
+
+    #[test]
+    fn k_zero_rejected() {
+        let err = DiscoveryRequest::builder(QueryMode::Join).k(0).build().unwrap_err();
+        assert!(matches!(err, StoreError::InvalidRequest(_)), "{err}");
+        assert!(err.to_string().contains("k must be >= 1"), "{err}");
+    }
+
+    #[test]
+    fn non_finite_min_score_rejected() {
+        for bad in [f64::NAN, f64::INFINITY] {
+            let err = DiscoveryRequest::builder(QueryMode::Subset)
+                .min_score(bad)
+                .build()
+                .unwrap_err();
+            assert!(matches!(err, StoreError::InvalidRequest(_)), "{err}");
+        }
+    }
+
+    #[test]
+    fn column_filter_rules() {
+        let err = DiscoveryRequest::builder(QueryMode::Union)
+            .columns(Vec::<String>::new())
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("empty"), "{err}");
+
+        let err = DiscoveryRequest::builder(QueryMode::Subset)
+            .columns(["a"])
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("subset"), "{err}");
+
+        let ok = DiscoveryRequest::builder(QueryMode::Join).columns(["a", "b"]).build().unwrap();
+        assert_eq!(ok.columns(), Some(&["a".to_string(), "b".to_string()][..]));
+    }
+}

@@ -1,0 +1,125 @@
+//! The shared read-path snapshot.
+//!
+//! A [`Searcher`] is an immutable view of one catalog generation: an
+//! [`Arc<QueryEngine>`] plus the corpus sketches and the sketch config the
+//! corpus was built with. It is `Send + Sync + Clone` (cloning is two
+//! `Arc` bumps), so any number of threads — a serve loop's connection
+//! workers, a batch fan-out, a background re-ranker — can query the same
+//! snapshot without taking `&mut Catalog` or any lock.
+//!
+//! Mutating the catalog bumps its epoch and drops its cached snapshot;
+//! the next [`crate::Catalog::searcher`] call rebuilds. Snapshots already
+//! handed out keep answering from the generation they captured (readers
+//! are never blocked or invalidated mid-flight), and
+//! [`Searcher::epoch`] lets callers detect staleness.
+
+use crate::engine::QueryEngine;
+use crate::error::{StoreError, StoreResult};
+use crate::request::{DiscoveryRequest, DiscoveryResponse};
+use std::sync::Arc;
+use tsfm_sketch::{SketchConfig, TableSketch};
+use tsfm_table::Table;
+
+/// An immutable, thread-shareable discovery snapshot. See module docs.
+#[derive(Clone)]
+pub struct Searcher {
+    engine: Arc<QueryEngine>,
+    /// Corpus sketches in ascending table-id order (the engine's order),
+    /// so stored tables can themselves be used as queries by id.
+    sketches: Arc<Vec<TableSketch>>,
+    sketch_cfg: SketchConfig,
+    epoch: u64,
+}
+
+impl Searcher {
+    pub(crate) fn new(
+        engine: Arc<QueryEngine>,
+        sketches: Arc<Vec<TableSketch>>,
+        sketch_cfg: SketchConfig,
+        epoch: u64,
+    ) -> Self {
+        debug_assert_eq!(engine.len(), sketches.len());
+        Self { engine, sketches, sketch_cfg, epoch }
+    }
+
+    /// Number of tables in the snapshot.
+    pub fn len(&self) -> usize {
+        self.engine.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.engine.is_empty()
+    }
+
+    /// The catalog generation this snapshot was taken at. A catalog whose
+    /// `epoch()` has moved past this value has newer contents.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    pub fn sketch_config(&self) -> &SketchConfig {
+        &self.sketch_cfg
+    }
+
+    /// The underlying engine, for advanced callers.
+    pub fn engine(&self) -> &QueryEngine {
+        &self.engine
+    }
+
+    /// Sketch a table with the snapshot's own config, ready to query.
+    pub fn sketch(&self, table: &Table) -> TableSketch {
+        TableSketch::build(table, &self.sketch_cfg)
+    }
+
+    /// The stored sketch of a corpus table, or
+    /// [`StoreError::UnknownTable`].
+    pub fn sketch_of(&self, table_id: &str) -> StoreResult<&TableSketch> {
+        self.sketches
+            .binary_search_by(|s| s.table_id.as_str().cmp(table_id))
+            .map(|i| &self.sketches[i])
+            .map_err(|_| StoreError::UnknownTable(table_id.to_string()))
+    }
+
+    /// Sketch `table` and run `req` against the snapshot.
+    pub fn search_table(&self, table: &Table, req: &DiscoveryRequest) -> StoreResult<DiscoveryResponse> {
+        self.engine.search(&self.sketch(table), req)
+    }
+
+    /// Run `req` for a pre-built sketch (must use the snapshot's config).
+    pub fn search_sketch(
+        &self,
+        sketch: &TableSketch,
+        req: &DiscoveryRequest,
+    ) -> StoreResult<DiscoveryResponse> {
+        self.engine.search(sketch, req)
+    }
+
+    /// Use a table already in the corpus as the query, by id — the "what
+    /// joins/unions with my ingested table X" workload.
+    pub fn search_id(&self, table_id: &str, req: &DiscoveryRequest) -> StoreResult<DiscoveryResponse> {
+        let sketch = self.sketch_of(table_id)?;
+        self.engine.search(sketch, req)
+    }
+
+    /// Parallel batched search over the shared snapshot; results are
+    /// identical to (and ordered like) serial [`Searcher::search_sketch`]
+    /// calls.
+    pub fn search_batch(
+        &self,
+        sketches: &[TableSketch],
+        req: &DiscoveryRequest,
+    ) -> StoreResult<Vec<DiscoveryResponse>> {
+        self.engine.search_batch(sketches, req)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn searcher_is_send_sync_clone() {
+        fn assert_bounds<T: Send + Sync + Clone>() {}
+        assert_bounds::<Searcher>();
+    }
+}

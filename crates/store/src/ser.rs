@@ -1,8 +1,8 @@
 //! Versioned little-endian binary serialization for sketches, embedding
 //! matrices, and HNSW graphs, following the `TSFMCKP1` idiom of
 //! `tsfm_nn::io`: an 8-byte magic per container, explicit lengths, bounds
-//! checks on every count, and `InvalidData` errors — never panics — on
-//! corrupt input.
+//! checks on every count, and typed [`StoreError::Corrupt`] errors — never
+//! panics — on corrupt input.
 //!
 //! Containers (each starts with its magic followed by a `u32` version):
 //!
@@ -15,8 +15,9 @@
 //! The catalog manifest (`TSFMCAT1`) and index cache (`TSFMIDX1`) formats
 //! live in [`crate::catalog`] and are built from these primitives.
 
+use crate::error::{StoreError, StoreResult, FRAME};
 use crate::record::TableRecord;
-use std::io::{self, Read, Write};
+use std::io::{Read, Write};
 use tsfm_search::{Hnsw, HnswConfig, HnswSnapshot, Metric};
 use tsfm_sketch::{ColumnSketch, MinHash, NumericalSketch, TableSketch};
 use tsfm_table::ColType;
@@ -33,34 +34,36 @@ const MAX_SIG: usize = 1 << 16;
 const MAX_COLS: usize = 1 << 20;
 const MAX_ELEMS: usize = 1 << 28;
 
-pub(crate) fn bad(msg: impl Into<String>) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+/// Frame-level corruption, attributed to a concrete container format by
+/// the caller via [`StoreError::into_format`].
+pub(crate) fn bad(msg: impl Into<String>) -> StoreError {
+    StoreError::corrupt(FRAME, msg)
 }
 
 // ---- primitives -----------------------------------------------------------
 
-pub(crate) fn write_u8<W: Write>(w: &mut W, v: u8) -> io::Result<()> {
-    w.write_all(&[v])
+pub(crate) fn write_u8<W: Write>(w: &mut W, v: u8) -> StoreResult<()> {
+    Ok(w.write_all(&[v])?)
 }
 
-pub(crate) fn write_u32<W: Write>(w: &mut W, v: u32) -> io::Result<()> {
-    w.write_all(&v.to_le_bytes())
+pub(crate) fn write_u32<W: Write>(w: &mut W, v: u32) -> StoreResult<()> {
+    Ok(w.write_all(&v.to_le_bytes())?)
 }
 
-pub(crate) fn write_u64<W: Write>(w: &mut W, v: u64) -> io::Result<()> {
-    w.write_all(&v.to_le_bytes())
+pub(crate) fn write_u64<W: Write>(w: &mut W, v: u64) -> StoreResult<()> {
+    Ok(w.write_all(&v.to_le_bytes())?)
 }
 
-pub(crate) fn write_f64<W: Write>(w: &mut W, v: f64) -> io::Result<()> {
-    w.write_all(&v.to_le_bytes())
+pub(crate) fn write_f64<W: Write>(w: &mut W, v: f64) -> StoreResult<()> {
+    Ok(w.write_all(&v.to_le_bytes())?)
 }
 
-pub(crate) fn write_str<W: Write>(w: &mut W, s: &str) -> io::Result<()> {
+pub(crate) fn write_str<W: Write>(w: &mut W, s: &str) -> StoreResult<()> {
     write_u32(w, s.len() as u32)?;
-    w.write_all(s.as_bytes())
+    Ok(w.write_all(s.as_bytes())?)
 }
 
-pub(crate) fn write_f32s<W: Write>(w: &mut W, vs: &[f32]) -> io::Result<()> {
+pub(crate) fn write_f32s<W: Write>(w: &mut W, vs: &[f32]) -> StoreResult<()> {
     write_u64(w, vs.len() as u64)?;
     for &v in vs {
         w.write_all(&v.to_le_bytes())?;
@@ -68,31 +71,31 @@ pub(crate) fn write_f32s<W: Write>(w: &mut W, vs: &[f32]) -> io::Result<()> {
     Ok(())
 }
 
-pub(crate) fn read_u8<R: Read>(r: &mut R) -> io::Result<u8> {
+pub(crate) fn read_u8<R: Read>(r: &mut R) -> StoreResult<u8> {
     let mut b = [0u8; 1];
     r.read_exact(&mut b)?;
     Ok(b[0])
 }
 
-pub(crate) fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+pub(crate) fn read_u32<R: Read>(r: &mut R) -> StoreResult<u32> {
     let mut b = [0u8; 4];
     r.read_exact(&mut b)?;
     Ok(u32::from_le_bytes(b))
 }
 
-pub(crate) fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+pub(crate) fn read_u64<R: Read>(r: &mut R) -> StoreResult<u64> {
     let mut b = [0u8; 8];
     r.read_exact(&mut b)?;
     Ok(u64::from_le_bytes(b))
 }
 
-pub(crate) fn read_f64<R: Read>(r: &mut R) -> io::Result<f64> {
+pub(crate) fn read_f64<R: Read>(r: &mut R) -> StoreResult<f64> {
     let mut b = [0u8; 8];
     r.read_exact(&mut b)?;
     Ok(f64::from_le_bytes(b))
 }
 
-pub(crate) fn read_str<R: Read>(r: &mut R) -> io::Result<String> {
+pub(crate) fn read_str<R: Read>(r: &mut R) -> StoreResult<String> {
     let len = read_u32(r)? as usize;
     if len > MAX_STR {
         return Err(bad(format!("unreasonable string length {len}")));
@@ -102,7 +105,7 @@ pub(crate) fn read_str<R: Read>(r: &mut R) -> io::Result<String> {
     String::from_utf8(buf).map_err(|_| bad("string not utf-8"))
 }
 
-pub(crate) fn read_f32s<R: Read>(r: &mut R) -> io::Result<Vec<f32>> {
+pub(crate) fn read_f32s<R: Read>(r: &mut R) -> StoreResult<Vec<f32>> {
     let len = read_u64(r)? as usize;
     if len > MAX_ELEMS {
         return Err(bad(format!("unreasonable vector length {len}")));
@@ -116,7 +119,7 @@ pub(crate) fn read_f32s<R: Read>(r: &mut R) -> io::Result<Vec<f32>> {
     Ok(out)
 }
 
-pub(crate) fn expect_magic<R: Read>(r: &mut R, magic: &[u8; 8], what: &str) -> io::Result<()> {
+pub(crate) fn expect_magic<R: Read>(r: &mut R, magic: &[u8; 8], what: &str) -> StoreResult<()> {
     let mut got = [0u8; 8];
     r.read_exact(&mut got)?;
     if &got != magic {
@@ -129,14 +132,14 @@ pub(crate) fn expect_magic<R: Read>(r: &mut R, magic: &[u8; 8], what: &str) -> i
     Ok(())
 }
 
-pub(crate) fn write_magic<W: Write>(w: &mut W, magic: &[u8; 8]) -> io::Result<()> {
+pub(crate) fn write_magic<W: Write>(w: &mut W, magic: &[u8; 8]) -> StoreResult<()> {
     w.write_all(magic)?;
     write_u32(w, FORMAT_VERSION)
 }
 
 // ---- sketches -------------------------------------------------------------
 
-pub fn write_minhash<W: Write>(w: &mut W, mh: &MinHash) -> io::Result<()> {
+pub fn write_minhash<W: Write>(w: &mut W, mh: &MinHash) -> StoreResult<()> {
     write_u32(w, mh.k() as u32)?;
     for &s in &mh.sig {
         write_u64(w, s)?;
@@ -144,7 +147,7 @@ pub fn write_minhash<W: Write>(w: &mut W, mh: &MinHash) -> io::Result<()> {
     Ok(())
 }
 
-pub fn read_minhash<R: Read>(r: &mut R) -> io::Result<MinHash> {
+pub fn read_minhash<R: Read>(r: &mut R) -> StoreResult<MinHash> {
     let k = read_u32(r)? as usize;
     if k > MAX_SIG {
         return Err(bad(format!("unreasonable signature width {k}")));
@@ -156,7 +159,7 @@ pub fn read_minhash<R: Read>(r: &mut R) -> io::Result<MinHash> {
     Ok(MinHash { sig })
 }
 
-pub fn write_numeric<W: Write>(w: &mut W, s: &NumericalSketch) -> io::Result<()> {
+pub fn write_numeric<W: Write>(w: &mut W, s: &NumericalSketch) -> StoreResult<()> {
     write_f64(w, s.unique_frac)?;
     write_f64(w, s.nan_frac)?;
     write_f64(w, s.cell_width)?;
@@ -169,7 +172,7 @@ pub fn write_numeric<W: Write>(w: &mut W, s: &NumericalSketch) -> io::Result<()>
     write_f64(w, s.max)
 }
 
-pub fn read_numeric<R: Read>(r: &mut R) -> io::Result<NumericalSketch> {
+pub fn read_numeric<R: Read>(r: &mut R) -> StoreResult<NumericalSketch> {
     let unique_frac = read_f64(r)?;
     let nan_frac = read_f64(r)?;
     let cell_width = read_f64(r)?;
@@ -194,7 +197,7 @@ fn coltype_tag(ty: ColType) -> u8 {
     ty.embedding_id() as u8
 }
 
-fn coltype_from_tag(tag: u8) -> io::Result<ColType> {
+fn coltype_from_tag(tag: u8) -> StoreResult<ColType> {
     match tag {
         1 => Ok(ColType::Str),
         2 => Ok(ColType::Int),
@@ -204,7 +207,7 @@ fn coltype_from_tag(tag: u8) -> io::Result<ColType> {
     }
 }
 
-fn write_column_sketch<W: Write>(w: &mut W, c: &ColumnSketch) -> io::Result<()> {
+fn write_column_sketch<W: Write>(w: &mut W, c: &ColumnSketch) -> StoreResult<()> {
     write_str(w, &c.name)?;
     write_u8(w, coltype_tag(c.ty))?;
     write_minhash(w, &c.cell_minhash)?;
@@ -218,7 +221,7 @@ fn write_column_sketch<W: Write>(w: &mut W, c: &ColumnSketch) -> io::Result<()> 
     write_numeric(w, &c.numeric)
 }
 
-fn read_column_sketch<R: Read>(r: &mut R) -> io::Result<ColumnSketch> {
+fn read_column_sketch<R: Read>(r: &mut R) -> StoreResult<ColumnSketch> {
     let name = read_str(r)?;
     let ty = coltype_from_tag(read_u8(r)?)?;
     let cell_minhash = read_minhash(r)?;
@@ -230,7 +233,7 @@ fn read_column_sketch<R: Read>(r: &mut R) -> io::Result<ColumnSketch> {
     Ok(ColumnSketch { name, ty, cell_minhash, word_minhash, numeric: read_numeric(r)? })
 }
 
-pub fn write_table_sketch<W: Write>(w: &mut W, s: &TableSketch) -> io::Result<()> {
+pub fn write_table_sketch<W: Write>(w: &mut W, s: &TableSketch) -> StoreResult<()> {
     write_str(w, &s.table_id)?;
     write_str(w, &s.table_name)?;
     write_str(w, &s.description)?;
@@ -243,7 +246,7 @@ pub fn write_table_sketch<W: Write>(w: &mut W, s: &TableSketch) -> io::Result<()
     Ok(())
 }
 
-pub fn read_table_sketch<R: Read>(r: &mut R) -> io::Result<TableSketch> {
+pub fn read_table_sketch<R: Read>(r: &mut R) -> StoreResult<TableSketch> {
     let table_id = read_str(r)?;
     let table_name = read_str(r)?;
     let description = read_str(r)?;
@@ -264,7 +267,7 @@ pub fn read_table_sketch<R: Read>(r: &mut R) -> io::Result<TableSketch> {
 
 /// Write a dense `rows.len() × dim` matrix. Every row must have `dim`
 /// elements.
-pub fn write_embedding_matrix<W: Write>(w: &mut W, rows: &[Vec<f32>], dim: usize) -> io::Result<()> {
+pub fn write_embedding_matrix<W: Write>(w: &mut W, rows: &[Vec<f32>], dim: usize) -> StoreResult<()> {
     write_magic(w, EMBEDDING_MAGIC)?;
     write_u32(w, rows.len() as u32)?;
     write_u32(w, dim as u32)?;
@@ -279,7 +282,11 @@ pub fn write_embedding_matrix<W: Write>(w: &mut W, rows: &[Vec<f32>], dim: usize
     Ok(())
 }
 
-pub fn read_embedding_matrix<R: Read>(r: &mut R) -> io::Result<Vec<Vec<f32>>> {
+pub fn read_embedding_matrix<R: Read>(r: &mut R) -> StoreResult<Vec<Vec<f32>>> {
+    read_embedding_matrix_inner(r).map_err(|e| e.into_format("TSFMEMB1"))
+}
+
+fn read_embedding_matrix_inner<R: Read>(r: &mut R) -> StoreResult<Vec<Vec<f32>>> {
     expect_magic(r, EMBEDDING_MAGIC, "TSFM embedding matrix")?;
     let nrows = read_u32(r)? as usize;
     let dim = read_u32(r)? as usize;
@@ -301,7 +308,7 @@ pub fn read_embedding_matrix<R: Read>(r: &mut R) -> io::Result<Vec<Vec<f32>>> {
 
 // ---- table records (segment payload) -------------------------------------
 
-pub fn write_record<W: Write>(w: &mut W, rec: &TableRecord) -> io::Result<()> {
+pub fn write_record<W: Write>(w: &mut W, rec: &TableRecord) -> StoreResult<()> {
     write_magic(w, SEGMENT_MAGIC)?;
     write_u64(w, rec.content_hash)?;
     write_table_sketch(w, &rec.sketch)?;
@@ -317,7 +324,11 @@ pub fn write_record<W: Write>(w: &mut W, rec: &TableRecord) -> io::Result<()> {
     write_embedding_matrix(w, &rec.column_embeddings, dim)
 }
 
-pub fn read_record<R: Read>(r: &mut R) -> io::Result<TableRecord> {
+pub fn read_record<R: Read>(r: &mut R) -> StoreResult<TableRecord> {
+    read_record_inner(r).map_err(|e| e.into_format("TSFMSEG1"))
+}
+
+fn read_record_inner<R: Read>(r: &mut R) -> StoreResult<TableRecord> {
     expect_magic(r, SEGMENT_MAGIC, "TSFM segment")?;
     let content_hash = read_u64(r)?;
     let sketch = read_table_sketch(r)?;
@@ -339,7 +350,7 @@ pub fn read_record<R: Read>(r: &mut R) -> io::Result<TableRecord> {
 
 // ---- HNSW graphs ----------------------------------------------------------
 
-pub fn write_hnsw<W: Write>(w: &mut W, index: &Hnsw) -> io::Result<()> {
+pub fn write_hnsw<W: Write>(w: &mut W, index: &Hnsw) -> StoreResult<()> {
     let s = index.snapshot();
     write_magic(w, HNSW_MAGIC)?;
     write_u32(w, s.dim as u32)?;
@@ -371,7 +382,11 @@ pub fn write_hnsw<W: Write>(w: &mut W, index: &Hnsw) -> io::Result<()> {
     Ok(())
 }
 
-pub fn read_hnsw<R: Read>(r: &mut R) -> io::Result<Hnsw> {
+pub fn read_hnsw<R: Read>(r: &mut R) -> StoreResult<Hnsw> {
+    read_hnsw_inner(r).map_err(|e| e.into_format("TSFMHNS1"))
+}
+
+fn read_hnsw_inner<R: Read>(r: &mut R) -> StoreResult<Hnsw> {
     expect_magic(r, HNSW_MAGIC, "TSFM HNSW graph")?;
     let dim = read_u32(r)? as usize;
     let metric = Metric::from_tag(read_u8(r)?)

@@ -1,16 +1,18 @@
 //! Durable end-to-end discovery: generate a small synthetic lake, write it
 //! out as real CSV files, ingest them into a persistent catalog, *close
-//! everything*, then reopen cold and serve join/union/subset queries —
-//! the production-shaped path where index build cost is paid once.
+//! everything*, then reopen cold and serve join/union/subset queries
+//! through the typed discovery API — the production-shaped path where
+//! index build cost is paid once and every query runs against an
+//! immutable [`Searcher`] snapshot.
 //!
 //! `cargo run --release --example persistent_search`
 
 use std::fs;
 use tabsketchfm::lake::{gen_join_search, JoinSearchConfig, World, WorldConfig};
-use tabsketchfm::store::{Catalog, QueryMode};
+use tabsketchfm::store::{Catalog, DiscoveryRequest, DiscoveryResponse, QueryMode, StoreError};
 use tabsketchfm::table::csv;
 
-fn main() -> std::io::Result<()> {
+fn main() -> Result<(), StoreError> {
     let root = std::env::temp_dir().join(format!("tsfm_persistent_search_{}", std::process::id()));
     let csv_dir = root.join("lake");
     let cat_dir = root.join("catalog");
@@ -55,34 +57,68 @@ fn main() -> std::io::Result<()> {
         println!("re-ingest: {} sketched (incremental no-op)", again.sketched());
     }
 
-    // 3. Reopen cold — as a fresh process would — and query.
+    // 3. Reopen cold — as a fresh process would — and take one immutable
+    // searcher snapshot for all queries (no `&mut` on the read path).
     let mut cat = Catalog::open(&cat_dir)?;
-    println!("\nreopened catalog: {} tables, index cached: {}", cat.len(), cat.stats().index_cached);
+    println!(
+        "\nreopened catalog: {} tables, index cached: {}",
+        cat.len(),
+        cat.stats().index_cached
+    );
+    let searcher = cat.searcher()?;
 
-    let text = fs::read_to_string(csv_dir.join(format!("{query_id}.csv")))?;
-    let query = csv::table_from_csv(&query_id, &query_id, &text);
-    for mode in [QueryMode::Join, QueryMode::Union, QueryMode::Subset] {
-        let hits = cat.query(mode, &query, 5)?;
-        println!("\ntop-5 {} candidates for {query_id}:", mode.name());
-        for (i, h) in hits.iter().enumerate() {
-            match mode {
-                QueryMode::Subset => {
-                    println!("  {}. {:<24} est. row jaccard {:.3}", i + 1, h.table_id, h.score)
-                }
-                _ => println!(
-                    "  {}. {:<24} {} cols, distance sum {:.4}",
-                    i + 1,
-                    h.table_id,
-                    h.matching_columns,
-                    h.score
-                ),
-            }
+    // The query table is already in the corpus — address it by id.
+    for mode in QueryMode::ALL {
+        let req = DiscoveryRequest::builder(mode).k(5).build()?;
+        let resp = searcher.search_id(&query_id, &req)?;
+        print_response(&resp);
+    }
+
+    // 4. The builder's knobs: explanations show which query column matched
+    // which corpus column (the Fig.-6 ranking made transparent), and
+    // min_score trims weak subset candidates.
+    let req = DiscoveryRequest::builder(QueryMode::Join).k(3).explain(true).build()?;
+    let resp = searcher.search_id(&query_id, &req)?;
+    println!("\njoin explanations for {query_id}:");
+    for (hit, ex) in resp.hits.iter().zip(resp.explanations.as_deref().unwrap_or_default()) {
+        println!("  {}:", hit.table_id);
+        for m in &ex.matches {
+            println!("    {} → {} (distance {:.4})", m.query_column, m.corpus_column, m.distance);
         }
     }
+
+    let req = DiscoveryRequest::builder(QueryMode::Subset).k(5).min_score(0.2).build()?;
+    let resp = searcher.search_id(&query_id, &req)?;
+    println!("\nsubset candidates with est. jaccard ≥ 0.2: {}", resp.hits.len());
+
+    // Invalid requests fail with typed errors instead of empty output.
+    let err = DiscoveryRequest::builder(QueryMode::Join).k(0).build().unwrap_err();
+    println!("k = 0 is rejected up front: {err}");
+    let err = searcher.search_id("no_such_table", &DiscoveryRequest::builder(QueryMode::Join).build()?);
+    println!("unknown id is typed too: {}", err.unwrap_err());
+
     cat.commit()?;
 
     // The second open reuses the on-disk HNSW cache: no graph rebuild.
     let cat2 = Catalog::open(&cat_dir)?;
     println!("\nsecond cold open: index cached = {}", cat2.stats().index_cached);
     Ok(())
+}
+
+fn print_response(resp: &DiscoveryResponse) {
+    println!("\ntop-{} {} candidates for {} ({}µs):", resp.hits.len(), resp.mode, resp.query_id, resp.elapsed_micros);
+    for (i, h) in resp.hits.iter().enumerate() {
+        match resp.mode {
+            QueryMode::Subset => {
+                println!("  {}. {:<24} est. row jaccard {:.3}", i + 1, h.table_id, h.score)
+            }
+            _ => println!(
+                "  {}. {:<24} {} cols, distance sum {:.4}",
+                i + 1,
+                h.table_id,
+                h.matching_columns,
+                h.score
+            ),
+        }
+    }
 }

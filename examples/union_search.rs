@@ -46,7 +46,7 @@ fn main() {
                     index
                         .search(&vecs[ci], k * 3)
                         .into_iter()
-                        .map(|(id, d)| ColumnHit { table: owner[id], distance: d })
+                        .map(|(id, d)| ColumnHit { table: owner[id], column: id, distance: d })
                         .collect()
                 })
                 .collect();

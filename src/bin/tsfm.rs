@@ -1,23 +1,39 @@
-//! `tsfm` — the data-lake discovery CLI over the persistent catalog.
+//! `tsfm` — the data-lake discovery CLI and server over the persistent
+//! catalog.
 //!
 //! ```text
 //! tsfm ingest <catalog-dir> <csv-dir>                     sketch + store every *.csv
-//! tsfm query  <catalog-dir> <query.csv> [--mode M] [--k N]  rank the corpus for a query table
+//! tsfm query  <catalog-dir> <query.csv> [--mode M] [--k N]
+//!             [--min-score S] [--json] [--explain]        rank the corpus for a query table
+//! tsfm serve  <catalog-dir> [--port N] [--host H]         JSONL-over-TCP discovery server
 //! tsfm stats  <catalog-dir>                               catalog summary
 //! ```
 //!
 //! Modes: `join` (default), `union`, `subset`. Re-running `ingest` on an
 //! unchanged directory is a no-op (content hashes match); the first query
 //! after any change rebuilds the ANN indexes and caches them on disk.
+//!
+//! `serve` takes one immutable [`Searcher`] snapshot at startup and hands
+//! a clone to a worker thread per connection — the snapshot is `Send +
+//! Sync`, so connections query concurrently without locks. The wire
+//! protocol (one JSON request per line, one JSON response line back) is
+//! documented in `tsfm_store::wire`.
 
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
 use std::path::Path;
 use std::process::ExitCode;
-use tabsketchfm::store::{Catalog, QueryMode};
+use tabsketchfm::store::{
+    wire, Catalog, DiscoveryRequest, DiscoveryResponse, QueryMode, Searcher, ServeRequest,
+    StoreResult,
+};
 use tabsketchfm::table::csv;
 
 const USAGE: &str = "usage:
   tsfm ingest <catalog-dir> <csv-dir>
   tsfm query  <catalog-dir> <query.csv> [--mode join|union|subset] [--k N]
+              [--min-score S] [--json] [--explain]
+  tsfm serve  <catalog-dir> [--port N] [--host H]
   tsfm stats  <catalog-dir>";
 
 fn main() -> ExitCode {
@@ -25,6 +41,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("ingest") => cmd_ingest(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
         Some("--help" | "-h" | "help") => {
             println!("{USAGE}");
@@ -70,25 +87,41 @@ fn cmd_ingest(args: &[String]) -> Result<(), String> {
 
 fn cmd_query(args: &[String]) -> Result<(), String> {
     let (mut mode, mut k) = (QueryMode::Join, 10usize);
+    let (mut json, mut explain, mut min_score) = (false, false, None::<f64>);
     let mut positional = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--mode" => {
                 let v = it.next().ok_or("--mode needs a value")?;
-                mode = QueryMode::parse(v)
-                    .ok_or_else(|| format!("unknown mode {v:?} (join|union|subset)"))?;
+                // FromStr is the one shared mode parser; its error already
+                // lists the valid modes.
+                mode = v.parse().map_err(|e| format!("{e}"))?;
             }
             "--k" => {
                 let v = it.next().ok_or("--k needs a value")?;
                 k = v.parse().map_err(|_| format!("invalid k {v:?}"))?;
             }
+            "--min-score" => {
+                let v = it.next().ok_or("--min-score needs a value")?;
+                min_score = Some(v.parse().map_err(|_| format!("invalid min-score {v:?}"))?);
+            }
+            "--json" => json = true,
+            "--explain" => explain = true,
             _ => positional.push(a.clone()),
         }
     }
     let [catalog_dir, query_csv] = &positional[..] else {
         return Err(USAGE.to_string());
     };
+
+    // Build the request first: an invalid one (e.g. --k 0) must fail fast
+    // with the engine's own message, before any catalog I/O.
+    let mut builder = DiscoveryRequest::builder(mode).k(k).explain(explain);
+    if let Some(ms) = min_score {
+        builder = builder.min_score(ms);
+    }
+    let req = builder.build().map_err(|e| e.to_string())?;
 
     let text = std::fs::read_to_string(query_csv).map_err(|e| format!("{query_csv}: {e}"))?;
     let id = Path::new(query_csv)
@@ -101,20 +134,42 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     if cat.is_empty() {
         return Err(format!("catalog {catalog_dir} is empty — run `tsfm ingest` first"));
     }
-    let hits = cat.query(mode, &table, k).map_err(|e| format!("query: {e}"))?;
-    // Queries may build + cache the index; persist the cache fingerprinting.
+    let searcher = cat.searcher().map_err(|e| format!("open index: {e}"))?;
+    let resp = searcher.search_table(&table, &req).map_err(|e| format!("query: {e}"))?;
+    // The snapshot build may have written the index cache; persist the
+    // manifest fingerprinting it.
     cat.commit().map_err(|e| format!("commit: {e}"))?;
 
+    if json {
+        if explain {
+            // Explanations live at the response level; emit the full
+            // response object (exactly what the serve loop would send).
+            println!("{}", wire::response_json(&resp));
+        } else {
+            // One JSON object per hit — the same serializer the serve
+            // loop uses for its `hits` array.
+            for (i, h) in resp.hits.iter().enumerate() {
+                println!("{}", wire::hit_json(i + 1, h));
+            }
+        }
+        return Ok(());
+    }
+    print_response_human(&resp, table.num_cols());
+    Ok(())
+}
+
+fn print_response_human(resp: &DiscoveryResponse, query_cols: usize) {
     println!(
-        "{} results for {} ({} columns) over {} tables [mode={}]",
-        hits.len(),
-        id,
-        table.num_cols(),
-        cat.len(),
-        mode.name()
+        "{} results for {} ({} columns) over {} tables [mode={}] in {}µs",
+        resp.hits.len(),
+        resp.query_id,
+        query_cols,
+        resp.corpus_size,
+        resp.mode,
+        resp.elapsed_micros
     );
-    for (rank, h) in hits.iter().enumerate() {
-        match mode {
+    for (rank, h) in resp.hits.iter().enumerate() {
+        match resp.mode {
             QueryMode::Subset => {
                 println!("{:>3}. {:<32} est. row jaccard {:.3}", rank + 1, h.table_id, h.score)
             }
@@ -126,8 +181,100 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
                 h.score
             ),
         }
+        if let Some(ex) = resp.explanations.as_ref().and_then(|ex| ex.get(rank)) {
+            for m in &ex.matches {
+                println!(
+                    "       {} → {} (distance {:.4})",
+                    m.query_column, m.corpus_column, m.distance
+                );
+            }
+        }
+    }
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let (mut port, mut host) = (7474u16, "127.0.0.1".to_string());
+    let mut positional = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--port" => {
+                let v = it.next().ok_or("--port needs a value")?;
+                port = v.parse().map_err(|_| format!("invalid port {v:?}"))?;
+            }
+            "--host" => {
+                host = it.next().ok_or("--host needs a value")?.clone();
+            }
+            _ => positional.push(a.clone()),
+        }
+    }
+    let [catalog_dir] = &positional[..] else {
+        return Err(USAGE.to_string());
+    };
+
+    let mut cat = Catalog::open(catalog_dir).map_err(|e| format!("open {catalog_dir}: {e}"))?;
+    // Pay the index build once, up front, before accepting traffic.
+    let searcher = cat.searcher().map_err(|e| format!("open index: {e}"))?;
+    cat.commit().map_err(|e| format!("commit: {e}"))?;
+
+    let listener =
+        TcpListener::bind((host.as_str(), port)).map_err(|e| format!("bind {host}:{port}: {e}"))?;
+    let addr = listener.local_addr().map_err(|e| e.to_string())?;
+    // Tests and scripts parse this line for the actual port (`--port 0`
+    // binds an ephemeral one).
+    println!("tsfm: serving {} tables on {addr}", searcher.len());
+    std::io::stdout().flush().ok();
+
+    for stream in listener.incoming() {
+        match stream {
+            Ok(stream) => {
+                // Each connection gets its own worker thread over a clone
+                // of the shared snapshot (two Arc bumps, no locks).
+                let searcher = searcher.clone();
+                std::thread::spawn(move || serve_connection(stream, searcher));
+            }
+            Err(e) => eprintln!("tsfm: accept failed: {e}"),
+        }
     }
     Ok(())
+}
+
+/// One connection: read JSONL requests until EOF, answer each with one
+/// JSON line. Request-level failures are answered (typed through
+/// `wire::error_json`), never fatal to the connection or the server.
+fn serve_connection(stream: TcpStream, searcher: Searcher) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else {
+            break;
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = match handle_request(&searcher, &line) {
+            Ok(resp) => wire::response_json(&resp),
+            Err(e) => wire::error_json(&e),
+        };
+        if writeln!(writer, "{reply}").and_then(|_| writer.flush()).is_err() {
+            break; // peer went away mid-reply
+        }
+    }
+}
+
+fn handle_request(searcher: &Searcher, line: &str) -> StoreResult<DiscoveryResponse> {
+    let req = ServeRequest::parse_line(line)?;
+    match (&req.csv, &req.id) {
+        (Some(text), _) => {
+            let table = csv::table_from_csv(&req.query_id, &req.query_id, text);
+            searcher.search_table(&table, &req.request)
+        }
+        (None, Some(id)) => searcher.search_id(id, &req.request),
+        (None, None) => unreachable!("ServeRequest::parse_line requires csv or id"),
+    }
 }
 
 fn cmd_stats(args: &[String]) -> Result<(), String> {

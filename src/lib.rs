@@ -12,11 +12,14 @@
 //! * [`core`] — the TabSketchFM model, pretraining and fine-tuning
 //! * [`lake`] — synthetic data-lake and benchmark generators
 //! * [`search`] — indexes (brute-force, HNSW, LSH, Josie) and ranking
-//! * [`store`] — persistent discovery catalog + binary sketch/index formats
+//! * [`store`] — persistent discovery catalog, typed discovery API
+//!   (`DiscoveryRequest`/`DiscoveryResponse`, `Searcher`, `StoreError`),
+//!   binary sketch/index formats, JSONL wire protocol
 //! * [`baselines`] — the comparison systems from the paper's evaluation
 //!
 //! The workspace also ships the `tsfm` CLI (`src/bin/tsfm.rs`), which
-//! drives [`store`] over directories of real CSV files.
+//! drives [`store`] over directories of real CSV files and serves
+//! discovery traffic over TCP (`tsfm serve`).
 
 pub use tsfm_baselines as baselines;
 pub use tsfm_core as core;

@@ -148,7 +148,7 @@ fn sbert_fig6_union_search_beats_random() {
                     index
                         .search(&vecs[ci], k * 3)
                         .into_iter()
-                        .map(|(id, d)| ColumnHit { table: owner[id], distance: d })
+                        .map(|(id, d)| ColumnHit { table: owner[id], column: id, distance: d })
                         .collect()
                 })
                 .collect();

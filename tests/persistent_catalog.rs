@@ -9,7 +9,7 @@ use std::path::PathBuf;
 use std::process::Command;
 use tabsketchfm::lake::{gen_join_search, JoinSearchConfig, World, WorldConfig};
 use tabsketchfm::sketch::{SketchConfig, TableSketch};
-use tabsketchfm::store::{Catalog, QueryEngine, QueryMode, TableRecord};
+use tabsketchfm::store::{Catalog, DiscoveryRequest, QueryEngine, QueryMode, TableRecord};
 use tabsketchfm::table::csv;
 
 fn tmp_dir(tag: &str) -> PathBuf {
@@ -66,17 +66,20 @@ fn reopened_catalog_matches_in_memory_pipeline() {
         .collect();
     let in_memory = QueryEngine::build(&records, cfg.minhash_k, Default::default());
 
-    // Reopened catalog: cold open, indexes rebuilt lazily on first query.
+    // Reopened catalog: cold open, indexes rebuilt lazily at the first
+    // searcher() snapshot.
     let mut cat = Catalog::open(&cat_dir).unwrap();
     assert_eq!(cat.len(), ids.len());
+    let searcher = cat.searcher().unwrap();
     let k = 5;
     for id in ids.iter().take(8) {
         let text = fs::read_to_string(csv_dir.join(format!("{id}.csv"))).unwrap();
         let table = csv::table_from_csv(id, id, &text);
         let sketch = TableSketch::build(&table, &cfg);
-        for mode in [QueryMode::Join, QueryMode::Union, QueryMode::Subset] {
-            let fresh = in_memory.query(mode, &sketch, k);
-            let persisted = cat.query(mode, &table, k).unwrap();
+        for mode in QueryMode::ALL {
+            let req = DiscoveryRequest::builder(mode).k(k).build().unwrap();
+            let fresh = in_memory.search(&sketch, &req).unwrap().hits;
+            let persisted = searcher.search_table(&table, &req).unwrap().hits;
             assert_eq!(
                 fresh, persisted,
                 "{} results diverged for query {id}",
@@ -93,10 +96,12 @@ fn reopened_catalog_matches_in_memory_pipeline() {
     let q_text = fs::read_to_string(csv_dir.join(format!("{}.csv", ids[0]))).unwrap();
     let q_table = csv::table_from_csv(&ids[0], &ids[0], &q_text);
     let q_sketch = TableSketch::build(&q_table, &cfg);
-    for mode in [QueryMode::Join, QueryMode::Union, QueryMode::Subset] {
+    let cached_searcher = cached.searcher().unwrap();
+    for mode in QueryMode::ALL {
+        let req = DiscoveryRequest::builder(mode).k(k).build().unwrap();
         assert_eq!(
-            in_memory.query(mode, &q_sketch, k),
-            cached.query(mode, &q_table, k).unwrap(),
+            in_memory.search(&q_sketch, &req).unwrap().hits,
+            cached_searcher.search_table(&q_table, &req).unwrap().hits,
             "cached-index results diverged"
         );
     }

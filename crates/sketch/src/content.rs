@@ -10,7 +10,17 @@ use tsfm_table::Table;
 /// is exactly why column-shuffle augmentation (§III-C) changes it.
 pub fn content_snapshot(table: &Table, hasher: &MinHasher, max_rows: usize) -> MinHash {
     let n = table.num_rows().min(max_rows);
-    hasher.signature((0..n).map(|r| table.row_string(r)))
+    // Render every row through one reused buffer and fold its hash
+    // directly — identical signature to hashing freshly allocated row
+    // strings, without the per-row allocation.
+    let mut sig = hasher.empty_sig();
+    let mut buf = String::new();
+    for r in 0..n {
+        buf.clear();
+        table.row_string_into(r, &mut buf);
+        hasher.fold(&mut sig, tsfm_table::hash::hash_str(&buf));
+    }
+    MinHash { sig }
 }
 
 #[cfg(test)]

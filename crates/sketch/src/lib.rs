@@ -32,6 +32,25 @@ pub fn words_of(s: &str) -> impl Iterator<Item = String> + '_ {
         .map(|w| w.to_lowercase())
 }
 
+/// Visit the word tokens of [`words_of`] without allocating a `String`
+/// per word: ASCII words (the overwhelming majority in real lakes) are
+/// lowercased in a reused buffer; anything else falls back to
+/// `str::to_lowercase`, so the visited strings are byte-identical to
+/// `words_of` in every case (including special casings like final sigma
+/// that `char`-wise lowercasing would get wrong).
+pub fn for_each_word(s: &str, buf: &mut String, mut f: impl FnMut(&str)) {
+    for w in s.split(|c: char| !c.is_alphanumeric()).filter(|w| !w.is_empty()) {
+        if w.is_ascii() {
+            buf.clear();
+            buf.push_str(w);
+            buf.make_ascii_lowercase();
+            f(buf);
+        } else {
+            f(&w.to_lowercase());
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -43,5 +62,18 @@ mod tests {
         let ws: Vec<String> = words_of("12 High-Street, apt. 4B").collect();
         assert_eq!(ws, vec!["12", "high", "street", "apt", "4b"]);
         assert_eq!(words_of("  ").count(), 0);
+    }
+
+    #[test]
+    fn for_each_word_matches_words_of() {
+        // Including non-ASCII and the Greek final-sigma special casing,
+        // where char-wise lowercasing would diverge from str::to_lowercase.
+        for s in ["Austria Vienna", "12 High-Street, apt. 4B", "  ", "ÓBUDA Straße ΟΔΟΣ x"] {
+            let expect: Vec<String> = words_of(s).collect();
+            let mut got = Vec::new();
+            let mut buf = String::new();
+            for_each_word(s, &mut buf, |w| got.push(w.to_string()));
+            assert_eq!(got, expect, "input {s:?}");
+        }
     }
 }

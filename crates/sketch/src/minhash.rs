@@ -66,23 +66,37 @@ impl MinHash {
     ///
     /// Empty-set slots map to 0.0.
     pub fn to_f32_features(&self) -> Vec<f32> {
-        self.sig
-            .iter()
-            .map(|&s| {
-                if s == EMPTY_SLOT {
-                    0.0
-                } else {
-                    (s & 0xFF_FFFF) as f32 / (1u64 << 24) as f32 * 2.0 - 1.0
-                }
-            })
-            .collect()
+        let mut v = Vec::with_capacity(self.sig.len());
+        self.extend_f32_features(&mut v);
+        v
+    }
+
+    /// Append the feature mapping of [`MinHash::to_f32_features`] to `out`
+    /// without allocating — the query path builds every feature vector
+    /// through one reused buffer.
+    pub fn extend_f32_features(&self, out: &mut Vec<f32>) {
+        out.extend(self.sig.iter().map(|&s| {
+            if s == EMPTY_SLOT {
+                0.0
+            } else {
+                (s & 0xFF_FFFF) as f32 / (1u64 << 24) as f32 * 2.0 - 1.0
+            }
+        }));
     }
 }
 
 /// A reusable family of `k` hash functions.
+///
+/// Coefficients are stored as one flat interleaved `[a₀, b₀, a₁, b₁, …]`
+/// array so the inner fold walks a single contiguous buffer, and the fold
+/// itself is unrolled four signature slots at a time. The math is
+/// unchanged — `h_i(x) = a_i·x + b_i` (wrapping) with a per-slot min — so
+/// signatures are bit-identical to the pre-optimization implementation
+/// (pinned by `tests/determinism.rs`).
 #[derive(Debug, Clone)]
 pub struct MinHasher {
-    coeffs: Vec<(u64, u64)>,
+    /// Interleaved `(a, b)` pairs; length `2k`.
+    coeffs: Vec<u64>,
 }
 
 impl MinHasher {
@@ -90,12 +104,56 @@ impl MinHasher {
     /// produces the same family — required for cross-table comparability.
     pub fn new(k: usize, seed: u64) -> Self {
         let mut s = SeedStream::new(seed);
-        let coeffs = (0..k).map(|_| (s.next_odd(), s.next_u64())).collect();
+        let mut coeffs = Vec::with_capacity(2 * k);
+        for _ in 0..k {
+            coeffs.push(s.next_odd());
+            coeffs.push(s.next_u64());
+        }
         Self { coeffs }
     }
 
     pub fn k(&self) -> usize {
-        self.coeffs.len()
+        self.coeffs.len() / 2
+    }
+
+    /// A fresh all-sentinel signature buffer to [`MinHasher::fold`] into.
+    pub fn empty_sig(&self) -> Vec<u64> {
+        vec![EMPTY_SLOT; self.k()]
+    }
+
+    /// Fold one pre-hashed element into a signature buffer (`sig.len()`
+    /// must be `k`). This is the MinHash inner loop: unrolled over four
+    /// slots of the flat coefficient array per iteration, identical math
+    /// to the naive per-pair loop.
+    #[inline]
+    pub fn fold(&self, sig: &mut [u64], x: u64) {
+        debug_assert_eq!(sig.len(), self.k());
+        let mut cs = self.coeffs.chunks_exact(8);
+        let mut ss = sig.chunks_exact_mut(4);
+        for (c, s) in (&mut cs).zip(&mut ss) {
+            let h0 = c[0].wrapping_mul(x).wrapping_add(c[1]);
+            let h1 = c[2].wrapping_mul(x).wrapping_add(c[3]);
+            let h2 = c[4].wrapping_mul(x).wrapping_add(c[5]);
+            let h3 = c[6].wrapping_mul(x).wrapping_add(c[7]);
+            if h0 < s[0] {
+                s[0] = h0;
+            }
+            if h1 < s[1] {
+                s[1] = h1;
+            }
+            if h2 < s[2] {
+                s[2] = h2;
+            }
+            if h3 < s[3] {
+                s[3] = h3;
+            }
+        }
+        for (c, slot) in cs.remainder().chunks_exact(2).zip(ss.into_remainder()) {
+            let h = c[0].wrapping_mul(x).wrapping_add(c[1]);
+            if h < *slot {
+                *slot = h;
+            }
+        }
     }
 
     /// Signature of a set of string elements. Duplicates are harmless
@@ -105,29 +163,14 @@ impl MinHasher {
         I: IntoIterator<Item = S>,
         S: AsRef<str>,
     {
-        let mut sig = vec![EMPTY_SLOT; self.coeffs.len()];
-        for el in elements {
-            let x = hash_str(el.as_ref());
-            for (slot, &(a, b)) in sig.iter_mut().zip(&self.coeffs) {
-                let h = a.wrapping_mul(x).wrapping_add(b);
-                if h < *slot {
-                    *slot = h;
-                }
-            }
-        }
-        MinHash { sig }
+        self.signature_hashed(elements.into_iter().map(|el| hash_str(el.as_ref())))
     }
 
     /// Signature from pre-hashed elements (avoids re-hashing in hot loops).
     pub fn signature_hashed<I: IntoIterator<Item = u64>>(&self, hashes: I) -> MinHash {
-        let mut sig = vec![EMPTY_SLOT; self.coeffs.len()];
+        let mut sig = self.empty_sig();
         for x in hashes {
-            for (slot, &(a, b)) in sig.iter_mut().zip(&self.coeffs) {
-                let h = a.wrapping_mul(x).wrapping_add(b);
-                if h < *slot {
-                    *slot = h;
-                }
-            }
+            self.fold(&mut sig, x);
         }
         MinHash { sig }
     }
@@ -259,6 +302,30 @@ mod tests {
             let se = (true_j * (1.0 - true_j) / k as f64).sqrt().max(0.02);
             prop_assert!((est - true_j).abs() <= 4.0 * se,
                 "true={true_j:.3} est={est:.3} se={se:.3}");
+        }
+
+        /// The unroll-4 flat-coefficient fold is bit-identical to the
+        /// naive per-pair reference loop at every signature width,
+        /// including the `k % 4 != 0` remainder cases.
+        #[test]
+        fn prop_unrolled_fold_matches_reference(k in 0usize..40, seed in 0u64..1000, n in 0usize..60) {
+            let mh = MinHasher::new(k, seed);
+            let elements: Vec<String> = (0..n).map(|i| format!("e{i}")).collect();
+            let fast = mh.signature(elements.iter());
+            // Reference: re-derive the same family, run the pre-unroll loop.
+            let mut s = SeedStream::new(seed);
+            let coeffs: Vec<(u64, u64)> = (0..k).map(|_| (s.next_odd(), s.next_u64())).collect();
+            let mut sig = vec![EMPTY_SLOT; k];
+            for el in &elements {
+                let x = hash_str(el);
+                for (slot, &(a, b)) in sig.iter_mut().zip(&coeffs) {
+                    let h = a.wrapping_mul(x).wrapping_add(b);
+                    if h < *slot {
+                        *slot = h;
+                    }
+                }
+            }
+            prop_assert_eq!(fast.sig, sig);
         }
 
         /// Jaccard estimate is symmetric and bounded.

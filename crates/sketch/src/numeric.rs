@@ -33,7 +33,6 @@ impl NumericalSketch {
     pub fn of_column(col: &Column, max_rows: usize) -> Self {
         let n = col.len().min(max_rows);
         let slice = &col.values[..n];
-        let total = n.max(1) as f64;
 
         let mut hashes: Vec<u64> = Vec::with_capacity(n);
         let mut width_sum = 0usize;
@@ -49,12 +48,38 @@ impl NumericalSketch {
             width_sum += r.len();
             hashes.push(hash_str(&r));
         }
+
+        let nums: Vec<f64> =
+            slice.iter().filter_map(|v| v.as_f64()).filter(|f| f.is_finite()).collect();
+        Self::from_parts(n, nan, non_null, width_sum, hashes, nums)
+    }
+
+    /// Build a sketch from per-cell observations gathered elsewhere —
+    /// the hash-once path: [`crate::ColumnSketch::build`] renders and
+    /// hashes each cell exactly once and shares the same `u64` stream
+    /// between the cell MinHash and this sketch's unique count.
+    /// [`NumericalSketch::of_column`] is the single-pass reference; the
+    /// two are bit-identical given the same window (see
+    /// `tests/determinism.rs`).
+    ///
+    /// * `total_rows` — rows in the sketching window (`min(len, max_rows)`)
+    /// * `nan` / `non_null` — null and non-null cell counts in the window
+    /// * `width_sum` — total rendered byte width of non-null cells
+    /// * `hashes` — stable hash of each non-null cell's rendering
+    /// * `nums` — finite numeric values in window order
+    pub fn from_parts(
+        total_rows: usize,
+        nan: usize,
+        non_null: usize,
+        width_sum: usize,
+        mut hashes: Vec<u64>,
+        mut nums: Vec<f64>,
+    ) -> Self {
+        let total = total_rows.max(1) as f64;
         hashes.sort_unstable();
         hashes.dedup();
         let unique = hashes.len();
 
-        let mut nums: Vec<f64> =
-            slice.iter().filter_map(|v| v.as_f64()).filter(|f| f.is_finite()).collect();
         nums.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
 
         let (mut percentiles, mut mean, mut std, mut min, mut max) =

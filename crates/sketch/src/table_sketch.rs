@@ -1,10 +1,18 @@
 //! The full sketch bundle for one table, ready to feed the model.
+//!
+//! This is the ingest hot path. [`ColumnSketch::build`] renders and hashes
+//! every cell **exactly once** and feeds the same pre-hashed `u64` stream
+//! to the cell MinHash and the numerical sketch's unique count (words are
+//! hashed once each for the word MinHash), instead of re-rendering and
+//! re-hashing the column per sketch family. All sketches are bit-identical
+//! to the naive multi-pass construction — pinned by
+//! `tests/determinism.rs`.
 
-use crate::content::content_snapshot;
+use crate::for_each_word;
 use crate::minhash::{MinHash, MinHasher};
 use crate::numeric::NumericalSketch;
-use crate::words_of;
-use tsfm_table::{ColType, Column, Table};
+use tsfm_table::hash::hash_str;
+use tsfm_table::{ColType, Column, Table, Value};
 
 /// Sketching hyper-parameters.
 #[derive(Debug, Clone)]
@@ -39,20 +47,106 @@ pub struct ColumnSketch {
     pub numeric: NumericalSketch,
 }
 
+/// The rendered cells of one column window, concatenated: `offsets` has
+/// one entry per cell plus a terminator, nulls span zero bytes. Built as a
+/// by-product of [`ColumnSketch::build`] so the table-level content
+/// snapshot can assemble row strings without rendering any cell a second
+/// time.
+#[derive(Default)]
+struct CellArena {
+    bytes: String,
+    offsets: Vec<u32>,
+}
+
+impl CellArena {
+    /// The rendered cell `r`, or `""` past the column's end (exactly what
+    /// [`tsfm_table::Table::row_string`] appends there).
+    fn cell(&self, r: usize) -> &str {
+        if r + 1 < self.offsets.len() {
+            &self.bytes[self.offsets[r] as usize..self.offsets[r + 1] as usize]
+        } else {
+            ""
+        }
+    }
+}
+
 impl ColumnSketch {
+    /// One pass over the column window: each cell is rendered into a
+    /// reused buffer and hashed once; that hash feeds both the cell
+    /// MinHash fold and (collected) the numerical sketch's unique count.
+    /// String columns additionally fold each word's hash into the word
+    /// MinHash.
     pub fn build(col: &Column, hasher: &MinHasher, max_rows: usize) -> Self {
+        Self::build_inner(col, hasher, max_rows, None)
+    }
+
+    fn build_inner(
+        col: &Column,
+        hasher: &MinHasher,
+        max_rows: usize,
+        mut arena: Option<&mut CellArena>,
+    ) -> Self {
         let n = col.len().min(max_rows);
-        let rendered: Vec<String> = col.values[..n]
-            .iter()
-            .filter(|v| !v.is_null())
-            .map(|v| v.render())
-            .collect();
-        let cell_minhash = hasher.signature(rendered.iter());
-        let word_minhash = (col.ty == ColType::Str)
-            .then(|| hasher.signature(rendered.iter().flat_map(|s| words_of(s))));
-        // Recompute the numeric sketch over the same row window.
-        let numeric = NumericalSketch::of_column(col, max_rows);
-        ColumnSketch { name: col.name.clone(), ty: col.ty, cell_minhash, word_minhash, numeric }
+        let slice = &col.values[..n];
+        let is_str = col.ty == ColType::Str;
+        if let Some(a) = arena.as_deref_mut() {
+            a.offsets.reserve(n + 1);
+            a.offsets.push(0);
+        }
+
+        let mut cell_sig = hasher.empty_sig();
+        let mut word_sig = is_str.then(|| hasher.empty_sig());
+        let mut cell_hashes: Vec<u64> = Vec::with_capacity(n);
+        let mut nums: Vec<f64> = Vec::new();
+        let mut width_sum = 0usize;
+        let mut nan = 0usize;
+        let mut non_null = 0usize;
+        let mut render_buf = String::new();
+        let mut word_buf = String::new();
+        for v in slice {
+            if v.is_null() {
+                nan += 1;
+                if let Some(a) = arena.as_deref_mut() {
+                    a.offsets.push(a.bytes.len() as u32);
+                }
+                continue;
+            }
+            non_null += 1;
+            // Strings render to themselves; everything else goes through
+            // the reused buffer (no per-cell allocation either way).
+            let r: &str = match v {
+                Value::Str(s) => s,
+                other => {
+                    render_buf.clear();
+                    other.render_into(&mut render_buf);
+                    &render_buf
+                }
+            };
+            width_sum += r.len();
+            let x = hash_str(r);
+            cell_hashes.push(x);
+            hasher.fold(&mut cell_sig, x);
+            if let Some(ws) = &mut word_sig {
+                for_each_word(r, &mut word_buf, |w| hasher.fold(ws, hash_str(w)));
+            }
+            if let Some(f) = v.as_f64() {
+                if f.is_finite() {
+                    nums.push(f);
+                }
+            }
+            if let Some(a) = arena.as_deref_mut() {
+                a.bytes.push_str(r);
+                a.offsets.push(a.bytes.len() as u32);
+            }
+        }
+        let numeric = NumericalSketch::from_parts(n, nan, non_null, width_sum, cell_hashes, nums);
+        ColumnSketch {
+            name: col.name.clone(),
+            ty: col.ty,
+            cell_minhash: MinHash { sig: cell_sig },
+            word_minhash: word_sig.map(|sig| MinHash { sig }),
+            numeric,
+        }
     }
 
     /// The model input vector for the MinHash embedding stream: a fixed
@@ -60,12 +154,20 @@ impl ColumnSketch {
     /// for numeric/date columns (the paper's `E_C` vs `E_{C‖W}` made
     /// concrete so that one linear layer serves every token).
     pub fn minhash_features(&self) -> Vec<f32> {
-        let mut v = self.cell_minhash.to_f32_features();
-        match &self.word_minhash {
-            Some(w) => v.extend(w.to_f32_features()),
-            None => v.extend(std::iter::repeat(0.0).take(self.cell_minhash.k())),
-        }
+        let mut v = Vec::with_capacity(2 * self.cell_minhash.k());
+        self.extend_minhash_features(&mut v);
         v
+    }
+
+    /// Append [`ColumnSketch::minhash_features`] to `out` without
+    /// allocating (the index-build and query hot paths reuse one buffer
+    /// across every column).
+    pub fn extend_minhash_features(&self, out: &mut Vec<f32>) {
+        self.cell_minhash.extend_f32_features(out);
+        match &self.word_minhash {
+            Some(w) => w.extend_f32_features(out),
+            None => out.extend(std::iter::repeat(0.0).take(self.cell_minhash.k())),
+        }
     }
 }
 
@@ -87,20 +189,32 @@ impl TableSketch {
     }
 
     /// Build with a caller-owned hasher (amortizes family construction when
-    /// sketching a whole lake).
+    /// sketching a whole lake). The column pass captures each column's
+    /// rendered cells in an arena, and the content snapshot assembles its
+    /// row strings from those arenas — so every cell of the table is
+    /// rendered exactly once. Identical output to running
+    /// [`ColumnSketch::build`] per column plus [`crate::content_snapshot`] (see
+    /// `tests/determinism.rs`).
     pub fn build_with_hasher(table: &Table, hasher: &MinHasher, max_rows: usize) -> Self {
+        let n_rows = table.num_rows().min(max_rows);
+        let mut arenas: Vec<CellArena> = Vec::with_capacity(table.columns.len());
         let columns = table
             .columns
             .iter()
-            .map(|c| ColumnSketch::build(c, hasher, max_rows))
+            .map(|c| {
+                let mut arena = CellArena::default();
+                let cs = ColumnSketch::build_inner(c, hasher, max_rows, Some(&mut arena));
+                arenas.push(arena);
+                cs
+            })
             .collect();
         TableSketch {
             table_id: table.id.clone(),
             table_name: table.name.clone(),
             description: table.description.clone(),
-            content_snapshot: content_snapshot(table, hasher, max_rows),
+            content_snapshot: content_from_arenas(&arenas, hasher, n_rows),
             columns,
-            num_rows: table.num_rows().min(max_rows),
+            num_rows: n_rows,
         }
     }
 
@@ -116,6 +230,27 @@ impl TableSketch {
         v.extend(std::iter::repeat(0.0).take(self.content_snapshot.k()));
         v
     }
+}
+
+/// The content snapshot assembled from pre-rendered column arenas:
+/// byte-identical row strings to [`tsfm_table::Table::row_string`]
+/// (`|`-separated cells, empty past a column's end), folded through the
+/// same hash — so the signature equals [`crate::content_snapshot`]'s without
+/// re-rendering a single cell.
+fn content_from_arenas(arenas: &[CellArena], hasher: &MinHasher, n_rows: usize) -> MinHash {
+    let mut sig = hasher.empty_sig();
+    let mut buf = String::new();
+    for r in 0..n_rows {
+        buf.clear();
+        for (i, arena) in arenas.iter().enumerate() {
+            if i > 0 {
+                buf.push('|');
+            }
+            buf.push_str(arena.cell(r));
+        }
+        hasher.fold(&mut sig, hash_str(&buf));
+    }
+    MinHash { sig }
 }
 
 #[cfg(test)]

@@ -4,12 +4,16 @@
 //! row-order permutation, which is what makes precomputed sketches
 //! comparable across a data lake.
 
+use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use tsfm_sketch::{content_snapshot, MinHasher, NumericalSketch, SketchConfig, TableSketch};
-use tsfm_table::hash::{hash_str, hash_str_seeded};
-use tsfm_table::{Column, Table, Value};
+use tsfm_sketch::{
+    content_snapshot, words_of, ColumnSketch, MinHasher, NumericalSketch, SketchConfig,
+    TableSketch,
+};
+use tsfm_table::hash::{hash_str, hash_str_seeded, splitmix64};
+use tsfm_table::{ColType, Column, Table, Value};
 
 fn sample_table() -> Table {
     let mut t = Table::new("det", "determinism sample").with_description("mixed-type table");
@@ -103,6 +107,155 @@ fn table_sketch_identical_across_runs() {
         assert_eq!(x.numeric, y.numeric);
         assert_eq!(x.minhash_features(), y.minhash_features());
     }
+}
+
+/// The naive multi-pass reference: render every non-null cell to an owned
+/// string, MinHash the rendered set, MinHash the word set, and compute the
+/// numerical sketch in its own pass — exactly what `ColumnSketch::build`
+/// did before the hash-once rewrite.
+fn reference_column_sketch(col: &Column, hasher: &MinHasher, max_rows: usize) -> ColumnSketch {
+    let n = col.len().min(max_rows);
+    let rendered: Vec<String> =
+        col.values[..n].iter().filter(|v| !v.is_null()).map(|v| v.render()).collect();
+    let cell_minhash = hasher.signature(rendered.iter());
+    let word_minhash = (col.ty == ColType::Str)
+        .then(|| hasher.signature(rendered.iter().flat_map(|s| words_of(s))));
+    let numeric = NumericalSketch::of_column(col, max_rows);
+    ColumnSketch { name: col.name.clone(), ty: col.ty, cell_minhash, word_minhash, numeric }
+}
+
+fn assert_column_sketches_identical(fast: &ColumnSketch, reference: &ColumnSketch, what: &str) {
+    assert_eq!(fast.cell_minhash, reference.cell_minhash, "{what}: cell MinHash");
+    assert_eq!(fast.word_minhash, reference.word_minhash, "{what}: word MinHash");
+    assert_eq!(
+        fast.numeric.to_vec().map(f64::to_bits),
+        reference.numeric.to_vec().map(f64::to_bits),
+        "{what}: numerical sketch"
+    );
+}
+
+/// The hash-once single-pass `ColumnSketch::build` (one render + one hash
+/// per cell, shared between the cell MinHash and the numeric unique
+/// count) must be bit-identical to the multi-pass reference on a real
+/// mixed-type table.
+#[test]
+fn hash_once_column_sketch_matches_reference() {
+    let t = sample_table();
+    let cfg = SketchConfig::default();
+    let hasher = MinHasher::new(cfg.minhash_k, cfg.seed);
+    for col in &t.columns {
+        let fast = ColumnSketch::build(col, &hasher, cfg.max_rows);
+        let reference = reference_column_sketch(col, &hasher, cfg.max_rows);
+        assert_column_sketches_identical(&fast, &reference, &col.name);
+    }
+    // Window truncation takes the same code path.
+    for col in &t.columns {
+        let fast = ColumnSketch::build(col, &hasher, 17);
+        let reference = reference_column_sketch(col, &hasher, 17);
+        assert_column_sketches_identical(&fast, &reference, &col.name);
+    }
+}
+
+proptest! {
+    /// Property form over random columns of every type mix: nulls, ints,
+    /// floats (incl. integral-valued ones that render as "x.0"), dates,
+    /// and multi-word unicode strings.
+    #[test]
+    fn prop_hash_once_matches_reference(seed in 0u64..400, len in 0usize..50, max_rows in 1usize..40) {
+        let h = |i: usize, salt: u64| splitmix64(seed ^ salt ^ (i as u64).wrapping_mul(0x9e37));
+        let values: Vec<Value> = (0..len)
+            .map(|i| match h(i, 1) % 6 {
+                0 => Value::Null,
+                1 => Value::Int(h(i, 2) as i64 % 10_000),
+                2 => Value::Float((h(i, 3) % 2_000) as f64 / 8.0 - 100.0),
+                3 => Value::Date((h(i, 4) % 4_000_000_000) as i64 - 1_000_000_000),
+                4 => Value::Str(format!("word{} straße-{} ΟΔΟΣ", h(i, 5) % 30, h(i, 6) % 7)),
+                _ => Value::Str(format!("v{}", h(i, 7) % 100)),
+            })
+            .collect();
+        let col = Column::new("c", values);
+        let hasher = MinHasher::new(32, 0x7ab5);
+        let fast = ColumnSketch::build(&col, &hasher, max_rows);
+        let reference = reference_column_sketch(&col, &hasher, max_rows);
+        prop_assert_eq!(&fast.cell_minhash, &reference.cell_minhash);
+        prop_assert_eq!(&fast.word_minhash, &reference.word_minhash);
+        prop_assert_eq!(
+            fast.numeric.to_vec().map(f64::to_bits),
+            reference.numeric.to_vec().map(f64::to_bits)
+        );
+    }
+}
+
+/// `TableSketch::build` assembles its content snapshot from the column
+/// pass's rendered-cell arenas; it must equal the standalone
+/// [`content_snapshot`] (which re-renders every row) — including on
+/// ragged tables, where short columns read as empty cells, and with a
+/// truncating row window.
+#[test]
+fn arena_content_snapshot_matches_reference() {
+    let mut t = Table::new("ragged", "ragged");
+    t.push_column(Column::new(
+        "a",
+        (0..40).map(|i| if i % 5 == 0 { Value::Null } else { Value::Int(i) }).collect(),
+    ));
+    t.push_column(Column::new(
+        "b",
+        (0..25).map(|i| Value::Str(format!("w{} x{}", i % 9, i))).collect(),
+    ));
+    t.push_column(Column::new("c", (0..33).map(|i| Value::Date(i * 86_400 + i)).collect()));
+    t.push_column(Column::new("empty", vec![]));
+    let cfg = SketchConfig::default();
+    let hasher = MinHasher::new(cfg.minhash_k, cfg.seed);
+    for max_rows in [10_000, 30, 1] {
+        let s = TableSketch::build_with_hasher(&t, &hasher, max_rows);
+        assert_eq!(
+            s.content_snapshot,
+            content_snapshot(&t, &hasher, max_rows),
+            "max_rows={max_rows}"
+        );
+    }
+}
+
+/// Fold a full table sketch — every signature slot, numeric statistic bit,
+/// and feature value — into one u64.
+fn sketch_fingerprint(s: &TableSketch) -> u64 {
+    let mut acc = splitmix64(s.num_rows as u64 ^ 0x5ce7);
+    for &slot in &s.content_snapshot.sig {
+        acc = splitmix64(acc ^ slot);
+    }
+    for c in &s.columns {
+        acc = splitmix64(acc ^ hash_str(&c.name));
+        for &slot in &c.cell_minhash.sig {
+            acc = splitmix64(acc ^ slot);
+        }
+        if let Some(w) = &c.word_minhash {
+            for &slot in &w.sig {
+                acc = splitmix64(acc ^ slot);
+            }
+        }
+        for v in c.numeric.to_vec() {
+            acc = splitmix64(acc ^ v.to_bits());
+        }
+        for f in c.minhash_features() {
+            acc = splitmix64(acc ^ f.to_bits() as u64);
+        }
+    }
+    acc
+}
+
+/// Pinned fingerprint over the whole sketch bundle: any non-bit-identical
+/// change to cell/word/content MinHashes, the numeric statistics, or the
+/// f32 feature mapping fails here — exactly the guarantee the hash-once
+/// sketcher rewrite must preserve for every sketch already persisted in a
+/// catalog.
+#[test]
+fn table_sketch_fingerprint_pinned() {
+    let s = TableSketch::build(&sample_table(), &SketchConfig::default());
+    assert_eq!(
+        sketch_fingerprint(&s),
+        0x3836_41f5_60a1_5369,
+        "sketch construction changed — stored sketches would no longer match"
+    );
 }
 
 /// Row-order permutation must not change any set-based sketch: per-column

@@ -27,19 +27,19 @@
 //! unchanged directory touches nothing and adding one file re-sketches
 //! exactly one table.
 
-use crate::engine::{QueryEngine, QueryMode, TableHit};
+use crate::engine::QueryEngine;
 use crate::error::{StoreError, StoreResult};
 use crate::record::TableRecord;
-use crate::request::DiscoveryRequest;
 use crate::searcher::Searcher;
 use crate::ser;
 use std::collections::BTreeMap;
 use std::fs::{self, File};
 use std::io::{BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use tsfm_search::HnswConfig;
-use tsfm_sketch::{SketchConfig, TableSketch};
+use tsfm_sketch::{MinHasher, SketchConfig, TableSketch};
 use tsfm_table::hash::{hash_str, splitmix64};
 use tsfm_table::{csv, Table};
 
@@ -85,6 +85,55 @@ impl IngestReport {
     pub fn sketched(&self) -> usize {
         self.added + self.updated
     }
+
+    fn count(&mut self, outcome: IngestOutcome) {
+        match outcome {
+            IngestOutcome::Added => self.added += 1,
+            IngestOutcome::Updated => self.updated += 1,
+            IngestOutcome::Unchanged => self.unchanged += 1,
+        }
+    }
+}
+
+/// Run `work(0..n)` across `threads` workers (atomic work-stealing, scoped
+/// threads), returning outputs in index order. `0` / `1` threads or a
+/// single job runs inline. `work` must be a pure function of its index —
+/// the ingest pool uses it for parse + sketch jobs, whose outputs are then
+/// applied serially in input order, so the catalog ends up byte-identical
+/// to a serial ingest at any thread count.
+fn parallel_map<T: Send>(
+    n: usize,
+    threads: usize,
+    work: impl Fn(usize) -> T + Sync,
+) -> Vec<T> {
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(work).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let workers = threads.min(n);
+    let mut tagged: Vec<(usize, T)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        out.push((i, work(i)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("ingest worker panicked"))
+            .collect()
+    });
+    tagged.sort_unstable_by_key(|&(i, _)| i);
+    tagged.into_iter().map(|(_, t)| t).collect()
 }
 
 /// Aggregate catalog statistics (the `tsfm stats` output).
@@ -110,6 +159,9 @@ pub struct Catalog {
     /// Bumped by every mutation; snapshots carry the epoch they captured.
     epoch: u64,
     manifest_dirty: bool,
+    /// Reused segment serialization buffer (records are a few KB; one
+    /// buffer serves a whole bulk ingest).
+    seg_buf: Vec<u8>,
 }
 
 impl Catalog {
@@ -146,6 +198,7 @@ impl Catalog {
                 snapshot: None,
                 epoch: 0,
                 manifest_dirty: false,
+                seg_buf: Vec::new(),
             });
         }
         fs::create_dir_all(dir.join(SEGMENT_DIR))?;
@@ -157,6 +210,7 @@ impl Catalog {
             snapshot: None,
             epoch: 0,
             manifest_dirty: true,
+            seg_buf: Vec::new(),
         };
         cat.write_manifest()?;
         Ok(cat)
@@ -237,7 +291,9 @@ impl Catalog {
         };
         let segment = segment_name(&id, rec.content_hash);
         let path = self.dir.join(SEGMENT_DIR).join(&segment);
-        write_atomic(&path, |w| ser::write_record(w, &rec))?;
+        self.seg_buf.clear();
+        ser::write_record(&mut self.seg_buf, &rec)?;
+        write_segment(&path, &self.seg_buf)?;
         // Drop the replaced segment file (name differs because the hash does).
         if let Some(old) = self.entries.get(&id) {
             if old.segment != segment {
@@ -268,39 +324,122 @@ impl Catalog {
     }
 
     /// Ingest every `*.csv` file of a directory (sorted by name; the file
-    /// stem becomes the table id). Unchanged files are skipped before
+    /// stem becomes the table id), parsing and sketching across the
+    /// host's available parallelism. Unchanged files are skipped before
     /// parsing. Commits the manifest at the end.
     pub fn ingest_dir(&mut self, dir: impl AsRef<Path>) -> StoreResult<IngestReport> {
+        let threads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1);
+        self.ingest_dir_with_threads(dir, threads)
+    }
+
+    /// [`Catalog::ingest_dir`] with an explicit worker count (`0` or `1`
+    /// runs inline). The result — report, segment files, manifest, and
+    /// every future query answer — is identical at any thread count:
+    /// sources are read and checked against the manifest serially in
+    /// sorted file order, only the CPU-bound parse + sketch work fans out
+    /// (file stems are unique within a directory, so jobs are
+    /// independent), and records are applied back in file order.
+    pub fn ingest_dir_with_threads(
+        &mut self,
+        dir: impl AsRef<Path>,
+        threads: usize,
+    ) -> StoreResult<IngestReport> {
         let mut files: Vec<PathBuf> = fs::read_dir(dir.as_ref())?
             .filter_map(|e| e.ok().map(|e| e.path()))
             .filter(|p| p.extension().map(|x| x == "csv").unwrap_or(false))
             .collect();
         files.sort();
         let mut report = IngestReport::default();
-        for path in files {
+        let hasher = self.hasher();
+        let max_rows = self.sketch_cfg.max_rows;
+        // Bound how many raw file texts are in memory at once: read +
+        // content-hash serially (skipping unchanged sources before any
+        // parsing), hand the pool one chunk of changed files at a time,
+        // and apply each chunk's records in file order before reading
+        // more — a lake-sized ingest never holds more than ~8 texts per
+        // worker, and the resulting catalog is identical to the old
+        // one-file-at-a-time loop.
+        let chunk_size = threads.max(1) * 8;
+        let mut jobs: Vec<(String, String, u64)> = Vec::new();
+        let mut files = files.into_iter().peekable();
+        while let Some(path) = files.next() {
             let name = path.file_name().unwrap_or_default().to_string_lossy().to_string();
             let id = path.file_stem().unwrap_or_default().to_string_lossy().to_string();
-            let text = match fs::read_to_string(&path) {
-                Ok(t) => t,
-                Err(e) => {
-                    report.failed.push((name, e.to_string()));
-                    continue;
+            match fs::read_to_string(&path) {
+                Ok(text) => {
+                    let content_hash = hash_str(&text);
+                    if self.entries.get(&id).map(|e| e.content_hash) == Some(content_hash) {
+                        report.unchanged += 1;
+                    } else {
+                        jobs.push((id, text, content_hash));
+                    }
                 }
-            };
-            let content_hash = hash_str(&text);
-            if self.entries.get(&id).map(|e| e.content_hash) == Some(content_hash) {
-                report.unchanged += 1;
-                continue;
+                Err(e) => report.failed.push((name, e.to_string())),
             }
-            let table = csv::table_from_csv(&id, &id, &text);
-            match self.add_table(&table, content_hash)? {
-                IngestOutcome::Added => report.added += 1,
-                IngestOutcome::Updated => report.updated += 1,
-                IngestOutcome::Unchanged => report.unchanged += 1,
+            if jobs.len() >= chunk_size || files.peek().is_none() {
+                let records = parallel_map(jobs.len(), threads, |j| {
+                    let (id, text, content_hash) = &jobs[j];
+                    let table = csv::table_from_csv(id, id, text);
+                    let sketch = TableSketch::build_with_hasher(&table, &hasher, max_rows);
+                    TableRecord::from_sketch(sketch, *content_hash)
+                });
+                jobs.clear();
+                for rec in records {
+                    report.count(self.add_record(rec)?);
+                }
             }
         }
         self.commit()?;
         Ok(report)
+    }
+
+    /// Bulk-add in-memory tables, sketching across `threads` workers
+    /// (the `store_bench` ingest path). Results are identical to calling
+    /// [`Catalog::add_table`] for each table in order. `tables` and
+    /// `content_hashes` must be parallel slices.
+    pub fn ingest_tables(
+        &mut self,
+        tables: &[Table],
+        content_hashes: &[u64],
+        threads: usize,
+    ) -> StoreResult<IngestReport> {
+        assert_eq!(tables.len(), content_hashes.len(), "one content hash per table");
+        let mut report = IngestReport::default();
+        // A batch that repeats a table id makes the skip pre-scan below
+        // ambiguous (a later duplicate must be judged against the state
+        // its predecessor left, not the pre-batch state); take the exact
+        // serial path for those.
+        let mut seen = std::collections::BTreeSet::new();
+        if tables.iter().any(|t| !seen.insert(t.id.as_str())) {
+            for (t, &h) in tables.iter().zip(content_hashes) {
+                report.count(self.add_table(t, h)?);
+            }
+            return Ok(report);
+        }
+        let jobs: Vec<usize> = (0..tables.len())
+            .filter(|&i| {
+                self.entries.get(&tables[i].id).map(|e| e.content_hash)
+                    != Some(content_hashes[i])
+            })
+            .collect();
+        report.unchanged = tables.len() - jobs.len();
+        let hasher = self.hasher();
+        let max_rows = self.sketch_cfg.max_rows;
+        let records = parallel_map(jobs.len(), threads, |j| {
+            let ti = jobs[j];
+            let sketch = TableSketch::build_with_hasher(&tables[ti], &hasher, max_rows);
+            TableRecord::from_sketch(sketch, content_hashes[ti])
+        });
+        for rec in records {
+            report.count(self.add_record(rec)?);
+        }
+        Ok(report)
+    }
+
+    /// The catalog's shared MinHash family (a pure function of the sketch
+    /// config, amortized across a whole ingest).
+    fn hasher(&self) -> MinHasher {
+        MinHasher::new(self.sketch_cfg.minhash_k, self.sketch_cfg.seed)
     }
 
     /// Write the manifest if it has pending changes.
@@ -384,55 +523,6 @@ impl Catalog {
             out.push(self.get(&id)?.expect("manifest entry has a segment"));
         }
         Ok(out)
-    }
-
-    // ---- deprecated positional shims (one-PR grace period) ---------------
-
-    /// Sketch a query table (with the catalog's own config) and rank the
-    /// corpus under `mode`.
-    #[deprecated(note = "take a Searcher via Catalog::searcher and build a DiscoveryRequest")]
-    pub fn query(&mut self, mode: QueryMode, table: &Table, k: usize) -> StoreResult<Vec<TableHit>> {
-        let searcher = self.searcher()?;
-        if k == 0 || searcher.is_empty() {
-            return Ok(Vec::new());
-        }
-        let req = DiscoveryRequest::builder(mode).k(k).build()?;
-        Ok(searcher.search_table(table, &req)?.hits)
-    }
-
-    #[deprecated(note = "take a Searcher via Catalog::searcher and build a DiscoveryRequest")]
-    pub fn query_join(&mut self, table: &Table, k: usize) -> StoreResult<Vec<TableHit>> {
-        #[allow(deprecated)]
-        self.query(QueryMode::Join, table, k)
-    }
-
-    #[deprecated(note = "take a Searcher via Catalog::searcher and build a DiscoveryRequest")]
-    pub fn query_union(&mut self, table: &Table, k: usize) -> StoreResult<Vec<TableHit>> {
-        #[allow(deprecated)]
-        self.query(QueryMode::Union, table, k)
-    }
-
-    #[deprecated(note = "take a Searcher via Catalog::searcher and build a DiscoveryRequest")]
-    pub fn query_subset(&mut self, table: &Table, k: usize) -> StoreResult<Vec<TableHit>> {
-        #[allow(deprecated)]
-        self.query(QueryMode::Subset, table, k)
-    }
-
-    /// Batched query over pre-built sketches (must use the catalog's
-    /// sketch config).
-    #[deprecated(note = "take a Searcher via Catalog::searcher and call Searcher::search_batch")]
-    pub fn query_batch(
-        &mut self,
-        mode: QueryMode,
-        sketches: &[TableSketch],
-        k: usize,
-    ) -> StoreResult<Vec<Vec<TableHit>>> {
-        let searcher = self.searcher()?;
-        if k == 0 || searcher.is_empty() {
-            return Ok(vec![Vec::new(); sketches.len()]);
-        }
-        let req = DiscoveryRequest::builder(mode).k(k).build()?;
-        Ok(searcher.search_batch(sketches, &req)?.into_iter().map(|r| r.hits).collect())
     }
 
     fn invalidate(&mut self) {
@@ -558,6 +648,27 @@ fn segment_name(id: &str, content_hash: u64) -> String {
     format!("{sane}-{:08x}-{content_hash:016x}.seg", hash_str(id) as u32)
 }
 
+/// Write one serialized segment. Segment names are content-addressed
+/// (they embed the table-id hash *and* the content hash), so a path that
+/// does not exist yet cannot be open in any reader and is written
+/// directly — `create_new` + one `write_all`, roughly 8× cheaper than
+/// the create + write + rename of [`write_atomic`] on journaling
+/// filesystems, and the dominant I/O cost of a bulk ingest. A crash
+/// mid-write leaves an unreferenced file (the manifest commits
+/// afterwards) that the next ingest of the same content rewrites from
+/// scratch. An already-existing path means a reader holding an older
+/// manifest could be loading those exact bytes right now, so that rare
+/// case takes the atomic tmp + rename route.
+fn write_segment(path: &Path, bytes: &[u8]) -> StoreResult<()> {
+    match File::options().write(true).create_new(true).open(path) {
+        Ok(mut f) => Ok(f.write_all(bytes)?),
+        Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+            write_atomic(path, |w| Ok(w.write_all(bytes)?))
+        }
+        Err(e) => Err(e.into()),
+    }
+}
+
 /// Write via a temp file + rename so readers never observe a half-written
 /// file and a crash never corrupts an existing one.
 fn write_atomic(
@@ -576,7 +687,9 @@ fn write_atomic(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicU64, Ordering};
+    use crate::engine::QueryMode;
+    use crate::request::DiscoveryRequest;
+    use std::sync::atomic::AtomicU64;
     use tsfm_table::{Column, Value};
 
     fn tmp_dir(tag: &str) -> PathBuf {
@@ -771,22 +884,71 @@ mod tests {
         let stats = cat.stats();
         assert_eq!(stats.tables, 3);
         assert!(stats.segment_bytes > 0);
+
+        // A fresh catalog ingesting the same directory over an explicit
+        // worker pool ends up with identical entries.
+        let dir2 = tmp_dir("ingest_par");
+        let mut cat2 = Catalog::open(&dir2).unwrap();
+        let rp = cat2.ingest_dir_with_threads(&data, 4).unwrap();
+        assert_eq!((rp.added, rp.updated, rp.unchanged), (3, 0, 0));
+        assert_eq!(cat.entries, cat2.entries);
     }
 
+    /// The parallel ingest pool must be invisible: any thread count
+    /// produces the same report, the same manifest and segment set, and a
+    /// catalog whose every query answer matches a serial ingest.
     #[test]
-    fn deprecated_catalog_shims_agree_with_searcher() {
-        let dir = tmp_dir("shims");
-        let mut cat = Catalog::open(&dir).unwrap();
-        for i in 0..5 {
-            cat.add_table(&table(&format!("t{i}"), &[i, i + 1, i + 2]), i as u64).unwrap();
+    fn parallel_ingest_matches_serial() {
+        let tables: Vec<Table> = (0..12)
+            .map(|i| table(&format!("t{i:02}"), &[i, i * 3 % 7, i + 1, 40 - i]))
+            .collect();
+        let hashes: Vec<u64> = (0..12).map(|i| 1000 + i as u64).collect();
+
+        let serial_dir = tmp_dir("par_serial");
+        let mut serial = Catalog::open(&serial_dir).unwrap();
+        let sr = serial.ingest_tables(&tables, &hashes, 1).unwrap();
+        assert_eq!((sr.added, sr.updated, sr.unchanged), (12, 0, 0));
+
+        let par_dir = tmp_dir("par_pool");
+        let mut par = Catalog::open(&par_dir).unwrap();
+        let pr = par.ingest_tables(&tables, &hashes, 4).unwrap();
+        assert_eq!(sr, pr, "report differs between thread counts");
+
+        // Same manifest entries (segment names are content-addressed, so
+        // equality covers the file set) and same persisted records.
+        assert_eq!(serial.entries, par.entries);
+        for id in serial.iter_ids().map(str::to_string).collect::<Vec<_>>() {
+            let a = serial.record(&id).unwrap();
+            let b = par.record(&id).unwrap();
+            assert_eq!(a.sketch.content_snapshot, b.sketch.content_snapshot, "{id}");
+            assert_eq!(a.content_hash, b.content_hash);
         }
         let q = table("q", &[1, 2, 3]);
-        #[allow(deprecated)]
-        let old = cat.query_join(&q, 3).unwrap();
-        let new = cat.searcher().unwrap().search_table(&q, &join_req(3)).unwrap().hits;
-        assert_eq!(old, new);
-        #[allow(deprecated)]
-        let empty_k = cat.query(QueryMode::Join, &q, 0).unwrap();
-        assert!(empty_k.is_empty(), "shim keeps the old k == 0 behavior");
+        assert_eq!(
+            serial.searcher().unwrap().search_table(&q, &join_req(5)).unwrap().hits,
+            par.searcher().unwrap().search_table(&q, &join_req(5)).unwrap().hits,
+        );
+
+        // Incremental semantics survive the pool: re-ingest is a no-op,
+        // a changed hash is an update.
+        let again = par.ingest_tables(&tables, &hashes, 4).unwrap();
+        assert_eq!((again.added, again.updated, again.unchanged), (0, 0, 12));
+        let mut new_hashes = hashes.clone();
+        new_hashes[3] = 9999;
+        let third = par.ingest_tables(&tables, &new_hashes, 4).unwrap();
+        assert_eq!((third.added, third.updated, third.unchanged), (0, 1, 11));
+    }
+
+    /// Duplicate ids within one batch fall back to exact serial
+    /// `add_table` semantics (last write wins, outcomes counted in order).
+    #[test]
+    fn ingest_tables_with_duplicate_ids() {
+        let dir = tmp_dir("par_dup");
+        let mut cat = Catalog::open(&dir).unwrap();
+        let tables =
+            vec![table("t", &[1]), table("t", &[1, 2]), table("t", &[1, 2])];
+        let r = cat.ingest_tables(&tables, &[5, 6, 6], 4).unwrap();
+        assert_eq!((r.added, r.updated, r.unchanged), (1, 1, 1));
+        assert_eq!(cat.record("t").unwrap().content_hash, 6);
     }
 }

@@ -113,16 +113,20 @@ pub struct QueryEngine {
     content_lsh: MinHashLsh,
 }
 
-/// Join feature: the cell-MinHash features alone (`k` wide).
-fn join_features(c: &ColumnSketch) -> Vec<f32> {
-    c.cell_minhash.to_f32_features()
+/// Join feature: the cell-MinHash features alone (`k` wide), written into
+/// a caller-reused buffer (the index build and every query fan-out go
+/// through here once per column — no per-column allocation).
+fn join_features(c: &ColumnSketch, out: &mut Vec<f32>) {
+    out.clear();
+    c.cell_minhash.extend_f32_features(out);
 }
 
-/// Union feature: `[cell ‖ word ‖ numerical]` (`2k + 16` wide).
-fn union_features(c: &ColumnSketch) -> Vec<f32> {
-    let mut v = c.minhash_features();
-    v.extend(c.numeric.to_f32_features());
-    v
+/// Union feature: `[cell ‖ word ‖ numerical]` (`2k + 16` wide), into a
+/// caller-reused buffer.
+fn union_features(c: &ColumnSketch, out: &mut Vec<f32>) {
+    out.clear();
+    c.extend_minhash_features(out);
+    out.extend(c.numeric.to_f32_features());
 }
 
 /// LSH banding for a `k`-wide snapshot signature: 2-row bands when `k` is
@@ -144,10 +148,13 @@ impl QueryEngine {
         let mut join_index = Hnsw::new(minhash_k, Metric::Cosine, hnsw_cfg.clone());
         let mut union_index =
             Hnsw::new(2 * minhash_k + tsfm_sketch::numeric::NUMERIC_SKETCH_DIM, Metric::Cosine, hnsw_cfg);
+        let mut buf = Vec::new();
         for &ri in &order {
             for c in &records[ri].sketch.columns {
-                join_index.add(&join_features(c));
-                union_index.add(&union_features(c));
+                join_features(c, &mut buf);
+                join_index.add(&buf);
+                union_features(c, &mut buf);
+                union_index.add(&buf);
             }
         }
         Self::assemble(records, &order, minhash_k, join_index, union_index)
@@ -345,14 +352,20 @@ impl QueryEngine {
         sketch: &TableSketch,
         req: &DiscoveryRequest,
         index: &Hnsw,
-        features: fn(&ColumnSketch) -> Vec<f32>,
+        features: fn(&ColumnSketch, &mut Vec<f32>),
     ) -> StoreResult<(Vec<TableHit>, Option<Vec<HitExplanation>>)> {
         let query_cols = self.select_columns(sketch, req)?;
+        // One feature buffer per request, reused across the query's
+        // columns; the HNSW search itself draws visited-list and heap
+        // scratch from its per-thread pool, so a batch fan-out worker
+        // allocates nothing per query after warmup.
+        let mut buf = Vec::new();
         let per_col: Vec<Vec<ColumnHit>> = query_cols
             .iter()
             .map(|c| {
+                features(c, &mut buf);
                 index
-                    .search(&features(c), req.k().saturating_mul(OVER_RETRIEVE).max(1))
+                    .search(&buf, req.k().saturating_mul(OVER_RETRIEVE).max(1))
                     .into_iter()
                     .map(|(col, d)| ColumnHit {
                         table: self.col_owner[col],
@@ -436,52 +449,6 @@ impl QueryEngine {
             .collect()
     }
 
-    // ---- deprecated positional shims (one-PR grace period) ---------------
-
-    /// Rank tables for one query sketch under `mode`.
-    #[deprecated(note = "build a DiscoveryRequest and call QueryEngine::search")]
-    pub fn query(&self, mode: QueryMode, sketch: &TableSketch, k: usize) -> Vec<TableHit> {
-        assert_eq!(
-            sketch.content_snapshot.k(),
-            self.minhash_k,
-            "query sketched with a different signature width than the corpus"
-        );
-        if k == 0 || self.is_empty() {
-            return Vec::new();
-        }
-        let req = DiscoveryRequest::builder(mode).k(k).build().expect("k >= 1");
-        self.search(sketch, &req).expect("validated above").hits
-    }
-
-    #[deprecated(note = "build a DiscoveryRequest and call QueryEngine::search")]
-    pub fn query_join(&self, sketch: &TableSketch, k: usize) -> Vec<TableHit> {
-        #[allow(deprecated)]
-        self.query(QueryMode::Join, sketch, k)
-    }
-
-    #[deprecated(note = "build a DiscoveryRequest and call QueryEngine::search")]
-    pub fn query_union(&self, sketch: &TableSketch, k: usize) -> Vec<TableHit> {
-        #[allow(deprecated)]
-        self.query(QueryMode::Union, sketch, k)
-    }
-
-    #[deprecated(note = "build a DiscoveryRequest and call QueryEngine::search")]
-    pub fn query_subset(&self, sketch: &TableSketch, k: usize) -> Vec<TableHit> {
-        #[allow(deprecated)]
-        self.query(QueryMode::Subset, sketch, k)
-    }
-
-    /// Batched query: one result list per query sketch.
-    #[deprecated(note = "build a DiscoveryRequest and call QueryEngine::search_batch")]
-    pub fn query_batch(
-        &self,
-        mode: QueryMode,
-        sketches: &[TableSketch],
-        k: usize,
-    ) -> Vec<Vec<TableHit>> {
-        #[allow(deprecated)]
-        sketches.iter().map(|s| self.query(mode, s, k)).collect()
-    }
 }
 
 /// Indices of `records` in ascending table-id order, keeping only the last
@@ -705,16 +672,12 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_shims_agree_with_search() {
-        let (recs, cfg) = corpus();
-        let engine = QueryEngine::build(&recs, cfg.minhash_k, Default::default());
-        #[allow(deprecated)]
-        let old = engine.query_join(&recs[0].sketch, 2);
-        let new = engine.search(&recs[0].sketch, &req(QueryMode::Join, 2)).unwrap().hits;
-        assert_eq!(old, new);
-        #[allow(deprecated)]
-        let empty = engine.query(QueryMode::Join, &recs[0].sketch, 0);
-        assert!(empty.is_empty(), "k == 0 keeps the old silent-empty shim behavior");
+    fn k_zero_is_rejected_at_request_build() {
+        // The deprecated positional shims (removed after their one-PR
+        // grace period) used to silently return empty results for k == 0;
+        // the request builder is now the only entrance and it rejects it.
+        let err = DiscoveryRequest::builder(QueryMode::Join).k(0).build().unwrap_err();
+        assert!(matches!(err, StoreError::InvalidRequest(_)), "{err}");
     }
 
     #[test]

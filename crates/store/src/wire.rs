@@ -275,6 +275,17 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
                     _ => return Err(format!("bad escape \\{}", e as char)),
                 }
             }
+            // RFC 8259 §7: control characters (U+0000–U+001F) must be
+            // escaped inside strings. Rejecting raw ones keeps the
+            // serialize side (`escape_json`, which always emits `\uXXXX`)
+            // and the parse side in exact agreement, and means a raw
+            // newline can never smuggle a second JSONL frame into one
+            // string.
+            0x00..=0x1f => {
+                return Err(format!(
+                    "unescaped control character 0x{c:02x} in string (must be \\u-escaped)"
+                ));
+            }
             _ => {
                 // Re-sync to char boundaries for multi-byte UTF-8.
                 let tail = &b[*pos - 1..];
@@ -479,6 +490,81 @@ mod tests {
         let line = format!("{{\"s\":\"{}\"}}", escape_json(nasty));
         let parsed = parse_json(&line).unwrap();
         assert_eq!(parsed.get("s").unwrap().as_str(), Some(nasty));
+    }
+
+    /// Every control character U+0000–U+001F must survive a serialize →
+    /// parse round trip when escaped (table ids come straight from file
+    /// stems and wire requests, so hostile names must not corrupt the
+    /// JSONL protocol)…
+    #[test]
+    fn control_characters_roundtrip_escaped() {
+        let every_control: String =
+            (0u32..0x20).map(|c| char::from_u32(c).unwrap()).collect();
+        for id in [
+            every_control.as_str(),
+            "tab\there",
+            "new\nline",
+            "carriage\rreturn",
+            "nul\u{0}byte",
+            "esc\u{1b}[31mred",
+            "back\u{8}space and \u{c}feed",
+        ] {
+            let escaped = escape_json(id);
+            assert!(
+                escaped.bytes().all(|b| b >= 0x20),
+                "escape_json must never emit raw control bytes: {escaped:?}"
+            );
+            let line = format!("{{\"s\":\"{escaped}\"}}");
+            let parsed = parse_json(&line).unwrap();
+            assert_eq!(parsed.get("s").unwrap().as_str(), Some(id), "{id:?}");
+        }
+    }
+
+    /// …and the full hit/response serializers inherit that: a hostile
+    /// table id round-trips through `hit_json` / `response_json`.
+    #[test]
+    fn hostile_table_ids_roundtrip_through_response_json() {
+        let hostile = "evil\u{0}\u{1f}\ttable\n\"name\\with\u{7}bell";
+        let hit = TableHit { table_id: hostile.into(), matching_columns: 1, score: 0.5 };
+        let parsed = parse_json(&hit_json(1, &hit)).expect("hit_json emits valid JSON");
+        assert_eq!(parsed.get("table").unwrap().as_str(), Some(hostile));
+
+        let resp = DiscoveryResponse {
+            mode: QueryMode::Join,
+            query_id: hostile.into(),
+            corpus_size: 1,
+            elapsed_micros: 1,
+            hits: vec![hit],
+            explanations: Some(vec![HitExplanation {
+                table_id: hostile.into(),
+                matches: vec![ColumnMatch {
+                    query_column: hostile.into(),
+                    corpus_column: hostile.into(),
+                    distance: 0.25,
+                }],
+            }]),
+        };
+        let v = parse_json(&response_json(&resp)).expect("response_json emits valid JSON");
+        assert_eq!(v.get("query").unwrap().as_str(), Some(hostile));
+        let Json::Arr(ex) = v.get("explanations").unwrap() else { panic!() };
+        let Json::Arr(matches) = ex[0].get("matches").unwrap() else { panic!() };
+        assert_eq!(matches[0].get("corpus_column").unwrap().as_str(), Some(hostile));
+    }
+
+    /// Raw (unescaped) control bytes inside strings are a parse error per
+    /// RFC 8259 — previously they were silently accepted.
+    #[test]
+    fn raw_control_characters_rejected_by_parser() {
+        for c in 0u8..0x20 {
+            let line = format!("{{\"s\":\"a{}b\"}}", c as char);
+            let err = parse_json(&line).unwrap_err();
+            assert!(
+                err.contains("control character"),
+                "byte 0x{c:02x} must be rejected, got: {err}"
+            );
+        }
+        // The same bytes escaped are fine.
+        assert!(parse_json("{\"s\":\"a\\u0000b\"}").is_ok());
     }
 
     #[test]

@@ -122,22 +122,59 @@ pub fn parse_date(s: &str) -> Option<i64> {
 
 /// Format a timestamp as `YYYY-MM-DD` (date-only) or `YYYY-MM-DD HH:MM:SS`.
 pub fn format_timestamp(ts: i64) -> String {
+    let mut s = String::new();
+    format_timestamp_into(ts, &mut s);
+    s
+}
+
+/// Append [`format_timestamp`]'s rendering to `out` — byte-identical,
+/// without allocating or (for in-range dates) calling into `core::fmt`.
+/// Date cells are rendered millions of times during a lake ingest.
+pub fn format_timestamp_into(ts: i64, out: &mut String) {
     let days = ts.div_euclid(86400);
     let secs = ts.rem_euclid(86400);
     let (y, m, d) = civil_from_days(days);
-    if secs == 0 {
-        format!("{:04}-{:02}-{:02}", y, m, d)
+    if (0..=9999).contains(&y) {
+        push_padded(out, y as u64, 4);
+        out.push('-');
+        push_padded(out, m as u64, 2);
+        out.push('-');
+        push_padded(out, d as u64, 2);
     } else {
-        format!(
-            "{:04}-{:02}-{:02} {:02}:{:02}:{:02}",
-            y,
-            m,
-            d,
-            secs / 3600,
-            (secs % 3600) / 60,
-            secs % 60
-        )
+        // Out-of-range years (never produced by the parser, but reachable
+        // through the Value API): `{:04}` pads the sign too, so defer to
+        // the original formatting.
+        out.push_str(&format!("{:04}-{:02}-{:02}", y, m, d));
     }
+    if secs != 0 {
+        out.push(' ');
+        push_padded(out, (secs / 3600) as u64, 2);
+        out.push(':');
+        push_padded(out, ((secs % 3600) / 60) as u64, 2);
+        out.push(':');
+        push_padded(out, (secs % 60) as u64, 2);
+    }
+}
+
+/// Append `v` zero-padded to at least `width` digits (`{:0width$}` for
+/// non-negative values).
+fn push_padded(out: &mut String, v: u64, width: usize) {
+    let mut buf = [0u8; 20];
+    let mut i = buf.len();
+    let mut u = v;
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (u % 10) as u8;
+        u /= 10;
+        if u == 0 {
+            break;
+        }
+    }
+    while buf.len() - i < width {
+        i -= 1;
+        buf[i] = b'0';
+    }
+    out.push_str(std::str::from_utf8(&buf[i..]).expect("ascii digits"));
 }
 
 #[cfg(test)]
@@ -190,6 +227,38 @@ mod tests {
         for &t in &[0i64, 86399, 86400, 1234567890, -86400] {
             let s = format_timestamp(t);
             assert_eq!(parse_date(&s), Some(t), "{s}");
+        }
+    }
+
+    /// The digit-pushing fast path must be byte-identical to the
+    /// `format!` reference for every shape: date-only, date+time, year
+    /// 0 edge, and out-of-range years (negative / five-digit) that take
+    /// the fallback.
+    #[test]
+    fn format_timestamp_into_matches_format_macro() {
+        let reference = |ts: i64| -> String {
+            let days = ts.div_euclid(86400);
+            let secs = ts.rem_euclid(86400);
+            let (y, m, d) = civil_from_days(days);
+            if secs == 0 {
+                format!("{:04}-{:02}-{:02}", y, m, d)
+            } else {
+                format!(
+                    "{:04}-{:02}-{:02} {:02}:{:02}:{:02}",
+                    y, m, d, secs / 3600, (secs % 3600) / 60, secs % 60
+                )
+            }
+        };
+        let mut cases: Vec<i64> = vec![
+            0, 1, 59, 3600, 86399, 86400, -1, -86400, 1234567890,
+            days_from_civil(9999, 12, 31) * 86400 + 86399,
+            days_from_civil(10000, 1, 1) * 86400,          // five-digit year fallback
+            days_from_civil(-44, 3, 15) * 86400 + 7 * 3600, // negative year fallback
+            days_from_civil(1, 1, 1) * 86400,
+        ];
+        cases.extend((0..500).map(|i| i * 7_919_773 - 1_000_000_000));
+        for ts in cases {
+            assert_eq!(format_timestamp(ts), reference(ts), "ts={ts}");
         }
     }
 }

@@ -102,15 +102,23 @@ impl Table {
     /// string and generate a MinHash signature from the set of rows").
     pub fn row_string(&self, row: usize) -> String {
         let mut s = String::new();
+        self.row_string_into(row, &mut s);
+        s
+    }
+
+    /// Append the row string to `out` — byte-identical to
+    /// [`Table::row_string`], reusing the caller's buffer (the
+    /// content-snapshot hot path renders every row of a lake through one
+    /// buffer).
+    pub fn row_string_into(&self, row: usize, out: &mut String) {
         for (i, col) in self.columns.iter().enumerate() {
             if i > 0 {
-                s.push('|');
+                out.push('|');
             }
             if let Some(v) = col.values.get(row) {
-                s.push_str(&v.render());
+                v.render_into(out);
             }
         }
-        s
     }
 
     /// Return a copy with columns permuted (data-augmentation in §III-C and

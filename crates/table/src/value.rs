@@ -43,6 +43,56 @@ impl Value {
             Value::Date(ts) => date::format_timestamp(*ts),
         }
     }
+
+    /// Append the canonical rendering to `out` — byte-identical to
+    /// [`Value::render`], but without allocating a `String` per cell or
+    /// going through `core::fmt` for the common cases. This is the
+    /// sketching hot path: callers clear and reuse one buffer across
+    /// millions of cells.
+    pub fn render_into(&self, out: &mut String) {
+        use std::fmt::Write;
+        match self {
+            Value::Null => {}
+            Value::Str(s) => out.push_str(s),
+            Value::Int(i) => push_i64(out, *i),
+            Value::Float(f) => {
+                if f.is_finite() && f.fract() == 0.0 && f.abs() < 1e15 {
+                    // `format!("{:.1}")` of an integral float: the integer
+                    // digits and ".0". |f| < 1e15 < 2^53, so the i64 cast
+                    // is exact; -0.0 keeps its sign like `{:.1}` does.
+                    if *f == 0.0 && f.is_sign_negative() {
+                        out.push('-');
+                    }
+                    push_i64(out, *f as i64);
+                    out.push_str(".0");
+                } else {
+                    let _ = write!(out, "{}", f);
+                }
+            }
+            Value::Date(ts) => date::format_timestamp_into(*ts, out),
+        }
+    }
+}
+
+/// Append `v`'s decimal digits — identical bytes to `i64::to_string`,
+/// without the `core::fmt` machinery.
+pub(crate) fn push_i64(out: &mut String, v: i64) {
+    let mut buf = [0u8; 20];
+    let mut i = buf.len();
+    let mut u = v.unsigned_abs();
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (u % 10) as u8;
+        u /= 10;
+        if u == 0 {
+            break;
+        }
+    }
+    if v < 0 {
+        i -= 1;
+        buf[i] = b'-';
+    }
+    out.push_str(std::str::from_utf8(&buf[i..]).expect("ascii digits"));
 }
 
 impl std::fmt::Display for Value {
@@ -161,6 +211,43 @@ mod tests {
         assert_eq!(Value::Float(2.5).render(), "2.5");
         assert_eq!(Value::Null.render(), "");
         assert_eq!(Value::Str("hi".into()).render(), "hi");
+    }
+
+    /// `render_into` (manual digit paths included) must be byte-identical
+    /// to `render` (the `format!`-based reference) for every value shape.
+    #[test]
+    fn render_into_matches_render() {
+        let mut values = vec![
+            Value::Null,
+            Value::Str("hello world".into()),
+            Value::Str(String::new()),
+            Value::Int(0),
+            Value::Int(i64::MAX),
+            Value::Int(i64::MIN),
+            Value::Float(0.0),
+            Value::Float(-0.0),
+            Value::Float(2.0),
+            Value::Float(-123456.0),
+            Value::Float(2.5),
+            Value::Float(-0.125),
+            Value::Float(1e20),
+            Value::Float(-1e300),
+            Value::Float(f64::INFINITY),
+            Value::Float(f64::NAN),
+            Value::Float(999_999_999_999_999.0), // just under the 1e15 cutoff
+            Value::Float(1e15),                  // at the cutoff: `{}` path
+            Value::Date(0),
+            Value::Date(86399),
+            Value::Date(-86400),
+            Value::Date(1234567890),
+        ];
+        values.extend((-50..50).map(|i| Value::Int(i * 7_777_777_777)));
+        values.extend((-50..50).map(|i| Value::Float(i as f64 * 333.0)));
+        for v in values {
+            let mut buf = String::from("prefix-"); // must append, not clobber
+            v.render_into(&mut buf);
+            assert_eq!(buf, format!("prefix-{}", v.render()), "{v:?}");
+        }
     }
 
     #[test]

@@ -30,7 +30,7 @@ use tabsketchfm::store::{
 use tabsketchfm::table::csv;
 
 const USAGE: &str = "usage:
-  tsfm ingest <catalog-dir> <csv-dir>
+  tsfm ingest <catalog-dir> <csv-dir> [--threads N]
   tsfm query  <catalog-dir> <query.csv> [--mode join|union|subset] [--k N]
               [--min-score S] [--json] [--explain]
   tsfm serve  <catalog-dir> [--port N] [--host H]
@@ -59,14 +59,34 @@ fn main() -> ExitCode {
 }
 
 fn cmd_ingest(args: &[String]) -> Result<(), String> {
-    let [catalog_dir, csv_dir] = args else {
+    // Default the sketching pool to the host's available parallelism;
+    // `--threads 1` forces the serial path.
+    let mut threads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1);
+    let mut positional = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                threads = v
+                    .parse()
+                    .ok()
+                    .filter(|&t: &usize| t >= 1)
+                    .ok_or(format!("invalid threads {v:?} (need an integer >= 1)"))?;
+            }
+            _ => positional.push(a.clone()),
+        }
+    }
+    let [catalog_dir, csv_dir] = &positional[..] else {
         return Err(USAGE.to_string());
     };
     if !Path::new(csv_dir).is_dir() {
         return Err(format!("{csv_dir}: not a directory"));
     }
     let mut cat = Catalog::open(catalog_dir).map_err(|e| format!("open {catalog_dir}: {e}"))?;
-    let report = cat.ingest_dir(csv_dir).map_err(|e| format!("ingest {csv_dir}: {e}"))?;
+    let report = cat
+        .ingest_dir_with_threads(csv_dir, threads)
+        .map_err(|e| format!("ingest {csv_dir}: {e}"))?;
     println!(
         "ingested {csv_dir}: {} added, {} updated, {} unchanged ({} sketched)",
         report.added,

@@ -1,0 +1,284 @@
+//! `bench_serve` — machine-readable load benchmark for the serve frontend.
+//!
+//! Companion to `bench_store`: where that binary measures the storage hot
+//! paths in-process, this one measures the full wire path — TCP, JSONL
+//! framing, the bounded worker pool, and the searcher — under concurrent
+//! load, and writes the headline numbers to a JSON file tracked across
+//! PRs (`BENCH_serve.json`):
+//!
+//! ```text
+//! bench_serve [--n N] [--duration-ms D] [--out PATH] [--quick]
+//! ```
+//!
+//! * `--n`           corpus size in tables (default 2 000)
+//! * `--duration-ms` measured window per concurrency level (default 3 000)
+//! * `--out`         output path (default `BENCH_serve.json`)
+//! * `--quick`       CI smoke mode: `--n 200 --duration-ms 300`
+//!
+//! The server runs in-process ([`tsfm_store::Server`] on an ephemeral
+//! port) with a pool large enough that no level sheds; clients are real
+//! TCP connections. Each level (1, 64, and 512 concurrent connections —
+//! always all three, so the artifact shape is stable for CI) runs: every
+//! client connects, completes one unrecorded warm-up request, parks on a
+//! barrier, then issues `join`-mode `k=10` queries round-robin over the
+//! corpus until the window closes, recording one wall-clock latency per
+//! request. Percentiles are exact (merged and sorted), not histogram
+//! approximations — the server's own histogram is cross-checked via the
+//! `stats` verb at the end.
+//!
+//! The emitted JSON is validated by re-parsing it with the store's own
+//! `wire::parse_json` before the process exits, so CI can trust the file.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+use tsfm_lake::{gen_pretrain_corpus, World, WorldConfig};
+use tsfm_store::{wire, Catalog, ServeConfig, Server};
+use tsfm_table::hash::hash_str;
+use tsfm_table::Table;
+
+/// The concurrency ladder. Fixed so `BENCH_serve.json` has the same shape
+/// on every run — CI greps for each level.
+const LEVELS: [usize; 3] = [1, 64, 512];
+
+struct Args {
+    n: usize,
+    duration: Duration,
+    out: PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        n: 2_000,
+        duration: Duration::from_millis(3_000),
+        out: PathBuf::from("BENCH_serve.json"),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--n" => {
+                let v = it.next().ok_or("--n needs a value")?;
+                args.n = v.parse().map_err(|_| format!("invalid --n {v:?}"))?;
+            }
+            "--duration-ms" => {
+                let v = it.next().ok_or("--duration-ms needs a value")?;
+                let ms: u64 = v.parse().map_err(|_| format!("invalid --duration-ms {v:?}"))?;
+                args.duration = Duration::from_millis(ms);
+            }
+            "--out" => {
+                args.out = PathBuf::from(it.next().ok_or("--out needs a value")?);
+            }
+            "--quick" => {
+                args.n = 200;
+                args.duration = Duration::from_millis(300);
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if args.n == 0 || args.duration.is_zero() {
+        return Err("--n and --duration-ms must be >= 1".into());
+    }
+    Ok(args)
+}
+
+struct LevelResult {
+    connections: usize,
+    requests: u64,
+    qps: f64,
+    p50_us: u64,
+    p95_us: u64,
+    p99_us: u64,
+    max_us: u64,
+}
+
+/// One client connection's measured loop: warm up, sync on the barrier,
+/// then hammer until the window closes. Returns per-request latencies in
+/// microseconds; any error reply is fatal (the bench must not quietly
+/// count failures as throughput).
+fn client_loop(
+    addr: std::net::SocketAddr,
+    ids: Arc<Vec<String>>,
+    start_at: Arc<Barrier>,
+    duration: Duration,
+    thread_idx: usize,
+) -> Result<Vec<u64>, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    stream.set_nodelay(true).ok();
+    let mut reader =
+        BufReader::new(stream.try_clone().map_err(|e| format!("clone: {e}"))?);
+    let mut writer = stream;
+    let mut line = String::new();
+    let mut roundtrip = |req: &str, line: &mut String| -> Result<(), String> {
+        writer
+            .write_all(req.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .map_err(|e| format!("send: {e}"))?;
+        line.clear();
+        reader.read_line(line).map_err(|e| format!("recv: {e}"))?;
+        if line.is_empty() {
+            return Err("server closed the connection".into());
+        }
+        if line.contains("\"error\"") {
+            return Err(format!("error reply: {}", line.trim()));
+        }
+        Ok(())
+    };
+
+    // Unrecorded warm-up: faults in connect/TLS-of-the-future/index paths
+    // surface here, before the measured window.
+    let req = format!("{{\"mode\":\"join\",\"k\":10,\"id\":\"{}\"}}", ids[thread_idx % ids.len()]);
+    roundtrip(&req, &mut line)?;
+
+    start_at.wait();
+    let t0 = Instant::now();
+    let mut lat = Vec::with_capacity(4096);
+    let mut i = thread_idx;
+    while t0.elapsed() < duration {
+        let req = format!("{{\"mode\":\"join\",\"k\":10,\"id\":\"{}\"}}", ids[i % ids.len()]);
+        i += 1;
+        let r0 = Instant::now();
+        roundtrip(&req, &mut line)?;
+        lat.push(r0.elapsed().as_micros() as u64);
+    }
+    Ok(lat)
+}
+
+fn run_level(
+    addr: std::net::SocketAddr,
+    ids: &Arc<Vec<String>>,
+    conc: usize,
+    duration: Duration,
+) -> Result<LevelResult, String> {
+    let barrier = Arc::new(Barrier::new(conc));
+    let mut joins = Vec::with_capacity(conc);
+    for t in 0..conc {
+        let (ids, barrier) = (ids.clone(), barrier.clone());
+        // Small stacks: 512 client threads must not dominate memory.
+        let j = std::thread::Builder::new()
+            .stack_size(256 * 1024)
+            .spawn(move || client_loop(addr, ids, barrier, duration, t))
+            .map_err(|e| format!("spawn client: {e}"))?;
+        joins.push(j);
+    }
+    let mut all: Vec<u64> = Vec::new();
+    for j in joins {
+        all.extend(j.join().map_err(|_| "client panicked")??);
+    }
+    if all.is_empty() {
+        return Err(format!("{conc}-connection level finished zero requests"));
+    }
+    all.sort_unstable();
+    let pct = |p: f64| all[((all.len() - 1) as f64 * p) as usize];
+    Ok(LevelResult {
+        connections: conc,
+        requests: all.len() as u64,
+        qps: all.len() as f64 / duration.as_secs_f64(),
+        p50_us: pct(0.50),
+        p95_us: pct(0.95),
+        p99_us: pct(0.99),
+        max_us: *all.last().expect("non-empty"),
+    })
+}
+
+fn fresh_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tsfm_bench_serve_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn main() -> Result<(), String> {
+    let args = parse_args()?;
+    let n = args.n;
+
+    eprintln!("bench_serve: generating and ingesting {n}-table corpus ...");
+    let world = World::generate(WorldConfig::default());
+    let tables: Vec<Table> = gen_pretrain_corpus(&world, n, 17);
+    let hashes: Vec<u64> = tables.iter().map(|t| hash_str(&t.id)).collect();
+    let ids: Arc<Vec<String>> = Arc::new(tables.iter().map(|t| t.id.clone()).collect());
+    let threads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1);
+
+    let dir = fresh_dir();
+    let mut cat = Catalog::open(&dir).map_err(|e| e.to_string())?;
+    cat.ingest_tables(&tables, &hashes, threads).map_err(|e| e.to_string())?;
+    let searcher = cat.searcher().map_err(|e| e.to_string())?;
+    cat.commit().map_err(|e| e.to_string())?;
+    drop(cat);
+    drop(tables);
+
+    // Pool sized past the top level so the bench never sheds: shedding is
+    // correct overload behaviour, but here it would silently deflate q/s.
+    let cfg = ServeConfig {
+        max_connections: LEVELS[LEVELS.len() - 1] + 32,
+        pending_capacity: 1024,
+        read_timeout: Duration::from_secs(60),
+        write_timeout: Duration::from_secs(60),
+        idle_timeout: Duration::from_secs(120),
+        ..ServeConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", searcher, cfg).map_err(|e| e.to_string())?;
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let server_join = std::thread::spawn(move || server.run());
+    eprintln!("bench_serve: serving on {addr}");
+
+    let mut results = Vec::with_capacity(LEVELS.len());
+    for conc in LEVELS {
+        let r = run_level(addr, &ids, conc, args.duration)?;
+        eprintln!(
+            "bench_serve: {:>4} conns  {:>8.0} q/s  p50 {:>6} µs  p95 {:>6} µs  p99 {:>6} µs  ({} requests)",
+            r.connections, r.qps, r.p50_us, r.p95_us, r.p99_us, r.requests
+        );
+        results.push(r);
+    }
+
+    // Cross-check through the ops surface: the server's own counters must
+    // have seen every measured request (plus warm-ups).
+    let measured: u64 = results.iter().map(|r| r.requests).sum();
+    let stream = TcpStream::connect(addr).map_err(|e| e.to_string())?;
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let mut writer = stream;
+    writeln!(writer, "{{\"op\":\"stats\"}}").map_err(|e| e.to_string())?;
+    let mut line = String::new();
+    reader.read_line(&mut line).map_err(|e| e.to_string())?;
+    let stats = wire::parse_json(line.trim()).map_err(|e| format!("bad stats reply: {e}"))?;
+    let served = stats
+        .get("stats")
+        .and_then(|s| s.get("requests"))
+        .and_then(|r| r.get("ok"))
+        .and_then(|v| v.as_f64())
+        .ok_or("stats reply missing requests.ok")? as u64;
+    if served < measured {
+        return Err(format!("server counted {served} ok requests, clients measured {measured}"));
+    }
+    drop((reader, writer));
+
+    handle.shutdown();
+    server_join.join().map_err(|_| "server panicked")?.map_err(|e| e.to_string())?;
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let levels_json: Vec<String> = results
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"connections\":{},\"requests\":{},\"qps\":{:.1},\
+                 \"p50_us\":{},\"p95_us\":{},\"p99_us\":{},\"max_us\":{}}}",
+                r.connections, r.requests, r.qps, r.p50_us, r.p95_us, r.p99_us, r.max_us
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\"n\":{n},\"duration_ms\":{},\"levels\":[{}]}}",
+        args.duration.as_millis(),
+        levels_json.join(",")
+    );
+    // The file must be trustworthy for CI and cross-PR tracking: re-parse
+    // it with the store's own JSON parser before declaring success.
+    wire::parse_json(&json).map_err(|e| format!("emitted invalid JSON: {e}"))?;
+    std::fs::write(&args.out, format!("{json}\n")).map_err(|e| e.to_string())?;
+    println!("{json}");
+    eprintln!("bench_serve: wrote {}", args.out.display());
+    Ok(())
+}

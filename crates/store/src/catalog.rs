@@ -220,6 +220,13 @@ impl Catalog {
         &self.dir
     }
 
+    /// Path of the on-disk manifest committed by every mutation. External
+    /// watchers (e.g. the serve hot-reload loop) poll this file's
+    /// mtime/len to detect that another process changed the catalog.
+    pub fn manifest_path(&self) -> std::path::PathBuf {
+        self.dir.join(MANIFEST_FILE)
+    }
+
     pub fn sketch_config(&self) -> &SketchConfig {
         &self.sketch_cfg
     }

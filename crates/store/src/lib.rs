@@ -29,7 +29,13 @@
 //!   the same engine serves the in-memory pipeline and the catalog, which
 //!   is what makes persisted results provably identical to fresh ones;
 //! * [`wire`] — the hand-rolled JSON layer shared by `tsfm query --json`
-//!   and the `tsfm serve` JSONL-over-TCP protocol.
+//!   and the `tsfm serve` JSONL-over-TCP protocol;
+//! * [`serve`] — the production serve frontend: a bounded worker pool
+//!   with accept-queue shedding, per-connection read/write timeouts and a
+//!   request-line cap, pipelining, graceful shutdown, catalog hot-swap,
+//!   and the `stats` ops verb;
+//! * [`metrics`] — the lock-free counters and log-bucketed latency
+//!   histogram behind the `stats` verb.
 //!
 //! The `tsfm` CLI binary (in the umbrella crate) drives this end to end
 //! over directories of real CSV files: `tsfm ingest <catalog> <dir>`,
@@ -39,10 +45,12 @@
 pub mod catalog;
 pub mod engine;
 pub mod error;
+pub mod metrics;
 pub mod record;
 pub mod request;
 pub mod searcher;
 pub mod ser;
+pub mod serve;
 pub mod wire;
 
 pub use catalog::{Catalog, CatalogStats, IngestOutcome, IngestReport, ManifestEntry};
@@ -52,5 +60,7 @@ pub use record::TableRecord;
 pub use request::{
     ColumnMatch, DiscoveryRequest, DiscoveryRequestBuilder, DiscoveryResponse, HitExplanation,
 };
+pub use metrics::{MetricsSnapshot, ServeMetrics};
 pub use searcher::Searcher;
-pub use wire::ServeRequest;
+pub use serve::{ServeConfig, Server, ServerHandle};
+pub use wire::{ServeCommand, ServeRequest};

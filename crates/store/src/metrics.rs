@@ -1,0 +1,330 @@
+//! Lock-free serving metrics: a log-bucketed latency histogram plus the
+//! operational counters the `stats` wire verb reports.
+//!
+//! Everything here is plain atomics — connection workers record into the
+//! histogram and bump counters without ever taking a lock, so the ops
+//! surface costs the hot path a handful of relaxed atomic increments per
+//! request. Snapshots ([`MetricsSnapshot`]) are taken without stopping
+//! writers and are therefore only approximately consistent across fields
+//! (each individual counter is exact); that is the standard contract for
+//! a stats endpoint.
+//!
+//! ## Histogram shape
+//!
+//! Latencies are recorded in whole microseconds. Values below 64µs get
+//! one bucket each (exact); above that, buckets are logarithmic with 32
+//! sub-buckets per power of two, so the relative quantization error of a
+//! reported percentile is bounded by ~3%. Values are clamped to ~2^40µs
+//! (≈13 days), far beyond any plausible request latency.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Exact buckets for 0..LINEAR_MAX µs.
+const LINEAR_MAX: u64 = 64;
+/// log2(LINEAR_MAX): first exponent handled logarithmically.
+const LINEAR_EXP: u32 = 6;
+/// Sub-buckets per power of two in the logarithmic range.
+const SUBS: u64 = 32;
+const SUB_BITS: u32 = 5;
+/// Largest exponent tracked; larger values clamp into the last bucket.
+const MAX_EXP: u32 = 40;
+const NUM_BUCKETS: usize =
+    LINEAR_MAX as usize + ((MAX_EXP - LINEAR_EXP) as usize + 1) * SUBS as usize;
+
+/// A fixed-size, lock-free log-bucketed histogram of microsecond
+/// latencies. `record` is wait-free (two relaxed increments and a
+/// `fetch_max`); percentile extraction walks the bucket array.
+pub struct LatencyHistogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    pub fn new() -> Self {
+        Self {
+            buckets: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    fn bucket_index(micros: u64) -> usize {
+        if micros < LINEAR_MAX {
+            return micros as usize;
+        }
+        let exp = (63 - micros.leading_zeros()).min(MAX_EXP);
+        let sub = if exp >= MAX_EXP {
+            SUBS - 1 // clamp: everything past 2^40µs lands in the top bucket
+        } else {
+            (micros >> (exp - SUB_BITS)) & (SUBS - 1)
+        };
+        LINEAR_MAX as usize + ((exp - LINEAR_EXP) as usize) * SUBS as usize + sub as usize
+    }
+
+    /// Lower edge of a bucket — what `percentile` reports. Reporting the
+    /// lower edge (not the midpoint) keeps sub-64µs percentiles exact and
+    /// never over-states a latency.
+    fn bucket_floor(index: usize) -> u64 {
+        if index < LINEAR_MAX as usize {
+            return index as u64;
+        }
+        let b = index - LINEAR_MAX as usize;
+        let exp = LINEAR_EXP + (b / SUBS as usize) as u32;
+        let sub = (b % SUBS as usize) as u64;
+        (1u64 << exp) + (sub << (exp - SUB_BITS))
+    }
+
+    /// Record one latency. Wait-free; safe from any thread.
+    pub fn record(&self, micros: u64) {
+        self.buckets[Self::bucket_index(micros)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(micros, Ordering::Relaxed);
+        self.max.fetch_max(micros, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in µs (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum.load(Ordering::Relaxed) as f64 / n as f64
+        }
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) in µs, or 0 when empty. Reported
+    /// from bucket lower edges: exact below 64µs, within ~3% above.
+    pub fn percentile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        // Rank of the percentile observation, 1-based, clamped to [1, n].
+        let target = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                return Self::bucket_floor(i);
+            }
+        }
+        // Writers raced past the count we loaded; the max is the honest
+        // answer for "the highest latency seen".
+        self.max()
+    }
+}
+
+/// All counters the serve frontend maintains. One instance per server,
+/// shared by every connection worker. Field meanings:
+///
+/// * `accepted` — connections the acceptor took from the listener;
+/// * `shed` — connections refused with an `unavailable` reply because the
+///   worker pool and the pending queue were both full;
+/// * `active` — connections currently owned by a worker (gauge);
+/// * `closed_idle` — connections closed for sitting idle between requests
+///   longer than the idle timeout;
+/// * `closed_slow_read` — connections closed for trickling a request line
+///   slower than the read timeout (slowloris defence);
+/// * `closed_slow_write` — connections closed because the peer stopped
+///   draining replies (write-backpressure bound);
+/// * `overlong_lines` — request lines rejected for exceeding the line cap;
+/// * `requests_*` — per-request outcomes (`ok` / `client_error` /
+///   `server_error` partition `total`, stats requests included);
+/// * `latency` — per-query service latency (successful queries only).
+#[derive(Default)]
+pub struct ServeMetrics {
+    pub accepted: AtomicU64,
+    pub shed: AtomicU64,
+    pub active: AtomicUsize,
+    pub closed_idle: AtomicU64,
+    pub closed_slow_read: AtomicU64,
+    pub closed_slow_write: AtomicU64,
+    pub overlong_lines: AtomicU64,
+    pub requests_total: AtomicU64,
+    pub requests_ok: AtomicU64,
+    pub requests_client_error: AtomicU64,
+    pub requests_server_error: AtomicU64,
+    pub latency: LatencyHistogram,
+}
+
+impl ServeMetrics {
+    pub fn new() -> Self {
+        Self { latency: LatencyHistogram::new(), ..Default::default() }
+    }
+
+    /// Point-in-time copy of every counter plus derived percentiles.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let r = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        MetricsSnapshot {
+            accepted: r(&self.accepted),
+            shed: r(&self.shed),
+            active: self.active.load(Ordering::Relaxed),
+            closed_idle: r(&self.closed_idle),
+            closed_slow_read: r(&self.closed_slow_read),
+            closed_slow_write: r(&self.closed_slow_write),
+            overlong_lines: r(&self.overlong_lines),
+            requests_total: r(&self.requests_total),
+            requests_ok: r(&self.requests_ok),
+            requests_client_error: r(&self.requests_client_error),
+            requests_server_error: r(&self.requests_server_error),
+            latency_count: self.latency.count(),
+            latency_mean_us: self.latency.mean(),
+            latency_p50_us: self.latency.percentile(0.50),
+            latency_p95_us: self.latency.percentile(0.95),
+            latency_p99_us: self.latency.percentile(0.99),
+            latency_max_us: self.latency.max(),
+        }
+    }
+}
+
+/// A copy of the counters at one instant (fields may be a few events
+/// apart from each other under concurrent load; each is individually
+/// exact).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    pub accepted: u64,
+    pub shed: u64,
+    pub active: usize,
+    pub closed_idle: u64,
+    pub closed_slow_read: u64,
+    pub closed_slow_write: u64,
+    pub overlong_lines: u64,
+    pub requests_total: u64,
+    pub requests_ok: u64,
+    pub requests_client_error: u64,
+    pub requests_server_error: u64,
+    pub latency_count: u64,
+    pub latency_mean_us: f64,
+    pub latency_p50_us: u64,
+    pub latency_p95_us: u64,
+    pub latency_p99_us: u64,
+    pub latency_max_us: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_cover_the_range_in_order() {
+        // Every representative value maps into a bucket whose floor is
+        // ≤ the value, and bucket indexes are monotone in the value.
+        let mut last = 0usize;
+        for v in (0..200u64).chain([255, 256, 1000, 65_535, 1 << 20, 1 << 35, u64::MAX]) {
+            let i = LatencyHistogram::bucket_index(v);
+            assert!(i < NUM_BUCKETS, "v={v} i={i}");
+            assert!(i >= last, "bucket index must not decrease: v={v}");
+            assert!(LatencyHistogram::bucket_floor(i) <= v, "floor > value for {v}");
+            last = i;
+        }
+        // Sub-64µs values are exact.
+        for v in 0..LINEAR_MAX {
+            let i = LatencyHistogram::bucket_index(v);
+            assert_eq!(LatencyHistogram::bucket_floor(i), v);
+        }
+    }
+
+    #[test]
+    fn percentiles_exact_in_linear_range() {
+        let h = LatencyHistogram::new();
+        for v in 1..=50u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 50);
+        assert_eq!(h.percentile(0.5), 25);
+        assert_eq!(h.percentile(0.02), 1);
+        assert_eq!(h.percentile(1.0), 50);
+        assert_eq!(h.max(), 50);
+        assert!((h.mean() - 25.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentiles_bounded_error_in_log_range() {
+        let h = LatencyHistogram::new();
+        // Uniform 1..=100_000 µs: p50 ≈ 50_000, p99 ≈ 99_000.
+        for v in 1..=100_000u64 {
+            h.record(v);
+        }
+        for (q, want) in [(0.5, 50_000.0), (0.95, 95_000.0), (0.99, 99_000.0)] {
+            let got = h.percentile(q) as f64;
+            let rel = (got - want).abs() / want;
+            assert!(rel < 0.04, "q={q}: got {got}, want ~{want} (rel {rel:.3})");
+        }
+        assert_eq!(h.percentile(1.0 / 100_000.0), 1);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.percentile(0.99), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn huge_values_clamp_instead_of_indexing_out_of_bounds() {
+        let h = LatencyHistogram::new();
+        h.record(u64::MAX);
+        h.record(1 << 50);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), u64::MAX);
+        assert!(h.percentile(0.5) >= 1 << MAX_EXP);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = std::sync::Arc::new(LatencyHistogram::new());
+        const THREADS: usize = 8;
+        const PER: u64 = 5_000;
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let h = h.clone();
+                s.spawn(move || {
+                    for i in 0..PER {
+                        h.record((t as u64 * 7 + i) % 300);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), THREADS as u64 * PER);
+        let total: u64 = (0..NUM_BUCKETS)
+            .map(|i| h.buckets[i].load(Ordering::Relaxed))
+            .sum();
+        assert_eq!(total, THREADS as u64 * PER);
+    }
+
+    #[test]
+    fn metrics_snapshot_copies_counters() {
+        let m = ServeMetrics::new();
+        m.accepted.fetch_add(3, Ordering::Relaxed);
+        m.shed.fetch_add(1, Ordering::Relaxed);
+        m.requests_total.fetch_add(2, Ordering::Relaxed);
+        m.requests_ok.fetch_add(2, Ordering::Relaxed);
+        m.latency.record(10);
+        m.latency.record(30);
+        let s = m.snapshot();
+        assert_eq!(s.accepted, 3);
+        assert_eq!(s.shed, 1);
+        assert_eq!(s.requests_total, 2);
+        assert_eq!(s.latency_count, 2);
+        assert_eq!(s.latency_p50_us, 10);
+        assert_eq!(s.latency_max_us, 30);
+    }
+}

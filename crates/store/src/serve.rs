@@ -1,0 +1,964 @@
+//! The production serve frontend: a bounded-concurrency JSONL-over-TCP
+//! discovery server.
+//!
+//! The original `tsfm serve` loop spawned one unbounded thread per
+//! connection and trusted clients completely: a newline-free stream could
+//! buffer without bound, an idle peer parked a worker forever, and enough
+//! connections exhausted threads and file descriptors. This module is the
+//! hardened replacement — hand-rolled on `std` only (crates.io is
+//! unreachable), in the same spirit as the hand-rolled JSON in
+//! [`crate::wire`]:
+//!
+//! * **Bounded worker pool.** At most [`ServeConfig::max_connections`]
+//!   worker threads exist; workers are pooled and reused across
+//!   connections (spawned lazily, trimmed after
+//!   [`ServeConfig::worker_linger`] idle). Accepted connections beyond
+//!   the pool wait in a queue of at most
+//!   [`ServeConfig::pending_capacity`]; past that the acceptor *sheds*:
+//!   it answers with a one-line [`crate::wire::unavailable_json`] reply
+//!   and closes, so overload degrades into fast, explicit refusals
+//!   instead of unbounded resource growth.
+//! * **Timeouts everywhere.** A connection idle between requests longer
+//!   than `idle_timeout` is closed; a request line that does not complete
+//!   within `read_timeout` of its first byte is closed (slowloris
+//!   defence — the deadline is absolute, so trickling bytes does not
+//!   reset it); a peer that stops draining replies hits `write_timeout`
+//!   and is closed (per-connection write backpressure).
+//! * **Request-line cap.** Lines longer than `max_line_bytes` are
+//!   answered with a typed `invalid_request` error and the connection is
+//!   closed — a newline-free stream can no longer exhaust memory.
+//! * **Pipelining.** Clients may send many requests without waiting;
+//!   replies come back in order, one line each.
+//! * **Hot reload.** The [`Searcher`] snapshot lives behind an
+//!   [`RwLock`]; [`ServerHandle::swap_searcher`] installs a new snapshot
+//!   without dropping in-flight queries (each request clones the `Arc`s
+//!   it needs up front).
+//! * **Graceful shutdown.** [`ServerHandle::shutdown`] stops the
+//!   acceptor, lets every in-flight request finish, then closes
+//!   connections and joins the workers.
+//! * **Ops surface.** The `{"op":"stats"}` wire verb reports the
+//!   [`crate::metrics::ServeMetrics`] counters and latency percentiles.
+
+use crate::error::{StoreError, StoreResult};
+use crate::metrics::{MetricsSnapshot, ServeMetrics};
+use crate::request::DiscoveryResponse;
+use crate::searcher::Searcher;
+use crate::wire::{self, ServeCommand, ServeRequest};
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::time::{Duration, Instant};
+use tsfm_table::csv;
+
+/// How often blocked reads wake up to re-check deadlines and the
+/// shutdown flag. Short enough that shutdown and deadline enforcement
+/// feel immediate; long enough to cost nothing.
+const POLL_SLICE: Duration = Duration::from_millis(100);
+
+/// Tuning knobs for [`Server`]. The defaults suit an interactive
+/// discovery service; every limit exists to bound a resource a hostile
+/// or broken client could otherwise grow without limit.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Maximum concurrently served connections == maximum worker threads.
+    pub max_connections: usize,
+    /// Accepted connections allowed to wait for a free worker before the
+    /// acceptor starts shedding.
+    pub pending_capacity: usize,
+    /// Close a connection idle (no request in progress) this long.
+    pub idle_timeout: Duration,
+    /// A request line must complete within this of its first byte.
+    pub read_timeout: Duration,
+    /// Give up on a peer that does not drain a reply within this.
+    pub write_timeout: Duration,
+    /// Hard cap on one request line (bytes, newline excluded).
+    pub max_line_bytes: usize,
+    /// Idle pooled workers exit after this long without work.
+    pub worker_linger: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            max_connections: 256,
+            pending_capacity: 256,
+            idle_timeout: Duration::from_secs(60),
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            max_line_bytes: 4 << 20,
+            worker_linger: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Shared state between the acceptor, the workers, and every handle.
+struct Shared {
+    cfg: ServeConfig,
+    searcher: RwLock<Searcher>,
+    metrics: ServeMetrics,
+    started: Instant,
+    addr: SocketAddr,
+    shutdown: AtomicBool,
+    /// Accepted connections waiting for a worker.
+    queue: Mutex<VecDeque<TcpStream>>,
+    queue_cv: Condvar,
+    /// Live worker threads (busy or idle).
+    workers: AtomicUsize,
+    /// Workers currently parked on the queue.
+    idle_workers: AtomicUsize,
+    /// Times a new snapshot was swapped in (the serve-side epoch).
+    reloads: AtomicU64,
+}
+
+/// A bounded-concurrency JSONL-over-TCP discovery server. Construct with
+/// [`Server::bind`], then call [`Server::run`] (blocking) on a dedicated
+/// thread; control it from anywhere through a [`ServerHandle`].
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+/// A cheap clonable control handle: shutdown, snapshot hot-swap, and
+/// metrics access.
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Bind `addr` and prepare to serve `searcher`. Port 0 binds an
+    /// ephemeral port — read it back via [`Server::local_addr`].
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        searcher: Searcher,
+        cfg: ServeConfig,
+    ) -> StoreResult<Server> {
+        if cfg.max_connections == 0 {
+            return Err(StoreError::invalid("max_connections must be >= 1"));
+        }
+        if cfg.max_line_bytes == 0 {
+            return Err(StoreError::invalid("max_line_bytes must be >= 1"));
+        }
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            cfg,
+            searcher: RwLock::new(searcher),
+            metrics: ServeMetrics::new(),
+            started: Instant::now(),
+            addr,
+            shutdown: AtomicBool::new(false),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            workers: AtomicUsize::new(0),
+            idle_workers: AtomicUsize::new(0),
+            reloads: AtomicU64::new(0),
+        });
+        Ok(Server { listener, shared })
+    }
+
+    /// The bound address (resolves `--port 0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle { shared: self.shared.clone() }
+    }
+
+    /// Accept and dispatch until [`ServerHandle::shutdown`] is called.
+    /// Consumes the server; returns once every worker has drained its
+    /// in-flight request and exited.
+    pub fn run(self) -> StoreResult<()> {
+        let shared = &self.shared;
+        let mut joins = Vec::new();
+        for stream in self.listener.incoming() {
+            if shared.shutdown.load(Ordering::Acquire) {
+                break; // the shutdown wake-up connection, or a late accept
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => continue, // transient accept failure (EMFILE etc.)
+            };
+            shared.metrics.accepted.fetch_add(1, Ordering::Relaxed);
+
+            // Shed / dispatch under the queue lock so the decision sees a
+            // coherent queue depth. Shed when every worker slot is taken,
+            // none is idle, and the pending queue is full: a parseable
+            // refusal beats stalling the client or growing without bound.
+            let workers_now = shared.workers.load(Ordering::Relaxed);
+            let idle_now = shared.idle_workers.load(Ordering::Relaxed);
+            let need_spawn = {
+                let mut q = shared.queue.lock().expect("queue lock");
+                if workers_now >= shared.cfg.max_connections
+                    && idle_now == 0
+                    && q.len() >= shared.cfg.pending_capacity
+                {
+                    drop(q);
+                    shared.metrics.shed.fetch_add(1, Ordering::Relaxed);
+                    shed(stream);
+                    continue;
+                }
+                q.push_back(stream);
+                // Spawn on queue depth, not on `idle == 0`: during a
+                // connect burst a just-notified worker is still counted
+                // idle, and gating on the stale flag would strand the
+                // whole burst behind one worker.
+                workers_now < shared.cfg.max_connections && idle_now < q.len()
+            };
+            if need_spawn {
+                shared.workers.fetch_add(1, Ordering::Relaxed);
+                let shared = shared.clone();
+                joins.push(std::thread::spawn(move || worker_loop(&shared)));
+            }
+            shared.queue_cv.notify_one();
+        }
+
+        // Graceful drain: close queued-but-unserved connections, wake
+        // every parked worker so it can observe the flag and exit, then
+        // wait for in-flight requests to complete.
+        shared.shutdown.store(true, Ordering::Release);
+        shared.queue.lock().expect("queue lock").clear();
+        shared.queue_cv.notify_all();
+        for j in joins {
+            let _ = j.join();
+        }
+        Ok(())
+    }
+}
+
+impl ServerHandle {
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Ask the server to stop. The acceptor wakes immediately; workers
+    /// finish the request they are serving, close their connections, and
+    /// exit. [`Server::run`] returns once they have.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.queue_cv.notify_all();
+        // Blocking `accept` only returns on a connection: poke it.
+        let _ = TcpStream::connect_timeout(&self.shared.addr, Duration::from_secs(1));
+    }
+
+    /// Install a new snapshot (catalog hot-reload). In-flight queries
+    /// keep the snapshot they started with; the next request on every
+    /// connection sees the new one. Returns the reload generation (1 for
+    /// the first swap).
+    pub fn swap_searcher(&self, searcher: Searcher) -> u64 {
+        *self.shared.searcher.write().expect("searcher lock") = searcher;
+        self.shared.reloads.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// The snapshot currently serving queries.
+    pub fn searcher(&self) -> Searcher {
+        self.shared.searcher.read().expect("searcher lock").clone()
+    }
+
+    /// Point-in-time ops counters (what the `stats` verb reports).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// Live worker threads (for tests asserting the pool stays bounded).
+    pub fn worker_count(&self) -> usize {
+        self.shared.workers.load(Ordering::Relaxed)
+    }
+}
+
+/// Best-effort one-line refusal to a connection we will not serve. Must
+/// never block the acceptor: tiny write, short timeout.
+fn shed(stream: TcpStream) {
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let mut s = stream;
+    let _ = s.write_all(wire::unavailable_json("server at connection capacity").as_bytes());
+    let _ = s.write_all(b"\n");
+}
+
+/// Worker: serve queued connections until the pool shuts down or the
+/// worker has lingered idle too long.
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let conn = {
+            let mut q = shared.queue.lock().expect("queue lock");
+            loop {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    shared.workers.fetch_sub(1, Ordering::Relaxed);
+                    return;
+                }
+                if let Some(c) = q.pop_front() {
+                    break c;
+                }
+                shared.idle_workers.fetch_add(1, Ordering::Relaxed);
+                let (guard, timeout) = shared
+                    .queue_cv
+                    .wait_timeout(q, shared.cfg.worker_linger)
+                    .expect("queue lock");
+                q = guard;
+                shared.idle_workers.fetch_sub(1, Ordering::Relaxed);
+                if timeout.timed_out() && q.is_empty() {
+                    // Lingered long enough: trim the pool.
+                    shared.workers.fetch_sub(1, Ordering::Relaxed);
+                    return;
+                }
+            }
+        };
+        shared.metrics.active.fetch_add(1, Ordering::Relaxed);
+        serve_connection(shared, conn);
+        shared.metrics.active.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Discard whatever the peer already sent, bounded in bytes and time, so
+/// closing the socket sends FIN instead of RST — an RST can destroy a
+/// just-written error reply before the client reads it. The bounds keep
+/// this from becoming its own resource sink: a peer still streaming past
+/// them simply gets the reset.
+fn drain_before_close(reader: &mut BufReader<TcpStream>) {
+    const DRAIN_BYTE_BUDGET: usize = 1 << 20;
+    const DRAIN_TIME_BUDGET: Duration = Duration::from_secs(1);
+    let t0 = Instant::now();
+    let mut drained = 0usize;
+    while drained < DRAIN_BYTE_BUDGET && t0.elapsed() < DRAIN_TIME_BUDGET {
+        match reader.fill_buf() {
+            Ok([]) => return, // clean EOF: peer is done
+            Ok(chunk) => {
+                let n = chunk.len();
+                drained += n;
+                reader.consume(n);
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                // Quiet for a full poll slice: the pipe is empty enough.
+                return;
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => return,
+        }
+    }
+}
+
+/// Why `read_request_line` stopped.
+enum LineOutcome {
+    /// A complete line (newline stripped) is in the buffer.
+    Line,
+    /// Peer closed its write half (or mid-line EOF).
+    Eof,
+    /// The line exceeded the cap before a newline arrived.
+    Overflow,
+    /// No request in progress and the idle deadline passed.
+    IdleTimeout,
+    /// A partial line stalled past the read deadline (slowloris).
+    SlowRead,
+    /// Server shutting down between requests.
+    Shutdown,
+    /// Hard I/O error.
+    Failed,
+}
+
+/// Read one `\n`-terminated request line into `line`, enforcing the line
+/// cap, the idle deadline, and the absolute per-line read deadline. The
+/// socket carries a short poll timeout ([`POLL_SLICE`]) so deadline and
+/// shutdown checks run even while the peer is silent.
+fn read_request_line(
+    reader: &mut BufReader<TcpStream>,
+    line: &mut Vec<u8>,
+    shared: &Shared,
+) -> LineOutcome {
+    line.clear();
+    let idle_deadline = Instant::now() + shared.cfg.idle_timeout;
+    let mut line_deadline: Option<Instant> = None;
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) && line.is_empty() {
+            return LineOutcome::Shutdown;
+        }
+        // The line deadline is absolute: check it even while bytes are
+        // arriving, or a client trickling one byte per poll slice would
+        // hold a worker forever (the classic slowloris).
+        if let Some(d) = line_deadline {
+            if Instant::now() >= d {
+                return LineOutcome::SlowRead;
+            }
+        }
+        let chunk = match reader.fill_buf() {
+            Ok([]) => return LineOutcome::Eof,
+            Ok(chunk) => chunk,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                let now = Instant::now();
+                if let Some(d) = line_deadline {
+                    if now >= d {
+                        return LineOutcome::SlowRead;
+                    }
+                } else if now >= idle_deadline {
+                    return LineOutcome::IdleTimeout;
+                }
+                continue;
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => return LineOutcome::Failed,
+        };
+        // First byte of a request starts the absolute line deadline.
+        if line_deadline.is_none() {
+            line_deadline = Some(Instant::now() + shared.cfg.read_timeout);
+        }
+        if let Some(nl) = chunk.iter().position(|&b| b == b'\n') {
+            if line.len() + nl > shared.cfg.max_line_bytes {
+                return LineOutcome::Overflow;
+            }
+            line.extend_from_slice(&chunk[..nl]);
+            reader.consume(nl + 1);
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            return LineOutcome::Line;
+        }
+        let take = chunk.len();
+        if line.len() + take > shared.cfg.max_line_bytes {
+            // Consume what we peeked so the buffer does not replay it;
+            // the connection is closing anyway.
+            reader.consume(take);
+            return LineOutcome::Overflow;
+        }
+        line.extend_from_slice(chunk);
+        reader.consume(take);
+    }
+}
+
+/// Serve one connection to completion: read JSONL requests, answer each
+/// with one JSON line, enforce every limit. Request-level failures are
+/// answered through the typed error serializer and never kill the server.
+fn serve_connection(shared: &Shared, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    // Short poll timeout — the loop, not the kernel, owns the deadlines.
+    if stream.set_read_timeout(Some(POLL_SLICE)).is_err()
+        || stream.set_write_timeout(Some(shared.cfg.write_timeout)).is_err()
+    {
+        return;
+    }
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = std::io::BufWriter::new(stream);
+    let mut line = Vec::new();
+
+    loop {
+        match read_request_line(&mut reader, &mut line, shared) {
+            LineOutcome::Line => {
+                if line.iter().all(u8::is_ascii_whitespace) {
+                    continue; // blank keep-alive line
+                }
+                let reply = match std::str::from_utf8(&line) {
+                    Ok(text) => handle_line(shared, text),
+                    Err(_) => {
+                        count_error(shared, true);
+                        wire::error_json(&StoreError::invalid("request line is not valid UTF-8"))
+                    }
+                };
+                if writer
+                    .write_all(reply.as_bytes())
+                    .and_then(|()| writer.write_all(b"\n"))
+                    .and_then(|()| writer.flush())
+                    .is_err()
+                {
+                    // Peer gone or not draining: write backpressure bound.
+                    shared.metrics.closed_slow_write.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+            }
+            LineOutcome::Overflow => {
+                shared.metrics.overlong_lines.fetch_add(1, Ordering::Relaxed);
+                count_error(shared, true);
+                let e = StoreError::invalid(format!(
+                    "request line exceeds {} bytes",
+                    shared.cfg.max_line_bytes
+                ));
+                let sent = writer
+                    .write_all(wire::error_json(&e).as_bytes())
+                    .and_then(|()| writer.write_all(b"\n"))
+                    .and_then(|()| writer.flush())
+                    .is_ok();
+                if sent {
+                    drain_before_close(&mut reader);
+                }
+                return; // cannot resync mid-line: close
+            }
+            LineOutcome::IdleTimeout => {
+                shared.metrics.closed_idle.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            LineOutcome::SlowRead => {
+                shared.metrics.closed_slow_read.fetch_add(1, Ordering::Relaxed);
+                let e = StoreError::invalid(format!(
+                    "request line not completed within {:?}",
+                    shared.cfg.read_timeout
+                ));
+                let sent = writer
+                    .write_all(wire::error_json(&e).as_bytes())
+                    .and_then(|()| writer.write_all(b"\n"))
+                    .and_then(|()| writer.flush())
+                    .is_ok();
+                if sent {
+                    drain_before_close(&mut reader);
+                }
+                return;
+            }
+            LineOutcome::Eof | LineOutcome::Shutdown | LineOutcome::Failed => return,
+        }
+    }
+}
+
+fn count_error(shared: &Shared, client: bool) {
+    shared.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
+    if client {
+        shared.metrics.requests_client_error.fetch_add(1, Ordering::Relaxed);
+    } else {
+        shared.metrics.requests_server_error.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Parse and execute one request line, returning the reply line (no
+/// trailing newline). Never panics, never returns an un-serialized error.
+fn handle_line(shared: &Shared, line: &str) -> String {
+    match ServeCommand::parse_line(line) {
+        Ok(ServeCommand::Stats) => {
+            shared.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.requests_ok.fetch_add(1, Ordering::Relaxed);
+            stats_json(shared)
+        }
+        Ok(ServeCommand::Query(req)) => {
+            // Clone the snapshot up front: a concurrent hot-swap must not
+            // affect a query already started.
+            let searcher = shared.searcher.read().expect("searcher lock").clone();
+            let t0 = Instant::now();
+            match execute(&searcher, &req) {
+                Ok(resp) => {
+                    shared.metrics.latency.record(t0.elapsed().as_micros() as u64);
+                    shared.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
+                    shared.metrics.requests_ok.fetch_add(1, Ordering::Relaxed);
+                    wire::response_json(&resp)
+                }
+                Err(e) => {
+                    count_error(shared, e.is_client_error());
+                    wire::error_json(&e)
+                }
+            }
+        }
+        Err(e) => {
+            count_error(shared, e.is_client_error());
+            wire::error_json(&e)
+        }
+    }
+}
+
+/// Run one parsed discovery request against a snapshot. This is the
+/// single execution path shared by the server and any embedding caller;
+/// the `(None, None)` arm is a typed error, not a panic — `parse_line`
+/// rejects it today, but a connection worker must never carry a panic
+/// surface for a state a future refactor could reintroduce.
+pub fn execute(searcher: &Searcher, req: &ServeRequest) -> StoreResult<DiscoveryResponse> {
+    match (&req.csv, &req.id) {
+        (Some(text), _) => {
+            let table = csv::table_from_csv(&req.query_id, &req.query_id, text);
+            searcher.search_table(&table, &req.request)
+        }
+        (None, Some(id)) => searcher.search_id(id, &req.request),
+        (None, None) => Err(StoreError::invalid(
+            "request needs a query table: inline \"csv\" or a stored \"id\"",
+        )),
+    }
+}
+
+/// The `{"op":"stats"}` reply: ops counters, corpus counters, and latency
+/// percentiles, as one JSON line.
+fn stats_json(shared: &Shared) -> String {
+    let m = shared.metrics.snapshot();
+    let (tables, epoch) = {
+        let s = shared.searcher.read().expect("searcher lock");
+        (s.len(), s.epoch())
+    };
+    format!(
+        "{{\"stats\":{{\"uptime_ms\":{},\"tables\":{tables},\"epoch\":{epoch},\
+         \"reloads\":{},\
+         \"connections\":{{\"active\":{},\"accepted\":{},\"shed\":{},\
+         \"closed_idle\":{},\"closed_slow_read\":{},\"closed_slow_write\":{},\
+         \"overlong_lines\":{}}},\
+         \"requests\":{{\"total\":{},\"ok\":{},\"client_error\":{},\"server_error\":{}}},\
+         \"latency_us\":{{\"count\":{},\"mean\":{:.1},\"p50\":{},\"p95\":{},\"p99\":{},\"max\":{}}}}}}}",
+        shared.started.elapsed().as_millis(),
+        shared.reloads.load(Ordering::Relaxed),
+        m.active,
+        m.accepted,
+        m.shed,
+        m.closed_idle,
+        m.closed_slow_read,
+        m.closed_slow_write,
+        m.overlong_lines,
+        m.requests_total,
+        m.requests_ok,
+        m.requests_client_error,
+        m.requests_server_error,
+        m.latency_count,
+        m.latency_mean_us,
+        m.latency_p50_us,
+        m.latency_p95_us,
+        m.latency_p99_us,
+        m.latency_max_us,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+    use crate::wire::Json;
+    use std::io::Read;
+    use std::path::PathBuf;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("tsfm_serve_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// A catalog with `n` tiny tables (`t0..tn`), its searcher, and dir.
+    fn searcher_with(tag: &str, n: usize) -> (Searcher, PathBuf) {
+        let dir = tmp_dir(tag);
+        let mut cat = Catalog::open(&dir).unwrap();
+        for i in 0..n {
+            let t = csv::table_from_csv(
+                &format!("t{i}"),
+                &format!("t{i}"),
+                &format!("city,pop\nVienna{i},{}\nGraz{i},{}\n", 100 + i, 200 + i),
+            );
+            cat.add_table(&t, i as u64 + 1).unwrap();
+        }
+        let s = cat.searcher().unwrap();
+        cat.commit().unwrap();
+        (s, dir)
+    }
+
+    /// Start a server on an ephemeral port with `cfg`; returns its handle
+    /// and the join handle of the run thread.
+    fn start(
+        tag: &str,
+        n: usize,
+        cfg: ServeConfig,
+    ) -> (ServerHandle, std::thread::JoinHandle<()>, SocketAddr) {
+        let (searcher, _dir) = searcher_with(tag, n);
+        let server = Server::bind("127.0.0.1:0", searcher, cfg).unwrap();
+        let addr = server.local_addr();
+        let handle = server.handle();
+        let join = std::thread::spawn(move || server.run().unwrap());
+        (handle, join, addr)
+    }
+
+    fn roundtrip(stream: &mut (impl Write + Unpin), reader: &mut impl BufRead, req: &str) -> Json {
+        writeln!(stream, "{req}").unwrap();
+        stream.flush().unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        wire::parse_json(line.trim()).unwrap_or_else(|e| panic!("bad reply {line:?}: {e}"))
+    }
+
+    fn connect(addr: SocketAddr) -> (TcpStream, BufReader<TcpStream>) {
+        let stream = TcpStream::connect(addr).unwrap();
+        let reader = BufReader::new(stream.try_clone().unwrap());
+        (stream, reader)
+    }
+
+    #[test]
+    fn serves_queries_and_stats_over_one_connection() {
+        let (handle, join, addr) = start("basic", 3, ServeConfig::default());
+        let (mut w, mut r) = connect(addr);
+
+        let reply = roundtrip(&mut w, &mut r, r#"{"mode":"join","k":2,"id":"t0"}"#);
+        assert!(reply.get("hits").is_some(), "{reply:?}");
+        assert_eq!(reply.get("corpus").unwrap().as_f64(), Some(3.0));
+
+        // Typed client error, connection stays usable.
+        let reply = roundtrip(&mut w, &mut r, r#"{"mode":"join","id":"nope"}"#);
+        assert_eq!(
+            reply.get("error").unwrap().get("kind").unwrap().as_str(),
+            Some("unknown_table")
+        );
+
+        let reply = roundtrip(&mut w, &mut r, r#"{"op":"stats"}"#);
+        let stats = reply.get("stats").expect("stats object");
+        assert_eq!(stats.get("tables").unwrap().as_f64(), Some(3.0));
+        let requests = stats.get("requests").unwrap();
+        assert_eq!(requests.get("total").unwrap().as_f64(), Some(3.0));
+        assert_eq!(requests.get("ok").unwrap().as_f64(), Some(2.0));
+        assert_eq!(requests.get("client_error").unwrap().as_f64(), Some(1.0));
+        let lat = stats.get("latency_us").unwrap();
+        assert_eq!(lat.get("count").unwrap().as_f64(), Some(1.0));
+
+        drop((w, r));
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn pipelined_requests_are_answered_in_order() {
+        let (handle, join, addr) = start("pipeline", 4, ServeConfig::default());
+        let (mut w, mut r) = connect(addr);
+        // Fire a burst without reading a single reply.
+        for i in 0..4 {
+            writeln!(w, "{{\"mode\":\"join\",\"k\":1,\"id\":\"t{i}\"}}").unwrap();
+        }
+        w.flush().unwrap();
+        for i in 0..4 {
+            let mut line = String::new();
+            r.read_line(&mut line).unwrap();
+            let v = wire::parse_json(line.trim()).unwrap();
+            assert_eq!(v.get("query").unwrap().as_str(), Some(format!("t{i}").as_str()));
+        }
+        drop((w, r));
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn oversized_line_gets_typed_error_then_close() {
+        let cfg = ServeConfig { max_line_bytes: 256, ..ServeConfig::default() };
+        let (handle, join, addr) = start("cap", 1, cfg);
+        let (mut w, mut r) = connect(addr);
+        // 4 KiB with no newline: far past the cap.
+        w.write_all(&vec![b'x'; 4096]).unwrap();
+        w.flush().unwrap();
+        let mut line = String::new();
+        r.read_line(&mut line).unwrap();
+        let v = wire::parse_json(line.trim()).unwrap();
+        assert_eq!(
+            v.get("error").unwrap().get("kind").unwrap().as_str(),
+            Some("invalid_request")
+        );
+        assert!(
+            v.get("error").unwrap().get("detail").unwrap().as_str().unwrap().contains("exceeds"),
+            "{line}"
+        );
+        // Connection must now be closed.
+        let mut rest = String::new();
+        r.read_to_string(&mut rest).unwrap();
+        assert!(rest.is_empty());
+        assert!(handle.metrics().overlong_lines >= 1);
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn slow_request_line_is_cut_at_the_absolute_deadline() {
+        let cfg = ServeConfig {
+            read_timeout: Duration::from_millis(300),
+            idle_timeout: Duration::from_secs(30),
+            ..ServeConfig::default()
+        };
+        let (handle, join, addr) = start("loris", 1, cfg);
+        let (mut w, mut r) = connect(addr);
+        // Trickle bytes forever without a newline: the absolute deadline
+        // must cut us off even though each byte "resets" nothing.
+        let t0 = Instant::now();
+        let mut reply = String::new();
+        loop {
+            if w.write_all(b"x").and_then(|()| w.flush()).is_err() {
+                break; // server closed its read half
+            }
+            // A reply means the server sent the slow-read error.
+            w.set_read_timeout(Some(Duration::from_millis(50))).unwrap();
+            match r.read_line(&mut reply) {
+                Ok(0) => break,
+                Ok(_) => break,
+                Err(_) => {} // nothing yet, keep trickling
+            }
+            std::thread::sleep(Duration::from_millis(30));
+            assert!(t0.elapsed() < Duration::from_secs(10), "never cut off");
+        }
+        assert!(
+            t0.elapsed() >= Duration::from_millis(250),
+            "cut off before the deadline: {:?}",
+            t0.elapsed()
+        );
+        if !reply.trim().is_empty() {
+            let v = wire::parse_json(reply.trim()).unwrap();
+            assert!(v.get("error").is_some(), "{reply}");
+        }
+        // Meanwhile the server still answers a healthy connection.
+        let (mut w2, mut r2) = connect(addr);
+        let ok = roundtrip(&mut w2, &mut r2, r#"{"mode":"join","k":1,"id":"t0"}"#);
+        assert!(ok.get("hits").is_some());
+        assert!(handle.metrics().closed_slow_read >= 1);
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn idle_connections_are_reaped() {
+        let cfg = ServeConfig {
+            idle_timeout: Duration::from_millis(300),
+            ..ServeConfig::default()
+        };
+        let (handle, join, addr) = start("idle", 1, cfg);
+        let (w, mut r) = connect(addr);
+        let t0 = Instant::now();
+        let mut rest = String::new();
+        r.read_to_string(&mut rest).unwrap(); // blocks until server closes
+        assert!(rest.is_empty());
+        assert!(t0.elapsed() >= Duration::from_millis(250));
+        assert!(t0.elapsed() < Duration::from_secs(10));
+        assert!(handle.metrics().closed_idle >= 1);
+        drop(w);
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn pool_stays_bounded_and_workers_are_reused() {
+        let cfg = ServeConfig {
+            max_connections: 2,
+            worker_linger: Duration::from_secs(30),
+            ..ServeConfig::default()
+        };
+        let (handle, join, addr) = start("pool", 1, cfg);
+        for _ in 0..20 {
+            let (mut w, mut r) = connect(addr);
+            let v = roundtrip(&mut w, &mut r, r#"{"mode":"join","k":1,"id":"t0"}"#);
+            assert!(v.get("hits").is_some());
+        }
+        assert!(
+            handle.worker_count() <= 2,
+            "pool exceeded its bound: {} workers",
+            handle.worker_count()
+        );
+        let m = handle.metrics();
+        assert_eq!(m.accepted, 20);
+        assert_eq!(m.requests_ok, 20);
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn overload_sheds_with_an_unavailable_reply() {
+        let cfg = ServeConfig {
+            max_connections: 1,
+            pending_capacity: 0,
+            idle_timeout: Duration::from_secs(30),
+            ..ServeConfig::default()
+        };
+        let (handle, join, addr) = start("shed", 1, cfg);
+        // Occupy the only worker with a held-open connection, and prove
+        // it is being served before provoking the shed.
+        let (mut w1, mut r1) = connect(addr);
+        let v = roundtrip(&mut w1, &mut r1, r#"{"mode":"join","k":1,"id":"t0"}"#);
+        assert!(v.get("hits").is_some());
+
+        // The next connection must be refused with a parseable line.
+        let (_w2, mut r2) = connect(addr);
+        let mut line = String::new();
+        r2.read_line(&mut line).unwrap();
+        let v = wire::parse_json(line.trim()).unwrap_or_else(|e| panic!("{line:?}: {e}"));
+        assert_eq!(v.get("error").unwrap().get("kind").unwrap().as_str(), Some("unavailable"));
+        assert_eq!(v.get("client").unwrap().as_bool(), Some(false));
+        assert!(handle.metrics().shed >= 1);
+
+        // The first connection is still fine.
+        let v = roundtrip(&mut w1, &mut r1, r#"{"op":"stats"}"#);
+        assert!(v.get("stats").is_some());
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn hot_swap_serves_new_snapshot_without_dropping_the_connection() {
+        let (handle, join, addr) = start("swap", 1, ServeConfig::default());
+        let (mut w, mut r) = connect(addr);
+        let v = roundtrip(&mut w, &mut r, r#"{"mode":"join","k":1,"id":"t0"}"#);
+        assert_eq!(v.get("corpus").unwrap().as_f64(), Some(1.0));
+
+        // Build a bigger catalog and swap it in mid-connection.
+        let (bigger, _dir) = searcher_with("swap_big", 3);
+        assert_eq!(handle.swap_searcher(bigger), 1);
+
+        let v = roundtrip(&mut w, &mut r, r#"{"mode":"join","k":1,"id":"t2"}"#);
+        assert_eq!(v.get("corpus").unwrap().as_f64(), Some(3.0), "new snapshot visible");
+        let v = roundtrip(&mut w, &mut r, r#"{"op":"stats"}"#);
+        assert_eq!(v.get("stats").unwrap().get("reloads").unwrap().as_f64(), Some(1.0));
+        assert_eq!(v.get("stats").unwrap().get("tables").unwrap().as_f64(), Some(3.0));
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn graceful_shutdown_finishes_in_flight_requests() {
+        let (handle, join, addr) = start("shutdown", 1, ServeConfig::default());
+        let (mut w, mut r) = connect(addr);
+        let v = roundtrip(&mut w, &mut r, r#"{"mode":"join","k":1,"id":"t0"}"#);
+        assert!(v.get("hits").is_some());
+        handle.shutdown();
+        join.join().unwrap();
+        // New connections are refused once run() has returned.
+        assert!(
+            TcpStream::connect_timeout(&addr, Duration::from_millis(500)).is_err()
+                || TcpStream::connect(addr)
+                    .and_then(|mut s| {
+                        let mut buf = [0u8; 1];
+                        s.set_read_timeout(Some(Duration::from_millis(500))).unwrap();
+                        s.read(&mut buf).map(|n| n == 0)
+                    })
+                    .unwrap_or(true),
+            "server still serving after shutdown"
+        );
+    }
+
+    #[test]
+    fn invalid_utf8_line_is_answered_not_fatal() {
+        let (handle, join, addr) = start("utf8", 1, ServeConfig::default());
+        let (mut w, mut r) = connect(addr);
+        w.write_all(&[0xff, 0xfe, b'\n']).unwrap();
+        w.flush().unwrap();
+        let mut line = String::new();
+        r.read_line(&mut line).unwrap();
+        let v = wire::parse_json(line.trim()).unwrap();
+        assert!(
+            v.get("error").unwrap().get("detail").unwrap().as_str().unwrap().contains("UTF-8")
+        );
+        // Still serving on the same connection.
+        let v = roundtrip(&mut w, &mut r, r#"{"mode":"join","k":1,"id":"t0"}"#);
+        assert!(v.get("hits").is_some());
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn execute_with_neither_csv_nor_id_is_a_typed_error() {
+        // The old serve loop had `unreachable!` here; it must be a typed
+        // InvalidRequest even though parse_line rejects the shape today.
+        let (searcher, _dir) = searcher_with("neither", 1);
+        let parsed = ServeRequest::parse_line(r#"{"mode":"join","id":"t0"}"#).unwrap();
+        let req = ServeRequest { csv: None, id: None, ..parsed };
+        match execute(&searcher, &req) {
+            Err(StoreError::InvalidRequest(msg)) => {
+                assert!(msg.contains("query table"), "{msg}")
+            }
+            other => panic!("expected InvalidRequest, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn config_validation() {
+        let (searcher, _dir) = searcher_with("cfg", 1);
+        let bad = ServeConfig { max_connections: 0, ..ServeConfig::default() };
+        assert!(matches!(
+            Server::bind("127.0.0.1:0", searcher.clone(), bad),
+            Err(StoreError::InvalidRequest(_))
+        ));
+        let bad = ServeConfig { max_line_bytes: 0, ..ServeConfig::default() };
+        assert!(matches!(
+            Server::bind("127.0.0.1:0", searcher, bad),
+            Err(StoreError::InvalidRequest(_))
+        ));
+    }
+}

@@ -18,6 +18,17 @@
 //! table) or `id` (id of an ingested table), and optionally `k`,
 //! `query_id`, `min_score`, `exclude_self`, `explain`, `columns`.
 //! Unknown fields are rejected — typos must not silently change a query.
+//!
+//! Besides queries the protocol carries control verbs, dispatched on an
+//! `op` field (see [`ServeCommand`]):
+//!
+//! ```text
+//! → {"op":"stats"}
+//! ← {"stats":{"uptime_ms":..,"tables":..,"requests":{...},"latency_us":{...}}}
+//! ```
+//!
+//! A server at capacity answers new connections with a non-taxonomy
+//! `unavailable` error ([`unavailable_json`]) before closing them.
 
 use crate::engine::{QueryMode, TableHit};
 use crate::error::{StoreError, StoreResult};
@@ -117,6 +128,18 @@ pub fn error_json(e: &StoreError) -> String {
         "{{\"error\":{{\"kind\":\"{kind}\",\"detail\":\"{}\"}},\"client\":{}}}",
         escape_json(&e.to_string()),
         e.is_client_error()
+    )
+}
+
+/// The overload reply a server at capacity sends before closing a shed
+/// connection. Deliberately outside the [`StoreError`] taxonomy: nothing
+/// is wrong with the store or the request — the server simply refuses the
+/// connection, and a client seeing `kind:"unavailable"` should back off
+/// and retry.
+pub fn unavailable_json(detail: &str) -> String {
+    format!(
+        "{{\"error\":{{\"kind\":\"unavailable\",\"detail\":\"{}\"}},\"client\":false}}",
+        escape_json(detail)
     )
 }
 
@@ -310,6 +333,12 @@ fn utf8_len(first: u8) -> Result<usize, String> {
 
 fn parse_hex4(b: &[u8], pos: &mut usize) -> Result<u32, String> {
     let chunk = b.get(*pos..*pos + 4).ok_or("truncated \\u escape")?;
+    // RFC 8259 §7: exactly four hex digits. `from_str_radix` alone is too
+    // lenient — it accepts a leading `+`, so `\u+fff` would silently
+    // decode as U+0FFF.
+    if !chunk.iter().all(u8::is_ascii_hexdigit) {
+        return Err("bad \\u escape".into());
+    }
     let s = std::str::from_utf8(chunk).map_err(|_| "bad \\u escape")?;
     *pos += 4;
     u32::from_str_radix(s, 16).map_err(|_| "bad \\u escape".into())
@@ -379,13 +408,66 @@ pub struct ServeRequest {
     pub query_id: String,
 }
 
+/// One line of the serve protocol, dispatched: discovery queries are the
+/// default shape; control verbs carry an `op` field instead.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeCommand {
+    /// A discovery query (the `{"mode":...,"csv"|"id":...}` shape).
+    Query(Box<ServeRequest>),
+    /// `{"op":"stats"}` — operational counters and latency percentiles.
+    Stats,
+}
+
+impl ServeCommand {
+    /// Parse one request line into a command. Control verbs win when an
+    /// `op` field is present; anything else is parsed as a discovery
+    /// query. Every failure is [`StoreError::InvalidRequest`].
+    pub fn parse_line(line: &str) -> StoreResult<ServeCommand> {
+        let json = parse_request_json(line)?;
+        if let Some(op) = json.get("op") {
+            let op = op
+                .as_str()
+                .ok_or_else(|| StoreError::invalid("\"op\" must be a string"))?;
+            return match op {
+                "stats" => {
+                    if let Json::Obj(fields) = &json {
+                        if fields.len() != 1 {
+                            return Err(StoreError::invalid(
+                                "\"op\":\"stats\" takes no other fields",
+                            ));
+                        }
+                    }
+                    Ok(ServeCommand::Stats)
+                }
+                other => Err(StoreError::invalid(format!(
+                    "unknown op {other:?} (known ops: stats)"
+                ))),
+            };
+        }
+        ServeRequest::from_json(&json).map(|r| ServeCommand::Query(Box::new(r)))
+    }
+}
+
+/// Parse a request line into a JSON object (shared by every verb).
+fn parse_request_json(line: &str) -> StoreResult<Json> {
+    let json = parse_json(line.trim())
+        .map_err(|e| StoreError::invalid(format!("request is not valid JSON: {e}")))?;
+    if !matches!(json, Json::Obj(_)) {
+        return Err(StoreError::invalid("request must be a JSON object"));
+    }
+    Ok(json)
+}
+
 impl ServeRequest {
     /// Parse and validate one request line. Every failure is a
     /// [`StoreError::InvalidRequest`] so the serve loop answers it as a
     /// client error rather than dying.
     pub fn parse_line(line: &str) -> StoreResult<ServeRequest> {
-        let json = parse_json(line.trim())
-            .map_err(|e| StoreError::invalid(format!("request is not valid JSON: {e}")))?;
+        Self::from_json(&parse_request_json(line)?)
+    }
+
+    /// Validate an already-parsed request object.
+    pub fn from_json(json: &Json) -> StoreResult<ServeRequest> {
         let Json::Obj(fields) = &json else {
             return Err(StoreError::invalid("request must be a JSON object"));
         };
@@ -584,6 +666,104 @@ mod tests {
         for bad in [r#""\ud800""#, r#""\ud800\u0041""#, r#""\ud800x""#] {
             assert!(parse_json(bad).is_err(), "{bad:?} should not parse");
         }
+    }
+
+    /// RFC 8259 §7 surrogate handling: every astral-plane codepoint must
+    /// survive both the raw-UTF-8 path and the `\uXXXX\uXXXX` escaped
+    /// path, and broken surrogates must be rejected — not silently
+    /// mis-decoded — whether they appear in a table id or a CSV payload.
+    #[test]
+    fn surrogate_pairs_roundtrip_raw_and_escaped() {
+        // Codepoints straddling every interesting boundary: first/last
+        // astral, musical symbol, emoji, BMP neighbours of the surrogate
+        // gap, and a supplementary CJK ideograph.
+        let cases = ['\u{10000}', '\u{10FFFF}', '\u{1D11E}', '🦀', '\u{D7FF}', '\u{E000}', '\u{2A6D6}'];
+        for c in cases {
+            let raw = format!("id-{c}-end");
+            // Raw UTF-8 through the serializer (escape_json passes
+            // non-control chars through unescaped, as RFC allows).
+            let line = format!("{{\"s\":\"{}\"}}", escape_json(&raw));
+            assert_eq!(parse_json(&line).unwrap().get("s").unwrap().as_str(), Some(raw.as_str()));
+
+            // The same codepoint spelled as an escaped surrogate pair (or
+            // a single \uXXXX for BMP chars) must decode identically.
+            let escaped: String = raw
+                .chars()
+                .map(|c| {
+                    let mut units = [0u16; 2];
+                    c.encode_utf16(&mut units)
+                        .iter()
+                        .map(|u| format!("\\u{u:04x}"))
+                        .collect::<String>()
+                })
+                .collect();
+            let line = format!("{{\"s\":\"{escaped}\"}}");
+            assert_eq!(
+                parse_json(&line).unwrap().get("s").unwrap().as_str(),
+                Some(raw.as_str()),
+                "escaped form {escaped:?}"
+            );
+        }
+
+        // Uppercase hex digits are as valid as lowercase.
+        assert_eq!(parse_json("\"\\uD83E\\uDD80\"").unwrap().as_str(), Some("🦀"));
+
+        // Broken surrogates: lone high, lone low, high+BMP, high+high,
+        // low-first pair, truncated low half, and a `+`-smuggled escape
+        // (from_str_radix would otherwise accept it).
+        for bad in [
+            r#""\ud834""#,
+            r#""\udd1e""#,
+            r#""\udc00""#,
+            r#""\ud834A""#,
+            r#""\ud834\ud834""#,
+            r#""\udd1e\ud834""#,
+            r#""\ud834\udd""#,
+            r#""\u+fff""#,
+            r#""\ud834\u+d1e""#,
+        ] {
+            assert!(parse_json(bad).is_err(), "{bad} must be rejected");
+        }
+    }
+
+    /// Astral characters flow end to end through the serve protocol: a
+    /// surrogate-pair-escaped CSV payload and query id parse into the
+    /// right Rust strings, and hostile ids serialize back out parseably.
+    #[test]
+    fn surrogates_roundtrip_through_serve_requests_and_responses() {
+        let line = r#"{"mode":"join","k":2,"query_id":"q🦀","csv":"name\n𝄞\n"}"#;
+        let req = ServeRequest::parse_line(line).unwrap();
+        assert_eq!(req.query_id, "q🦀");
+        assert_eq!(req.csv.as_deref(), Some("name\n\u{1D11E}\n"));
+
+        let hit = TableHit { table_id: "t-𝄞-🦀".into(), matching_columns: 1, score: 0.5 };
+        let parsed = parse_json(&hit_json(1, &hit)).unwrap();
+        assert_eq!(parsed.get("table").unwrap().as_str(), Some("t-𝄞-🦀"));
+    }
+
+    #[test]
+    fn serve_command_dispatches_ops_and_queries() {
+        assert_eq!(ServeCommand::parse_line(r#"{"op":"stats"}"#).unwrap(), ServeCommand::Stats);
+        let cmd = ServeCommand::parse_line(r#"{"mode":"join","id":"cities"}"#).unwrap();
+        let ServeCommand::Query(q) = cmd else { panic!("expected a query") };
+        assert_eq!(q.id.as_deref(), Some("cities"));
+
+        for (line, expect) in [
+            (r#"{"op":"reboot"}"#, "unknown op"),
+            (r#"{"op":42}"#, "must be a string"),
+            (r#"{"op":"stats","k":3}"#, "no other fields"),
+        ] {
+            let err = ServeCommand::parse_line(line).unwrap_err();
+            assert!(matches!(err, StoreError::InvalidRequest(_)), "{line}");
+            assert!(err.to_string().contains(expect), "{line} → {err}");
+        }
+    }
+
+    #[test]
+    fn unavailable_json_is_parseable_and_tagged() {
+        let v = parse_json(&unavailable_json("server at connection capacity")).unwrap();
+        assert_eq!(v.get("error").unwrap().get("kind").unwrap().as_str(), Some("unavailable"));
+        assert_eq!(v.get("client").unwrap().as_bool(), Some(false));
     }
 
     #[test]

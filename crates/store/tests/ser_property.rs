@@ -1,0 +1,140 @@
+//! Property tests for the store's binary frames (the `nn::io` lesson from
+//! the `TSFMCKP1` work, extended to `TSFMHNS1` and `TSFMCAT1`): any
+//! truncated or garbled frame must come back as a typed `Err` — never a
+//! panic, and never an attacker-sized `with_capacity` allocation. The
+//! catalog manifest additionally goes through `Catalog::open`, the path a
+//! corrupt file on disk actually takes in production.
+
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use tsfm_store::ser::{read_hnsw, write_hnsw};
+use tsfm_store::{Catalog, StoreError};
+use tsfm_table::csv;
+use tsfm_search::{Hnsw, HnswConfig, Metric};
+
+/// A unique temp dir per call (cases run back to back within a process).
+fn tmp_dir(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "tsfm_ser_prop_{tag}_{}_{n}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+/// A small but structurally complete HNSW frame: multiple layers, real
+/// neighbour lists.
+fn hnsw_bytes(points: usize, seed: u64) -> Vec<u8> {
+    let mut h = Hnsw::new(4, Metric::Cosine, HnswConfig::default());
+    for i in 0..points as u32 {
+        let v: Vec<f32> =
+            (0..4).map(|j| ((i as u64 * 7 + j + seed) % 13) as f32 - 6.0).collect();
+        h.add(&v);
+    }
+    let mut buf = Vec::new();
+    write_hnsw(&mut buf, &h).expect("serialize");
+    buf
+}
+
+/// A committed catalog manifest (`TSFMCAT1`) with a few real tables.
+fn manifest_bytes(tables: usize) -> Vec<u8> {
+    let dir = tmp_dir("make_manifest");
+    let mut cat = Catalog::open(&dir).expect("open");
+    for i in 0..tables {
+        let t = csv::table_from_csv(
+            &format!("t{i}"),
+            &format!("t{i}"),
+            &format!("city,pop\nVienna{i},{}\n", 100 + i),
+        );
+        cat.add_table(&t, i as u64 + 1).expect("add");
+    }
+    cat.commit().expect("commit");
+    let path = cat.manifest_path();
+    drop(cat);
+    let bytes = std::fs::read(path).expect("read manifest");
+    let _ = std::fs::remove_dir_all(&dir);
+    bytes
+}
+
+/// Re-open a catalog whose manifest has been replaced by `bytes`; the
+/// result must be a typed error or a coherent catalog — never a panic.
+fn open_with_manifest(bytes: &[u8]) -> Result<usize, StoreError> {
+    let dir = tmp_dir("open");
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("catalog.manifest"), bytes).unwrap();
+    let res = Catalog::open(&dir).map(|c| c.len());
+    let _ = std::fs::remove_dir_all(&dir);
+    res
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Every strict prefix of a valid `TSFMHNS1` frame is a typed
+    /// `Corrupt` error — EOF mid-frame must not panic and must not be
+    /// misread as a shorter valid graph.
+    #[test]
+    fn prop_truncated_hnsw_is_corrupt(points in 1usize..40, frac in 0.0f64..1.0) {
+        let buf = hnsw_bytes(points, 11);
+        let cut = ((buf.len() - 1) as f64 * frac) as usize;
+        match read_hnsw(&mut &buf[..cut]) {
+            Err(StoreError::Corrupt { format, .. }) => prop_assert_eq!(format, "TSFMHNS1"),
+            Err(other) => prop_assert!(false, "non-Corrupt error: {other:?}"),
+            Ok(_) => prop_assert!(false, "truncated frame parsed"),
+        }
+    }
+
+    /// A single flipped byte anywhere in a `TSFMHNS1` frame either still
+    /// parses (the flip hit payload bits) or errors — never a panic, and
+    /// length-field flips must be caught by the bounds checks instead of
+    /// driving a giant allocation.
+    #[test]
+    fn prop_garbled_hnsw_never_panics(points in 1usize..40, pos_frac in 0.0f64..1.0, bit in 0u8..8) {
+        let mut buf = hnsw_bytes(points, 23);
+        let pos = ((buf.len() - 1) as f64 * pos_frac) as usize;
+        buf[pos] ^= 1 << bit;
+        // Ok or Err are both acceptable; surviving to a return value is
+        // the property.
+        let _ = read_hnsw(&mut buf.as_slice());
+    }
+
+    /// Huge length fields spliced into the element-count position must be
+    /// rejected by the `MAX_*` bounds, not allocated.
+    #[test]
+    fn prop_hostile_hnsw_lengths_rejected(count in (1u64 << 32)..u64::MAX) {
+        let mut buf = hnsw_bytes(8, 5);
+        // Overwrite the first u64 after the 8-byte magic with a hostile
+        // count; whatever field that is, a >4G element claim must die in
+        // validation before any `with_capacity`.
+        buf[8..16].copy_from_slice(&count.to_le_bytes());
+        prop_assert!(read_hnsw(&mut buf.as_slice()).is_err());
+    }
+
+    /// Every strict prefix of a committed `TSFMCAT1` manifest makes
+    /// `Catalog::open` fail with a typed error — never a panic.
+    #[test]
+    fn prop_truncated_manifest_is_typed_error(tables in 1usize..6, frac in 0.0f64..1.0) {
+        let bytes = manifest_bytes(tables);
+        let cut = ((bytes.len() - 1) as f64 * frac) as usize;
+        match open_with_manifest(&bytes[..cut]) {
+            Err(StoreError::Corrupt { format, .. }) => prop_assert_eq!(format, "TSFMCAT1"),
+            Err(StoreError::Io(_)) => {} // zero-length file reads as io
+            Err(other) => prop_assert!(false, "unexpected error: {other:?}"),
+            Ok(_) => prop_assert!(false, "truncated manifest opened"),
+        }
+    }
+
+    /// A garbled manifest byte either leaves the catalog readable or is a
+    /// typed error; `Catalog::open` survives either way.
+    #[test]
+    fn prop_garbled_manifest_never_panics(tables in 1usize..6, pos_frac in 0.0f64..1.0, bit in 0u8..8) {
+        let mut bytes = manifest_bytes(tables);
+        let pos = ((bytes.len() - 1) as f64 * pos_frac) as usize;
+        bytes[pos] ^= 1 << bit;
+        let _ = open_with_manifest(&bytes);
+    }
+}

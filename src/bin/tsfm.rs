@@ -13,19 +13,23 @@
 //! unchanged directory is a no-op (content hashes match); the first query
 //! after any change rebuilds the ANN indexes and caches them on disk.
 //!
-//! `serve` takes one immutable [`Searcher`] snapshot at startup and hands
-//! a clone to a worker thread per connection — the snapshot is `Send +
-//! Sync`, so connections query concurrently without locks. The wire
-//! protocol (one JSON request per line, one JSON response line back) is
-//! documented in `tsfm_store::wire`.
+//! `serve` runs the bounded-concurrency frontend from
+//! `tsfm_store::serve`: a fixed worker pool with accept-queue shedding,
+//! per-connection idle/read/write timeouts, a request-line length cap,
+//! pipelining, graceful shutdown, and a `{"op":"stats"}` ops verb. A
+//! watcher thread polls the catalog manifest and hot-swaps in a fresh
+//! [`Searcher`](tabsketchfm::store::Searcher) snapshot when another
+//! process ingests new tables — in-flight queries keep the snapshot they
+//! started with. The wire protocol (one JSON request per line, one JSON
+//! response line back) is documented in `tsfm_store::wire`.
 
-use std::io::{BufRead, BufReader, BufWriter, Write};
-use std::net::{TcpListener, TcpStream};
+use std::io::Write;
 use std::path::Path;
 use std::process::ExitCode;
+use std::time::Duration;
 use tabsketchfm::store::{
-    wire, Catalog, DiscoveryRequest, DiscoveryResponse, QueryMode, Searcher, ServeRequest,
-    StoreResult,
+    wire, Catalog, DiscoveryRequest, DiscoveryResponse, QueryMode, ServeConfig, Server,
+    ServerHandle,
 };
 use tabsketchfm::table::csv;
 
@@ -33,7 +37,9 @@ const USAGE: &str = "usage:
   tsfm ingest <catalog-dir> <csv-dir> [--threads N]
   tsfm query  <catalog-dir> <query.csv> [--mode join|union|subset] [--k N]
               [--min-score S] [--json] [--explain]
-  tsfm serve  <catalog-dir> [--port N] [--host H]
+  tsfm serve  <catalog-dir> [--port N] [--host H] [--max-conns N]
+              [--idle-timeout-ms N] [--read-timeout-ms N]
+              [--write-timeout-ms N] [--max-line-bytes N] [--reload-ms N]
   tsfm stats  <catalog-dir>";
 
 fn main() -> ExitCode {
@@ -214,7 +220,14 @@ fn print_response_human(resp: &DiscoveryResponse, query_cols: usize) {
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     let (mut port, mut host) = (7474u16, "127.0.0.1".to_string());
+    let mut cfg = ServeConfig::default();
+    let mut reload_ms = 2000u64;
     let mut positional = Vec::new();
+    // Millisecond / count flags share one parse shape.
+    fn num(it: &mut std::slice::Iter<'_, String>, name: &str) -> Result<u64, String> {
+        let v = it.next().ok_or(format!("{name} needs a value"))?;
+        v.parse().map_err(|_| format!("invalid {name} {v:?}"))
+    }
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -225,6 +238,21 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             "--host" => {
                 host = it.next().ok_or("--host needs a value")?.clone();
             }
+            "--max-conns" => {
+                cfg.max_connections = num(&mut it, "--max-conns")? as usize;
+                cfg.pending_capacity = cfg.max_connections;
+            }
+            "--idle-timeout-ms" => {
+                cfg.idle_timeout = Duration::from_millis(num(&mut it, "--idle-timeout-ms")?)
+            }
+            "--read-timeout-ms" => {
+                cfg.read_timeout = Duration::from_millis(num(&mut it, "--read-timeout-ms")?)
+            }
+            "--write-timeout-ms" => {
+                cfg.write_timeout = Duration::from_millis(num(&mut it, "--write-timeout-ms")?)
+            }
+            "--max-line-bytes" => cfg.max_line_bytes = num(&mut it, "--max-line-bytes")? as usize,
+            "--reload-ms" => reload_ms = num(&mut it, "--reload-ms")?,
             _ => positional.push(a.clone()),
         }
     }
@@ -236,64 +264,64 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     // Pay the index build once, up front, before accepting traffic.
     let searcher = cat.searcher().map_err(|e| format!("open index: {e}"))?;
     cat.commit().map_err(|e| format!("commit: {e}"))?;
+    let manifest = cat.manifest_path();
+    drop(cat);
 
-    let listener =
-        TcpListener::bind((host.as_str(), port)).map_err(|e| format!("bind {host}:{port}: {e}"))?;
-    let addr = listener.local_addr().map_err(|e| e.to_string())?;
+    let tables = searcher.len();
+    let server = Server::bind((host.as_str(), port), searcher, cfg)
+        .map_err(|e| format!("bind {host}:{port}: {e}"))?;
+    let addr = server.local_addr();
     // Tests and scripts parse this line for the actual port (`--port 0`
     // binds an ephemeral one).
-    println!("tsfm: serving {} tables on {addr}", searcher.len());
+    println!("tsfm: serving {tables} tables on {addr}");
     std::io::stdout().flush().ok();
 
-    for stream in listener.incoming() {
-        match stream {
-            Ok(stream) => {
-                // Each connection gets its own worker thread over a clone
-                // of the shared snapshot (two Arc bumps, no locks).
-                let searcher = searcher.clone();
-                std::thread::spawn(move || serve_connection(stream, searcher));
-            }
-            Err(e) => eprintln!("tsfm: accept failed: {e}"),
-        }
+    // Hot reload: poll the manifest for mutations committed by another
+    // process (`tsfm ingest` against the same directory) and swap a fresh
+    // snapshot in without dropping in-flight queries. `--reload-ms 0`
+    // disables the watcher.
+    if reload_ms > 0 {
+        let handle = server.handle();
+        let dir = catalog_dir.clone();
+        std::thread::spawn(move || watch_manifest(&handle, &dir, &manifest, reload_ms));
     }
-    Ok(())
+
+    server.run().map_err(|e| format!("serve: {e}"))
 }
 
-/// One connection: read JSONL requests until EOF, answer each with one
-/// JSON line. Request-level failures are answered (typed through
-/// `wire::error_json`), never fatal to the connection or the server.
-fn serve_connection(stream: TcpStream, searcher: Searcher) {
-    let Ok(read_half) = stream.try_clone() else {
-        return;
+/// Detached watcher: on every manifest mtime/len change, rebuild a
+/// snapshot and hot-swap it into the running server. Rebuild failures are
+/// logged and retried on the next change — the server keeps answering
+/// from the snapshot it has.
+fn watch_manifest(handle: &ServerHandle, catalog_dir: &str, manifest: &Path, reload_ms: u64) {
+    let stat = |p: &Path| {
+        std::fs::metadata(p)
+            .ok()
+            .map(|m| (m.len(), m.modified().ok()))
     };
-    let reader = BufReader::new(read_half);
-    let mut writer = BufWriter::new(stream);
-    for line in reader.lines() {
-        let Ok(line) = line else {
-            break;
-        };
-        if line.trim().is_empty() {
+    let mut last = stat(manifest);
+    loop {
+        std::thread::sleep(Duration::from_millis(reload_ms));
+        let now = stat(manifest);
+        if now == last {
             continue;
         }
-        let reply = match handle_request(&searcher, &line) {
-            Ok(resp) => wire::response_json(&resp),
-            Err(e) => wire::error_json(&e),
-        };
-        if writeln!(writer, "{reply}").and_then(|_| writer.flush()).is_err() {
-            break; // peer went away mid-reply
+        match Catalog::open(catalog_dir).and_then(|mut cat| {
+            let s = cat.searcher()?;
+            cat.commit()?;
+            Ok(s)
+        }) {
+            Ok(fresh) => {
+                let tables = fresh.len();
+                let generation = handle.swap_searcher(fresh);
+                eprintln!("tsfm: reloaded catalog ({tables} tables, reload #{generation})");
+                last = stat(manifest);
+            }
+            Err(e) => {
+                eprintln!("tsfm: catalog reload failed (still serving old snapshot): {e}");
+                // Leave `last` as-is so the next poll retries.
+            }
         }
-    }
-}
-
-fn handle_request(searcher: &Searcher, line: &str) -> StoreResult<DiscoveryResponse> {
-    let req = ServeRequest::parse_line(line)?;
-    match (&req.csv, &req.id) {
-        (Some(text), _) => {
-            let table = csv::table_from_csv(&req.query_id, &req.query_id, text);
-            searcher.search_table(&table, &req.request)
-        }
-        (None, Some(id)) => searcher.search_id(id, &req.request),
-        (None, None) => unreachable!("ServeRequest::parse_line requires csv or id"),
     }
 }
 

@@ -1,0 +1,290 @@
+//! Hostile-client acceptance tests for the hardened serve frontend: a
+//! real `tsfm serve` process must survive slowloris trickling, oversized
+//! request lines, abrupt mid-exchange disconnects, and hundreds of
+//! sequential connections — with thread and FD counts bounded by
+//! `--max-conns`, typed error replies where a reply is possible, and the
+//! `stats` verb accounting for everything afterwards.
+
+use std::fs;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+use tabsketchfm::store::{wire, Catalog};
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tsfm_harden_{tag}_{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// An ingested catalog over the shared 3-table fixture lake.
+fn fixture_catalog(tag: &str) -> PathBuf {
+    let cat_dir = tmp_dir(tag);
+    let mut cat = Catalog::open(&cat_dir).unwrap();
+    cat.ingest_dir("tests/fixtures/lake").unwrap();
+    assert_eq!(cat.len(), 3);
+    cat_dir
+}
+
+struct ServerGuard(Child);
+
+impl Drop for ServerGuard {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+impl ServerGuard {
+    fn assert_alive(&mut self, context: &str) {
+        assert!(
+            self.0.try_wait().expect("try_wait").is_none(),
+            "server process died: {context}"
+        );
+    }
+}
+
+/// Spawn `tsfm serve` with hardening flags tuned for fast tests; returns
+/// the guard and the ephemeral address parsed from the banner.
+fn spawn_hardened(cat_dir: &Path, extra: &[&str]) -> (ServerGuard, String) {
+    let bin = env!("CARGO_BIN_EXE_tsfm");
+    let mut cmd = Command::new(bin);
+    cmd.args(["serve", cat_dir.to_str().unwrap(), "--port", "0"]);
+    cmd.args(extra);
+    let mut child =
+        cmd.stdout(Stdio::piped()).stderr(Stdio::null()).spawn().expect("spawn tsfm serve");
+    let mut line = String::new();
+    BufReader::new(child.stdout.as_mut().unwrap()).read_line(&mut line).unwrap();
+    assert!(line.contains("tsfm: serving"), "unexpected banner: {line:?}");
+    let addr = line.rsplit(" on ").next().map(str::trim).unwrap_or_default().to_string();
+    (ServerGuard(child), addr)
+}
+
+fn connect(addr: &str) -> (TcpStream, BufReader<TcpStream>) {
+    let stream = TcpStream::connect(addr).unwrap_or_else(|e| panic!("connect {addr}: {e}"));
+    let reader = BufReader::new(stream.try_clone().unwrap());
+    (stream, reader)
+}
+
+fn roundtrip(w: &mut TcpStream, r: &mut BufReader<TcpStream>, req: &str) -> wire::Json {
+    writeln!(w, "{req}").unwrap();
+    w.flush().unwrap();
+    let mut line = String::new();
+    r.read_line(&mut line).unwrap();
+    wire::parse_json(line.trim()).unwrap_or_else(|e| panic!("bad reply {line:?}: {e}"))
+}
+
+/// `Threads:` from `/proc/<pid>/status` — the real count, panics included.
+fn thread_count(pid: u32) -> usize {
+    let status = fs::read_to_string(format!("/proc/{pid}/status")).expect("proc status");
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+        .expect("Threads: line")
+}
+
+fn fd_count(pid: u32) -> usize {
+    fs::read_dir(format!("/proc/{pid}/fd")).expect("proc fd").count()
+}
+
+#[test]
+fn oversized_line_gets_typed_reply_then_close() {
+    let cat_dir = fixture_catalog("oversize");
+    let (mut guard, addr) = spawn_hardened(&cat_dir, &["--max-line-bytes", "4096"]);
+
+    let (mut w, mut r) = connect(&addr);
+    // 64 KiB with no newline: 16x over the cap.
+    w.write_all(&vec![b'{'; 64 * 1024]).unwrap();
+    w.flush().unwrap();
+    let mut line = String::new();
+    r.read_line(&mut line).unwrap();
+    let v = wire::parse_json(line.trim()).unwrap();
+    assert_eq!(v.get("error").unwrap().get("kind").unwrap().as_str(), Some("invalid_request"));
+    assert_eq!(v.get("client").unwrap().as_bool(), Some(true));
+    // The connection is closed afterwards — a mid-line client cannot be
+    // resynchronized.
+    let mut rest = String::new();
+    r.read_to_string(&mut rest).unwrap();
+    assert!(rest.is_empty(), "expected close after overlong-line reply, got {rest:?}");
+
+    // And the server is still fine for everyone else.
+    let (mut w2, mut r2) = connect(&addr);
+    let v = roundtrip(&mut w2, &mut r2, r#"{"mode":"join","k":2,"id":"cities"}"#);
+    assert!(v.get("hits").is_some());
+    guard.assert_alive("after oversized line");
+}
+
+#[test]
+fn slowloris_is_cut_while_healthy_clients_are_served() {
+    let cat_dir = fixture_catalog("loris");
+    let (mut guard, addr) =
+        spawn_hardened(&cat_dir, &["--read-timeout-ms", "500", "--idle-timeout-ms", "10000"]);
+
+    let (mut w, _r) = connect(&addr);
+    let t0 = Instant::now();
+    // Trickle bytes with no newline; the absolute per-line deadline must
+    // cut the connection even though bytes keep arriving.
+    let mut cut = false;
+    while t0.elapsed() < Duration::from_secs(8) {
+        if w.write_all(b"x").and_then(|()| w.flush()).is_err() {
+            cut = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    assert!(cut, "slowloris connection was never cut");
+    assert!(t0.elapsed() >= Duration::from_millis(400), "cut too early: {:?}", t0.elapsed());
+
+    // A healthy client connected during/after the attack is served.
+    let (mut w2, mut r2) = connect(&addr);
+    let v = roundtrip(&mut w2, &mut r2, r#"{"mode":"union","k":2,"id":"cities"}"#);
+    assert!(v.get("hits").is_some());
+    guard.assert_alive("after slowloris");
+}
+
+#[test]
+fn abrupt_disconnects_never_kill_the_server() {
+    let cat_dir = fixture_catalog("abrupt");
+    let (mut guard, addr) = spawn_hardened(&cat_dir, &[]);
+
+    for i in 0..20 {
+        // Send a complete request and vanish without reading the reply.
+        let (mut w, _r) = connect(&addr);
+        writeln!(w, r#"{{"mode":"join","k":5,"id":"cities"}}"#).unwrap();
+        w.flush().unwrap();
+        drop(w);
+        // Send a torn-off partial line and vanish.
+        let (mut w, _r) = connect(&addr);
+        w.write_all(b"{\"mode\":\"jo").unwrap();
+        w.flush().unwrap();
+        drop(w);
+        if i % 5 == 0 {
+            guard.assert_alive(&format!("after {} abrupt disconnects", 2 * (i + 1)));
+        }
+    }
+
+    let (mut w, mut r) = connect(&addr);
+    let v = roundtrip(&mut w, &mut r, r#"{"mode":"join","k":2,"id":"cities"}"#);
+    assert!(v.get("hits").is_some());
+    guard.assert_alive("after abrupt-disconnect storm");
+}
+
+/// The headline bound: 600 sequential connections through a small pool,
+/// threads and FDs stay capped, and the `stats` verb accounts for all of
+/// it afterwards.
+#[test]
+fn six_hundred_connections_bounded_threads_and_fds() {
+    let cat_dir = fixture_catalog("sixhundred");
+    let (mut guard, addr) = spawn_hardened(&cat_dir, &["--max-conns", "8"]);
+    let pid = guard.0.id();
+
+    let mut peak_threads = 0usize;
+    let mut peak_fds = 0usize;
+    for i in 0..600 {
+        let (mut w, mut r) = connect(&addr);
+        let v = roundtrip(&mut w, &mut r, r#"{"mode":"join","k":3,"id":"cities"}"#);
+        assert!(v.get("hits").is_some(), "request {i} failed: {v:?}");
+        if i % 37 == 0 {
+            peak_threads = peak_threads.max(thread_count(pid));
+            peak_fds = peak_fds.max(fd_count(pid));
+        }
+    }
+    peak_threads = peak_threads.max(thread_count(pid));
+    peak_fds = peak_fds.max(fd_count(pid));
+
+    // Main + acceptor + reload watcher + ≤ 8 workers, with headroom for
+    // runtime helpers: nowhere near the 600 a thread-per-connection
+    // server would have spawned.
+    assert!(peak_threads <= 16, "thread count unbounded: peak {peak_threads}");
+    // stdio + listener + at most a few in-flight sockets.
+    assert!(peak_fds <= 64, "fd count unbounded: peak {peak_fds}");
+
+    let (mut w, mut r) = connect(&addr);
+    let v = roundtrip(&mut w, &mut r, r#"{"op":"stats"}"#);
+    let stats = v.get("stats").expect("stats object");
+    let accepted = stats
+        .get("connections")
+        .and_then(|c| c.get("accepted"))
+        .and_then(|v| v.as_f64())
+        .unwrap();
+    let ok = stats.get("requests").and_then(|q| q.get("ok")).and_then(|v| v.as_f64()).unwrap();
+    assert!(accepted >= 601.0, "accepted {accepted}");
+    assert!(ok >= 600.0, "ok {ok}");
+    guard.assert_alive("after 600 connections");
+}
+
+#[test]
+fn saturated_pool_sheds_with_unavailable_reply() {
+    let cat_dir = fixture_catalog("shed");
+    // One worker, pending queue of one (pending follows --max-conns).
+    let (mut guard, addr) = spawn_hardened(&cat_dir, &["--max-conns", "1"]);
+
+    // Occupy the only worker with a proven-live connection.
+    let (mut w1, mut r1) = connect(&addr);
+    let v = roundtrip(&mut w1, &mut r1, r#"{"mode":"join","k":2,"id":"cities"}"#);
+    assert!(v.get("hits").is_some());
+
+    // Fill the pending queue.
+    let (_w2, _r2) = connect(&addr);
+    std::thread::sleep(Duration::from_millis(300));
+
+    // The next connection must be refused with a parseable line, fast.
+    let (_w3, mut r3) = connect(&addr);
+    let mut line = String::new();
+    r3.read_line(&mut line).unwrap();
+    let v = wire::parse_json(line.trim()).unwrap_or_else(|e| panic!("{line:?}: {e}"));
+    assert_eq!(v.get("error").unwrap().get("kind").unwrap().as_str(), Some("unavailable"));
+    assert_eq!(v.get("client").unwrap().as_bool(), Some(false));
+
+    // The served connection never noticed.
+    let v = roundtrip(&mut w1, &mut r1, r#"{"op":"stats"}"#);
+    assert!(v.get("stats").unwrap().get("connections").unwrap().get("shed").unwrap().as_f64()
+        >= Some(1.0));
+    guard.assert_alive("after shedding");
+}
+
+#[test]
+fn manifest_watcher_hot_swaps_new_tables() {
+    let cat_dir = fixture_catalog("reload");
+    let (mut guard, addr) = spawn_hardened(&cat_dir, &["--reload-ms", "150"]);
+
+    let (mut w, mut r) = connect(&addr);
+    let v = roundtrip(&mut w, &mut r, r#"{"op":"stats"}"#);
+    assert_eq!(v.get("stats").unwrap().get("tables").unwrap().as_f64(), Some(3.0));
+
+    // Another process ingests a fourth table into the same catalog.
+    let extra_dir = tmp_dir("reload_extra");
+    fs::write(
+        extra_dir.join("harbors.csv"),
+        "harbor,depth_m\nTrieste,18\nRotterdam,24\nSingapore,20\n",
+    )
+    .unwrap();
+    let status = Command::new(env!("CARGO_BIN_EXE_tsfm"))
+        .args(["ingest", cat_dir.to_str().unwrap(), extra_dir.to_str().unwrap()])
+        .status()
+        .expect("run tsfm ingest");
+    assert!(status.success());
+
+    // The watcher must swap the bigger snapshot in without this
+    // connection ever reconnecting.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let v = roundtrip(&mut w, &mut r, r#"{"op":"stats"}"#);
+        let stats = v.get("stats").unwrap();
+        if stats.get("tables").unwrap().as_f64() == Some(4.0) {
+            assert!(stats.get("reloads").unwrap().as_f64() >= Some(1.0));
+            break;
+        }
+        assert!(Instant::now() < deadline, "hot reload never happened: {v:?}");
+        std::thread::sleep(Duration::from_millis(150));
+    }
+
+    // And the new table is queryable.
+    let v = roundtrip(&mut w, &mut r, r#"{"mode":"join","k":4,"id":"harbors"}"#);
+    assert!(v.get("hits").is_some(), "{v:?}");
+    guard.assert_alive("after hot reload");
+}

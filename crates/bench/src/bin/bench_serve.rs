@@ -26,7 +26,15 @@
 //! approximations — the server's own histogram is cross-checked via the
 //! `stats` verb at the end.
 //!
-//! The emitted JSON is validated by re-parsing it with the store's own
+//! After the ladder, one extra single-connection section measures a fixed
+//! request count with `tsfm_obs` tracing disabled (the shipping default)
+//! vs. enabled — the server runs in-process, so flipping the global trace
+//! switch covers its worker threads — making the cost of turning tracing
+//! on a tracked number instead of an assertion.
+//!
+//! The emitted JSON carries a `meta` object (schema version, host core
+//! count, git commit) so numbers from different hosts aren't silently
+//! compared, and is validated by re-parsing it with the store's own
 //! `wire::parse_json` before the process exits, so CI can trust the file.
 
 use std::io::{BufRead, BufReader, Write};
@@ -183,6 +191,44 @@ fn run_level(
     })
 }
 
+/// One connection, `count` sequential requests, returning q/s. Used for
+/// the tracing off-vs-on comparison where exact pacing matters more than
+/// concurrency.
+fn timed_requests(
+    addr: std::net::SocketAddr,
+    ids: &[String],
+    count: usize,
+) -> Result<f64, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| format!("clone: {e}"))?);
+    let mut writer = stream;
+    let mut line = String::new();
+    let mut roundtrip = |req: &str, line: &mut String| -> Result<(), String> {
+        writer
+            .write_all(req.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .map_err(|e| format!("send: {e}"))?;
+        line.clear();
+        reader.read_line(line).map_err(|e| format!("recv: {e}"))?;
+        if line.is_empty() {
+            return Err("server closed the connection".into());
+        }
+        if line.contains("\"error\"") {
+            return Err(format!("error reply: {}", line.trim()));
+        }
+        Ok(())
+    };
+    // One unrecorded warm-up so connect cost stays out of the window.
+    roundtrip(&format!("{{\"mode\":\"join\",\"k\":10,\"id\":\"{}\"}}", ids[0]), &mut line)?;
+    let t0 = Instant::now();
+    for i in 0..count {
+        let req = format!("{{\"mode\":\"join\",\"k\":10,\"id\":\"{}\"}}", ids[i % ids.len()]);
+        roundtrip(&req, &mut line)?;
+    }
+    Ok(count as f64 / t0.elapsed().as_secs_f64())
+}
+
 fn fresh_dir() -> PathBuf {
     let dir = std::env::temp_dir().join(format!("tsfm_bench_serve_{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
@@ -255,6 +301,22 @@ fn main() -> Result<(), String> {
     }
     drop((reader, writer));
 
+    // Tracing overhead on the full wire path: a fixed request count with
+    // the global trace switch off, then on. The server is in-process, so
+    // enable() covers its worker threads; drain() afterwards frees the
+    // buffered spans.
+    const TRACE_REQUESTS: usize = 512;
+    let trace_off = timed_requests(addr, &ids, TRACE_REQUESTS)?;
+    tsfm_obs::trace::enable();
+    let trace_on = timed_requests(addr, &ids, TRACE_REQUESTS)?;
+    tsfm_obs::trace::disable();
+    let spans = tsfm_obs::trace::drain().len();
+    let trace_overhead_pct = (trace_off - trace_on) / trace_off * 100.0;
+    eprintln!(
+        "bench_serve: tracing {trace_off:>8.0} q/s off, {trace_on:>8.0} q/s on \
+         ({trace_overhead_pct:+.2}% when enabled, {spans} spans)"
+    );
+
     handle.shutdown();
     server_join.join().map_err(|_| "server panicked")?.map_err(|e| e.to_string())?;
     let _ = std::fs::remove_dir_all(&dir);
@@ -270,7 +332,10 @@ fn main() -> Result<(), String> {
         })
         .collect();
     let json = format!(
-        "{{\"n\":{n},\"duration_ms\":{},\"levels\":[{}]}}",
+        "{{\"meta\":{},\"n\":{n},\"duration_ms\":{},\"levels\":[{}],\
+         \"tracing\":{{\"off_qps\":{trace_off:.1},\"on_qps\":{trace_on:.1},\
+         \"on_overhead_pct\":{trace_overhead_pct:.2}}}}}",
+        tsfm_bench::bench_meta_json(),
         args.duration.as_millis(),
         levels_json.join(",")
     );

@@ -25,9 +25,15 @@
 //! * **ingest** — fresh-catalog ingest (sketch + segment write + manifest);
 //! * **index** — cold ANN index build over the ingested corpus;
 //! * **query** — serial single-query latency (p50/p95 µs);
-//! * **batch** — `search_batch` fan-out throughput vs. the serial loop.
+//! * **batch** — `search_batch` fan-out throughput vs. the serial loop;
+//! * **tracing** — the serial query loop with `tsfm_obs` tracing disabled
+//!   (the shipping default: one relaxed atomic load per span site) vs.
+//!   enabled, so the overhead of turning tracing on is a measured row
+//!   rather than an assertion. All other sections run with tracing off.
 //!
-//! The emitted JSON is validated by re-parsing it with the store's own
+//! The emitted JSON carries a `meta` object (schema version, host core
+//! count, git commit) so numbers from different hosts aren't silently
+//! compared, and is validated by re-parsing it with the store's own
 //! `wire::parse_json` before the process exits, so CI can trust the file.
 
 use std::path::PathBuf;
@@ -118,6 +124,8 @@ fn main() -> Result<(), String> {
     let mut m_p95 = Vec::new();
     let mut m_serial = Vec::new();
     let mut m_batch = Vec::new();
+    let mut m_trace_off = Vec::new();
+    let mut m_trace_on = Vec::new();
 
     for run in 0..args.runs {
         // Pure sketching throughput (no persistence).
@@ -181,16 +189,48 @@ fn main() -> Result<(), String> {
             batch_rate / serial_rate
         );
 
+        // Tracing overhead: the same serial loop, once with tracing off
+        // (re-measured so both sides share warm caches) and once with it
+        // on. Several passes so the window isn't a handful of queries.
+        let passes = (256 / sketches.len()).max(1);
+        let timed_loop = |searcher: &tsfm_store::Searcher| -> Result<f64, String> {
+            let t0 = Instant::now();
+            for _ in 0..passes {
+                for s in &sketches {
+                    searcher.search_sketch(s, &req).map_err(|e| e.to_string())?;
+                }
+            }
+            Ok((passes * sketches.len()) as f64 / t0.elapsed().as_secs_f64())
+        };
+        let off_rate = timed_loop(&searcher)?;
+        tsfm_obs::trace::enable();
+        let on_rate = timed_loop(&searcher)?;
+        tsfm_obs::trace::disable();
+        let spans = tsfm_obs::trace::drain().len();
+        m_trace_off.push(off_rate);
+        m_trace_on.push(on_rate);
+        eprintln!(
+            "bench_store[{run}]: tracing {off_rate:>9.0} q/s off, {on_rate:>9.0} q/s on \
+             ({:+.2}% when enabled, {spans} spans)",
+            (off_rate - on_rate) / off_rate * 100.0
+        );
+
         drop(searcher);
         drop(cat);
         let _ = std::fs::remove_dir_all(&dir);
     }
 
+    let trace_off = median(&mut m_trace_off);
+    let trace_on = median(&mut m_trace_on);
     let json = format!(
-        "{{\"n\":{n},\"queries\":{},\"threads\":{},\"runs\":{},\
+        "{{\"meta\":{},\"n\":{n},\"queries\":{},\"threads\":{},\"runs\":{},\
          \"sketch_tables_per_s\":{:.1},\"ingest_tables_per_s\":{:.1},\
          \"index_build_ms\":{:.1},\"query_p50_us\":{:.1},\"query_p95_us\":{:.1},\
-         \"serial_batch_queries_per_s\":{:.1},\"batch_queries_per_s\":{:.1}}}",
+         \"serial_batch_queries_per_s\":{:.1},\"batch_queries_per_s\":{:.1},\
+         \"tracing\":{{\"off_queries_per_s\":{trace_off:.1},\
+         \"on_queries_per_s\":{trace_on:.1},\
+         \"on_overhead_pct\":{:.2}}}}}",
+        tsfm_bench::bench_meta_json(),
         args.queries,
         args.threads,
         args.runs,
@@ -201,6 +241,7 @@ fn main() -> Result<(), String> {
         median(&mut m_p95),
         median(&mut m_serial),
         median(&mut m_batch),
+        (trace_off - trace_on) / trace_off * 100.0,
     );
     // The file must be trustworthy for CI and cross-PR tracking: re-parse
     // it with the store's own JSON parser before declaring success.

@@ -1,0 +1,45 @@
+//! `tsfm_obs` — std-only observability for the tsfm workspace.
+//!
+//! This crate sits at the very bottom of the dependency graph (it depends
+//! on nothing, not even the other tsfm crates) so that every layer —
+//! sketching, the HNSW index, the persistent store, the serve frontend,
+//! the CLI — can instrument itself without cycles. crates.io is
+//! unreachable in this environment, so everything is hand-rolled on
+//! `std`, in the same spirit as the hand-rolled JSON in `tsfm_store`.
+//!
+//! Three independent facilities:
+//!
+//! * [`trace`] — structured tracing spans. `let _g = span!("stage");`
+//!   costs one relaxed atomic load when tracing is disabled and roughly
+//!   two `Instant::now()` calls when enabled. Completed spans land in
+//!   bounded per-thread buffers (recording never takes a shared lock)
+//!   and export as Chrome `trace_event` JSON that loads straight into
+//!   `chrome://tracing` / Perfetto.
+//! * [`metrics`] — a global registry of named counters, gauges, and
+//!   log-bucketed latency histograms (the generalization of what used to
+//!   be `tsfm_store::metrics::LatencyHistogram`). Recording is plain
+//!   relaxed atomics; the registry renders Prometheus text exposition.
+//! * [`slowlog`] — a bounded, always-sorted log of the slowest
+//!   operations with their per-stage breakdowns, behind an atomic
+//!   admission floor so fast requests pay one relaxed load.
+
+pub mod metrics;
+pub mod slowlog;
+pub mod trace;
+
+pub use metrics::{Counter, Gauge, Histogram, Registry};
+pub use slowlog::{SlowEntry, Slowlog};
+pub use trace::{Span, SpanRecord};
+
+/// RAII tracing guard: `let _g = tsfm_obs::span!("query.join");`.
+///
+/// Near-free when tracing is disabled (a single relaxed atomic load);
+/// when enabled, the guard stamps `Instant::now()` on entry and records
+/// a completed [`trace::SpanRecord`] on drop. Bind it to a named `_g` —
+/// a bare `_` drops immediately and times nothing.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::trace::Span::enter($name)
+    };
+}

@@ -1,0 +1,471 @@
+//! A global registry of named instruments — counters, gauges, and
+//! log-bucketed latency histograms — with Prometheus text exposition.
+//!
+//! Recording is plain relaxed atomics: once a call site holds its
+//! `Arc<Counter>` (usually cached in a `OnceLock`), bumping it costs one
+//! `fetch_add`, with no lock and no registry lookup. The registry's
+//! `RwLock` is only taken to register a new name or render exposition.
+//!
+//! [`Histogram`] is the generalization of what used to be
+//! `tsfm_store::metrics::LatencyHistogram` (the store re-exports it
+//! under that name): any crate can now register latency distributions
+//! without depending on the store.
+//!
+//! ## Histogram shape
+//!
+//! Values are recorded in whole microseconds. Values below 64µs get one
+//! bucket each (exact); above that, buckets are logarithmic with 32
+//! sub-buckets per power of two, so the relative quantization error of a
+//! reported percentile is bounded by ~3%. Values are clamped to ~2^40µs
+//! (≈13 days), far beyond any plausible request latency.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// Exact buckets for 0..LINEAR_MAX µs.
+const LINEAR_MAX: u64 = 64;
+/// log2(LINEAR_MAX): first exponent handled logarithmically.
+const LINEAR_EXP: u32 = 6;
+/// Sub-buckets per power of two in the logarithmic range.
+const SUBS: u64 = 32;
+const SUB_BITS: u32 = 5;
+/// Largest exponent tracked; larger values clamp into the last bucket.
+const MAX_EXP: u32 = 40;
+const NUM_BUCKETS: usize =
+    LINEAR_MAX as usize + ((MAX_EXP - LINEAR_EXP) as usize + 1) * SUBS as usize;
+
+/// A monotonically increasing event count. Wait-free from any thread.
+#[derive(Default)]
+pub struct Counter {
+    v: AtomicU64,
+}
+
+impl Counter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.v.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.v.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed point-in-time value (queue depths, resident counts).
+#[derive(Default)]
+pub struct Gauge {
+    v: AtomicI64,
+}
+
+impl Gauge {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.v.store(v, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.v.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.v.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-size, lock-free log-bucketed histogram of microsecond
+/// values. `record` is wait-free (two relaxed increments and a
+/// `fetch_max`); percentile extraction walks the bucket array.
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Self {
+            buckets: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    fn bucket_index(micros: u64) -> usize {
+        if micros < LINEAR_MAX {
+            return micros as usize;
+        }
+        let exp = (63 - micros.leading_zeros()).min(MAX_EXP);
+        let sub = if exp >= MAX_EXP {
+            SUBS - 1 // clamp: everything past 2^40µs lands in the top bucket
+        } else {
+            (micros >> (exp - SUB_BITS)) & (SUBS - 1)
+        };
+        LINEAR_MAX as usize + ((exp - LINEAR_EXP) as usize) * SUBS as usize + sub as usize
+    }
+
+    /// Lower edge of a bucket — what `percentile` reports. Reporting the
+    /// lower edge (not the midpoint) keeps sub-64µs percentiles exact and
+    /// never over-states a latency.
+    fn bucket_floor(index: usize) -> u64 {
+        if index < LINEAR_MAX as usize {
+            return index as u64;
+        }
+        let b = index - LINEAR_MAX as usize;
+        let exp = LINEAR_EXP + (b / SUBS as usize) as u32;
+        let sub = (b % SUBS as usize) as u64;
+        (1u64 << exp) + (sub << (exp - SUB_BITS))
+    }
+
+    /// Record one value. Wait-free; safe from any thread.
+    pub fn record(&self, micros: u64) {
+        self.buckets[Self::bucket_index(micros)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(micros, Ordering::Relaxed);
+        self.max.fetch_max(micros, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded values (µs).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Mean value in µs (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) in µs, or 0 when empty. Reported
+    /// from bucket lower edges: exact below 64µs, within ~3% above.
+    pub fn percentile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        // Rank of the percentile observation, 1-based, clamped to [1, n].
+        let target = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                return Self::bucket_floor(i);
+            }
+        }
+        // Writers raced past the count we loaded; the max is the honest
+        // answer for "the highest latency seen".
+        self.max()
+    }
+}
+
+enum Instrument {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Instrument {
+    fn kind(&self) -> &'static str {
+        match self {
+            Instrument::Counter(_) => "counter",
+            Instrument::Gauge(_) => "gauge",
+            Instrument::Histogram(_) => "histogram",
+        }
+    }
+}
+
+struct Entry {
+    help: String,
+    inst: Instrument,
+}
+
+/// A named-instrument registry. Most code uses the process-wide
+/// [`global`] registry; a fresh `Registry` is useful in tests.
+///
+/// `counter`/`gauge`/`histogram` are get-or-register: the first call for
+/// a name creates the instrument, later calls (from any thread) return
+/// the same one. Asking for an existing name as a *different* kind is a
+/// programmer error and panics.
+#[derive(Default)]
+pub struct Registry {
+    inner: RwLock<BTreeMap<String, Entry>>,
+}
+
+/// The process-wide registry every tsfm crate records into.
+pub fn global() -> &'static Registry {
+    static R: OnceLock<Registry> = OnceLock::new();
+    R.get_or_init(Registry::default)
+}
+
+/// Prometheus metric names: `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn get_or_register<T>(
+        &self,
+        name: &str,
+        help: &str,
+        project: impl Fn(&Instrument) -> Option<Arc<T>>,
+        make: impl FnOnce() -> Instrument,
+    ) -> Arc<T> {
+        assert!(valid_name(name), "invalid metric name {name:?}");
+        let mismatch = |e: &Entry| {
+            panic!("metric {name:?} already registered as a {}", e.inst.kind())
+        };
+        // Fast path: the instrument exists, a read lock suffices.
+        if let Some(e) = self.inner.read().expect("metrics registry").get(name) {
+            return project(&e.inst).unwrap_or_else(|| mismatch(e));
+        }
+        let mut w = self.inner.write().expect("metrics registry");
+        // Re-check under the write lock: another thread may have won the
+        // registration race between our read and write.
+        let e = w
+            .entry(name.to_string())
+            .or_insert_with(|| Entry { help: help.to_string(), inst: make() });
+        project(&e.inst).unwrap_or_else(|| mismatch(e))
+    }
+
+    /// Get or register a counter. `help` is kept from the first
+    /// registration.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        self.get_or_register(
+            name,
+            help,
+            |i| match i {
+                Instrument::Counter(c) => Some(c.clone()),
+                _ => None,
+            },
+            || Instrument::Counter(Arc::new(Counter::new())),
+        )
+    }
+
+    /// Get or register a gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        self.get_or_register(
+            name,
+            help,
+            |i| match i {
+                Instrument::Gauge(g) => Some(g.clone()),
+                _ => None,
+            },
+            || Instrument::Gauge(Arc::new(Gauge::new())),
+        )
+    }
+
+    /// Get or register a latency histogram.
+    pub fn histogram(&self, name: &str, help: &str) -> Arc<Histogram> {
+        self.get_or_register(
+            name,
+            help,
+            |i| match i {
+                Instrument::Histogram(h) => Some(h.clone()),
+                _ => None,
+            },
+            || Instrument::Histogram(Arc::new(Histogram::new())),
+        )
+    }
+
+    /// Registered names, sorted (the registry map is a `BTreeMap`).
+    pub fn names(&self) -> Vec<String> {
+        self.inner.read().expect("metrics registry").keys().cloned().collect()
+    }
+
+    /// Render every instrument as Prometheus text exposition
+    /// (`text/plain; version=0.0.4`). Histograms render as summaries
+    /// (`{quantile="..."}` series plus `_sum`/`_count`), since the
+    /// log-bucket layout already gives ~3%-accurate quantiles
+    /// server-side.
+    pub fn prometheus_text(&self) -> String {
+        let inner = self.inner.read().expect("metrics registry");
+        let mut out = String::new();
+        for (name, e) in inner.iter() {
+            let help = e.help.replace('\\', "\\\\").replace('\n', "\\n");
+            match &e.inst {
+                Instrument::Counter(c) => {
+                    out.push_str(&format!(
+                        "# HELP {name} {help}\n# TYPE {name} counter\n{name} {}\n",
+                        c.get()
+                    ));
+                }
+                Instrument::Gauge(g) => {
+                    out.push_str(&format!(
+                        "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {}\n",
+                        g.get()
+                    ));
+                }
+                Instrument::Histogram(h) => {
+                    out.push_str(&format!(
+                        "# HELP {name} {help}\n# TYPE {name} summary\n"
+                    ));
+                    for (label, q) in [("0.5", 0.5), ("0.95", 0.95), ("0.99", 0.99)] {
+                        out.push_str(&format!(
+                            "{name}{{quantile=\"{label}\"}} {}\n",
+                            h.percentile(q)
+                        ));
+                    }
+                    out.push_str(&format!("{name}_sum {}\n", h.sum()));
+                    out.push_str(&format!("{name}_count {}\n", h.count()));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_cover_the_range_in_order() {
+        // Every representative value maps into a bucket whose floor is
+        // ≤ the value, and bucket indexes are monotone in the value.
+        let mut last = 0usize;
+        for v in (0..200u64).chain([255, 256, 1000, 65_535, 1 << 20, 1 << 35, u64::MAX]) {
+            let i = Histogram::bucket_index(v);
+            assert!(i < NUM_BUCKETS, "v={v} i={i}");
+            assert!(i >= last, "bucket index must not decrease: v={v}");
+            assert!(Histogram::bucket_floor(i) <= v, "floor > value for {v}");
+            last = i;
+        }
+        // Sub-64µs values are exact.
+        for v in 0..LINEAR_MAX {
+            let i = Histogram::bucket_index(v);
+            assert_eq!(Histogram::bucket_floor(i), v);
+        }
+    }
+
+    #[test]
+    fn percentiles_exact_in_linear_range() {
+        let h = Histogram::new();
+        for v in 1..=50u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 50);
+        assert_eq!(h.sum(), 25 * 51);
+        assert_eq!(h.percentile(0.5), 25);
+        assert_eq!(h.percentile(0.02), 1);
+        assert_eq!(h.percentile(1.0), 50);
+        assert_eq!(h.max(), 50);
+        assert!((h.mean() - 25.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentiles_bounded_error_in_log_range() {
+        let h = Histogram::new();
+        // Uniform 1..=100_000 µs: p50 ≈ 50_000, p99 ≈ 99_000.
+        for v in 1..=100_000u64 {
+            h.record(v);
+        }
+        for (q, want) in [(0.5, 50_000.0), (0.95, 95_000.0), (0.99, 99_000.0)] {
+            let got = h.percentile(q) as f64;
+            let rel = (got - want).abs() / want;
+            assert!(rel < 0.04, "q={q}: got {got}, want ~{want} (rel {rel:.3})");
+        }
+        assert_eq!(h.percentile(1.0 / 100_000.0), 1);
+    }
+
+    #[test]
+    fn huge_values_clamp_instead_of_indexing_out_of_bounds() {
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(1 << 50);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), u64::MAX);
+        assert!(h.percentile(0.5) >= 1 << MAX_EXP);
+    }
+
+    #[test]
+    fn registry_get_or_register_returns_the_same_instrument() {
+        let r = Registry::new();
+        let a = r.counter("tsfm_test_total", "a test counter");
+        let b = r.counter("tsfm_test_total", "ignored duplicate help");
+        a.add(3);
+        b.inc();
+        assert_eq!(a.get(), 4, "both handles hit the same counter");
+        assert_eq!(r.names(), vec!["tsfm_test_total".to_string()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn registry_kind_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("tsfm_test_total", "a counter");
+        r.gauge("tsfm_test_total", "now a gauge?");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn registry_rejects_invalid_names() {
+        Registry::new().counter("not a metric name", "spaces are invalid");
+    }
+
+    #[test]
+    fn prometheus_text_renders_every_kind() {
+        let r = Registry::new();
+        r.counter("tsfm_events_total", "events").add(7);
+        r.gauge("tsfm_queue_depth", "queue depth").set(-2);
+        let h = r.histogram("tsfm_latency_us", "latency");
+        h.record(10);
+        h.record(30);
+        let text = r.prometheus_text();
+        assert!(text.contains("# TYPE tsfm_events_total counter\ntsfm_events_total 7\n"));
+        assert!(text.contains("# TYPE tsfm_queue_depth gauge\ntsfm_queue_depth -2\n"));
+        assert!(text.contains("# TYPE tsfm_latency_us summary\n"));
+        assert!(text.contains("tsfm_latency_us{quantile=\"0.5\"} 10\n"));
+        assert!(text.contains("tsfm_latency_us_sum 40\n"));
+        assert!(text.contains("tsfm_latency_us_count 2\n"));
+        // Every non-comment line is `name[{labels}] value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let mut parts = line.rsplitn(2, ' ');
+            let value = parts.next().unwrap();
+            assert!(value.parse::<f64>().is_ok(), "unparseable value in {line:?}");
+            assert!(parts.next().is_some(), "no name in {line:?}");
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! A bounded log of the slowest operations, with per-stage breakdowns.
+//!
+//! The serve frontend records every completed request here; the
+//! `{"op":"slowlog"}` wire verb reports the current contents. The buffer
+//! keeps the `cap` slowest entries seen so far, sorted slowest-first.
+//!
+//! The hot path is [`Slowlog::record`]: once the buffer is full, an
+//! atomic admission floor (the smallest total currently kept) lets
+//! fast requests bail with one relaxed load and no lock — only requests
+//! slow enough to displace an entry pay for the mutex.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// One slow operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlowEntry {
+    /// What ran (for serve: the query id).
+    pub label: String,
+    /// Free-form context (for serve: the query mode).
+    pub detail: String,
+    /// End-to-end duration, microseconds.
+    pub total_us: u64,
+    /// Wall-clock completion time, milliseconds since the Unix epoch.
+    pub unix_ms: u64,
+    /// Per-stage breakdown `(stage, µs)`, in execution order.
+    pub stages: Vec<(String, u64)>,
+}
+
+/// Milliseconds since the Unix epoch, for stamping [`SlowEntry::unix_ms`].
+pub fn unix_ms_now() -> u64 {
+    SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_millis() as u64).unwrap_or(0)
+}
+
+/// A bounded slowest-first log. All methods are `&self`; share behind an
+/// `Arc` (or embed in an already-shared struct).
+pub struct Slowlog {
+    cap: usize,
+    /// Admission floor: once full, entries at or below this total are
+    /// rejected without taking the lock. 0 while the buffer has room.
+    floor: AtomicU64,
+    /// Sorted descending by `total_us`.
+    entries: Mutex<Vec<SlowEntry>>,
+}
+
+impl Slowlog {
+    /// A log keeping the `cap` (≥ 1) slowest entries.
+    pub fn new(cap: usize) -> Self {
+        Self {
+            cap: cap.max(1),
+            floor: AtomicU64::new(0),
+            entries: Mutex::new(Vec::new()),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Offer one entry; kept only if it ranks among the slowest seen.
+    pub fn record(&self, e: SlowEntry) {
+        // Fast reject: the floor is only non-zero once the buffer is
+        // full, and it only ever rises, so a stale read can at worst let
+        // a borderline entry in — never wrongly keep one out.
+        if e.total_us <= self.floor.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut v = self.entries.lock().expect("slowlog");
+        let pos = v.partition_point(|x| x.total_us >= e.total_us);
+        if pos >= self.cap {
+            return; // raced below the floor while waiting for the lock
+        }
+        v.insert(pos, e);
+        if v.len() > self.cap {
+            v.pop();
+        }
+        if v.len() == self.cap {
+            self.floor.store(v.last().expect("cap >= 1").total_us, Ordering::Relaxed);
+        }
+    }
+
+    /// Current contents, slowest first.
+    pub fn snapshot(&self) -> Vec<SlowEntry> {
+        self.entries.lock().expect("slowlog").clone()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("slowlog").len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(label: &str, total_us: u64) -> SlowEntry {
+        SlowEntry {
+            label: label.to_string(),
+            detail: "join".to_string(),
+            total_us,
+            unix_ms: unix_ms_now(),
+            stages: vec![("beam".to_string(), total_us / 2)],
+        }
+    }
+
+    #[test]
+    fn keeps_the_slowest_sorted() {
+        let log = Slowlog::new(3);
+        for (label, us) in [("a", 10), ("b", 50), ("c", 30), ("d", 40), ("e", 5)] {
+            log.record(entry(label, us));
+        }
+        let snap = log.snapshot();
+        let got: Vec<(&str, u64)> =
+            snap.iter().map(|e| (e.label.as_str(), e.total_us)).collect();
+        assert_eq!(got, vec![("b", 50), ("d", 40), ("c", 30)]);
+    }
+
+    #[test]
+    fn fast_requests_are_rejected_by_the_floor_once_full() {
+        let log = Slowlog::new(2);
+        log.record(entry("slow1", 1000));
+        log.record(entry("slow2", 2000));
+        assert_eq!(log.len(), 2);
+        // Floor is now 1000: a 500µs entry must not displace anything.
+        log.record(entry("fast", 500));
+        let snap = log.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert!(snap.iter().all(|e| e.label != "fast"));
+        // A slower one still gets in and evicts the old minimum.
+        log.record(entry("slower", 1500));
+        let snap = log.snapshot();
+        let labels: Vec<&str> = snap.iter().map(|e| e.label.as_str()).collect();
+        assert_eq!(labels, vec!["slow2", "slower"]);
+    }
+
+    #[test]
+    fn concurrent_records_keep_the_true_top_k() {
+        let log = std::sync::Arc::new(Slowlog::new(8));
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let log = log.clone();
+                s.spawn(move || {
+                    for i in 0..500u64 {
+                        log.record(entry(&format!("t{t}-{i}"), i * 4 + t));
+                    }
+                });
+            }
+        });
+        let snap = log.snapshot();
+        assert_eq!(snap.len(), 8);
+        // The 8 slowest offered totals are 499*4+3 down to 498*4+0.
+        let totals: Vec<u64> = snap.iter().map(|e| e.total_us).collect();
+        let want: Vec<u64> = (0..8).map(|i| 1999 - i).collect();
+        assert_eq!(totals, want);
+    }
+}

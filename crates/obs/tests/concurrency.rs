@@ -1,0 +1,97 @@
+//! Concurrency guarantees of the metrics registry: get-or-register from
+//! many threads must hand every caller the *same* instrument (no lost
+//! registrations), and concurrent recording must lose no counts — these
+//! are the properties the hot-path instrumentation in `tsfm_sketch`,
+//! `tsfm_search`, and `tsfm_store` leans on.
+
+use std::sync::Arc;
+use tsfm_obs::metrics::Registry;
+
+const THREADS: usize = 8;
+const OPS_PER_THREAD: u64 = 10_000;
+
+#[test]
+fn racing_registrations_converge_on_one_counter() {
+    let r = Arc::new(Registry::new());
+    // Every thread get-or-registers the same name and bumps through its
+    // own handle; a lost registration would shear the total.
+    std::thread::scope(|s| {
+        for _ in 0..THREADS {
+            let r = r.clone();
+            s.spawn(move || {
+                let c = r.counter("tsfm_race_total", "raced registration");
+                for _ in 0..OPS_PER_THREAD {
+                    c.inc();
+                }
+            });
+        }
+    });
+    let total = r.counter("tsfm_race_total", "").get();
+    assert_eq!(total, THREADS as u64 * OPS_PER_THREAD);
+    assert_eq!(r.names(), vec!["tsfm_race_total".to_string()]);
+}
+
+#[test]
+fn mixed_instrument_kinds_register_and_record_in_parallel() {
+    let r = Arc::new(Registry::new());
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let r = r.clone();
+            s.spawn(move || {
+                // Interleave three kinds plus a per-thread name so the
+                // registry takes both its read fast path and write path
+                // under contention.
+                let c = r.counter("tsfm_mixed_total", "shared counter");
+                let g = r.gauge("tsfm_mixed_depth", "shared gauge");
+                let h = r.histogram("tsfm_mixed_us", "shared histogram");
+                let own = r.counter(&format!("tsfm_thread_{t}_total"), "per-thread");
+                for i in 0..OPS_PER_THREAD {
+                    c.inc();
+                    g.add(1);
+                    h.record(i % 512);
+                    own.inc();
+                }
+            });
+        }
+    });
+    let n = THREADS as u64 * OPS_PER_THREAD;
+    assert_eq!(r.counter("tsfm_mixed_total", "").get(), n);
+    assert_eq!(r.gauge("tsfm_mixed_depth", "").get(), n as i64);
+    let h = r.histogram("tsfm_mixed_us", "");
+    assert_eq!(h.count(), n);
+    assert_eq!(h.sum(), THREADS as u64 * (0..OPS_PER_THREAD).map(|i| i % 512).sum::<u64>());
+    for t in 0..THREADS {
+        assert_eq!(r.counter(&format!("tsfm_thread_{t}_total"), "").get(), OPS_PER_THREAD);
+    }
+    // 3 shared + THREADS per-thread instruments, nothing lost or doubled.
+    assert_eq!(r.names().len(), 3 + THREADS);
+}
+
+#[test]
+fn exposition_renders_while_recorders_run() {
+    let r = Arc::new(Registry::new());
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            let (r, stop) = (r.clone(), stop.clone());
+            s.spawn(move || {
+                let c = r.counter("tsfm_live_total", "live");
+                let h = r.histogram("tsfm_live_us", "live");
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    c.inc();
+                    h.record(100);
+                }
+            });
+        }
+        // Render exposition concurrently with the writers: must not
+        // deadlock or panic, and every snapshot must be parseable.
+        for _ in 0..50 {
+            let text = r.prometheus_text();
+            for line in text.lines().filter(|l| !l.starts_with('#')) {
+                let value = line.rsplit(' ').next().unwrap();
+                assert!(value.parse::<f64>().is_ok(), "unparseable line {line:?}");
+            }
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    });
+}

@@ -23,6 +23,25 @@
 use crate::knn::Metric;
 use std::cell::RefCell;
 use std::collections::BinaryHeap;
+use std::sync::{Arc, OnceLock};
+
+/// Registry handles resolved once so the insert/search hot paths pay one
+/// atomic add per call instead of a name lookup in the global registry.
+struct HnswCounters {
+    inserts: Arc<tsfm_obs::metrics::Counter>,
+    searches: Arc<tsfm_obs::metrics::Counter>,
+}
+
+fn hnsw_counters() -> &'static HnswCounters {
+    static C: OnceLock<HnswCounters> = OnceLock::new();
+    C.get_or_init(|| {
+        let reg = tsfm_obs::metrics::global();
+        HnswCounters {
+            inserts: reg.counter("tsfm_hnsw_inserts_total", "HNSW vectors inserted"),
+            searches: reg.counter("tsfm_hnsw_searches_total", "HNSW beam searches"),
+        }
+    })
+}
 
 /// Ordered (distance, id) pair for the results max-heap: the greatest item
 /// is the farthest candidate, and among equal distances the *largest* id,
@@ -325,6 +344,8 @@ impl Hnsw {
     /// Insert a vector, returning its id.
     pub fn add(&mut self, v: &[f32]) -> usize {
         assert_eq!(v.len(), self.dim, "vector dim");
+        let _g = tsfm_obs::span!("hnsw.insert");
+        hnsw_counters().inserts.inc();
         let id = self.nodes.len();
         let level = self.random_level();
         self.data.extend_from_slice(v);
@@ -489,6 +510,8 @@ impl Hnsw {
         k: usize,
         scratch: &mut SearchScratch,
     ) -> Vec<(usize, f32)> {
+        let _g = tsfm_obs::span!("hnsw.search");
+        hnsw_counters().searches.inc();
         let Some(mut cur) = self.entry else {
             return Vec::new();
         };

@@ -196,6 +196,8 @@ impl TableSketch {
     /// [`ColumnSketch::build`] per column plus [`crate::content_snapshot`] (see
     /// `tests/determinism.rs`).
     pub fn build_with_hasher(table: &Table, hasher: &MinHasher, max_rows: usize) -> Self {
+        let _g = tsfm_obs::span!("sketch.table");
+        sketch_counters().record(table.columns.len() as u64);
         let n_rows = table.num_rows().min(max_rows);
         let mut arenas: Vec<CellArena> = Vec::with_capacity(table.columns.len());
         let columns = table
@@ -230,6 +232,32 @@ impl TableSketch {
         v.extend(std::iter::repeat(0.0).take(self.content_snapshot.k()));
         v
     }
+}
+
+/// Process-wide ingest counters, resolved from the global registry once
+/// (a bulk ingest sketches thousands of tables; the name lookup must not
+/// run per table).
+struct SketchCounters {
+    tables: std::sync::Arc<tsfm_obs::metrics::Counter>,
+    columns: std::sync::Arc<tsfm_obs::metrics::Counter>,
+}
+
+impl SketchCounters {
+    fn record(&self, cols: u64) {
+        self.tables.inc();
+        self.columns.add(cols);
+    }
+}
+
+fn sketch_counters() -> &'static SketchCounters {
+    static C: std::sync::OnceLock<SketchCounters> = std::sync::OnceLock::new();
+    C.get_or_init(|| {
+        let reg = tsfm_obs::metrics::global();
+        SketchCounters {
+            tables: reg.counter("tsfm_sketch_tables_total", "Tables sketched"),
+            columns: reg.counter("tsfm_sketch_columns_total", "Columns sketched"),
+        }
+    })
 }
 
 /// The content snapshot assembled from pre-rendered column arenas:

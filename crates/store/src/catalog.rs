@@ -43,6 +43,15 @@ use tsfm_sketch::{MinHasher, SketchConfig, TableSketch};
 use tsfm_table::hash::{hash_str, splitmix64};
 use tsfm_table::{csv, Table};
 
+/// The process-wide metrics registry (`{"op":"metrics"}` surfaces it).
+/// Catalog instruments live there rather than on the `Catalog` struct so
+/// segment I/O and index-rebuild counts survive catalog reopen — the
+/// interesting failure mode ("why is this process rebuilding its index
+/// every reload?") spans catalog instances.
+fn obs() -> &'static tsfm_obs::metrics::Registry {
+    tsfm_obs::metrics::global()
+}
+
 const MANIFEST_MAGIC: &[u8; 8] = b"TSFMCAT1";
 const INDEX_MAGIC: &[u8; 8] = b"TSFMIDX1";
 const MANIFEST_FILE: &str = "catalog.manifest";
@@ -176,6 +185,8 @@ impl Catalog {
     /// built with it — and a mismatch with `cfg` is an
     /// [`StoreError::InvalidRequest`].
     pub fn open_with(dir: impl Into<PathBuf>, cfg: SketchConfig) -> StoreResult<Self> {
+        let _g = tsfm_obs::span!("catalog.open");
+        obs().counter("tsfm_catalog_opens_total", "Catalog open attempts").inc();
         let dir = dir.into();
         let manifest = dir.join(MANIFEST_FILE);
         if manifest.exists() {
@@ -298,9 +309,16 @@ impl Catalog {
         };
         let segment = segment_name(&id, rec.content_hash);
         let path = self.dir.join(SEGMENT_DIR).join(&segment);
-        self.seg_buf.clear();
-        ser::write_record(&mut self.seg_buf, &rec)?;
-        write_segment(&path, &self.seg_buf)?;
+        {
+            let _g = tsfm_obs::span!("catalog.segment.write");
+            self.seg_buf.clear();
+            ser::write_record(&mut self.seg_buf, &rec)?;
+            write_segment(&path, &self.seg_buf)?;
+        }
+        obs().counter("tsfm_catalog_segments_written_total", "Segment files written").inc();
+        obs()
+            .counter("tsfm_catalog_segment_bytes_written_total", "Segment bytes written")
+            .add(self.seg_buf.len() as u64);
         // Drop the replaced segment file (name differs because the hash does).
         if let Some(old) = self.entries.get(&id) {
             if old.segment != segment {
@@ -356,6 +374,7 @@ impl Catalog {
             .filter(|p| p.extension().map(|x| x == "csv").unwrap_or(false))
             .collect();
         files.sort();
+        let _g = tsfm_obs::span!("catalog.ingest_dir");
         let mut report = IngestReport::default();
         let hasher = self.hasher();
         let max_rows = self.sketch_cfg.max_rows;
@@ -483,6 +502,8 @@ impl Catalog {
     /// repeated calls are two `Arc` clones.
     pub fn searcher(&mut self) -> StoreResult<Searcher> {
         if self.snapshot.is_none() {
+            let t0 = std::time::Instant::now();
+            let _g = tsfm_obs::span!("catalog.snapshot");
             // `load_all_records` walks the manifest BTreeMap, so records
             // arrive in ascending-id order — exactly the engine's
             // canonical order — letting the sketches double as the
@@ -490,8 +511,22 @@ impl Catalog {
             let records = self.load_all_records()?;
             let fp = self.fingerprint();
             let engine = match self.try_load_cached_engine(&records, fp) {
-                Some(e) => e,
+                Some(e) => {
+                    obs()
+                        .counter(
+                            "tsfm_catalog_index_cache_hits_total",
+                            "Snapshots served from the on-disk HNSW cache",
+                        )
+                        .inc();
+                    e
+                }
                 None => {
+                    obs()
+                        .counter(
+                            "tsfm_catalog_index_rebuilds_total",
+                            "Snapshots that rebuilt the HNSW graphs from records",
+                        )
+                        .inc();
                     let e = QueryEngine::build(
                         &records,
                         self.sketch_cfg.minhash_k,
@@ -503,6 +538,9 @@ impl Catalog {
                     e
                 }
             };
+            obs()
+                .histogram("tsfm_catalog_snapshot_build_us", "Snapshot (re)build latency")
+                .record(t0.elapsed().as_micros() as u64);
             let sketches: Vec<TableSketch> = records.into_iter().map(|r| r.sketch).collect();
             self.snapshot = Some(Searcher::new(
                 Arc::new(engine),
@@ -524,6 +562,7 @@ impl Catalog {
 
     /// Load every record (ascending id order).
     pub fn load_all_records(&self) -> StoreResult<Vec<TableRecord>> {
+        let _g = tsfm_obs::span!("catalog.load_records");
         let ids: Vec<String> = self.entries.keys().cloned().collect();
         let mut out = Vec::with_capacity(ids.len());
         for id in ids {
@@ -561,6 +600,7 @@ impl Catalog {
     }
 
     fn try_load_cached_engine(&self, records: &[TableRecord], fp: u64) -> Option<QueryEngine> {
+        let _g = tsfm_obs::span!("catalog.index_cache.load");
         let mut r = BufReader::new(File::open(self.dir.join(INDEX_FILE)).ok()?);
         ser::expect_magic(&mut r, INDEX_MAGIC, "TSFM index cache").ok()?;
         if ser::read_u64(&mut r).ok()? != fp {
@@ -572,6 +612,7 @@ impl Catalog {
     }
 
     fn write_index_cache(&self, engine: &QueryEngine, fp: u64) -> StoreResult<()> {
+        let _g = tsfm_obs::span!("catalog.index_cache.write");
         write_atomic(&self.dir.join(INDEX_FILE), |w| {
             ser::write_magic(w, INDEX_MAGIC)?;
             ser::write_u64(w, fp)?;

@@ -98,6 +98,48 @@ pub struct TableHit {
 /// paper retrieves `k·3` columns per query column).
 const OVER_RETRIEVE: usize = 3;
 
+/// Accumulating per-stage timer behind [`DiscoveryRequest`]'s `profile`
+/// flag. [`Profiler::time`] attributes a closure's wall time to a named
+/// stage, merging repeats (the per-column feature/beam loop hits each
+/// stage once per query column). Disabled, every call is one branch and
+/// zero clock reads, so unprofiled queries pay nothing.
+struct Profiler {
+    stages: Option<Vec<(&'static str, u64)>>,
+}
+
+impl Profiler {
+    fn new(enabled: bool) -> Self {
+        Self { stages: enabled.then(Vec::new) }
+    }
+
+    fn enabled(&self) -> bool {
+        self.stages.is_some()
+    }
+
+    #[inline]
+    fn time<T>(&mut self, stage: &'static str, f: impl FnOnce() -> T) -> T {
+        let Some(stages) = &mut self.stages else { return f() };
+        let t0 = std::time::Instant::now();
+        let out = f();
+        let us = t0.elapsed().as_micros() as u64;
+        match stages.iter_mut().find(|(s, _)| *s == stage) {
+            Some((_, acc)) => *acc += us,
+            None => stages.push((stage, us)),
+        }
+        out
+    }
+
+    /// Close out: append the unattributed remainder (validation, filters,
+    /// response assembly) as `"other"`, so the stages partition
+    /// `total_us` and sum back to it.
+    fn finish(self, total_us: u64) -> Option<Vec<(String, u64)>> {
+        let mut stages = self.stages?;
+        let attributed: u64 = stages.iter().map(|&(_, us)| us).sum();
+        stages.push(("other", total_us.saturating_sub(attributed)));
+        Some(stages.into_iter().map(|(s, us)| (s.to_string(), us)).collect())
+    }
+}
+
 /// Immutable query indexes over a fixed corpus of records. `Send + Sync`:
 /// all queries take `&self`.
 pub struct QueryEngine {
@@ -144,6 +186,7 @@ impl QueryEngine {
     /// records are processed in ascending table-id order, and duplicate ids
     /// keep the *last* occurrence.
     pub fn build(records: &[TableRecord], minhash_k: usize, hnsw_cfg: HnswConfig) -> Self {
+        let _g = tsfm_obs::span!("engine.build");
         let order = canonical_order(records);
         let mut join_index = Hnsw::new(minhash_k, Metric::Cosine, hnsw_cfg.clone());
         let mut union_index =
@@ -258,6 +301,11 @@ impl QueryEngine {
         req: &DiscoveryRequest,
     ) -> StoreResult<DiscoveryResponse> {
         let t0 = std::time::Instant::now();
+        let _g = tsfm_obs::span!(match req.mode() {
+            QueryMode::Join => "engine.search.join",
+            QueryMode::Union => "engine.search.union",
+            QueryMode::Subset => "engine.search.subset",
+        });
         if self.is_empty() {
             return Err(StoreError::EmptyIndex);
         }
@@ -268,12 +316,15 @@ impl QueryEngine {
                 self.minhash_k
             )));
         }
+        let mut prof = Profiler::new(req.profile());
         let (mut hits, mut explanations) = match req.mode() {
-            QueryMode::Join => self.column_search(sketch, req, &self.join_index, join_features)?,
-            QueryMode::Union => {
-                self.column_search(sketch, req, &self.union_index, union_features)?
+            QueryMode::Join => {
+                self.column_search(sketch, req, &self.join_index, join_features, &mut prof)?
             }
-            QueryMode::Subset => (self.subset_search(sketch, req), None),
+            QueryMode::Union => {
+                self.column_search(sketch, req, &self.union_index, union_features, &mut prof)?
+            }
+            QueryMode::Subset => (prof.time("lsh", || self.subset_search(sketch, req)), None),
         };
         if let Some(ms) = req.min_score() {
             // Mode-specific threshold (see DiscoveryRequestBuilder::min_score):
@@ -295,13 +346,15 @@ impl QueryEngine {
         if let Some(ex) = &mut explanations {
             ex.truncate(req.k());
         }
+        let elapsed_micros = t0.elapsed().as_micros() as u64;
         Ok(DiscoveryResponse {
             mode: req.mode(),
             query_id: sketch.table_id.clone(),
             corpus_size: self.len(),
-            elapsed_micros: t0.elapsed().as_micros() as u64,
+            elapsed_micros,
             hits,
             explanations,
+            profile: prof.finish(elapsed_micros),
         })
     }
 
@@ -353,6 +406,7 @@ impl QueryEngine {
         req: &DiscoveryRequest,
         index: &Hnsw,
         features: fn(&ColumnSketch, &mut Vec<f32>),
+        prof: &mut Profiler,
     ) -> StoreResult<(Vec<TableHit>, Option<Vec<HitExplanation>>)> {
         let query_cols = self.select_columns(sketch, req)?;
         // One feature buffer per request, reused across the query's
@@ -360,55 +414,82 @@ impl QueryEngine {
         // scratch from its per-thread pool, so a batch fan-out worker
         // allocates nothing per query after warmup.
         let mut buf = Vec::new();
-        let per_col: Vec<Vec<ColumnHit>> = query_cols
-            .iter()
-            .map(|c| {
-                features(c, &mut buf);
-                index
-                    .search(&buf, req.k().saturating_mul(OVER_RETRIEVE).max(1))
-                    .into_iter()
-                    .map(|(col, d)| ColumnHit {
-                        table: self.col_owner[col],
-                        column: col,
-                        distance: d,
-                    })
-                    .collect()
-            })
-            .collect();
+        let k_cols = req.k().saturating_mul(OVER_RETRIEVE).max(1);
+        // The per-column loop is the query hot path: only the profiled
+        // variant pays the stage-timing wrappers, so unprofiled queries
+        // keep the tight original shape.
+        let per_col: Vec<Vec<ColumnHit>> = if prof.enabled() {
+            let mut per_col = Vec::with_capacity(query_cols.len());
+            for c in &query_cols {
+                prof.time("features", || features(c, &mut buf));
+                per_col.push(prof.time("beam", || {
+                    index
+                        .search(&buf, k_cols)
+                        .into_iter()
+                        .map(|(col, d)| ColumnHit {
+                            table: self.col_owner[col],
+                            column: col,
+                            distance: d,
+                        })
+                        .collect()
+                }));
+            }
+            per_col
+        } else {
+            query_cols
+                .iter()
+                .map(|c| {
+                    features(c, &mut buf);
+                    index
+                        .search(&buf, k_cols)
+                        .into_iter()
+                        .map(|(col, d)| ColumnHit {
+                            table: self.col_owner[col],
+                            column: col,
+                            distance: d,
+                        })
+                        .collect()
+                })
+                .collect()
+        };
         let exclude = if req.exclude_self() { self.table_idx(&sketch.table_id) } else { None };
         if !req.explain() {
-            let hits = near_tables(&per_col, exclude)
-                .into_iter()
-                .map(|r| TableHit {
-                    table_id: self.ids[r.table].clone(),
-                    matching_columns: r.matching_columns,
-                    score: r.distance_sum as f64,
-                })
-                .collect();
+            let hits = prof.time("rank", || {
+                near_tables(&per_col, exclude)
+                    .into_iter()
+                    .map(|r| TableHit {
+                        table_id: self.ids[r.table].clone(),
+                        matching_columns: r.matching_columns,
+                        score: r.distance_sum as f64,
+                    })
+                    .collect()
+            });
             return Ok((hits, None));
         }
-        let detailed = near_tables_with_provenance(&per_col, exclude);
+        let detailed = prof.time("rank", || near_tables_with_provenance(&per_col, exclude));
         let mut hits = Vec::with_capacity(detailed.len());
         let mut explanations = Vec::with_capacity(detailed.len());
-        for d in detailed {
-            hits.push(TableHit {
-                table_id: self.ids[d.table].clone(),
-                matching_columns: d.matching_columns,
-                score: d.distance_sum as f64,
-            });
-            explanations.push(HitExplanation {
-                table_id: self.ids[d.table].clone(),
-                matches: d
-                    .matches
-                    .iter()
-                    .map(|m| ColumnMatch {
-                        query_column: query_cols[m.query_column].name.clone(),
-                        corpus_column: self.col_names[m.corpus_column].clone(),
-                        distance: m.distance,
-                    })
-                    .collect(),
-            });
-        }
+        prof.time("explain", || {
+            for d in detailed {
+                hits.push(TableHit {
+                    table_id: self.ids[d.table].clone(),
+                    matching_columns: d.matching_columns,
+                    score: d.distance_sum as f64,
+                });
+                explanations.push(HitExplanation {
+                    table_id: self.ids[d.table].clone(),
+                    matches: d
+                        .matches
+                        .iter()
+                        .map(|m| ColumnMatch {
+                            query_column: query_cols[m.query_column].name.clone(),
+                            corpus_column: self.col_names[m.corpus_column].clone(),
+                            distance: m.distance,
+                        })
+                        .collect(),
+                });
+            }
+        });
         Ok((hits, Some(explanations)))
     }
 
@@ -645,6 +726,29 @@ mod tests {
         let plain = engine.search(&recs[0].sketch, &req(QueryMode::Join, 2)).unwrap();
         assert_eq!(plain.hits, resp.hits);
         assert!(plain.explanations.is_none());
+    }
+
+    #[test]
+    fn profile_breakdown_partitions_elapsed() {
+        let (recs, cfg) = corpus();
+        let engine = QueryEngine::build(&recs, cfg.minhash_k, Default::default());
+        for mode in QueryMode::ALL {
+            let r = DiscoveryRequest::builder(mode).k(2).profile(true).build().unwrap();
+            let resp = engine.search(&recs[0].sketch, &r).unwrap();
+            let prof = resp.profile.expect("profile requested");
+            // Stages partition the elapsed time: every stage is a
+            // truncated sub-interval and "other" absorbs the remainder,
+            // so the sum reproduces elapsed_micros exactly.
+            let sum: u64 = prof.iter().map(|(_, us)| *us).sum();
+            assert_eq!(sum, resp.elapsed_micros, "mode {mode}: {prof:?}");
+            assert_eq!(prof.last().expect("never empty").0, "other", "{prof:?}");
+
+            // Profiling never changes results, and unprofiled responses
+            // carry no breakdown.
+            let plain = engine.search(&recs[0].sketch, &req(mode, 2)).unwrap();
+            assert_eq!(plain.hits, resp.hits, "mode {mode}");
+            assert!(plain.profile.is_none());
+        }
     }
 
     #[test]

@@ -1,5 +1,10 @@
-//! Lock-free serving metrics: a log-bucketed latency histogram plus the
-//! operational counters the `stats` wire verb reports.
+//! Lock-free serving metrics: the operational counters the `stats` and
+//! `metrics` wire verbs report.
+//!
+//! The log-bucketed latency histogram that used to live here was
+//! generalized into [`tsfm_obs::metrics::Histogram`] so any crate can
+//! record latency distributions; it is re-exported under its historical
+//! name ([`LatencyHistogram`]) for existing callers.
 //!
 //! Everything here is plain atomics — connection workers record into the
 //! histogram and bump counters without ever taking a lock, so the ops
@@ -8,128 +13,12 @@
 //! writers and are therefore only approximately consistent across fields
 //! (each individual counter is exact); that is the standard contract for
 //! a stats endpoint.
-//!
-//! ## Histogram shape
-//!
-//! Latencies are recorded in whole microseconds. Values below 64µs get
-//! one bucket each (exact); above that, buckets are logarithmic with 32
-//! sub-buckets per power of two, so the relative quantization error of a
-//! reported percentile is bounded by ~3%. Values are clamped to ~2^40µs
-//! (≈13 days), far beyond any plausible request latency.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
-/// Exact buckets for 0..LINEAR_MAX µs.
-const LINEAR_MAX: u64 = 64;
-/// log2(LINEAR_MAX): first exponent handled logarithmically.
-const LINEAR_EXP: u32 = 6;
-/// Sub-buckets per power of two in the logarithmic range.
-const SUBS: u64 = 32;
-const SUB_BITS: u32 = 5;
-/// Largest exponent tracked; larger values clamp into the last bucket.
-const MAX_EXP: u32 = 40;
-const NUM_BUCKETS: usize =
-    LINEAR_MAX as usize + ((MAX_EXP - LINEAR_EXP) as usize + 1) * SUBS as usize;
-
-/// A fixed-size, lock-free log-bucketed histogram of microsecond
-/// latencies. `record` is wait-free (two relaxed increments and a
-/// `fetch_max`); percentile extraction walks the bucket array.
-pub struct LatencyHistogram {
-    buckets: Vec<AtomicU64>,
-    count: AtomicU64,
-    sum: AtomicU64,
-    max: AtomicU64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl LatencyHistogram {
-    pub fn new() -> Self {
-        Self {
-            buckets: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
-            count: AtomicU64::new(0),
-            sum: AtomicU64::new(0),
-            max: AtomicU64::new(0),
-        }
-    }
-
-    fn bucket_index(micros: u64) -> usize {
-        if micros < LINEAR_MAX {
-            return micros as usize;
-        }
-        let exp = (63 - micros.leading_zeros()).min(MAX_EXP);
-        let sub = if exp >= MAX_EXP {
-            SUBS - 1 // clamp: everything past 2^40µs lands in the top bucket
-        } else {
-            (micros >> (exp - SUB_BITS)) & (SUBS - 1)
-        };
-        LINEAR_MAX as usize + ((exp - LINEAR_EXP) as usize) * SUBS as usize + sub as usize
-    }
-
-    /// Lower edge of a bucket — what `percentile` reports. Reporting the
-    /// lower edge (not the midpoint) keeps sub-64µs percentiles exact and
-    /// never over-states a latency.
-    fn bucket_floor(index: usize) -> u64 {
-        if index < LINEAR_MAX as usize {
-            return index as u64;
-        }
-        let b = index - LINEAR_MAX as usize;
-        let exp = LINEAR_EXP + (b / SUBS as usize) as u32;
-        let sub = (b % SUBS as usize) as u64;
-        (1u64 << exp) + (sub << (exp - SUB_BITS))
-    }
-
-    /// Record one latency. Wait-free; safe from any thread.
-    pub fn record(&self, micros: u64) {
-        self.buckets[Self::bucket_index(micros)].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum.fetch_add(micros, Ordering::Relaxed);
-        self.max.fetch_max(micros, Ordering::Relaxed);
-    }
-
-    pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
-    }
-
-    pub fn max(&self) -> u64 {
-        self.max.load(Ordering::Relaxed)
-    }
-
-    /// Mean latency in µs (0 when empty).
-    pub fn mean(&self) -> f64 {
-        let n = self.count();
-        if n == 0 {
-            0.0
-        } else {
-            self.sum.load(Ordering::Relaxed) as f64 / n as f64
-        }
-    }
-
-    /// The `q`-quantile (`0.0 ..= 1.0`) in µs, or 0 when empty. Reported
-    /// from bucket lower edges: exact below 64µs, within ~3% above.
-    pub fn percentile(&self, q: f64) -> u64 {
-        let n = self.count();
-        if n == 0 {
-            return 0;
-        }
-        // Rank of the percentile observation, 1-based, clamped to [1, n].
-        let target = ((q * n as f64).ceil() as u64).clamp(1, n);
-        let mut seen = 0u64;
-        for (i, b) in self.buckets.iter().enumerate() {
-            seen += b.load(Ordering::Relaxed);
-            if seen >= target {
-                return Self::bucket_floor(i);
-            }
-        }
-        // Writers raced past the count we loaded; the max is the honest
-        // answer for "the highest latency seen".
-        self.max()
-    }
-}
+/// The serve latency histogram: exact below 64µs, log-bucketed (~3%
+/// relative error) above. See [`tsfm_obs::metrics::Histogram`].
+pub use tsfm_obs::metrics::Histogram as LatencyHistogram;
 
 /// All counters the serve frontend maintains. One instance per server,
 /// shared by every connection worker. Field meanings:
@@ -192,6 +81,87 @@ impl ServeMetrics {
             latency_max_us: self.latency.max(),
         }
     }
+
+    /// Render this server's counters as Prometheus text exposition
+    /// (`tsfm_serve_*` families). Per-server state renders here — not
+    /// through the global registry — so two servers in one process (or
+    /// in one test binary) never mix their counts; callers append
+    /// `tsfm_obs::metrics::global().prometheus_text()` for the
+    /// process-wide instruments.
+    pub fn prometheus_text(&self, tables: usize, uptime_ms: u64, reloads: u64) -> String {
+        let m = self.snapshot();
+        let mut out = String::with_capacity(2048);
+        let mut gauge = |name: &str, help: &str, v: i64| {
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} gauge\n{name} {v}\n"));
+        };
+        gauge("tsfm_serve_uptime_ms", "Milliseconds since the server started", uptime_ms as i64);
+        gauge("tsfm_serve_tables", "Tables in the serving snapshot", tables as i64);
+        gauge(
+            "tsfm_serve_connections_active",
+            "Connections currently owned by a worker",
+            m.active as i64,
+        );
+        let mut counter = |name: &str, help: &str, v: u64| {
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n{name} {v}\n"));
+        };
+        counter("tsfm_serve_reloads_total", "Searcher snapshot hot-swaps", reloads);
+        counter(
+            "tsfm_serve_connections_accepted_total",
+            "Connections accepted from the listener",
+            m.accepted,
+        );
+        counter(
+            "tsfm_serve_connections_shed_total",
+            "Connections refused at capacity with an unavailable reply",
+            m.shed,
+        );
+        out.push_str(concat!(
+            "# HELP tsfm_serve_connections_closed_total Connections closed by limit enforcement\n",
+            "# TYPE tsfm_serve_connections_closed_total counter\n"
+        ));
+        for (reason, v) in [
+            ("idle", m.closed_idle),
+            ("slow_read", m.closed_slow_read),
+            ("slow_write", m.closed_slow_write),
+        ] {
+            out.push_str(&format!(
+                "tsfm_serve_connections_closed_total{{reason=\"{reason}\"}} {v}\n"
+            ));
+        }
+        let mut counter = |name: &str, help: &str, v: u64| {
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n{name} {v}\n"));
+        };
+        counter(
+            "tsfm_serve_overlong_lines_total",
+            "Request lines rejected for exceeding the line cap",
+            m.overlong_lines,
+        );
+        out.push_str(concat!(
+            "# HELP tsfm_serve_requests_total Requests served, by outcome\n",
+            "# TYPE tsfm_serve_requests_total counter\n"
+        ));
+        for (outcome, v) in [
+            ("ok", m.requests_ok),
+            ("client_error", m.requests_client_error),
+            ("server_error", m.requests_server_error),
+        ] {
+            out.push_str(&format!("tsfm_serve_requests_total{{outcome=\"{outcome}\"}} {v}\n"));
+        }
+        out.push_str(concat!(
+            "# HELP tsfm_serve_latency_us Successful query latency, microseconds\n",
+            "# TYPE tsfm_serve_latency_us summary\n"
+        ));
+        for (label, v) in [
+            ("0.5", m.latency_p50_us),
+            ("0.95", m.latency_p95_us),
+            ("0.99", m.latency_p99_us),
+        ] {
+            out.push_str(&format!("tsfm_serve_latency_us{{quantile=\"{label}\"}} {v}\n"));
+        }
+        out.push_str(&format!("tsfm_serve_latency_us_sum {}\n", self.latency.sum()));
+        out.push_str(&format!("tsfm_serve_latency_us_count {}\n", m.latency_count));
+        out
+    }
 }
 
 /// A copy of the counters at one instant (fields may be a few events
@@ -223,91 +193,18 @@ mod tests {
     use super::*;
 
     #[test]
-    fn buckets_cover_the_range_in_order() {
-        // Every representative value maps into a bucket whose floor is
-        // ≤ the value, and bucket indexes are monotone in the value.
-        let mut last = 0usize;
-        for v in (0..200u64).chain([255, 256, 1000, 65_535, 1 << 20, 1 << 35, u64::MAX]) {
-            let i = LatencyHistogram::bucket_index(v);
-            assert!(i < NUM_BUCKETS, "v={v} i={i}");
-            assert!(i >= last, "bucket index must not decrease: v={v}");
-            assert!(LatencyHistogram::bucket_floor(i) <= v, "floor > value for {v}");
-            last = i;
-        }
-        // Sub-64µs values are exact.
-        for v in 0..LINEAR_MAX {
-            let i = LatencyHistogram::bucket_index(v);
-            assert_eq!(LatencyHistogram::bucket_floor(i), v);
-        }
-    }
-
-    #[test]
-    fn percentiles_exact_in_linear_range() {
+    fn histogram_reexport_behaves_like_before() {
         let h = LatencyHistogram::new();
         for v in 1..=50u64 {
             h.record(v);
         }
         assert_eq!(h.count(), 50);
         assert_eq!(h.percentile(0.5), 25);
-        assert_eq!(h.percentile(0.02), 1);
         assert_eq!(h.percentile(1.0), 50);
         assert_eq!(h.max(), 50);
         assert!((h.mean() - 25.5).abs() < 1e-9);
-    }
-
-    #[test]
-    fn percentiles_bounded_error_in_log_range() {
-        let h = LatencyHistogram::new();
-        // Uniform 1..=100_000 µs: p50 ≈ 50_000, p99 ≈ 99_000.
-        for v in 1..=100_000u64 {
-            h.record(v);
-        }
-        for (q, want) in [(0.5, 50_000.0), (0.95, 95_000.0), (0.99, 99_000.0)] {
-            let got = h.percentile(q) as f64;
-            let rel = (got - want).abs() / want;
-            assert!(rel < 0.04, "q={q}: got {got}, want ~{want} (rel {rel:.3})");
-        }
-        assert_eq!(h.percentile(1.0 / 100_000.0), 1);
-    }
-
-    #[test]
-    fn empty_histogram_reports_zero() {
-        let h = LatencyHistogram::new();
-        assert_eq!(h.percentile(0.99), 0);
-        assert_eq!(h.max(), 0);
-        assert_eq!(h.mean(), 0.0);
-    }
-
-    #[test]
-    fn huge_values_clamp_instead_of_indexing_out_of_bounds() {
-        let h = LatencyHistogram::new();
-        h.record(u64::MAX);
-        h.record(1 << 50);
-        assert_eq!(h.count(), 2);
-        assert_eq!(h.max(), u64::MAX);
-        assert!(h.percentile(0.5) >= 1 << MAX_EXP);
-    }
-
-    #[test]
-    fn concurrent_recording_loses_nothing() {
-        let h = std::sync::Arc::new(LatencyHistogram::new());
-        const THREADS: usize = 8;
-        const PER: u64 = 5_000;
-        std::thread::scope(|s| {
-            for t in 0..THREADS {
-                let h = h.clone();
-                s.spawn(move || {
-                    for i in 0..PER {
-                        h.record((t as u64 * 7 + i) % 300);
-                    }
-                });
-            }
-        });
-        assert_eq!(h.count(), THREADS as u64 * PER);
-        let total: u64 = (0..NUM_BUCKETS)
-            .map(|i| h.buckets[i].load(Ordering::Relaxed))
-            .sum();
-        assert_eq!(total, THREADS as u64 * PER);
+        let empty = LatencyHistogram::new();
+        assert_eq!(empty.percentile(0.99), 0);
     }
 
     #[test]
@@ -326,5 +223,30 @@ mod tests {
         assert_eq!(s.latency_count, 2);
         assert_eq!(s.latency_p50_us, 10);
         assert_eq!(s.latency_max_us, 30);
+    }
+
+    #[test]
+    fn prometheus_text_is_well_formed_and_complete() {
+        let m = ServeMetrics::new();
+        m.accepted.fetch_add(2, Ordering::Relaxed);
+        m.requests_total.fetch_add(2, Ordering::Relaxed);
+        m.requests_ok.fetch_add(1, Ordering::Relaxed);
+        m.requests_client_error.fetch_add(1, Ordering::Relaxed);
+        m.latency.record(120);
+        let text = m.prometheus_text(7, 1234, 1);
+        assert!(text.contains("tsfm_serve_tables 7\n"));
+        assert!(text.contains("tsfm_serve_uptime_ms 1234\n"));
+        assert!(text.contains("tsfm_serve_reloads_total 1\n"));
+        assert!(text.contains("tsfm_serve_connections_accepted_total 2\n"));
+        assert!(text.contains("tsfm_serve_requests_total{outcome=\"ok\"} 1\n"));
+        assert!(text.contains("tsfm_serve_requests_total{outcome=\"client_error\"} 1\n"));
+        assert!(text.contains("tsfm_serve_connections_closed_total{reason=\"idle\"} 0\n"));
+        assert!(text.contains("tsfm_serve_latency_us_count 1\n"));
+        // Exposition grammar: every non-comment, non-blank line is
+        // `name[{labels}] value` with a numeric value.
+        for line in text.lines().filter(|l| !l.starts_with('#') && !l.is_empty()) {
+            let (_, value) = line.rsplit_once(' ').expect("name value");
+            assert!(value.parse::<f64>().is_ok(), "bad value in {line:?}");
+        }
     }
 }

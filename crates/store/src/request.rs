@@ -21,6 +21,7 @@ pub struct DiscoveryRequest {
     exclude_self: bool,
     columns: Option<Vec<String>>,
     explain: bool,
+    profile: bool,
 }
 
 impl DiscoveryRequest {
@@ -35,6 +36,7 @@ impl DiscoveryRequest {
             exclude_self: true,
             columns: None,
             explain: false,
+            profile: false,
         }
     }
 
@@ -62,6 +64,20 @@ impl DiscoveryRequest {
     pub fn explain(&self) -> bool {
         self.explain
     }
+
+    pub fn profile(&self) -> bool {
+        self.profile
+    }
+
+    /// Flip per-stage profiling on an already-validated request.
+    /// Profiling never affects validation or results, so this is safe to
+    /// expose outside the builder — the serve loop uses it to collect
+    /// stage breakdowns for the slowlog even when the client did not ask
+    /// for a profile in its response.
+    pub fn with_profile(mut self, profile: bool) -> Self {
+        self.profile = profile;
+        self
+    }
 }
 
 /// Builder for [`DiscoveryRequest`]; `build()` validates.
@@ -73,6 +89,7 @@ pub struct DiscoveryRequestBuilder {
     exclude_self: bool,
     columns: Option<Vec<String>>,
     explain: bool,
+    profile: bool,
 }
 
 impl DiscoveryRequestBuilder {
@@ -116,6 +133,15 @@ impl DiscoveryRequestBuilder {
         self
     }
 
+    /// Attach a per-stage wall-time breakdown
+    /// ([`DiscoveryResponse::profile`]) to the response. Costs a handful
+    /// of `Instant::now()` calls on the query path; results are
+    /// unaffected.
+    pub fn profile(mut self, profile: bool) -> Self {
+        self.profile = profile;
+        self
+    }
+
     /// Validate and produce the request.
     pub fn build(self) -> StoreResult<DiscoveryRequest> {
         if self.k == 0 {
@@ -145,6 +171,7 @@ impl DiscoveryRequestBuilder {
             exclude_self: self.exclude_self,
             columns: self.columns,
             explain: self.explain,
+            profile: self.profile,
         })
     }
 }
@@ -183,6 +210,11 @@ pub struct DiscoveryResponse {
     /// Parallel to `hits` when the request asked to `explain()` a
     /// `join`/`union` query; `None` otherwise.
     pub explanations: Option<Vec<HitExplanation>>,
+    /// Per-stage wall-time breakdown `(stage, µs)` in execution order,
+    /// when the request asked to `profile()`. Stages partition
+    /// `elapsed_micros`: the engine appends an `"other"` stage for any
+    /// unattributed remainder, so the entries sum to the total.
+    pub profile: Option<Vec<(String, u64)>>,
 }
 
 #[cfg(test)]

@@ -37,7 +37,15 @@
 //!   acceptor, lets every in-flight request finish, then closes
 //!   connections and joins the workers.
 //! * **Ops surface.** The `{"op":"stats"}` wire verb reports the
-//!   [`crate::metrics::ServeMetrics`] counters and latency percentiles.
+//!   [`crate::metrics::ServeMetrics`] counters and latency percentiles;
+//!   `{"op":"metrics"}` renders the same counters (plus the process-wide
+//!   [`tsfm_obs::metrics::global`] registry) as Prometheus text;
+//!   `{"op":"slowlog"}` reports the slowest requests seen, each with the
+//!   per-stage breakdown the engine's profiler produced. The serve loop
+//!   profiles every query (a handful of clock reads against a hundreds-
+//!   of-microseconds query) so the slowlog always has stage attribution,
+//!   and strips the breakdown from replies unless the client asked for
+//!   `"profile":true`.
 
 use crate::error::{StoreError, StoreResult};
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
@@ -50,12 +58,16 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::{Duration, Instant};
+use tsfm_obs::slowlog::{unix_ms_now, SlowEntry, Slowlog};
 use tsfm_table::csv;
 
 /// How often blocked reads wake up to re-check deadlines and the
 /// shutdown flag. Short enough that shutdown and deadline enforcement
 /// feel immediate; long enough to cost nothing.
 const POLL_SLICE: Duration = Duration::from_millis(100);
+
+/// How many of the slowest requests the `slowlog` verb retains.
+const SLOWLOG_CAPACITY: usize = 32;
 
 /// Tuning knobs for [`Server`]. The defaults suit an interactive
 /// discovery service; every limit exists to bound a resource a hostile
@@ -110,6 +122,8 @@ struct Shared {
     idle_workers: AtomicUsize,
     /// Times a new snapshot was swapped in (the serve-side epoch).
     reloads: AtomicU64,
+    /// The slowest requests seen, with per-stage breakdowns.
+    slowlog: Slowlog,
 }
 
 /// A bounded-concurrency JSONL-over-TCP discovery server. Construct with
@@ -155,6 +169,7 @@ impl Server {
             workers: AtomicUsize::new(0),
             idle_workers: AtomicUsize::new(0),
             reloads: AtomicU64::new(0),
+            slowlog: Slowlog::new(SLOWLOG_CAPACITY),
         });
         Ok(Server { listener, shared })
     }
@@ -267,6 +282,17 @@ impl ServerHandle {
     /// Live worker threads (for tests asserting the pool stays bounded).
     pub fn worker_count(&self) -> usize {
         self.shared.workers.load(Ordering::Relaxed)
+    }
+
+    /// The slowest requests seen so far (what the `slowlog` verb reports),
+    /// slowest first.
+    pub fn slowlog(&self) -> Vec<SlowEntry> {
+        self.shared.slowlog.snapshot()
+    }
+
+    /// The Prometheus text the `metrics` verb reports.
+    pub fn prometheus_text(&self) -> String {
+        prometheus_text(&self.shared)
     }
 }
 
@@ -529,16 +555,43 @@ fn handle_line(shared: &Shared, line: &str) -> String {
             shared.metrics.requests_ok.fetch_add(1, Ordering::Relaxed);
             stats_json(shared)
         }
-        Ok(ServeCommand::Query(req)) => {
+        Ok(ServeCommand::Metrics) => {
+            shared.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.requests_ok.fetch_add(1, Ordering::Relaxed);
+            format!("{{\"metrics\":\"{}\"}}", wire::escape_json(&prometheus_text(shared)))
+        }
+        Ok(ServeCommand::Slowlog) => {
+            shared.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.requests_ok.fetch_add(1, Ordering::Relaxed);
+            slowlog_json(shared)
+        }
+        Ok(ServeCommand::Query(mut req)) => {
             // Clone the snapshot up front: a concurrent hot-swap must not
             // affect a query already started.
             let searcher = shared.searcher.read().expect("searcher lock").clone();
+            // Profile every query regardless of what the client asked:
+            // the cost is a handful of clock reads, and it means the
+            // slowlog always carries a stage breakdown. The reply only
+            // keeps the breakdown when the client opted in.
+            let client_wants_profile = req.request.profile();
+            req.request = req.request.clone().with_profile(true);
             let t0 = Instant::now();
             match execute(&searcher, &req) {
-                Ok(resp) => {
-                    shared.metrics.latency.record(t0.elapsed().as_micros() as u64);
+                Ok(mut resp) => {
+                    let total_us = t0.elapsed().as_micros() as u64;
+                    shared.metrics.latency.record(total_us);
                     shared.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
                     shared.metrics.requests_ok.fetch_add(1, Ordering::Relaxed);
+                    shared.slowlog.record(SlowEntry {
+                        label: resp.query_id.clone(),
+                        detail: resp.mode.name().to_string(),
+                        total_us,
+                        unix_ms: unix_ms_now(),
+                        stages: resp.profile.clone().unwrap_or_default(),
+                    });
+                    if !client_wants_profile {
+                        resp.profile = None;
+                    }
                     wire::response_json(&resp)
                 }
                 Err(e) => {
@@ -608,6 +661,44 @@ fn stats_json(shared: &Shared) -> String {
         m.latency_p99_us,
         m.latency_max_us,
     )
+}
+
+/// The `{"op":"metrics"}` payload: this server's `tsfm_serve_*` families
+/// plus the process-wide registry (sketch/search/catalog instruments).
+fn prometheus_text(shared: &Shared) -> String {
+    let tables = shared.searcher.read().expect("searcher lock").len();
+    let mut text = shared.metrics.prometheus_text(
+        tables,
+        shared.started.elapsed().as_millis() as u64,
+        shared.reloads.load(Ordering::Relaxed),
+    );
+    text.push_str(&tsfm_obs::metrics::global().prometheus_text());
+    text
+}
+
+/// The `{"op":"slowlog"}` reply: slowest requests first, each with its
+/// stage breakdown in execution order.
+fn slowlog_json(shared: &Shared) -> String {
+    let entries = shared.slowlog.snapshot();
+    let items: Vec<String> = entries
+        .iter()
+        .map(|e| {
+            let stages: Vec<String> = e
+                .stages
+                .iter()
+                .map(|(stage, us)| format!("[\"{}\",{us}]", wire::escape_json(stage)))
+                .collect();
+            format!(
+                "{{\"query\":\"{}\",\"mode\":\"{}\",\"micros\":{},\"unix_ms\":{},\"stages\":[{}]}}",
+                wire::escape_json(&e.label),
+                wire::escape_json(&e.detail),
+                e.total_us,
+                e.unix_ms,
+                stages.join(",")
+            )
+        })
+        .collect();
+    format!("{{\"slowlog\":[{}]}}", items.join(","))
 }
 
 #[cfg(test)]
@@ -698,6 +789,56 @@ mod tests {
         assert_eq!(lat.get("count").unwrap().as_f64(), Some(1.0));
 
         drop((w, r));
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn metrics_and_slowlog_verbs_report_observability() {
+        let (handle, join, addr) = start("obsverbs", 2, ServeConfig::default());
+        let (mut w, mut r) = connect(addr);
+
+        // A profiled query returns a stage breakdown that sums exactly to
+        // the reported engine micros; an unprofiled one stays clean.
+        let v = roundtrip(&mut w, &mut r, r#"{"mode":"join","k":1,"id":"t0","profile":true}"#);
+        let Json::Arr(stages) = v.get("profile").expect("profile requested") else { panic!() };
+        assert!(!stages.is_empty());
+        let sum: f64 = stages
+            .iter()
+            .map(|s| {
+                let Json::Arr(pair) = s else { panic!("stage is [name, us]: {s:?}") };
+                pair[1].as_f64().unwrap()
+            })
+            .sum();
+        assert_eq!(Some(sum), v.get("micros").unwrap().as_f64(), "{v:?}");
+        let v = roundtrip(&mut w, &mut r, r#"{"mode":"union","k":1,"id":"t1"}"#);
+        assert!(v.get("profile").is_none(), "profile must be opt-in: {v:?}");
+
+        // The metrics verb answers parseable Prometheus text counting the
+        // two queries above plus (like stats) the metrics request itself.
+        let v = roundtrip(&mut w, &mut r, r#"{"op":"metrics"}"#);
+        let text = v.get("metrics").expect("metrics payload").as_str().unwrap();
+        assert!(text.contains("# TYPE tsfm_serve_requests_total counter"), "{text}");
+        assert!(text.contains("tsfm_serve_requests_total{outcome=\"ok\"} 3\n"), "{text}");
+        assert!(text.contains("tsfm_serve_tables 2\n"), "{text}");
+        assert!(handle.prometheus_text().contains("tsfm_serve_requests_total"));
+
+        // The slowlog kept both queries — each with a stage breakdown
+        // even though only one client asked to see its profile.
+        let v = roundtrip(&mut w, &mut r, r#"{"op":"slowlog"}"#);
+        let Json::Arr(entries) = v.get("slowlog").expect("slowlog payload") else { panic!() };
+        assert_eq!(entries.len(), 2, "{v:?}");
+        for e in entries {
+            let Json::Arr(st) = e.get("stages").unwrap() else { panic!("{e:?}") };
+            assert!(!st.is_empty(), "every entry carries stages: {e:?}");
+            assert!(e.get("micros").unwrap().as_f64().unwrap() >= 0.0);
+        }
+        // Slowest first.
+        let micros: Vec<f64> =
+            entries.iter().map(|e| e.get("micros").unwrap().as_f64().unwrap()).collect();
+        assert!(micros[0] >= micros[1], "{micros:?}");
+        assert_eq!(handle.slowlog().len(), 2);
+
         handle.shutdown();
         join.join().unwrap();
     }

@@ -16,7 +16,8 @@
 //!
 //! Request fields: `mode` (required), exactly one of `csv` (inline query
 //! table) or `id` (id of an ingested table), and optionally `k`,
-//! `query_id`, `min_score`, `exclude_self`, `explain`, `columns`.
+//! `query_id`, `min_score`, `exclude_self`, `explain`, `columns`,
+//! `profile` (per-stage timing breakdown in the response).
 //! Unknown fields are rejected — typos must not silently change a query.
 //!
 //! Besides queries the protocol carries control verbs, dispatched on an
@@ -25,6 +26,11 @@
 //! ```text
 //! → {"op":"stats"}
 //! ← {"stats":{"uptime_ms":..,"tables":..,"requests":{...},"latency_us":{...}}}
+//! → {"op":"metrics"}
+//! ← {"metrics":"# HELP tsfm_serve_requests_total ...\n..."}
+//! → {"op":"slowlog"}
+//! ← {"slowlog":[{"query":"q1","mode":"join","micros":812,"unix_ms":...,
+//!      "stages":[["features",90],["beam",600],...]}]}
 //! ```
 //!
 //! A server at capacity answers new connections with a non-taxonomy
@@ -85,6 +91,13 @@ pub fn response_json(resp: &DiscoveryResponse) -> String {
         resp.elapsed_micros,
         hits.join(",")
     );
+    if let Some(profile) = &resp.profile {
+        let stages: Vec<String> = profile
+            .iter()
+            .map(|(stage, us)| format!("[\"{}\",{us}]", escape_json(stage)))
+            .collect();
+        out.push_str(&format!(",\"profile\":[{}]", stages.join(",")));
+    }
     if let Some(explanations) = &resp.explanations {
         let ex: Vec<String> = explanations
             .iter()
@@ -416,6 +429,10 @@ pub enum ServeCommand {
     Query(Box<ServeRequest>),
     /// `{"op":"stats"}` — operational counters and latency percentiles.
     Stats,
+    /// `{"op":"metrics"}` — Prometheus text exposition, as one JSON string.
+    Metrics,
+    /// `{"op":"slowlog"}` — the slowest requests with stage breakdowns.
+    Slowlog,
 }
 
 impl ServeCommand {
@@ -428,19 +445,22 @@ impl ServeCommand {
             let op = op
                 .as_str()
                 .ok_or_else(|| StoreError::invalid("\"op\" must be a string"))?;
-            return match op {
-                "stats" => {
-                    if let Json::Obj(fields) = &json {
-                        if fields.len() != 1 {
-                            return Err(StoreError::invalid(
-                                "\"op\":\"stats\" takes no other fields",
-                            ));
-                        }
+            let sole_field = |cmd: ServeCommand| {
+                if let Json::Obj(fields) = &json {
+                    if fields.len() != 1 {
+                        return Err(StoreError::invalid(format!(
+                            "\"op\":{op:?} takes no other fields"
+                        )));
                     }
-                    Ok(ServeCommand::Stats)
                 }
+                Ok(cmd)
+            };
+            return match op {
+                "stats" => sole_field(ServeCommand::Stats),
+                "metrics" => sole_field(ServeCommand::Metrics),
+                "slowlog" => sole_field(ServeCommand::Slowlog),
                 other => Err(StoreError::invalid(format!(
-                    "unknown op {other:?} (known ops: stats)"
+                    "unknown op {other:?} (known ops: metrics, slowlog, stats)"
                 ))),
             };
         }
@@ -472,9 +492,9 @@ impl ServeRequest {
             return Err(StoreError::invalid("request must be a JSON object"));
         };
 
-        const KNOWN: [&str; 9] = [
+        const KNOWN: [&str; 10] = [
             "mode", "k", "csv", "id", "query_id", "min_score", "exclude_self", "explain",
-            "columns",
+            "columns", "profile",
         ];
         for (key, _) in fields {
             if !KNOWN.contains(&key.as_str()) {
@@ -515,6 +535,12 @@ impl ServeRequest {
                 .as_bool()
                 .ok_or_else(|| StoreError::invalid("\"explain\" must be a boolean"))?;
             builder = builder.explain(ex);
+        }
+        if let Some(p) = json.get("profile") {
+            let p = p
+                .as_bool()
+                .ok_or_else(|| StoreError::invalid("\"profile\" must be a boolean"))?;
+            builder = builder.profile(p);
         }
         if let Some(cols) = json.get("columns") {
             let Json::Arr(items) = cols else {
@@ -625,6 +651,7 @@ mod tests {
                     distance: 0.25,
                 }],
             }]),
+            profile: None,
         };
         let v = parse_json(&response_json(&resp)).expect("response_json emits valid JSON");
         assert_eq!(v.get("query").unwrap().as_str(), Some(hostile));
@@ -744,6 +771,14 @@ mod tests {
     #[test]
     fn serve_command_dispatches_ops_and_queries() {
         assert_eq!(ServeCommand::parse_line(r#"{"op":"stats"}"#).unwrap(), ServeCommand::Stats);
+        assert_eq!(
+            ServeCommand::parse_line(r#"{"op":"metrics"}"#).unwrap(),
+            ServeCommand::Metrics
+        );
+        assert_eq!(
+            ServeCommand::parse_line(r#"{"op":"slowlog"}"#).unwrap(),
+            ServeCommand::Slowlog
+        );
         let cmd = ServeCommand::parse_line(r#"{"mode":"join","id":"cities"}"#).unwrap();
         let ServeCommand::Query(q) = cmd else { panic!("expected a query") };
         assert_eq!(q.id.as_deref(), Some("cities"));
@@ -752,11 +787,46 @@ mod tests {
             (r#"{"op":"reboot"}"#, "unknown op"),
             (r#"{"op":42}"#, "must be a string"),
             (r#"{"op":"stats","k":3}"#, "no other fields"),
+            (r#"{"op":"metrics","k":3}"#, "no other fields"),
+            (r#"{"op":"slowlog","verbose":true}"#, "no other fields"),
         ] {
             let err = ServeCommand::parse_line(line).unwrap_err();
             assert!(matches!(err, StoreError::InvalidRequest(_)), "{line}");
             assert!(err.to_string().contains(expect), "{line} → {err}");
         }
+        // The unknown-op error teaches the full verb list.
+        let err = ServeCommand::parse_line(r#"{"op":"reboot"}"#).unwrap_err().to_string();
+        for verb in ["metrics", "slowlog", "stats"] {
+            assert!(err.contains(verb), "{err}");
+        }
+    }
+
+    #[test]
+    fn profile_field_parses_and_serializes() {
+        let req =
+            ServeRequest::parse_line(r#"{"mode":"join","id":"t","profile":true}"#).unwrap();
+        assert!(req.request.profile());
+        let req = ServeRequest::parse_line(r#"{"mode":"join","id":"t"}"#).unwrap();
+        assert!(!req.request.profile());
+        let err =
+            ServeRequest::parse_line(r#"{"mode":"join","id":"t","profile":1}"#).unwrap_err();
+        assert!(err.to_string().contains("\"profile\" must be a boolean"), "{err}");
+
+        let resp = DiscoveryResponse {
+            mode: QueryMode::Join,
+            query_id: "q".into(),
+            corpus_size: 1,
+            elapsed_micros: 100,
+            hits: vec![],
+            explanations: None,
+            profile: Some(vec![("beam".into(), 70), ("other".into(), 30)]),
+        };
+        let v = parse_json(&response_json(&resp)).expect("valid JSON");
+        let Json::Arr(stages) = v.get("profile").unwrap() else { panic!() };
+        assert_eq!(stages.len(), 2);
+        let Json::Arr(first) = &stages[0] else { panic!() };
+        assert_eq!(first[0].as_str(), Some("beam"));
+        assert_eq!(first[1].as_f64(), Some(70.0));
     }
 
     #[test]
@@ -831,6 +901,7 @@ mod tests {
                 },
                 HitExplanation { table_id: "t2".into(), matches: vec![] },
             ]),
+            profile: None,
         };
         let line = response_json(&resp);
         let v = parse_json(&line).expect("serializer emits valid JSON");

@@ -2,11 +2,13 @@
 //! catalog.
 //!
 //! ```text
-//! tsfm ingest <catalog-dir> <csv-dir>                     sketch + store every *.csv
+//! tsfm ingest <catalog-dir> <csv-dir> [--trace FILE]      sketch + store every *.csv
 //! tsfm query  <catalog-dir> <query.csv> [--mode M] [--k N]
-//!             [--min-score S] [--json] [--explain]        rank the corpus for a query table
+//!             [--min-score S] [--json] [--explain]
+//!             [--trace FILE]                              rank the corpus for a query table
 //! tsfm serve  <catalog-dir> [--port N] [--host H]         JSONL-over-TCP discovery server
 //! tsfm stats  <catalog-dir>                               catalog summary
+//! tsfm stats  --addr HOST:PORT                            live-server stats + metrics
 //! ```
 //!
 //! Modes: `join` (default), `union`, `subset`. Re-running `ingest` on an
@@ -22,6 +24,13 @@
 //! process ingests new tables — in-flight queries keep the snapshot they
 //! started with. The wire protocol (one JSON request per line, one JSON
 //! response line back) is documented in `tsfm_store::wire`.
+//!
+//! `--trace FILE` on `ingest`/`query` enables `tsfm_obs` tracing for the
+//! duration of the command and writes the recorded spans as Chrome
+//! `trace_event` JSON — open the file in `chrome://tracing` or Perfetto
+//! to see the per-stage timeline. `tsfm stats --addr HOST:PORT` talks to
+//! a running `tsfm serve` instead of a local catalog directory, issuing
+//! the `stats` and `metrics` ops verbs and pretty-printing both.
 
 use std::io::Write;
 use std::path::Path;
@@ -34,13 +43,14 @@ use tabsketchfm::store::{
 use tabsketchfm::table::csv;
 
 const USAGE: &str = "usage:
-  tsfm ingest <catalog-dir> <csv-dir> [--threads N]
+  tsfm ingest <catalog-dir> <csv-dir> [--threads N] [--trace FILE]
   tsfm query  <catalog-dir> <query.csv> [--mode join|union|subset] [--k N]
-              [--min-score S] [--json] [--explain]
+              [--min-score S] [--json] [--explain] [--trace FILE]
   tsfm serve  <catalog-dir> [--port N] [--host H] [--max-conns N]
               [--idle-timeout-ms N] [--read-timeout-ms N]
               [--write-timeout-ms N] [--max-line-bytes N] [--reload-ms N]
-  tsfm stats  <catalog-dir>";
+  tsfm stats  <catalog-dir>
+  tsfm stats  --addr HOST:PORT";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -64,10 +74,26 @@ fn main() -> ExitCode {
     }
 }
 
+/// Drain every recorded span and write Chrome `trace_event` JSON to
+/// `path`. The export is round-tripped through the store's own JSON
+/// parser first, so a malformed trace fails loudly here rather than
+/// silently refusing to load in Perfetto.
+fn write_trace(path: &str) -> Result<(), String> {
+    tsfm_obs::trace::disable();
+    let records = tsfm_obs::trace::drain();
+    let json = tsfm_obs::trace::chrome_trace_json(&records);
+    wire::parse_json(&json)
+        .map_err(|e| format!("internal: trace export is not valid JSON: {e}"))?;
+    std::fs::write(path, &json).map_err(|e| format!("{path}: {e}"))?;
+    eprintln!("tsfm: wrote {} spans to {path}", records.len());
+    Ok(())
+}
+
 fn cmd_ingest(args: &[String]) -> Result<(), String> {
     // Default the sketching pool to the host's available parallelism;
     // `--threads 1` forces the serial path.
     let mut threads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1);
+    let mut trace_out = None::<String>;
     let mut positional = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -80,6 +106,9 @@ fn cmd_ingest(args: &[String]) -> Result<(), String> {
                     .filter(|&t: &usize| t >= 1)
                     .ok_or(format!("invalid threads {v:?} (need an integer >= 1)"))?;
             }
+            "--trace" => {
+                trace_out = Some(it.next().ok_or("--trace needs a value")?.clone());
+            }
             _ => positional.push(a.clone()),
         }
     }
@@ -88,6 +117,9 @@ fn cmd_ingest(args: &[String]) -> Result<(), String> {
     };
     if !Path::new(csv_dir).is_dir() {
         return Err(format!("{csv_dir}: not a directory"));
+    }
+    if trace_out.is_some() {
+        tsfm_obs::trace::enable();
     }
     let mut cat = Catalog::open(catalog_dir).map_err(|e| format!("open {catalog_dir}: {e}"))?;
     let report = cat
@@ -104,6 +136,9 @@ fn cmd_ingest(args: &[String]) -> Result<(), String> {
         eprintln!("tsfm: skipped {file}: {err}");
     }
     println!("catalog {catalog_dir}: {} tables", cat.len());
+    if let Some(path) = &trace_out {
+        write_trace(path)?;
+    }
     if report.failed.is_empty() {
         Ok(())
     } else {
@@ -114,10 +149,14 @@ fn cmd_ingest(args: &[String]) -> Result<(), String> {
 fn cmd_query(args: &[String]) -> Result<(), String> {
     let (mut mode, mut k) = (QueryMode::Join, 10usize);
     let (mut json, mut explain, mut min_score) = (false, false, None::<f64>);
+    let mut trace_out = None::<String>;
     let mut positional = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--trace" => {
+                trace_out = Some(it.next().ok_or("--trace needs a value")?.clone());
+            }
             "--mode" => {
                 let v = it.next().ok_or("--mode needs a value")?;
                 // FromStr is the one shared mode parser; its error already
@@ -140,6 +179,9 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     let [catalog_dir, query_csv] = &positional[..] else {
         return Err(USAGE.to_string());
     };
+    if trace_out.is_some() {
+        tsfm_obs::trace::enable();
+    }
 
     // Build the request first: an invalid one (e.g. --k 0) must fail fast
     // with the engine's own message, before any catalog I/O.
@@ -165,6 +207,9 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     // The snapshot build may have written the index cache; persist the
     // manifest fingerprinting it.
     cat.commit().map_err(|e| format!("commit: {e}"))?;
+    if let Some(path) = &trace_out {
+        write_trace(path)?;
+    }
 
     if json {
         if explain {
@@ -326,6 +371,12 @@ fn watch_manifest(handle: &ServerHandle, catalog_dir: &str, manifest: &Path, rel
 }
 
 fn cmd_stats(args: &[String]) -> Result<(), String> {
+    if args.first().map(String::as_str) == Some("--addr") {
+        let [_, addr] = args else {
+            return Err(USAGE.to_string());
+        };
+        return cmd_stats_remote(addr);
+    }
     let [catalog_dir] = args else {
         return Err(USAGE.to_string());
     };
@@ -339,4 +390,82 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     println!("  minhash k     {}", s.minhash_k);
     println!("  index cached  {}", s.index_cached);
     Ok(())
+}
+
+/// `tsfm stats --addr HOST:PORT` — interrogate a *running* server over
+/// its wire protocol: one `{"op":"stats"}` request, one `{"op":"metrics"}`
+/// request, both pretty-printed.
+fn cmd_stats_remote(addr: &str) -> Result<(), String> {
+    let stream = std::net::TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let timeout = Some(Duration::from_secs(10));
+    stream.set_read_timeout(timeout).ok();
+    stream.set_write_timeout(timeout).ok();
+    let mut reader =
+        std::io::BufReader::new(stream.try_clone().map_err(|e| format!("connect {addr}: {e}"))?);
+    let mut writer = stream;
+
+    let stats = request_op(&mut writer, &mut reader, "stats")?;
+    let metrics = request_op(&mut writer, &mut reader, "metrics")?;
+
+    println!("server {addr}");
+    let body = stats.get("stats").ok_or("malformed stats reply (no \"stats\" object)")?;
+    print_json_tree(body, 1);
+
+    let text = metrics
+        .get("metrics")
+        .and_then(|m| m.as_str())
+        .ok_or("malformed metrics reply (no \"metrics\" string)")?;
+    println!("metrics");
+    for line in text.lines() {
+        println!("  {line}");
+    }
+    Ok(())
+}
+
+/// Send one ops verb and parse the single-line JSON reply. A reply
+/// carrying `"error"` becomes this command's failure.
+fn request_op(
+    writer: &mut std::net::TcpStream,
+    reader: &mut std::io::BufReader<std::net::TcpStream>,
+    op: &str,
+) -> Result<wire::Json, String> {
+    use std::io::BufRead;
+    writeln!(writer, "{{\"op\":\"{op}\"}}").map_err(|e| format!("send {op}: {e}"))?;
+    writer.flush().map_err(|e| format!("send {op}: {e}"))?;
+    let mut line = String::new();
+    reader.read_line(&mut line).map_err(|e| format!("read {op} reply: {e}"))?;
+    if line.trim().is_empty() {
+        return Err(format!("server closed the connection before answering {op}"));
+    }
+    let v = wire::parse_json(line.trim()).map_err(|e| format!("bad {op} reply: {e}"))?;
+    if let Some(err) = v.get("error") {
+        let detail = err.get("detail").and_then(|d| d.as_str()).unwrap_or("unknown error");
+        return Err(format!("{op}: server error: {detail}"));
+    }
+    Ok(v)
+}
+
+/// Indented key/value rendering of a parsed JSON object — nested objects
+/// become deeper indentation, integral numbers print without the float
+/// tail.
+fn print_json_tree(v: &wire::Json, indent: usize) {
+    let wire::Json::Obj(fields) = v else { return };
+    let pad = "  ".repeat(indent);
+    let width = fields.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+    for (k, val) in fields {
+        match val {
+            wire::Json::Obj(_) => {
+                println!("{pad}{k}");
+                print_json_tree(val, indent + 1);
+            }
+            wire::Json::Num(n) if n.fract() == 0.0 && n.abs() < 9e15 => {
+                println!("{pad}{k:<width$} {}", *n as i64)
+            }
+            wire::Json::Num(n) => println!("{pad}{k:<width$} {n}"),
+            wire::Json::Str(s) => println!("{pad}{k:<width$} {s}"),
+            wire::Json::Bool(b) => println!("{pad}{k:<width$} {b}"),
+            wire::Json::Null => println!("{pad}{k:<width$} null"),
+            wire::Json::Arr(a) => println!("{pad}{k:<width$} [{} items]", a.len()),
+        }
+    }
 }

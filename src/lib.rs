@@ -16,6 +16,8 @@
 //!   (`DiscoveryRequest`/`DiscoveryResponse`, `Searcher`, `StoreError`),
 //!   binary sketch/index formats, JSONL wire protocol
 //! * [`baselines`] — the comparison systems from the paper's evaluation
+//! * [`obs`] — std-only tracing spans, metrics registry, slowlog
+//!   ([`tsfm_obs`]; instruments every layer above)
 //!
 //! The workspace also ships the `tsfm` CLI (`src/bin/tsfm.rs`), which
 //! drives [`store`] over directories of real CSV files and serves
@@ -25,6 +27,7 @@ pub use tsfm_baselines as baselines;
 pub use tsfm_core as core;
 pub use tsfm_lake as lake;
 pub use tsfm_nn as nn;
+pub use tsfm_obs as obs;
 pub use tsfm_search as search;
 pub use tsfm_sketch as sketch;
 pub use tsfm_store as store;

@@ -17,6 +17,8 @@
 //! | D3L / SANTOS | [`traditional`] scorers | values + headers + stats | nothing |
 //! | Josie / LSHForest | `tsfm-search::overlap` | value sets | nothing |
 
+#![forbid(unsafe_code)]
+
 pub mod column_encoders;
 pub mod sentence;
 pub mod textmodel;

@@ -110,7 +110,7 @@ mod tests {
     use tsfm_table::Value;
 
     fn col(vals: &[&str]) -> Column {
-        Column::new("c", vals.iter().map(|v| Value::Str(v.to_string())).collect())
+        Column::new("c", vals.iter().map(|v| Value::Str((*v).to_string())).collect())
     }
 
     #[test]

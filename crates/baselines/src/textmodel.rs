@@ -398,7 +398,7 @@ mod tests {
         let mut t = Table::new(id, id).with_description("test data");
         t.push_column(Column::new(
             header,
-            vals.iter().map(|v| Value::Str(v.to_string())).collect(),
+            vals.iter().map(|v| Value::Str((*v).to_string())).collect(),
         ));
         t
     }

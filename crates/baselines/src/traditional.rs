@@ -40,7 +40,7 @@ impl ColumnEvidence {
 fn word_set(s: &str) -> BTreeSet<String> {
     s.split(|c: char| !c.is_alphanumeric())
         .filter(|w| !w.is_empty())
-        .map(|w| w.to_lowercase())
+        .map(str::to_lowercase)
         .collect()
 }
 
@@ -225,7 +225,7 @@ mod tests {
     use tsfm_table::Value;
 
     fn col(name: &str, vals: &[&str]) -> Column {
-        Column::new(name, vals.iter().map(|v| Value::Str(v.to_string())).collect())
+        Column::new(name, vals.iter().map(|v| Value::Str((*v).to_string())).collect())
     }
 
     fn int_col(name: &str, vals: &[i64]) -> Column {

@@ -50,7 +50,7 @@ fn bench_catalog(c: &mut Criterion) {
         // serial path on a 1-core host). Reported ns/iter covers the
         // whole corpus → tables/sec = n/1e-9·t.
         let hashes: Vec<u64> = tables.iter().map(|t| hash_str(&t.id)).collect();
-        let threads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1);
+        let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
         group.bench_with_input(BenchmarkId::new("ingest_tables", n), &tables, |b, tables| {
             b.iter(|| {
                 let dir = fresh_dir("ingest");
@@ -143,7 +143,7 @@ fn bench_catalog(c: &mut Criterion) {
             // so the ratio is ~1.0x there by design; the thread count in
             // the output says which regime was measured.
             let threads =
-                std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1);
+                std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
             let t0 = Instant::now();
             for s in &sketches {
                 searcher.search_sketch(s, &join_req).expect("query");

@@ -108,8 +108,8 @@ struct LevelResult {
 /// count failures as throughput).
 fn client_loop(
     addr: std::net::SocketAddr,
-    ids: Arc<Vec<String>>,
-    start_at: Arc<Barrier>,
+    ids: &[String],
+    start_at: &Barrier,
     duration: Duration,
     thread_idx: usize,
 ) -> Result<Vec<u64>, String> {
@@ -167,7 +167,7 @@ fn run_level(
         // Small stacks: 512 client threads must not dominate memory.
         let j = std::thread::Builder::new()
             .stack_size(256 * 1024)
-            .spawn(move || client_loop(addr, ids, barrier, duration, t))
+            .spawn(move || client_loop(addr, &ids, &barrier, duration, t))
             .map_err(|e| format!("spawn client: {e}"))?;
         joins.push(j);
     }
@@ -244,7 +244,7 @@ fn main() -> Result<(), String> {
     let tables: Vec<Table> = gen_pretrain_corpus(&world, n, 17);
     let hashes: Vec<u64> = tables.iter().map(|t| hash_str(&t.id)).collect();
     let ids: Arc<Vec<String>> = Arc::new(tables.iter().map(|t| t.id.clone()).collect());
-    let threads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1);
+    let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
 
     let dir = fresh_dir();
     let mut cat = Catalog::open(&dir).map_err(|e| e.to_string())?;
@@ -294,7 +294,7 @@ fn main() -> Result<(), String> {
         .get("stats")
         .and_then(|s| s.get("requests"))
         .and_then(|r| r.get("ok"))
-        .and_then(|v| v.as_f64())
+        .and_then(tsfm_store::wire::Json::as_f64)
         .ok_or("stats reply missing requests.ok")? as u64;
     if served < measured {
         return Err(format!("server counted {served} ok requests, clients measured {measured}"));

@@ -56,7 +56,7 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         n: 10_000,
         queries: 64,
-        threads: std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1),
+        threads: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
         runs: 1,
         out: PathBuf::from("BENCH_store.json"),
     };

@@ -2,6 +2,8 @@
 //! evaluation (§IV). Each `src/bin/exp_*.rs` binary prints the rows/series
 //! of one artefact; this library holds the shared pipeline.
 
+#![forbid(unsafe_code)]
+
 pub mod scale;
 pub mod searchexp;
 pub mod tasks;
@@ -19,7 +21,7 @@ pub const BENCH_SCHEMA: u32 = 2;
 /// from — without it a number from a 4-core CI runner and one from a
 /// 32-core dev box look interchangeable.
 pub fn bench_meta_json() -> String {
-    let cores = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let commit = std::process::Command::new("git")
         .args(["rev-parse", "--short", "HEAD"])
         .output()

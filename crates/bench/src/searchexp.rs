@@ -143,7 +143,7 @@ pub fn columns_by<F: FnMut(&tsfm_table::Column) -> Vec<f32>>(
 /// Fig.-6 table search over a column space: for each query table, KNNSEARCH
 /// each of its columns (`k·3` over-retrieval), then RANK1/RANK2.
 pub fn fig6_search(space: &ColumnSpace, bench: &SearchBenchmark, k: usize) -> Vec<Vec<usize>> {
-    let dim = space.vecs.first().map(Vec::len).unwrap_or(0);
+    let dim = space.vecs.first().map_or(0, Vec::len);
     let mut index = BruteForceIndex::new(dim, Metric::Cosine);
     for v in &space.vecs {
         index.add(v);
@@ -177,7 +177,7 @@ pub fn join_search_embeddings(
     k: usize,
 ) -> Vec<Vec<usize>> {
     let keys = bench.key_column.as_ref().expect("join benchmark has key columns");
-    let dim = space.vecs.first().map(Vec::len).unwrap_or(0);
+    let dim = space.vecs.first().map_or(0, Vec::len);
     let mut index = BruteForceIndex::new(dim, Metric::Cosine);
     for v in &space.vecs {
         index.add(v);
@@ -286,7 +286,7 @@ pub fn table_embedding_search(
     k: usize,
 ) -> Vec<Vec<usize>> {
     assert_eq!(vecs.len(), bench.tables.len());
-    let dim = vecs.first().map(Vec::len).unwrap_or(0);
+    let dim = vecs.first().map_or(0, Vec::len);
     let mut index = BruteForceIndex::new(dim, Metric::Cosine);
     for v in vecs {
         index.add(v);

@@ -142,7 +142,7 @@ mod tests {
     #[test]
     fn table_embedding_dims_and_batching() {
         let (model, seq) = setup();
-        let es = table_embeddings(&model, &[seq.clone(), seq.clone(), seq.clone()], 2);
+        let es = table_embeddings(&model, &[seq.clone(), seq.clone(), seq], 2);
         assert_eq!(es.len(), 3);
         assert_eq!(es[0].len(), model.d_model());
         // Batch size must not change results.

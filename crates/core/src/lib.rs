@@ -8,6 +8,8 @@
 //! ([`finetune`]), and finally used to extract table/column embeddings for
 //! search ([`embed`]).
 
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod embed;
 pub mod finetune;

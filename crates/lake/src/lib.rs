@@ -7,6 +7,8 @@
 //! row/column subsetting, hard negatives) are controlled exactly — see
 //! DESIGN.md's substitution table.
 
+#![forbid(unsafe_code)]
+
 pub mod lakebench;
 pub mod searchbench;
 pub mod world;

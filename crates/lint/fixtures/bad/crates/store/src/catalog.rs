@@ -1,0 +1,1 @@
+pub const MANIFEST_MAGIC: &[u8; 8] = b"TSFMAAA1";

@@ -1,0 +1,7 @@
+#[derive(Debug)]
+pub enum StoreError {
+    Io(std::io::Error),
+    Corrupt { format: &'static str, detail: String },
+    InvalidRequest(String),
+    Internal(String),
+}

@@ -1,0 +1,38 @@
+// Seeded-violation corpus: every line below marked BAD must produce a
+// finding. The integration tests assert each one by rule name and line.
+
+pub mod catalog;
+pub mod error;
+pub mod ser;
+pub mod wire;
+
+pub fn read_len(bytes: &[u8]) -> usize {
+    let head: [u8; 4] = bytes[..4].try_into().unwrap(); // BAD: no-unwrap-in-lib
+    u32::from_le_bytes(head) as usize
+}
+
+pub fn must_parse(s: &str) -> i64 {
+    s.parse().expect("caller checked") // BAD: no-unwrap-in-lib
+}
+
+pub fn giving_up() {
+    panic!("unrecoverable"); // BAD: no-unwrap-in-lib
+}
+
+pub fn fire_and_forget() {
+    std::thread::spawn(|| {}); // BAD: no-spawn-outside-pool
+}
+
+pub fn raw_read(p: *const u8) -> u8 {
+    unsafe { *p } // BAD: unsafe-needs-safety-comment
+}
+
+pub fn quietly_suppressed(s: &str) -> i64 {
+    // tsfm_lint: allow(no-unwrap-in-lib)
+    s.parse().unwrap() // BAD: bare allow does not suppress
+}
+
+pub fn misspelled_rule(s: &str) -> i64 {
+    // tsfm_lint: allow(no-unwraps-in-lib, "typo in the rule name")
+    s.parse().unwrap() // BAD: unknown rule, so the unwrap still fires too
+}

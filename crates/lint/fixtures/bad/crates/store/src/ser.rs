@@ -1,0 +1,4 @@
+// BAD: format-magic-once — a second module defining a TSFM magic for the
+// same crate (catalog.rs came first lexicographically, so this one is
+// flagged).
+pub const SEGMENT_MAGIC: &[u8; 8] = b"TSFMAAA2";

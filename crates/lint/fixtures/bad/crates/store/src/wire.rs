@@ -1,0 +1,13 @@
+use crate::error::StoreError;
+
+// BAD: wire-error-taxonomy-coverage — InvalidRequest and Internal never
+// reach the wire.
+pub fn error_json(err: &StoreError) -> String {
+    match err {
+        StoreError::Io(e) => format!("{{\"kind\":\"io\",\"detail\":\"{e}\"}}"),
+        StoreError::Corrupt { format, detail } => {
+            format!("{{\"kind\":\"corrupt\",\"format\":\"{format}\",\"detail\":\"{detail}\"}}")
+        }
+        _ => String::from("{\"kind\":\"unknown\"}"),
+    }
+}

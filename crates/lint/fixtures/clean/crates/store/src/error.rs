@@ -1,0 +1,6 @@
+#[derive(Debug)]
+pub enum StoreError {
+    Io(std::io::Error),
+    Corrupt { format: &'static str, detail: String },
+    Internal(String),
+}

@@ -1,0 +1,49 @@
+// False-positive corpus: every construct here LOOKS like a violation to
+// a naive grep but must produce zero findings. The integration tests
+// assert the whole tree lints clean under --deny-all.
+
+pub mod error;
+pub mod serve;
+pub mod ser;
+pub mod wire;
+
+/// Doc comments may discuss `.unwrap()` and `panic!` freely; so can
+/// `std::thread::spawn` — prose is not code.
+pub fn tokens_in_literals() -> Vec<&'static str> {
+    vec![
+        ".unwrap()",
+        "please don't .expect(\"anything\") here",
+        r#"raw: panic!("boom") and x.unwrap() stay literal"#,
+        r##"nested raw with "quotes": y.expect("msg")"##,
+        "std::thread::spawn(|| {})",
+        "unsafe { *p }",
+    ]
+}
+
+pub fn char_literals_are_not_strings() -> (char, char) {
+    // The '"' char must not open a string that would swallow the rest of
+    // the file and hide real code from the rules.
+    ('"', '\'')
+}
+
+pub fn documented_unsafe(p: *const u8) -> u8 {
+    // SAFETY: callers guarantee `p` points into a live, initialized
+    // buffer (checked by the bounds guard one frame up).
+    unsafe { *p }
+}
+
+pub fn justified_site(s: &str) -> i64 {
+    // tsfm_lint: allow(no-unwrap-in-lib, "input is a compile-time constant validated by the build script")
+    s.parse().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        let v: i64 = "42".parse().unwrap();
+        assert_eq!(v, 42);
+        let t = std::thread::spawn(|| 1);
+        assert_eq!(t.join().unwrap(), 1);
+    }
+}

@@ -1,0 +1,14 @@
+use crate::error::StoreError;
+
+// Every StoreError variant has a serialization arm: taxonomy covered.
+pub fn error_json(err: &StoreError) -> String {
+    match err {
+        StoreError::Io(e) => format!("{{\"kind\":\"io\",\"detail\":\"{e}\"}}"),
+        StoreError::Corrupt { format, detail } => {
+            format!("{{\"kind\":\"corrupt\",\"format\":\"{format}\",\"detail\":\"{detail}\"}}")
+        }
+        StoreError::Internal(detail) => {
+            format!("{{\"kind\":\"internal\",\"detail\":\"{detail}\"}}")
+        }
+    }
+}

@@ -1,0 +1,6 @@
+// Files under tests/ are whole-file test scope: unwrap freely.
+#[test]
+fn tests_dir_is_exempt() {
+    let v: i64 = "7".parse().unwrap();
+    assert_eq!(v, 7);
+}

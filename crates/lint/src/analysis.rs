@@ -1,0 +1,303 @@
+//! Per-file analysis model: the lexed views, line table, test-scope
+//! ranges, and parsed suppression comments that every rule consumes.
+
+use crate::lexer;
+
+/// One `// tsfm_lint: allow(rule, "justification")` comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    pub rule: String,
+    /// 1-based line the comment sits on.
+    pub line: usize,
+    /// `None` for a bare `allow(rule)` — itself a lint error.
+    pub justification: Option<String>,
+}
+
+/// Everything rules need to know about one source file.
+pub struct FileAnalysis {
+    /// Workspace-relative path with `/` separators.
+    pub rel: String,
+    pub src: String,
+    /// Source with non-code bytes blanked (same length, same newlines).
+    pub code: String,
+    /// Source with non-literal bytes blanked.
+    pub literals: String,
+    /// Source with non-comment bytes blanked.
+    pub comments: String,
+    /// Byte offset of each line start (index 0 = line 1).
+    pub line_starts: Vec<usize>,
+    /// Byte ranges covered by `#[cfg(test)]` / `#[test]` items or
+    /// `mod tests { … }` blocks.
+    pub test_ranges: Vec<(usize, usize)>,
+    /// Whole file is test/bench scope (under a `tests/` or `benches/`
+    /// directory component).
+    pub whole_file_test: bool,
+    pub allows: Vec<Allow>,
+}
+
+impl FileAnalysis {
+    pub fn new(rel: &str, src: String) -> FileAnalysis {
+        let mask = lexer::lex(&src);
+        let code = lexer::code_view(&src, &mask);
+        let literals = lexer::literal_view(&src, &mask);
+        let comments = lexer::comment_view(&src, &mask);
+        let line_starts = line_starts(&src);
+        let test_ranges = test_ranges(&code);
+        let whole_file_test = rel
+            .split('/')
+            .any(|part| part == "tests" || part == "benches")
+            || rel.ends_with("/tests.rs");
+        let allows = parse_allows(&comments, &line_starts);
+        FileAnalysis {
+            rel: rel.to_string(),
+            src,
+            code,
+            literals,
+            comments,
+            line_starts,
+            test_ranges,
+            whole_file_test,
+            allows,
+        }
+    }
+
+    /// 1-based line number of a byte offset.
+    pub fn line_of(&self, byte: usize) -> usize {
+        self.line_starts.partition_point(|&s| s <= byte)
+    }
+
+    /// Whether a byte offset sits in test scope.
+    pub fn in_test(&self, byte: usize) -> bool {
+        self.whole_file_test || self.test_ranges.iter().any(|&(s, e)| byte >= s && byte < e)
+    }
+
+    /// All non-test-scope occurrences of `needle` in the code view. With
+    /// `word_start`, the byte before the match must not be an identifier
+    /// byte (so `panic!` does not fire inside `should_panic`).
+    pub fn code_hits(&self, needle: &str, word_start: bool) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut from = 0usize;
+        while let Some(off) = self.code[from..].find(needle) {
+            let at = from + off;
+            from = at + 1;
+            if word_start && at > 0 && is_ident_byte(self.code.as_bytes()[at - 1]) {
+                continue;
+            }
+            if self.in_test(at) {
+                continue;
+            }
+            out.push(at);
+        }
+        out
+    }
+
+    /// The comment text (if any) on the given 1-based line.
+    fn comment_on_line(&self, line: usize) -> &str {
+        let start = self.line_starts[line - 1];
+        let end = self.line_starts.get(line).copied().unwrap_or(self.comments.len());
+        &self.comments[start..end]
+    }
+
+    /// Whether any of the `n` lines ending at `line` (inclusive) carries a
+    /// comment containing `needle` (used for `SAFETY:` lookbehind).
+    pub fn comment_nearby(&self, line: usize, needle: &str, n: usize) -> bool {
+        let lo = line.saturating_sub(n).max(1);
+        (lo..=line).any(|l| self.comment_on_line(l).contains(needle))
+    }
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+fn line_starts(src: &str) -> Vec<usize> {
+    let mut out = vec![0usize];
+    for (i, b) in src.bytes().enumerate() {
+        if b == b'\n' {
+            out.push(i + 1);
+        }
+    }
+    out
+}
+
+/// Find the byte ranges of test-scoped items in the code view:
+/// `#[cfg(test)]`/`#[test]`-attributed items and `mod tests`/`mod test`
+/// blocks. Each range runs from the marker to the closing brace of the
+/// item body (or its terminating `;`).
+fn test_ranges(code: &str) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for marker in ["#[cfg(test)]", "#[test]"] {
+        let mut from = 0usize;
+        while let Some(off) = code[from..].find(marker) {
+            let at = from + off;
+            from = at + 1;
+            if let Some(end) = item_end(code.as_bytes(), at + marker.len()) {
+                out.push((at, end));
+            }
+        }
+    }
+    let bytes = code.as_bytes();
+    let mut from = 0usize;
+    while let Some(off) = code[from..].find("mod ") {
+        let at = from + off;
+        from = at + 1;
+        if at > 0 && is_ident_byte(bytes[at - 1]) {
+            continue; // e.g. `pub_mod `
+        }
+        let rest = &code[at + 4..];
+        let name_len = rest.bytes().take_while(|&b| is_ident_byte(b)).count();
+        let name = &rest[..name_len];
+        if name != "tests" && name != "test" {
+            continue;
+        }
+        if let Some(end) = item_end(bytes, at + 4 + name_len) {
+            out.push((at, end));
+        }
+    }
+    out
+}
+
+/// From just past an attribute or `mod` name, skip further attributes and
+/// signature tokens to the item's body `{ … }` and return the offset one
+/// past its closing brace (or one past a terminating `;`).
+fn item_end(code: &[u8], mut i: usize) -> Option<usize> {
+    let n = code.len();
+    let mut paren_depth = 0i32;
+    while i < n {
+        match code[i] {
+            b'(' | b'[' => paren_depth += 1,
+            b')' | b']' => paren_depth -= 1,
+            b';' if paren_depth <= 0 => return Some(i + 1),
+            b'{' if paren_depth <= 0 => {
+                let mut depth = 1i32;
+                i += 1;
+                while i < n && depth > 0 {
+                    match code[i] {
+                        b'{' => depth += 1,
+                        b'}' => depth -= 1,
+                        _ => {}
+                    }
+                    i += 1;
+                }
+                return Some(i);
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Parse `tsfm_lint: allow(rule)` / `allow(rule, "justification")`
+/// directives out of the comment view.
+fn parse_allows(comments: &str, line_starts: &[usize]) -> Vec<Allow> {
+    const TAG: &str = "tsfm_lint:";
+    let mut out = Vec::new();
+    let mut from = 0usize;
+    while let Some(off) = comments[from..].find(TAG) {
+        let at = from + off;
+        from = at + TAG.len();
+        let line = line_starts.partition_point(|&s| s <= at);
+        // Suppressions live in plain `//` comments. A doc comment
+        // (`///`, `//!`, `/**`, `/*!`) mentioning the syntax is
+        // documentation, not a directive.
+        let line_start = line_starts[line - 1];
+        let lead = comments[line_start..at].trim_start();
+        if lead.starts_with("///")
+            || lead.starts_with("//!")
+            || lead.starts_with("/**")
+            || lead.starts_with("/*!")
+        {
+            continue;
+        }
+        let rest = comments[at + TAG.len()..].trim_start();
+        let Some(body) = rest.strip_prefix("allow(") else {
+            continue; // unknown directive; the rule for this lives in rules.rs
+        };
+        let Some(close) = body.find(')') else {
+            continue;
+        };
+        let inner = &body[..close];
+        let (rule, justification) = match inner.find(',') {
+            None => (inner.trim().to_string(), None),
+            Some(comma) => {
+                let rule = inner[..comma].trim().to_string();
+                let j = inner[comma + 1..].trim();
+                let j = j.strip_prefix('"').and_then(|j| j.strip_suffix('"')).map(str::trim);
+                (rule, j.filter(|j| !j.is_empty()).map(str::to_string))
+            }
+        };
+        out.push(Allow { rule, line, justification });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_scope_covers_cfg_test_and_mod_tests() {
+        let src = "fn a() { x.unwrap(); }\n\
+                   #[cfg(test)]\nmod tests {\n fn b() { y.unwrap(); }\n}\n";
+        let fa = FileAnalysis::new("crates/store/src/x.rs", src.to_string());
+        let hits = fa.code_hits(".unwrap(", false);
+        assert_eq!(hits.len(), 1, "only the non-test unwrap fires");
+        assert_eq!(fa.line_of(hits[0]), 1);
+    }
+
+    #[test]
+    fn plain_mod_tests_is_test_scope() {
+        let src = "mod tests { fn b() { y.unwrap(); } }\nfn a() { x.unwrap(); }\n";
+        let fa = FileAnalysis::new("crates/store/src/x.rs", src.to_string());
+        let hits = fa.code_hits(".unwrap(", false);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(fa.line_of(hits[0]), 2);
+    }
+
+    #[test]
+    fn test_attr_scopes_single_fn() {
+        let src = "#[test]\nfn t() { a.unwrap(); }\nfn b() { c.unwrap(); }\n";
+        let fa = FileAnalysis::new("crates/store/src/x.rs", src.to_string());
+        let hits = fa.code_hits(".unwrap(", false);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(fa.line_of(hits[0]), 3);
+    }
+
+    #[test]
+    fn tests_dir_is_whole_file_scope() {
+        let fa = FileAnalysis::new("crates/store/tests/x.rs", "fn a() { x.unwrap(); }".into());
+        assert!(fa.code_hits(".unwrap(", false).is_empty());
+    }
+
+    #[test]
+    fn tokens_inside_strings_do_not_hit() {
+        let src = "let s = \".unwrap()\"; let r = r#\"panic!(\"x\")\"#;\n";
+        let fa = FileAnalysis::new("crates/store/src/x.rs", src.to_string());
+        assert!(fa.code_hits(".unwrap(", false).is_empty());
+        assert!(fa.code_hits("panic!", true).is_empty());
+    }
+
+    #[test]
+    fn allows_parse_with_and_without_justification() {
+        let src = "// tsfm_lint: allow(no-unwrap-in-lib, \"held lock, poison impossible\")\n\
+                   x.lock().unwrap();\n\
+                   // tsfm_lint: allow(no-spawn-outside-pool)\n";
+        let fa = FileAnalysis::new("crates/store/src/x.rs", src.to_string());
+        assert_eq!(fa.allows.len(), 2);
+        assert_eq!(fa.allows[0].rule, "no-unwrap-in-lib");
+        assert_eq!(fa.allows[0].line, 1);
+        assert_eq!(fa.allows[0].justification.as_deref(), Some("held lock, poison impossible"));
+        assert_eq!(fa.allows[1].rule, "no-spawn-outside-pool");
+        assert_eq!(fa.allows[1].justification, None);
+    }
+
+    #[test]
+    fn word_start_guards_macro_names() {
+        let src = "#[should_panic] fn x() {}\nfn y() { panic!(\"boom\") }\n";
+        let fa = FileAnalysis::new("crates/store/src/x.rs", src.to_string());
+        let hits = fa.code_hits("panic!", true);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(fa.line_of(hits[0]), 2);
+    }
+}

@@ -1,0 +1,332 @@
+//! A mini-lexer for Rust source: classifies every byte as code, comment,
+//! or literal so rules fire on code and never on a token that merely
+//! appears inside a string, a raw string, a char literal, or a comment.
+//!
+//! This is not a full Rust lexer — it only needs to answer "is this byte
+//! part of a comment/literal?" and to keep enough structure (newlines,
+//! byte offsets) for line attribution and brace matching. It handles:
+//!
+//! * line comments (`//`, `///`, `//!`) and nested block comments
+//! * string literals with escapes, byte strings (`b"…"`), C strings
+//!   (`c"…"`)
+//! * raw strings with any number of hashes (`r"…"`, `r#"…"#`, `br#"…"#`,
+//!   `cr#"…"#`) — and raw *identifiers* (`r#match`), which are code
+//! * char and byte-char literals (`'a'`, `'\u{1F980}'`, `b'\n'`) versus
+//!   lifetimes (`'a`, `'static`, `'_`), disambiguated by lookahead
+
+/// Per-byte classification.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Mask {
+    /// Plain code: keywords, idents, operators, whitespace.
+    Code,
+    /// Inside a line or block comment (delimiters included).
+    Comment,
+    /// Inside a string/char literal (prefix and quotes included).
+    Literal,
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+/// Classify every byte of `src`. Unterminated constructs (possible in
+/// lint *fixtures*, not in code that compiles) extend to end of input
+/// rather than erroring: the lexer must never give up on a file.
+pub fn lex(src: &str) -> Vec<Mask> {
+    let b = src.as_bytes();
+    let n = b.len();
+    let mut mask = vec![Mask::Code; n];
+    let mut i = 0usize;
+    while i < n {
+        match b[i] {
+            b'/' if i + 1 < n && b[i + 1] == b'/' => {
+                let start = i;
+                while i < n && b[i] != b'\n' {
+                    i += 1;
+                }
+                mask[start..i].fill(Mask::Comment);
+            }
+            b'/' if i + 1 < n && b[i + 1] == b'*' => {
+                let start = i;
+                let mut depth = 1usize;
+                i += 2;
+                while i < n && depth > 0 {
+                    if b[i] == b'/' && i + 1 < n && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < n && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                mask[start..i].fill(Mask::Comment);
+            }
+            b'"' => {
+                let start = i;
+                i = skip_string(b, i);
+                mask[start..i].fill(Mask::Literal);
+            }
+            b'\'' => {
+                if let Some(end) = char_literal_end(b, i) {
+                    mask[i..end].fill(Mask::Literal);
+                    i = end;
+                } else {
+                    i += 1; // a lifetime: the quote is code
+                }
+            }
+            c @ (b'r' | b'b' | b'c') if i == 0 || !is_ident_byte(b[i - 1]) => {
+                if let Some((start_quote, hashes)) = literal_prefix(b, i, c) {
+                    let start = i;
+                    i = if hashes > 0 || b[start_quote] == b'"' {
+                        if b[start_quote] == b'"' && hashes == 0 {
+                            skip_string(b, start_quote)
+                        } else {
+                            skip_raw_string(b, start_quote, hashes)
+                        }
+                    } else {
+                        // b'…': byte-char literal
+                        char_literal_end(b, start_quote).unwrap_or(start_quote + 1)
+                    };
+                    mask[start..i].fill(Mask::Literal);
+                } else {
+                    // An ordinary identifier starting with r/b/c, or a raw
+                    // identifier like r#match: consume the ident as code.
+                    i += 1;
+                    if b.get(i) == Some(&b'#') && b.get(i + 1).is_some_and(|&c| is_ident_byte(c)) {
+                        i += 1; // raw identifier: skip the hash
+                    }
+                    while i < n && is_ident_byte(b[i]) {
+                        i += 1;
+                    }
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    mask
+}
+
+/// If the prefix letter at `i` starts a string-ish literal, return the
+/// index of its opening quote and the number of raw-string hashes.
+/// Recognized: `r"` `r#…"` `b"` `b'` `br"` `br#…"` `c"` `cr#…"`.
+fn literal_prefix(b: &[u8], i: usize, first: u8) -> Option<(usize, usize)> {
+    let mut j = i + 1;
+    let mut raw = first == b'r';
+    if !raw && (first == b'b' || first == b'c') && b.get(j) == Some(&b'r') {
+        raw = true;
+        j += 1;
+    }
+    if raw {
+        let hash_start = j;
+        while b.get(j) == Some(&b'#') {
+            j += 1;
+        }
+        let hashes = j - hash_start;
+        if b.get(j) == Some(&b'"') {
+            return Some((j, hashes));
+        }
+        return None; // r#ident (raw identifier) or plain ident
+    }
+    match b.get(j) {
+        Some(&b'"') => Some((j, 0)),
+        Some(&b'\'') if first == b'b' => Some((j, 0)),
+        _ => None,
+    }
+}
+
+/// Skip a `"…"` string starting at the opening quote; returns the index
+/// one past the closing quote (or end of input).
+fn skip_string(b: &[u8], start: usize) -> usize {
+    let n = b.len();
+    let mut i = start + 1;
+    while i < n {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    n
+}
+
+/// Skip a raw string whose opening quote is at `quote` with `hashes`
+/// leading hashes; returns the index one past the closing delimiter.
+fn skip_raw_string(b: &[u8], quote: usize, hashes: usize) -> usize {
+    let n = b.len();
+    let mut i = quote + 1;
+    while i < n {
+        if b[i] == b'"' {
+            let mut k = 0usize;
+            while k < hashes && b.get(i + 1 + k) == Some(&b'#') {
+                k += 1;
+            }
+            if k == hashes {
+                return i + 1 + hashes;
+            }
+        }
+        i += 1;
+    }
+    n
+}
+
+/// If the `'` at `i` starts a char literal, return the index one past its
+/// closing quote; `None` means it is a lifetime (or stray quote).
+fn char_literal_end(b: &[u8], i: usize) -> Option<usize> {
+    let n = b.len();
+    let j = i + 1;
+    if j >= n {
+        return None;
+    }
+    if b[j] == b'\\' {
+        // Escaped char: `'\n'`, `'\''`, `'\u{1F980}'` — scan (bounded) for
+        // the closing quote after the escape body.
+        let mut k = j + 2; // past the backslash and the escape head
+        while k < n && k - i <= 16 {
+            if b[k] == b'\'' {
+                return Some(k + 1);
+            }
+            k += 1;
+        }
+        return None;
+    }
+    // Unescaped: exactly one character then a closing quote, else it is a
+    // lifetime (`'a`, `'static`) or a loose quote.
+    let ch_len = utf8_len(b[j]);
+    if b[j] != b'\'' && b.get(j + ch_len) == Some(&b'\'') {
+        return Some(j + ch_len + 1);
+    }
+    None
+}
+
+/// The source with every non-code byte blanked to a space (newlines kept
+/// so byte offsets map to the same line numbers). Rules match against
+/// this view, so tokens inside strings and comments can never fire.
+pub fn code_view(src: &str, mask: &[Mask]) -> String {
+    view_where(src, mask, Mask::Code)
+}
+
+/// The source with everything but literal bytes blanked (for rules about
+/// literal *contents*, like magic-byte definitions).
+pub fn literal_view(src: &str, mask: &[Mask]) -> String {
+    view_where(src, mask, Mask::Literal)
+}
+
+/// The source with everything but comment bytes blanked (suppression and
+/// SAFETY-comment scanning).
+pub fn comment_view(src: &str, mask: &[Mask]) -> String {
+    view_where(src, mask, Mask::Comment)
+}
+
+fn view_where(src: &str, mask: &[Mask], keep: Mask) -> String {
+    // One output byte per input byte — views must preserve byte offsets
+    // exactly, so non-ascii bytes in kept regions become '?' (one byte),
+    // never a multi-byte replacement char.
+    let bytes: Vec<u8> = src
+        .bytes()
+        .zip(mask)
+        .map(|(b, &m)| {
+            if b == b'\n' || (m == keep && b.is_ascii()) {
+                b
+            } else if m == keep {
+                b'?'
+            } else {
+                b' '
+            }
+        })
+        .collect();
+    String::from_utf8(bytes).unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> String {
+        lex(src)
+            .iter()
+            .map(|m| match m {
+                Mask::Code => 'c',
+                Mask::Comment => '/',
+                Mask::Literal => 's',
+            })
+            .collect()
+    }
+
+    #[test]
+    fn views_preserve_byte_offsets_with_multibyte_chars() {
+        // Em dashes and other multibyte chars must not shift offsets in
+        // any view — suppression line math depends on it.
+        let src = "//! docs — with a dash\n// tsfm_lint: allow(x, \"y\")\nfn f() {}\n";
+        let mask = lex(src);
+        for view in [code_view(src, &mask), comment_view(src, &mask), literal_view(src, &mask)] {
+            assert_eq!(view.len(), src.len());
+            let tag_src = src.find("tsfm_lint:");
+            let tag_view = view.find("tsfm_lint:");
+            if view.contains("tsfm_lint:") {
+                assert_eq!(tag_src, tag_view);
+            }
+        }
+    }
+
+    #[test]
+    fn line_and_block_comments() {
+        // "a " code, "// x" comment, newline + "b" code again.
+        assert_eq!(kinds("a // x\nb"), "cc////cc");
+        // Nested block comment: everything from /* to the matching */ is
+        // comment, including the inner pair.
+        assert_eq!(kinds("a /* b /* c */ d */ e"), "cc/////////////////cc");
+    }
+
+    #[test]
+    fn strings_and_escapes() {
+        // x( code, "a\"b" literal (6 bytes incl. quotes), ) and ` y` code.
+        assert_eq!(kinds(r#"x("a\"b") y"#), "ccssssssccc");
+        // Raw strings with hashes; interior quotes do not terminate.
+        let src = r##"f(r#"a "b" c"#)"##;
+        assert_eq!(kinds(src), format!("cc{}c", "s".repeat(src.len() - 3)));
+        // Raw identifiers are code.
+        assert_eq!(kinds("r#match"), "ccccccc");
+        // Byte and C strings.
+        assert_eq!(kinds(r#"b"ab""#), "sssss");
+        assert_eq!(kinds(r#"c"ab""#), "sssss");
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        assert_eq!(kinds("'a'"), "sss");
+        assert_eq!(kinds("&'a str"), "ccccccc");
+        assert_eq!(kinds(r"'\n'"), "ssss");
+        assert_eq!(kinds(r"'\u{1F980}'"), "sssssssssss");
+        assert_eq!(kinds("b'x'"), "ssss");
+        assert_eq!(kinds("'🦀'"), "s".repeat("'🦀'".len()));
+        // A quote char literal must not open a string: ( code, '"' literal,
+        // `, ` code, "x" literal, ) code.
+        assert_eq!(kinds(r#"('"', "x")"#), "csssccsssc");
+    }
+
+    #[test]
+    fn unwrap_in_string_is_not_code() {
+        let src = r#"let s = ".unwrap()"; s.parse().unwrap()"#;
+        let view = code_view(src, &lex(src));
+        assert_eq!(view.matches(".unwrap()").count(), 1);
+        assert!(!view[..24].contains(".unwrap"));
+    }
+
+    #[test]
+    fn unterminated_literals_extend_to_eof() {
+        assert!(kinds("\"abc").chars().all(|c| c == 's'));
+        assert!(kinds("r#\"abc").chars().all(|c| c == 's'));
+        assert!(kinds("/* abc").chars().all(|c| c == '/'));
+    }
+}

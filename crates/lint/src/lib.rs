@@ -1,0 +1,39 @@
+//! `tsfm_lint` — std-only static analysis for the tsfm workspace.
+//!
+//! The serving stack's correctness contracts (panic-free hot paths,
+//! poison-tolerant locks, bounded threading, a wire-complete error
+//! taxonomy, single-definition format magics) used to live only in prose.
+//! This crate machine-checks them: a mini Rust lexer classifies every
+//! byte as code/comment/literal so rules fire on code — never on a token
+//! inside a string, a raw string, a char literal, a comment, or a
+//! `#[cfg(test)]`/`mod tests` block — and a small registry of
+//! project-specific rules runs over the whole workspace.
+//!
+//! Run it as the CI gate:
+//!
+//! ```text
+//! cargo run -p tsfm_lint -- --deny-all          # non-zero exit on findings
+//! cargo run -p tsfm_lint -- --json              # machine-readable report
+//! cargo run -p tsfm_lint -- --list-rules
+//! ```
+//!
+//! Suppress a finding with an inline justified allow (bare allows are
+//! themselves findings):
+//!
+//! ```text
+//! // tsfm_lint: allow(no-unwrap-in-lib, "slot was filled two lines up")
+//! ```
+//!
+//! See [`rules`] for the rule table.
+
+#![forbid(unsafe_code)]
+
+pub mod analysis;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod runner;
+
+pub use analysis::FileAnalysis;
+pub use rules::{Finding, RULES};
+pub use runner::{lint_paths, lint_root, Report, Suppression};

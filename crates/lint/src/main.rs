@@ -1,0 +1,86 @@
+//! The `tsfm_lint` CLI. See `--help`.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use tsfm_lint::{report, rules, runner};
+
+const USAGE: &str = "\
+tsfm_lint — std-only static analysis for the tsfm workspace
+
+USAGE:
+    tsfm_lint [OPTIONS] [PATH...]
+
+OPTIONS:
+    --root <DIR>    Tree to lint (default: current directory). Point it at
+                    a fixture corpus to lint that corpus as a workspace.
+    --json          Emit the report as one JSON object (parseable by the
+                    store's own wire parser)
+    --deny-all      Exit non-zero if any finding survives suppression —
+                    the CI gate mode
+    --list-rules    Print the rule table and exit
+    -h, --help      This text
+
+PATH arguments restrict the run to those files (relative to --root).
+Without --deny-all the run is advisory: findings print, exit stays 0.";
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut deny_all = false;
+    let mut paths: Vec<PathBuf> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("--root needs a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--json" => json = true,
+            "--deny-all" => deny_all = true,
+            "--list-rules" => {
+                for r in rules::RULES {
+                    println!("{:32} {}", r.name, r.summary);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown option {other:?}\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            file => paths.push(PathBuf::from(file)),
+        }
+    }
+
+    let report = if paths.is_empty() {
+        runner::lint_root(&root)
+    } else {
+        runner::lint_paths(&root, &paths)
+    };
+    let report = match report {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("tsfm_lint: i/o error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        println!("{}", report::json(&report));
+    } else {
+        print!("{}", report::text(&report));
+    }
+    if deny_all && !report.clean() {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

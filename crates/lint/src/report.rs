@@ -1,0 +1,65 @@
+//! Report rendering: human text and one-object JSON. The JSON is emitted
+//! through [`tsfm_store::wire::escape_json`], the workspace's single JSON
+//! string escaper, so every report line is parseable by
+//! [`tsfm_store::wire::parse_json`] by construction — the lint's tests
+//! round-trip it through that parser.
+
+use crate::rules;
+use crate::runner::Report;
+use std::fmt::Write as _;
+use tsfm_store::wire::escape_json;
+
+/// `file:line: [rule] message` lines plus a one-line summary.
+pub fn text(report: &Report) -> String {
+    let mut out = String::new();
+    for f in &report.findings {
+        let _ = writeln!(out, "{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+    }
+    let _ = writeln!(
+        out,
+        "tsfm_lint: {} finding(s), {} active suppression(s), {} file(s) checked",
+        report.findings.len(),
+        report.suppressions.len(),
+        report.files_checked
+    );
+    out
+}
+
+/// The whole report as one JSON object (single line).
+pub fn json(report: &Report) -> String {
+    let findings: Vec<String> = report
+        .findings
+        .iter()
+        .map(|f| {
+            format!(
+                "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+                escape_json(f.rule),
+                escape_json(&f.file),
+                f.line,
+                escape_json(&f.message)
+            )
+        })
+        .collect();
+    let suppressions: Vec<String> = report
+        .suppressions
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"justification\":\"{}\"}}",
+                escape_json(&s.rule),
+                escape_json(&s.file),
+                s.line,
+                escape_json(&s.justification)
+            )
+        })
+        .collect();
+    let rules: Vec<String> =
+        rules::rule_names().iter().map(|r| format!("\"{}\"", escape_json(r))).collect();
+    format!(
+        "{{\"version\":1,\"files_checked\":{},\"findings\":[{}],\"suppressions\":[{}],\"rules\":[{}]}}",
+        report.files_checked,
+        findings.join(","),
+        suppressions.join(","),
+        rules.join(",")
+    )
+}

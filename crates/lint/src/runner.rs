@@ -1,0 +1,131 @@
+//! Walk a source tree, run every rule, apply suppressions, and produce a
+//! [`Report`].
+
+use crate::analysis::FileAnalysis;
+use crate::rules::{self, Finding};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A justified suppression that is in effect (reported so `--json`
+/// consumers can audit the full allow inventory).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppression {
+    pub rule: String,
+    pub file: String,
+    pub line: usize,
+    pub justification: String,
+}
+
+/// The outcome of a lint run.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub files_checked: usize,
+    pub findings: Vec<Finding>,
+    pub suppressions: Vec<Suppression>,
+}
+
+impl Report {
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Directories never descended into: build output, vendored shims
+/// (third-party idiom, exempt by design), VCS metadata, and the lint's
+/// own fixture corpus (linted explicitly by its tests, not by the
+/// workspace gate).
+const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", "fixtures", "node_modules"];
+
+/// Recursively collect `.rs` files under `root`, sorted for determinism.
+pub fn collect_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if entry.file_type()?.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_ref()) && !name.starts_with('.') {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Workspace-relative `/`-separated path.
+fn rel_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Lint every `.rs` file under `root`.
+pub fn lint_root(root: &Path) -> io::Result<Report> {
+    let files = collect_files(root)?;
+    lint_paths(root, &files)
+}
+
+/// Lint an explicit file list (paths may be absolute or root-relative).
+pub fn lint_paths(root: &Path, files: &[PathBuf]) -> io::Result<Report> {
+    let mut analyses = Vec::with_capacity(files.len());
+    for path in files {
+        let abs = if path.is_absolute() { path.clone() } else { root.join(path) };
+        let src = fs::read_to_string(&abs)?;
+        analyses.push(FileAnalysis::new(&rel_path(root, &abs), src));
+    }
+    Ok(run(&analyses))
+}
+
+/// Run every rule over pre-built analyses (the test-corpus entry point).
+pub fn run(analyses: &[FileAnalysis]) -> Report {
+    let mut findings = Vec::new();
+    for fa in analyses {
+        rules::no_unwrap_in_lib(fa, &mut findings);
+        rules::unsafe_needs_safety_comment(fa, &mut findings);
+        rules::no_spawn_outside_pool(fa, &mut findings);
+        rules::suppression_needs_justification(fa, &mut findings);
+    }
+    rules::wire_error_taxonomy_coverage(analyses, &mut findings);
+    rules::format_magic_once(analyses, &mut findings);
+
+    // Apply suppressions: a justified allow for the same rule on the
+    // finding's line, or on the line directly above it, silences the
+    // finding. Bare allows never suppress (and are themselves findings).
+    let mut suppressions = Vec::new();
+    for fa in analyses {
+        for allow in &fa.allows {
+            if let Some(j) = &allow.justification {
+                suppressions.push(Suppression {
+                    rule: allow.rule.clone(),
+                    file: fa.rel.clone(),
+                    line: allow.line,
+                    justification: j.clone(),
+                });
+            }
+        }
+    }
+    findings.retain(|f| {
+        // The meta rule cannot be silenced by the thing it polices.
+        f.rule == rules::SUPPRESSION
+            || !suppressions.iter().any(|s| {
+                s.rule == f.rule
+                    && s.file == f.file
+                    && (s.line == f.line || s.line + 1 == f.line)
+            })
+    });
+    findings.sort_by(|a, b| {
+        a.file.cmp(&b.file).then(a.line.cmp(&b.line)).then(a.rule.cmp(b.rule))
+    });
+    suppressions.sort_by(|a, b| a.file.cmp(&b.file).then(a.line.cmp(&b.line)));
+    Report { files_checked: analyses.len(), findings, suppressions }
+}

@@ -1,0 +1,125 @@
+//! Drive the `tsfm_lint` binary over the seeded fixture corpora and
+//! assert exit codes, rule names, and that `--json` output round-trips
+//! through the store's own wire parser.
+
+use std::path::PathBuf;
+use std::process::Command;
+use tsfm_store::wire::{parse_json, Json};
+
+fn fixture_root(which: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures").join(which)
+}
+
+fn run_lint(root: &str, extra: &[&str]) -> (i32, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_tsfm_lint"))
+        .arg("--root")
+        .arg(fixture_root(root))
+        .args(extra)
+        .output()
+        .expect("spawn tsfm_lint");
+    let code = out.status.code().unwrap_or(-1);
+    (code, String::from_utf8(out.stdout).expect("utf8 stdout"))
+}
+
+fn findings(report: &Json) -> Vec<(String, String, f64)> {
+    let Some(Json::Arr(items)) = report.get("findings") else {
+        panic!("report has no findings array");
+    };
+    items
+        .iter()
+        .map(|f| {
+            (
+                f.get("rule").and_then(Json::as_str).expect("rule").to_string(),
+                f.get("file").and_then(Json::as_str).expect("file").to_string(),
+                f.get("line").and_then(Json::as_f64).expect("line"),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn bad_corpus_fails_deny_all_with_every_rule() {
+    let (code, stdout) = run_lint("bad", &["--deny-all", "--json"]);
+    assert_eq!(code, 1, "seeded violations must fail the gate; output:\n{stdout}");
+
+    // The JSON must be parseable by the store's own wire parser.
+    let report = parse_json(stdout.trim()).expect("report parses as wire JSON");
+    let found = findings(&report);
+    let rules_hit: std::collections::BTreeSet<&str> =
+        found.iter().map(|(r, ..)| r.as_str()).collect();
+    for rule in [
+        "no-unwrap-in-lib",
+        "unsafe-needs-safety-comment",
+        "no-spawn-outside-pool",
+        "wire-error-taxonomy-coverage",
+        "format-magic-once",
+        "suppression-needs-justification",
+    ] {
+        assert!(rules_hit.contains(rule), "rule {rule} did not fire; got {rules_hit:?}");
+    }
+
+    // Spot-check anchors: the bare allow is a finding AND the site it
+    // failed to suppress still fires.
+    let lib = "crates/store/src/lib.rs";
+    assert!(found
+        .iter()
+        .any(|(r, f, _)| r == "suppression-needs-justification" && f == lib));
+    assert!(
+        found.iter().filter(|(r, f, _)| r == "no-unwrap-in-lib" && f == lib).count() >= 5,
+        "unwrap/expect/panic sites plus unsuppressed allows must all fire"
+    );
+    // The flagged magic is in ser.rs (catalog.rs is lexicographically
+    // first on the tie, so it is canonical).
+    assert!(found
+        .iter()
+        .any(|(r, f, _)| r == "format-magic-once" && f == "crates/store/src/ser.rs"));
+    // Missing wire arms anchor at error_json in wire.rs.
+    assert_eq!(
+        found.iter().filter(|(r, f, _)| r == "wire-error-taxonomy-coverage" && f == "crates/store/src/wire.rs").count(),
+        2,
+        "InvalidRequest and Internal both lack arms"
+    );
+}
+
+#[test]
+fn clean_corpus_passes_deny_all() {
+    let (code, stdout) = run_lint("clean", &["--deny-all", "--json"]);
+    let report = parse_json(stdout.trim()).expect("report parses as wire JSON");
+    assert_eq!(code, 0, "false-positive corpus must lint clean:\n{stdout}");
+    assert!(findings(&report).is_empty(), "no findings expected:\n{stdout}");
+}
+
+#[test]
+fn suppressions_round_trip_through_json() {
+    let (_, stdout) = run_lint("clean", &["--json"]);
+    let report = parse_json(stdout.trim()).expect("report parses as wire JSON");
+    let Some(Json::Arr(supps)) = report.get("suppressions") else {
+        panic!("report has no suppressions array");
+    };
+    assert_eq!(supps.len(), 1, "exactly the one justified allow:\n{stdout}");
+    let s = &supps[0];
+    assert_eq!(s.get("rule").and_then(Json::as_str), Some("no-unwrap-in-lib"));
+    assert_eq!(s.get("file").and_then(Json::as_str), Some("crates/store/src/lib.rs"));
+    let j = s.get("justification").and_then(Json::as_str).expect("justification");
+    assert!(j.contains("compile-time constant"), "justification text survives: {j}");
+}
+
+#[test]
+fn text_mode_is_advisory_without_deny_all() {
+    let (code, stdout) = run_lint("bad", &[]);
+    assert_eq!(code, 0, "without --deny-all the run is advisory");
+    assert!(stdout.contains("[no-unwrap-in-lib]"));
+    assert!(stdout.lines().last().is_some_and(|l| l.starts_with("tsfm_lint:")));
+}
+
+#[test]
+fn rule_list_matches_registry() {
+    let out = Command::new(env!("CARGO_BIN_EXE_tsfm_lint"))
+        .arg("--list-rules")
+        .output()
+        .expect("spawn tsfm_lint");
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    for rule in tsfm_lint::rules::rule_names() {
+        assert!(stdout.contains(rule), "--list-rules missing {rule}");
+    }
+}

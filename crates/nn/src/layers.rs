@@ -503,7 +503,7 @@ mod tests {
         assert_eq!(eval_tape.value(y), &x0, "identity at eval");
 
         let mut train_tape = Tape::new(true, 9);
-        let x = train_tape.constant(x0.clone());
+        let x = train_tape.constant(x0);
         let y = train_tape.dropout(x, 0.5);
         let dropped = train_tape
             .value(y)

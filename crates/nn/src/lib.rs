@@ -9,6 +9,8 @@
 //! finite-difference-checked), attention is real multi-head self-attention,
 //! and optimization is real AdamW with warmup scheduling.
 
+#![forbid(unsafe_code)]
+
 pub mod gradcheck;
 pub mod io;
 pub mod layers;

@@ -333,7 +333,7 @@ impl Tape {
         let c = *va.shape().last().expect("softmax needs rank >= 1");
         let mut out = (*va).clone();
         for row in out.data_mut().chunks_mut(c) {
-            let m = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
             let mut z = 0.0;
             for v in row.iter_mut() {
                 *v = (*v - m).exp();
@@ -619,7 +619,7 @@ impl Tape {
         let mut valid = 0usize;
         for i in 0..n {
             let row = &vl.data()[i * c..(i + 1) * c];
-            let m = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
             let mut z = 0.0f32;
             let prow = &mut probs.data_mut()[i * c..(i + 1) * c];
             for (p, &x) in prow.iter_mut().zip(row) {

@@ -76,7 +76,7 @@ fn grad_add_bias_both_sides() {
         5e-2
     )
     .is_ok());
-    let xc = x.clone();
+    let xc = x;
     assert!(check_gradients(
         move |t, v| {
             let xx = t.constant(xc.clone());
@@ -127,7 +127,7 @@ fn grad_matmul_both_sides() {
         5e-2
     )
     .is_ok());
-    let ac = a.clone();
+    let ac = a;
     assert!(check_gradients(
         move |t, v| {
             let c = t.constant(ac.clone());
@@ -157,7 +157,7 @@ fn grad_bmm_both_sides() {
         5e-2
     )
     .is_ok());
-    let ac = a.clone();
+    let ac = a;
     assert!(check_gradients(
         move |t, v| {
             let c = t.constant(ac.clone());
@@ -189,7 +189,7 @@ fn grad_reshape_permute_select_concat() {
 
     let a = randn(&[3, 2], 13);
     let b = randn(&[3, 4], 14);
-    let bc = b.clone();
+    let bc = b;
     assert!(check_gradients(
         move |t, v| {
             let c = t.constant(bc.clone());
@@ -251,8 +251,8 @@ fn grad_softmax_and_layernorm() {
     .is_ok());
 
     // gamma / beta gradients
-    let xc = x.clone();
-    let bc2 = beta.clone();
+    let xc = x;
+    let bc2 = beta;
     assert!(check_gradients(
         move |t, v| {
             let xx = t.constant(xc.clone());
@@ -293,7 +293,7 @@ fn grad_embedding() {
 fn grad_attn_bias_and_masked_mean() {
     let x = randn(&[4, 3, 3], 19); // [B*H, T, T] with B=2, H=2
     let bias = attn_bias_from_lengths(&[3, 2], 3);
-    let bc = bias.clone();
+    let bc = bias;
     assert!(check_gradients(
         move |t, v| {
             let y = t.add_attn_bias(v, &bc, 2);

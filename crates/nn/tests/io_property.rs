@@ -109,7 +109,7 @@ fn garbled_header_fields_rejected() {
     assert!(read_checkpoint(&path).is_err());
 
     // Absurd name length on the first param.
-    let mut bad = good.clone();
+    let mut bad = good;
     bad[12..16].copy_from_slice(&u32::MAX.to_le_bytes());
     std::fs::write(&path, &bad).unwrap();
     assert!(read_checkpoint(&path).is_err());

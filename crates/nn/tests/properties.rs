@@ -25,7 +25,7 @@ proptest! {
         let x0 = Tensor::randn(&[rows, cols], 0.8, &mut rng);
         let other = Tensor::randn(&[rows, cols], 0.8, &mut rng);
         let w = Tensor::randn(&[cols, 2], 0.8, &mut rng);
-        let ops2 = ops.clone();
+        let ops2 = ops;
         let res = check_gradients(
             move |t, v| {
                 let mut cur = v;

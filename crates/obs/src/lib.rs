@@ -22,13 +22,20 @@
 //! * [`slowlog`] — a bounded, always-sorted log of the slowest
 //!   operations with their per-stage breakdowns, behind an atomic
 //!   admission floor so fast requests pay one relaxed load.
+//! * [`sync`] — poison-tolerant lock helpers. One panicking thread must
+//!   not cascade into every other thread that shares a lock; all tsfm
+//!   crates lock through these.
+
+#![forbid(unsafe_code)]
 
 pub mod metrics;
 pub mod slowlog;
+pub mod sync;
 pub mod trace;
 
 pub use metrics::{Counter, Gauge, Histogram, Registry};
 pub use slowlog::{SlowEntry, Slowlog};
+pub use sync::{lock_unpoisoned, read_unpoisoned, wait_timeout_unpoisoned, write_unpoisoned};
 pub use trace::{Span, SpanRecord};
 
 /// RAII tracing guard: `let _g = tsfm_obs::span!("query.join");`.

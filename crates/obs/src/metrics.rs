@@ -255,13 +255,14 @@ impl Registry {
     ) -> Arc<T> {
         assert!(valid_name(name), "invalid metric name {name:?}");
         let mismatch = |e: &Entry| {
+            // tsfm_lint: allow(no-unwrap-in-lib, "kind mismatch is a compile-time wiring bug caught by the first scrape in any test or dev run; limping on with a mistyped instrument would silently corrupt the metric")
             panic!("metric {name:?} already registered as a {}", e.inst.kind())
         };
         // Fast path: the instrument exists, a read lock suffices.
-        if let Some(e) = self.inner.read().expect("metrics registry").get(name) {
+        if let Some(e) = crate::sync::read_unpoisoned(&self.inner).get(name) {
             return project(&e.inst).unwrap_or_else(|| mismatch(e));
         }
-        let mut w = self.inner.write().expect("metrics registry");
+        let mut w = crate::sync::write_unpoisoned(&self.inner);
         // Re-check under the write lock: another thread may have won the
         // registration race between our read and write.
         let e = w
@@ -312,7 +313,7 @@ impl Registry {
 
     /// Registered names, sorted (the registry map is a `BTreeMap`).
     pub fn names(&self) -> Vec<String> {
-        self.inner.read().expect("metrics registry").keys().cloned().collect()
+        crate::sync::read_unpoisoned(&self.inner).keys().cloned().collect()
     }
 
     /// Render every instrument as Prometheus text exposition
@@ -321,7 +322,7 @@ impl Registry {
     /// log-bucket layout already gives ~3%-accurate quantiles
     /// server-side.
     pub fn prometheus_text(&self) -> String {
-        let inner = self.inner.read().expect("metrics registry");
+        let inner = crate::sync::read_unpoisoned(&self.inner);
         let mut out = String::new();
         for (name, e) in inner.iter() {
             let help = e.help.replace('\\', "\\\\").replace('\n', "\\n");

@@ -30,7 +30,7 @@ pub struct SlowEntry {
 
 /// Milliseconds since the Unix epoch, for stamping [`SlowEntry::unix_ms`].
 pub fn unix_ms_now() -> u64 {
-    SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_millis() as u64).unwrap_or(0)
+    SystemTime::now().duration_since(UNIX_EPOCH).map_or(0, |d| d.as_millis() as u64)
 }
 
 /// A bounded slowest-first log. All methods are `&self`; share behind an
@@ -66,7 +66,7 @@ impl Slowlog {
         if e.total_us <= self.floor.load(Ordering::Relaxed) {
             return;
         }
-        let mut v = self.entries.lock().expect("slowlog");
+        let mut v = crate::sync::lock_unpoisoned(&self.entries);
         let pos = v.partition_point(|x| x.total_us >= e.total_us);
         if pos >= self.cap {
             return; // raced below the floor while waiting for the lock
@@ -76,17 +76,19 @@ impl Slowlog {
             v.pop();
         }
         if v.len() == self.cap {
-            self.floor.store(v.last().expect("cap >= 1").total_us, Ordering::Relaxed);
+            if let Some(last) = v.last() {
+                self.floor.store(last.total_us, Ordering::Relaxed);
+            }
         }
     }
 
     /// Current contents, slowest first.
     pub fn snapshot(&self) -> Vec<SlowEntry> {
-        self.entries.lock().expect("slowlog").clone()
+        crate::sync::lock_unpoisoned(&self.entries).clone()
     }
 
     pub fn len(&self) -> usize {
-        self.entries.lock().expect("slowlog").len()
+        crate::sync::lock_unpoisoned(&self.entries).len()
     }
 
     pub fn is_empty(&self) -> bool {

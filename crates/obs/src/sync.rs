@@ -1,0 +1,85 @@
+//! Poison-tolerant lock helpers.
+//!
+//! A poisoned `Mutex`/`RwLock` means some thread panicked while holding
+//! the guard — it says nothing about the integrity of the data for our
+//! uses (counters, ring buffers, registries, swap-on-reload snapshots),
+//! all of which are valid at every intermediate state. Propagating the
+//! poison would instead cascade one worker's panic into every thread
+//! that touches the lock afterwards, which is exactly the failure mode
+//! the serve pool must contain. These helpers recover the guard and
+//! keep going.
+//!
+//! Use these instead of `.lock().unwrap()` / `.expect("...")` anywhere
+//! outside tests; the `no-unwrap-in-lib` lint enforces it.
+
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard, WaitTimeoutResult};
+use std::time::Duration;
+
+/// Lock a mutex, recovering the guard if a previous holder panicked.
+pub fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Read-lock an `RwLock`, recovering the guard if a writer panicked.
+pub fn read_unpoisoned<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Write-lock an `RwLock`, recovering the guard if a holder panicked.
+pub fn write_unpoisoned<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// `Condvar::wait_timeout` that recovers the guard on poison.
+pub fn wait_timeout_unpoisoned<'a, T>(
+    cv: &Condvar,
+    guard: MutexGuard<'a, T>,
+    dur: Duration,
+) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
+    cv.wait_timeout(guard, dur).unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex, RwLock};
+
+    #[test]
+    fn lock_survives_poison() {
+        let m = Arc::new(Mutex::new(7u32));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock().unwrap();
+            panic!("poison the mutex");
+        })
+        .join();
+        assert!(m.is_poisoned());
+        assert_eq!(*lock_unpoisoned(&m), 7);
+        *lock_unpoisoned(&m) = 8;
+        assert_eq!(*lock_unpoisoned(&m), 8);
+    }
+
+    #[test]
+    fn rwlock_survives_poison() {
+        let l = Arc::new(RwLock::new(vec![1, 2]));
+        let l2 = Arc::clone(&l);
+        let _ = std::thread::spawn(move || {
+            let _g = l2.write().unwrap();
+            panic!("poison the rwlock");
+        })
+        .join();
+        assert_eq!(read_unpoisoned(&l).len(), 2);
+        write_unpoisoned(&l).push(3);
+        assert_eq!(read_unpoisoned(&l).len(), 3);
+    }
+
+    #[test]
+    fn wait_timeout_returns_guard() {
+        let m = Mutex::new(0u8);
+        let cv = Condvar::new();
+        let g = lock_unpoisoned(&m);
+        let (g, res) = wait_timeout_unpoisoned(&cv, g, Duration::from_millis(1));
+        assert!(res.timed_out());
+        assert_eq!(*g, 0);
+    }
+}

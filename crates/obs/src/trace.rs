@@ -122,12 +122,11 @@ fn current_tid() -> u32 {
 fn record(rec: SpanRecord) {
     let stored = BUF.with(|b| {
         let mut slot = b.borrow_mut();
-        if slot.is_none() {
+        let buf = slot.get_or_insert_with(|| {
             let buf = Arc::new(ThreadBuf { records: Mutex::new(Vec::new()) });
-            sinks().lock().expect("trace sink registry").push(buf.clone());
-            *slot = Some(buf);
-        }
-        let buf = slot.as_ref().expect("just initialized");
+            crate::sync::lock_unpoisoned(sinks()).push(buf.clone());
+            buf
+        });
         // try_lock: the only other holder is a concurrent drain/export;
         // dropping one record beats blocking a hot path on it.
         let stored = match buf.records.try_lock() {
@@ -190,10 +189,10 @@ impl Drop for Span {
 /// are picked up by the next drain (or dropped via `try_lock` if they
 /// race the sweep of their own buffer).
 pub fn drain() -> Vec<SpanRecord> {
-    let sinks = sinks().lock().expect("trace sink registry");
+    let sinks = crate::sync::lock_unpoisoned(sinks());
     let mut out = Vec::new();
     for s in sinks.iter() {
-        out.append(&mut s.records.lock().expect("trace thread buffer"));
+        out.append(&mut crate::sync::lock_unpoisoned(&s.records));
     }
     // Chronological, parents before their children (a parent shares its
     // child's start to the microsecond but lasts longer).
@@ -244,7 +243,7 @@ mod tests {
     /// not interleave.
     fn lock() -> std::sync::MutexGuard<'static, ()> {
         static M: Mutex<()> = Mutex::new(());
-        M.lock().unwrap_or_else(|e| e.into_inner())
+        M.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     #[test]

@@ -84,7 +84,7 @@ proptest! {
         for &v in &values {
             h.record(v);
         }
-        let mut sorted = values.clone();
+        let mut sorted = values;
         sorted.sort_unstable();
         let exact = exact_quantile(&sorted, q);
         let got = h.percentile(q);

@@ -62,7 +62,7 @@ impl Ord for HeapItem {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         self.0
             .partial_cmp(&other.0)
-            .expect("finite distances")
+            .unwrap_or(std::cmp::Ordering::Equal)
             .then(self.1.cmp(&other.1))
     }
 }
@@ -89,7 +89,7 @@ impl Ord for MinItem {
         other
             .0
             .partial_cmp(&self.0)
-            .expect("finite distances")
+            .unwrap_or(std::cmp::Ordering::Equal)
             .then(other.1.cmp(&self.1))
     }
 }
@@ -304,7 +304,9 @@ impl Hnsw {
         scratch.candidates.push(MinItem(entry_d, entry));
         scratch.results.push(HeapItem(entry_d, entry));
         while let Some(MinItem(cd, c)) = scratch.candidates.pop() {
-            let worst = scratch.results.peek().expect("non-empty").0;
+            // results holds at least the entry point; an empty heap (only
+            // reachable with ef == 0) must not terminate the whole query.
+            let worst = scratch.results.peek().map_or(f32::INFINITY, |h| h.0);
             if cd > worst && scratch.results.len() >= ef {
                 break;
             }
@@ -325,7 +327,7 @@ impl Hnsw {
                     continue;
                 }
                 let d = self.dist(q, q_norm, n);
-                let worst = scratch.results.peek().expect("non-empty").0;
+                let worst = scratch.results.peek().map_or(f32::INFINITY, |h| h.0);
                 if scratch.results.len() < ef || d < worst {
                     scratch.candidates.push(MinItem(d, n));
                     scratch.results.push(HeapItem(d, n));
@@ -337,7 +339,7 @@ impl Hnsw {
         }
         let mut out: Vec<(usize, f32)> =
             scratch.results.drain().map(|HeapItem(d, i)| (i, d)).collect();
-        out.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite").then(a.0.cmp(&b.0)));
+        out.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
         out
     }
 
@@ -382,7 +384,7 @@ impl Hnsw {
                         .map(|&x| (x, self.dist_nodes(n, x)))
                         .collect();
                     withd.sort_by(|a, b| {
-                        a.1.partial_cmp(&b.1).expect("finite").then(a.0.cmp(&b.0))
+                        a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
                     });
                     withd.truncate(m_max);
                     self.nodes[n].neighbors[l] = withd.into_iter().map(|(x, _)| x).collect();

@@ -172,7 +172,7 @@ impl BruteForceIndex {
         let mut hits: Vec<(usize, f32)> = (0..self.len())
             .map(|i| (i, self.metric.distance_prenorm(query, qn, self.get(i), self.norms[i])))
             .collect();
-        hits.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite").then(a.0.cmp(&b.0)));
+        hits.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
         hits.truncate(k);
         hits
     }

@@ -2,6 +2,8 @@
 //! nearest-neighbour indexes, set-overlap search, the paper's Fig.-6
 //! table-ranking algorithm, and the evaluation metrics of §IV.
 
+#![forbid(unsafe_code)]
+
 pub mod hnsw;
 pub mod knn;
 pub mod metrics;

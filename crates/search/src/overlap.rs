@@ -150,7 +150,7 @@ impl MinHashLsh {
             .into_iter()
             .map(|id| (id, self.sigs[id].jaccard(sig)))
             .collect();
-        hits.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+        hits.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
         hits.truncate(k);
         hits
     }
@@ -240,7 +240,7 @@ impl LshForest {
         }
         let mut hits: Vec<(usize, f64)> =
             cands.into_iter().map(|id| (id, self.sigs[id].jaccard(sig))).collect();
-        hits.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+        hits.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
         hits.truncate(k);
         hits
     }

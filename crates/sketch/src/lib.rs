@@ -14,6 +14,8 @@
 //! All hashing is stable (see [`tsfm_table::hash`]) so sketches are
 //! reproducible across runs.
 
+#![forbid(unsafe_code)]
+
 pub mod content;
 pub mod minhash;
 pub mod numeric;
@@ -29,7 +31,7 @@ pub use table_sketch::{ColumnSketch, SketchConfig, TableSketch};
 pub fn words_of(s: &str) -> impl Iterator<Item = String> + '_ {
     s.split(|c: char| !c.is_alphanumeric())
         .filter(|w| !w.is_empty())
-        .map(|w| w.to_lowercase())
+        .map(str::to_lowercase)
 }
 
 /// Visit the word tokens of [`words_of`] without allocating a `String`

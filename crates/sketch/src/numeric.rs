@@ -50,7 +50,7 @@ impl NumericalSketch {
         }
 
         let nums: Vec<f64> =
-            slice.iter().filter_map(|v| v.as_f64()).filter(|f| f.is_finite()).collect();
+            slice.iter().filter_map(tsfm_table::Value::as_f64).filter(|f| f.is_finite()).collect();
         Self::from_parts(n, nan, non_null, width_sum, hashes, nums)
     }
 
@@ -80,11 +80,14 @@ impl NumericalSketch {
         hashes.dedup();
         let unique = hashes.len();
 
-        nums.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        // Ingest filters non-finite values, so Equal is unreachable for
+        // distinct elements; it keeps a stray NaN from panicking the
+        // whole sketch build.
+        nums.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
 
         let (mut percentiles, mut mean, mut std, mut min, mut max) =
             ([0.0; 9], 0.0, 0.0, 0.0, 0.0);
-        if !nums.is_empty() {
+        if let (Some(first), Some(last)) = (nums.first(), nums.last()) {
             for (i, p) in (1..=9).zip(percentiles.iter_mut()) {
                 *p = percentile(&nums, i as f64 * 10.0);
             }
@@ -92,8 +95,8 @@ impl NumericalSketch {
             let var =
                 nums.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / nums.len() as f64;
             std = var.sqrt();
-            min = nums[0];
-            max = *nums.last().expect("non-empty");
+            min = *first;
+            max = *last;
         }
 
         NumericalSketch {

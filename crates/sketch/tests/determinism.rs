@@ -116,7 +116,7 @@ fn table_sketch_identical_across_runs() {
 fn reference_column_sketch(col: &Column, hasher: &MinHasher, max_rows: usize) -> ColumnSketch {
     let n = col.len().min(max_rows);
     let rendered: Vec<String> =
-        col.values[..n].iter().filter(|v| !v.is_null()).map(|v| v.render()).collect();
+        col.values[..n].iter().filter(|v| !v.is_null()).map(tsfm_table::Value::render).collect();
     let cell_minhash = hasher.signature(rendered.iter());
     let word_minhash = (col.ty == ColType::Str)
         .then(|| hasher.signature(rendered.iter().flat_map(|s| words_of(s))));

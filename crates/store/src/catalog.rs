@@ -52,8 +52,10 @@ fn obs() -> &'static tsfm_obs::metrics::Registry {
     tsfm_obs::metrics::global()
 }
 
-const MANIFEST_MAGIC: &[u8; 8] = b"TSFMCAT1";
-const INDEX_MAGIC: &[u8; 8] = b"TSFMIDX1";
+// Format magics live in `ser`, the crate's single magic module (the
+// `format-magic-once` lint enforces this).
+use crate::ser::{INDEX_MAGIC, MANIFEST_MAGIC};
+
 const MANIFEST_FILE: &str = "catalog.manifest";
 const INDEX_FILE: &str = "index.cache";
 const SEGMENT_DIR: &str = "segments";
@@ -114,12 +116,13 @@ fn parallel_map<T: Send>(
     n: usize,
     threads: usize,
     work: impl Fn(usize) -> T + Sync,
-) -> Vec<T> {
+) -> StoreResult<Vec<T>> {
     if threads <= 1 || n <= 1 {
-        return (0..n).map(work).collect();
+        return Ok((0..n).map(work).collect());
     }
     let next = AtomicUsize::new(0);
     let workers = threads.min(n);
+    let mut panicked = 0usize;
     let mut tagged: Vec<(usize, T)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
@@ -136,13 +139,26 @@ fn parallel_map<T: Send>(
                 })
             })
             .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("ingest worker panicked"))
-            .collect()
+        // Join every handle even after a panic: consuming each payload
+        // here keeps the scope from re-raising it, and the surviving
+        // workers' results let us report how much work was lost.
+        let mut all = Vec::new();
+        for h in handles {
+            match h.join() {
+                Ok(part) => all.extend(part),
+                Err(_) => panicked += 1,
+            }
+        }
+        all
     });
+    if panicked > 0 {
+        return Err(StoreError::internal(format!(
+            "{panicked} ingest worker(s) panicked; batch discarded ({} of {n} jobs completed)",
+            tagged.len()
+        )));
+    }
     tagged.sort_unstable_by_key(|&(i, _)| i);
-    tagged.into_iter().map(|(_, t)| t).collect()
+    Ok(tagged.into_iter().map(|(_, t)| t).collect())
 }
 
 /// Aggregate catalog statistics (the `tsfm stats` output).
@@ -296,11 +312,11 @@ impl Catalog {
             return Ok(IngestOutcome::Unchanged);
         }
         let sketch = TableSketch::build(table, &self.sketch_cfg);
-        self.add_record(TableRecord::from_sketch(sketch, content_hash))
+        self.add_record(&TableRecord::from_sketch(sketch, content_hash))
     }
 
     /// Store a pre-built record (the path for records carrying embeddings).
-    pub fn add_record(&mut self, rec: TableRecord) -> StoreResult<IngestOutcome> {
+    pub fn add_record(&mut self, rec: &TableRecord) -> StoreResult<IngestOutcome> {
         let id = rec.table_id().to_string();
         let outcome = match self.entries.get(&id) {
             Some(e) if e.content_hash == rec.content_hash => return Ok(IngestOutcome::Unchanged),
@@ -312,7 +328,7 @@ impl Catalog {
         {
             let _g = tsfm_obs::span!("catalog.segment.write");
             self.seg_buf.clear();
-            ser::write_record(&mut self.seg_buf, &rec)?;
+            ser::write_record(&mut self.seg_buf, rec)?;
             write_segment(&path, &self.seg_buf)?;
         }
         obs().counter("tsfm_catalog_segments_written_total", "Segment files written").inc();
@@ -353,7 +369,7 @@ impl Catalog {
     /// host's available parallelism. Unchanged files are skipped before
     /// parsing. Commits the manifest at the end.
     pub fn ingest_dir(&mut self, dir: impl AsRef<Path>) -> StoreResult<IngestReport> {
-        let threads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1);
+        let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
         self.ingest_dir_with_threads(dir, threads)
     }
 
@@ -371,7 +387,7 @@ impl Catalog {
     ) -> StoreResult<IngestReport> {
         let mut files: Vec<PathBuf> = fs::read_dir(dir.as_ref())?
             .filter_map(|e| e.ok().map(|e| e.path()))
-            .filter(|p| p.extension().map(|x| x == "csv").unwrap_or(false))
+            .filter(|p| p.extension().is_some_and(|x| x == "csv"))
             .collect();
         files.sort();
         let _g = tsfm_obs::span!("catalog.ingest_dir");
@@ -408,10 +424,10 @@ impl Catalog {
                     let table = csv::table_from_csv(id, id, text);
                     let sketch = TableSketch::build_with_hasher(&table, &hasher, max_rows);
                     TableRecord::from_sketch(sketch, *content_hash)
-                });
+                })?;
                 jobs.clear();
                 for rec in records {
-                    report.count(self.add_record(rec)?);
+                    report.count(self.add_record(&rec)?);
                 }
             }
         }
@@ -455,9 +471,9 @@ impl Catalog {
             let ti = jobs[j];
             let sketch = TableSketch::build_with_hasher(&tables[ti], &hasher, max_rows);
             TableRecord::from_sketch(sketch, content_hashes[ti])
-        });
+        })?;
         for rec in records {
-            report.count(self.add_record(rec)?);
+            report.count(self.add_record(&rec)?);
         }
         Ok(report)
     }
@@ -549,7 +565,10 @@ impl Catalog {
                 self.epoch,
             ));
         }
-        Ok(self.snapshot.as_ref().expect("just built").clone())
+        self.snapshot
+            .as_ref()
+            .cloned()
+            .ok_or_else(|| StoreError::internal("snapshot missing right after build"))
     }
 
     /// The query engine over the current contents, building (or loading
@@ -557,7 +576,10 @@ impl Catalog {
     /// [`Catalog::searcher`], which hands out an owned shareable snapshot.
     pub fn engine(&mut self) -> StoreResult<&QueryEngine> {
         self.searcher()?;
-        Ok(self.snapshot.as_ref().expect("just built").engine())
+        self.snapshot
+            .as_ref()
+            .map(Searcher::engine)
+            .ok_or_else(|| StoreError::internal("snapshot missing right after build"))
     }
 
     /// Load every record (ascending id order).
@@ -566,7 +588,12 @@ impl Catalog {
         let ids: Vec<String> = self.entries.keys().cloned().collect();
         let mut out = Vec::with_capacity(ids.len());
         for id in ids {
-            out.push(self.get(&id)?.expect("manifest entry has a segment"));
+            out.push(self.get(&id)?.ok_or_else(|| {
+                StoreError::corrupt(
+                    "TSFMCAT1",
+                    format!("manifest entry {id:?} has no segment on disk"),
+                )
+            })?);
         }
         Ok(out)
     }
@@ -596,7 +623,7 @@ impl Catalog {
         };
         let mut r = BufReader::new(file);
         ser::expect_magic(&mut r, INDEX_MAGIC, "TSFM index cache").is_ok()
-            && ser::read_u64(&mut r).map(|fp| fp == self.fingerprint()).unwrap_or(false)
+            && ser::read_u64(&mut r).is_ok_and(|fp| fp == self.fingerprint())
     }
 
     fn try_load_cached_engine(&self, records: &[TableRecord], fp: u64) -> Option<QueryEngine> {
@@ -788,7 +815,7 @@ mod tests {
         let n = fs::read_dir(dir.join(SEGMENT_DIR))
             .unwrap()
             .filter(|e| {
-                e.as_ref().unwrap().path().extension().map(|x| x == "seg").unwrap_or(false)
+                e.as_ref().unwrap().path().extension().is_some_and(|x| x == "seg")
             })
             .count();
         assert_eq!(n, 1);

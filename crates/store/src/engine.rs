@@ -366,7 +366,7 @@ impl QueryEngine {
         sketches: &[TableSketch],
         req: &DiscoveryRequest,
     ) -> StoreResult<Vec<DiscoveryResponse>> {
-        let threads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1);
+        let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
         self.search_batch_with_threads(sketches, req, threads)
     }
 
@@ -395,7 +395,18 @@ impl QueryEngine {
                 });
             }
         });
-        slots.into_iter().map(|s| s.expect("every chunk slot filled")).collect()
+        // An unfilled slot means its worker panicked before writing it
+        // (scope re-raises worker panics, so this is belt-and-braces for
+        // a future panic=abort-less refactor): surface a typed server
+        // fault instead of panicking the caller too.
+        slots
+            .into_iter()
+            .map(|s| {
+                s.unwrap_or_else(|| {
+                    Err(StoreError::internal("batch search worker left its slot unfilled"))
+                })
+            })
+            .collect()
     }
 
     /// Fig.-6 ranking: per query column, retrieve `k·3` nearest corpus

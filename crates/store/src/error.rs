@@ -10,6 +10,7 @@
 //! | `UnknownTable`   | a table id that is not in the catalog                |
 //! | `InvalidRequest` | a caller-supplied request that can never succeed     |
 //! | `EmptyIndex`     | a query against a catalog with zero tables           |
+//! | `Internal`       | a broken invariant inside the store (worker panic, …)|
 //!
 //! The split matters operationally: `Io` and `Corrupt` are the server
 //! operator's problem (disk, deployment), while `UnknownTable`,
@@ -42,6 +43,11 @@ pub enum StoreError {
     InvalidRequest(String),
     /// A query was issued against an empty catalog.
     EmptyIndex,
+    /// A broken invariant inside the store itself: a panicked worker
+    /// thread, an unfilled result slot, a snapshot that vanished between
+    /// build and read. These are bugs — but they surface as a typed,
+    /// wire-serializable server fault instead of tearing the process down.
+    Internal(String),
 }
 
 impl StoreError {
@@ -53,6 +59,11 @@ impl StoreError {
     /// Shorthand for a [`StoreError::InvalidRequest`].
     pub fn invalid(detail: impl Into<String>) -> Self {
         StoreError::InvalidRequest(detail.into())
+    }
+
+    /// Shorthand for a [`StoreError::Internal`].
+    pub fn internal(detail: impl Into<String>) -> Self {
+        StoreError::Internal(detail.into())
     }
 
     /// Attribute a low-level decode error to a concrete container format:
@@ -94,6 +105,7 @@ impl fmt::Display for StoreError {
             StoreError::EmptyIndex => {
                 write!(f, "the catalog is empty — ingest tables before querying")
             }
+            StoreError::Internal(detail) => write!(f, "internal store error: {detail}"),
         }
     }
 }
@@ -141,6 +153,7 @@ mod tests {
         assert!(StoreError::UnknownTable("t".into()).is_client_error());
         assert!(!StoreError::corrupt("TSFMSEG1", "x").is_client_error());
         assert!(!StoreError::Io(io::Error::other("x")).is_client_error());
+        assert!(!StoreError::internal("worker panicked").is_client_error());
     }
 
     #[test]

@@ -42,6 +42,8 @@
 //! `tsfm query <catalog> <csv>`, `tsfm serve <catalog> --port N`,
 //! `tsfm stats <catalog>`.
 
+#![forbid(unsafe_code)]
+
 pub mod catalog;
 pub mod engine;
 pub mod error;

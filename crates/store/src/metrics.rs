@@ -50,6 +50,9 @@ pub struct ServeMetrics {
     pub requests_ok: AtomicU64,
     pub requests_client_error: AtomicU64,
     pub requests_server_error: AtomicU64,
+    /// Connection-handler panics contained by the worker pool. Always 0
+    /// in a healthy server; any nonzero value is a bug worth a page.
+    pub worker_panics: AtomicU64,
     pub latency: LatencyHistogram,
 }
 
@@ -73,6 +76,7 @@ impl ServeMetrics {
             requests_ok: r(&self.requests_ok),
             requests_client_error: r(&self.requests_client_error),
             requests_server_error: r(&self.requests_server_error),
+            worker_panics: r(&self.worker_panics),
             latency_count: self.latency.count(),
             latency_mean_us: self.latency.mean(),
             latency_p50_us: self.latency.percentile(0.50),
@@ -132,6 +136,11 @@ impl ServeMetrics {
             out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n{name} {v}\n"));
         };
         counter(
+            "tsfm_serve_worker_panics_total",
+            "Connection-handler panics contained by the worker pool",
+            m.worker_panics,
+        );
+        counter(
             "tsfm_serve_overlong_lines_total",
             "Request lines rejected for exceeding the line cap",
             m.overlong_lines,
@@ -180,6 +189,7 @@ pub struct MetricsSnapshot {
     pub requests_ok: u64,
     pub requests_client_error: u64,
     pub requests_server_error: u64,
+    pub worker_panics: u64,
     pub latency_count: u64,
     pub latency_mean_us: f64,
     pub latency_p50_us: u64,

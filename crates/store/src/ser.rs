@@ -25,6 +25,8 @@ use tsfm_table::ColType;
 pub const SEGMENT_MAGIC: &[u8; 8] = b"TSFMSEG1";
 pub const EMBEDDING_MAGIC: &[u8; 8] = b"TSFMEMB1";
 pub const HNSW_MAGIC: &[u8; 8] = b"TSFMHNS1";
+pub const MANIFEST_MAGIC: &[u8; 8] = b"TSFMCAT1";
+pub const INDEX_MAGIC: &[u8; 8] = b"TSFMIDX1";
 
 /// Current version written into every container.
 pub const FORMAT_VERSION: u32 = 1;

@@ -47,6 +47,8 @@
 //!   and strips the breakdown from replies unless the client asked for
 //!   `"profile":true`.
 
+mod pool;
+
 use crate::error::{StoreError, StoreResult};
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
 use crate::request::DiscoveryResponse;
@@ -124,6 +126,11 @@ struct Shared {
     reloads: AtomicU64,
     /// The slowest requests seen, with per-stage breakdowns.
     slowlog: Slowlog,
+    /// Test-only injection point: when set, the next connection handler
+    /// panics on entry so tests can exercise the pool's panic
+    /// containment without a reachable panic in production code.
+    #[cfg(test)]
+    panic_next_connection: AtomicBool,
 }
 
 /// A bounded-concurrency JSONL-over-TCP discovery server. Construct with
@@ -170,6 +177,8 @@ impl Server {
             idle_workers: AtomicUsize::new(0),
             reloads: AtomicU64::new(0),
             slowlog: Slowlog::new(SLOWLOG_CAPACITY),
+            #[cfg(test)]
+            panic_next_connection: AtomicBool::new(false),
         });
         Ok(Server { listener, shared })
     }
@@ -199,44 +208,14 @@ impl Server {
                 Err(_) => continue, // transient accept failure (EMFILE etc.)
             };
             shared.metrics.accepted.fetch_add(1, Ordering::Relaxed);
-
-            // Shed / dispatch under the queue lock so the decision sees a
-            // coherent queue depth. Shed when every worker slot is taken,
-            // none is idle, and the pending queue is full: a parseable
-            // refusal beats stalling the client or growing without bound.
-            let workers_now = shared.workers.load(Ordering::Relaxed);
-            let idle_now = shared.idle_workers.load(Ordering::Relaxed);
-            let need_spawn = {
-                let mut q = shared.queue.lock().expect("queue lock");
-                if workers_now >= shared.cfg.max_connections
-                    && idle_now == 0
-                    && q.len() >= shared.cfg.pending_capacity
-                {
-                    drop(q);
-                    shared.metrics.shed.fetch_add(1, Ordering::Relaxed);
-                    shed(stream);
-                    continue;
-                }
-                q.push_back(stream);
-                // Spawn on queue depth, not on `idle == 0`: during a
-                // connect burst a just-notified worker is still counted
-                // idle, and gating on the stale flag would strand the
-                // whole burst behind one worker.
-                workers_now < shared.cfg.max_connections && idle_now < q.len()
-            };
-            if need_spawn {
-                shared.workers.fetch_add(1, Ordering::Relaxed);
-                let shared = shared.clone();
-                joins.push(std::thread::spawn(move || worker_loop(&shared)));
-            }
-            shared.queue_cv.notify_one();
+            pool::dispatch(shared, stream, &mut joins);
         }
 
         // Graceful drain: close queued-but-unserved connections, wake
         // every parked worker so it can observe the flag and exit, then
         // wait for in-flight requests to complete.
         shared.shutdown.store(true, Ordering::Release);
-        shared.queue.lock().expect("queue lock").clear();
+        tsfm_obs::sync::lock_unpoisoned(&shared.queue).clear();
         shared.queue_cv.notify_all();
         for j in joins {
             let _ = j.join();
@@ -265,13 +244,13 @@ impl ServerHandle {
     /// connection sees the new one. Returns the reload generation (1 for
     /// the first swap).
     pub fn swap_searcher(&self, searcher: Searcher) -> u64 {
-        *self.shared.searcher.write().expect("searcher lock") = searcher;
+        *tsfm_obs::sync::write_unpoisoned(&self.shared.searcher) = searcher;
         self.shared.reloads.fetch_add(1, Ordering::Relaxed) + 1
     }
 
     /// The snapshot currently serving queries.
     pub fn searcher(&self) -> Searcher {
-        self.shared.searcher.read().expect("searcher lock").clone()
+        tsfm_obs::sync::read_unpoisoned(&self.shared.searcher).clone()
     }
 
     /// Point-in-time ops counters (what the `stats` verb reports).
@@ -293,49 +272,6 @@ impl ServerHandle {
     /// The Prometheus text the `metrics` verb reports.
     pub fn prometheus_text(&self) -> String {
         prometheus_text(&self.shared)
-    }
-}
-
-/// Best-effort one-line refusal to a connection we will not serve. Must
-/// never block the acceptor: tiny write, short timeout.
-fn shed(stream: TcpStream) {
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
-    let mut s = stream;
-    let _ = s.write_all(wire::unavailable_json("server at connection capacity").as_bytes());
-    let _ = s.write_all(b"\n");
-}
-
-/// Worker: serve queued connections until the pool shuts down or the
-/// worker has lingered idle too long.
-fn worker_loop(shared: &Arc<Shared>) {
-    loop {
-        let conn = {
-            let mut q = shared.queue.lock().expect("queue lock");
-            loop {
-                if shared.shutdown.load(Ordering::Acquire) {
-                    shared.workers.fetch_sub(1, Ordering::Relaxed);
-                    return;
-                }
-                if let Some(c) = q.pop_front() {
-                    break c;
-                }
-                shared.idle_workers.fetch_add(1, Ordering::Relaxed);
-                let (guard, timeout) = shared
-                    .queue_cv
-                    .wait_timeout(q, shared.cfg.worker_linger)
-                    .expect("queue lock");
-                q = guard;
-                shared.idle_workers.fetch_sub(1, Ordering::Relaxed);
-                if timeout.timed_out() && q.is_empty() {
-                    // Lingered long enough: trim the pool.
-                    shared.workers.fetch_sub(1, Ordering::Relaxed);
-                    return;
-                }
-            }
-        };
-        shared.metrics.active.fetch_add(1, Ordering::Relaxed);
-        serve_connection(shared, conn);
-        shared.metrics.active.fetch_sub(1, Ordering::Relaxed);
     }
 }
 
@@ -457,6 +393,10 @@ fn read_request_line(
 /// with one JSON line, enforce every limit. Request-level failures are
 /// answered through the typed error serializer and never kill the server.
 fn serve_connection(shared: &Shared, stream: TcpStream) {
+    #[cfg(test)]
+    if shared.panic_next_connection.swap(false, Ordering::Relaxed) {
+        panic!("injected: connection handler panic (test hook)");
+    }
     let _ = stream.set_nodelay(true);
     // Short poll timeout — the loop, not the kernel, owns the deadlines.
     if stream.set_read_timeout(Some(POLL_SLICE)).is_err()
@@ -568,7 +508,7 @@ fn handle_line(shared: &Shared, line: &str) -> String {
         Ok(ServeCommand::Query(mut req)) => {
             // Clone the snapshot up front: a concurrent hot-swap must not
             // affect a query already started.
-            let searcher = shared.searcher.read().expect("searcher lock").clone();
+            let searcher = tsfm_obs::sync::read_unpoisoned(&shared.searcher).clone();
             // Profile every query regardless of what the client asked:
             // the cost is a handful of clock reads, and it means the
             // slowlog always carries a stage breakdown. The reply only
@@ -630,7 +570,7 @@ pub fn execute(searcher: &Searcher, req: &ServeRequest) -> StoreResult<Discovery
 fn stats_json(shared: &Shared) -> String {
     let m = shared.metrics.snapshot();
     let (tables, epoch) = {
-        let s = shared.searcher.read().expect("searcher lock");
+        let s = tsfm_obs::sync::read_unpoisoned(&shared.searcher);
         (s.len(), s.epoch())
     };
     format!(
@@ -666,7 +606,7 @@ fn stats_json(shared: &Shared) -> String {
 /// The `{"op":"metrics"}` payload: this server's `tsfm_serve_*` families
 /// plus the process-wide registry (sketch/search/catalog instruments).
 fn prometheus_text(shared: &Shared) -> String {
-    let tables = shared.searcher.read().expect("searcher lock").len();
+    let tables = tsfm_obs::sync::read_unpoisoned(&shared.searcher).len();
     let mut text = shared.metrics.prometheus_text(
         tables,
         shared.started.elapsed().as_millis() as u64,
@@ -739,13 +679,22 @@ mod tests {
         tag: &str,
         n: usize,
         cfg: ServeConfig,
-    ) -> (ServerHandle, std::thread::JoinHandle<()>, SocketAddr) {
+    ) -> (ServerHandle, std::thread::JoinHandle<StoreResult<()>>, SocketAddr) {
         let (searcher, _dir) = searcher_with(tag, n);
         let server = Server::bind("127.0.0.1:0", searcher, cfg).unwrap();
         let addr = server.local_addr();
         let handle = server.handle();
-        let join = std::thread::spawn(move || server.run().unwrap());
+        // Return the run result instead of unwrapping inside the thread:
+        // a panic or error in the acceptor must fail the test at join
+        // time, not vanish into a dead thread.
+        let join = std::thread::spawn(move || server.run());
         (handle, join, addr)
+    }
+
+    /// Shut the server down and propagate any run-thread panic or error.
+    fn stop(handle: &ServerHandle, join: std::thread::JoinHandle<StoreResult<()>>) {
+        handle.shutdown();
+        join.join().expect("serve run thread panicked").expect("serve run returned an error");
     }
 
     fn roundtrip(stream: &mut (impl Write + Unpin), reader: &mut impl BufRead, req: &str) -> Json {
@@ -789,8 +738,55 @@ mod tests {
         assert_eq!(lat.get("count").unwrap().as_f64(), Some(1.0));
 
         drop((w, r));
-        handle.shutdown();
-        join.join().unwrap();
+        stop(&handle, join);
+    }
+
+    /// Spin until `probe` is true or ~2s elapse. The pool updates its
+    /// counters after the client-visible effect (the dropped socket), so
+    /// tests must tolerate that small window.
+    fn wait_until(probe: impl Fn() -> bool) -> bool {
+        for _ in 0..2000 {
+            if probe() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        probe()
+    }
+
+    #[test]
+    fn pool_survives_panicking_connection_handlers() {
+        let (handle, join, addr) = start("panic", 2, ServeConfig::default());
+
+        // Two injected panics in a row: the pool must absorb both with
+        // balanced counters, not leak capacity one panic at a time.
+        for round in 1..=2u64 {
+            handle.shared.panic_next_connection.store(true, Ordering::Relaxed);
+            let (w, mut r) = connect(addr);
+            let mut line = String::new();
+            let n = r.read_line(&mut line).unwrap();
+            assert_eq!(n, 0, "round {round}: panicked handler must drop the connection, got {line:?}");
+            drop((w, r));
+            assert!(
+                wait_until(|| handle.metrics().worker_panics == round),
+                "round {round}: worker_panics stuck at {}",
+                handle.metrics().worker_panics
+            );
+        }
+
+        // The pool still serves after the panics.
+        let (mut w, mut r) = connect(addr);
+        let reply = roundtrip(&mut w, &mut r, r#"{"mode":"join","k":1,"id":"t0"}"#);
+        assert!(reply.get("hits").is_some(), "{reply:?}");
+        drop((w, r));
+
+        assert_eq!(handle.metrics().worker_panics, 2);
+        assert!(
+            wait_until(|| handle.metrics().active == 0),
+            "active counter must be balanced across panics, got {}",
+            handle.metrics().active
+        );
+        stop(&handle, join);
     }
 
     #[test]
@@ -839,8 +835,7 @@ mod tests {
         assert!(micros[0] >= micros[1], "{micros:?}");
         assert_eq!(handle.slowlog().len(), 2);
 
-        handle.shutdown();
-        join.join().unwrap();
+        stop(&handle, join);
     }
 
     #[test]
@@ -859,8 +854,7 @@ mod tests {
             assert_eq!(v.get("query").unwrap().as_str(), Some(format!("t{i}").as_str()));
         }
         drop((w, r));
-        handle.shutdown();
-        join.join().unwrap();
+        stop(&handle, join);
     }
 
     #[test]
@@ -887,8 +881,7 @@ mod tests {
         r.read_to_string(&mut rest).unwrap();
         assert!(rest.is_empty());
         assert!(handle.metrics().overlong_lines >= 1);
-        handle.shutdown();
-        join.join().unwrap();
+        stop(&handle, join);
     }
 
     #[test]
@@ -932,8 +925,7 @@ mod tests {
         let ok = roundtrip(&mut w2, &mut r2, r#"{"mode":"join","k":1,"id":"t0"}"#);
         assert!(ok.get("hits").is_some());
         assert!(handle.metrics().closed_slow_read >= 1);
-        handle.shutdown();
-        join.join().unwrap();
+        stop(&handle, join);
     }
 
     #[test]
@@ -952,8 +944,7 @@ mod tests {
         assert!(t0.elapsed() < Duration::from_secs(10));
         assert!(handle.metrics().closed_idle >= 1);
         drop(w);
-        handle.shutdown();
-        join.join().unwrap();
+        stop(&handle, join);
     }
 
     #[test]
@@ -977,8 +968,7 @@ mod tests {
         let m = handle.metrics();
         assert_eq!(m.accepted, 20);
         assert_eq!(m.requests_ok, 20);
-        handle.shutdown();
-        join.join().unwrap();
+        stop(&handle, join);
     }
 
     #[test]
@@ -1008,8 +998,7 @@ mod tests {
         // The first connection is still fine.
         let v = roundtrip(&mut w1, &mut r1, r#"{"op":"stats"}"#);
         assert!(v.get("stats").is_some());
-        handle.shutdown();
-        join.join().unwrap();
+        stop(&handle, join);
     }
 
     #[test]
@@ -1028,8 +1017,7 @@ mod tests {
         let v = roundtrip(&mut w, &mut r, r#"{"op":"stats"}"#);
         assert_eq!(v.get("stats").unwrap().get("reloads").unwrap().as_f64(), Some(1.0));
         assert_eq!(v.get("stats").unwrap().get("tables").unwrap().as_f64(), Some(3.0));
-        handle.shutdown();
-        join.join().unwrap();
+        stop(&handle, join);
     }
 
     #[test]
@@ -1038,8 +1026,7 @@ mod tests {
         let (mut w, mut r) = connect(addr);
         let v = roundtrip(&mut w, &mut r, r#"{"mode":"join","k":1,"id":"t0"}"#);
         assert!(v.get("hits").is_some());
-        handle.shutdown();
-        join.join().unwrap();
+        stop(&handle, join);
         // New connections are refused once run() has returned.
         assert!(
             TcpStream::connect_timeout(&addr, Duration::from_millis(500)).is_err()
@@ -1069,8 +1056,7 @@ mod tests {
         // Still serving on the same connection.
         let v = roundtrip(&mut w, &mut r, r#"{"mode":"join","k":1,"id":"t0"}"#);
         assert!(v.get("hits").is_some());
-        handle.shutdown();
-        join.join().unwrap();
+        stop(&handle, join);
     }
 
     #[test]

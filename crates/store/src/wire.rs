@@ -136,6 +136,7 @@ pub fn error_json(e: &StoreError) -> String {
         StoreError::UnknownTable(_) => "unknown_table",
         StoreError::InvalidRequest(_) => "invalid_request",
         StoreError::EmptyIndex => "empty_index",
+        StoreError::Internal(_) => "internal",
     };
     format!(
         "{{\"error\":{{\"kind\":\"{kind}\",\"detail\":\"{}\"}},\"client\":{}}}",
@@ -926,6 +927,11 @@ mod tests {
         let line = error_json(&StoreError::corrupt("TSFMSEG1", "boom"));
         let v = parse_json(&line).unwrap();
         assert_eq!(v.get("error").unwrap().get("kind").unwrap().as_str(), Some("corrupt"));
+        assert_eq!(v.get("client").unwrap().as_bool(), Some(false));
+
+        let line = error_json(&StoreError::internal("worker panicked"));
+        let v = parse_json(&line).unwrap();
+        assert_eq!(v.get("error").unwrap().get("kind").unwrap().as_str(), Some("internal"));
         assert_eq!(v.get("client").unwrap().as_bool(), Some(false));
     }
 }

@@ -127,7 +127,7 @@ mod tests {
         // 10 ints then a string: rule only sees the ints.
         let mut cells: Vec<String> = (0..10).map(|i| i.to_string()).collect();
         cells.push("oops".to_string());
-        assert_eq!(infer_type_from_text(cells.iter().map(|s| s.as_str())), ColType::Int);
+        assert_eq!(infer_type_from_text(cells.iter().map(std::string::String::as_str)), ColType::Int);
     }
 
     #[test]

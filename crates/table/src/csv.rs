@@ -71,7 +71,7 @@ pub fn table_from_csv(id: &str, name: &str, text: &str) -> Table {
     let header = records.remove(0);
     let ncols = header.len();
     for (ci, col_name) in header.into_iter().enumerate() {
-        let cells = records.iter().map(|r| r.get(ci).map(String::as_str).unwrap_or(""));
+        let cells = records.iter().map(|r| r.get(ci).map_or("", String::as_str));
         let ty = infer_type_from_text(cells.clone());
         let values = cells.map(|c| parse_as(c, ty)).collect();
         table.push_column(Column::with_type(col_name, ty, values));

@@ -6,6 +6,8 @@
 //! CSV reader/writer, and a stable 64-bit hash used by all sketches so that
 //! results are reproducible across runs and platforms.
 
+#![forbid(unsafe_code)]
+
 pub mod coltype;
 pub mod csv;
 pub mod date;

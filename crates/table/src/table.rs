@@ -34,12 +34,12 @@ impl Column {
 
     /// Non-null values rendered as strings (the MinHash element set).
     pub fn rendered_values(&self) -> impl Iterator<Item = String> + '_ {
-        self.values.iter().filter(|v| !v.is_null()).map(|v| v.render())
+        self.values.iter().filter(|v| !v.is_null()).map(super::value::Value::render)
     }
 
     /// Numeric view of the column (ints, floats, date timestamps).
     pub fn numeric_values(&self) -> impl Iterator<Item = f64> + '_ {
-        self.values.iter().filter_map(|v| v.as_f64())
+        self.values.iter().filter_map(super::value::Value::as_f64)
     }
 
     pub fn null_count(&self) -> usize {

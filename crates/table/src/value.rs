@@ -158,15 +158,9 @@ pub fn parse_as(s: &str, ty: crate::ColType) -> Value {
         return Value::Null;
     }
     match ty {
-        ColType::Int => parse_int(s)
-            .map(Value::Int)
-            .unwrap_or_else(|| Value::Str(s.trim().to_string())),
-        ColType::Float => parse_float(s)
-            .map(Value::Float)
-            .unwrap_or_else(|| Value::Str(s.trim().to_string())),
-        ColType::Date => date::parse_date(s)
-            .map(Value::Date)
-            .unwrap_or_else(|| Value::Str(s.trim().to_string())),
+        ColType::Int => parse_int(s).map_or_else(|| Value::Str(s.trim().to_string()), Value::Int),
+        ColType::Float => parse_float(s).map_or_else(|| Value::Str(s.trim().to_string()), Value::Float),
+        ColType::Date => date::parse_date(s).map_or_else(|| Value::Str(s.trim().to_string()), Value::Date),
         ColType::Str => Value::Str(s.trim().to_string()),
     }
 }

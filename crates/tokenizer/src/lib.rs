@@ -9,6 +9,8 @@
 //! Encoding is greedy longest-match-first, exactly like HuggingFace's
 //! WordPiece.
 
+#![forbid(unsafe_code)]
+
 pub mod vocab;
 
 pub use vocab::{Vocab, VocabBuilder};
@@ -27,7 +29,7 @@ pub const NUM_SPECIALS: u32 = 5;
 pub fn pre_tokenize(text: &str) -> Vec<String> {
     text.split(|c: char| !c.is_alphanumeric())
         .filter(|w| !w.is_empty())
-        .map(|w| w.to_lowercase())
+        .map(str::to_lowercase)
         .collect()
 }
 

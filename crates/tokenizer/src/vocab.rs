@@ -17,14 +17,14 @@ pub struct Vocab {
 impl Vocab {
     fn from_pieces(pieces: Vec<String>) -> Self {
         let mut id_to_token: Vec<String> =
-            SPECIAL_TOKENS.iter().map(|s| s.to_string()).collect();
+            SPECIAL_TOKENS.iter().map(|s| (*s).to_string()).collect();
         id_to_token.extend(pieces);
         let mut token_to_id = HashMap::with_capacity(id_to_token.len());
         for (i, t) in id_to_token.iter().enumerate() {
             let prev = token_to_id.insert(t.clone(), i as u32);
             assert!(prev.is_none(), "duplicate piece {t:?}");
         }
-        let max_piece_len = id_to_token.iter().map(|t| t.len()).max().unwrap_or(1);
+        let max_piece_len = id_to_token.iter().map(std::string::String::len).max().unwrap_or(1);
         Vocab { token_to_id, id_to_token, max_piece_len }
     }
 
@@ -113,7 +113,7 @@ impl Vocab {
         let pieces: Vec<String> = text
             .lines()
             .skip(NUM_SPECIALS as usize)
-            .map(|l| l.to_string())
+            .map(std::string::ToString::to_string)
             .collect();
         let v = Vocab::from_pieces(pieces);
         debug_assert_eq!(&v.id_to_token[..NUM_SPECIALS as usize], &SPECIAL_TOKENS);
@@ -181,7 +181,7 @@ impl VocabBuilder {
             pieces.push(format!("##{c}"));
         }
         let single_chars: std::collections::HashSet<String> =
-            chars.iter().map(|c| c.to_string()).collect();
+            chars.iter().map(std::string::ToString::to_string).collect();
         for (w, _) in words {
             if !single_chars.contains(w.as_str()) {
                 pieces.push(w.clone());

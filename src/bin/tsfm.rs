@@ -32,13 +32,15 @@
 //! a running `tsfm serve` instead of a local catalog directory, issuing
 //! the `stats` and `metrics` ops verbs and pretty-printing both.
 
+#![forbid(unsafe_code)]
+
 use std::io::Write;
 use std::path::Path;
 use std::process::ExitCode;
 use std::time::Duration;
 use tabsketchfm::store::{
     wire, Catalog, DiscoveryRequest, DiscoveryResponse, QueryMode, ServeConfig, Server,
-    ServerHandle,
+    ServerHandle, StoreError,
 };
 use tabsketchfm::table::csv;
 
@@ -92,7 +94,7 @@ fn write_trace(path: &str) -> Result<(), String> {
 fn cmd_ingest(args: &[String]) -> Result<(), String> {
     // Default the sketching pool to the host's available parallelism;
     // `--threads 1` forces the serial path.
-    let mut threads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1);
+    let mut threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let mut trace_out = None::<String>;
     let mut positional = Vec::new();
     let mut it = args.iter();
@@ -193,9 +195,7 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
 
     let text = std::fs::read_to_string(query_csv).map_err(|e| format!("{query_csv}: {e}"))?;
     let id = Path::new(query_csv)
-        .file_stem()
-        .map(|s| s.to_string_lossy().into_owned())
-        .unwrap_or_else(|| "query".into());
+        .file_stem().map_or_else(|| "query".into(), |s| s.to_string_lossy().into_owned());
     let table = csv::table_from_csv(&id, &id, &text);
 
     let mut cat = Catalog::open(catalog_dir).map_err(|e| format!("open {catalog_dir}: {e}"))?;
@@ -351,11 +351,19 @@ fn watch_manifest(handle: &ServerHandle, catalog_dir: &str, manifest: &Path, rel
         if now == last {
             continue;
         }
-        match Catalog::open(catalog_dir).and_then(|mut cat| {
-            let s = cat.searcher()?;
-            cat.commit()?;
-            Ok(s)
-        }) {
+        // Contain rebuild panics: the watcher is a detached thread, so an
+        // unwinding panic here would silently end hot reload while the
+        // server keeps answering. Fold panics into the logged-and-retried
+        // error path instead.
+        let rebuilt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            Catalog::open(catalog_dir).and_then(|mut cat| {
+                let s = cat.searcher()?;
+                cat.commit()?;
+                Ok(s)
+            })
+        }))
+        .unwrap_or_else(|_| Err(StoreError::internal("catalog rebuild panicked")));
+        match rebuilt {
             Ok(fresh) => {
                 let tables = fresh.len();
                 let generation = handle.swap_searcher(fresh);

@@ -23,6 +23,8 @@
 //! drives [`store`] over directories of real CSV files and serves
 //! discovery traffic over TCP (`tsfm serve`).
 
+#![forbid(unsafe_code)]
+
 pub use tsfm_baselines as baselines;
 pub use tsfm_core as core;
 pub use tsfm_lake as lake;

@@ -92,7 +92,7 @@ mod edge_cases {
         let t = table_from_csv("t", "t", "x,y\n,1\nnan,2\nNULL,3\nn/a,4\n-,5\n");
         assert_eq!(t.column(0).ty, ColType::Str, "no non-null cell to probe");
         assert_eq!(t.column(0).null_count(), 5);
-        assert!(t.column(0).values.iter().all(|v| v.is_null()));
+        assert!(t.column(0).values.iter().all(Value::is_null));
         // The neighbouring column is unaffected.
         assert_eq!(t.column(1).ty, ColType::Int);
         assert_eq!(t.column(1).null_count(), 0);

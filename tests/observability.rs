@@ -86,7 +86,7 @@ fn live_server_answers_metrics_slowlog_and_profile() {
     // "other" stage, so in practice they match exactly).
     let query = "{\"mode\":\"join\",\"k\":3,\"id\":\"cities\",\"profile\":true}";
     let resp = roundtrip(&mut writer, &mut reader, query);
-    let micros = resp.get("micros").and_then(|m| m.as_f64()).expect("micros") as u64;
+    let micros = resp.get("micros").and_then(wire::Json::as_f64).expect("micros") as u64;
     let stages = stage_pairs(resp.get("profile").expect("profile requested but missing"));
     assert!(!stages.is_empty());
     assert_eq!(stages.last().unwrap().0, "other", "remainder stage closes the budget");
@@ -122,7 +122,7 @@ fn live_server_answers_metrics_slowlog_and_profile() {
     assert_eq!(entries.len(), 2, "both queries logged");
     let mut last = u64::MAX;
     for e in entries {
-        let us = e.get("micros").and_then(|m| m.as_f64()).expect("entry micros") as u64;
+        let us = e.get("micros").and_then(wire::Json::as_f64).expect("entry micros") as u64;
         assert!(us <= last, "slowlog must be sorted slowest-first");
         last = us;
         assert!(!stage_pairs(e.get("stages").expect("entry stages")).is_empty());
@@ -160,8 +160,8 @@ fn query_trace_writes_valid_chrome_trace_json() {
     for e in events {
         assert_eq!(e.get("ph").and_then(|p| p.as_str()), Some("X"), "complete events only");
         assert_eq!(e.get("cat").and_then(|c| c.as_str()), Some("tsfm"));
-        assert!(e.get("ts").and_then(|t| t.as_f64()).is_some());
-        assert!(e.get("dur").and_then(|d| d.as_f64()).is_some());
+        assert!(e.get("ts").and_then(wire::Json::as_f64).is_some());
+        assert!(e.get("dur").and_then(wire::Json::as_f64).is_some());
         names.insert(e.get("name").and_then(|n| n.as_str()).expect("name").to_string());
     }
     // The catalog open, snapshot build, and search paths all traced.

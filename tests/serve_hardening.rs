@@ -209,9 +209,9 @@ fn six_hundred_connections_bounded_threads_and_fds() {
     let accepted = stats
         .get("connections")
         .and_then(|c| c.get("accepted"))
-        .and_then(|v| v.as_f64())
+        .and_then(wire::Json::as_f64)
         .unwrap();
-    let ok = stats.get("requests").and_then(|q| q.get("ok")).and_then(|v| v.as_f64()).unwrap();
+    let ok = stats.get("requests").and_then(|q| q.get("ok")).and_then(wire::Json::as_f64).unwrap();
     assert!(accepted >= 601.0, "accepted {accepted}");
     assert!(ok >= 600.0, "ok {ok}");
     guard.assert_alive("after 600 connections");

@@ -10,6 +10,8 @@
 //! * `TSFM_BENCH_FILTER=substr` — run only benches whose id contains the
 //!   substring (mirrors `cargo bench -- substr`, which is also supported).
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Display;
 use std::hint;
 use std::time::{Duration, Instant};
@@ -52,7 +54,7 @@ impl Bencher {
 }
 
 fn fast_mode() -> bool {
-    std::env::var("TSFM_BENCH_FAST").map(|v| v == "1").unwrap_or(false)
+    std::env::var("TSFM_BENCH_FAST").is_ok_and(|v| v == "1")
 }
 
 fn filter() -> Option<String> {
@@ -94,7 +96,7 @@ fn run_one(id: &str, f: &mut dyn FnMut(&mut Bencher)) {
         f(&mut b);
         per_iter.push(b.elapsed.as_nanos() as f64 / b.iters as f64);
     }
-    per_iter.sort_by(|a, b| a.total_cmp(b));
+    per_iter.sort_by(f64::total_cmp);
     let median = per_iter[per_iter.len() / 2];
     println!("bench: {id:<50} {median:>14.1} ns/iter ({} iters/sample)", b.iters);
 }
@@ -123,6 +125,9 @@ pub struct BenchmarkGroup<'a> {
 }
 
 impl BenchmarkGroup<'_> {
+    // By-value `id` mirrors upstream criterion's signature; the shim must
+    // stay call-compatible so benches build against either.
+    #[allow(clippy::needless_pass_by_value)]
     pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher, &I),

@@ -8,6 +8,8 @@
 //! Each property runs `config.cases` random cases from a deterministic seed
 //! derived from the property's name, so failures reproduce across runs.
 
+#![forbid(unsafe_code)]
+
 pub mod strategy;
 
 pub mod collection {

@@ -232,9 +232,7 @@ fn parse_pattern(pat: &str) -> Vec<Atom> {
             '[' => {
                 let close = chars[i..]
                     .iter()
-                    .position(|&c| c == ']')
-                    .map(|p| i + p)
-                    .unwrap_or_else(|| panic!("unclosed [ in pattern {pat:?}"));
+                    .position(|&c| c == ']').map_or_else(|| panic!("unclosed [ in pattern {pat:?}"), |p| i + p);
                 let mut set = Vec::new();
                 let mut j = i + 1;
                 while j < close {
@@ -269,9 +267,7 @@ fn parse_pattern(pat: &str) -> Vec<Atom> {
                 '{' => {
                     let close = chars[i..]
                         .iter()
-                        .position(|&c| c == '}')
-                        .map(|p| i + p)
-                        .unwrap_or_else(|| panic!("unclosed {{ in pattern {pat:?}"));
+                        .position(|&c| c == '}').map_or_else(|| panic!("unclosed {{ in pattern {pat:?}"), |p| i + p);
                     let body: String = chars[i + 1..close].iter().collect();
                     i = close + 1;
                     match body.split_once(',') {

@@ -8,6 +8,8 @@
 //! fixed seed, but its stream differs from upstream rand's ChaCha12-based
 //! `StdRng`.
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// Core RNG interface: a source of uniform 64-bit words.

@@ -246,7 +246,10 @@ fn main() -> Result<(), String> {
     // The file must be trustworthy for CI and cross-PR tracking: re-parse
     // it with the store's own JSON parser before declaring success.
     wire::parse_json(&json).map_err(|e| format!("emitted invalid JSON: {e}"))?;
-    std::fs::write(&args.out, format!("{json}\n")).map_err(|e| e.to_string())?;
+    // Durable commit (tmp + fsync + rename): a result file is either the
+    // previous complete run or this one, never a torn mix CI might parse.
+    tsfm_store::durable::commit_file(&args.out, format!("{json}\n").as_bytes())
+        .map_err(|e| e.to_string())?;
     println!("{json}");
     eprintln!("bench_store: wrote {}", args.out.display());
     Ok(())

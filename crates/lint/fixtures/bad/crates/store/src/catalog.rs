@@ -1,1 +1,14 @@
 pub const MANIFEST_MAGIC: &[u8; 8] = b"TSFMAAA1";
+
+use std::fs::{self, File};
+use std::path::Path;
+
+// Raw write primitives in store library code: both bypass the durable
+// commit protocol and must fire `durable-write-required`.
+pub fn write_manifest(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    fs::write(path, bytes)
+}
+
+pub fn create_segment(path: &Path) -> std::io::Result<File> {
+    File::create(path)
+}

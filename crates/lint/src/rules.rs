@@ -7,6 +7,7 @@
 //! | `no-spawn-outside-pool` | `std::thread::spawn` only in the serve worker pool, the bench crate, and the CLI manifest watcher |
 //! | `wire-error-taxonomy-coverage` | every `StoreError` variant has a serialization arm in `wire.rs::error_json` |
 //! | `format-magic-once` | all `TSFM*` magic byte-strings of a crate are defined in exactly one module |
+//! | `durable-write-required` | no raw `File::create` / `fs::write` in `tsfm_store` library code outside the `durable` module |
 //! | `suppression-needs-justification` | every `tsfm_lint: allow(…)` names a known rule and carries a non-empty justification |
 //!
 //! Suppress a finding with a comment on the same line or the line above:
@@ -22,6 +23,7 @@ pub const UNSAFE_COMMENT: &str = "unsafe-needs-safety-comment";
 pub const NO_SPAWN: &str = "no-spawn-outside-pool";
 pub const WIRE_COVERAGE: &str = "wire-error-taxonomy-coverage";
 pub const MAGIC_ONCE: &str = "format-magic-once";
+pub const DURABLE_WRITE: &str = "durable-write-required";
 pub const SUPPRESSION: &str = "suppression-needs-justification";
 
 /// Name + one-line summary, surfaced by `--list-rules` and the README.
@@ -50,6 +52,10 @@ pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         name: MAGIC_ONCE,
         summary: "all TSFM* magic byte-strings of a crate live in exactly one module",
+    },
+    RuleInfo {
+        name: DURABLE_WRITE,
+        summary: "no raw File::create / fs::write in tsfm_store library code outside durable",
     },
     RuleInfo {
         name: SUPPRESSION,
@@ -147,6 +153,37 @@ pub fn no_spawn_outside_pool(fa: &FileAnalysis, out: &mut Vec<Finding>) {
                       serve::pool (bounded, panic-contained) or a scoped thread"
                 .to_string(),
         });
+    }
+}
+
+/// Store library paths whose writes must go through the durable commit
+/// protocol, and the one module allowed to hold the raw primitives.
+const DURABLE_SCOPE: &str = "crates/store/src/";
+const DURABLE_MODULE: &str = "crates/store/src/durable.rs";
+
+/// `durable-write-required`: raw write primitives in `tsfm_store` library
+/// code. Everything the store persists must go through
+/// `durable::commit_file` / `durable::write_new` (tmp + fsync + rename)
+/// so a crash can never leave a torn file behind; `File::create` and
+/// `fs::write` outside the `durable` module bypass that protocol.
+pub fn durable_write_required(fa: &FileAnalysis, out: &mut Vec<Finding>) {
+    if !fa.rel.starts_with(DURABLE_SCOPE) || fa.rel == DURABLE_MODULE {
+        return;
+    }
+    const PATTERNS: &[(&str, &str)] = &[("File::create", "File::create"), ("fs::write", "fs::write")];
+    for &(needle, label) in PATTERNS {
+        for at in fa.code_hits(needle, true) {
+            out.push(Finding {
+                rule: DURABLE_WRITE,
+                file: fa.rel.clone(),
+                line: fa.line_of(at),
+                message: format!(
+                    "{label} in store library code bypasses the durable commit protocol: \
+                     write through durable::commit_file / durable::write_new, or justify \
+                     with an allow comment"
+                ),
+            });
+        }
     }
 }
 

@@ -93,6 +93,7 @@ pub fn run(analyses: &[FileAnalysis]) -> Report {
         rules::no_unwrap_in_lib(fa, &mut findings);
         rules::unsafe_needs_safety_comment(fa, &mut findings);
         rules::no_spawn_outside_pool(fa, &mut findings);
+        rules::durable_write_required(fa, &mut findings);
         rules::suppression_needs_justification(fa, &mut findings);
     }
     rules::wire_error_taxonomy_coverage(analyses, &mut findings);

@@ -53,6 +53,7 @@ fn bad_corpus_fails_deny_all_with_every_rule() {
         "no-spawn-outside-pool",
         "wire-error-taxonomy-coverage",
         "format-magic-once",
+        "durable-write-required",
         "suppression-needs-justification",
     ] {
         assert!(rules_hit.contains(rule), "rule {rule} did not fire; got {rules_hit:?}");
@@ -73,6 +74,17 @@ fn bad_corpus_fails_deny_all_with_every_rule() {
     assert!(found
         .iter()
         .any(|(r, f, _)| r == "format-magic-once" && f == "crates/store/src/ser.rs"));
+    // Both raw write primitives in store lib code fire; the clean
+    // corpus's durable.rs (same primitives, allowed module) must not.
+    assert_eq!(
+        found
+            .iter()
+            .filter(|(r, f, _)| r == "durable-write-required"
+                && f == "crates/store/src/catalog.rs")
+            .count(),
+        2,
+        "fs::write and File::create must both fire"
+    );
     // Missing wire arms anchor at error_json in wire.rs.
     assert_eq!(
         found.iter().filter(|(r, f, _)| r == "wire-error-taxonomy-coverage" && f == "crates/store/src/wire.rs").count(),

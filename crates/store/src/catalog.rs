@@ -8,9 +8,23 @@
 //! <dir>/index.cache        TSFMIDX1: fingerprint + join/union HNSW graphs
 //! ```
 //!
-//! Mutations (`add_table`, `add_record`, `remove`) update segment files
-//! immediately and the in-memory manifest; [`Catalog::commit`] writes the
-//! manifest atomically (also called on drop, best effort).
+//! Mutations (`add_table`, `add_record`, `remove`) write new segment
+//! files immediately (unsynced) and update the in-memory manifest;
+//! [`Catalog::commit`] (also called on drop, best effort) is the single
+//! durability point: it fsyncs every segment written since the last
+//! commit, fsyncs the segment directory, atomically commits the manifest
+//! via [`crate::durable::commit_file`], and only then deletes segments
+//! the new manifest no longer references. A crash at any instant leaves
+//! the catalog at the previous committed epoch: un-fsynced segments are
+//! unreferenced garbage (`tsfm fsck` sweeps them), and replaced/removed
+//! segments survive until no manifest on disk mentions them. fsyncs are
+//! batched per commit, not issued per segment: each new segment's still-
+//! open handle is parked in `pending_sync`, and once a bulk ingest has
+//! accumulated [`durable::SyncPool::CHUNK`] of them they are handed to a
+//! background [`durable::SyncPool`] so writeback overlaps sketching;
+//! `commit` drains the pool (or syncs a small batch serially) before the
+//! manifest rename acknowledges anything. Under an armed fault plan the
+//! pool is bypassed so crash-point site numbering stays deterministic.
 //!
 //! Reads are split from writes: [`Catalog::searcher`] returns a
 //! [`Searcher`] — an immutable `Arc`-shared snapshot of the query engine
@@ -27,6 +41,7 @@
 //! unchanged directory touches nothing and adding one file re-sketches
 //! exactly one table.
 
+use crate::durable;
 use crate::engine::QueryEngine;
 use crate::error::{StoreError, StoreResult};
 use crate::record::TableRecord;
@@ -34,8 +49,9 @@ use crate::searcher::Searcher;
 use crate::ser;
 use std::collections::BTreeMap;
 use std::fs::{self, File};
-use std::io::{BufReader, BufWriter, Write};
+use std::io::BufReader;
 use std::path::{Path, PathBuf};
+use tsfm_search::Hnsw;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use tsfm_search::HnswConfig;
@@ -56,9 +72,9 @@ fn obs() -> &'static tsfm_obs::metrics::Registry {
 // `format-magic-once` lint enforces this).
 use crate::ser::{INDEX_MAGIC, MANIFEST_MAGIC};
 
-const MANIFEST_FILE: &str = "catalog.manifest";
-const INDEX_FILE: &str = "index.cache";
-const SEGMENT_DIR: &str = "segments";
+pub(crate) const MANIFEST_FILE: &str = "catalog.manifest";
+pub(crate) const INDEX_FILE: &str = "index.cache";
+pub(crate) const SEGMENT_DIR: &str = "segments";
 
 /// Manifest entry for one table.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -187,6 +203,27 @@ pub struct Catalog {
     /// Reused segment serialization buffer (records are a few KB; one
     /// buffer serves a whole bulk ingest).
     seg_buf: Vec<u8>,
+    /// Segment files written since the last commit, awaiting their
+    /// batched fsync (one pass at commit, not one fsync per table). The
+    /// `write_new` handle rides along so the sync happens on the open
+    /// descriptor — no by-path reopen; `None` only for retry leftovers
+    /// from a failed batch.
+    pending_sync: Vec<(PathBuf, Option<File>)>,
+    /// Concurrent fsync workers for bulk ingests: chunks of pending
+    /// segments are burst through the pool so journal batching amortizes
+    /// the per-file flush cost and the writeback overlaps sketching.
+    /// Spawned lazily by the first full chunk; `None` until then and
+    /// never used while a fault plan is armed (the serial path keeps
+    /// crash-sweep site numbering deterministic).
+    sync_pool: Option<durable::SyncPool>,
+    /// Whether any segments were handed to `sync_pool` since the last
+    /// commit (commit must then drain the pool and sync the segment
+    /// directory even if `pending_sync` is empty).
+    pool_used: bool,
+    /// Segment files the in-memory manifest no longer references,
+    /// deleted only *after* the manifest commits — until then a manifest
+    /// on disk may still point at them.
+    pending_delete: Vec<PathBuf>,
 }
 
 impl Catalog {
@@ -203,6 +240,15 @@ impl Catalog {
     pub fn open_with(dir: impl Into<PathBuf>, cfg: SketchConfig) -> StoreResult<Self> {
         let _g = tsfm_obs::span!("catalog.open");
         obs().counter("tsfm_catalog_opens_total", "Catalog open attempts").inc();
+        // Registered eagerly (not on first increment) so the serve
+        // metrics verb always exposes the durability counters — an
+        // operator alerting on corruption needs the zero, not an absent
+        // series.
+        obs().counter(
+            "tsfm_store_corruptions_detected_total",
+            "Checksum or format violations detected while reading store files",
+        );
+        obs().counter("tsfm_store_fsck_repairs_total", "Repair actions taken by tsfm fsck");
         let dir = dir.into();
         let manifest = dir.join(MANIFEST_FILE);
         if manifest.exists() {
@@ -226,6 +272,10 @@ impl Catalog {
                 epoch: 0,
                 manifest_dirty: false,
                 seg_buf: Vec::new(),
+                pending_sync: Vec::new(),
+                sync_pool: None,
+                pool_used: false,
+                pending_delete: Vec::new(),
             });
         }
         fs::create_dir_all(dir.join(SEGMENT_DIR))?;
@@ -238,6 +288,10 @@ impl Catalog {
             epoch: 0,
             manifest_dirty: true,
             seg_buf: Vec::new(),
+            pending_sync: Vec::new(),
+            sync_pool: None,
+            pool_used: false,
+            pending_delete: Vec::new(),
         };
         cat.write_manifest()?;
         Ok(cat)
@@ -288,13 +342,16 @@ impl Catalog {
             return Ok(None);
         };
         let path = self.dir.join(SEGMENT_DIR).join(&entry.segment);
-        let rec = ser::read_record(&mut BufReader::new(File::open(path)?))?;
-        if rec.content_hash != entry.content_hash || rec.table_id() != id {
-            return Err(StoreError::corrupt(
-                "TSFMSEG1",
-                format!("segment {} does not match manifest entry for {id:?}", entry.segment),
-            ));
-        }
+        let rec = durable::read_file_checked(&path, |r| {
+            let rec = ser::read_record(r)?;
+            if rec.content_hash != entry.content_hash || rec.table_id() != id {
+                return Err(StoreError::corrupt(
+                    "TSFMSEG1",
+                    format!("segment {} does not match manifest entry for {id:?}", entry.segment),
+                ));
+            }
+            Ok(rec)
+        })?;
         Ok(Some(rec))
     }
 
@@ -329,16 +386,45 @@ impl Catalog {
             let _g = tsfm_obs::span!("catalog.segment.write");
             self.seg_buf.clear();
             ser::write_record(&mut self.seg_buf, rec)?;
-            write_segment(&path, &self.seg_buf)?;
+            // Segment names are content-addressed (they embed the
+            // table-id hash *and* the content hash), so a path that does
+            // not exist yet cannot be open in any reader and takes the
+            // unsynced fast path — its fsync is batched into the next
+            // commit. An already-existing path means a reader holding an
+            // older manifest could be loading those exact bytes right
+            // now, so that rare case goes through the full atomic
+            // commit_file route.
+            if let Some(file) = durable::write_new(&path, &self.seg_buf)? {
+                self.pending_sync.push((path, Some(file)));
+                // Bulk ingest: hand full chunks to the fsync pool so the
+                // writeback overlaps continued sketching; commit() drains
+                // the pool before acknowledging anything. Fault runs keep
+                // everything on the serial commit-time path.
+                if self.pending_sync.len() >= durable::SyncPool::CHUNK
+                    && !durable::fault::armed()
+                {
+                    let pool = self
+                        .sync_pool
+                        .get_or_insert_with(|| durable::SyncPool::new(durable::SyncPool::WORKERS));
+                    for (p, f) in self.pending_sync.drain(..) {
+                        pool.enqueue(p, f);
+                    }
+                    self.pool_used = true;
+                }
+            } else {
+                durable::commit_file(&path, &self.seg_buf)?;
+            }
         }
         obs().counter("tsfm_catalog_segments_written_total", "Segment files written").inc();
         obs()
             .counter("tsfm_catalog_segment_bytes_written_total", "Segment bytes written")
             .add(self.seg_buf.len() as u64);
-        // Drop the replaced segment file (name differs because the hash does).
+        // The replaced segment file (its name differs because the hash
+        // does) stays on disk until the manifest that stops referencing
+        // it has committed.
         if let Some(old) = self.entries.get(&id) {
             if old.segment != segment {
-                let _ = fs::remove_file(self.dir.join(SEGMENT_DIR).join(&old.segment));
+                self.pending_delete.push(self.dir.join(SEGMENT_DIR).join(&old.segment));
             }
         }
         self.entries.insert(
@@ -354,12 +440,15 @@ impl Catalog {
         Ok(outcome)
     }
 
-    /// Remove a table; returns whether it existed.
+    /// Remove a table; returns whether it existed. The segment file is
+    /// deleted at the next [`Catalog::commit`], after the manifest that
+    /// dropped it is durable — deleting first would lose the table on a
+    /// crash before commit.
     pub fn remove(&mut self, id: &str) -> StoreResult<bool> {
         let Some(entry) = self.entries.remove(id) else {
             return Ok(false);
         };
-        let _ = fs::remove_file(self.dir.join(SEGMENT_DIR).join(&entry.segment));
+        self.pending_delete.push(self.dir.join(SEGMENT_DIR).join(&entry.segment));
         self.invalidate();
         Ok(true)
     }
@@ -484,11 +573,62 @@ impl Catalog {
         MinHasher::new(self.sketch_cfg.minhash_k, self.sketch_cfg.seed)
     }
 
-    /// Write the manifest if it has pending changes.
+    /// Make every mutation since the last commit durable. The ordering is
+    /// the crash-safety argument:
+    ///
+    /// 1. fsync each segment written since the last commit, then the
+    ///    segment directory (batched: one pass per commit, not one fsync
+    ///    per `add_record`);
+    /// 2. commit the manifest atomically — this is the single commit
+    ///    point: a crash anywhere before the manifest rename leaves the
+    ///    previous manifest referencing only previously-durable segments;
+    /// 3. only now delete segments no manifest references (best effort —
+    ///    a leftover is an orphan `tsfm fsck` sweeps, never data loss).
     pub fn commit(&mut self) -> StoreResult<()> {
-        if self.manifest_dirty {
-            self.write_manifest()?;
-            self.manifest_dirty = false;
+        if !self.manifest_dirty {
+            return Ok(());
+        }
+        let _g = tsfm_obs::span!("catalog.commit");
+        // Every segment written since the last commit must be on disk
+        // before the manifest rename acknowledges it. Bulk batches go
+        // through the fsync pool (journal batching amortizes the
+        // per-file flush; mid-ingest chunks are already in flight there);
+        // small commits and fault runs sync serially — cheaper to wake no
+        // pool, and deterministic fault-site ordering for the sweeper.
+        let use_pool = !durable::fault::armed()
+            && (self.pool_used || self.pending_sync.len() > durable::SyncPool::MIN_BATCH);
+        if use_pool {
+            let pool = self
+                .sync_pool
+                .get_or_insert_with(|| durable::SyncPool::new(durable::SyncPool::WORKERS));
+            for (path, file) in self.pending_sync.drain(..) {
+                pool.enqueue(path, file);
+            }
+            let mut it = pool.drain().into_iter();
+            if let Some((path, err)) = it.next() {
+                // A failed sync fails the commit before anything is
+                // acknowledged; the failed paths fall back onto the
+                // queue (handles consumed — retried by path) so a
+                // retried commit re-syncs exactly them.
+                self.pending_sync.push((path, None));
+                self.pending_sync.extend(it.map(|(p, _)| (p, None)));
+                return Err(err);
+            }
+            durable::sync_dir(&self.dir.join(SEGMENT_DIR))?;
+        } else {
+            for (path, file) in &self.pending_sync {
+                durable::sync_pending(path, file.as_ref())?;
+            }
+            if !self.pending_sync.is_empty() {
+                durable::sync_dir(&self.dir.join(SEGMENT_DIR))?;
+            }
+            self.pending_sync.clear();
+        }
+        self.pool_used = false;
+        self.write_manifest()?;
+        self.manifest_dirty = false;
+        for path in self.pending_delete.drain(..) {
+            let _ = fs::remove_file(path);
         }
         Ok(())
     }
@@ -607,64 +747,117 @@ impl Catalog {
     /// Fingerprint of the catalog contents + sketch config; the index
     /// cache is valid only while this matches.
     fn fingerprint(&self) -> u64 {
-        let mut acc = splitmix64(self.sketch_cfg.minhash_k as u64 ^ self.sketch_cfg.seed);
-        acc = splitmix64(acc ^ self.sketch_cfg.max_rows as u64);
-        for (id, e) in &self.entries {
-            acc = splitmix64(acc ^ hash_str(id));
-            acc = splitmix64(acc ^ e.content_hash);
-        }
-        acc
+        manifest_fingerprint(&self.sketch_cfg, &self.entries)
     }
 
     fn cached_index_valid(&self) -> bool {
-        let path = self.dir.join(INDEX_FILE);
-        let Ok(file) = File::open(path) else {
-            return false;
-        };
-        let mut r = BufReader::new(file);
-        ser::expect_magic(&mut r, INDEX_MAGIC, "TSFM index cache").is_ok()
-            && ser::read_u64(&mut r).is_ok_and(|fp| fp == self.fingerprint())
+        peek_index_fingerprint(&self.dir.join(INDEX_FILE))
+            .is_some_and(|fp| fp == self.fingerprint())
     }
 
     fn try_load_cached_engine(&self, records: &[TableRecord], fp: u64) -> Option<QueryEngine> {
         let _g = tsfm_obs::span!("catalog.index_cache.load");
-        let mut r = BufReader::new(File::open(self.dir.join(INDEX_FILE)).ok()?);
-        ser::expect_magic(&mut r, INDEX_MAGIC, "TSFM index cache").ok()?;
-        if ser::read_u64(&mut r).ok()? != fp {
+        // Cache load failures are swallowed (a rebuild answers the
+        // query), but read_index_cache has already counted a corrupt
+        // cache in tsfm_store_corruptions_detected_total.
+        let (cached_fp, join, union) = read_index_cache(&self.dir.join(INDEX_FILE)).ok()?;
+        if cached_fp != fp {
             return None;
         }
-        let join = ser::read_hnsw(&mut r).ok()?;
-        let union = ser::read_hnsw(&mut r).ok()?;
         QueryEngine::with_graphs(records, self.sketch_cfg.minhash_k, join, union).ok()
     }
 
     fn write_index_cache(&self, engine: &QueryEngine, fp: u64) -> StoreResult<()> {
         let _g = tsfm_obs::span!("catalog.index_cache.write");
-        write_atomic(&self.dir.join(INDEX_FILE), |w| {
-            ser::write_magic(w, INDEX_MAGIC)?;
-            ser::write_u64(w, fp)?;
-            ser::write_hnsw(w, engine.join_index())?;
-            ser::write_hnsw(w, engine.union_index())
-        })
+        let mut body = Vec::new();
+        ser::write_u64(&mut body, fp)?;
+        ser::write_hnsw(&mut body, engine.join_index())?;
+        ser::write_hnsw(&mut body, engine.union_index())?;
+        let mut file = Vec::with_capacity(body.len() + 24);
+        ser::write_frame(&mut file, INDEX_MAGIC, &body)?;
+        durable::commit_file(&self.dir.join(INDEX_FILE), &file)
     }
 
     fn write_manifest(&self) -> StoreResult<()> {
-        write_atomic(&self.dir.join(MANIFEST_FILE), |w| {
-            ser::write_magic(w, MANIFEST_MAGIC)?;
-            ser::write_u32(w, self.sketch_cfg.minhash_k as u32)?;
-            ser::write_u64(w, self.sketch_cfg.max_rows as u64)?;
-            ser::write_u64(w, self.sketch_cfg.seed)?;
-            ser::write_u32(w, self.entries.len() as u32)?;
-            for (id, e) in &self.entries {
-                ser::write_str(w, id)?;
-                ser::write_str(w, &e.segment)?;
-                ser::write_u64(w, e.content_hash)?;
-                ser::write_u64(w, e.num_rows)?;
-                ser::write_u32(w, e.num_cols)?;
-            }
-            Ok(())
-        })
+        write_manifest_file(&self.dir.join(MANIFEST_FILE), &self.sketch_cfg, &self.entries)
     }
+}
+
+/// Fingerprint of a manifest's contents + sketch config (what the index
+/// cache is keyed on). A free function so `fsck` can compute the expected
+/// fingerprint without a `Catalog`.
+pub(crate) fn manifest_fingerprint(
+    cfg: &SketchConfig,
+    entries: &BTreeMap<String, ManifestEntry>,
+) -> u64 {
+    let mut acc = splitmix64(cfg.minhash_k as u64 ^ cfg.seed);
+    acc = splitmix64(acc ^ cfg.max_rows as u64);
+    for (id, e) in entries {
+        acc = splitmix64(acc ^ hash_str(id));
+        acc = splitmix64(acc ^ e.content_hash);
+    }
+    acc
+}
+
+/// Read just the fingerprint out of an index cache file — header +
+/// 8 bytes, **without** checksum verification (used by `stats`, where
+/// reading whole graphs to answer a validity bit would defeat the
+/// cache). `None` for a missing, unreadable, or visibly corrupt header.
+pub(crate) fn peek_index_fingerprint(path: &Path) -> Option<u64> {
+    let mut r = BufReader::new(File::open(path).ok()?);
+    ser::read_frame_header(&mut r, INDEX_MAGIC, "TSFM index cache").ok()?;
+    ser::read_u64(&mut r).ok()
+}
+
+/// Read and fully verify an index cache file: fingerprint plus the join
+/// and union HNSW graphs. Corruption comes back as a typed
+/// [`StoreError::Corrupt`] naming the file and offset. Public so `fsck`
+/// and the corruption tests can drive verification directly (the catalog
+/// itself swallows cache errors and rebuilds).
+pub fn read_index_cache(path: &Path) -> StoreResult<(u64, Hnsw, Hnsw)> {
+    durable::read_file_checked(path, |r| {
+        let res = match ser::read_frame(r, INDEX_MAGIC, "TSFM index cache") {
+            Ok(ser::Payload::Legacy) => {
+                let fp = ser::read_u64(r)?;
+                let join = ser::read_hnsw(r)?;
+                let union = ser::read_hnsw(r)?;
+                Ok((fp, join, union))
+            }
+            Ok(ser::Payload::Framed(body)) => ser::parse_framed(&body, |s| {
+                let fp = ser::read_u64(s)?;
+                let join = ser::read_hnsw(s)?;
+                let union = ser::read_hnsw(s)?;
+                Ok((fp, join, union))
+            }),
+            Err(e) => Err(e),
+        };
+        res.map_err(|e| e.into_format("TSFMIDX1"))
+    })
+}
+
+/// Serialize and durably commit a manifest. Shared by [`Catalog::commit`]
+/// and fsck's repair path (which writes a pruned manifest without a live
+/// catalog).
+pub(crate) fn write_manifest_file(
+    path: &Path,
+    cfg: &SketchConfig,
+    entries: &BTreeMap<String, ManifestEntry>,
+) -> StoreResult<()> {
+    let mut body = Vec::new();
+    ser::write_u32(&mut body, cfg.minhash_k as u32)?;
+    ser::write_u64(&mut body, cfg.max_rows as u64)?;
+    ser::write_u64(&mut body, cfg.seed)?;
+    ser::write_u32(&mut body, entries.len() as u32)?;
+    for (id, e) in entries {
+        ser::write_str(&mut body, id)?;
+        ser::write_str(&mut body, &e.segment)?;
+        ser::write_u64(&mut body, e.content_hash)?;
+        ser::write_u64(&mut body, e.num_rows)?;
+        ser::write_u32(&mut body, e.num_cols)?;
+    }
+    let mut file = Vec::with_capacity(body.len() + 24);
+    ser::write_frame(&mut file, MANIFEST_MAGIC, &body)?;
+    durable::commit_file(path, &file)
 }
 
 impl Drop for Catalog {
@@ -674,26 +867,35 @@ impl Drop for Catalog {
     }
 }
 
-fn read_manifest(path: &Path) -> StoreResult<(SketchConfig, BTreeMap<String, ManifestEntry>)> {
-    read_manifest_inner(path).map_err(|e| e.into_format("TSFMCAT1"))
+pub(crate) fn read_manifest(
+    path: &Path,
+) -> StoreResult<(SketchConfig, BTreeMap<String, ManifestEntry>)> {
+    durable::read_file_checked(path, |r| {
+        let res = match ser::read_frame(r, MANIFEST_MAGIC, "TSFM catalog manifest") {
+            Ok(ser::Payload::Legacy) => read_manifest_body(r),
+            Ok(ser::Payload::Framed(body)) => ser::parse_framed(&body, |s| read_manifest_body(s)),
+            Err(e) => Err(e),
+        };
+        res.map_err(|e| e.into_format("TSFMCAT1"))
+    })
 }
 
-fn read_manifest_inner(path: &Path) -> StoreResult<(SketchConfig, BTreeMap<String, ManifestEntry>)> {
-    let mut r = BufReader::new(File::open(path)?);
-    ser::expect_magic(&mut r, MANIFEST_MAGIC, "TSFM catalog manifest")?;
+fn read_manifest_body<R: std::io::Read>(
+    r: &mut R,
+) -> StoreResult<(SketchConfig, BTreeMap<String, ManifestEntry>)> {
     let cfg = SketchConfig {
-        minhash_k: ser::read_u32(&mut r)? as usize,
-        max_rows: ser::read_u64(&mut r)? as usize,
-        seed: ser::read_u64(&mut r)?,
+        minhash_k: ser::read_u32(r)? as usize,
+        max_rows: ser::read_u64(r)? as usize,
+        seed: ser::read_u64(r)?,
     };
-    let count = ser::read_u32(&mut r)? as usize;
+    let count = ser::read_u32(r)? as usize;
     if count > 1 << 24 {
         return Err(StoreError::corrupt("TSFMCAT1", format!("unreasonable table count {count}")));
     }
     let mut entries = BTreeMap::new();
     for _ in 0..count {
-        let id = ser::read_str(&mut r)?;
-        let segment = ser::read_str(&mut r)?;
+        let id = ser::read_str(r)?;
+        let segment = ser::read_str(r)?;
         if segment.contains('/') || segment.contains("..") {
             return Err(StoreError::corrupt(
                 "TSFMCAT1",
@@ -702,9 +904,9 @@ fn read_manifest_inner(path: &Path) -> StoreResult<(SketchConfig, BTreeMap<Strin
         }
         let entry = ManifestEntry {
             segment,
-            content_hash: ser::read_u64(&mut r)?,
-            num_rows: ser::read_u64(&mut r)?,
-            num_cols: ser::read_u32(&mut r)?,
+            content_hash: ser::read_u64(r)?,
+            num_rows: ser::read_u64(r)?,
+            num_cols: ser::read_u32(r)?,
         };
         entries.insert(id, entry);
     }
@@ -721,42 +923,6 @@ fn segment_name(id: &str, content_hash: u64) -> String {
         .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
         .collect();
     format!("{sane}-{:08x}-{content_hash:016x}.seg", hash_str(id) as u32)
-}
-
-/// Write one serialized segment. Segment names are content-addressed
-/// (they embed the table-id hash *and* the content hash), so a path that
-/// does not exist yet cannot be open in any reader and is written
-/// directly — `create_new` + one `write_all`, roughly 8× cheaper than
-/// the create + write + rename of [`write_atomic`] on journaling
-/// filesystems, and the dominant I/O cost of a bulk ingest. A crash
-/// mid-write leaves an unreferenced file (the manifest commits
-/// afterwards) that the next ingest of the same content rewrites from
-/// scratch. An already-existing path means a reader holding an older
-/// manifest could be loading those exact bytes right now, so that rare
-/// case takes the atomic tmp + rename route.
-fn write_segment(path: &Path, bytes: &[u8]) -> StoreResult<()> {
-    match File::options().write(true).create_new(true).open(path) {
-        Ok(mut f) => Ok(f.write_all(bytes)?),
-        Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
-            write_atomic(path, |w| Ok(w.write_all(bytes)?))
-        }
-        Err(e) => Err(e.into()),
-    }
-}
-
-/// Write via a temp file + rename so readers never observe a half-written
-/// file and a crash never corrupts an existing one.
-fn write_atomic(
-    path: &Path,
-    body: impl FnOnce(&mut BufWriter<File>) -> StoreResult<()>,
-) -> StoreResult<()> {
-    let tmp = path.with_extension("tmp");
-    let mut w = BufWriter::new(File::create(&tmp)?);
-    body(&mut w)?;
-    w.flush()?;
-    drop(w);
-    fs::rename(&tmp, path)?;
-    Ok(())
 }
 
 #[cfg(test)]
@@ -811,7 +977,9 @@ mod tests {
         assert_eq!(cat.add_table(&table("t", &[1]), 5).unwrap(), IngestOutcome::Unchanged);
         assert_eq!(cat.add_table(&table("t", &[1, 2]), 6).unwrap(), IngestOutcome::Updated);
         assert_eq!(cat.len(), 1);
-        // The replaced segment file is gone; exactly one remains.
+        // The replaced segment outlives the update until the manifest
+        // that dropped it commits; after commit exactly one remains.
+        cat.commit().unwrap();
         let n = fs::read_dir(dir.join(SEGMENT_DIR))
             .unwrap()
             .filter(|e| {
@@ -846,6 +1014,10 @@ mod tests {
         assert!(cat.remove("t").unwrap());
         assert!(!cat.remove("t").unwrap());
         assert_eq!(cat.len(), 0);
+        // The segment file survives until the removal is committed —
+        // until then the on-disk manifest still references it.
+        assert_eq!(fs::read_dir(dir.join(SEGMENT_DIR)).unwrap().count(), 1);
+        cat.commit().unwrap();
         assert_eq!(fs::read_dir(dir.join(SEGMENT_DIR)).unwrap().count(), 0);
     }
 

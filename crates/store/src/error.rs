@@ -34,8 +34,11 @@ pub(crate) const FRAME: &str = "frame";
 pub enum StoreError {
     /// Operating-system level I/O failure.
     Io(io::Error),
-    /// On-disk (or on-wire) bytes violate a versioned format.
-    Corrupt { format: String, detail: String },
+    /// On-disk (or on-wire) bytes violate a versioned format. When the
+    /// bytes came from a file, `file` names it and `offset` is the
+    /// stream position where decoding stopped (both stamped by
+    /// [`crate::durable::read_file_checked`]).
+    Corrupt { format: String, detail: String, file: Option<String>, offset: Option<u64> },
     /// The named table is not in the catalog.
     UnknownTable(String),
     /// The request itself is malformed (k == 0, unknown mode, unknown
@@ -51,9 +54,31 @@ pub enum StoreError {
 }
 
 impl StoreError {
-    /// Shorthand for a [`StoreError::Corrupt`].
+    /// Shorthand for a [`StoreError::Corrupt`] (no file attribution yet).
     pub fn corrupt(format: impl Into<String>, detail: impl Into<String>) -> Self {
-        StoreError::Corrupt { format: format.into(), detail: detail.into() }
+        StoreError::Corrupt {
+            format: format.into(),
+            detail: detail.into(),
+            file: None,
+            offset: None,
+        }
+    }
+
+    /// Stamp a `Corrupt` error with the file it came from and the stream
+    /// offset where decoding stopped. Errors already attributed to a file
+    /// and non-corruption errors pass through unchanged.
+    pub fn with_file(self, path: &std::path::Path, at: u64) -> Self {
+        match self {
+            StoreError::Corrupt { format, detail, file: None, offset: None } => {
+                StoreError::Corrupt {
+                    format,
+                    detail,
+                    file: Some(path.display().to_string()),
+                    offset: Some(at),
+                }
+            }
+            other => other,
+        }
     }
 
     /// Shorthand for a [`StoreError::InvalidRequest`].
@@ -72,8 +97,8 @@ impl StoreError {
     /// not an OS failure). Errors already attributed pass through.
     pub fn into_format(self, format: &str) -> Self {
         match self {
-            StoreError::Corrupt { format: f, detail } if f == FRAME => {
-                StoreError::corrupt(format, detail)
+            StoreError::Corrupt { format: f, detail, file, offset } if f == FRAME => {
+                StoreError::Corrupt { format: format.into(), detail, file, offset }
             }
             StoreError::Io(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
                 StoreError::corrupt(format, "truncated input")
@@ -97,8 +122,16 @@ impl fmt::Display for StoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             StoreError::Io(e) => write!(f, "i/o error: {e}"),
-            StoreError::Corrupt { format, detail } => {
-                write!(f, "corrupt {format} data: {detail}")
+            StoreError::Corrupt { format, detail, file, offset } => {
+                write!(f, "corrupt {format} data: {detail}")?;
+                if let Some(name) = file {
+                    write!(f, " (in {name}")?;
+                    if let Some(at) = offset {
+                        write!(f, " at offset {at}")?;
+                    }
+                    write!(f, ")")?;
+                }
+                Ok(())
             }
             StoreError::UnknownTable(id) => write!(f, "unknown table {id:?}"),
             StoreError::InvalidRequest(detail) => write!(f, "invalid request: {detail}"),
@@ -136,7 +169,7 @@ mod tests {
 
         let eof = StoreError::Io(io::Error::new(io::ErrorKind::UnexpectedEof, "eof"));
         let e = eof.into_format("TSFMHNS1");
-        assert!(matches!(&e, StoreError::Corrupt { format, detail }
+        assert!(matches!(&e, StoreError::Corrupt { format, detail, .. }
             if format == "TSFMHNS1" && detail == "truncated input"));
 
         // Already-attributed and genuine I/O errors pass through.
@@ -161,5 +194,20 @@ mod tests {
         let s = StoreError::corrupt("TSFMIDX1", "bad fingerprint").to_string();
         assert!(s.contains("TSFMIDX1") && s.contains("bad fingerprint"));
         assert!(StoreError::invalid("k == 0").to_string().contains("k == 0"));
+    }
+
+    #[test]
+    fn with_file_stamps_corruption_once() {
+        let path = std::path::Path::new("/lake/segments/t1.seg");
+        let e = StoreError::corrupt("TSFMSEG1", "checksum mismatch").with_file(path, 42);
+        let s = e.to_string();
+        assert!(s.contains("t1.seg") && s.contains("offset 42"), "{s}");
+        // Already-stamped errors keep their original attribution.
+        let e2 = e.with_file(std::path::Path::new("/other"), 7);
+        assert!(matches!(&e2, StoreError::Corrupt { file: Some(f), offset: Some(42), .. }
+            if f.contains("t1.seg")));
+        // Non-corruption errors pass through untouched.
+        let io = StoreError::Io(io::Error::other("x")).with_file(path, 0);
+        assert!(matches!(io, StoreError::Io(_)));
     }
 }

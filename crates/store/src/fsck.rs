@@ -1,0 +1,602 @@
+//! Offline catalog verification and repair — the engine behind the
+//! `tsfm fsck` CLI verb.
+//!
+//! [`fsck`] walks a catalog directory and verifies everything the serving
+//! path trusts: the manifest frame, every segment's CRC32C and its
+//! agreement with the manifest entry (content hash *and* table id),
+//! missing and orphaned segment files, leftover `.tmp` staging files, and
+//! the index cache (checksum + fingerprint). Damage is reported as typed
+//! [`Problem`]s and rendered as one structured JSON object.
+//!
+//! With `repair = true` a damaged store degrades to a smaller-but-correct
+//! one instead of refusing to open: bad segments are quarantined (moved
+//! to `<dir>/quarantine/`, never deleted — an operator can recover bytes
+//! from them), their manifest entries dropped, `.tmp` garbage removed,
+//! the pruned manifest committed durably, and the HNSW index cache
+//! rebuilt. The one thing repair will not invent is the manifest itself:
+//! the sketch configuration is not recoverable from segments alone, so a
+//! corrupt manifest is reported and left for restore-from-backup.
+
+use crate::catalog::{
+    self, manifest_fingerprint, read_index_cache, Catalog, ManifestEntry,
+};
+use crate::durable;
+use crate::error::{StoreError, StoreResult};
+use crate::ser;
+use crate::wire::escape_json;
+use std::collections::BTreeMap;
+use std::fs::{self, File};
+use std::io::BufReader;
+use std::path::{Path, PathBuf};
+use tsfm_sketch::SketchConfig;
+
+/// Where repair moves bad segments (inside the catalog directory).
+pub const QUARANTINE_DIR: &str = "quarantine";
+
+/// One verified defect.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Problem {
+    pub kind: ProblemKind,
+    /// Path relative to the catalog directory.
+    pub file: String,
+    /// The table the file backs, when the manifest knows it.
+    pub table: Option<String>,
+    pub detail: String,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProblemKind {
+    /// The manifest itself fails checksum or parse — nothing below it can
+    /// be trusted, and repair cannot reconstruct it.
+    CorruptManifest,
+    /// A segment fails its checksum, fails to parse, or disagrees with
+    /// its manifest entry.
+    CorruptSegment,
+    /// The manifest references a segment file that does not exist.
+    MissingSegment,
+    /// A segment file no manifest entry references (e.g. written by a
+    /// crashed ingest whose manifest never committed).
+    OrphanSegment,
+    /// A leftover `.tmp` staging file from an interrupted commit.
+    TmpFile,
+}
+
+impl ProblemKind {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ProblemKind::CorruptManifest => "corrupt_manifest",
+            ProblemKind::CorruptSegment => "corrupt_segment",
+            ProblemKind::MissingSegment => "missing_segment",
+            ProblemKind::OrphanSegment => "orphan_segment",
+            ProblemKind::TmpFile => "tmp_file",
+        }
+    }
+}
+
+/// Index cache verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IndexCacheState {
+    /// Checksums verify and the fingerprint matches the manifest.
+    Valid,
+    /// No cache file — the next snapshot rebuilds it; not damage.
+    Absent,
+    /// Readable but keyed to different contents (stale fingerprint, or a
+    /// corrupt manifest left nothing to compare against).
+    Stale,
+    Corrupt(String),
+}
+
+impl IndexCacheState {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            IndexCacheState::Valid => "valid",
+            IndexCacheState::Absent => "absent",
+            IndexCacheState::Stale => "stale",
+            IndexCacheState::Corrupt(_) => "corrupt",
+        }
+    }
+}
+
+/// What `repair` actually did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RepairSummary {
+    /// Files moved into `quarantine/` (relative paths).
+    pub quarantined: Vec<String>,
+    /// Table ids dropped from the manifest (their segments were corrupt
+    /// or missing).
+    pub dropped_tables: Vec<String>,
+    /// `.tmp` staging files removed.
+    pub removed_tmp: Vec<String>,
+    /// Whether the HNSW index cache was rebuilt from the surviving
+    /// segments.
+    pub index_rebuilt: bool,
+}
+
+impl RepairSummary {
+    fn actions(&self) -> u64 {
+        (self.quarantined.len()
+            + self.dropped_tables.len()
+            + self.removed_tmp.len()
+            + usize::from(self.index_rebuilt)) as u64
+    }
+}
+
+/// The full verification result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FsckReport {
+    /// Catalog directory as given.
+    pub catalog: String,
+    /// Tables the manifest declares.
+    pub tables: usize,
+    /// Segments that verified end to end.
+    pub segments_ok: usize,
+    /// Surviving pre-checksum (v1) frames — readable, but unprotected
+    /// until a rewrite migrates them.
+    pub v1_segments: usize,
+    pub problems: Vec<Problem>,
+    pub index_cache: IndexCacheState,
+    /// Present when `repair` ran and took at least one action.
+    pub repair: Option<RepairSummary>,
+}
+
+impl FsckReport {
+    /// Whether the store verified clean (pre-repair state). A stale or
+    /// absent index cache is not damage — the next snapshot rebuilds it.
+    pub fn healthy(&self) -> bool {
+        self.problems.is_empty() && !matches!(self.index_cache, IndexCacheState::Corrupt(_))
+    }
+
+    /// Whether the store is consistent *now*: either it verified clean,
+    /// or repair ran and dealt with every problem (a corrupt manifest is
+    /// the unrepairable case and keeps this `false`).
+    pub fn consistent_after(&self) -> bool {
+        self.healthy()
+            || (self.repair.is_some()
+                && !self.problems.iter().any(|p| p.kind == ProblemKind::CorruptManifest))
+    }
+
+    /// The report as one structured JSON object (the `tsfm fsck` output).
+    pub fn to_json(&self) -> String {
+        let problems: Vec<String> = self
+            .problems
+            .iter()
+            .map(|p| {
+                let table = p
+                    .table
+                    .as_ref()
+                    .map_or_else(|| "null".to_string(), |t| format!("\"{}\"", escape_json(t)));
+                format!(
+                    "{{\"kind\":\"{}\",\"file\":\"{}\",\"table\":{},\"detail\":\"{}\"}}",
+                    p.kind.as_str(),
+                    escape_json(&p.file),
+                    table,
+                    escape_json(&p.detail)
+                )
+            })
+            .collect();
+        let mut out = format!(
+            "{{\"catalog\":\"{}\",\"tables\":{},\"segments_ok\":{},\"v1_segments\":{},\
+             \"problems\":[{}],\"index_cache\":\"{}\",\"healthy\":{}",
+            escape_json(&self.catalog),
+            self.tables,
+            self.segments_ok,
+            self.v1_segments,
+            problems.join(","),
+            self.index_cache.as_str(),
+            self.healthy()
+        );
+        if let Some(r) = &self.repair {
+            let list = |v: &[String]| -> String {
+                let items: Vec<String> =
+                    v.iter().map(|s| format!("\"{}\"", escape_json(s))).collect();
+                format!("[{}]", items.join(","))
+            };
+            out.push_str(&format!(
+                ",\"repair\":{{\"quarantined\":{},\"dropped_tables\":{},\"removed_tmp\":{},\
+                 \"index_rebuilt\":{}}}",
+                list(&r.quarantined),
+                list(&r.dropped_tables),
+                list(&r.removed_tmp),
+                r.index_rebuilt
+            ));
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Verify (and optionally repair) the catalog at `dir`. See the module
+/// docs for what is checked and what repair does. Returns `Err` only for
+/// environmental failures (the directory is not a catalog, repair I/O
+/// failed); damage found in the store comes back inside the report.
+pub fn fsck(dir: &Path, repair: bool) -> StoreResult<FsckReport> {
+    let manifest_path = dir.join(catalog::MANIFEST_FILE);
+    if !manifest_path.exists() {
+        return Err(StoreError::invalid(format!(
+            "{} is not a catalog (no {} found)",
+            dir.display(),
+            catalog::MANIFEST_FILE
+        )));
+    }
+    let mut report = FsckReport {
+        catalog: dir.display().to_string(),
+        tables: 0,
+        segments_ok: 0,
+        v1_segments: 0,
+        problems: Vec::new(),
+        index_cache: IndexCacheState::Absent,
+        repair: None,
+    };
+
+    let manifest = catalog::read_manifest(&manifest_path);
+    let (cfg, entries) = match manifest {
+        Ok(v) => v,
+        Err(e) => {
+            report.problems.push(Problem {
+                kind: ProblemKind::CorruptManifest,
+                file: catalog::MANIFEST_FILE.to_string(),
+                table: None,
+                detail: e.to_string(),
+            });
+            // Still classify the index cache so the report is complete,
+            // even though nothing can validate its fingerprint.
+            report.index_cache = match read_index_cache(&dir.join(catalog::INDEX_FILE)) {
+                Ok(_) => IndexCacheState::Stale,
+                Err(StoreError::Io(ref io)) if io.kind() == std::io::ErrorKind::NotFound => {
+                    IndexCacheState::Absent
+                }
+                Err(e) => IndexCacheState::Corrupt(e.to_string()),
+            };
+            return Ok(report);
+        }
+    };
+    report.tables = entries.len();
+
+    // ---- segments: every checksum, every manifest agreement ----
+    let seg_dir = dir.join(catalog::SEGMENT_DIR);
+    let mut bad_tables: Vec<String> = Vec::new();
+    let mut quarantine: Vec<PathBuf> = Vec::new();
+    for (id, entry) in &entries {
+        let rel = format!("{}/{}", catalog::SEGMENT_DIR, entry.segment);
+        let path = seg_dir.join(&entry.segment);
+        if !path.exists() {
+            report.problems.push(Problem {
+                kind: ProblemKind::MissingSegment,
+                file: rel,
+                table: Some(id.clone()),
+                detail: "manifest references a segment that is not on disk".to_string(),
+            });
+            bad_tables.push(id.clone());
+            continue;
+        }
+        if frame_version(&path) == Some(ser::LEGACY_VERSION) {
+            report.v1_segments += 1;
+        }
+        let verified = durable::read_file_checked(&path, |r| {
+            let rec = ser::read_record(r)?;
+            if rec.content_hash != entry.content_hash || rec.table_id() != id {
+                return Err(StoreError::corrupt(
+                    "TSFMSEG1",
+                    format!(
+                        "segment holds table {:?} hash {:#x}, manifest expects {id:?} hash {:#x}",
+                        rec.table_id(),
+                        rec.content_hash,
+                        entry.content_hash
+                    ),
+                ));
+            }
+            Ok(())
+        });
+        match verified {
+            Ok(()) => report.segments_ok += 1,
+            Err(e) => {
+                report.problems.push(Problem {
+                    kind: ProblemKind::CorruptSegment,
+                    file: rel,
+                    table: Some(id.clone()),
+                    detail: e.to_string(),
+                });
+                bad_tables.push(id.clone());
+                quarantine.push(path);
+            }
+        }
+    }
+
+    // ---- orphans and staging leftovers ----
+    let referenced: std::collections::BTreeSet<&str> =
+        entries.values().map(|e| e.segment.as_str()).collect();
+    let mut tmp_files: Vec<PathBuf> = Vec::new();
+    if seg_dir.is_dir() {
+        let mut names: Vec<String> = fs::read_dir(&seg_dir)?
+            .filter_map(|e| e.ok().map(|e| e.file_name().to_string_lossy().to_string()))
+            .collect();
+        names.sort();
+        for name in names {
+            if referenced.contains(name.as_str()) {
+                continue;
+            }
+            let path = seg_dir.join(&name);
+            let rel = format!("{}/{name}", catalog::SEGMENT_DIR);
+            if name.ends_with(".tmp") {
+                report.problems.push(Problem {
+                    kind: ProblemKind::TmpFile,
+                    file: rel,
+                    table: None,
+                    detail: "staging file left by an interrupted commit".to_string(),
+                });
+                tmp_files.push(path);
+            } else {
+                report.problems.push(Problem {
+                    kind: ProblemKind::OrphanSegment,
+                    file: rel,
+                    table: None,
+                    detail: "no manifest entry references this file".to_string(),
+                });
+                quarantine.push(path);
+            }
+        }
+    }
+    for staging in ["catalog.tmp", "index.tmp"] {
+        let path = dir.join(staging);
+        if path.exists() {
+            report.problems.push(Problem {
+                kind: ProblemKind::TmpFile,
+                file: staging.to_string(),
+                table: None,
+                detail: "staging file left by an interrupted commit".to_string(),
+            });
+            tmp_files.push(path);
+        }
+    }
+
+    // ---- index cache ----
+    let index_path = dir.join(catalog::INDEX_FILE);
+    report.index_cache = if index_path.exists() {
+        match read_index_cache(&index_path) {
+            Ok((fp, _, _)) if fp == manifest_fingerprint(&cfg, &entries) => IndexCacheState::Valid,
+            Ok(_) => IndexCacheState::Stale,
+            Err(e) => IndexCacheState::Corrupt(e.to_string()),
+        }
+    } else {
+        IndexCacheState::Absent
+    };
+
+    if repair {
+        let summary = run_repair(
+            dir,
+            &cfg,
+            &entries,
+            &bad_tables,
+            &quarantine,
+            &tmp_files,
+            &report.index_cache,
+        )?;
+        if summary.actions() > 0 {
+            tsfm_obs::metrics::global()
+                .counter("tsfm_store_fsck_repairs_total", "Repair actions taken by tsfm fsck")
+                .add(summary.actions());
+            report.repair = Some(summary);
+        }
+    }
+    Ok(report)
+}
+
+/// Frame version of a file's leading container, `None` if unreadable.
+fn frame_version(path: &Path) -> Option<u32> {
+    let mut r = BufReader::new(File::open(path).ok()?);
+    ser::read_frame_header(&mut r, ser::SEGMENT_MAGIC, "TSFM segment").ok()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_repair(
+    dir: &Path,
+    cfg: &SketchConfig,
+    entries: &BTreeMap<String, ManifestEntry>,
+    bad_tables: &[String],
+    quarantine: &[PathBuf],
+    tmp_files: &[PathBuf],
+    index_state: &IndexCacheState,
+) -> StoreResult<RepairSummary> {
+    let mut summary = RepairSummary::default();
+
+    if !quarantine.is_empty() {
+        let qdir = dir.join(QUARANTINE_DIR);
+        fs::create_dir_all(&qdir)?;
+        for path in quarantine {
+            let name = path.file_name().map(|n| n.to_string_lossy().to_string());
+            let Some(name) = name else { continue };
+            fs::rename(path, qdir.join(&name))?;
+            summary.quarantined.push(format!("{QUARANTINE_DIR}/{name}"));
+        }
+        durable::sync_dir(&dir.join(catalog::SEGMENT_DIR))?;
+    }
+    for path in tmp_files {
+        fs::remove_file(path)?;
+        summary
+            .removed_tmp
+            .push(path.file_name().map_or_else(String::new, |n| n.to_string_lossy().to_string()));
+    }
+
+    let entries_changed = !bad_tables.is_empty();
+    if entries_changed {
+        let mut pruned = entries.clone();
+        for id in bad_tables {
+            pruned.remove(id);
+            summary.dropped_tables.push(id.clone());
+        }
+        catalog::write_manifest_file(&dir.join(catalog::MANIFEST_FILE), cfg, &pruned)?;
+    }
+
+    // Rebuild derived state whenever it cannot be trusted as-is: the
+    // manifest changed under it, or it was stale/corrupt to begin with.
+    if entries_changed || !matches!(index_state, IndexCacheState::Valid) {
+        let _ = fs::remove_file(dir.join(catalog::INDEX_FILE));
+        let mut cat = Catalog::open_with(dir, cfg.clone())?;
+        cat.searcher()?;
+        cat.commit()?;
+        summary.index_rebuilt = true;
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use tsfm_table::{Column, Table, Value};
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("tsfm_fsck_{tag}_{}_{n}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn table(id: &str, vals: &[i64]) -> Table {
+        let mut t = Table::new(id, id);
+        t.push_column(Column::new("v", vals.iter().map(|&v| Value::Int(v)).collect()));
+        t
+    }
+
+    fn seeded_catalog(dir: &Path, n: i64) -> Catalog {
+        let mut cat = Catalog::open(dir).unwrap();
+        for i in 0..n {
+            cat.add_table(&table(&format!("t{i}"), &[i, i + 1, i + 2]), i as u64 + 100).unwrap();
+        }
+        cat.searcher().unwrap();
+        cat.commit().unwrap();
+        cat
+    }
+
+    #[test]
+    fn clean_store_is_healthy() {
+        let dir = tmp_dir("clean");
+        drop(seeded_catalog(&dir, 4));
+        let report = fsck(&dir, false).unwrap();
+        assert!(report.healthy(), "{}", report.to_json());
+        assert_eq!((report.tables, report.segments_ok, report.v1_segments), (4, 4, 0));
+        assert_eq!(report.index_cache, IndexCacheState::Valid);
+        assert!(report.to_json().contains("\"healthy\":true"));
+    }
+
+    #[test]
+    fn not_a_catalog_is_invalid_request() {
+        let dir = tmp_dir("nocat");
+        fs::create_dir_all(&dir).unwrap();
+        assert!(matches!(fsck(&dir, false), Err(StoreError::InvalidRequest(_))));
+    }
+
+    #[test]
+    fn corrupt_segment_detected_and_repaired() {
+        let dir = tmp_dir("seg");
+        let cat = seeded_catalog(&dir, 4);
+        let victim = cat.entry("t2").unwrap().segment.clone();
+        drop(cat);
+        // Flip one payload bit.
+        let path = dir.join(catalog::SEGMENT_DIR).join(&victim);
+        let mut bytes = fs::read(&path).unwrap();
+        let at = bytes.len() - 3;
+        bytes[at] ^= 0x10;
+        fs::write(&path, &bytes).unwrap();
+
+        let report = fsck(&dir, false).unwrap();
+        assert!(!report.healthy());
+        assert_eq!(report.segments_ok, 3);
+        assert!(report
+            .problems
+            .iter()
+            .any(|p| p.kind == ProblemKind::CorruptSegment
+                && p.table.as_deref() == Some("t2")
+                && p.detail.contains("checksum mismatch")));
+
+        let repaired = fsck(&dir, true).unwrap();
+        assert!(repaired.consistent_after());
+        let summary = repaired.repair.expect("repair acted");
+        assert_eq!(summary.dropped_tables, vec!["t2".to_string()]);
+        assert!(summary.index_rebuilt);
+        assert!(dir.join(QUARANTINE_DIR).join(&victim).exists(), "bad bytes preserved");
+
+        // The store is now smaller but green: re-verifies clean and opens.
+        let after = fsck(&dir, false).unwrap();
+        assert!(after.healthy(), "{}", after.to_json());
+        assert_eq!((after.tables, after.segments_ok), (3, 3));
+        assert_eq!(after.index_cache, IndexCacheState::Valid);
+        let mut cat = Catalog::open(&dir).unwrap();
+        assert_eq!(cat.len(), 3);
+        assert!(cat.searcher().unwrap().sketch_of("t1").is_ok());
+    }
+
+    #[test]
+    fn orphan_and_tmp_files_are_swept() {
+        let dir = tmp_dir("orphan");
+        drop(seeded_catalog(&dir, 2));
+        fs::write(dir.join(catalog::SEGMENT_DIR).join("ghost-0000-1.seg"), b"zzz").unwrap();
+        fs::write(dir.join(catalog::SEGMENT_DIR).join("half.tmp"), b"partial").unwrap();
+        fs::write(dir.join("catalog.tmp"), b"partial").unwrap();
+
+        let report = fsck(&dir, false).unwrap();
+        let kinds: Vec<ProblemKind> = report.problems.iter().map(|p| p.kind).collect();
+        assert!(kinds.contains(&ProblemKind::OrphanSegment));
+        assert_eq!(kinds.iter().filter(|k| **k == ProblemKind::TmpFile).count(), 2);
+
+        let repaired = fsck(&dir, true).unwrap();
+        let summary = repaired.repair.expect("repair acted");
+        assert_eq!(summary.quarantined, vec!["quarantine/ghost-0000-1.seg".to_string()]);
+        assert_eq!(summary.removed_tmp.len(), 2);
+        assert!(summary.dropped_tables.is_empty(), "good tables untouched");
+        assert!(fsck(&dir, false).unwrap().healthy());
+    }
+
+    #[test]
+    fn missing_segment_detected_and_dropped() {
+        let dir = tmp_dir("missing");
+        let cat = seeded_catalog(&dir, 3);
+        let victim = cat.entry("t0").unwrap().segment.clone();
+        drop(cat);
+        fs::remove_file(dir.join(catalog::SEGMENT_DIR).join(victim)).unwrap();
+        let report = fsck(&dir, false).unwrap();
+        assert!(report.problems.iter().any(|p| p.kind == ProblemKind::MissingSegment));
+        let repaired = fsck(&dir, true).unwrap();
+        assert_eq!(repaired.repair.unwrap().dropped_tables, vec!["t0".to_string()]);
+        assert!(fsck(&dir, false).unwrap().healthy());
+    }
+
+    #[test]
+    fn corrupt_index_cache_detected_and_rebuilt() {
+        let dir = tmp_dir("idx");
+        drop(seeded_catalog(&dir, 3));
+        let path = dir.join(catalog::INDEX_FILE);
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+
+        let report = fsck(&dir, false).unwrap();
+        assert!(matches!(report.index_cache, IndexCacheState::Corrupt(_)));
+        assert!(!report.healthy());
+
+        let repaired = fsck(&dir, true).unwrap();
+        assert!(repaired.repair.unwrap().index_rebuilt);
+        let after = fsck(&dir, false).unwrap();
+        assert_eq!(after.index_cache, IndexCacheState::Valid);
+    }
+
+    #[test]
+    fn corrupt_manifest_reported_not_repaired() {
+        let dir = tmp_dir("manifest");
+        drop(seeded_catalog(&dir, 2));
+        let path = dir.join(catalog::MANIFEST_FILE);
+        let mut bytes = fs::read(&path).unwrap();
+        let at = bytes.len() - 1;
+        bytes[at] ^= 0x80;
+        fs::write(&path, &bytes).unwrap();
+
+        let report = fsck(&dir, true).unwrap();
+        assert!(report.problems.iter().any(|p| p.kind == ProblemKind::CorruptManifest));
+        assert!(!report.healthy());
+        assert!(!report.consistent_after(), "a corrupt manifest is not repairable");
+        assert!(report.repair.is_none());
+    }
+}

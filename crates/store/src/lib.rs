@@ -11,7 +11,16 @@
 //! * [`ser`] — versioned little-endian binary serialization (the
 //!   `TSFMCKP1` idiom of `tsfm_nn::io`) for MinHash / numerical / table
 //!   sketches, embedding matrices, and HNSW graphs, with magic bytes,
-//!   bounds checks, and typed `Corrupt` errors on bad input;
+//!   CRC32C-checksummed v2 frames, bounds checks, and typed `Corrupt`
+//!   errors on bad input;
+//! * [`durable`] — the crash-safety layer every store write goes
+//!   through: CRC32C, the write-tmp → fsync → rename → dir-sync commit
+//!   protocol, offset-attributed checked reads, and the fault-injection
+//!   hook the crash-point tests drive;
+//! * [`fsck`] — offline verification and repair behind `tsfm fsck`:
+//!   every checksum verified, orphaned/missing segments and stale index
+//!   caches detected, damage reported as structured JSON, `--repair`
+//!   quarantining bad segments and rebuilding derived state;
 //! * [`TableRecord`] — the unit of storage: one table's sketch bundle,
 //!   optional neural embeddings, and the content hash of its source;
 //! * [`Catalog`] — a directory-backed catalog with incremental ingest
@@ -45,8 +54,10 @@
 #![forbid(unsafe_code)]
 
 pub mod catalog;
+pub mod durable;
 pub mod engine;
 pub mod error;
+pub mod fsck;
 pub mod metrics;
 pub mod record;
 pub mod request;
@@ -56,6 +67,7 @@ pub mod serve;
 pub mod wire;
 
 pub use catalog::{Catalog, CatalogStats, IngestOutcome, IngestReport, ManifestEntry};
+pub use fsck::{FsckReport, IndexCacheState, Problem, ProblemKind, RepairSummary};
 pub use engine::{QueryEngine, QueryMode, TableHit};
 pub use error::{StoreError, StoreResult};
 pub use record::TableRecord;

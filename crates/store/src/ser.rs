@@ -14,6 +14,22 @@
 //!
 //! The catalog manifest (`TSFMCAT1`) and index cache (`TSFMIDX1`) formats
 //! live in [`crate::catalog`] and are built from these primitives.
+//!
+//! ## Frame versions
+//!
+//! Version 2 (current) is a checksummed frame:
+//!
+//! ```text
+//! magic(8) · version=2 (u32) · payload_len (u64) · crc32c (u32) · payload
+//! ```
+//!
+//! The CRC32C (see [`crate::durable::crc32c`]) covers the payload, so any
+//! single flipped bit — in the header via field validation, in the payload
+//! via the checksum — surfaces as a typed [`StoreError::Corrupt`], never a
+//! panic or silent misread. Version 1 frames (`magic · version=1 ·
+//! streamed payload`, no length, no checksum) are still **read** for
+//! migration: the first commit after opening a v1 store rewrites its
+//! files as v2. Writers only emit v2.
 
 use crate::error::{StoreError, StoreResult, FRAME};
 use crate::record::TableRecord;
@@ -28,8 +44,10 @@ pub const HNSW_MAGIC: &[u8; 8] = b"TSFMHNS1";
 pub const MANIFEST_MAGIC: &[u8; 8] = b"TSFMCAT1";
 pub const INDEX_MAGIC: &[u8; 8] = b"TSFMIDX1";
 
-/// Current version written into every container.
-pub const FORMAT_VERSION: u32 = 1;
+/// Current version written into every container (checksummed frames).
+pub const FORMAT_VERSION: u32 = 2;
+/// The pre-checksum streaming format, still readable for migration.
+pub const LEGACY_VERSION: u32 = 1;
 
 const MAX_STR: usize = 1 << 20;
 const MAX_SIG: usize = 1 << 16;
@@ -121,22 +139,101 @@ pub(crate) fn read_f32s<R: Read>(r: &mut R) -> StoreResult<Vec<f32>> {
     Ok(out)
 }
 
-pub(crate) fn expect_magic<R: Read>(r: &mut R, magic: &[u8; 8], what: &str) -> StoreResult<()> {
+// ---- checksummed frames ---------------------------------------------------
+
+/// A decoded frame header: either a v1 stream (the payload follows,
+/// unframed — keep reading from the same reader) or a verified v2 payload.
+pub(crate) enum Payload {
+    Legacy,
+    Framed(Vec<u8>),
+}
+
+/// Write a v2 frame: magic, version, payload length, CRC32C, payload.
+pub(crate) fn write_frame<W: Write>(w: &mut W, magic: &[u8; 8], body: &[u8]) -> StoreResult<()> {
+    w.write_all(magic)?;
+    write_u32(w, FORMAT_VERSION)?;
+    write_u64(w, body.len() as u64)?;
+    write_u32(w, crate::durable::crc32c(body))?;
+    Ok(w.write_all(body)?)
+}
+
+/// Read one frame of the given container type. For v2 the payload is
+/// length-checked and CRC-verified before a byte of it is interpreted;
+/// `Read::take` bounds the read so a garbled length can never
+/// over-allocate. Errors are frame-level ([`bad`]) — the container reader
+/// attributes them via [`StoreError::into_format`].
+pub(crate) fn read_frame<R: Read>(r: &mut R, magic: &[u8; 8], what: &str) -> StoreResult<Payload> {
+    let mut got = [0u8; 8];
+    r.read_exact(&mut got)?;
+    if &got != magic {
+        return Err(bad(format!("not a {what} (bad magic)")));
+    }
+    match read_u32(r)? {
+        LEGACY_VERSION => Ok(Payload::Legacy),
+        FORMAT_VERSION => {
+            let len = read_u64(r)?;
+            let crc = read_u32(r)?;
+            let mut body = Vec::new();
+            r.take(len).read_to_end(&mut body)?;
+            if body.len() as u64 != len {
+                return Err(bad(format!(
+                    "truncated {what}: frame claims {len} payload bytes, found {}",
+                    body.len()
+                )));
+            }
+            let actual = crate::durable::crc32c(&body);
+            if actual != crc {
+                return Err(bad(format!(
+                    "{what} checksum mismatch: stored {crc:#010x}, computed {actual:#010x} \
+                     over {len} bytes"
+                )));
+            }
+            Ok(Payload::Framed(body))
+        }
+        v => Err(bad(format!("unsupported {what} version {v}"))),
+    }
+}
+
+/// Consume only a frame's header (magic, version, and for v2 the length
+/// and CRC words), leaving the reader at the first payload byte,
+/// **without** verifying the checksum. For cheap peeks like the index
+/// cache fingerprint in `stats` — anything that acts on the payload must
+/// go through [`read_frame`].
+pub(crate) fn read_frame_header<R: Read>(
+    r: &mut R,
+    magic: &[u8; 8],
+    what: &str,
+) -> StoreResult<u32> {
     let mut got = [0u8; 8];
     r.read_exact(&mut got)?;
     if &got != magic {
         return Err(bad(format!("not a {what} (bad magic)")));
     }
     let version = read_u32(r)?;
-    if version != FORMAT_VERSION {
-        return Err(bad(format!("unsupported {what} version {version}")));
+    match version {
+        LEGACY_VERSION => {}
+        FORMAT_VERSION => {
+            read_u64(r)?;
+            read_u32(r)?;
+        }
+        v => return Err(bad(format!("unsupported {what} version {v}"))),
     }
-    Ok(())
+    Ok(version)
 }
 
-pub(crate) fn write_magic<W: Write>(w: &mut W, magic: &[u8; 8]) -> StoreResult<()> {
-    w.write_all(magic)?;
-    write_u32(w, FORMAT_VERSION)
+/// Parse a verified v2 payload from its in-memory slice, rejecting
+/// trailing bytes (a v2 frame states its exact length, so leftovers mean
+/// the payload and header disagree).
+pub(crate) fn parse_framed<T>(
+    body: &[u8],
+    parse: impl FnOnce(&mut &[u8]) -> StoreResult<T>,
+) -> StoreResult<T> {
+    let mut s = body;
+    let v = parse(&mut s)?;
+    if !s.is_empty() {
+        return Err(bad(format!("{} trailing bytes after payload", s.len())));
+    }
+    Ok(v)
 }
 
 // ---- sketches -------------------------------------------------------------
@@ -267,29 +364,33 @@ pub fn read_table_sketch<R: Read>(r: &mut R) -> StoreResult<TableSketch> {
 
 // ---- embedding matrices ---------------------------------------------------
 
-/// Write a dense `rows.len() × dim` matrix. Every row must have `dim`
-/// elements.
+/// Write a dense `rows.len() × dim` matrix as a v2 frame. Every row must
+/// have `dim` elements.
 pub fn write_embedding_matrix<W: Write>(w: &mut W, rows: &[Vec<f32>], dim: usize) -> StoreResult<()> {
-    write_magic(w, EMBEDDING_MAGIC)?;
-    write_u32(w, rows.len() as u32)?;
-    write_u32(w, dim as u32)?;
+    let mut body = Vec::new();
+    write_u32(&mut body, rows.len() as u32)?;
+    write_u32(&mut body, dim as u32)?;
     for row in rows {
         if row.len() != dim {
             return Err(bad(format!("embedding row of {} elements, expected {dim}", row.len())));
         }
         for &v in row {
-            w.write_all(&v.to_le_bytes())?;
+            body.extend_from_slice(&v.to_le_bytes());
         }
     }
-    Ok(())
+    write_frame(w, EMBEDDING_MAGIC, &body)
 }
 
 pub fn read_embedding_matrix<R: Read>(r: &mut R) -> StoreResult<Vec<Vec<f32>>> {
-    read_embedding_matrix_inner(r).map_err(|e| e.into_format("TSFMEMB1"))
+    let res = match read_frame(r, EMBEDDING_MAGIC, "TSFM embedding matrix") {
+        Ok(Payload::Legacy) => read_embedding_matrix_body(r),
+        Ok(Payload::Framed(body)) => parse_framed(&body, |s| read_embedding_matrix_body(s)),
+        Err(e) => Err(e),
+    };
+    res.map_err(|e| e.into_format("TSFMEMB1"))
 }
 
-fn read_embedding_matrix_inner<R: Read>(r: &mut R) -> StoreResult<Vec<Vec<f32>>> {
-    expect_magic(r, EMBEDDING_MAGIC, "TSFM embedding matrix")?;
+fn read_embedding_matrix_body<R: Read>(r: &mut R) -> StoreResult<Vec<Vec<f32>>> {
     let nrows = read_u32(r)? as usize;
     let dim = read_u32(r)? as usize;
     if nrows.saturating_mul(dim) > MAX_ELEMS {
@@ -311,27 +412,34 @@ fn read_embedding_matrix_inner<R: Read>(r: &mut R) -> StoreResult<Vec<Vec<f32>>>
 // ---- table records (segment payload) -------------------------------------
 
 pub fn write_record<W: Write>(w: &mut W, rec: &TableRecord) -> StoreResult<()> {
-    write_magic(w, SEGMENT_MAGIC)?;
-    write_u64(w, rec.content_hash)?;
-    write_table_sketch(w, &rec.sketch)?;
+    let mut body = Vec::new();
+    write_u64(&mut body, rec.content_hash)?;
+    write_table_sketch(&mut body, &rec.sketch)?;
     match &rec.table_embedding {
         Some(e) => {
-            write_u8(w, 1)?;
-            write_f32s(w, e)?;
+            write_u8(&mut body, 1)?;
+            write_f32s(&mut body, e)?;
         }
-        None => write_u8(w, 0)?,
+        None => write_u8(&mut body, 0)?,
     }
-    // Column embeddings: an embedded TSFMEMB1 matrix (0 rows = none).
+    // Column embeddings: an embedded TSFMEMB1 frame (0 rows = none) — its
+    // own CRC is redundant under the segment's but keeps the matrix
+    // readable as a standalone container.
     let dim = rec.column_embeddings.first().map_or(0, Vec::len);
-    write_embedding_matrix(w, &rec.column_embeddings, dim)
+    write_embedding_matrix(&mut body, &rec.column_embeddings, dim)?;
+    write_frame(w, SEGMENT_MAGIC, &body)
 }
 
 pub fn read_record<R: Read>(r: &mut R) -> StoreResult<TableRecord> {
-    read_record_inner(r).map_err(|e| e.into_format("TSFMSEG1"))
+    let res = match read_frame(r, SEGMENT_MAGIC, "TSFM segment") {
+        Ok(Payload::Legacy) => read_record_body(r),
+        Ok(Payload::Framed(body)) => parse_framed(&body, |s| read_record_body(s)),
+        Err(e) => Err(e),
+    };
+    res.map_err(|e| e.into_format("TSFMSEG1"))
 }
 
-fn read_record_inner<R: Read>(r: &mut R) -> StoreResult<TableRecord> {
-    expect_magic(r, SEGMENT_MAGIC, "TSFM segment")?;
+fn read_record_body<R: Read>(r: &mut R) -> StoreResult<TableRecord> {
     let content_hash = read_u64(r)?;
     let sketch = read_table_sketch(r)?;
     let table_embedding = match read_u8(r)? {
@@ -354,42 +462,46 @@ fn read_record_inner<R: Read>(r: &mut R) -> StoreResult<TableRecord> {
 
 pub fn write_hnsw<W: Write>(w: &mut W, index: &Hnsw) -> StoreResult<()> {
     let s = index.snapshot();
-    write_magic(w, HNSW_MAGIC)?;
-    write_u32(w, s.dim as u32)?;
-    write_u8(w, s.metric.tag())?;
-    write_u32(w, s.cfg.m as u32)?;
-    write_u32(w, s.cfg.ef_construction as u32)?;
-    write_u32(w, s.cfg.ef_search as u32)?;
-    write_u64(w, s.cfg.seed)?;
-    write_u64(w, s.rng_state)?;
-    write_u64(w, s.max_level as u64)?;
+    let mut body = Vec::new();
+    write_u32(&mut body, s.dim as u32)?;
+    write_u8(&mut body, s.metric.tag())?;
+    write_u32(&mut body, s.cfg.m as u32)?;
+    write_u32(&mut body, s.cfg.ef_construction as u32)?;
+    write_u32(&mut body, s.cfg.ef_search as u32)?;
+    write_u64(&mut body, s.cfg.seed)?;
+    write_u64(&mut body, s.rng_state)?;
+    write_u64(&mut body, s.max_level as u64)?;
     match s.entry {
         Some(e) => {
-            write_u8(w, 1)?;
-            write_u64(w, e as u64)?;
+            write_u8(&mut body, 1)?;
+            write_u64(&mut body, e as u64)?;
         }
-        None => write_u8(w, 0)?,
+        None => write_u8(&mut body, 0)?,
     }
-    write_f32s(w, &s.data)?;
-    write_u32(w, s.neighbors.len() as u32)?;
+    write_f32s(&mut body, &s.data)?;
+    write_u32(&mut body, s.neighbors.len() as u32)?;
     for layers in &s.neighbors {
-        write_u32(w, layers.len() as u32)?;
+        write_u32(&mut body, layers.len() as u32)?;
         for layer in layers {
-            write_u32(w, layer.len() as u32)?;
+            write_u32(&mut body, layer.len() as u32)?;
             for &n in layer {
-                write_u64(w, n as u64)?;
+                write_u64(&mut body, n as u64)?;
             }
         }
     }
-    Ok(())
+    write_frame(w, HNSW_MAGIC, &body)
 }
 
 pub fn read_hnsw<R: Read>(r: &mut R) -> StoreResult<Hnsw> {
-    read_hnsw_inner(r).map_err(|e| e.into_format("TSFMHNS1"))
+    let res = match read_frame(r, HNSW_MAGIC, "TSFM HNSW graph") {
+        Ok(Payload::Legacy) => read_hnsw_body(r),
+        Ok(Payload::Framed(body)) => parse_framed(&body, |s| read_hnsw_body(s)),
+        Err(e) => Err(e),
+    };
+    res.map_err(|e| e.into_format("TSFMHNS1"))
 }
 
-fn read_hnsw_inner<R: Read>(r: &mut R) -> StoreResult<Hnsw> {
-    expect_magic(r, HNSW_MAGIC, "TSFM HNSW graph")?;
+fn read_hnsw_body<R: Read>(r: &mut R) -> StoreResult<Hnsw> {
     let dim = read_u32(r)? as usize;
     let metric = Metric::from_tag(read_u8(r)?)
         .ok_or_else(|| bad("unknown distance metric tag"))?;
@@ -515,6 +627,63 @@ mod tests {
         for cut in 0..buf.len() {
             assert!(read_record(&mut buf[..cut].to_vec().as_slice()).is_err(), "cut {cut}");
         }
+    }
+
+    #[test]
+    fn any_single_bit_flip_in_a_record_is_detected() {
+        // The v2 frame guarantee: header flips die in field validation
+        // (version 2 cannot single-bit-flip to 1, so the legacy path can
+        // never be triggered by accident), payload flips die on the CRC.
+        let rec = TableRecord {
+            sketch: sample_sketch(),
+            content_hash: 77,
+            table_embedding: Some(vec![0.25, -1.5]),
+            column_embeddings: vec![vec![1.0; 3], vec![2.0; 3]],
+        };
+        let mut buf = Vec::new();
+        write_record(&mut buf, &rec).unwrap();
+        for byte in 0..buf.len() {
+            for bit in 0..8 {
+                buf[byte] ^= 1 << bit;
+                assert!(read_record(&mut buf.as_slice()).is_err(), "flip {byte}:{bit} accepted");
+                buf[byte] ^= 1 << bit;
+            }
+        }
+        assert!(read_record(&mut buf.as_slice()).is_ok(), "restored buffer must read");
+    }
+
+    #[test]
+    fn legacy_v1_record_still_reads() {
+        // A v1 frame is magic + version + the streamed payload, no length
+        // or checksum. Readers must keep accepting it so pre-checksum
+        // stores open for migration.
+        let rec = TableRecord::from_sketch(sample_sketch(), 321);
+        let mut buf = Vec::new();
+        buf.extend_from_slice(SEGMENT_MAGIC);
+        write_u32(&mut buf, LEGACY_VERSION).unwrap();
+        write_u64(&mut buf, rec.content_hash).unwrap();
+        write_table_sketch(&mut buf, &rec.sketch).unwrap();
+        write_u8(&mut buf, 0).unwrap();
+        write_embedding_matrix(&mut buf, &[], 0).unwrap();
+        let back = read_record(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.content_hash, 321);
+        assert_eq!(back.sketch.table_id, rec.sketch.table_id);
+        assert_eq!(back.sketch.content_snapshot, rec.sketch.content_snapshot);
+    }
+
+    #[test]
+    fn framed_payload_rejects_trailing_bytes() {
+        let rec = TableRecord::from_sketch(sample_sketch(), 5);
+        let mut body = Vec::new();
+        write_u64(&mut body, rec.content_hash).unwrap();
+        write_table_sketch(&mut body, &rec.sketch).unwrap();
+        write_u8(&mut body, 0).unwrap();
+        write_embedding_matrix(&mut body, &[], 0).unwrap();
+        body.extend_from_slice(b"junk");
+        let mut buf = Vec::new();
+        write_frame(&mut buf, SEGMENT_MAGIC, &body).unwrap();
+        let err = read_record(&mut buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("trailing"), "{err}");
     }
 
     #[test]

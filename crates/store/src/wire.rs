@@ -129,6 +129,9 @@ pub fn response_json(resp: &DiscoveryResponse) -> String {
 
 /// An error as one JSON line, tagged with its taxonomy kind and whether
 /// the fault is the client's (`InvalidRequest` et al.) or the server's.
+/// Corruption attributed to a store file additionally carries `file` and
+/// `offset` so an operator reading server logs can go straight to
+/// `tsfm fsck` without re-deriving which file died.
 pub fn error_json(e: &StoreError) -> String {
     let kind = match e {
         StoreError::Io(_) => "io",
@@ -138,8 +141,17 @@ pub fn error_json(e: &StoreError) -> String {
         StoreError::EmptyIndex => "empty_index",
         StoreError::Internal(_) => "internal",
     };
+    let mut attribution = String::new();
+    if let StoreError::Corrupt { file, offset, .. } = e {
+        if let Some(f) = file {
+            attribution.push_str(&format!(",\"file\":\"{}\"", escape_json(f)));
+        }
+        if let Some(at) = offset {
+            attribution.push_str(&format!(",\"offset\":{at}"));
+        }
+    }
     format!(
-        "{{\"error\":{{\"kind\":\"{kind}\",\"detail\":\"{}\"}},\"client\":{}}}",
+        "{{\"error\":{{\"kind\":\"{kind}\",\"detail\":\"{}\"{attribution}}},\"client\":{}}}",
         escape_json(&e.to_string()),
         e.is_client_error()
     )
@@ -928,6 +940,15 @@ mod tests {
         let v = parse_json(&line).unwrap();
         assert_eq!(v.get("error").unwrap().get("kind").unwrap().as_str(), Some("corrupt"));
         assert_eq!(v.get("client").unwrap().as_bool(), Some(false));
+        assert!(v.get("error").unwrap().get("file").is_none(), "unattributed: no file field");
+
+        // File-attributed corruption carries file + offset for operators.
+        let stamped = StoreError::corrupt("TSFMSEG1", "checksum mismatch")
+            .with_file(std::path::Path::new("/lake/segments/t1.seg"), 96);
+        let v = parse_json(&error_json(&stamped)).unwrap();
+        let err = v.get("error").unwrap();
+        assert_eq!(err.get("file").unwrap().as_str(), Some("/lake/segments/t1.seg"));
+        assert_eq!(err.get("offset").unwrap().as_f64(), Some(96.0));
 
         let line = error_json(&StoreError::internal("worker panicked"));
         let v = parse_json(&line).unwrap();

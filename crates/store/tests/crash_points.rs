@@ -1,0 +1,182 @@
+//! The crash-point sweeper: walk *every* fault-injection site the durable
+//! layer exposes during a realistic mutation workload (ingest new tables,
+//! update one, remove one, commit, rebuild the index), and assert that no
+//! matter which single create/write/fsync/rename dies — cleanly or as a
+//! torn write — the catalog reopens consistent:
+//!
+//! * `Catalog::open` yields either the pre-workload committed state or
+//!   the post-commit state (the manifest rename is the single commit
+//!   point — there is no third state), with every referenced segment
+//!   readable and the index rebuildable; and
+//! * once a commit has been acknowledged (`commit()` returned `Ok`), a
+//!   later crash never loses it; and
+//! * `tsfm fsck --repair` then clears any debris the crash left behind
+//!   (orphaned segments from uncommitted adds, torn `.tmp` staging files)
+//!   and the store verifies green.
+//!
+//! The fault plan in `durable::fault` is process-global, so the whole
+//! sweep lives in ONE `#[test]` body — Rust's parallel test runner must
+//! never interleave two armed plans.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+use tsfm_store::durable::fault::{self, FaultMode};
+use tsfm_store::fsck::fsck;
+use tsfm_store::{Catalog, StoreResult};
+use tsfm_table::csv;
+use tsfm_table::Table;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("tsfm_crash_points_{}_{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn table(id: &str, rows: usize, salt: u64) -> Table {
+    let text = (0..rows).fold("city,pop\n".to_string(), |mut acc, i| {
+        acc.push_str(&format!("Wien{salt}_{i},{}\n", 1000 + salt * 100 + i as u64));
+        acc
+    });
+    csv::table_from_csv(id, id, &text)
+}
+
+/// Committed, unfaulted baseline: tables `a` and `b`, index cache built.
+/// This state is acknowledged — every crash below must preserve it until
+/// a later commit supersedes it.
+fn build_baseline(dir: &Path) {
+    let mut cat = Catalog::open(dir).expect("baseline open");
+    cat.add_table(&table("a", 4, 1), 10).expect("baseline add a");
+    cat.add_table(&table("b", 5, 2), 20).expect("baseline add b");
+    cat.searcher().expect("baseline searcher");
+    cat.commit().expect("baseline commit");
+}
+
+/// The faulted workload: add `c`, rewrite `b`, drop `a`, commit, rebuild
+/// the index. Returns whether `commit()` was acknowledged before any
+/// fault fired. Every error is swallowed — after the injected fault trips
+/// the plan poisons all later durable ops, simulating a hard crash.
+fn mutate(dir: &Path) -> bool {
+    let mut acked = false;
+    let _ = (|| -> StoreResult<()> {
+        let mut cat = Catalog::open(dir)?;
+        cat.add_table(&table("c", 6, 3), 30)?;
+        cat.add_table(&table("b", 5, 9), 21)?; // changed content: update
+        cat.remove("a")?;
+        cat.commit()?;
+        acked = true;
+        cat.searcher()?; // rebuild + persist the index cache
+        Ok(())
+    })();
+    acked
+}
+
+const BASELINE: &[&str] = &["a", "b"];
+const COMMITTED: &[&str] = &["b", "c"];
+
+/// Full consistency probe: open, list, load every record, rebuild a
+/// searcher, and check the table set is one of the two legal manifest
+/// states (`acked` pins it to the post-commit one). Any failure comes
+/// back as a message for the sweep to report alongside its site number.
+fn probe(dir: &Path, acked: bool) -> Result<(), String> {
+    let mut cat = Catalog::open(dir).map_err(|e| format!("reopen failed: {e}"))?;
+    let ids: BTreeSet<String> = cat.iter_ids().map(str::to_string).collect();
+    let as_set = |ids: &[&str]| ids.iter().map(|s| (*s).to_string()).collect::<BTreeSet<_>>();
+    let legal: &[&[&str]] = if acked { &[COMMITTED] } else { &[BASELINE, COMMITTED] };
+    if !legal.iter().any(|want| ids == as_set(want)) {
+        return Err(format!("reopened table set {ids:?} is not a committed state (acked={acked})"));
+    }
+    for id in &ids {
+        cat.record(id).map_err(|e| format!("record {id}: {e}"))?;
+    }
+    let searcher = cat.searcher().map_err(|e| format!("searcher: {e}"))?;
+    if searcher.len() != ids.len() {
+        return Err(format!("searcher sees {} tables, manifest {}", searcher.len(), ids.len()));
+    }
+    Ok(())
+}
+
+#[test]
+fn every_crash_point_reopens_consistent() {
+    // Dry run: count the injection sites the workload passes through.
+    let count_dir = tmp_dir("count");
+    build_baseline(&count_dir);
+    fault::arm_counting(&count_dir);
+    let acked = mutate(&count_dir);
+    let sites = fault::disarm();
+    assert!(acked, "unfaulted dry run must commit");
+    assert!(!fault::tripped(), "counting mode never trips");
+    assert!(
+        sites >= 10,
+        "expected a rich site inventory (segment writes, fsyncs, manifest \
+         and index commits); counted only {sites}"
+    );
+    probe(&count_dir, acked).expect("unfaulted workload must probe clean");
+    let _ = std::fs::remove_dir_all(&count_dir);
+
+    let mut swept = 0u64;
+    let mut repairs = 0u64;
+    for mode in [FaultMode::Fail, FaultMode::Torn] {
+        for site in 0..sites {
+            let dir = tmp_dir(&format!("{mode:?}_{site}"));
+            build_baseline(&dir);
+            fault::arm(&dir, site, mode);
+            let acked = mutate(&dir);
+            let was_tripped = fault::tripped(); // read before disarm clears the plan
+            let seen = fault::disarm();
+            assert!(
+                was_tripped,
+                "site {site} ({mode:?}) was never reached (saw {seen} of {sites} sites) — \
+                 the workload must be deterministic"
+            );
+
+            // First, the store must reopen consistent — or be repairable
+            // back to a consistent state that keeps everything acked.
+            if let Err(why) = probe(&dir, acked) {
+                let report = fsck(&dir, true).unwrap_or_else(|e| {
+                    panic!("site {site} ({mode:?}): probe failed ({why}) and fsck errored: {e}")
+                });
+                assert!(
+                    report.consistent_after(),
+                    "site {site} ({mode:?}): probe failed ({why}) and repair did not \
+                     restore consistency: {}",
+                    report.to_json()
+                );
+                repairs += 1;
+                probe(&dir, acked).unwrap_or_else(|e| {
+                    panic!("site {site} ({mode:?}): inconsistent even after repair: {e}")
+                });
+            }
+
+            // Then fsck must be able to sweep any crash debris (orphaned
+            // uncommitted segments, torn .tmp files) and verify green.
+            let report = fsck(&dir, true)
+                .unwrap_or_else(|e| panic!("site {site} ({mode:?}): fsck errored: {e}"));
+            assert!(
+                report.consistent_after(),
+                "site {site} ({mode:?}): unrepairable damage: {}",
+                report.to_json()
+            );
+            let clean = fsck(&dir, false)
+                .unwrap_or_else(|e| panic!("site {site} ({mode:?}): re-verify errored: {e}"));
+            assert!(
+                clean.healthy(),
+                "site {site} ({mode:?}): store not green after repair: {}",
+                clean.to_json()
+            );
+            // Repair never costs acknowledged data.
+            probe(&dir, acked).unwrap_or_else(|e| {
+                panic!("site {site} ({mode:?}): acked state lost after repair: {e}")
+            });
+
+            let _ = std::fs::remove_dir_all(&dir);
+            swept += 1;
+        }
+    }
+    // The sweep itself must have exercised the full matrix.
+    assert_eq!(swept, 2 * sites, "site × mode matrix incomplete");
+    println!(
+        "crash-point sweep: {swept} injected crashes across {sites} sites, \
+         {repairs} needed fsck --repair"
+    );
+}

@@ -1,15 +1,22 @@
 //! Property tests for the store's binary frames (the `nn::io` lesson from
-//! the `TSFMCKP1` work, extended to `TSFMHNS1` and `TSFMCAT1`): any
-//! truncated or garbled frame must come back as a typed `Err` — never a
-//! panic, and never an attacker-sized `with_capacity` allocation. The
-//! catalog manifest additionally goes through `Catalog::open`, the path a
-//! corrupt file on disk actually takes in production.
+//! the `TSFMCKP1` work, extended to every store format: `TSFMHNS1`,
+//! `TSFMCAT1`, `TSFMSEG1`, `TSFMEMB1`, and `TSFMIDX1`): any truncated or
+//! garbled frame must come back as a typed `Err` — never a panic, and
+//! never an attacker-sized `with_capacity` allocation. Since the v2
+//! frames carry CRC32C, the garble properties are strict: *any* single
+//! flipped bit anywhere in a frame is a typed `Corrupt` error, not a
+//! silently different value. The catalog manifest additionally goes
+//! through `Catalog::open`, and the index cache through
+//! `catalog::read_index_cache` — the paths corrupt files on disk
+//! actually take in production.
 
 use proptest::prelude::*;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use tsfm_store::ser::{read_hnsw, write_hnsw};
-use tsfm_store::{Catalog, StoreError};
+use tsfm_store::ser::{
+    read_embedding_matrix, read_hnsw, read_record, write_embedding_matrix, write_hnsw,
+};
+use tsfm_store::{catalog, Catalog, StoreError};
 use tsfm_table::csv;
 use tsfm_search::{Hnsw, HnswConfig, Metric};
 
@@ -60,6 +67,65 @@ fn manifest_bytes(tables: usize) -> Vec<u8> {
     bytes
 }
 
+/// A committed `TSFMSEG1` segment (with its nested `TSFMEMB1` frame) as
+/// written by the real ingest path.
+fn segment_bytes(rows: usize) -> Vec<u8> {
+    let dir = tmp_dir("make_segment");
+    let mut cat = Catalog::open(&dir).expect("open");
+    let csv_text = (0..rows).fold("city,pop\n".to_string(), |mut acc, i| {
+        acc.push_str(&format!("Graz{i},{}\n", 200 + i));
+        acc
+    });
+    let t = csv::table_from_csv("seg", "seg", &csv_text);
+    cat.add_table(&t, 77).expect("add");
+    cat.commit().expect("commit");
+    let seg = cat.entry("seg").expect("entry").segment.clone();
+    let bytes = std::fs::read(dir.join("segments").join(seg)).expect("read segment");
+    let _ = std::fs::remove_dir_all(&dir);
+    bytes
+}
+
+/// A committed `TSFMIDX1` index cache file, built by the real snapshot
+/// path.
+fn index_cache_bytes(tables: usize) -> Vec<u8> {
+    let dir = tmp_dir("make_index");
+    let mut cat = Catalog::open(&dir).expect("open");
+    for i in 0..tables {
+        let t = csv::table_from_csv(
+            &format!("t{i}"),
+            &format!("t{i}"),
+            &format!("city,pop\nLinz{i},{}\n", 300 + i),
+        );
+        cat.add_table(&t, i as u64 + 1).expect("add");
+    }
+    cat.searcher().expect("searcher");
+    cat.commit().expect("commit");
+    let bytes = std::fs::read(dir.join("index.cache")).expect("read index cache");
+    let _ = std::fs::remove_dir_all(&dir);
+    bytes
+}
+
+/// Run `catalog::read_index_cache` over raw bytes staged as a file (its
+/// only entry point takes a path).
+fn read_index_bytes(bytes: &[u8]) -> Result<u64, StoreError> {
+    let dir = tmp_dir("read_index");
+    let path = dir.join("index.cache");
+    std::fs::write(&path, bytes).unwrap();
+    let res = catalog::read_index_cache(&path).map(|(fp, ..)| fp);
+    let _ = std::fs::remove_dir_all(&dir);
+    res
+}
+
+/// A small `TSFMEMB1` embedding-matrix frame.
+fn embedding_bytes(rows: usize, dim: usize, seed: u64) -> Vec<u8> {
+    let matrix: Vec<Vec<f32>> = (0..rows)
+        .map(|i| (0..dim).map(|j| ((i * dim + j) as u64 + seed) as f32 * 0.25).collect())
+        .collect();
+    let mut buf = Vec::new();
+    write_embedding_matrix(&mut buf, &matrix, dim).expect("serialize");
+    buf
+}
+
 /// Re-open a catalog whose manifest has been replaced by `bytes`; the
 /// result must be a typed error or a coherent catalog — never a panic.
 fn open_with_manifest(bytes: &[u8]) -> Result<usize, StoreError> {
@@ -88,18 +154,20 @@ proptest! {
         }
     }
 
-    /// A single flipped byte anywhere in a `TSFMHNS1` frame either still
-    /// parses (the flip hit payload bits) or errors — never a panic, and
-    /// length-field flips must be caught by the bounds checks instead of
-    /// driving a giant allocation.
+    /// Any single flipped bit anywhere in a `TSFMHNS1` frame is a typed
+    /// `Corrupt` error — payload flips die on the CRC, header flips die
+    /// in validation, and nothing panics or allocates attacker-sized
+    /// buffers.
     #[test]
-    fn prop_garbled_hnsw_never_panics(points in 1usize..40, pos_frac in 0.0f64..1.0, bit in 0u8..8) {
+    fn prop_garbled_hnsw_is_detected(points in 1usize..40, pos_frac in 0.0f64..1.0, bit in 0u8..8) {
         let mut buf = hnsw_bytes(points, 23);
         let pos = ((buf.len() - 1) as f64 * pos_frac) as usize;
         buf[pos] ^= 1 << bit;
-        // Ok or Err are both acceptable; surviving to a return value is
-        // the property.
-        let _ = read_hnsw(&mut buf.as_slice());
+        match read_hnsw(&mut buf.as_slice()) {
+            Err(StoreError::Corrupt { format, .. }) => prop_assert_eq!(format, "TSFMHNS1"),
+            Err(other) => prop_assert!(false, "non-Corrupt error: {other:?}"),
+            Ok(_) => prop_assert!(false, "flipped bit at {pos} (bit {bit}) went undetected"),
+        }
     }
 
     /// Huge length fields spliced into the element-count position must be
@@ -128,13 +196,112 @@ proptest! {
         }
     }
 
-    /// A garbled manifest byte either leaves the catalog readable or is a
-    /// typed error; `Catalog::open` survives either way.
+    /// Any single flipped bit in a committed `TSFMCAT1` manifest makes
+    /// `Catalog::open` fail with a typed `Corrupt` error — a garbled
+    /// manifest must never open as a silently different catalog.
     #[test]
-    fn prop_garbled_manifest_never_panics(tables in 1usize..6, pos_frac in 0.0f64..1.0, bit in 0u8..8) {
+    fn prop_garbled_manifest_is_detected(tables in 1usize..6, pos_frac in 0.0f64..1.0, bit in 0u8..8) {
         let mut bytes = manifest_bytes(tables);
         let pos = ((bytes.len() - 1) as f64 * pos_frac) as usize;
         bytes[pos] ^= 1 << bit;
-        let _ = open_with_manifest(&bytes);
+        match open_with_manifest(&bytes) {
+            Err(StoreError::Corrupt { format, .. }) => prop_assert_eq!(format, "TSFMCAT1"),
+            Err(other) => prop_assert!(false, "non-Corrupt error: {other:?}"),
+            Ok(_) => prop_assert!(false, "flipped bit at {pos} (bit {bit}) went undetected"),
+        }
+    }
+
+    /// Every strict prefix of a real `TSFMSEG1` segment is a typed
+    /// `Corrupt` error. Truncation inside the nested embedding frame may
+    /// attribute to `TSFMEMB1`; either way it is corruption, not a panic.
+    #[test]
+    fn prop_truncated_segment_is_corrupt(rows in 1usize..30, frac in 0.0f64..1.0) {
+        let buf = segment_bytes(rows);
+        let cut = ((buf.len() - 1) as f64 * frac) as usize;
+        match read_record(&mut &buf[..cut]) {
+            Err(StoreError::Corrupt { format, .. }) => {
+                prop_assert!(format == "TSFMSEG1" || format == "TSFMEMB1", "format {format}")
+            }
+            Err(other) => prop_assert!(false, "non-Corrupt error: {other:?}"),
+            Ok(_) => prop_assert!(false, "truncated segment parsed"),
+        }
+    }
+
+    /// Any single flipped bit in a real `TSFMSEG1` segment is a typed
+    /// `Corrupt` error — the outer CRC covers the whole record, nested
+    /// embedding frame included.
+    #[test]
+    fn prop_garbled_segment_is_detected(rows in 1usize..30, pos_frac in 0.0f64..1.0, bit in 0u8..8) {
+        let mut buf = segment_bytes(rows);
+        let pos = ((buf.len() - 1) as f64 * pos_frac) as usize;
+        buf[pos] ^= 1 << bit;
+        match read_record(&mut buf.as_slice()) {
+            Err(StoreError::Corrupt { .. }) => {}
+            Err(other) => prop_assert!(false, "non-Corrupt error: {other:?}"),
+            Ok(_) => prop_assert!(false, "flipped bit at {pos} (bit {bit}) went undetected"),
+        }
+    }
+
+    /// Every strict prefix of a `TSFMEMB1` embedding matrix is a typed
+    /// `Corrupt` error.
+    #[test]
+    fn prop_truncated_embeddings_are_corrupt(rows in 1usize..20, dim in 1usize..8, frac in 0.0f64..1.0) {
+        let buf = embedding_bytes(rows, dim, 3);
+        let cut = ((buf.len() - 1) as f64 * frac) as usize;
+        match read_embedding_matrix(&mut &buf[..cut]) {
+            Err(StoreError::Corrupt { format, .. }) => prop_assert_eq!(format, "TSFMEMB1"),
+            Err(other) => prop_assert!(false, "non-Corrupt error: {other:?}"),
+            Ok(_) => prop_assert!(false, "truncated matrix parsed"),
+        }
+    }
+
+    /// Any single flipped bit in a `TSFMEMB1` frame is a typed `Corrupt`
+    /// error — embedding floats are exactly the payload where a silent
+    /// flip would skew every downstream distance, so the CRC must catch
+    /// all of them.
+    #[test]
+    fn prop_garbled_embeddings_are_detected(rows in 1usize..20, dim in 1usize..8, pos_frac in 0.0f64..1.0, bit in 0u8..8) {
+        let mut buf = embedding_bytes(rows, dim, 9);
+        let pos = ((buf.len() - 1) as f64 * pos_frac) as usize;
+        buf[pos] ^= 1 << bit;
+        match read_embedding_matrix(&mut buf.as_slice()) {
+            Err(StoreError::Corrupt { format, .. }) => prop_assert_eq!(format, "TSFMEMB1"),
+            Err(other) => prop_assert!(false, "non-Corrupt error: {other:?}"),
+            Ok(_) => prop_assert!(false, "flipped bit at {pos} (bit {bit}) went undetected"),
+        }
+    }
+}
+
+// The index-cache properties build a real searcher per case, which is
+// slower than the pure-frame ones — keep their case count lower.
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Every strict prefix of a committed `TSFMIDX1` index cache is a
+    /// typed `Corrupt` error through the real `read_index_cache` path.
+    #[test]
+    fn prop_truncated_index_cache_is_corrupt(tables in 1usize..4, frac in 0.0f64..1.0) {
+        let buf = index_cache_bytes(tables);
+        let cut = ((buf.len() - 1) as f64 * frac) as usize;
+        match read_index_bytes(&buf[..cut]) {
+            Err(StoreError::Corrupt { format, .. }) => prop_assert_eq!(format, "TSFMIDX1"),
+            Err(other) => prop_assert!(false, "non-Corrupt error: {other:?}"),
+            Ok(_) => prop_assert!(false, "truncated index cache parsed"),
+        }
+    }
+
+    /// Any single flipped bit in a committed `TSFMIDX1` index cache is a
+    /// typed `Corrupt` error — a garbled ANN graph must be rebuilt, not
+    /// served.
+    #[test]
+    fn prop_garbled_index_cache_is_detected(tables in 1usize..4, pos_frac in 0.0f64..1.0, bit in 0u8..8) {
+        let mut buf = index_cache_bytes(tables);
+        let pos = ((buf.len() - 1) as f64 * pos_frac) as usize;
+        buf[pos] ^= 1 << bit;
+        match read_index_bytes(&buf) {
+            Err(StoreError::Corrupt { format, .. }) => prop_assert_eq!(format, "TSFMIDX1"),
+            Err(other) => prop_assert!(false, "non-Corrupt error: {other:?}"),
+            Ok(_) => prop_assert!(false, "flipped bit at {pos} (bit {bit}) went undetected"),
+        }
     }
 }

@@ -9,6 +9,7 @@
 //! tsfm serve  <catalog-dir> [--port N] [--host H]         JSONL-over-TCP discovery server
 //! tsfm stats  <catalog-dir>                               catalog summary
 //! tsfm stats  --addr HOST:PORT                            live-server stats + metrics
+//! tsfm fsck   <catalog-dir> [--repair]                    verify checksums, repair damage
 //! ```
 //!
 //! Modes: `join` (default), `union`, `subset`. Re-running `ingest` on an
@@ -24,6 +25,15 @@
 //! process ingests new tables — in-flight queries keep the snapshot they
 //! started with. The wire protocol (one JSON request per line, one JSON
 //! response line back) is documented in `tsfm_store::wire`.
+//!
+//! `fsck` verifies every checksum in the store (manifest, segments,
+//! index cache), detects orphaned/missing segments and leftover staging
+//! files, and prints one structured JSON report. With `--repair` bad
+//! segments are quarantined under `<catalog>/quarantine/`, their manifest
+//! entries dropped, and the index cache rebuilt — a damaged store
+//! degrades to a smaller-but-correct one. Exit codes: 0 the store is (or
+//! was repaired to be) consistent, 1 unrepaired damage remains, 2 usage
+//! or environmental error.
 //!
 //! `--trace FILE` on `ingest`/`query` enables `tsfm_obs` tracing for the
 //! duration of the command and writes the recorded spans as Chrome
@@ -52,7 +62,8 @@ const USAGE: &str = "usage:
               [--idle-timeout-ms N] [--read-timeout-ms N]
               [--write-timeout-ms N] [--max-line-bytes N] [--reload-ms N]
   tsfm stats  <catalog-dir>
-  tsfm stats  --addr HOST:PORT";
+  tsfm stats  --addr HOST:PORT
+  tsfm fsck   <catalog-dir> [--repair]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -61,6 +72,9 @@ fn main() -> ExitCode {
         Some("query") => cmd_query(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
+        // fsck owns its exit codes: 0 consistent (possibly after repair),
+        // 1 unrepaired damage, 2 usage/environment.
+        Some("fsck") => return cmd_fsck(&args[1..]),
         Some("--help" | "-h" | "help") => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -335,20 +349,33 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
 }
 
 /// Detached watcher: on every manifest mtime/len change, rebuild a
-/// snapshot and hot-swap it into the running server. Rebuild failures are
-/// logged and retried on the next change — the server keeps answering
-/// from the snapshot it has.
+/// snapshot and hot-swap it into the running server. The server keeps
+/// answering from the snapshot it has while a rebuild is in flight.
+///
+/// Rebuild failures are usually transient — a reload can race another
+/// process mid-commit and read a half-replaced file set — so instead of
+/// waiting a full `--reload-ms` cycle the watcher retries with
+/// exponential backoff (an eighth of the poll interval, doubling back up
+/// to it), counting each failure in `tsfm_serve_reload_failures_total`.
 fn watch_manifest(handle: &ServerHandle, catalog_dir: &str, manifest: &Path, reload_ms: u64) {
+    // Register up front so the metrics verb exports the counter (at 0)
+    // even before the first failed reload.
+    let failures = tsfm_obs::metrics::global().counter(
+        "tsfm_serve_reload_failures_total",
+        "Catalog hot-reload attempts that failed and were retried with backoff",
+    );
     let stat = |p: &Path| {
         std::fs::metadata(p)
             .ok()
             .map(|m| (m.len(), m.modified().ok()))
     };
     let mut last = stat(manifest);
+    let mut delay = reload_ms;
     loop {
-        std::thread::sleep(Duration::from_millis(reload_ms));
+        std::thread::sleep(Duration::from_millis(delay));
         let now = stat(manifest);
         if now == last {
+            delay = reload_ms;
             continue;
         }
         // Contain rebuild panics: the watcher is a detached thread, so an
@@ -369,11 +396,54 @@ fn watch_manifest(handle: &ServerHandle, catalog_dir: &str, manifest: &Path, rel
                 let generation = handle.swap_searcher(fresh);
                 eprintln!("tsfm: reloaded catalog ({tables} tables, reload #{generation})");
                 last = stat(manifest);
+                delay = reload_ms;
             }
             Err(e) => {
-                eprintln!("tsfm: catalog reload failed (still serving old snapshot): {e}");
-                // Leave `last` as-is so the next poll retries.
+                failures.inc();
+                // Leave `last` as-is so the next wake-up retries — and
+                // wake up sooner than the regular cadence.
+                delay = if delay >= reload_ms {
+                    (reload_ms / 8).max(50).min(reload_ms)
+                } else {
+                    (delay * 2).min(reload_ms)
+                };
+                eprintln!(
+                    "tsfm: catalog reload failed (still serving old snapshot, \
+                     retrying in {delay}ms): {e}"
+                );
             }
+        }
+    }
+}
+
+/// `tsfm fsck <catalog-dir> [--repair]` — verify every checksum and
+/// print the structured JSON report from [`tabsketchfm::store::fsck`].
+fn cmd_fsck(args: &[String]) -> ExitCode {
+    let mut repair = false;
+    let mut positional = Vec::new();
+    for a in args {
+        match a.as_str() {
+            "--repair" => repair = true,
+            _ => positional.push(a.clone()),
+        }
+    }
+    let [catalog_dir] = &positional[..] else {
+        eprintln!("tsfm: {USAGE}");
+        return ExitCode::from(2);
+    };
+    match tabsketchfm::store::fsck::fsck(Path::new(catalog_dir), repair) {
+        Ok(report) => {
+            println!("{}", report.to_json());
+            if report.consistent_after() {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("tsfm: {catalog_dir}: store is damaged (see report above)");
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("tsfm: fsck {catalog_dir}: {e}");
+            ExitCode::from(2)
         }
     }
 }

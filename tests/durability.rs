@@ -1,0 +1,201 @@
+//! Durability acceptance tests (ISSUE 9): the checksummed v2 store must
+//! keep reading stores written by the pre-checksum (v1) code, `tsfm fsck`
+//! must detect and repair real corruption through the CLI, and the
+//! corruption metrics must surface where operators look for them.
+//!
+//! `tests/fixtures/v1_store/` is a catalog committed by the v1 binary
+//! (magic + `version=1` headers, no CRC): three tables ingested from
+//! `tests/fixtures/lake/`. It is checked in as immutable bytes — every
+//! test copies it to a temp dir first.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use tabsketchfm::store::fsck::{fsck, IndexCacheState};
+use tabsketchfm::store::{Catalog, DiscoveryRequest, QueryMode};
+use tabsketchfm::table::csv;
+
+const V1_FIXTURE: &str = "tests/fixtures/v1_store";
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tsfm_durability_{tag}_{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Recursive copy of the committed fixture into a scratch dir.
+fn copy_fixture(tag: &str) -> PathBuf {
+    let dst = tmp_dir(tag);
+    fs::copy(Path::new(V1_FIXTURE).join("catalog.manifest"), dst.join("catalog.manifest"))
+        .unwrap();
+    fs::copy(Path::new(V1_FIXTURE).join("index.cache"), dst.join("index.cache")).unwrap();
+    let seg_dst = dst.join("segments");
+    fs::create_dir_all(&seg_dst).unwrap();
+    for e in fs::read_dir(Path::new(V1_FIXTURE).join("segments")).unwrap() {
+        let e = e.unwrap();
+        fs::copy(e.path(), seg_dst.join(e.file_name())).unwrap();
+    }
+    dst
+}
+
+/// Frame version field of a store file: bytes 8..12, little-endian.
+fn frame_version(path: &Path) -> u32 {
+    let bytes = fs::read(path).unwrap();
+    u32::from_le_bytes(bytes[8..12].try_into().unwrap())
+}
+
+/// The known-good join ranking for `lake/cities.csv` against the fixture
+/// (recorded when the fixture was committed by the v1 binary).
+fn assert_known_good_ranking(dir: &Path) {
+    let text = fs::read_to_string("tests/fixtures/lake/cities.csv").unwrap();
+    let table = csv::table_from_csv("cities", "cities", &text);
+    let mut cat = Catalog::open(dir).unwrap();
+    let req = DiscoveryRequest::builder(QueryMode::Join).k(2).build().unwrap();
+    let resp = cat.searcher().unwrap().search_table(&table, &req).unwrap();
+    let ids: Vec<&str> = resp.hits.iter().map(|h| h.table_id.as_str()).collect();
+    assert_eq!(ids, ["city_areas", "animals"], "v1 data must rank identically");
+    assert!((resp.hits[0].score - 1.9163).abs() < 5e-3, "score {}", resp.hits[0].score);
+    assert!((resp.hits[1].score - 2.2095).abs() < 5e-3, "score {}", resp.hits[1].score);
+}
+
+#[test]
+fn v1_store_reads_verifies_and_migrates_to_v2() {
+    let dir = copy_fixture("migrate");
+
+    // Every file in the fixture is a v1 frame.
+    assert_eq!(frame_version(&dir.join("catalog.manifest")), 1);
+    assert_eq!(frame_version(&dir.join("index.cache")), 1);
+
+    // fsck verifies a pure-v1 store clean and reports the migration debt.
+    let report = fsck(&dir, false).unwrap();
+    assert!(report.healthy(), "{}", report.to_json());
+    assert_eq!((report.tables, report.segments_ok, report.v1_segments), (3, 3, 3));
+    assert_eq!(report.index_cache, IndexCacheState::Valid);
+
+    // Queries over v1 bytes return the recorded ranking.
+    assert_known_good_ranking(&dir);
+
+    // Any mutation commits v2 frames: drop one table, re-add another with
+    // fresh content. The manifest and the rewritten segment upgrade; the
+    // untouched segment legitimately stays v1.
+    let mut cat = Catalog::open(&dir).unwrap();
+    assert!(cat.remove("animals").unwrap());
+    let t = csv::table_from_csv("extra", "extra", "name,area\nDonaustadt,22.4\nLeopoldstadt,19.2\n");
+    cat.add_table(&t, 424_242).unwrap();
+    cat.searcher().unwrap(); // rebuild + rewrite the index cache
+    cat.commit().unwrap();
+    drop(cat);
+
+    assert_eq!(frame_version(&dir.join("catalog.manifest")), 2, "manifest upgraded");
+    assert_eq!(frame_version(&dir.join("index.cache")), 2, "index cache upgraded");
+
+    let report = fsck(&dir, false).unwrap();
+    assert!(report.healthy(), "{}", report.to_json());
+    assert_eq!(report.tables, 3, "cities, city_areas, extra");
+    assert_eq!(report.v1_segments, 2, "untouched segments stay v1 until rewritten");
+
+    // The mixed v1/v2 store still opens and answers.
+    let mut cat = Catalog::open(&dir).unwrap();
+    assert_eq!(cat.len(), 3);
+    assert!(cat.record("extra").unwrap().content_hash == 424_242);
+    assert!(cat.searcher().unwrap().sketch_of("cities").is_ok());
+}
+
+#[test]
+fn fsck_cli_detects_and_repairs_real_corruption() {
+    let bin = env!("CARGO_BIN_EXE_tsfm");
+    let dir = copy_fixture("cli");
+    let dir_s = dir.to_str().unwrap();
+
+    // Healthy store: exit 0, healthy:true in the JSON report.
+    let out = Command::new(bin).args(["fsck", dir_s]).output().unwrap();
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(out.status.code(), Some(0), "{stdout}");
+    assert!(stdout.contains("\"healthy\":true"), "{stdout}");
+
+    // Flip one byte in a segment payload.
+    let victim = dir.join("segments/city_areas-91bd1717-fa0b8ca493744641.seg");
+    let mut bytes = fs::read(&victim).unwrap();
+    let at = bytes.len() - 4;
+    bytes[at] ^= 0x08;
+    fs::write(&victim, &bytes).unwrap();
+
+    // v1 frames carry no CRC, so a payload flip in a v1 segment can only
+    // be caught structurally — force the issue by truncating too.
+    bytes.truncate(bytes.len() - 2);
+    fs::write(&victim, &bytes).unwrap();
+
+    // Detection: exit 1, the problem names the file and the table.
+    let out = Command::new(bin).args(["fsck", dir_s]).output().unwrap();
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(out.status.code(), Some(1), "{stdout}");
+    assert!(stdout.contains("\"healthy\":false"), "{stdout}");
+    assert!(stdout.contains("corrupt_segment"), "{stdout}");
+    assert!(stdout.contains("city_areas"), "{stdout}");
+
+    // Repair: exit 0, the bad segment quarantined, the store green after.
+    let out = Command::new(bin).args(["fsck", dir_s, "--repair"]).output().unwrap();
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(out.status.code(), Some(0), "{stdout}");
+    assert!(stdout.contains("\"repair\""), "{stdout}");
+    assert!(stdout.contains("\"dropped_tables\":[\"city_areas\"]"), "{stdout}");
+    assert!(dir.join("quarantine").join(victim.file_name().unwrap()).exists());
+
+    let out = Command::new(bin).args(["fsck", dir_s]).output().unwrap();
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(out.status.code(), Some(0), "{stdout}");
+    assert!(stdout.contains("\"healthy\":true"), "{stdout}");
+    assert!(stdout.contains("\"tables\":2"), "{stdout}");
+
+    // The degraded store still answers queries for the surviving tables.
+    let query = Path::new("tests/fixtures/lake/cities.csv").to_str().unwrap().to_string();
+    let out = Command::new(bin).args(["query", dir_s, &query, "--k", "1"]).output().unwrap();
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("animals"), "top hit among survivors: {stdout}");
+
+    // Usage errors exit 2, distinct from damage (1).
+    let out = Command::new(bin).args(["fsck"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let missing = dir.join("does_not_exist");
+    let out = Command::new(bin).args(["fsck", missing.to_str().unwrap()]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "not-a-catalog is environmental, not damage");
+}
+
+#[test]
+fn corruption_metric_counts_checked_read_failures() {
+    let dir = copy_fixture("metric");
+    // Upgrade to v2 first so the flip is caught by CRC, then corrupt.
+    let mut cat = Catalog::open(&dir).unwrap();
+    let t = csv::table_from_csv("probe", "probe", "a,b\n1,2\n3,4\n");
+    cat.add_table(&t, 7).unwrap();
+    cat.commit().unwrap();
+    let seg = cat.entry("probe").unwrap().segment.clone();
+    drop(cat);
+    let victim = dir.join("segments").join(seg);
+    let mut bytes = fs::read(&victim).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    fs::write(&victim, &bytes).unwrap();
+
+    let before = counter_value("tsfm_store_corruptions_detected_total");
+    let cat = Catalog::open(&dir).unwrap();
+    let err = cat.record("probe").unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("corrupt"), "{msg}");
+    assert!(msg.contains("offset"), "attribution must name the offset: {msg}");
+    let after = counter_value("tsfm_store_corruptions_detected_total");
+    assert!(after > before, "counter must advance: {before} -> {after}");
+}
+
+/// Read a counter's current value out of the global registry's
+/// Prometheus text.
+fn counter_value(name: &str) -> u64 {
+    tsfm_obs::metrics::global()
+        .prometheus_text()
+        .lines()
+        .find(|l| l.starts_with(name) && !l.starts_with('#'))
+        .and_then(|l| l.rsplit(' ').next().and_then(|v| v.parse().ok()))
+        .unwrap_or(0)
+}

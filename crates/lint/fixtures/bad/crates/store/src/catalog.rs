@@ -1,4 +1,5 @@
 pub const MANIFEST_MAGIC: &[u8; 8] = b"TSFMAAA1";
+pub const SHARD_MAGIC: &[u8; 8] = b"TSFMAAA3";
 
 use std::fs::{self, File};
 use std::path::Path;

@@ -1,4 +1,5 @@
-// BAD: format-magic-once — a second module defining a TSFM magic for the
-// same crate (catalog.rs came first lexicographically, so this one is
-// flagged).
+// BAD: format-magic-once — a second module defining TSFM magics for the
+// same crate (catalog.rs ties on definition count and comes first
+// lexicographically, so it is canonical and both of these are flagged).
 pub const SEGMENT_MAGIC: &[u8; 8] = b"TSFMAAA2";
+pub const ARENA_MAGIC: &[u8; 8] = b"TSFMAAA4";

@@ -1,6 +1,8 @@
 // All of this crate's magics live here — the single format-magic module.
 pub const SEGMENT_MAGIC: &[u8; 8] = b"TSFMBBB1";
 pub const INDEX_MAGIC: &[u8; 8] = b"TSFMBBB2";
+pub const SHARD_MAGIC: &[u8; 8] = b"TSFMBBB3";
+pub const ARENA_MAGIC: &[u8; 8] = b"TSFMBBB4";
 
 pub fn describe(err_format: &str) -> String {
     // A str-literal format *name* in an error message is not a second

@@ -3,10 +3,30 @@
 //! On-disk layout under the catalog directory:
 //!
 //! ```text
-//! <dir>/catalog.manifest   TSFMCAT1: sketch config + table id → entry map
-//! <dir>/segments/<f>.seg   TSFMSEG1: one TableRecord per file
-//! <dir>/index.cache        TSFMIDX1: fingerprint + join/union HNSW graphs
+//! <dir>/catalog.manifest   TSFMCAT1: sketch config + loose entries + shard metas + tombstones
+//! <dir>/segments/<f>.seg   TSFMSEG1: one loose TableRecord per file
+//! <dir>/shards/<s>.shard   TSFMSHD1: per-shard table metadata (see crate::shard)
+//! <dir>/shards/<s>.arena   TSFMARN1: per-shard flat sketch arena, read positionally
+//! <dir>/index.cache        TSFMIDX1: fingerprint + join/union HNSW graphs + per-table engine meta
 //! ```
+//!
+//! Two storage tiers share the namespace. **Loose** tables — everything
+//! recently added, updated, or present in a small catalog — live one
+//! record per `segments/*.seg` file, listed directly in the root
+//! manifest; this tier is the mutation journal and behaves exactly as it
+//! always has. **Sharded** tables live in `shards/`: the id space is
+//! partitioned by hash prefix, and each shard packs its records into a
+//! flat arena behind a fixed-width offset table, so `Catalog::open`
+//! reads only the root manifest — O(shards) metadata, not O(tables) of
+//! sketches — and sketch payloads load lazily by positioned read. A
+//! loose entry shadows (and a *tombstone* marks removed/shadowed) any
+//! shard-resident copy of the same id. [`Catalog::compact`] folds loose
+//! entries and tombstones into rewritten shards — only *dirty* shards
+//! are rewritten, to a fresh generation committed file-by-file through
+//! [`crate::durable::commit_file`], with the root manifest flip as the
+//! single commit point — and [`Catalog::commit`] triggers it
+//! automatically once churn crosses a threshold (see
+//! [`Catalog::compaction_due`]).
 //!
 //! Mutations (`add_table`, `add_record`, `remove`) write new segment
 //! files immediately (unsynced) and update the in-memory manifest;
@@ -42,18 +62,19 @@
 //! exactly one table.
 
 use crate::durable;
-use crate::engine::QueryEngine;
+use crate::engine::{table_metas, QueryEngine, TableMeta};
 use crate::error::{StoreError, StoreResult};
 use crate::record::TableRecord;
 use crate::searcher::Searcher;
 use crate::ser;
-use std::collections::BTreeMap;
+use crate::shard::{self, ArenaIndex, ShardEntry, ShardManifest, ShardMeta};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs::{self, File};
 use std::io::BufReader;
 use std::path::{Path, PathBuf};
 use tsfm_search::Hnsw;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use tsfm_search::HnswConfig;
 use tsfm_sketch::{MinHasher, SketchConfig, TableSketch};
 use tsfm_table::hash::{hash_str, splitmix64};
@@ -187,6 +208,48 @@ pub struct CatalogStats {
     pub minhash_k: usize,
     /// Whether a valid on-disk index cache exists for the current contents.
     pub index_cached: bool,
+    /// Width of the shard space (0 until the first compaction).
+    pub shards: usize,
+}
+
+/// Below this many tables, [`SnapshotMode::Auto`] stays eager even over
+/// a sharded catalog: the one-time cost of paging every sketch in is
+/// tens-to-hundreds of milliseconds and repays itself immediately in
+/// query latency (a lazy snapshot's LRU thrashes when the hot candidate
+/// set exceeds its capacity). Past it, corpus size dominates and the
+/// lazy path's bounded RSS and O(shards) snapshot build win.
+pub(crate) const AUTO_LAZY_MIN_TABLES: usize = 65_536;
+
+/// How [`Catalog::searcher`] materializes the corpus behind a snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SnapshotMode {
+    /// Lazy when a shard layer exists *and* the corpus is too large to
+    /// hold eagerly ([`AUTO_LAZY_MIN_TABLES`]); eager otherwise.
+    #[default]
+    Auto,
+    /// Hold every sketch in memory (the historical behavior; right for
+    /// small catalogs where RSS is cheap and `sketch_of` is hot).
+    Eager,
+    /// Keep shard-resident sketches on disk; `sketch_of` loads them by
+    /// positioned arena read through an LRU cache. Bounds snapshot RSS
+    /// by churn + cache size instead of corpus size.
+    Lazy,
+}
+
+/// One shard as the catalog tracks it: root-manifest metadata plus
+/// lazily-loaded (once per catalog instance) manifest and arena. The
+/// `OnceLock`s keep `Catalog::open` O(shards): nothing under `shards/`
+/// is touched until a lookup lands there.
+struct ShardSlot {
+    meta: ShardMeta,
+    manifest: OnceLock<Arc<ShardManifest>>,
+    arena: OnceLock<Arc<ArenaIndex>>,
+}
+
+impl ShardSlot {
+    fn new(meta: ShardMeta) -> Self {
+        Self { meta, manifest: OnceLock::new(), arena: OnceLock::new() }
+    }
 }
 
 /// A persistent, incrementally-updatable table catalog.
@@ -194,7 +257,16 @@ pub struct Catalog {
     dir: PathBuf,
     sketch_cfg: SketchConfig,
     hnsw_cfg: HnswConfig,
+    /// Loose tables: the root manifest's own id → segment map.
     entries: BTreeMap<String, ManifestEntry>,
+    /// The shard layer, indexed by shard number; the vector length is the
+    /// hash-space width (a power of two). Empty for loose-only catalogs;
+    /// a `None` hole is a shard fsck quarantined.
+    shards: Vec<Option<ShardSlot>>,
+    /// Shard-resident ids that are removed, or shadowed by a loose
+    /// update, since the last compaction.
+    tombstones: BTreeSet<String>,
+    snapshot_mode: SnapshotMode,
     /// Cached read snapshot for the current epoch; dropped on mutation.
     snapshot: Option<Searcher>,
     /// Bumped by every mutation; snapshots carry the epoch they captured.
@@ -249,10 +321,20 @@ impl Catalog {
             "Checksum or format violations detected while reading store files",
         );
         obs().counter("tsfm_store_fsck_repairs_total", "Repair actions taken by tsfm fsck");
+        obs().counter(
+            "tsfm_store_shard_cache_hits_total",
+            "Lazy sketch loads answered by the shard cache",
+        );
+        obs().counter(
+            "tsfm_store_shard_cache_misses_total",
+            "Lazy sketch loads that went to an arena read",
+        );
+        obs().counter("tsfm_store_compactions_total", "Shard compaction passes completed");
+        obs().histogram("tsfm_store_arena_read_us", "Positioned arena payload read latency");
         let dir = dir.into();
         let manifest = dir.join(MANIFEST_FILE);
         if manifest.exists() {
-            let (sketch_cfg, entries) = read_manifest(&manifest)?;
+            let (sketch_cfg, entries, metas, mut tombstones) = read_manifest(&manifest)?;
             if sketch_cfg.minhash_k != cfg.minhash_k
                 || sketch_cfg.max_rows != cfg.max_rows
                 || sketch_cfg.seed != cfg.seed
@@ -263,11 +345,21 @@ impl Catalog {
                     sketch_cfg.minhash_k, sketch_cfg.max_rows, sketch_cfg.seed
                 )));
             }
+            let space = metas.len() as u32;
+            // A tombstone pointing into a quarantined (missing) shard
+            // marks nothing; keeping it would undercount `len`.
+            if space > 0 {
+                let present: Vec<bool> = metas.iter().map(Option::is_some).collect();
+                tombstones.retain(|id| present[shard::shard_of(id, space) as usize]);
+            }
             return Ok(Self {
                 dir,
                 sketch_cfg,
                 hnsw_cfg: HnswConfig::default(),
                 entries,
+                shards: metas.into_iter().map(|m| m.map(ShardSlot::new)).collect(),
+                tombstones,
+                snapshot_mode: SnapshotMode::default(),
                 snapshot: None,
                 epoch: 0,
                 manifest_dirty: false,
@@ -284,6 +376,9 @@ impl Catalog {
             sketch_cfg: cfg,
             hnsw_cfg: HnswConfig::default(),
             entries: BTreeMap::new(),
+            shards: Vec::new(),
+            tombstones: BTreeSet::new(),
+            snapshot_mode: SnapshotMode::default(),
             snapshot: None,
             epoch: 0,
             manifest_dirty: true,
@@ -312,12 +407,15 @@ impl Catalog {
         &self.sketch_cfg
     }
 
+    /// Number of active tables: shard-resident (minus tombstones) plus
+    /// loose. O(shards) — counted from root-manifest metadata alone.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        let sharded: u64 = self.shards.iter().flatten().map(|s| s.meta.entry_count).sum();
+        (sharded - self.tombstones.len() as u64) as usize + self.entries.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len() == 0
     }
 
     /// The mutation generation of this catalog. Bumped by every
@@ -327,31 +425,164 @@ impl Catalog {
         self.epoch
     }
 
-    /// Table ids in ascending order.
-    pub fn iter_ids(&self) -> impl Iterator<Item = &str> {
-        self.entries.keys().map(String::as_str)
+    /// All active table ids in ascending order. For a sharded catalog
+    /// this loads shard manifests (metadata only — sketch payloads stay
+    /// on disk), so it is fallible and O(tables); prefer [`Catalog::len`]
+    /// when only the count matters.
+    pub fn table_ids(&self) -> StoreResult<Vec<String>> {
+        let mut ids: Vec<String> = self.entries.keys().cloned().collect();
+        for slot in self.shards.iter().flatten() {
+            let m = self.slot_manifest(slot)?;
+            ids.extend(
+                m.entries
+                    .iter()
+                    .map(|e| e.id.as_str())
+                    .filter(|id| !self.tombstones.contains(*id))
+                    .map(str::to_string),
+            );
+        }
+        ids.sort_unstable();
+        Ok(ids)
     }
 
+    /// The *loose* manifest entry for `id`, if the table lives in the
+    /// loose tier (recently added/updated, or any table of a never-
+    /// compacted catalog). Shard-resident tables have no loose entry —
+    /// use [`Catalog::get`] / [`Catalog::record`] for tier-agnostic
+    /// access.
     pub fn entry(&self, id: &str) -> Option<&ManifestEntry> {
         self.entries.get(id)
     }
 
-    /// Load one table's full record from its segment file.
-    pub fn get(&self, id: &str) -> StoreResult<Option<TableRecord>> {
-        let Some(entry) = self.entries.get(id) else {
+    /// The shard layer's width (0 for a loose-only catalog).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_dir(&self) -> PathBuf {
+        self.dir.join(shard::SHARD_DIR)
+    }
+
+    /// The shard that would own `id`, if the shard layer has it.
+    fn shard_slot(&self, id: &str) -> Option<&ShardSlot> {
+        if self.shards.is_empty() {
+            return None;
+        }
+        self.shards[shard::shard_of(id, self.shards.len() as u32) as usize].as_ref()
+    }
+
+    /// Load (once) a shard's manifest, cross-checked against its root
+    /// metadata. Errors are not cached: a transient failure retries on
+    /// the next call.
+    fn slot_manifest(&self, slot: &ShardSlot) -> StoreResult<Arc<ShardManifest>> {
+        if let Some(m) = slot.manifest.get() {
+            return Ok(Arc::clone(m));
+        }
+        let path = self.shard_dir().join(slot.meta.shard_file());
+        let m = shard::read_shard_manifest(&path)?;
+        if m.index != slot.meta.index
+            || m.generation != slot.meta.generation
+            || m.shard_count != self.shards.len() as u32
+            || m.entries.len() as u64 != slot.meta.entry_count
+        {
+            return Err(durable::note_corruption(
+                StoreError::corrupt(
+                    "TSFMSHD1",
+                    format!(
+                        "shard file {} (shard {} of {}, generation {}, {} entries) does not \
+                         match the root manifest (shard {} of {}, generation {}, {} entries)",
+                        slot.meta.shard_file(),
+                        m.index,
+                        m.shard_count,
+                        m.generation,
+                        m.entries.len(),
+                        slot.meta.index,
+                        self.shards.len(),
+                        slot.meta.generation,
+                        slot.meta.entry_count
+                    ),
+                )
+                .with_file(&path, 0),
+            ));
+        }
+        Ok(Arc::clone(slot.manifest.get_or_init(|| Arc::new(m))))
+    }
+
+    /// Open (once) a shard's arena: header + offset table only.
+    fn slot_arena(&self, slot: &ShardSlot) -> StoreResult<Arc<ArenaIndex>> {
+        if let Some(a) = slot.arena.get() {
+            return Ok(Arc::clone(a));
+        }
+        let path = self.shard_dir().join(slot.meta.arena_file());
+        let a = ArenaIndex::open(&path, &slot.meta)?;
+        Ok(Arc::clone(slot.arena.get_or_init(|| Arc::new(a))))
+    }
+
+    /// Locate `id` in the shard layer (tombstones NOT applied): the
+    /// owning slot, its manifest, and the entry index.
+    fn shard_locate(&self, id: &str) -> StoreResult<Option<(&ShardSlot, Arc<ShardManifest>, usize)>> {
+        let Some(slot) = self.shard_slot(id) else {
             return Ok(None);
         };
-        let path = self.dir.join(SEGMENT_DIR).join(&entry.segment);
-        let rec = durable::read_file_checked(&path, |r| {
-            let rec = ser::read_record(r)?;
-            if rec.content_hash != entry.content_hash || rec.table_id() != id {
-                return Err(StoreError::corrupt(
-                    "TSFMSEG1",
-                    format!("segment {} does not match manifest entry for {id:?}", entry.segment),
-                ));
-            }
-            Ok(rec)
-        })?;
+        let m = self.slot_manifest(slot)?;
+        match m.find(id) {
+            Some(i) => Ok(Some((slot, m, i))),
+            None => Ok(None),
+        }
+    }
+
+    /// Content hash of the *active* copy of `id`, whichever tier holds it.
+    fn active_content_hash(&self, id: &str) -> StoreResult<Option<u64>> {
+        if let Some(e) = self.entries.get(id) {
+            return Ok(Some(e.content_hash));
+        }
+        if self.tombstones.contains(id) {
+            return Ok(None);
+        }
+        Ok(self.shard_locate(id)?.map(|(_, m, i)| m.entries[i].content_hash))
+    }
+
+    /// Load one table's full record — from its loose segment file, or by
+    /// positioned read out of its shard's arena.
+    pub fn get(&self, id: &str) -> StoreResult<Option<TableRecord>> {
+        if let Some(entry) = self.entries.get(id) {
+            let path = self.dir.join(SEGMENT_DIR).join(&entry.segment);
+            let rec = durable::read_file_checked(&path, |r| {
+                let rec = ser::read_record(r)?;
+                if rec.content_hash != entry.content_hash || rec.table_id() != id {
+                    return Err(StoreError::corrupt(
+                        "TSFMSEG1",
+                        format!(
+                            "segment {} does not match manifest entry for {id:?}",
+                            entry.segment
+                        ),
+                    ));
+                }
+                Ok(rec)
+            })?;
+            return Ok(Some(rec));
+        }
+        if self.tombstones.contains(id) {
+            return Ok(None);
+        }
+        let Some((slot, m, i)) = self.shard_locate(id)? else {
+            return Ok(None);
+        };
+        let arena = self.slot_arena(slot)?;
+        let rec = arena.read_record(i)?;
+        let e = &m.entries[i];
+        if rec.content_hash != e.content_hash || rec.table_id() != id {
+            return Err(durable::note_corruption(
+                StoreError::corrupt(
+                    "TSFMARN1",
+                    format!(
+                        "arena slot {i} of shard {} does not match its manifest entry for {id:?}",
+                        slot.meta.index
+                    ),
+                )
+                .with_file(arena.path(), arena.slots.get(i).map_or(0, |s| s.offset)),
+            ));
+        }
         Ok(Some(rec))
     }
 
@@ -365,7 +596,7 @@ impl Catalog {
     /// stable hash of the source bytes; if the stored record already has
     /// this hash nothing is re-sketched.
     pub fn add_table(&mut self, table: &Table, content_hash: u64) -> StoreResult<IngestOutcome> {
-        if self.entries.get(&table.id).map(|e| e.content_hash) == Some(content_hash) {
+        if self.active_content_hash(&table.id)? == Some(content_hash) {
             return Ok(IngestOutcome::Unchanged);
         }
         let sketch = TableSketch::build(table, &self.sketch_cfg);
@@ -375,11 +606,11 @@ impl Catalog {
     /// Store a pre-built record (the path for records carrying embeddings).
     pub fn add_record(&mut self, rec: &TableRecord) -> StoreResult<IngestOutcome> {
         let id = rec.table_id().to_string();
-        let outcome = match self.entries.get(&id) {
-            Some(e) if e.content_hash == rec.content_hash => return Ok(IngestOutcome::Unchanged),
-            Some(_) => IngestOutcome::Updated,
-            None => IngestOutcome::Added,
-        };
+        let prior = self.active_content_hash(&id)?;
+        if prior == Some(rec.content_hash) {
+            return Ok(IngestOutcome::Unchanged);
+        }
+        let outcome = if prior.is_some() { IngestOutcome::Updated } else { IngestOutcome::Added };
         let segment = segment_name(&id, rec.content_hash);
         let path = self.dir.join(SEGMENT_DIR).join(&segment);
         {
@@ -427,6 +658,14 @@ impl Catalog {
                 self.pending_delete.push(self.dir.join(SEGMENT_DIR).join(&old.segment));
             }
         }
+        // A loose write shadowing a shard-resident copy tombstones it, so
+        // `len` counts the table once and compaction drops the stale copy.
+        if !self.entries.contains_key(&id)
+            && !self.tombstones.contains(&id)
+            && self.shard_locate(&id)?.is_some()
+        {
+            self.tombstones.insert(id.clone());
+        }
         self.entries.insert(
             id,
             ManifestEntry {
@@ -440,17 +679,25 @@ impl Catalog {
         Ok(outcome)
     }
 
-    /// Remove a table; returns whether it existed. The segment file is
-    /// deleted at the next [`Catalog::commit`], after the manifest that
-    /// dropped it is durable — deleting first would lose the table on a
-    /// crash before commit.
+    /// Remove a table; returns whether it existed. A loose table's
+    /// segment file is deleted at the next [`Catalog::commit`], after the
+    /// manifest that dropped it is durable — deleting first would lose
+    /// the table on a crash before commit. A shard-resident table is
+    /// tombstoned; the next compaction reclaims its arena bytes.
     pub fn remove(&mut self, id: &str) -> StoreResult<bool> {
-        let Some(entry) = self.entries.remove(id) else {
-            return Ok(false);
-        };
-        self.pending_delete.push(self.dir.join(SEGMENT_DIR).join(&entry.segment));
-        self.invalidate();
-        Ok(true)
+        let mut existed = false;
+        if let Some(entry) = self.entries.remove(id) {
+            self.pending_delete.push(self.dir.join(SEGMENT_DIR).join(&entry.segment));
+            existed = true;
+        }
+        if !self.tombstones.contains(id) && self.shard_locate(id)?.is_some() {
+            self.tombstones.insert(id.to_string());
+            existed = true;
+        }
+        if existed {
+            self.invalidate();
+        }
+        Ok(existed)
     }
 
     /// Ingest every `*.csv` file of a directory (sorted by name; the file
@@ -499,7 +746,7 @@ impl Catalog {
             match fs::read_to_string(&path) {
                 Ok(text) => {
                     let content_hash = hash_str(&text);
-                    if self.entries.get(&id).map(|e| e.content_hash) == Some(content_hash) {
+                    if self.active_content_hash(&id)? == Some(content_hash) {
                         report.unchanged += 1;
                     } else {
                         jobs.push((id, text, content_hash));
@@ -547,12 +794,12 @@ impl Catalog {
             }
             return Ok(report);
         }
-        let jobs: Vec<usize> = (0..tables.len())
-            .filter(|&i| {
-                self.entries.get(&tables[i].id).map(|e| e.content_hash)
-                    != Some(content_hashes[i])
-            })
-            .collect();
+        let mut jobs: Vec<usize> = Vec::new();
+        for i in 0..tables.len() {
+            if self.active_content_hash(&tables[i].id)? != Some(content_hashes[i]) {
+                jobs.push(i);
+            }
+        }
         report.unchanged = tables.len() - jobs.len();
         let hasher = self.hasher();
         let max_rows = self.sketch_cfg.max_rows;
@@ -584,7 +831,42 @@ impl Catalog {
     ///    previous manifest referencing only previously-durable segments;
     /// 3. only now delete segments no manifest references (best effort —
     ///    a leftover is an orphan `tsfm fsck` sweeps, never data loss).
+    ///
+    /// After the loose state is durable, a compaction pass runs
+    /// automatically when [`Catalog::compaction_due`] says churn has
+    /// crossed the threshold — so a bulk ingest folds itself into shards
+    /// without anyone calling [`Catalog::compact`].
     pub fn commit(&mut self) -> StoreResult<()> {
+        self.commit_inner()?;
+        if self.compaction_due() {
+            self.compact_inner()?;
+        }
+        Ok(())
+    }
+
+    /// Fold the loose tier and all tombstones into the shard layer now,
+    /// regardless of thresholds (the `tsfm compact` verb and the
+    /// monolithic→sharded migration path). Loose mutations are committed
+    /// first, so a crash mid-compaction loses nothing.
+    pub fn compact(&mut self) -> StoreResult<()> {
+        self.commit_inner()?;
+        self.compact_inner()
+    }
+
+    /// Whether [`Catalog::commit`] will run a compaction pass: a
+    /// loose-only catalog compacts once it holds
+    /// [`shard::AUTO_SHARD_MIN`] tables; a sharded one once loose churn
+    /// (updates + tombstones) reaches a quarter of the sharded
+    /// population.
+    pub fn compaction_due(&self) -> bool {
+        if self.shards.is_empty() {
+            return self.entries.len() as u64 >= shard::AUTO_SHARD_MIN;
+        }
+        let sharded: u64 = self.shards.iter().flatten().map(|s| s.meta.entry_count).sum();
+        (self.entries.len() + self.tombstones.len()) as u64 * 4 >= sharded.max(1)
+    }
+
+    fn commit_inner(&mut self) -> StoreResult<()> {
         if !self.manifest_dirty {
             return Ok(());
         }
@@ -633,21 +915,207 @@ impl Catalog {
         Ok(())
     }
 
+    /// Rewrite dirty shards: fold committed loose segments and tombstones
+    /// into the shard layer under a fresh generation. Crash-safety
+    /// ordering mirrors `commit`:
+    ///
+    /// 1. new-generation arena + shard-manifest files are committed one
+    ///    by one ([`durable::commit_file`] each) — a crash here leaves
+    ///    orphan files the root manifest never mentions (`tsfm fsck`
+    ///    sweeps them);
+    /// 2. the root manifest flips to the new generation in one atomic
+    ///    commit — the single commit point;
+    /// 3. only then are old-generation shard files and absorbed loose
+    ///    segments unlinked (best effort). Snapshots holding the old
+    ///    arenas keep reading them through their open descriptors.
+    ///
+    /// Only shards touched by churn are rewritten, unless the shard
+    /// space itself changes width (then every table re-buckets).
+    fn compact_inner(&mut self) -> StoreResult<()> {
+        if self.shards.is_empty() && self.entries.is_empty() {
+            return Ok(());
+        }
+        let _g = tsfm_obs::span!("catalog.compact");
+        let space = shard::shard_count_for(self.len() as u64) as usize;
+        let reshard = space != self.shards.len();
+        // Which target shards must be rewritten: all of them on a
+        // reshard; otherwise those hit by loose churn — plus quarantine
+        // holes, rewritten (possibly empty) so the namespace heals.
+        let mut dirty = vec![reshard; space];
+        if !reshard {
+            for id in self.entries.keys().chain(self.tombstones.iter()) {
+                dirty[shard::shard_of(id, space as u32) as usize] = true;
+            }
+            for (i, s) in self.shards.iter().enumerate() {
+                if s.is_none() {
+                    dirty[i] = true;
+                }
+            }
+        }
+        if !dirty.iter().any(|&d| d) {
+            return Ok(());
+        }
+        let generation =
+            self.shards.iter().flatten().map(|s| s.meta.generation).max().unwrap_or(0) + 1;
+
+        // Gather each dirty target shard's new contents as raw TSFMSEG1
+        // frame bytes: copied verbatim (CRC-verified) out of old arenas,
+        // or read from loose segment files — re-parsed there, so a
+        // corrupt segment fails the compaction instead of poisoning a
+        // shard.
+        let mut buckets: Vec<Vec<(ShardEntry, Vec<u8>)>> = vec![Vec::new(); space];
+        for slot in self.shards.iter().flatten() {
+            if !reshard && !dirty[slot.meta.index as usize] {
+                continue; // clean shard: carried over untouched
+            }
+            let m = self.slot_manifest(slot)?;
+            let arena = self.slot_arena(slot)?;
+            for (i, e) in m.entries.iter().enumerate() {
+                if self.tombstones.contains(&e.id) || self.entries.contains_key(&e.id) {
+                    continue;
+                }
+                let payload = arena.read_payload(i)?;
+                buckets[shard::shard_of(&e.id, space as u32) as usize]
+                    .push((e.clone(), payload));
+            }
+        }
+        for (id, le) in &self.entries {
+            let path = self.dir.join(SEGMENT_DIR).join(&le.segment);
+            let bytes = fs::read(&path)?;
+            let rec = ser::read_record(&mut bytes.as_slice()).map_err(|e| {
+                durable::note_corruption(e.into_format("TSFMSEG1").with_file(&path, 0))
+            })?;
+            if rec.content_hash != le.content_hash || rec.table_id() != id {
+                return Err(durable::note_corruption(
+                    StoreError::corrupt(
+                        "TSFMSEG1",
+                        format!("segment {} does not match manifest entry for {id:?}", le.segment),
+                    )
+                    .with_file(&path, 0),
+                ));
+            }
+            let entry = ShardEntry {
+                id: id.clone(),
+                content_hash: le.content_hash,
+                num_rows: le.num_rows,
+                num_cols: le.num_cols,
+            };
+            buckets[shard::shard_of(id, space as u32) as usize].push((entry, bytes));
+        }
+
+        // Write every dirty shard's new generation (arena first, then its
+        // manifest), collecting the new slot vector as we go.
+        let shard_dir = self.shard_dir();
+        fs::create_dir_all(&shard_dir)?;
+        let mut new_shards: Vec<Option<ShardSlot>> = Vec::with_capacity(space);
+        for (idx, bucket) in buckets.iter_mut().enumerate() {
+            if !dirty[idx] {
+                // Steal the old slot (same index: space unchanged) so its
+                // already-loaded manifest/arena caches survive. A hole
+                // here is impossible — holes are always marked dirty.
+                let Some(slot) = self.shards[idx].take() else {
+                    return Err(StoreError::internal("clean shard slot missing in compaction"));
+                };
+                new_shards.push(Some(slot));
+                continue;
+            }
+            bucket.sort_by(|a, b| a.0.id.cmp(&b.0.id));
+            let entries: Vec<ShardEntry> = bucket.iter().map(|(e, _)| e.clone()).collect();
+            let payloads: Vec<Vec<u8>> =
+                bucket.iter_mut().map(|(_, p)| std::mem::take(p)).collect();
+            let arena_bytes = shard::build_arena(idx as u32, generation, &payloads);
+            let meta = ShardMeta {
+                index: idx as u32,
+                generation,
+                entry_count: entries.len() as u64,
+                total_rows: entries.iter().map(|e| e.num_rows).sum(),
+                total_cols: entries.iter().map(|e| u64::from(e.num_cols)).sum(),
+                arena_bytes: arena_bytes.len() as u64,
+            };
+            durable::commit_file(&shard_dir.join(meta.arena_file()), &arena_bytes)?;
+            let manifest = ShardManifest {
+                index: idx as u32,
+                shard_count: space as u32,
+                generation,
+                entries,
+            };
+            shard::write_shard_manifest(&shard_dir.join(meta.shard_file()), &manifest)?;
+            let slot = ShardSlot::new(meta);
+            let _ = slot.manifest.set(Arc::new(manifest));
+            new_shards.push(Some(slot));
+        }
+
+        // Everything the new root manifest will no longer reference —
+        // old-generation shard files and absorbed loose segments —
+        // collected before the flip, deleted only after it.
+        let mut doomed: Vec<PathBuf> = Vec::new();
+        for slot in self.shards.iter().flatten() {
+            doomed.push(shard_dir.join(slot.meta.shard_file()));
+            doomed.push(shard_dir.join(slot.meta.arena_file()));
+        }
+        for e in self.entries.values() {
+            doomed.push(self.dir.join(SEGMENT_DIR).join(&e.segment));
+        }
+
+        // The commit point: flip the root manifest to the new generation.
+        let metas: Vec<Option<ShardMeta>> =
+            new_shards.iter().map(|s| s.as_ref().map(|s| s.meta.clone())).collect();
+        write_manifest_file(
+            &self.dir.join(MANIFEST_FILE),
+            &self.sketch_cfg,
+            &BTreeMap::new(),
+            &metas,
+            &BTreeSet::new(),
+        )?;
+        self.entries.clear();
+        self.tombstones.clear();
+        self.shards = new_shards;
+        for path in doomed {
+            let _ = fs::remove_file(path);
+        }
+        // Content-preserving: the merged fingerprint is unchanged, so the
+        // index cache stays valid, handed-out snapshots stay correct, and
+        // neither the epoch nor the cached snapshot needs to move.
+        obs().counter("tsfm_store_compactions_total", "Shard compaction passes completed").inc();
+        Ok(())
+    }
+
     pub fn stats(&self) -> CatalogStats {
-        let segment_bytes = self
+        let mut segment_bytes: u64 = self
             .entries
             .values()
             .filter_map(|e| {
                 fs::metadata(self.dir.join(SEGMENT_DIR).join(&e.segment)).ok().map(|m| m.len())
             })
             .sum();
+        let mut columns: u64 = self.entries.values().map(|e| u64::from(e.num_cols)).sum();
+        let mut rows: u64 = self.entries.values().map(|e| e.num_rows).sum();
+        for slot in self.shards.iter().flatten() {
+            columns += slot.meta.total_cols;
+            rows += slot.meta.total_rows;
+            segment_bytes += slot.meta.arena_bytes;
+        }
+        // Tombstoned shard entries still occupy arena bytes but are not
+        // active rows/columns. Stats stay best-effort (infallible): an
+        // unreadable shard manifest just leaves its aggregates in.
+        for id in &self.tombstones {
+            if let Some(slot) = self.shard_slot(id) {
+                if let Ok(m) = self.slot_manifest(slot) {
+                    if let Some(i) = m.find(id) {
+                        rows = rows.saturating_sub(m.entries[i].num_rows);
+                        columns = columns.saturating_sub(u64::from(m.entries[i].num_cols));
+                    }
+                }
+            }
+        }
         CatalogStats {
-            tables: self.entries.len(),
-            columns: self.entries.values().map(|e| e.num_cols as u64).sum(),
-            rows: self.entries.values().map(|e| e.num_rows).sum(),
+            tables: self.len(),
+            columns,
+            rows,
             segment_bytes,
             minhash_k: self.sketch_cfg.minhash_k,
             index_cached: self.cached_index_valid(),
+            shards: self.shards.len(),
         }
     }
 
@@ -660,55 +1128,150 @@ impl Catalog {
         if self.snapshot.is_none() {
             let t0 = std::time::Instant::now();
             let _g = tsfm_obs::span!("catalog.snapshot");
-            // `load_all_records` walks the manifest BTreeMap, so records
-            // arrive in ascending-id order — exactly the engine's
-            // canonical order — letting the sketches double as the
-            // searcher's id-addressable corpus.
-            let records = self.load_all_records()?;
-            let fp = self.fingerprint();
-            let engine = match self.try_load_cached_engine(&records, fp) {
-                Some(e) => {
-                    obs()
-                        .counter(
-                            "tsfm_catalog_index_cache_hits_total",
-                            "Snapshots served from the on-disk HNSW cache",
-                        )
-                        .inc();
-                    e
+            let lazy = match self.snapshot_mode {
+                SnapshotMode::Eager => false,
+                SnapshotMode::Lazy => true,
+                SnapshotMode::Auto => {
+                    !self.shards.is_empty() && self.len() >= AUTO_LAZY_MIN_TABLES
                 }
-                None => {
-                    obs()
-                        .counter(
-                            "tsfm_catalog_index_rebuilds_total",
-                            "Snapshots that rebuilt the HNSW graphs from records",
-                        )
-                        .inc();
-                    let e = QueryEngine::build(
+            };
+            let fp = self.fingerprint()?;
+            // Cache load failures are swallowed (a rebuild answers the
+            // query), but read_index_cache has already counted a corrupt
+            // cache in tsfm_store_corruptions_detected_total.
+            let cached = {
+                let _g = tsfm_obs::span!("catalog.index_cache.load");
+                read_index_cache(&self.dir.join(INDEX_FILE))
+                    .ok()
+                    .filter(|&(cached_fp, ..)| cached_fp == fp)
+            };
+            // `load_all_records` (and `load_loose_records`) walk manifest
+            // BTreeMaps, so records arrive in ascending-id order — exactly
+            // the engine's canonical order — letting the sketches double
+            // as the searcher's id-addressable corpus.
+            let (engine, records) = match cached {
+                // Record-free fast path: a lazy snapshot whose cache
+                // carries the engine-meta section reconstructs the engine
+                // without reading a single sharded sketch payload, so
+                // open-to-queryable work is O(loose + shards), not
+                // O(tables).
+                Some((_, join, union, Some(meta))) if lazy => {
+                    match QueryEngine::from_meta(meta, self.sketch_cfg.minhash_k, join, union) {
+                        Ok(e) => {
+                            Self::count_cache_hit();
+                            (e, self.load_loose_records()?)
+                        }
+                        Err(_) => {
+                            let records = self.load_all_records()?;
+                            let e = self.rebuild_engine(&records, fp);
+                            (e, records)
+                        }
+                    }
+                }
+                // Eager snapshot, or a pre-meta cache: the graphs are
+                // still reusable, validated against the loaded records.
+                Some((_, join, union, meta)) => {
+                    let records = self.load_all_records()?;
+                    match QueryEngine::with_graphs(
                         &records,
                         self.sketch_cfg.minhash_k,
-                        self.hnsw_cfg.clone(),
-                    );
-                    // The cache is an optimization: a read-only filesystem
-                    // must not make an in-memory engine unqueryable.
-                    let _ = self.write_index_cache(&e, fp);
-                    e
+                        join,
+                        union,
+                    ) {
+                        Ok(e) => {
+                            Self::count_cache_hit();
+                            if lazy && meta.is_none() {
+                                // Upgrade a pre-meta cache in place so the
+                                // next lazy open takes the record-free
+                                // path (same fingerprint — still valid).
+                                let _ = self.write_index_cache(&records, &e, fp);
+                            }
+                            (e, records)
+                        }
+                        Err(_) => {
+                            let e = self.rebuild_engine(&records, fp);
+                            (e, records)
+                        }
+                    }
+                }
+                None => {
+                    let records = self.load_all_records()?;
+                    let e = self.rebuild_engine(&records, fp);
+                    (e, records)
                 }
             };
             obs()
                 .histogram("tsfm_catalog_snapshot_build_us", "Snapshot (re)build latency")
                 .record(t0.elapsed().as_micros() as u64);
-            let sketches: Vec<TableSketch> = records.into_iter().map(|r| r.sketch).collect();
-            self.snapshot = Some(Searcher::new(
-                Arc::new(engine),
-                Arc::new(sketches),
-                self.sketch_cfg.clone(),
-                self.epoch,
-            ));
+            self.snapshot = Some(if lazy {
+                // Keep only loose sketches in memory (they have no arena
+                // home); shard-resident ones are dropped here and
+                // re-loaded on demand by positioned arena read.
+                let loose: Vec<Arc<TableSketch>> = records
+                    .into_iter()
+                    .filter(|r| self.entries.contains_key(r.table_id()))
+                    .map(|r| Arc::new(r.sketch))
+                    .collect();
+                let mut lazy_shards = Vec::with_capacity(self.shards.len());
+                for slot in &self.shards {
+                    lazy_shards.push(match slot {
+                        Some(s) => {
+                            let m = self.slot_manifest(s)?;
+                            let arena = self.slot_arena(s)?;
+                            let entries: Vec<(String, u32)> = m
+                                .entries
+                                .iter()
+                                .enumerate()
+                                .filter(|(_, e)| {
+                                    !self.tombstones.contains(&e.id)
+                                        && !self.entries.contains_key(&e.id)
+                                })
+                                .map(|(i, e)| (e.id.clone(), i as u32))
+                                .collect();
+                            Some(shard::LazyShard { arena, entries })
+                        }
+                        None => None,
+                    });
+                }
+                let corpus = shard::LazyCorpus::new(
+                    self.shards.len() as u32,
+                    lazy_shards,
+                    loose,
+                    shard::SKETCH_CACHE_CAP,
+                );
+                Searcher::lazy(
+                    Arc::new(engine),
+                    Arc::new(corpus),
+                    self.sketch_cfg.clone(),
+                    self.epoch,
+                )
+            } else {
+                let sketches: Vec<Arc<TableSketch>> =
+                    records.into_iter().map(|r| Arc::new(r.sketch)).collect();
+                Searcher::eager(
+                    Arc::new(engine),
+                    Arc::new(sketches),
+                    self.sketch_cfg.clone(),
+                    self.epoch,
+                )
+            });
         }
         self.snapshot
             .as_ref()
             .cloned()
             .ok_or_else(|| StoreError::internal("snapshot missing right after build"))
+    }
+
+    /// Choose how future snapshots materialize the corpus (see
+    /// [`SnapshotMode`]). Drops the cached snapshot — contents are
+    /// unchanged, so the epoch does not move — and the next
+    /// [`Catalog::searcher`] call rebuilds in the new mode. Snapshots
+    /// already handed out are unaffected.
+    pub fn set_snapshot_mode(&mut self, mode: SnapshotMode) {
+        if self.snapshot_mode != mode {
+            self.snapshot_mode = mode;
+            self.snapshot = None;
+        }
     }
 
     /// The query engine over the current contents, building (or loading
@@ -722,19 +1285,52 @@ impl Catalog {
             .ok_or_else(|| StoreError::internal("snapshot missing right after build"))
     }
 
-    /// Load every record (ascending id order).
-    pub fn load_all_records(&self) -> StoreResult<Vec<TableRecord>> {
-        let _g = tsfm_obs::span!("catalog.load_records");
-        let ids: Vec<String> = self.entries.keys().cloned().collect();
-        let mut out = Vec::with_capacity(ids.len());
-        for id in ids {
-            out.push(self.get(&id)?.ok_or_else(|| {
+    /// Load only the loose tier's records (ascending id order) — the part
+    /// of the corpus with no arena home. The lazy-open fast path builds
+    /// its in-memory corpus from exactly this.
+    fn load_loose_records(&self) -> StoreResult<Vec<TableRecord>> {
+        let mut out = Vec::with_capacity(self.entries.len());
+        for id in self.entries.keys() {
+            out.push(self.get(id)?.ok_or_else(|| {
                 StoreError::corrupt(
                     "TSFMCAT1",
                     format!("manifest entry {id:?} has no segment on disk"),
                 )
             })?);
         }
+        Ok(out)
+    }
+
+    /// Load every active record (ascending id order), across both tiers.
+    pub fn load_all_records(&self) -> StoreResult<Vec<TableRecord>> {
+        let _g = tsfm_obs::span!("catalog.load_records");
+        let mut out = self.load_loose_records()?;
+        out.reserve(self.len().saturating_sub(out.len()));
+        for slot in self.shards.iter().flatten() {
+            let m = self.slot_manifest(slot)?;
+            let arena = self.slot_arena(slot)?;
+            for (i, e) in m.entries.iter().enumerate() {
+                if self.tombstones.contains(&e.id) || self.entries.contains_key(&e.id) {
+                    continue;
+                }
+                let rec = arena.read_record(i)?;
+                if rec.content_hash != e.content_hash || rec.table_id() != e.id {
+                    return Err(durable::note_corruption(
+                        StoreError::corrupt(
+                            "TSFMARN1",
+                            format!(
+                                "arena slot {i} of shard {} does not match its manifest \
+                                 entry for {:?}",
+                                slot.meta.index, e.id
+                            ),
+                        )
+                        .with_file(arena.path(), arena.slots.get(i).map_or(0, |s| s.offset)),
+                    ));
+                }
+                out.push(rec);
+            }
+        }
+        out.sort_by(|a, b| a.table_id().cmp(b.table_id()));
         Ok(out)
     }
 
@@ -745,56 +1341,115 @@ impl Catalog {
     }
 
     /// Fingerprint of the catalog contents + sketch config; the index
-    /// cache is valid only while this matches.
-    fn fingerprint(&self) -> u64 {
-        manifest_fingerprint(&self.sketch_cfg, &self.entries)
+    /// cache is valid only while this matches. Computed over the merged
+    /// *active* `(id, content_hash)` set in ascending id order, whichever
+    /// tier holds each table — so a compaction (which moves tables
+    /// between tiers without changing contents) leaves it unchanged and
+    /// the index cache stays warm across it.
+    fn fingerprint(&self) -> StoreResult<u64> {
+        if self.shards.is_empty() {
+            return Ok(manifest_fingerprint(&self.sketch_cfg, &self.entries));
+        }
+        let mut pairs: Vec<(&str, u64)> =
+            self.entries.iter().map(|(id, e)| (id.as_str(), e.content_hash)).collect();
+        let mut shard_manifests = Vec::new();
+        for slot in self.shards.iter().flatten() {
+            shard_manifests.push(self.slot_manifest(slot)?);
+        }
+        for m in &shard_manifests {
+            for e in &m.entries {
+                if !self.tombstones.contains(&e.id) && !self.entries.contains_key(&e.id) {
+                    pairs.push((e.id.as_str(), e.content_hash));
+                }
+            }
+        }
+        pairs.sort_unstable();
+        Ok(fingerprint_pairs(&self.sketch_cfg, pairs.into_iter()))
     }
 
     fn cached_index_valid(&self) -> bool {
-        peek_index_fingerprint(&self.dir.join(INDEX_FILE))
-            .is_some_and(|fp| fp == self.fingerprint())
-    }
-
-    fn try_load_cached_engine(&self, records: &[TableRecord], fp: u64) -> Option<QueryEngine> {
-        let _g = tsfm_obs::span!("catalog.index_cache.load");
-        // Cache load failures are swallowed (a rebuild answers the
-        // query), but read_index_cache has already counted a corrupt
-        // cache in tsfm_store_corruptions_detected_total.
-        let (cached_fp, join, union) = read_index_cache(&self.dir.join(INDEX_FILE)).ok()?;
-        if cached_fp != fp {
-            return None;
+        match (peek_index_fingerprint(&self.dir.join(INDEX_FILE)), self.fingerprint()) {
+            (Some(on_disk), Ok(want)) => on_disk == want,
+            _ => false,
         }
-        QueryEngine::with_graphs(records, self.sketch_cfg.minhash_k, join, union).ok()
     }
 
-    fn write_index_cache(&self, engine: &QueryEngine, fp: u64) -> StoreResult<()> {
+    fn count_cache_hit() {
+        obs()
+            .counter(
+                "tsfm_catalog_index_cache_hits_total",
+                "Snapshots served from the on-disk HNSW cache",
+            )
+            .inc();
+    }
+
+    /// Build the engine from records and refresh the on-disk cache — the
+    /// path taken when no usable cache exists (or one failed validation).
+    fn rebuild_engine(&self, records: &[TableRecord], fp: u64) -> QueryEngine {
+        obs()
+            .counter(
+                "tsfm_catalog_index_rebuilds_total",
+                "Snapshots that rebuilt the HNSW graphs from records",
+            )
+            .inc();
+        let e = QueryEngine::build(records, self.sketch_cfg.minhash_k, self.hnsw_cfg.clone());
+        // The cache is an optimization: a read-only filesystem must not
+        // make an in-memory engine unqueryable.
+        let _ = self.write_index_cache(records, &e, fp);
+        e
+    }
+
+    fn write_index_cache(
+        &self,
+        records: &[TableRecord],
+        engine: &QueryEngine,
+        fp: u64,
+    ) -> StoreResult<()> {
         let _g = tsfm_obs::span!("catalog.index_cache.write");
         let mut body = Vec::new();
         ser::write_u64(&mut body, fp)?;
         ser::write_hnsw(&mut body, engine.join_index())?;
         ser::write_hnsw(&mut body, engine.union_index())?;
+        write_engine_meta(&mut body, &table_metas(records))?;
         let mut file = Vec::with_capacity(body.len() + 24);
         ser::write_frame(&mut file, INDEX_MAGIC, &body)?;
         durable::commit_file(&self.dir.join(INDEX_FILE), &file)
     }
 
     fn write_manifest(&self) -> StoreResult<()> {
-        write_manifest_file(&self.dir.join(MANIFEST_FILE), &self.sketch_cfg, &self.entries)
+        let metas: Vec<Option<ShardMeta>> =
+            self.shards.iter().map(|s| s.as_ref().map(|s| s.meta.clone())).collect();
+        write_manifest_file(
+            &self.dir.join(MANIFEST_FILE),
+            &self.sketch_cfg,
+            &self.entries,
+            &metas,
+            &self.tombstones,
+        )
     }
 }
 
-/// Fingerprint of a manifest's contents + sketch config (what the index
-/// cache is keyed on). A free function so `fsck` can compute the expected
-/// fingerprint without a `Catalog`.
+/// Fingerprint of a loose-only manifest's contents + sketch config (what
+/// the index cache is keyed on). A free function so `fsck` can compute
+/// the expected fingerprint without a `Catalog`.
 pub(crate) fn manifest_fingerprint(
     cfg: &SketchConfig,
     entries: &BTreeMap<String, ManifestEntry>,
 ) -> u64 {
+    fingerprint_pairs(cfg, entries.iter().map(|(id, e)| (id.as_str(), e.content_hash)))
+}
+
+/// The fingerprint chain over ascending-id `(id, content_hash)` pairs —
+/// tier-agnostic, so a loose-only catalog and its compacted twin agree.
+pub(crate) fn fingerprint_pairs<'a>(
+    cfg: &SketchConfig,
+    pairs: impl Iterator<Item = (&'a str, u64)>,
+) -> u64 {
     let mut acc = splitmix64(cfg.minhash_k as u64 ^ cfg.seed);
     acc = splitmix64(acc ^ cfg.max_rows as u64);
-    for (id, e) in entries {
+    for (id, content_hash) in pairs {
         acc = splitmix64(acc ^ hash_str(id));
-        acc = splitmix64(acc ^ e.content_hash);
+        acc = splitmix64(acc ^ content_hash);
     }
     acc
 }
@@ -809,25 +1464,31 @@ pub(crate) fn peek_index_fingerprint(path: &Path) -> Option<u64> {
     ser::read_u64(&mut r).ok()
 }
 
-/// Read and fully verify an index cache file: fingerprint plus the join
-/// and union HNSW graphs. Corruption comes back as a typed
-/// [`StoreError::Corrupt`] naming the file and offset. Public so `fsck`
-/// and the corruption tests can drive verification directly (the catalog
-/// itself swallows cache errors and rebuilds).
-pub fn read_index_cache(path: &Path) -> StoreResult<(u64, Hnsw, Hnsw)> {
+/// Read and fully verify an index cache file: fingerprint, the join and
+/// union HNSW graphs, and — when present — the trailing engine-meta
+/// section (`None` for caches written before it existed; the catalog
+/// falls back to validating the graphs against loaded records).
+/// Corruption comes back as a typed [`StoreError::Corrupt`] naming the
+/// file and offset. Public so `fsck` and the corruption tests can drive
+/// verification directly (the catalog itself swallows cache errors and
+/// rebuilds).
+#[allow(clippy::type_complexity)]
+pub fn read_index_cache(path: &Path) -> StoreResult<(u64, Hnsw, Hnsw, Option<Vec<TableMeta>>)> {
     durable::read_file_checked(path, |r| {
         let res = match ser::read_frame(r, INDEX_MAGIC, "TSFM index cache") {
             Ok(ser::Payload::Legacy) => {
+                // v1 caches predate the meta section.
                 let fp = ser::read_u64(r)?;
                 let join = ser::read_hnsw(r)?;
                 let union = ser::read_hnsw(r)?;
-                Ok((fp, join, union))
+                Ok((fp, join, union, None))
             }
             Ok(ser::Payload::Framed(body)) => ser::parse_framed(&body, |s| {
                 let fp = ser::read_u64(s)?;
                 let join = ser::read_hnsw(s)?;
                 let union = ser::read_hnsw(s)?;
-                Ok((fp, join, union))
+                let meta = if s.is_empty() { None } else { Some(read_engine_meta(s)?) };
+                Ok((fp, join, union, meta))
             }),
             Err(e) => Err(e),
         };
@@ -835,13 +1496,68 @@ pub fn read_index_cache(path: &Path) -> StoreResult<(u64, Hnsw, Hnsw)> {
     })
 }
 
+/// Version tag opening the index cache's trailing engine-meta section.
+const ENGINE_META_TAG: u8 = 1;
+
+/// Append the engine-meta section: per table (canonical order), what
+/// [`QueryEngine::from_meta`] needs to reassemble the engine without
+/// records. Presence is signalled purely by trailing bytes — a cache
+/// without it still parses, so pre-section caches stay readable.
+fn write_engine_meta(w: &mut Vec<u8>, metas: &[TableMeta]) -> StoreResult<()> {
+    ser::write_u8(w, ENGINE_META_TAG)?;
+    ser::write_u64(w, metas.len() as u64)?;
+    for m in metas {
+        ser::write_str(w, &m.table_id)?;
+        ser::write_minhash(w, &m.content_snapshot)?;
+        ser::write_u32(w, m.column_names.len() as u32)?;
+        for name in &m.column_names {
+            ser::write_str(w, name)?;
+        }
+    }
+    Ok(())
+}
+
+fn read_engine_meta(s: &mut &[u8]) -> StoreResult<Vec<TableMeta>> {
+    match ser::read_u8(s)? {
+        ENGINE_META_TAG => {}
+        t => return Err(ser::bad(format!("unknown engine-meta section tag {t}"))),
+    }
+    let n = ser::read_u64(s)?;
+    // The payload CRC has already been verified, so `n` is what the
+    // writer put there — but bound it anyway (and grow the vec
+    // geometrically rather than trusting it for one big allocation).
+    if n > (1 << 40) {
+        return Err(ser::bad(format!("unreasonable engine-meta table count {n}")));
+    }
+    let mut out = Vec::new();
+    for _ in 0..n {
+        let table_id = ser::read_str(s)?;
+        let content_snapshot = ser::read_minhash(s)?;
+        let ncols = ser::read_u32(s)?;
+        let mut column_names = Vec::new();
+        for _ in 0..ncols {
+            column_names.push(ser::read_str(s)?);
+        }
+        out.push(TableMeta { table_id, content_snapshot, column_names });
+    }
+    Ok(out)
+}
+
 /// Serialize and durably commit a manifest. Shared by [`Catalog::commit`]
 /// and fsck's repair path (which writes a pruned manifest without a live
 /// catalog).
+///
+/// The shard section (space width, present shard metas, tombstones)
+/// trails the loose entries and is written only when a shard layer
+/// exists — a loose-only catalog's manifest stays byte-identical to
+/// every pre-shard release, so old fixtures (and their index-cache
+/// fingerprints) remain valid.
 pub(crate) fn write_manifest_file(
     path: &Path,
     cfg: &SketchConfig,
     entries: &BTreeMap<String, ManifestEntry>,
+    shards: &[Option<ShardMeta>],
+    tombstones: &BTreeSet<String>,
 ) -> StoreResult<()> {
     let mut body = Vec::new();
     ser::write_u32(&mut body, cfg.minhash_k as u32)?;
@@ -855,6 +1571,23 @@ pub(crate) fn write_manifest_file(
         ser::write_u64(&mut body, e.num_rows)?;
         ser::write_u32(&mut body, e.num_cols)?;
     }
+    if !shards.is_empty() {
+        ser::write_u32(&mut body, shards.len() as u32)?;
+        let present: Vec<&ShardMeta> = shards.iter().flatten().collect();
+        ser::write_u32(&mut body, present.len() as u32)?;
+        for m in present {
+            ser::write_u32(&mut body, m.index)?;
+            ser::write_u64(&mut body, m.generation)?;
+            ser::write_u64(&mut body, m.entry_count)?;
+            ser::write_u64(&mut body, m.total_rows)?;
+            ser::write_u64(&mut body, m.total_cols)?;
+            ser::write_u64(&mut body, m.arena_bytes)?;
+        }
+        ser::write_u32(&mut body, tombstones.len() as u32)?;
+        for id in tombstones {
+            ser::write_str(&mut body, id)?;
+        }
+    }
     let mut file = Vec::with_capacity(body.len() + 24);
     ser::write_frame(&mut file, MANIFEST_MAGIC, &body)?;
     durable::commit_file(path, &file)
@@ -867,17 +1600,75 @@ impl Drop for Catalog {
     }
 }
 
-pub(crate) fn read_manifest(
-    path: &Path,
-) -> StoreResult<(SketchConfig, BTreeMap<String, ManifestEntry>)> {
+pub(crate) type ManifestContents =
+    (SketchConfig, BTreeMap<String, ManifestEntry>, Vec<Option<ShardMeta>>, BTreeSet<String>);
+
+pub(crate) fn read_manifest(path: &Path) -> StoreResult<ManifestContents> {
     durable::read_file_checked(path, |r| {
         let res = match ser::read_frame(r, MANIFEST_MAGIC, "TSFM catalog manifest") {
-            Ok(ser::Payload::Legacy) => read_manifest_body(r),
-            Ok(ser::Payload::Framed(body)) => ser::parse_framed(&body, |s| read_manifest_body(s)),
+            // v1 manifests predate the shard layer.
+            Ok(ser::Payload::Legacy) => {
+                let (cfg, entries) = read_manifest_body(r)?;
+                Ok((cfg, entries, Vec::new(), BTreeSet::new()))
+            }
+            Ok(ser::Payload::Framed(body)) => ser::parse_framed(&body, |s| {
+                let (cfg, entries) = read_manifest_body(s)?;
+                // The shard section is optional: absent means loose-only
+                // (and `parse_framed` still rejects trailing garbage).
+                let (metas, tombstones) =
+                    if s.is_empty() { (Vec::new(), BTreeSet::new()) } else { read_shard_section(s)? };
+                Ok((cfg, entries, metas, tombstones))
+            }),
             Err(e) => Err(e),
         };
         res.map_err(|e| e.into_format("TSFMCAT1"))
     })
+}
+
+fn read_shard_section(
+    r: &mut &[u8],
+) -> StoreResult<(Vec<Option<ShardMeta>>, BTreeSet<String>)> {
+    let space = ser::read_u32(r)? as usize;
+    if space == 0 || space as u64 > shard::MAX_SHARDS || !space.is_power_of_two() {
+        return Err(StoreError::corrupt("TSFMCAT1", format!("implausible shard space {space}")));
+    }
+    let present = ser::read_u32(r)? as usize;
+    if present > space {
+        return Err(StoreError::corrupt(
+            "TSFMCAT1",
+            format!("{present} shards present in a space of {space}"),
+        ));
+    }
+    let mut metas: Vec<Option<ShardMeta>> = vec![None; space];
+    for _ in 0..present {
+        let index = ser::read_u32(r)?;
+        if index as usize >= space || metas[index as usize].is_some() {
+            return Err(StoreError::corrupt(
+                "TSFMCAT1",
+                format!("shard index {index} out of range or duplicated (space {space})"),
+            ));
+        }
+        metas[index as usize] = Some(ShardMeta {
+            index,
+            generation: ser::read_u64(r)?,
+            entry_count: ser::read_u64(r)?,
+            total_rows: ser::read_u64(r)?,
+            total_cols: ser::read_u64(r)?,
+            arena_bytes: ser::read_u64(r)?,
+        });
+    }
+    let tomb_count = ser::read_u32(r)? as usize;
+    if tomb_count > 1 << 24 {
+        return Err(StoreError::corrupt(
+            "TSFMCAT1",
+            format!("unreasonable tombstone count {tomb_count}"),
+        ));
+    }
+    let mut tombstones = BTreeSet::new();
+    for _ in 0..tomb_count {
+        tombstones.insert(ser::read_str(r)?);
+    }
+    Ok((metas, tombstones))
 }
 
 fn read_manifest_body<R: std::io::Read>(
@@ -1164,7 +1955,7 @@ mod tests {
         // Same manifest entries (segment names are content-addressed, so
         // equality covers the file set) and same persisted records.
         assert_eq!(serial.entries, par.entries);
-        for id in serial.iter_ids().map(str::to_string).collect::<Vec<_>>() {
+        for id in serial.table_ids().unwrap() {
             let a = serial.record(&id).unwrap();
             let b = par.record(&id).unwrap();
             assert_eq!(a.sketch.content_snapshot, b.sketch.content_snapshot, "{id}");

@@ -520,6 +520,53 @@ pub fn read_file_checked<T>(
     }
 }
 
+/// Positioned, checksum-verified read: `len` bytes at `offset` of an
+/// already-open arena `file`, verified against `crc` (CRC32C) before a
+/// byte is interpreted. This is the lazy sketch-load path — no seek, no
+/// shared cursor, so any number of snapshot readers can share one handle.
+/// A short read or checksum mismatch is a typed [`StoreError::Corrupt`]
+/// naming the file and offset (counted like every other corruption), and
+/// every read's latency lands in `tsfm_store_arena_read_us`.
+pub fn read_at_checked(
+    file: &File,
+    path: &Path,
+    offset: u64,
+    len: u64,
+    crc: u32,
+    format: &'static str,
+) -> StoreResult<Vec<u8>> {
+    use std::os::unix::fs::FileExt;
+    let t0 = std::time::Instant::now();
+    let mut buf = vec![0u8; len as usize];
+    let res = (|| -> StoreResult<Vec<u8>> {
+        file.read_exact_at(&mut buf, offset).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                StoreError::corrupt(
+                    format,
+                    format!("truncated arena: {len} bytes at offset {offset} past end of file"),
+                )
+            } else {
+                e.into()
+            }
+        })?;
+        let actual = crc32c(&buf);
+        if actual != crc {
+            return Err(StoreError::corrupt(
+                format,
+                format!(
+                    "arena payload checksum mismatch at offset {offset}: \
+                     stored {crc:#010x}, computed {actual:#010x} over {len} bytes"
+                ),
+            ));
+        }
+        Ok(std::mem::take(&mut buf))
+    })();
+    tsfm_obs::metrics::global()
+        .histogram("tsfm_store_arena_read_us", "Positioned arena payload read latency")
+        .record(t0.elapsed().as_micros() as u64);
+    res.map_err(|e| note_corruption(e.with_file(path, offset)))
+}
+
 /// Count a corruption sighting (no-op for other error kinds).
 pub(crate) fn note_corruption(e: StoreError) -> StoreError {
     if matches!(e, StoreError::Corrupt { .. }) {

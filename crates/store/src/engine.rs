@@ -30,7 +30,7 @@ use crate::request::{ColumnMatch, DiscoveryRequest, DiscoveryResponse, HitExplan
 use tsfm_search::{
     near_tables, near_tables_with_provenance, ColumnHit, Hnsw, HnswConfig, Metric, MinHashLsh,
 };
-use tsfm_sketch::{ColumnSketch, TableSketch};
+use tsfm_sketch::{ColumnSketch, MinHash, TableSketch};
 
 /// Which discovery workload a query runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,6 +80,35 @@ impl std::str::FromStr for QueryMode {
             StoreError::invalid(format!("unknown mode {s:?} (valid modes: {})", valid.join(", ")))
         })
     }
+}
+
+/// Per-table assembly metadata: exactly what [`QueryEngine::from_meta`]
+/// needs to reconstruct an engine without touching the full
+/// [`TableRecord`]s — the catalog persists this alongside the HNSW graphs
+/// so a lazy open never has to read sharded sketch payloads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableMeta {
+    pub table_id: String,
+    /// Table-level content snapshot feeding the subset-search LSH.
+    pub content_snapshot: MinHash,
+    /// Column names in sketch order (their count fixes the table's span
+    /// in the column-indexed HNSW graphs).
+    pub column_names: Vec<String>,
+}
+
+/// Extract [`TableMeta`] for `records` in the engine's canonical
+/// (ascending table-id, last-duplicate-wins) order — the exact per-table
+/// inputs [`QueryEngine::assemble`] reads, so
+/// [`QueryEngine::from_meta`] over this output rebuilds the same engine.
+pub fn table_metas(records: &[TableRecord]) -> Vec<TableMeta> {
+    canonical_order(records)
+        .into_iter()
+        .map(|ri| TableMeta {
+            table_id: records[ri].sketch.table_id.clone(),
+            content_snapshot: records[ri].sketch.content_snapshot.clone(),
+            column_names: records[ri].sketch.columns.iter().map(|c| c.name.clone()).collect(),
+        })
+        .collect()
 }
 
 /// One ranked result table.
@@ -214,29 +243,60 @@ impl QueryEngine {
     ) -> StoreResult<Self> {
         let order = canonical_order(records);
         let ncols: usize = order.iter().map(|&ri| records[ri].sketch.columns.len()).sum();
-        if join_index.len() != ncols || union_index.len() != ncols {
-            return Err(StoreError::corrupt(
-                "TSFMIDX1",
-                format!(
-                    "index has {}/{} nodes for {} columns",
-                    join_index.len(),
-                    union_index.len(),
-                    ncols
-                ),
-            ));
-        }
-        let union_dim = 2 * minhash_k + tsfm_sketch::numeric::NUMERIC_SKETCH_DIM;
-        if join_index.dim() != minhash_k || union_index.dim() != union_dim {
-            return Err(StoreError::corrupt(
-                "TSFMIDX1",
-                format!(
-                    "index dims {}/{} do not match signature width {minhash_k}",
-                    join_index.dim(),
-                    union_index.dim()
-                ),
-            ));
-        }
+        check_graphs(ncols, minhash_k, &join_index, &union_index)?;
         Ok(Self::assemble(records, &order, minhash_k, join_index, union_index))
+    }
+
+    /// Build from pre-built HNSW graphs and per-table metadata alone — no
+    /// [`TableRecord`]s (the catalog's lazy-open fast path, fed entirely
+    /// from the index cache). `meta` must be in canonical order (ascending
+    /// unique table ids, as [`table_metas`] produces); ordering, snapshot
+    /// widths, node counts, and dimensions are all validated so a garbled
+    /// cache surfaces as a typed [`StoreError::Corrupt`], never a panic.
+    pub fn from_meta(
+        meta: Vec<TableMeta>,
+        minhash_k: usize,
+        join_index: Hnsw,
+        union_index: Hnsw,
+    ) -> StoreResult<Self> {
+        for w in meta.windows(2) {
+            if w[0].table_id >= w[1].table_id {
+                return Err(StoreError::corrupt(
+                    "TSFMIDX1",
+                    format!(
+                        "engine metadata ids out of order: {:?} then {:?}",
+                        w[0].table_id, w[1].table_id
+                    ),
+                ));
+            }
+        }
+        let ncols: usize = meta.iter().map(|m| m.column_names.len()).sum();
+        check_graphs(ncols, minhash_k, &join_index, &union_index)?;
+        let (bands, rows) = content_banding(minhash_k);
+        let mut content_lsh = MinHashLsh::new(bands, rows);
+        let mut ids = Vec::with_capacity(meta.len());
+        let mut col_owner = Vec::with_capacity(ncols);
+        let mut col_names = Vec::with_capacity(ncols);
+        for (ti, m) in meta.into_iter().enumerate() {
+            // Pre-checked so the LSH's width assertion can never fire.
+            if m.content_snapshot.k() != minhash_k {
+                return Err(StoreError::corrupt(
+                    "TSFMIDX1",
+                    format!(
+                        "table {:?} snapshot width {} does not match signature width {minhash_k}",
+                        m.table_id,
+                        m.content_snapshot.k()
+                    ),
+                ));
+            }
+            content_lsh.add(m.content_snapshot);
+            ids.push(m.table_id);
+            for name in m.column_names {
+                col_owner.push(ti);
+                col_names.push(name);
+            }
+        }
+        Ok(Self { minhash_k, ids, col_owner, col_names, join_index, union_index, content_lsh })
     }
 
     fn assemble(
@@ -543,6 +603,39 @@ impl QueryEngine {
 
 }
 
+/// Validate pre-built HNSW graphs against the corpus shape: both must
+/// hold one node per column at the widths the engine will query them at.
+fn check_graphs(
+    ncols: usize,
+    minhash_k: usize,
+    join_index: &Hnsw,
+    union_index: &Hnsw,
+) -> StoreResult<()> {
+    if join_index.len() != ncols || union_index.len() != ncols {
+        return Err(StoreError::corrupt(
+            "TSFMIDX1",
+            format!(
+                "index has {}/{} nodes for {} columns",
+                join_index.len(),
+                union_index.len(),
+                ncols
+            ),
+        ));
+    }
+    let union_dim = 2 * minhash_k + tsfm_sketch::numeric::NUMERIC_SKETCH_DIM;
+    if join_index.dim() != minhash_k || union_index.dim() != union_dim {
+        return Err(StoreError::corrupt(
+            "TSFMIDX1",
+            format!(
+                "index dims {}/{} do not match signature width {minhash_k}",
+                join_index.dim(),
+                union_index.dim()
+            ),
+        ));
+    }
+    Ok(())
+}
+
 /// Indices of `records` in ascending table-id order, keeping only the last
 /// record of any duplicated id.
 fn canonical_order(records: &[TableRecord]) -> Vec<usize> {
@@ -645,6 +738,66 @@ mod tests {
                 restored.search(&recs[0].sketch, &req(mode, 3)).unwrap().hits
             );
         }
+    }
+
+    #[test]
+    fn from_meta_matches_fresh_build() {
+        let (recs, cfg) = corpus();
+        let built = QueryEngine::build(&recs, cfg.minhash_k, Default::default());
+        let restored = QueryEngine::from_meta(
+            table_metas(&recs),
+            cfg.minhash_k,
+            tsfm_search::Hnsw::from_snapshot(built.join_index().snapshot()).unwrap(),
+            tsfm_search::Hnsw::from_snapshot(built.union_index().snapshot()).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(restored.table_ids(), built.table_ids());
+        for mode in QueryMode::ALL {
+            let r = DiscoveryRequest::builder(mode).k(3).explain(mode != QueryMode::Subset).build().unwrap();
+            for rec in &recs {
+                let a = built.search(&rec.sketch, &r).unwrap();
+                let b = restored.search(&rec.sketch, &r).unwrap();
+                assert_eq!(a.hits, b.hits, "mode {mode}");
+                assert_eq!(a.explanations, b.explanations, "mode {mode}");
+            }
+        }
+    }
+
+    #[test]
+    fn from_meta_rejects_unordered_or_mismatched_meta() {
+        let (recs, cfg) = corpus();
+        let built = QueryEngine::build(&recs, cfg.minhash_k, Default::default());
+        let graphs = || {
+            (
+                tsfm_search::Hnsw::from_snapshot(built.join_index().snapshot()).unwrap(),
+                tsfm_search::Hnsw::from_snapshot(built.union_index().snapshot()).unwrap(),
+            )
+        };
+        // Out-of-order ids.
+        let mut meta = table_metas(&recs);
+        meta.swap(0, 1);
+        let (j, u) = graphs();
+        let Err(err) = QueryEngine::from_meta(meta, cfg.minhash_k, j, u) else {
+            panic!("unordered meta must be rejected")
+        };
+        assert!(matches!(err, StoreError::Corrupt { .. }), "{err}");
+        assert!(err.to_string().contains("out of order"), "{err}");
+        // A dropped table leaves the graphs with too many nodes.
+        let mut meta = table_metas(&recs);
+        meta.pop();
+        let (j, u) = graphs();
+        let Err(err) = QueryEngine::from_meta(meta, cfg.minhash_k, j, u) else {
+            panic!("undersized meta must be rejected")
+        };
+        assert!(matches!(err, StoreError::Corrupt { .. }), "{err}");
+        // A snapshot of the wrong width is caught before the LSH asserts.
+        let mut meta = table_metas(&recs);
+        meta[0].content_snapshot = MinHash { sig: vec![1, 2] };
+        let (j, u) = graphs();
+        let Err(err) = QueryEngine::from_meta(meta, cfg.minhash_k, j, u) else {
+            panic!("wrong-width snapshot must be rejected")
+        };
+        assert!(err.to_string().contains("snapshot width"), "{err}");
     }
 
     #[test]

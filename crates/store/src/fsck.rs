@@ -3,28 +3,32 @@
 //!
 //! [`fsck`] walks a catalog directory and verifies everything the serving
 //! path trusts: the manifest frame, every segment's CRC32C and its
-//! agreement with the manifest entry (content hash *and* table id),
-//! missing and orphaned segment files, leftover `.tmp` staging files, and
-//! the index cache (checksum + fingerprint). Damage is reported as typed
-//! [`Problem`]s and rendered as one structured JSON object.
+//! agreement with the manifest entry (content hash *and* table id), every
+//! shard's manifest + arena (header, offset table, and a CRC-verified
+//! positioned read of each active slot), missing and orphaned files in
+//! both tiers, leftover `.tmp` staging files, and the index cache
+//! (checksum + fingerprint over the merged loose+sharded contents).
+//! Damage is reported as typed [`Problem`]s and rendered as one
+//! structured JSON object.
 //!
 //! With `repair = true` a damaged store degrades to a smaller-but-correct
 //! one instead of refusing to open: bad segments are quarantined (moved
 //! to `<dir>/quarantine/`, never deleted — an operator can recover bytes
-//! from them), their manifest entries dropped, `.tmp` garbage removed,
-//! the pruned manifest committed durably, and the HNSW index cache
-//! rebuilt. The one thing repair will not invent is the manifest itself:
-//! the sketch configuration is not recoverable from segments alone, so a
-//! corrupt manifest is reported and left for restore-from-backup.
+//! from them), their manifest entries dropped, a damaged *shard* is
+//! quarantined as a unit (both its files; the other shards keep serving),
+//! `.tmp` garbage removed, the pruned manifest committed durably, and the
+//! HNSW index cache rebuilt. The one thing repair will not invent is the
+//! manifest itself: the sketch configuration is not recoverable from
+//! segments alone, so a corrupt manifest is reported and left for
+//! restore-from-backup.
 
-use crate::catalog::{
-    self, manifest_fingerprint, read_index_cache, Catalog, ManifestEntry,
-};
+use crate::catalog::{self, fingerprint_pairs, read_index_cache, Catalog, ManifestEntry};
 use crate::durable;
 use crate::error::{StoreError, StoreResult};
 use crate::ser;
+use crate::shard::{self, ArenaIndex, ShardManifest, ShardMeta};
 use crate::wire::escape_json;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs::{self, File};
 use std::io::BufReader;
 use std::path::{Path, PathBuf};
@@ -57,6 +61,15 @@ pub enum ProblemKind {
     /// A segment file no manifest entry references (e.g. written by a
     /// crashed ingest whose manifest never committed).
     OrphanSegment,
+    /// A shard manifest or arena fails its checksum, disagrees with the
+    /// root manifest, or holds a slot whose payload disagrees with the
+    /// shard's own entry.
+    CorruptShard,
+    /// The root manifest references a shard file that does not exist.
+    MissingShard,
+    /// A file under `shards/` no root-manifest meta references (e.g.
+    /// written by a crashed compaction whose root flip never happened).
+    OrphanShard,
     /// A leftover `.tmp` staging file from an interrupted commit.
     TmpFile,
 }
@@ -68,6 +81,9 @@ impl ProblemKind {
             ProblemKind::CorruptSegment => "corrupt_segment",
             ProblemKind::MissingSegment => "missing_segment",
             ProblemKind::OrphanSegment => "orphan_segment",
+            ProblemKind::CorruptShard => "corrupt_shard",
+            ProblemKind::MissingShard => "missing_shard",
+            ProblemKind::OrphanShard => "orphan_shard",
             ProblemKind::TmpFile => "tmp_file",
         }
     }
@@ -229,7 +245,7 @@ pub fn fsck(dir: &Path, repair: bool) -> StoreResult<FsckReport> {
     };
 
     let manifest = catalog::read_manifest(&manifest_path);
-    let (cfg, entries) = match manifest {
+    let (cfg, entries, metas, tombstones) = match manifest {
         Ok(v) => v,
         Err(e) => {
             report.problems.push(Problem {
@@ -250,7 +266,9 @@ pub fn fsck(dir: &Path, repair: bool) -> StoreResult<FsckReport> {
             return Ok(report);
         }
     };
-    report.tables = entries.len();
+    let sharded_total: u64 = metas.iter().flatten().map(|m| m.entry_count).sum();
+    report.tables = entries.len()
+        + sharded_total.saturating_sub(tombstones.len() as u64) as usize;
 
     // ---- segments: every checksum, every manifest agreement ----
     let seg_dir = dir.join(catalog::SEGMENT_DIR);
@@ -302,6 +320,149 @@ pub fn fsck(dir: &Path, repair: bool) -> StoreResult<FsckReport> {
         }
     }
 
+    // ---- shard layer: manifests, arenas, every active slot ----
+    let shard_dir = dir.join(shard::SHARD_DIR);
+    let space = metas.len() as u32;
+    let mut bad_shards: Vec<u32> = Vec::new();
+    let mut shard_quarantine: Vec<PathBuf> = Vec::new();
+    let mut shard_dropped: Vec<String> = Vec::new();
+    let mut shard_manifests: Vec<Option<ShardManifest>> = vec![None; metas.len()];
+    for meta in metas.iter().flatten() {
+        let srel = format!("{}/{}", shard::SHARD_DIR, meta.shard_file());
+        let arel = format!("{}/{}", shard::SHARD_DIR, meta.arena_file());
+        let spath = shard_dir.join(meta.shard_file());
+        let apath = shard_dir.join(meta.arena_file());
+        let mut shard_ok = true;
+
+        let sm = if spath.exists() {
+            match shard::read_shard_manifest(&spath) {
+                Ok(m) => {
+                    if m.index != meta.index
+                        || m.generation != meta.generation
+                        || m.shard_count != space
+                        || m.entries.len() as u64 != meta.entry_count
+                    {
+                        report.problems.push(Problem {
+                            kind: ProblemKind::CorruptShard,
+                            file: srel.clone(),
+                            table: None,
+                            detail: format!(
+                                "shard file says (shard {} of {}, generation {}, {} entries); \
+                                 root manifest says (shard {} of {space}, generation {}, {} \
+                                 entries)",
+                                m.index,
+                                m.shard_count,
+                                m.generation,
+                                m.entries.len(),
+                                meta.index,
+                                meta.generation,
+                                meta.entry_count
+                            ),
+                        });
+                        shard_ok = false;
+                    }
+                    Some(m)
+                }
+                Err(e) => {
+                    report.problems.push(Problem {
+                        kind: ProblemKind::CorruptShard,
+                        file: srel.clone(),
+                        table: None,
+                        detail: e.to_string(),
+                    });
+                    shard_ok = false;
+                    None
+                }
+            }
+        } else {
+            report.problems.push(Problem {
+                kind: ProblemKind::MissingShard,
+                file: srel.clone(),
+                table: None,
+                detail: "root manifest references a shard file that is not on disk".to_string(),
+            });
+            shard_ok = false;
+            None
+        };
+
+        match ArenaIndex::open(&apath, meta) {
+            Ok(arena) => {
+                // A CRC-verified positioned read of every *active* slot
+                // (tombstoned or loose-shadowed slots are dead data).
+                if let Some(m) = sm.as_ref().filter(|_| shard_ok) {
+                    for (i, e) in m.entries.iter().enumerate() {
+                        if tombstones.contains(&e.id) || entries.contains_key(&e.id) {
+                            continue;
+                        }
+                        let slot_ok = match arena.read_record(i) {
+                            Ok(rec) => {
+                                if rec.content_hash == e.content_hash && rec.table_id() == e.id {
+                                    Ok(())
+                                } else {
+                                    Err(format!(
+                                        "slot {i} holds table {:?} hash {:#x}, shard manifest \
+                                         expects {:?} hash {:#x}",
+                                        rec.table_id(),
+                                        rec.content_hash,
+                                        e.id,
+                                        e.content_hash
+                                    ))
+                                }
+                            }
+                            Err(err) => Err(err.to_string()),
+                        };
+                        match slot_ok {
+                            Ok(()) => report.segments_ok += 1,
+                            Err(detail) => {
+                                report.problems.push(Problem {
+                                    kind: ProblemKind::CorruptShard,
+                                    file: arel.clone(),
+                                    table: Some(e.id.clone()),
+                                    detail,
+                                });
+                                shard_ok = false;
+                            }
+                        }
+                    }
+                }
+            }
+            Err(err) => {
+                let kind = match &err {
+                    StoreError::Io(io) if io.kind() == std::io::ErrorKind::NotFound => {
+                        ProblemKind::MissingShard
+                    }
+                    _ => ProblemKind::CorruptShard,
+                };
+                report.problems.push(Problem {
+                    kind,
+                    file: arel.clone(),
+                    table: None,
+                    detail: err.to_string(),
+                });
+                shard_ok = false;
+            }
+        }
+
+        if shard_ok {
+            shard_manifests[meta.index as usize] = sm;
+        } else {
+            bad_shards.push(meta.index);
+            for p in [&spath, &apath] {
+                if p.exists() {
+                    shard_quarantine.push(p.clone());
+                }
+            }
+            if let Some(m) = &sm {
+                shard_dropped.extend(
+                    m.entries
+                        .iter()
+                        .filter(|e| !tombstones.contains(&e.id) && !entries.contains_key(&e.id))
+                        .map(|e| e.id.clone()),
+                );
+            }
+        }
+    }
+
     // ---- orphans and staging leftovers ----
     let referenced: std::collections::BTreeSet<&str> =
         entries.values().map(|e| e.segment.as_str()).collect();
@@ -336,6 +497,43 @@ pub fn fsck(dir: &Path, repair: bool) -> StoreResult<FsckReport> {
             }
         }
     }
+    // Files under shards/ no root-manifest meta references: leftovers of
+    // a compaction that crashed before its root-manifest flip.
+    if shard_dir.is_dir() {
+        let shard_referenced: BTreeSet<String> = metas
+            .iter()
+            .flatten()
+            .flat_map(|m| [m.shard_file(), m.arena_file()])
+            .collect();
+        let mut names: Vec<String> = fs::read_dir(&shard_dir)?
+            .filter_map(|e| e.ok().map(|e| e.file_name().to_string_lossy().to_string()))
+            .collect();
+        names.sort();
+        for name in names {
+            if shard_referenced.contains(&name) {
+                continue;
+            }
+            let path = shard_dir.join(&name);
+            let rel = format!("{}/{name}", shard::SHARD_DIR);
+            if name.ends_with(".tmp") {
+                report.problems.push(Problem {
+                    kind: ProblemKind::TmpFile,
+                    file: rel,
+                    table: None,
+                    detail: "staging file left by an interrupted commit".to_string(),
+                });
+                tmp_files.push(path);
+            } else {
+                report.problems.push(Problem {
+                    kind: ProblemKind::OrphanShard,
+                    file: rel,
+                    table: None,
+                    detail: "no root-manifest shard references this file".to_string(),
+                });
+                shard_quarantine.push(path);
+            }
+        }
+    }
     for staging in ["catalog.tmp", "index.tmp"] {
         let path = dir.join(staging);
         if path.exists() {
@@ -350,10 +548,28 @@ pub fn fsck(dir: &Path, repair: bool) -> StoreResult<FsckReport> {
     }
 
     // ---- index cache ----
+    // The fingerprint covers the merged active contents of both tiers;
+    // with any shard unreadable the expected value is unknowable, so a
+    // readable cache degrades to Stale (rebuilt on repair), not Corrupt.
+    let merged_fp = if bad_shards.is_empty() {
+        let mut pairs: Vec<(&str, u64)> =
+            entries.iter().map(|(id, e)| (id.as_str(), e.content_hash)).collect();
+        for m in shard_manifests.iter().flatten() {
+            for e in &m.entries {
+                if !tombstones.contains(&e.id) && !entries.contains_key(&e.id) {
+                    pairs.push((e.id.as_str(), e.content_hash));
+                }
+            }
+        }
+        pairs.sort_unstable();
+        Some(fingerprint_pairs(&cfg, pairs.into_iter()))
+    } else {
+        None
+    };
     let index_path = dir.join(catalog::INDEX_FILE);
     report.index_cache = if index_path.exists() {
         match read_index_cache(&index_path) {
-            Ok((fp, _, _)) if fp == manifest_fingerprint(&cfg, &entries) => IndexCacheState::Valid,
+            Ok((fp, ..)) if merged_fp == Some(fp) => IndexCacheState::Valid,
             Ok(_) => IndexCacheState::Stale,
             Err(e) => IndexCacheState::Corrupt(e.to_string()),
         }
@@ -370,6 +586,13 @@ pub fn fsck(dir: &Path, repair: bool) -> StoreResult<FsckReport> {
             &quarantine,
             &tmp_files,
             &report.index_cache,
+            &ShardRepair {
+                metas: &metas,
+                tombstones: &tombstones,
+                bad_shards: &bad_shards,
+                quarantine: &shard_quarantine,
+                dropped: &shard_dropped,
+            },
         )?;
         if summary.actions() > 0 {
             tsfm_obs::metrics::global()
@@ -387,6 +610,18 @@ fn frame_version(path: &Path) -> Option<u32> {
     ser::read_frame_header(&mut r, ser::SEGMENT_MAGIC, "TSFM segment").ok()
 }
 
+/// The shard-layer inputs to [`run_repair`], bundled.
+struct ShardRepair<'a> {
+    metas: &'a [Option<ShardMeta>],
+    tombstones: &'a BTreeSet<String>,
+    /// Indices of shards to quarantine as a unit.
+    bad_shards: &'a [u32],
+    /// Shard-layer files (bad shards' pairs + orphans) to move aside.
+    quarantine: &'a [PathBuf],
+    /// Active table ids lost with the bad shards (where known).
+    dropped: &'a [String],
+}
+
 #[allow(clippy::too_many_arguments)]
 fn run_repair(
     dir: &Path,
@@ -396,6 +631,7 @@ fn run_repair(
     quarantine: &[PathBuf],
     tmp_files: &[PathBuf],
     index_state: &IndexCacheState,
+    shards: &ShardRepair<'_>,
 ) -> StoreResult<RepairSummary> {
     let mut summary = RepairSummary::default();
 
@@ -410,6 +646,17 @@ fn run_repair(
         }
         durable::sync_dir(&dir.join(catalog::SEGMENT_DIR))?;
     }
+    if !shards.quarantine.is_empty() {
+        let qdir = dir.join(QUARANTINE_DIR);
+        fs::create_dir_all(&qdir)?;
+        for path in shards.quarantine {
+            let name = path.file_name().map(|n| n.to_string_lossy().to_string());
+            let Some(name) = name else { continue };
+            fs::rename(path, qdir.join(&name))?;
+            summary.quarantined.push(format!("{QUARANTINE_DIR}/{name}"));
+        }
+        durable::sync_dir(&dir.join(shard::SHARD_DIR))?;
+    }
     for path in tmp_files {
         fs::remove_file(path)?;
         summary
@@ -418,18 +665,39 @@ fn run_repair(
     }
 
     let entries_changed = !bad_tables.is_empty();
-    if entries_changed {
+    let shards_changed = !shards.bad_shards.is_empty();
+    if entries_changed || shards_changed {
         let mut pruned = entries.clone();
         for id in bad_tables {
             pruned.remove(id);
             summary.dropped_tables.push(id.clone());
         }
-        catalog::write_manifest_file(&dir.join(catalog::MANIFEST_FILE), cfg, &pruned)?;
+        summary.dropped_tables.extend(shards.dropped.iter().cloned());
+        summary.dropped_tables.sort_unstable();
+        // A quarantined shard leaves a hole in the space (its slice of
+        // the namespace is empty until the next compaction heals it);
+        // tombstones pointing into a hole mark nothing and are dropped.
+        let mut metas_after = shards.metas.to_vec();
+        for &i in shards.bad_shards {
+            metas_after[i as usize] = None;
+        }
+        let mut tombs_after = shards.tombstones.clone();
+        if !metas_after.is_empty() {
+            let space = metas_after.len() as u32;
+            tombs_after.retain(|id| metas_after[shard::shard_of(id, space) as usize].is_some());
+        }
+        catalog::write_manifest_file(
+            &dir.join(catalog::MANIFEST_FILE),
+            cfg,
+            &pruned,
+            &metas_after,
+            &tombs_after,
+        )?;
     }
 
     // Rebuild derived state whenever it cannot be trusted as-is: the
     // manifest changed under it, or it was stale/corrupt to begin with.
-    if entries_changed || !matches!(index_state, IndexCacheState::Valid) {
+    if entries_changed || shards_changed || !matches!(index_state, IndexCacheState::Valid) {
         let _ = fs::remove_file(dir.join(catalog::INDEX_FILE));
         let mut cat = Catalog::open_with(dir, cfg.clone())?;
         cat.searcher()?;

@@ -26,6 +26,10 @@
 //! * [`Catalog`] — a directory-backed catalog with incremental ingest
 //!   (unchanged sources are detected by content hash and skipped), an
 //!   epoch counter bumped by every mutation, and an on-disk index cache;
+//! * [`shard`] — the million-table layer: hash-partitioned shard
+//!   manifests (`TSFMSHD1`) plus flat sketch arenas (`TSFMARN1`) read by
+//!   positioned I/O, so opening a compacted catalog is O(shards) and
+//!   lazy snapshots load sketches on demand through an LRU cache;
 //! * [`Searcher`] — the read path: an immutable `Send + Sync` snapshot
 //!   ([`Arc`](std::sync::Arc)-shared [`QueryEngine`] + corpus sketches)
 //!   taken via [`Catalog::searcher`], queried concurrently without locks;
@@ -64,11 +68,12 @@ pub mod request;
 pub mod searcher;
 pub mod ser;
 pub mod serve;
+pub mod shard;
 pub mod wire;
 
-pub use catalog::{Catalog, CatalogStats, IngestOutcome, IngestReport, ManifestEntry};
+pub use catalog::{Catalog, CatalogStats, IngestOutcome, IngestReport, ManifestEntry, SnapshotMode};
 pub use fsck::{FsckReport, IndexCacheState, Problem, ProblemKind, RepairSummary};
-pub use engine::{QueryEngine, QueryMode, TableHit};
+pub use engine::{table_metas, QueryEngine, QueryMode, TableHit, TableMeta};
 pub use error::{StoreError, StoreResult};
 pub use record::TableRecord;
 pub use request::{

@@ -11,9 +11,12 @@
 //! | `TSFMSEG1` | one [`TableRecord`]: sketch bundle + embeddings     |
 //! | `TSFMEMB1` | a dense `rows × dim` `f32` embedding matrix (also a section of every segment: the per-column embeddings) |
 //! | `TSFMHNS1` | an [`Hnsw`] graph (vectors + neighbour lists + RNG) |
+//! | `TSFMSHD1` | one shard manifest: table metadata for a hash-prefix slice of the catalog |
+//! | `TSFMARN1` | a flat sketch arena: fixed-width offset table + concatenated `TSFMSEG1` payloads, read positionally |
 //!
 //! The catalog manifest (`TSFMCAT1`) and index cache (`TSFMIDX1`) formats
-//! live in [`crate::catalog`] and are built from these primitives.
+//! live in [`crate::catalog`], the shard manifest and arena formats in
+//! [`crate::shard`]; all are built from these primitives.
 //!
 //! ## Frame versions
 //!
@@ -43,6 +46,8 @@ pub const EMBEDDING_MAGIC: &[u8; 8] = b"TSFMEMB1";
 pub const HNSW_MAGIC: &[u8; 8] = b"TSFMHNS1";
 pub const MANIFEST_MAGIC: &[u8; 8] = b"TSFMCAT1";
 pub const INDEX_MAGIC: &[u8; 8] = b"TSFMIDX1";
+pub const SHARD_MAGIC: &[u8; 8] = b"TSFMSHD1";
+pub const ARENA_MAGIC: &[u8; 8] = b"TSFMARN1";
 
 /// Current version written into every container (checksummed frames).
 pub const FORMAT_VERSION: u32 = 2;

@@ -41,21 +41,24 @@ fn table(id: &str, rows: usize, salt: u64) -> Table {
     csv::table_from_csv(id, id, &text)
 }
 
-/// Committed, unfaulted baseline: tables `a` and `b`, index cache built.
-/// This state is acknowledged — every crash below must preserve it until
-/// a later commit supersedes it.
+/// Committed, unfaulted baseline: tables `a` and `b` compacted into the
+/// shard tier, index cache built. This state is acknowledged — every
+/// crash below must preserve it until a later commit supersedes it.
 fn build_baseline(dir: &Path) {
     let mut cat = Catalog::open(dir).expect("baseline open");
     cat.add_table(&table("a", 4, 1), 10).expect("baseline add a");
     cat.add_table(&table("b", 5, 2), 20).expect("baseline add b");
     cat.searcher().expect("baseline searcher");
-    cat.commit().expect("baseline commit");
+    cat.compact().expect("baseline compact");
 }
 
 /// The faulted workload: add `c`, rewrite `b`, drop `a`, commit, rebuild
-/// the index. Returns whether `commit()` was acknowledged before any
-/// fault fired. Every error is swallowed — after the injected fault trips
-/// the plan poisons all later durable ops, simulating a hard crash.
+/// the index. The commit's churn (two loose writes shadowing / removing
+/// two shard residents) trips the auto-compaction heuristic, so the sweep
+/// also walks every fault site inside shard + arena rewriting. Returns
+/// whether `commit()` was acknowledged before any fault fired. Every
+/// error is swallowed — after the injected fault trips the plan poisons
+/// all later durable ops, simulating a hard crash.
 fn mutate(dir: &Path) -> bool {
     let mut acked = false;
     let _ = (|| -> StoreResult<()> {
@@ -80,7 +83,11 @@ const COMMITTED: &[&str] = &["b", "c"];
 /// back as a message for the sweep to report alongside its site number.
 fn probe(dir: &Path, acked: bool) -> Result<(), String> {
     let mut cat = Catalog::open(dir).map_err(|e| format!("reopen failed: {e}"))?;
-    let ids: BTreeSet<String> = cat.iter_ids().map(str::to_string).collect();
+    let ids: BTreeSet<String> = cat
+        .table_ids()
+        .map_err(|e| format!("table_ids failed: {e}"))?
+        .into_iter()
+        .collect();
     let as_set = |ids: &[&str]| ids.iter().map(|s| (*s).to_string()).collect::<BTreeSet<_>>();
     let legal: &[&[&str]] = if acked { &[COMMITTED] } else { &[BASELINE, COMMITTED] };
     if !legal.iter().any(|want| ids == as_set(want)) {

@@ -16,6 +16,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use tsfm_store::ser::{
     read_embedding_matrix, read_hnsw, read_record, write_embedding_matrix, write_hnsw,
 };
+use tsfm_store::shard::{read_shard_manifest, ArenaIndex, ShardMeta};
 use tsfm_store::{catalog, Catalog, StoreError};
 use tsfm_table::csv;
 use tsfm_search::{Hnsw, HnswConfig, Metric};
@@ -124,6 +125,78 @@ fn embedding_bytes(rows: usize, dim: usize, seed: u64) -> Vec<u8> {
     let mut buf = Vec::new();
     write_embedding_matrix(&mut buf, &matrix, dim).expect("serialize");
     buf
+}
+
+/// A committed, compacted shard — `TSFMSHD1` manifest bytes, `TSFMARN1`
+/// arena bytes, and the root-manifest metadata needed to open the arena
+/// — built by the real compaction path.
+fn sharded_bytes(tables: usize) -> (Vec<u8>, Vec<u8>, ShardMeta) {
+    let dir = tmp_dir("make_shard");
+    let mut cat = Catalog::open(&dir).expect("open");
+    for i in 0..tables {
+        let t = csv::table_from_csv(
+            &format!("t{i}"),
+            &format!("t{i}"),
+            &format!("city,pop\nWels{i},{}\n", 400 + i),
+        );
+        cat.add_table(&t, i as u64 + 1).expect("add");
+    }
+    cat.compact().expect("compact");
+    drop(cat);
+    let mut shard_path = None;
+    let mut arena_path = None;
+    for e in std::fs::read_dir(dir.join("shards")).expect("shards dir") {
+        let p = e.expect("dirent").path();
+        match p.extension().and_then(|x| x.to_str()) {
+            Some("shard") => shard_path = Some(p),
+            Some("arena") => arena_path = Some(p),
+            _ => {}
+        }
+    }
+    let (shard_path, arena_path) = (shard_path.expect("shard file"), arena_path.expect("arena"));
+    let m = read_shard_manifest(&shard_path).expect("valid shard manifest");
+    let meta = ShardMeta {
+        index: m.index,
+        generation: m.generation,
+        entry_count: m.entries.len() as u64,
+        total_rows: 0,
+        total_cols: 0,
+        arena_bytes: std::fs::metadata(&arena_path).expect("arena meta").len(),
+    };
+    let shard = std::fs::read(shard_path).expect("read shard");
+    let arena = std::fs::read(arena_path).expect("read arena");
+    let _ = std::fs::remove_dir_all(&dir);
+    (shard, arena, meta)
+}
+
+/// Run `read_shard_manifest` over raw bytes staged as a file (its entry
+/// point takes a path, like the catalog open path that calls it).
+fn read_shard_bytes(bytes: &[u8]) -> Result<usize, StoreError> {
+    let dir = tmp_dir("read_shard");
+    let path = dir.join("probe.shard");
+    std::fs::write(&path, bytes).unwrap();
+    let res = read_shard_manifest(&path).map(|m| m.entries.len());
+    let _ = std::fs::remove_dir_all(&dir);
+    res
+}
+
+/// Open staged arena bytes against `meta` and drag every slot through
+/// both the raw positioned read and the record decode — the full lazy
+/// read path a corrupt arena would hit in production.
+fn probe_arena(bytes: &[u8], meta: &ShardMeta) -> Result<(), StoreError> {
+    let dir = tmp_dir("read_arena");
+    let path = dir.join(meta.arena_file());
+    std::fs::write(&path, bytes).unwrap();
+    let res = (|| {
+        let arena = ArenaIndex::open(&path, meta)?;
+        for slot in 0..arena.slots.len() {
+            arena.read_payload(slot)?;
+            arena.read_record(slot)?;
+        }
+        Ok(())
+    })();
+    let _ = std::fs::remove_dir_all(&dir);
+    res
 }
 
 /// Re-open a catalog whose manifest has been replaced by `bytes`; the
@@ -268,6 +341,78 @@ proptest! {
             Err(StoreError::Corrupt { format, .. }) => prop_assert_eq!(format, "TSFMEMB1"),
             Err(other) => prop_assert!(false, "non-Corrupt error: {other:?}"),
             Ok(_) => prop_assert!(false, "flipped bit at {pos} (bit {bit}) went undetected"),
+        }
+    }
+}
+
+// The shard-layer properties compact a real catalog per case — keep the
+// case count lower, like the index-cache block below.
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Every strict prefix of a committed `TSFMSHD1` shard manifest is a
+    /// typed `Corrupt` error naming the shard format — never a panic.
+    #[test]
+    fn prop_truncated_shard_manifest_is_corrupt(tables in 1usize..6, frac in 0.0f64..1.0) {
+        let (shard, _, _) = sharded_bytes(tables);
+        let cut = ((shard.len() - 1) as f64 * frac) as usize;
+        match read_shard_bytes(&shard[..cut]) {
+            Err(StoreError::Corrupt { format, .. }) => prop_assert_eq!(format, "TSFMSHD1"),
+            Err(StoreError::Io(_)) => {} // zero-length file reads as io
+            Err(other) => prop_assert!(false, "unexpected error: {other:?}"),
+            Ok(_) => prop_assert!(false, "truncated shard manifest parsed"),
+        }
+    }
+
+    /// Any single flipped bit in a committed `TSFMSHD1` shard manifest is
+    /// a typed `Corrupt` error — the v2 frame CRC covers the whole body.
+    #[test]
+    fn prop_garbled_shard_manifest_is_detected(tables in 1usize..6, pos_frac in 0.0f64..1.0, bit in 0u8..8) {
+        let (mut shard, _, _) = sharded_bytes(tables);
+        let pos = ((shard.len() - 1) as f64 * pos_frac) as usize;
+        shard[pos] ^= 1 << bit;
+        match read_shard_bytes(&shard) {
+            Err(StoreError::Corrupt { format, .. }) => prop_assert_eq!(format, "TSFMSHD1"),
+            Err(other) => prop_assert!(false, "non-Corrupt error: {other:?}"),
+            Ok(_) => prop_assert!(false, "flipped bit at {pos} (bit {bit}) went undetected"),
+        }
+    }
+
+    /// Every strict prefix of a `TSFMARN1` arena dies on the length check
+    /// against the root manifest before any offset in it is trusted, as a
+    /// typed `Corrupt` naming the shard file and an offset.
+    #[test]
+    fn prop_truncated_arena_is_corrupt(tables in 1usize..6, frac in 0.0f64..1.0) {
+        let (_, arena, meta) = sharded_bytes(tables);
+        let cut = ((arena.len() - 1) as f64 * frac) as usize;
+        match probe_arena(&arena[..cut], &meta) {
+            Err(StoreError::Corrupt { format, file, offset, .. }) => {
+                prop_assert_eq!(format, "TSFMARN1");
+                prop_assert!(file.is_some(), "corruption must name the arena file");
+                prop_assert!(offset.is_some(), "corruption must name an offset");
+            }
+            Err(other) => prop_assert!(false, "non-Corrupt error: {other:?}"),
+            Ok(()) => prop_assert!(false, "truncated arena opened"),
+        }
+    }
+
+    /// Any single flipped bit anywhere in a `TSFMARN1` arena — header,
+    /// offset table, or payload region — surfaces as a typed `Corrupt`
+    /// error with file + offset attribution somewhere on the lazy read
+    /// path (open, positioned payload read, or record decode). Never a
+    /// panic, never a silently different sketch.
+    #[test]
+    fn prop_garbled_arena_is_detected(tables in 1usize..6, pos_frac in 0.0f64..1.0, bit in 0u8..8) {
+        let (_, mut arena, meta) = sharded_bytes(tables);
+        let pos = ((arena.len() - 1) as f64 * pos_frac) as usize;
+        arena[pos] ^= 1 << bit;
+        match probe_arena(&arena, &meta) {
+            Err(StoreError::Corrupt { file, offset, .. }) => {
+                prop_assert!(file.is_some(), "corruption must name the arena file");
+                prop_assert!(offset.is_some(), "corruption must name an offset");
+            }
+            Err(other) => prop_assert!(false, "non-Corrupt error: {other:?}"),
+            Ok(()) => prop_assert!(false, "flipped bit at {pos} (bit {bit}) went undetected"),
         }
     }
 }

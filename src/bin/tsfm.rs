@@ -10,6 +10,7 @@
 //! tsfm stats  <catalog-dir>                               catalog summary
 //! tsfm stats  --addr HOST:PORT                            live-server stats + metrics
 //! tsfm fsck   <catalog-dir> [--repair]                    verify checksums, repair damage
+//! tsfm compact <catalog-dir>                              fold loose segments into shards
 //! ```
 //!
 //! Modes: `join` (default), `union`, `subset`. Re-running `ingest` on an
@@ -63,7 +64,8 @@ const USAGE: &str = "usage:
               [--write-timeout-ms N] [--max-line-bytes N] [--reload-ms N]
   tsfm stats  <catalog-dir>
   tsfm stats  --addr HOST:PORT
-  tsfm fsck   <catalog-dir> [--repair]";
+  tsfm fsck   <catalog-dir> [--repair]
+  tsfm compact <catalog-dir>";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -75,6 +77,7 @@ fn main() -> ExitCode {
         // fsck owns its exit codes: 0 consistent (possibly after repair),
         // 1 unrepaired damage, 2 usage/environment.
         Some("fsck") => return cmd_fsck(&args[1..]),
+        Some("compact") => cmd_compact(&args[1..]),
         Some("--help" | "-h" | "help") => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -448,6 +451,27 @@ fn cmd_fsck(args: &[String]) -> ExitCode {
     }
 }
 
+/// `tsfm compact <catalog-dir>` — fold every loose segment and tombstone
+/// into the sharded tier (`shards/sNNN-*.{shard,arena}`). This is also
+/// the monolithic→sharded migration path: run it once against a catalog
+/// written by an older release and subsequent opens read only the root
+/// manifest plus fixed-size shard headers instead of every segment.
+fn cmd_compact(args: &[String]) -> Result<(), String> {
+    let [catalog_dir] = args else {
+        return Err(USAGE.to_string());
+    };
+    let mut cat = Catalog::open(catalog_dir).map_err(|e| format!("open {catalog_dir}: {e}"))?;
+    let tables = cat.len();
+    let started = std::time::Instant::now();
+    cat.compact().map_err(|e| format!("compact {catalog_dir}: {e}"))?;
+    println!(
+        "compacted {catalog_dir}: {tables} tables into {} shard(s) in {}ms",
+        cat.shard_count(),
+        started.elapsed().as_millis()
+    );
+    Ok(())
+}
+
 fn cmd_stats(args: &[String]) -> Result<(), String> {
     if args.first().map(String::as_str) == Some("--addr") {
         let [_, addr] = args else {
@@ -467,6 +491,7 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     println!("  segment bytes {}", s.segment_bytes);
     println!("  minhash k     {}", s.minhash_k);
     println!("  index cached  {}", s.index_cached);
+    println!("  shards        {}", s.shards);
     Ok(())
 }
 

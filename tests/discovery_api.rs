@@ -93,7 +93,7 @@ fn eight_threads_match_serial_results() {
 
     // And the parallel batch fan-out agrees with the same ground truth.
     let sketches: Vec<_> =
-        ids.iter().map(|id| searcher.sketch_of(id).unwrap().clone()).collect();
+        ids.iter().map(|id| searcher.sketch_of(id).unwrap().as_ref().clone()).collect();
     for r in &requests {
         // Auto-sized and forced-8-thread fan-outs (the latter exercises
         // the scoped-thread path even on single-core hosts).
